@@ -1,0 +1,60 @@
+// Ablation: worker scaling of the distributed engine (the paper restricts
+// its cluster to 10 nodes, "yielding a lower bound of execution
+// performance"). Runs Algorithm 1 lines 3-11 on a fixed LIG workload with
+// 1..N workers.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "simnet/datasets.hpp"
+#include "tracefile/trace.hpp"
+
+namespace {
+
+using namespace ivt;
+
+struct Workload {
+  simnet::Dataset dataset;
+  simnet::VehiclePlan plan;
+  dataflow::Table kb;
+
+  Workload()
+      : plan(simnet::plan_vehicle(simnet::lig_spec(), 42)) {
+    simnet::DatasetConfig config;
+    config.scale = 2e-3 * bench::bench_scale();
+    config.seed = 42;
+    dataset = simnet::make_lig_dataset(config);
+    kb = tracefile::to_kb_table(dataset.trace, 64);
+  }
+};
+
+Workload& workload() {
+  static Workload w;
+  return w;
+}
+
+void BM_PipelineWorkers(benchmark::State& state) {
+  dataflow::Engine engine(
+      {.workers = static_cast<std::size_t>(state.range(0))});
+  core::PipelineConfig config;
+  config.classifier.rate_threshold_hz =
+      workload().plan.recommended_rate_threshold_hz;
+  const core::Pipeline pipeline(workload().dataset.catalog, config);
+  for (auto _ : state) {
+    const auto result = pipeline.extract_and_reduce(engine, workload().kb);
+    benchmark::DoNotOptimize(result.reduced_rows);
+  }
+  state.counters["kb_rows"] = static_cast<double>(workload().kb.num_rows());
+}
+BENCHMARK(BM_PipelineWorkers)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

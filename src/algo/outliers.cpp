@@ -1,0 +1,81 @@
+#include "algo/outliers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/stats.hpp"
+
+namespace ivt::algo {
+
+namespace {
+
+std::vector<std::uint8_t> zscore_mask(std::span<const double> xs,
+                                      double threshold) {
+  std::vector<std::uint8_t> mask(xs.size(), 0);
+  const double mu = mean(xs);
+  const double sd = stddev(xs);
+  if (sd <= 0.0) return mask;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (std::fabs(xs[i] - mu) > threshold * sd) mask[i] = 1;
+  }
+  return mask;
+}
+
+std::vector<std::uint8_t> iqr_mask(std::span<const double> xs,
+                                   double threshold) {
+  std::vector<std::uint8_t> mask(xs.size(), 0);
+  const double q1 = quantile(xs, 0.25);
+  const double q3 = quantile(xs, 0.75);
+  const double iqr = q3 - q1;
+  if (iqr <= 0.0) return mask;
+  const double lo = q1 - threshold * iqr;
+  const double hi = q3 + threshold * iqr;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] < lo || xs[i] > hi) mask[i] = 1;
+  }
+  return mask;
+}
+
+std::vector<std::uint8_t> hampel_mask(std::span<const double> xs,
+                                      double threshold, std::size_t window) {
+  // 1.4826 rescales MAD to the stddev of a Gaussian.
+  constexpr double kMadScale = 1.4826;
+  std::vector<std::uint8_t> mask(xs.size(), 0);
+  if (window == 0) window = 1;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t lo = i >= window ? i - window : 0;
+    const std::size_t hi = std::min(i + window + 1, xs.size());
+    const auto win = xs.subspan(lo, hi - lo);
+    const double med = median(win);
+    const double mad = median_absolute_deviation(win);
+    if (mad <= 0.0) continue;  // flat window: nothing is an outlier
+    if (std::fabs(xs[i] - med) > threshold * kMadScale * mad) mask[i] = 1;
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> detect_outliers(std::span<const double> xs,
+                                          const OutlierConfig& config) {
+  if (xs.size() < 3) return std::vector<std::uint8_t>(xs.size(), 0);
+  switch (config.method) {
+    case OutlierMethod::ZScore:
+      return zscore_mask(xs, config.threshold);
+    case OutlierMethod::Iqr:
+      return iqr_mask(xs, config.threshold);
+    case OutlierMethod::Hampel:
+      return hampel_mask(xs, config.threshold, config.window);
+  }
+  return std::vector<std::uint8_t>(xs.size(), 0);
+}
+
+OutlierSplit split_by_mask(std::span<const std::uint8_t> mask) {
+  OutlierSplit split;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    (mask[i] != 0 ? split.outliers : split.clean).push_back(i);
+  }
+  return split;
+}
+
+}  // namespace ivt::algo

@@ -1,0 +1,42 @@
+// Outlier detection for signal instance sequences.
+//
+// The paper's branches α and β split a sequence into outliers (kept as
+// potential errors and merged back at the end) and a cleaned remainder.
+// Three standard detectors are provided; Hampel is the default used by the
+// pipeline because it is robust on the step-like automotive signals.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ivt::algo {
+
+enum class OutlierMethod : std::uint8_t {
+  ZScore,  ///< |x - mean| > threshold * stddev
+  Iqr,     ///< outside [Q1 - k*IQR, Q3 + k*IQR]
+  Hampel,  ///< |x - rolling median| > threshold * 1.4826 * rolling MAD
+};
+
+struct OutlierConfig {
+  OutlierMethod method = OutlierMethod::Hampel;
+  /// ZScore: stddev multiples. Iqr: IQR multiples. Hampel: scaled-MAD
+  /// multiples.
+  double threshold = 3.0;
+  /// Hampel rolling window half-width.
+  std::size_t window = 5;
+};
+
+/// Per-element outlier mask (1 = outlier). Never flags anything for series
+/// shorter than 3 elements or with zero spread.
+std::vector<std::uint8_t> detect_outliers(std::span<const double> xs,
+                                          const OutlierConfig& config = {});
+
+/// Split indices by mask: (outlier_indices, clean_indices).
+struct OutlierSplit {
+  std::vector<std::size_t> outliers;
+  std::vector<std::size_t> clean;
+};
+OutlierSplit split_by_mask(std::span<const std::uint8_t> mask);
+
+}  // namespace ivt::algo

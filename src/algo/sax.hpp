@@ -1,0 +1,41 @@
+// SAX — Symbolic Aggregate approXimation (Lin, Keogh, Lonardi, Chiu 2004).
+//
+// Used by processing branch α to map numeric segments onto a small symbol
+// alphabet: z-normalize, reduce with PAA, then cut the Gaussian N(0,1)
+// domain into equiprobable regions and emit one letter per region.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ivt::algo {
+
+/// Piecewise Aggregate Approximation: mean of `xs` over `n_segments`
+/// equally sized frames (fractional frame borders are weighted, so the
+/// result is exact for any length). n_segments is clamped to xs.size().
+std::vector<double> paa(std::span<const double> xs, std::size_t n_segments);
+
+/// Z-normalize: (x - mean) / stddev. A series with stddev below `epsilon`
+/// is returned as all-zero (the SAX convention for flat series).
+std::vector<double> znormalize(std::span<const double> xs,
+                               double epsilon = 1e-12);
+
+/// Gaussian equiprobable breakpoints for an alphabet of `alphabet_size`
+/// letters (2..16 supported; throws std::invalid_argument otherwise).
+/// Returns alphabet_size - 1 ascending cut points.
+std::vector<double> sax_breakpoints(std::size_t alphabet_size);
+
+/// Letter ('a' + region index) for one z-normalized value.
+char sax_symbol(double value, std::span<const double> breakpoints);
+
+/// Full SAX word: znormalize -> paa(word_length) -> symbols.
+std::string sax_word(std::span<const double> xs, std::size_t word_length,
+                     std::size_t alphabet_size);
+
+/// MINDIST lower-bound distance between two equal-length SAX words
+/// (Lin et al., Sec. 4.2). `n` is the original series length.
+double sax_min_dist(const std::string& a, const std::string& b,
+                    std::size_t alphabet_size, std::size_t n);
+
+}  // namespace ivt::algo

@@ -1,0 +1,23 @@
+// Series smoothing filters (branch α pre-step before SWAB/SAX).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ivt::algo {
+
+/// Centered moving average with window `2*half_window + 1`, truncated at
+/// the series borders. half_window == 0 returns a copy.
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t half_window);
+
+/// Centered moving median, truncated at borders. Robust alternative used
+/// for spiky signals.
+std::vector<double> moving_median(std::span<const double> xs,
+                                  std::size_t half_window);
+
+/// Exponential smoothing with factor alpha in (0,1]; alpha == 1 is a copy.
+std::vector<double> exponential_smoothing(std::span<const double> xs,
+                                          double alpha);
+
+}  // namespace ivt::algo

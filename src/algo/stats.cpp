@@ -1,0 +1,106 @@
+#include "algo/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ivt::algo {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.variance();
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("median of empty range");
+  std::vector<double> copy(xs.begin(), xs.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+  const double upper = copy[mid];
+  if (copy.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(copy.begin(), copy.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile of empty range");
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  const double pos = q * static_cast<double>(copy.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, copy.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return copy[lo] * (1.0 - frac) + copy[hi] * frac;
+}
+
+double median_absolute_deviation(std::span<const double> xs) {
+  const double med = median(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::fabs(x - med));
+  return median(dev);
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  LineFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n == 0) return fit;
+  const double mx = mean(xs.first(n));
+  const double my = mean(ys.first(n));
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    sxx += dx * dx;
+    sxy += dx * (ys[i] - my);
+  }
+  if (sxx > 0.0) fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  return fit;
+}
+
+double residual_sum_squares(std::span<const double> xs,
+                            std::span<const double> ys, const LineFit& fit) {
+  double rss = 0.0;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    rss += r * r;
+  }
+  return rss;
+}
+
+}  // namespace ivt::algo

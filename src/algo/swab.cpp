@@ -1,0 +1,161 @@
+#include "algo/swab.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ivt::algo {
+
+namespace {
+
+void check_sizes(std::span<const double> ts, std::span<const double> xs) {
+  if (ts.size() != xs.size()) {
+    throw std::invalid_argument("segmentation: ts/xs size mismatch");
+  }
+}
+
+}  // namespace
+
+Segment fit_segment(std::span<const double> ts, std::span<const double> xs,
+                    std::size_t start, std::size_t end) {
+  Segment seg;
+  seg.start = start;
+  seg.end = end;
+  const auto tsub = ts.subspan(start, end - start);
+  const auto xsub = xs.subspan(start, end - start);
+  seg.fit = fit_line(tsub, xsub);
+  seg.error = residual_sum_squares(tsub, xsub, seg.fit);
+  return seg;
+}
+
+std::vector<Segment> bottom_up_segment(std::span<const double> ts,
+                                       std::span<const double> xs,
+                                       double max_error) {
+  check_sizes(ts, xs);
+  const std::size_t n = xs.size();
+  std::vector<Segment> segments;
+  if (n == 0) return segments;
+  if (n == 1) {
+    segments.push_back(fit_segment(ts, xs, 0, 1));
+    return segments;
+  }
+
+  // Initial fine segmentation: pairs of points.
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    segments.push_back(fit_segment(ts, xs, i, i + 2));
+  }
+  if (n % 2 == 1) segments.push_back(fit_segment(ts, xs, n - 1, n));
+
+  // Merge cost of segments[i] with segments[i+1].
+  auto merge_cost = [&](std::size_t i) {
+    return fit_segment(ts, xs, segments[i].start, segments[i + 1].end).error;
+  };
+  std::vector<double> costs;
+  costs.reserve(segments.size());
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    costs.push_back(merge_cost(i));
+  }
+
+  while (!costs.empty()) {
+    const std::size_t best = static_cast<std::size_t>(
+        std::min_element(costs.begin(), costs.end()) - costs.begin());
+    if (costs[best] > max_error) break;
+    segments[best] = fit_segment(ts, xs, segments[best].start,
+                                 segments[best + 1].end);
+    segments.erase(segments.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+    costs.erase(costs.begin() + static_cast<std::ptrdiff_t>(best));
+    if (best < costs.size()) costs[best] = merge_cost(best);
+    if (best > 0) costs[best - 1] = merge_cost(best - 1);
+  }
+  return segments;
+}
+
+std::vector<Segment> sliding_window_segment(std::span<const double> ts,
+                                            std::span<const double> xs,
+                                            double max_error) {
+  check_sizes(ts, xs);
+  std::vector<Segment> segments;
+  const std::size_t n = xs.size();
+  std::size_t anchor = 0;
+  while (anchor < n) {
+    std::size_t end = std::min(anchor + 2, n);
+    Segment seg = fit_segment(ts, xs, anchor, end);
+    while (end < n) {
+      Segment grown = fit_segment(ts, xs, anchor, end + 1);
+      if (grown.error > max_error) break;
+      seg = grown;
+      ++end;
+    }
+    segments.push_back(seg);
+    anchor = end;
+  }
+  return segments;
+}
+
+std::vector<Segment> swab_segment(std::span<const double> ts,
+                                  std::span<const double> xs,
+                                  const SegmentationConfig& config) {
+  check_sizes(ts, xs);
+  const std::size_t n = xs.size();
+  std::vector<Segment> out;
+  if (n == 0) return out;
+  const std::size_t buffer_size = std::max<std::size_t>(config.buffer_size, 4);
+  if (n <= buffer_size) return bottom_up_segment(ts, xs, config.max_error);
+
+  // Buffer is the window [lo, hi) of the input.
+  std::size_t lo = 0;
+  std::size_t hi = std::min(buffer_size, n);
+  while (lo < n) {
+    const auto tbuf = ts.subspan(lo, hi - lo);
+    const auto xbuf = xs.subspan(lo, hi - lo);
+    std::vector<Segment> local =
+        bottom_up_segment(tbuf, xbuf, config.max_error);
+    // Emit the leftmost segment (it is final: bottom-up will not change it
+    // once more data arrives, per the SWAB argument), unless the buffer
+    // already covers the rest of the series — then everything is final.
+    if (hi >= n) {
+      for (Segment seg : local) {
+        seg.start += lo;
+        seg.end += lo;
+        out.push_back(seg);
+      }
+      break;
+    }
+    Segment leftmost = local.front();
+    leftmost.start += lo;
+    leftmost.end += lo;
+    out.push_back(leftmost);
+    lo = leftmost.end;
+
+    // Refill: extend the right edge by one sliding-window segment worth of
+    // points (the "best line" step of SWAB).
+    const std::size_t remaining_buffer = hi > lo ? hi - lo : 0;
+    if (remaining_buffer < buffer_size && hi < n) {
+      const auto tail_ts = ts.subspan(hi);
+      const auto tail_xs = xs.subspan(hi);
+      // One greedy segment from the tail:
+      std::size_t end = std::min<std::size_t>(2, tail_xs.size());
+      Segment grow = fit_segment(tail_ts, tail_xs, 0, end);
+      while (end < tail_xs.size() && hi + end < lo + buffer_size) {
+        Segment g2 = fit_segment(tail_ts, tail_xs, 0, end + 1);
+        if (g2.error > config.max_error) break;
+        grow = g2;
+        ++end;
+      }
+      hi = std::min(n, hi + end);
+    }
+    if (hi <= lo) hi = std::min(n, lo + buffer_size);
+  }
+  return out;
+}
+
+std::vector<Segment> swab_segment(std::span<const double> xs,
+                                  const SegmentationConfig& config) {
+  std::vector<double> ts(xs.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    ts[i] = static_cast<double>(i);
+  }
+  return swab_segment(ts, xs, config);
+}
+
+}  // namespace ivt::algo

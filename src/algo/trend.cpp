@@ -1,0 +1,45 @@
+#include "algo/trend.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ivt::algo {
+
+std::string_view to_string(Trend trend) {
+  switch (trend) {
+    case Trend::Decreasing:
+      return "decreasing";
+    case Trend::Steady:
+      return "steady";
+    case Trend::Increasing:
+      return "increasing";
+  }
+  return "unknown";
+}
+
+Trend classify_slope(double slope, double steady_threshold) {
+  if (std::fabs(slope) <= steady_threshold) return Trend::Steady;
+  return slope > 0.0 ? Trend::Increasing : Trend::Decreasing;
+}
+
+Trend segment_trend(const Segment& segment, double steady_threshold) {
+  return classify_slope(segment.fit.slope, steady_threshold);
+}
+
+std::vector<Trend> gradient_trends(std::span<const double> ts,
+                                   std::span<const double> ys,
+                                   double steady_threshold) {
+  if (ts.size() != ys.size()) {
+    throw std::invalid_argument("gradient_trends: ts/ys size mismatch");
+  }
+  std::vector<Trend> out(ys.size(), Trend::Steady);
+  for (std::size_t i = 1; i < ys.size(); ++i) {
+    const double dt = ts[i] - ts[i - 1];
+    const double dy = ys[i] - ys[i - 1];
+    const double slope = dt > 0.0 ? dy / dt : 0.0;
+    out[i] = classify_slope(slope, steady_threshold);
+  }
+  return out;
+}
+
+}  // namespace ivt::algo

@@ -1,0 +1,28 @@
+// Trend estimation for segments (branch α) and ordinal gradients (branch β).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "algo/swab.hpp"
+
+namespace ivt::algo {
+
+enum class Trend : std::uint8_t { Decreasing, Steady, Increasing };
+
+std::string_view to_string(Trend trend);
+
+/// Classify a slope: |slope| <= threshold -> Steady, else by sign.
+Trend classify_slope(double slope, double steady_threshold);
+
+/// Trend of a SWAB segment (uses its fitted slope).
+Trend segment_trend(const Segment& segment, double steady_threshold);
+
+/// Discrete gradient trend used by branch β: compares consecutive values
+/// (y[i] - y[i-1]) / (t[i] - t[i-1]); the first element is Steady.
+/// Returns one trend per element.
+std::vector<Trend> gradient_trends(std::span<const double> ts,
+                                   std::span<const double> ys,
+                                   double steady_threshold);
+
+}  // namespace ivt::algo

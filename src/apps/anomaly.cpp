@@ -1,0 +1,115 @@
+#include "apps/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/schemas.hpp"
+
+namespace ivt::apps {
+
+std::vector<Anomaly> detect_state_anomalies(const dataflow::Table& state,
+                                            const AnomalyConfig& config) {
+  // Joint state = all non-"t" column values joined; count occurrences.
+  std::vector<std::size_t> cols;
+  for (std::size_t c = 0; c < state.schema().size(); ++c) {
+    if (state.schema().field(c).name != "t") cols.push_back(c);
+  }
+  std::map<std::string, std::size_t> counts;
+  std::map<std::string, std::int64_t> first_seen;
+  const std::size_t t_col = state.schema().require("t");
+  state.for_each_row([&](const dataflow::RowView& row) {
+    std::string key;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (i > 0) key += '|';
+      key += row.is_null(cols[i]) ? "-"
+                                  : row.value_at(cols[i]).to_display_string();
+    }
+    auto [it, inserted] = counts.try_emplace(std::move(key), 0);
+    if (inserted) first_seen[it->first] = row.int64_at(t_col);
+    ++it->second;
+  });
+
+  const double n = static_cast<double>(state.num_rows());
+  std::vector<Anomaly> anomalies;
+  if (n <= 0.0) return anomalies;
+  for (const auto& [key, count] : counts) {
+    const double freq = static_cast<double>(count) / n;
+    if (freq > config.max_state_frequency) continue;
+    Anomaly a;
+    a.t_ns = first_seen.at(key);
+    a.signal = "<joint-state>";
+    a.description = key;
+    a.severity = -std::log2(freq);
+    a.occurrences = count;
+    anomalies.push_back(std::move(a));
+  }
+  std::sort(anomalies.begin(), anomalies.end(),
+            [](const Anomaly& a, const Anomaly& b) {
+              return a.severity > b.severity;
+            });
+  if (anomalies.size() > config.top_k) anomalies.resize(config.top_k);
+  return anomalies;
+}
+
+std::vector<Anomaly> detect_element_anomalies(const dataflow::Table& krep,
+                                              const AnomalyConfig& config) {
+  const std::size_t t_col = krep.schema().require("t");
+  const std::size_t sid_col = krep.schema().require("s_id");
+  const std::size_t value_col = krep.schema().require("value");
+  const std::size_t num_col = krep.schema().require("v_num");
+  const std::size_t kind_col = krep.schema().require("element_kind");
+
+  std::vector<Anomaly> anomalies;
+  krep.for_each_row([&](const dataflow::RowView& row) {
+    const std::string& kind = row.string_at(kind_col);
+    Anomaly a;
+    a.t_ns = row.int64_at(t_col);
+    a.signal = row.string_at(sid_col);
+    a.description = row.string_at(value_col);
+    if (kind == ivt::core::kElementOutlier) {
+      // Outliers: severity grows with the magnitude of the value.
+      const double v = row.is_null(num_col) ? 0.0 : row.float64_at(num_col);
+      a.severity = 10.0 + std::log2(1.0 + std::fabs(v));
+    } else if (kind == ivt::core::kElementValidity) {
+      a.severity = 5.0;
+    } else if (kind == ivt::core::kElementExtension &&
+               a.description.rfind("violation", 0) == 0) {
+      const double gap = row.is_null(num_col) ? 0.0 : row.float64_at(num_col);
+      a.severity = 7.0 + std::log2(1.0 + gap);
+    } else {
+      return;  // regular state element
+    }
+    anomalies.push_back(std::move(a));
+  });
+  std::sort(anomalies.begin(), anomalies.end(),
+            [](const Anomaly& a, const Anomaly& b) {
+              if (a.severity != b.severity) return a.severity > b.severity;
+              return a.t_ns < b.t_ns;
+            });
+  if (anomalies.size() > config.top_k) anomalies.resize(config.top_k);
+  return anomalies;
+}
+
+ivt::core::ExtensionRule to_extension_rule(const Anomaly& anomaly,
+                                           double center,
+                                           double min_abs_dev) {
+  ivt::core::ExtensionRule rule;
+  rule.name = "anomaly_like";
+  rule.signal_pattern = anomaly.signal;
+  rule.apply = [center, min_abs_dev](const ivt::core::ConstraintContext& ctx,
+                                     ivt::core::ExtensionEmitter& out) {
+    const ivt::core::SequenceData& d = ctx.data;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (d.has_num[i] == 0) continue;
+      const double dev = std::fabs(d.v_num[i] - center);
+      if (dev >= min_abs_dev) {
+        out.emit(d.t[i], d.v_num[i],
+                 "similar-anomaly dev=" + std::to_string(dev));
+      }
+    }
+  };
+  return rule;
+}
+
+}  // namespace ivt::apps

@@ -1,0 +1,51 @@
+// Anomaly detection & ranking (paper Sec. 4.4).
+//
+// Two complementary detectors over pipeline output:
+//  - state-frequency: rare joint states in the wide representation are
+//    hot-spots, ranked by severity = -log2(frequency);
+//  - element-level: outlier / validity / cycle-violation elements of
+//    K_rep, ranked by kind and deviation.
+// Detected anomalies can be turned into extension rules to flag similar
+// situations in future runs (`to_extension_rule`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/extend.hpp"
+#include "dataflow/table.hpp"
+
+namespace ivt::apps {
+
+struct Anomaly {
+  std::int64_t t_ns = 0;          ///< 0 for aggregate (state) anomalies
+  std::string signal;             ///< s_id / joint-state description
+  std::string description;
+  double severity = 0.0;          ///< higher = more anomalous
+  std::size_t occurrences = 1;
+};
+
+struct AnomalyConfig {
+  /// State-frequency detector: a joint state is anomalous when it occurs
+  /// in at most this fraction of rows.
+  double max_state_frequency = 0.001;
+  std::size_t top_k = 20;
+};
+
+/// Rare joint states in the wide state table.
+std::vector<Anomaly> detect_state_anomalies(const dataflow::Table& state,
+                                            const AnomalyConfig& config = {});
+
+/// Outlier / validity / extension (cycle-violation) elements of a
+/// krep_schema table, ranked most severe first.
+std::vector<Anomaly> detect_element_anomalies(const dataflow::Table& krep,
+                                              const AnomalyConfig& config = {});
+
+/// Convert a signal-level anomaly into an extension rule that marks future
+/// instances whose numeric value deviates at least as far from `center`
+/// (the paper's "automatically be transformed into extensions w to detect
+/// similar anomalies in further runs").
+ivt::core::ExtensionRule to_extension_rule(const Anomaly& anomaly,
+                                           double center, double min_abs_dev);
+
+}  // namespace ivt::apps

@@ -1,0 +1,185 @@
+#include "apps/association_rules.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace ivt::apps {
+
+std::string AssociationRule::to_display_string() const {
+  std::string out = "IF ";
+  for (std::size_t i = 0; i < antecedents.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += antecedents[i].column + "=" + antecedents[i].value;
+  }
+  out += " THEN " + consequent.column + "=" + consequent.value;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  [sup=%.3f conf=%.3f lift=%.2f]", support,
+                confidence, lift);
+  out += buf;
+  return out;
+}
+
+namespace {
+
+using ItemSet = std::vector<std::size_t>;  // sorted item ids
+
+struct ItemSpace {
+  std::vector<Item> items;                 // id -> item
+  std::map<Item, std::size_t> id_of;
+};
+
+/// Transactions as sorted item-id vectors.
+std::vector<ItemSet> build_transactions(const dataflow::Table& state,
+                                        const MinerConfig& config,
+                                        ItemSpace& space) {
+  const auto& schema = state.schema();
+  std::vector<bool> use(schema.size(), true);
+  for (std::size_t c = 0; c < schema.size(); ++c) {
+    for (const std::string& ignored : config.ignore_columns) {
+      if (schema.field(c).name == ignored) use[c] = false;
+    }
+  }
+  std::vector<ItemSet> transactions;
+  transactions.reserve(state.num_rows());
+  state.for_each_row([&](const dataflow::RowView& row) {
+    ItemSet txn;
+    for (std::size_t c = 0; c < schema.size(); ++c) {
+      if (!use[c] || row.is_null(c)) continue;
+      Item item{schema.field(c).name, row.value_at(c).to_display_string()};
+      auto [it, inserted] =
+          space.id_of.try_emplace(std::move(item), space.items.size());
+      if (inserted) space.items.push_back(it->first);
+      txn.push_back(it->second);
+    }
+    std::sort(txn.begin(), txn.end());
+    transactions.push_back(std::move(txn));
+  });
+  return transactions;
+}
+
+bool contains_all(const ItemSet& txn, const ItemSet& subset) {
+  return std::includes(txn.begin(), txn.end(), subset.begin(), subset.end());
+}
+
+}  // namespace
+
+std::vector<AssociationRule> mine_rules(const dataflow::Table& state,
+                                        const MinerConfig& config) {
+  ItemSpace space;
+  const std::vector<ItemSet> transactions =
+      build_transactions(state, config, space);
+  const double n = static_cast<double>(transactions.size());
+  if (transactions.empty()) return {};
+  const std::size_t min_count = static_cast<std::size_t>(
+      std::ceil(config.min_support * n));
+
+  // Level 1: frequent single items.
+  std::map<ItemSet, std::size_t> frequent;  // itemset -> count
+  {
+    std::vector<std::size_t> counts(space.items.size(), 0);
+    for (const ItemSet& txn : transactions) {
+      for (std::size_t id : txn) ++counts[id];
+    }
+    for (std::size_t id = 0; id < counts.size(); ++id) {
+      if (counts[id] >= min_count && counts[id] > 0) {
+        frequent.emplace(ItemSet{id}, counts[id]);
+      }
+    }
+  }
+
+  std::map<ItemSet, std::size_t> all_frequent = frequent;
+  std::map<ItemSet, std::size_t> level = frequent;
+
+  for (std::size_t k = 2;
+       k <= config.max_itemset_size && !level.empty(); ++k) {
+    // Candidate generation: join sets sharing a (k-2)-prefix.
+    std::set<ItemSet> candidates;
+    for (auto a = level.begin(); a != level.end(); ++a) {
+      for (auto b = std::next(a); b != level.end(); ++b) {
+        const ItemSet& sa = a->first;
+        const ItemSet& sb = b->first;
+        if (!std::equal(sa.begin(), sa.end() - 1, sb.begin(), sb.end() - 1)) {
+          continue;
+        }
+        ItemSet candidate = sa;
+        candidate.push_back(sb.back());
+        std::sort(candidate.begin(), candidate.end());
+        // Prune: all (k-1)-subsets must be frequent.
+        bool ok = true;
+        for (std::size_t drop = 0; drop < candidate.size() && ok; ++drop) {
+          ItemSet subset;
+          for (std::size_t i = 0; i < candidate.size(); ++i) {
+            if (i != drop) subset.push_back(candidate[i]);
+          }
+          ok = level.contains(subset);
+        }
+        if (ok) candidates.insert(std::move(candidate));
+      }
+    }
+    // Support counting.
+    std::map<ItemSet, std::size_t> next_level;
+    for (const ItemSet& candidate : candidates) {
+      std::size_t count = 0;
+      for (const ItemSet& txn : transactions) {
+        if (contains_all(txn, candidate)) ++count;
+      }
+      if (count >= min_count) next_level.emplace(candidate, count);
+    }
+    for (const auto& [set, count] : next_level) {
+      all_frequent.emplace(set, count);
+    }
+    level = std::move(next_level);
+  }
+
+  // Rule generation: single-item consequents.
+  auto consequent_allowed = [&](const Item& item) {
+    if (config.consequent_columns.empty()) return true;
+    return std::find(config.consequent_columns.begin(),
+                     config.consequent_columns.end(),
+                     item.column) != config.consequent_columns.end();
+  };
+  std::vector<AssociationRule> rules;
+  for (const auto& [set, count] : all_frequent) {
+    if (set.size() < 2) continue;
+    for (std::size_t pick = 0; pick < set.size(); ++pick) {
+      const Item& consequent = space.items[set[pick]];
+      if (!consequent_allowed(consequent)) continue;
+      ItemSet antecedent;
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        if (i != pick) antecedent.push_back(set[i]);
+      }
+      const auto ant_it = all_frequent.find(antecedent);
+      if (ant_it == all_frequent.end()) continue;
+      const double confidence = static_cast<double>(count) /
+                                static_cast<double>(ant_it->second);
+      if (confidence < config.min_confidence) continue;
+      const auto cons_it = all_frequent.find(ItemSet{set[pick]});
+      const double cons_support =
+          cons_it != all_frequent.end()
+              ? static_cast<double>(cons_it->second) / n
+              : 0.0;
+      AssociationRule rule;
+      for (std::size_t id : antecedent) {
+        rule.antecedents.push_back(space.items[id]);
+      }
+      rule.consequent = consequent;
+      rule.support = static_cast<double>(count) / n;
+      rule.confidence = confidence;
+      rule.lift = cons_support > 0.0 ? confidence / cons_support : 0.0;
+      rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.lift != b.lift) return a.lift > b.lift;
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.support > b.support;
+            });
+  return rules;
+}
+
+}  // namespace ivt::apps

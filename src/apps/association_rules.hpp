@@ -1,0 +1,51 @@
+// Association Rule Mining on the state representation (paper Sec. 4.4).
+//
+// Each state row is an item-set of (column = value) items; Apriori finds
+// frequent item-sets and IF-THEN rules such as
+// "IF T < -10 and WiperActivated THEN WiperErrorBlocked".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/table.hpp"
+
+namespace ivt::apps {
+
+/// One (column = value) item.
+struct Item {
+  std::string column;
+  std::string value;
+
+  friend bool operator==(const Item&, const Item&) = default;
+  friend auto operator<=>(const Item&, const Item&) = default;
+};
+
+struct AssociationRule {
+  std::vector<Item> antecedents;  ///< IF part
+  Item consequent;                ///< THEN part
+  double support = 0.0;           ///< P(antecedents ∧ consequent)
+  double confidence = 0.0;        ///< P(consequent | antecedents)
+  double lift = 0.0;              ///< confidence / P(consequent)
+
+  [[nodiscard]] std::string to_display_string() const;
+};
+
+struct MinerConfig {
+  double min_support = 0.01;
+  double min_confidence = 0.8;
+  /// Frequent item-set size cap (antecedents = size - 1).
+  std::size_t max_itemset_size = 3;
+  /// Only emit rules whose consequent column is in this list (empty =
+  /// any). Typical use: restrict to error/outlier columns.
+  std::vector<std::string> consequent_columns;
+  /// Columns to exclude from item generation (e.g. "t").
+  std::vector<std::string> ignore_columns = {"t"};
+};
+
+/// Run Apriori over the wide state table. Rules are sorted by descending
+/// lift, ties by descending confidence then support.
+std::vector<AssociationRule> mine_rules(const dataflow::Table& state,
+                                        const MinerConfig& config = {});
+
+}  // namespace ivt::apps

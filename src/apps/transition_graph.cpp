@@ -1,0 +1,155 @@
+#include "apps/transition_graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ivt::apps {
+
+void TransitionGraph::add_transition(const std::string& from,
+                                     const std::string& to) {
+  if (std::find(nodes_.begin(), nodes_.end(), from) == nodes_.end()) {
+    nodes_.push_back(from);
+  }
+  if (std::find(nodes_.begin(), nodes_.end(), to) == nodes_.end()) {
+    nodes_.push_back(to);
+  }
+  ++counts_[{from, to}];
+  ++out_totals_[from];
+  ++total_;
+}
+
+void TransitionGraph::finalize() {}
+
+TransitionGraph TransitionGraph::from_column(const dataflow::Table& state,
+                                             const std::string& column) {
+  TransitionGraph graph;
+  const std::size_t col = state.schema().require(column);
+  std::string previous;
+  bool has_previous = false;
+  state.for_each_row([&](const dataflow::RowView& row) {
+    if (row.is_null(col)) return;
+    const std::string current = row.value_at(col).to_display_string();
+    if (has_previous && current != previous) {
+      graph.add_transition(previous, current);
+    }
+    previous = current;
+    has_previous = true;
+  });
+  graph.finalize();
+  return graph;
+}
+
+TransitionGraph TransitionGraph::from_columns(
+    const dataflow::Table& state, std::vector<std::string> columns) {
+  TransitionGraph graph;
+  if (columns.empty()) {
+    for (const dataflow::Field& f : state.schema().fields()) {
+      if (f.name != "t") columns.push_back(f.name);
+    }
+  }
+  std::vector<std::size_t> cols;
+  for (const std::string& name : columns) {
+    cols.push_back(state.schema().require(name));
+  }
+  std::string previous;
+  bool has_previous = false;
+  state.for_each_row([&](const dataflow::RowView& row) {
+    std::string current;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (i > 0) current += '|';
+      current += row.is_null(cols[i])
+                     ? "-"
+                     : row.value_at(cols[i]).to_display_string();
+    }
+    if (has_previous && current != previous) {
+      graph.add_transition(previous, current);
+    }
+    previous = std::move(current);
+    has_previous = true;
+  });
+  graph.finalize();
+  return graph;
+}
+
+std::vector<TransitionEdge> TransitionGraph::edges() const {
+  std::vector<TransitionEdge> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    TransitionEdge edge;
+    edge.from = key.first;
+    edge.to = key.second;
+    edge.count = count;
+    const auto it = out_totals_.find(key.first);
+    edge.probability = it != out_totals_.end() && it->second > 0
+                           ? static_cast<double>(count) /
+                                 static_cast<double>(it->second)
+                           : 0.0;
+    out.push_back(std::move(edge));
+  }
+  return out;
+}
+
+std::vector<TransitionEdge> TransitionGraph::rare_transitions(
+    double max_probability, std::size_t min_count) const {
+  std::vector<TransitionEdge> rare;
+  for (TransitionEdge& edge : edges()) {
+    if (edge.probability <= max_probability && edge.count >= min_count) {
+      rare.push_back(std::move(edge));
+    }
+  }
+  std::sort(rare.begin(), rare.end(),
+            [](const TransitionEdge& a, const TransitionEdge& b) {
+              if (a.probability != b.probability) {
+                return a.probability < b.probability;
+              }
+              return a.count < b.count;
+            });
+  return rare;
+}
+
+std::vector<std::string> TransitionGraph::frequent_path_to(
+    const std::string& target, std::size_t max_length) const {
+  std::vector<std::string> path{target};
+  std::set<std::string> visited{target};
+  std::string current = target;
+  while (path.size() < max_length) {
+    const std::string* best_from = nullptr;
+    std::size_t best_count = 0;
+    for (const auto& [key, count] : counts_) {
+      if (key.second != current) continue;
+      if (visited.contains(key.first)) continue;
+      if (count > best_count) {
+        best_count = count;
+        best_from = &key.first;
+      }
+    }
+    if (best_from == nullptr) break;
+    path.push_back(*best_from);
+    visited.insert(*best_from);
+    current = *best_from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string TransitionGraph::to_dot(double rare_threshold) const {
+  std::ostringstream os;
+  os << "digraph transitions {\n";
+  os << "  rankdir=LR;\n";
+  for (const std::string& node : nodes_) {
+    os << "  \"" << node << "\";\n";
+  }
+  for (const TransitionEdge& edge : edges()) {
+    os << "  \"" << edge.from << "\" -> \"" << edge.to << "\" [label=\""
+       << edge.count << "\"";
+    if (edge.probability <= rare_threshold) {
+      os << ", color=red, penwidth=2";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ivt::apps

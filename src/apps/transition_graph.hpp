@@ -1,0 +1,70 @@
+// Transition graphs over the state representation (paper Sec. 4.4).
+//
+// Linking each state row to its successor and counting transitions gives a
+// graph in which rare transitions indicate potential errors; paths into a
+// suspicious state isolate error causes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataflow/table.hpp"
+
+namespace ivt::apps {
+
+struct TransitionEdge {
+  std::string from;
+  std::string to;
+  std::size_t count = 0;
+  /// count / total transitions leaving `from`.
+  double probability = 0.0;
+};
+
+class TransitionGraph {
+ public:
+  /// Build from one column of the state table (per-signal state machine).
+  /// Consecutive identical states collapse into one node visit.
+  static TransitionGraph from_column(const dataflow::Table& state,
+                                     const std::string& column);
+
+  /// Build from the joint state of several columns; node labels are
+  /// "v1|v2|...". Empty `columns` = all columns except "t".
+  static TransitionGraph from_columns(const dataflow::Table& state,
+                                      std::vector<std::string> columns);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_transitions() const { return total_; }
+  [[nodiscard]] const std::vector<std::string>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] std::vector<TransitionEdge> edges() const;
+
+  /// Edges whose leave-probability is at most `max_probability` and whose
+  /// count is at least `min_count` — the "rare transitions [that] indicate
+  /// potential errors". Sorted ascending by probability.
+  [[nodiscard]] std::vector<TransitionEdge> rare_transitions(
+      double max_probability, std::size_t min_count = 1) const;
+
+  /// Most frequent chain of predecessor states ending in `target`
+  /// (path analysis for error-cause isolation). Greedy walk backwards over
+  /// the highest-count incoming edge, at most `max_length` nodes, stopping
+  /// on cycles.
+  [[nodiscard]] std::vector<std::string> frequent_path_to(
+      const std::string& target, std::size_t max_length = 5) const;
+
+  /// Graphviz DOT rendering (edge labels = counts; rare edges in red).
+  [[nodiscard]] std::string to_dot(double rare_threshold = 0.01) const;
+
+ private:
+  void add_transition(const std::string& from, const std::string& to);
+  void finalize();
+
+  std::vector<std::string> nodes_;
+  std::map<std::pair<std::string, std::string>, std::size_t> counts_;
+  std::map<std::string, std::size_t> out_totals_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ivt::apps

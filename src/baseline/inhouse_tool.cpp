@@ -1,0 +1,85 @@
+#include "baseline/inhouse_tool.hpp"
+
+namespace ivt::baseline {
+
+namespace {
+
+std::string message_key(const std::string& bus, std::int64_t message_id) {
+  return bus + '\x1F' + std::to_string(message_id);
+}
+
+}  // namespace
+
+InHouseTool::InHouseTool(const signaldb::Catalog& catalog)
+    : catalog_(catalog) {
+  for (const signaldb::MessageSpec& m : catalog_.messages()) {
+    index_.emplace(message_key(m.bus, m.message_id), &m);
+  }
+}
+
+void InHouseTool::decode_record(std::int64_t t_ns, const std::string& bus,
+                                std::int64_t message_id,
+                                std::span<const std::uint8_t> payload,
+                                IngestStats& stats) {
+  ++stats.records_scanned;
+  const auto it = index_.find(message_key(bus, message_id));
+  if (it == index_.end()) {
+    ++stats.records_unknown;
+    return;
+  }
+  for (const signaldb::SignalSpec& spec : it->second->signals) {
+    const signaldb::DecodedValue decoded =
+        signaldb::decode_signal(payload, spec);
+    if (!decoded.present) continue;
+    StoredInstance instance;
+    instance.t_ns = t_ns;
+    instance.value = decoded.physical;
+    if (decoded.label.has_value()) {
+      instance.label_index = -1;
+      for (std::size_t i = 0; i < spec.value_table.size(); ++i) {
+        if (spec.value_table[i].label == *decoded.label) {
+          instance.label_index = static_cast<std::int32_t>(i);
+          break;
+        }
+      }
+    }
+    store_[spec.name].push_back(instance);
+    ++stats.instances_decoded;
+  }
+}
+
+IngestStats InHouseTool::ingest(const tracefile::Trace& trace) {
+  IngestStats stats;
+  for (const tracefile::TraceRecord& rec : trace.records) {
+    decode_record(rec.t_ns, rec.bus, rec.message_id, rec.payload, stats);
+  }
+  return stats;
+}
+
+IngestStats InHouseTool::ingest_table(const dataflow::Table& kb) {
+  IngestStats stats;
+  const std::size_t t_col = kb.schema().require("t");
+  const std::size_t l_col = kb.schema().require("l");
+  const std::size_t b_col = kb.schema().require("b_id");
+  const std::size_t m_col = kb.schema().require("m_id");
+  kb.for_each_row([&](const dataflow::RowView& row) {
+    const std::string& payload = row.string_at(l_col);
+    decode_record(
+        row.int64_at(t_col), row.string_at(b_col), row.int64_at(m_col),
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(payload.data()),
+            payload.size()),
+        stats);
+  });
+  return stats;
+}
+
+const std::vector<StoredInstance>* InHouseTool::find(
+    const std::string& signal_name) const {
+  const auto it = store_.find(signal_name);
+  return it != store_.end() ? &it->second : nullptr;
+}
+
+void InHouseTool::clear() { store_.clear(); }
+
+}  // namespace ivt::baseline

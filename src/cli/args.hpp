@@ -1,0 +1,49 @@
+// Minimal command-line argument parsing for the ivt tool.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ivt::cli {
+
+/// Parses "--key value", "--key=value", bare "--flag" and positional
+/// arguments. Keys keep their leading dashes stripped.
+class Args {
+ public:
+  Args(int argc, const char* const* argv, int first = 1);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options_.contains(key);
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const;
+  /// Throws std::invalid_argument with a usage-friendly message if absent.
+  [[nodiscard]] std::string require(const std::string& key) const;
+
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+
+  /// Comma-separated list value; empty vector when absent.
+  [[nodiscard]] std::vector<std::string> get_list(
+      const std::string& key) const;
+
+  /// Options that were never read — surfaced as typo protection.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ivt::cli

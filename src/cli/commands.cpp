@@ -1,0 +1,410 @@
+#include "cli/commands.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include <algorithm>
+
+#include "apps/anomaly.hpp"
+#include "apps/association_rules.hpp"
+#include "apps/transition_graph.hpp"
+#include "core/interpret.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/urel.hpp"
+#include "dataflow/csv.hpp"
+#include "dataflow/ops.hpp"
+#include "dataflow/summary.hpp"
+#include "dataflow/table_io.hpp"
+#include "simnet/datasets.hpp"
+#include "tracefile/binary_format.hpp"
+
+namespace ivt::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(ivt — in-vehicle network trace preprocessing (DAC'18 reproduction)
+
+usage: ivt <command> [options]
+
+commands:
+  simulate     generate a synthetic journey (and catalog) of a vehicle model
+      --dataset SYN|LIG|STA   vehicle model (default SYN)
+      --scale S               fraction of the 20 h recording (default 0.001)
+      --seed N                model + journey seed (default 42)
+      --journeys N            number of journeys (default 1)
+      --out PREFIX            output prefix: PREFIX_J<i>.ivt (default ./<dataset>)
+      --catalog PATH          also write the catalog (default PREFIX.ivsdb)
+      --no-faults             disable fault injection
+
+  inspect      statistics of a recorded trace
+      --trace PATH            .ivt trace file (required)
+      --catalog PATH          optional: report catalog coverage
+
+  catalog      validate and summarize a catalog file
+      --file PATH             .ivsdb catalog (required)
+
+  extract      signal extraction (Algorithm 1 lines 3-6) to a table file
+      --trace PATH            .ivt trace (required)
+      --catalog PATH          .ivsdb catalog (required)
+      --signals a,b,c         U_comb selection (default: all signals)
+      --out PATH              .csv or .ivtbl output (required)
+      --workers N             engine workers (default: hardware)
+      --skip-error-frames     drop monitor-flagged error frames
+
+  run          full preprocessing pipeline (Algorithm 1)
+      --trace, --catalog, --signals, --workers   as in extract
+      --rate-threshold HZ     classifier z_rate threshold T (default 5)
+      --no-reduction          disable the constraint set C
+      --extensions gap,cycle_violation,derivative   extension rules E
+      --state PATH            write the state representation (.csv/.ivtbl)
+      --krep PATH             write the homogenized sequence R_out
+      --report text|json      processing report to stdout (default text)
+
+  mine         Sec. 4.4 applications on one journey (runs the pipeline,
+               then anomaly ranking, rare transitions and IF-THEN rules)
+      --trace, --catalog, --signals, --workers, --rate-threshold  as in run
+      --top-k N               anomalies to report (default 10)
+      --rare-probability P    rare-transition threshold (default 0.05)
+      --min-support S         Apriori minimum support (default 0.1)
+      --min-confidence C      Apriori minimum confidence (default 0.9)
+      --rule-columns a,b,c    state columns to mine rules over
+                              (default: first 6)
+      --dot PATH              write a transition graph (first nominal γ
+                              signal) as Graphviz DOT
+
+  export-asc   dump a trace as readable text
+      --trace PATH            .ivt trace (required)
+      --out PATH              output file (default: stdout)
+)";
+
+signaldb::Catalog load_catalog_arg(const Args& args, const char* key) {
+  return signaldb::load_catalog(args.require(key));
+}
+
+void write_table_arg(const dataflow::Table& table, const std::string& path) {
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".csv") {
+    dataflow::write_csv_file(table, path);
+  } else {
+    dataflow::save_table(table, path);
+  }
+}
+
+void warn_unused(const Args& args) {
+  for (const std::string& key : args.unused()) {
+    std::fprintf(stderr, "warning: unknown option --%s ignored\n",
+                 key.c_str());
+  }
+}
+
+simnet::DatasetSpec spec_by_name(const std::string& name) {
+  if (name == "SYN") return simnet::syn_spec();
+  if (name == "LIG") return simnet::lig_spec();
+  if (name == "STA") return simnet::sta_spec();
+  throw std::invalid_argument("unknown dataset '" + name +
+                              "' (expected SYN, LIG or STA)");
+}
+
+}  // namespace
+
+const char* usage() { return kUsage; }
+
+int cmd_simulate(const Args& args) {
+  const std::string dataset = args.get_or("dataset", "SYN");
+  const simnet::DatasetSpec spec = spec_by_name(dataset);
+  simnet::DatasetConfig config;
+  config.scale = args.get_double("scale", 0.001);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  config.inject_faults = !args.has("no-faults");
+  const std::size_t journeys =
+      static_cast<std::size_t>(args.get_int("journeys", 1));
+  const std::string prefix = args.get_or("out", dataset);
+  const std::string catalog_path = args.get_or("catalog", prefix + ".ivsdb");
+  warn_unused(args);
+
+  const simnet::Fleet fleet = simnet::make_fleet(journeys, spec, config);
+  signaldb::save_catalog(fleet.catalog, catalog_path);
+  std::fprintf(stderr, "catalog: %s (%zu messages, %zu signals)\n",
+               catalog_path.c_str(), fleet.catalog.num_messages(),
+               fleet.catalog.num_signals());
+  for (std::size_t j = 0; j < fleet.journeys.size(); ++j) {
+    const std::string path =
+        prefix + "_J" + std::to_string(j + 1) + ".ivt";
+    tracefile::save_trace(fleet.journeys[j], path);
+    std::fprintf(stderr, "journey %zu: %s (%zu records, %.1f s)\n", j + 1,
+                 path.c_str(), fleet.journeys[j].size(),
+                 static_cast<double>(fleet.journeys[j].duration_ns()) / 1e9);
+  }
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const tracefile::Trace trace = tracefile::load_trace(args.require("trace"));
+  const auto catalog_path = args.get("catalog");
+  warn_unused(args);
+
+  const tracefile::TraceStats stats = tracefile::compute_stats(trace);
+  std::printf("vehicle      : %s\n", trace.vehicle.c_str());
+  std::printf("journey      : %s\n", trace.journey.c_str());
+  std::printf("records      : %zu\n", stats.num_records);
+  std::printf("duration     : %.3f s\n",
+              static_cast<double>(stats.duration_ns) / 1e9);
+  std::printf("time ordered : %s\n", trace.is_time_ordered() ? "yes" : "no");
+  std::printf("\nrecords per channel:\n");
+  for (const auto& [bus, count] : stats.records_per_bus) {
+    std::printf("  %-12s %10zu\n", bus.c_str(), count);
+  }
+  std::printf("\nmessage types: %zu\n", stats.records_per_message.size());
+
+  if (catalog_path) {
+    const signaldb::Catalog catalog = signaldb::load_catalog(*catalog_path);
+    std::size_t known = 0;
+    std::size_t unknown = 0;
+    for (const auto& [m_id, count] : stats.records_per_message) {
+      bool found = false;
+      for (const auto& bus : catalog.bus_names()) {
+        if (catalog.find_message(bus, m_id) != nullptr) {
+          found = true;
+          break;
+        }
+      }
+      (found ? known : unknown) += count;
+    }
+    std::printf("\ncatalog coverage: %zu records documented, %zu unknown\n",
+                known, unknown);
+  }
+  return 0;
+}
+
+int cmd_catalog(const Args& args) {
+  const signaldb::Catalog catalog = signaldb::load_catalog(args.require("file"));
+  warn_unused(args);
+  std::printf("messages: %zu, signals: %zu\n", catalog.num_messages(),
+              catalog.num_signals());
+  std::printf("buses:");
+  for (const std::string& bus : catalog.bus_names()) {
+    std::printf(" %s", bus.c_str());
+  }
+  std::printf("\n\n%-24s %-8s %6s %6s %8s %10s\n", "message", "bus", "id",
+              "size", "signals", "protocol");
+  for (const signaldb::MessageSpec& m : catalog.messages()) {
+    std::printf("%-24s %-8s %6lld %6zu %8zu %10s\n", m.name.c_str(),
+                m.bus.c_str(), static_cast<long long>(m.message_id),
+                m.payload_size, m.signals.size(),
+                std::string(protocol::to_string(m.protocol)).c_str());
+  }
+  return 0;
+}
+
+int cmd_extract(const Args& args) {
+  const tracefile::Trace trace = tracefile::load_trace(args.require("trace"));
+  const signaldb::Catalog catalog = load_catalog_arg(args, "catalog");
+  const std::vector<std::string> signals = args.get_list("signals");
+  const std::string out_path = args.require("out");
+  dataflow::EngineConfig engine_config;
+  engine_config.workers =
+      static_cast<std::size_t>(args.get_int("workers", 0));
+  core::InterpretOptions options;
+  options.catalog = &catalog;
+  options.skip_error_frames = args.has("skip-error-frames");
+  warn_unused(args);
+
+  dataflow::Engine engine(engine_config);
+  const auto kb =
+      tracefile::to_kb_table(trace, engine.default_partitions());
+  const auto urel = signals.empty()
+                        ? core::make_full_urel_table(catalog)
+                        : core::make_urel_table(catalog, signals);
+  const auto ks = core::extract_signals(engine, kb, urel, options);
+  write_table_arg(ks, out_path);
+  std::fprintf(stderr, "extracted %zu signal instances from %zu records -> %s\n",
+               ks.num_rows(), kb.num_rows(), out_path.c_str());
+  std::printf("%s",
+              dataflow::to_display_string(dataflow::summarize(engine, ks))
+                  .c_str());
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const tracefile::Trace trace = tracefile::load_trace(args.require("trace"));
+  const signaldb::Catalog catalog = load_catalog_arg(args, "catalog");
+
+  core::PipelineConfig config;
+  config.signals = args.get_list("signals");
+  config.classifier.rate_threshold_hz = args.get_double("rate-threshold", 5.0);
+  if (args.has("no-reduction")) config.constraints.clear();
+  for (const std::string& name : args.get_list("extensions")) {
+    if (name == "gap") {
+      config.extensions.push_back(core::gap_extension());
+    } else if (name == "cycle_violation") {
+      config.extensions.push_back(core::cycle_violation_extension(1.5));
+    } else if (name == "derivative") {
+      config.extensions.push_back(core::derivative_extension());
+    } else {
+      throw std::invalid_argument("unknown extension '" + name +
+                                  "' (gap, cycle_violation, derivative)");
+    }
+  }
+  dataflow::EngineConfig engine_config;
+  engine_config.workers =
+      static_cast<std::size_t>(args.get_int("workers", 0));
+  const std::string report_kind = args.get_or("report", "text");
+  const auto state_path = args.get("state");
+  const auto krep_path = args.get("krep");
+  warn_unused(args);
+
+  dataflow::Engine engine(engine_config);
+  const core::Pipeline pipeline(catalog, config);
+  const auto kb =
+      tracefile::to_kb_table(trace, engine.default_partitions());
+  const core::PipelineResult result = pipeline.run(engine, kb);
+
+  if (state_path) write_table_arg(result.state, *state_path);
+  if (krep_path) write_table_arg(result.krep, *krep_path);
+
+  if (report_kind == "json") {
+    std::printf("%s", core::report_to_json(result).c_str());
+  } else if (report_kind == "text") {
+    std::printf("%s", core::report_to_text(result).c_str());
+  } else {
+    throw std::invalid_argument("unknown report kind '" + report_kind + "'");
+  }
+  return 0;
+}
+
+int cmd_mine(const Args& args) {
+  const tracefile::Trace trace = tracefile::load_trace(args.require("trace"));
+  const signaldb::Catalog catalog = load_catalog_arg(args, "catalog");
+
+  core::PipelineConfig config;
+  config.signals = args.get_list("signals");
+  config.classifier.rate_threshold_hz = args.get_double("rate-threshold", 5.0);
+  config.extensions = {core::cycle_violation_extension(1.5)};
+  dataflow::EngineConfig engine_config;
+  engine_config.workers =
+      static_cast<std::size_t>(args.get_int("workers", 0));
+  const std::size_t top_k =
+      static_cast<std::size_t>(args.get_int("top-k", 10));
+  const double rare_probability =
+      args.get_double("rare-probability", 0.05);
+  const double min_support = args.get_double("min-support", 0.1);
+  const double min_confidence = args.get_double("min-confidence", 0.9);
+  std::vector<std::string> rule_columns = args.get_list("rule-columns");
+  const auto dot_path = args.get("dot");
+  warn_unused(args);
+
+  dataflow::Engine engine(engine_config);
+  const core::Pipeline pipeline(catalog, config);
+  const core::PipelineResult result = pipeline.run(
+      engine, tracefile::to_kb_table(trace, engine.default_partitions()));
+  std::printf("%s\n", core::report_summary_line(result).c_str());
+
+  // 1. Element anomalies.
+  apps::AnomalyConfig anomaly_config;
+  anomaly_config.top_k = top_k;
+  std::printf("\n== top %zu element anomalies ==\n", top_k);
+  for (const apps::Anomaly& a :
+       apps::detect_element_anomalies(result.krep, anomaly_config)) {
+    std::printf("  sev %6.2f  t=%10.3fs  %-20s %s\n", a.severity,
+                static_cast<double>(a.t_ns) / 1e9, a.signal.c_str(),
+                a.description.c_str());
+  }
+
+  // 2. Transition graph of the first multi-state γ signal.
+  std::string graph_signal;
+  for (const core::SequenceReport& report : result.sequences) {
+    if (report.classification.branch == core::Branch::Gamma &&
+        report.classification.criteria.z_num > 2 &&
+        result.state.schema().contains(report.s_id)) {
+      graph_signal = report.s_id;
+      break;
+    }
+  }
+  if (!graph_signal.empty()) {
+    const auto graph =
+        apps::TransitionGraph::from_column(result.state, graph_signal);
+    std::printf("\n== rare transitions of '%s' (p <= %.3f) ==\n",
+                graph_signal.c_str(), rare_probability);
+    for (const apps::TransitionEdge& edge :
+         graph.rare_transitions(rare_probability)) {
+      std::printf("  %-16s -> %-16s p=%.4f (x%zu)\n", edge.from.c_str(),
+                  edge.to.c_str(), edge.probability, edge.count);
+    }
+    if (dot_path) {
+      std::ofstream dot(*dot_path, std::ios::binary);
+      if (!dot) throw std::runtime_error("cannot open: " + *dot_path);
+      dot << graph.to_dot(rare_probability);
+      std::fprintf(stderr, "transition graph written to %s\n",
+                   dot_path->c_str());
+    }
+  }
+
+  // 3. Association rules over a manageable column subset.
+  if (rule_columns.empty()) {
+    for (std::size_t c = 0;
+         c < result.state.schema().size() && rule_columns.size() < 6; ++c) {
+      rule_columns.push_back(result.state.schema().field(c).name);
+    }
+  } else {
+    rule_columns.insert(rule_columns.begin(), "t");
+  }
+  const auto trimmed = dataflow::project(engine, result.state, rule_columns);
+  apps::MinerConfig miner;
+  miner.min_support = min_support;
+  miner.min_confidence = min_confidence;
+  miner.max_itemset_size = 2;
+  const auto rules = apps::mine_rules(trimmed, miner);
+  std::printf("\n== association rules (top %zu of %zu) ==\n",
+              std::min<std::size_t>(top_k, rules.size()), rules.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(top_k, rules.size());
+       ++i) {
+    std::printf("  %s\n", rules[i].to_display_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_export_asc(const Args& args) {
+  const tracefile::Trace trace = tracefile::load_trace(args.require("trace"));
+  const auto out_path = args.get("out");
+  warn_unused(args);
+  if (out_path) {
+    std::ofstream out(*out_path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open for write: " + *out_path);
+    tracefile::export_asc(trace, out);
+  } else {
+    tracefile::export_asc(trace, std::cout);
+  }
+  return 0;
+}
+
+int run_cli(int argc, const char* const* argv) {
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "inspect") return cmd_inspect(args);
+    if (command == "catalog") return cmd_catalog(args);
+    if (command == "extract") return cmd_extract(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "mine") return cmd_mine(args);
+    if (command == "export-asc") return cmd_export_asc(args);
+    if (command == "help" || command == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
+                 kUsage);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace ivt::cli

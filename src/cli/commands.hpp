@@ -1,0 +1,32 @@
+// Subcommands of the `ivt` tool.
+//
+//   ivt simulate  — generate SYN/LIG/STA-style traces + catalog files
+//   ivt inspect   — trace statistics (and catalog coverage)
+//   ivt catalog   — validate and summarize a catalog file
+//   ivt extract   — Algorithm 1 lines 3–6: trace -> K_s (CSV / .ivtbl)
+//   ivt run       — the full pipeline: trace -> R_out + state table
+//   ivt mine      — Sec. 4.4 applications on a preprocessed journey
+//   ivt export-asc — textual trace dump
+//
+// Each command returns a process exit code; diagnostics go to stderr.
+#pragma once
+
+#include "cli/args.hpp"
+
+namespace ivt::cli {
+
+int cmd_simulate(const Args& args);
+int cmd_inspect(const Args& args);
+int cmd_catalog(const Args& args);
+int cmd_extract(const Args& args);
+int cmd_run(const Args& args);
+int cmd_mine(const Args& args);
+int cmd_export_asc(const Args& args);
+
+/// Dispatch on argv[1]; prints usage and returns 2 for unknown commands.
+int run_cli(int argc, const char* const* argv);
+
+/// Full usage text.
+const char* usage();
+
+}  // namespace ivt::cli

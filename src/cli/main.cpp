@@ -1,0 +1,3 @@
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) { return ivt::cli::run_cli(argc, argv); }

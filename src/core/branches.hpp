@@ -1,0 +1,68 @@
+// Type-dependent processing branches (paper Sec. 4.2).
+//
+//   α: numeric — outlier removal, smoothing, SWAB segmentation, SAX
+//      symbolization; yields one (trend, symbol) tuple per segment, with
+//      the removed outliers merged back as potential errors.
+//   β: ordinal — split into functional part K_F and validity part K_V,
+//      numeric translation, outlier check, gradient trend per element.
+//   γ: binary / nominal — no transformation; β-style validity split only.
+//
+// All branches emit the homogeneous krep_schema format, so the merged
+// output can be processed uniformly (paper Sec. 4.3).
+#pragma once
+
+#include "algo/outliers.hpp"
+#include "algo/swab.hpp"
+#include "core/classify.hpp"
+#include "core/sequence.hpp"
+#include "dataflow/table.hpp"
+
+namespace ivt::core {
+
+struct BranchConfig {
+  algo::OutlierConfig outlier;
+  /// Moving-average half window applied before segmentation (α).
+  std::size_t smoothing_half_window = 2;
+  /// SWAB per-segment error budget, in units of the sequence variance:
+  /// max_error = swab_error_scale × var(clean values).
+  double swab_error_scale = 5.0;
+  std::size_t swab_buffer = 120;
+  /// SAX alphabet size (2..16); 5 gives the verylow..veryhigh levels.
+  std::size_t sax_alphabet = 5;
+  /// Steady-trend threshold as a fraction of the value stddev per second.
+  double steady_slope_fraction = 0.05;
+};
+
+struct BranchStats {
+  std::size_t states = 0;     ///< regular symbolized elements emitted
+  std::size_t outliers = 0;   ///< preserved potential errors
+  std::size_t validity = 0;   ///< validity elements (K_V)
+  std::size_t segments = 0;   ///< SWAB segments (α only)
+};
+
+/// Branch α.
+dataflow::Table process_alpha(const ConstraintContext& context,
+                              const BranchConfig& config,
+                              BranchStats* stats = nullptr);
+
+/// Branch β.
+dataflow::Table process_beta(const ConstraintContext& context,
+                             const BranchConfig& config,
+                             BranchStats* stats = nullptr);
+
+/// Branch γ.
+dataflow::Table process_gamma(const ConstraintContext& context,
+                              const BranchConfig& config,
+                              BranchStats* stats = nullptr);
+
+/// Dispatch on a classification.
+dataflow::Table process_by_branch(Branch branch,
+                                  const ConstraintContext& context,
+                                  const BranchConfig& config,
+                                  BranchStats* stats = nullptr);
+
+/// Human-readable SAX level name for symbol index `region` of an alphabet
+/// of `alphabet_size` (e.g. 5 -> verylow/low/mid/high/veryhigh).
+std::string sax_level_name(std::size_t region, std::size_t alphabet_size);
+
+}  // namespace ivt::core

@@ -1,0 +1,127 @@
+#include "core/classify.hpp"
+
+#include <unordered_set>
+
+namespace ivt::core {
+
+std::string_view to_string(DataType type) {
+  switch (type) {
+    case DataType::Numeric:
+      return "numeric";
+    case DataType::Ordinal:
+      return "ordinal";
+    case DataType::Binary:
+      return "binary";
+    case DataType::Nominal:
+      return "nominal";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Branch branch) {
+  switch (branch) {
+    case Branch::Alpha:
+      return "alpha";
+    case Branch::Beta:
+      return "beta";
+    case Branch::Gamma:
+      return "gamma";
+  }
+  return "unknown";
+}
+
+Classification map_criteria(const Criteria& z) {
+  Classification c;
+  c.criteria = z;
+  // Paper Table 3, row by row.
+  if (z.z_type == 'N' && z.z_rate == 'H' && z.z_num > 2 && z.z_val) {
+    c.data_type = DataType::Numeric;
+    c.branch = Branch::Alpha;
+  } else if (z.z_type == 'N' && z.z_rate == 'L' && z.z_num > 2 && z.z_val) {
+    c.data_type = DataType::Ordinal;
+    c.branch = Branch::Beta;
+  } else if (z.z_type == 'S' && z.z_num > 2 && z.z_val) {
+    c.data_type = DataType::Ordinal;
+    c.branch = Branch::Beta;
+  } else if (z.z_type == 'S' && z.z_num == 2 && z.z_val) {
+    c.data_type = DataType::Binary;
+    c.branch = Branch::Gamma;
+  } else if (z.z_type == 'S' && z.z_num > 2 && !z.z_val) {
+    c.data_type = DataType::Nominal;
+    c.branch = Branch::Gamma;
+  } else if (z.z_type == 'N' && z.z_num == 2 && z.z_val) {
+    c.data_type = DataType::Binary;
+    c.branch = Branch::Gamma;
+  } else {
+    // Not listed (e.g. constant sequences with z_num <= 1): treat as
+    // nominal, processed without transformation.
+    c.data_type = DataType::Nominal;
+    c.branch = Branch::Gamma;
+  }
+  return c;
+}
+
+Classification classify_sequence(const ConstraintContext& context,
+                                 const ClassifierConfig& config) {
+  const SequenceData& d = context.data;
+  Criteria z;
+
+  // z_type: a sequence whose instances carry labels is a string sequence.
+  bool any_str = false;
+  for (std::uint8_t h : d.has_str) {
+    if (h != 0) {
+      any_str = true;
+      break;
+    }
+  }
+  z.z_type = any_str ? 'S' : 'N';
+
+  // z_rate (Eq. 2): values per second of active duration vs threshold T.
+  const double duration = d.duration_s();
+  const double rate =
+      duration > 0.0 ? static_cast<double>(d.size()) / duration : 0.0;
+  z.z_rate = rate > config.rate_threshold_hz ? 'H' : 'L';
+
+  // z_num: distinct *functional* values (validity labels excluded).
+  auto is_validity_label = [&](const std::string& label) {
+    if (context.spec == nullptr) return false;
+    for (const signaldb::ValueTableEntry& e : context.spec->value_table) {
+      if (e.label == label) return e.validity;
+    }
+    return false;
+  };
+  if (any_str) {
+    std::unordered_set<std::string> distinct;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (d.has_str[i] == 0) continue;
+      if (is_validity_label(d.v_str[i])) continue;
+      distinct.insert(d.v_str[i]);
+      if (distinct.size() >= config.max_distinct_tracked) break;
+    }
+    z.z_num = distinct.size();
+  } else {
+    std::unordered_set<double> distinct;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (d.has_num[i] == 0) continue;
+      distinct.insert(d.v_num[i]);
+      if (distinct.size() >= config.max_distinct_tracked) break;
+    }
+    z.z_num = distinct.size();
+  }
+
+  // z_val: numeric values are inherently comparable; string values carry a
+  // valence when the catalog documents an ordering, and two-valued string
+  // signals (ON/OFF-like) are treated as comparable per Table 3's binary
+  // row.
+  if (any_str) {
+    const bool ordered =
+        context.spec != nullptr && context.spec->ordered_values;
+    z.z_val = ordered || z.z_num <= 2;
+  } else {
+    z.z_val = true;
+  }
+
+  return map_criteria(z);
+}
+
+}  // namespace ivt::core

@@ -1,0 +1,53 @@
+// Type-dependent classification (paper Sec. 4.2, Table 3).
+//
+// Each reduced sequence K_red is classified by the criteria
+// Z = (z_type, z_rate, z_num, z_val) and routed to a processing branch:
+//   α — high-rate numeric, β — ordinal, γ — binary / nominal.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/reduce.hpp"
+#include "core/sequence.hpp"
+
+namespace ivt::core {
+
+enum class DataType : std::uint8_t { Numeric, Ordinal, Binary, Nominal };
+enum class Branch : std::uint8_t { Alpha, Beta, Gamma };
+
+std::string_view to_string(DataType type);
+std::string_view to_string(Branch branch);
+
+/// The classification criteria Z.
+struct Criteria {
+  char z_type = 'N';        ///< 'N' numeric or 'S' string
+  char z_rate = 'L';        ///< 'H' high rate or 'L' low rate
+  std::size_t z_num = 0;    ///< number of distinct functional values
+  bool z_val = true;        ///< values carry a comparable valence
+};
+
+struct Classification {
+  Criteria criteria;
+  DataType data_type = DataType::Nominal;
+  Branch branch = Branch::Gamma;
+};
+
+struct ClassifierConfig {
+  /// The rate threshold T of Eq. (2) — domain knowledge.
+  double rate_threshold_hz = 5.0;
+  /// Distinct-value counting stops here (only =2 vs >2 matters).
+  std::size_t max_distinct_tracked = 64;
+};
+
+/// Paper Table 3: map criteria to (data type, branch). Combinations not
+/// listed in the table fall back to (Nominal, γ).
+Classification map_criteria(const Criteria& criteria);
+
+/// Compute Z for a sequence and classify it. `spec` supplies the
+/// z_val domain knowledge (ordered_values) and identifies validity labels
+/// excluded from the functional distinct-value count; it may be null.
+Classification classify_sequence(const ConstraintContext& context,
+                                 const ClassifierConfig& config = {});
+
+}  // namespace ivt::core

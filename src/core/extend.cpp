@@ -1,0 +1,103 @@
+#include "core/extend.hpp"
+
+#include <cmath>
+
+#include "core/schemas.hpp"
+
+namespace ivt::core {
+
+ExtensionEmitter::ExtensionEmitter(std::string w_id, std::string bus)
+    : w_id_(std::move(w_id)),
+      bus_(std::move(bus)),
+      builder_(krep_schema(), 0) {}
+
+void ExtensionEmitter::emit(std::int64_t t_ns, double v_num,
+                            std::string value_text) {
+  dataflow::Partition& dst = builder_.current_partition();
+  dst.columns[0].append_int64(t_ns);
+  dst.columns[1].append_string(w_id_);
+  dst.columns[2].append_string(std::move(value_text));
+  dst.columns[3].append_float64(v_num);
+  dst.columns[4].append_string(kElementExtension);
+  dst.columns[5].append_string(bus_);
+  builder_.commit_row();
+  ++count_;
+}
+
+dataflow::Table ExtensionEmitter::build() { return builder_.build(); }
+
+std::vector<dataflow::Table> apply_extensions(
+    const std::vector<ExtensionRule>& rules,
+    const ConstraintContext& context) {
+  std::vector<dataflow::Table> tables;
+  for (const ExtensionRule& rule : rules) {
+    if (rule.signal_pattern != "*" &&
+        rule.signal_pattern != context.data.s_id) {
+      continue;
+    }
+    if (!rule.apply) continue;
+    ExtensionEmitter emitter(context.data.s_id + "." + rule.name,
+                             context.data.bus);
+    rule.apply(context, emitter);
+    if (emitter.count() > 0) tables.push_back(emitter.build());
+  }
+  return tables;
+}
+
+ExtensionRule gap_extension() {
+  ExtensionRule rule;
+  rule.name = "gap";
+  rule.apply = [](const ConstraintContext& ctx, ExtensionEmitter& out) {
+    const SequenceData& d = ctx.data;
+    for (std::size_t i = 1; i < d.size(); ++i) {
+      const double gap_s = static_cast<double>(d.t[i] - d.t[i - 1]) / 1e9;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", gap_s);
+      out.emit(d.t[i], gap_s, buf);
+    }
+  };
+  return rule;
+}
+
+ExtensionRule cycle_violation_extension(double tolerance) {
+  ExtensionRule rule;
+  rule.name = "cycle_violation";
+  rule.apply = [tolerance](const ConstraintContext& ctx,
+                           ExtensionEmitter& out) {
+    if (ctx.spec == nullptr || ctx.spec->expected_cycle_ns <= 0) return;
+    const SequenceData& d = ctx.data;
+    const double limit =
+        tolerance * static_cast<double>(ctx.spec->expected_cycle_ns);
+    for (std::size_t i = 1; i < d.size(); ++i) {
+      const double gap = static_cast<double>(d.t[i] - d.t[i - 1]);
+      if (gap > limit) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "violation gap=%.4gs expected=%.4gs",
+                      gap / 1e9,
+                      static_cast<double>(ctx.spec->expected_cycle_ns) / 1e9);
+        out.emit(d.t[i], gap / 1e9, buf);
+      }
+    }
+  };
+  return rule;
+}
+
+ExtensionRule derivative_extension() {
+  ExtensionRule rule;
+  rule.name = "derivative";
+  rule.apply = [](const ConstraintContext& ctx, ExtensionEmitter& out) {
+    const SequenceData& d = ctx.data;
+    for (std::size_t i = 1; i < d.size(); ++i) {
+      if (d.has_num[i] == 0 || d.has_num[i - 1] == 0) continue;
+      const double dt = static_cast<double>(d.t[i] - d.t[i - 1]) / 1e9;
+      if (dt <= 0.0) continue;
+      const double dv = (d.v_num[i] - d.v_num[i - 1]) / dt;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", dv);
+      out.emit(d.t[i], dv, buf);
+    }
+  };
+  return rule;
+}
+
+}  // namespace ivt::core

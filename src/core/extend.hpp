@@ -1,0 +1,68 @@
+// Extension rules (Algorithm 1 line 12; paper Sec. 4.1 "Extension Rules").
+//
+// Extensions associate meta-data with a reduced sequence: each rule emits
+// new sequence elements ŵ = (v, w_id) derived from the signal's instances
+// and domain knowledge (e.g. the temporal gap to the previous element, or
+// cycle-time-violation flags). Extension elements use w_id =
+// "<s_id>.<rule name>" and land in K_rep with element_kind = "extension".
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/reduce.hpp"
+#include "core/sequence.hpp"
+#include "dataflow/table.hpp"
+
+namespace ivt::core {
+
+/// Collects the ŵ instances a rule produces.
+class ExtensionEmitter {
+ public:
+  ExtensionEmitter(std::string w_id, std::string bus);
+
+  /// Emit one extension element at time t.
+  void emit(std::int64_t t_ns, double v_num, std::string value_text);
+
+  [[nodiscard]] const std::string& w_id() const { return w_id_; }
+  /// Finish and return the collected elements as a krep_schema table.
+  [[nodiscard]] dataflow::Table build();
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  std::string w_id_;
+  std::string bus_;
+  dataflow::TableBuilder builder_;
+  std::size_t count_ = 0;
+};
+
+struct ExtensionRule {
+  /// Rule name; the emitted w_id is "<s_id>.<name>".
+  std::string name;
+  /// Exact signal name or "*".
+  std::string signal_pattern = "*";
+  std::function<void(const ConstraintContext&, ExtensionEmitter&)> apply;
+};
+
+/// Run all matching rules over one sequence; returns one table per rule
+/// that produced at least one element.
+std::vector<dataflow::Table> apply_extensions(
+    const std::vector<ExtensionRule>& rules, const ConstraintContext& context);
+
+// ---- Built-in rules -------------------------------------------------------
+
+/// Gap to the previous instance, in seconds (paper Table 2's wposGap).
+ExtensionRule gap_extension();
+
+/// Emits an element wherever the gap to the previous instance exceeds
+/// `tolerance ×` the documented expected cycle time (paper Sec. 4.4:
+/// "by extending traces with expected cycle times, locations of violations
+/// of such times can be detected"). Signals without a documented cycle
+/// produce nothing.
+ExtensionRule cycle_violation_extension(double tolerance = 1.5);
+
+/// Discrete time-derivative of the numeric value (units/second).
+ExtensionRule derivative_extension();
+
+}  // namespace ivt::core

@@ -1,0 +1,411 @@
+#include "core/interpret.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/schemas.hpp"
+#include "core/urel.hpp"
+#include "dataflow/ops.hpp"
+#include "protocol/bitcodec.hpp"
+#include "tracefile/trace.hpp"
+
+namespace ivt::core {
+
+namespace {
+
+using dataflow::Engine;
+using dataflow::Partition;
+using dataflow::RowView;
+using dataflow::Schema;
+using dataflow::Table;
+using dataflow::Value;
+using dataflow::ValueType;
+
+/// Column indices of the joined table (left K_b fields + U_rel payload
+/// fields), resolved once per operation.
+struct JoinCols {
+  std::size_t t, l, b_id, m_id, m_info;
+  std::size_t s_id, start_bit, length, byte_order, value_kind, scale, offset;
+  std::size_t categorical, presence_always, presence_start, presence_length;
+  std::size_t presence_order, presence_equals;
+
+  explicit JoinCols(const Schema& schema)
+      : t(schema.require("t")),
+        l(schema.require("l")),
+        b_id(schema.require("b_id")),
+        m_id(schema.require("m_id")),
+        m_info(schema.require("m_info")),
+        s_id(schema.require("s_id")),
+        start_bit(schema.require("start_bit")),
+        length(schema.require("length")),
+        byte_order(schema.require("byte_order")),
+        value_kind(schema.require("value_kind")),
+        scale(schema.require("scale")),
+        offset(schema.require("offset")),
+        categorical(schema.require("categorical")),
+        presence_always(schema.require("presence_always")),
+        presence_start(schema.require("presence_start")),
+        presence_length(schema.require("presence_length")),
+        presence_order(schema.require("presence_order")),
+        presence_equals(schema.require("presence_equals")) {}
+};
+
+protocol::ByteOrder order_from(std::int64_t code) {
+  return code != 0 ? protocol::ByteOrder::Motorola
+                   : protocol::ByteOrder::Intel;
+}
+
+/// Label lookup broadcast: s_id -> spec (for value tables).
+std::unordered_map<std::string, const signaldb::SignalSpec*> broadcast_specs(
+    const signaldb::Catalog* catalog) {
+  std::unordered_map<std::string, const signaldb::SignalSpec*> map;
+  if (catalog == nullptr) return map;
+  for (const signaldb::MessageSpec& m : catalog->messages()) {
+    for (const signaldb::SignalSpec& s : m.signals) {
+      map.emplace(s.name, &s);
+    }
+  }
+  return map;
+}
+
+}  // namespace
+
+Table preselect(Engine& engine, const Table& kb, const Table& urel) {
+  // Broadcast the relevant (b_id, m_id) set and filter K_b row-wise.
+  struct KeyHash {
+    std::size_t operator()(const MessageKey& k) const {
+      return std::hash<std::string>{}(k.bus) * 31 +
+             std::hash<std::int64_t>{}(k.message_id);
+    }
+  };
+  std::unordered_set<MessageKey, KeyHash> keys;
+  for (MessageKey& key : relevant_message_keys(urel)) {
+    keys.insert(std::move(key));
+  }
+  const std::size_t b_col = kb.schema().require("b_id");
+  const std::size_t m_col = kb.schema().require("m_id");
+  return dataflow::filter(
+      engine, kb,
+      [&keys, b_col, m_col](const RowView& row) {
+        return keys.contains(
+            MessageKey{row.string_at(b_col), row.int64_at(m_col)});
+      },
+      "preselect");
+}
+
+namespace {
+
+/// One translation tuple, decoded out of the U_rel table for the fused
+/// probe (broadcast side of the join).
+struct BroadcastSpec {
+  std::string s_id;
+  std::uint16_t start_bit;
+  std::uint16_t length;
+  protocol::ByteOrder order;
+  signaldb::ValueKind value_kind;
+  double scale;
+  double offset;
+  bool categorical;
+  bool presence_always;
+  std::uint16_t presence_start;
+  std::uint16_t presence_length;
+  protocol::ByteOrder presence_order;
+  std::uint64_t presence_equals;
+  const signaldb::SignalSpec* spec = nullptr;  ///< label lookup (may be null)
+};
+
+std::unordered_map<std::string, std::vector<BroadcastSpec>>
+broadcast_urel(const Table& urel, const signaldb::Catalog* catalog) {
+  const auto specs = broadcast_specs(catalog);
+  std::unordered_map<std::string, std::vector<BroadcastSpec>> map;
+  const Schema& schema = urel.schema();
+  const std::size_t sid = schema.require("s_id");
+  const std::size_t bus = schema.require("u_b_id");
+  const std::size_t mid = schema.require("u_m_id");
+  const std::size_t start = schema.require("start_bit");
+  const std::size_t length = schema.require("length");
+  const std::size_t order = schema.require("byte_order");
+  const std::size_t kind = schema.require("value_kind");
+  const std::size_t scale = schema.require("scale");
+  const std::size_t offset = schema.require("offset");
+  const std::size_t categorical = schema.require("categorical");
+  const std::size_t p_always = schema.require("presence_always");
+  const std::size_t p_start = schema.require("presence_start");
+  const std::size_t p_length = schema.require("presence_length");
+  const std::size_t p_order = schema.require("presence_order");
+  const std::size_t p_equals = schema.require("presence_equals");
+  urel.for_each_row([&](const RowView& row) {
+    BroadcastSpec bs;
+    bs.s_id = row.string_at(sid);
+    bs.start_bit = static_cast<std::uint16_t>(row.int64_at(start));
+    bs.length = static_cast<std::uint16_t>(row.int64_at(length));
+    bs.order = order_from(row.int64_at(order));
+    bs.value_kind =
+        static_cast<signaldb::ValueKind>(row.int64_at(kind));
+    bs.scale = row.float64_at(scale);
+    bs.offset = row.float64_at(offset);
+    bs.categorical = row.int64_at(categorical) != 0;
+    bs.presence_always = row.int64_at(p_always) != 0;
+    bs.presence_start = static_cast<std::uint16_t>(row.int64_at(p_start));
+    bs.presence_length = static_cast<std::uint16_t>(row.int64_at(p_length));
+    bs.presence_order = order_from(row.int64_at(p_order));
+    bs.presence_equals =
+        static_cast<std::uint64_t>(row.int64_at(p_equals));
+    const auto it = specs.find(bs.s_id);
+    bs.spec = it != specs.end() ? it->second : nullptr;
+    map[row.string_at(bus) + '\x1F' + std::to_string(row.int64_at(mid))]
+        .push_back(std::move(bs));
+  });
+  return map;
+}
+
+/// Fused join ⨝ + u1 + u2: probe each K_pre row against the broadcast
+/// U_comb and emit its signal instances directly, without materializing
+/// the intermediate K_join table (the equivalent of Spark pipelining the
+/// join into the following map stages).
+Table interpret_fused(Engine& engine, const Table& kpre, const Table& urel,
+                      const InterpretOptions& options) {
+  const auto broadcast = broadcast_urel(urel, options.catalog);
+  const Schema& schema = kpre.schema();
+  const std::size_t t_col = schema.require("t");
+  const std::size_t l_col = schema.require("l");
+  const std::size_t b_col = schema.require("b_id");
+  const std::size_t m_col = schema.require("m_id");
+  const std::size_t info_col = schema.require("m_info");
+  const bool skip_errors = options.skip_error_frames;
+
+  return dataflow::map_rows(
+      engine, kpre, ks_schema(),
+      [&broadcast, t_col, l_col, b_col, m_col, info_col, skip_errors](
+          const RowView& row, Partition& out) {
+        const auto it = broadcast.find(
+            row.string_at(b_col) + '\x1F' +
+            std::to_string(row.int64_at(m_col)));
+        if (it == broadcast.end()) return;
+        if (skip_errors) {
+          const tracefile::MInfo info =
+              tracefile::parse_m_info(row.string_at(info_col));
+          if ((info.flags & tracefile::TraceRecord::kFlagErrorFrame) != 0) {
+            return;
+          }
+        }
+        const std::string& payload = row.string_at(l_col);
+        const auto span = std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(payload.data()),
+            payload.size());
+        const std::int64_t t = row.int64_at(t_col);
+        for (const BroadcastSpec& bs : it->second) {
+          if (!bs.presence_always) {
+            if (!protocol::bit_field_fits(span.size(), bs.presence_start,
+                                          bs.presence_length,
+                                          bs.presence_order)) {
+              continue;
+            }
+            const std::uint64_t selector = protocol::extract_bits(
+                span, bs.presence_start, bs.presence_length,
+                bs.presence_order);
+            if (selector != bs.presence_equals) continue;
+          }
+          if (!protocol::bit_field_fits(span.size(), bs.start_bit, bs.length,
+                                        bs.order)) {
+            continue;
+          }
+          const std::uint64_t raw =
+              protocol::extract_bits(span, bs.start_bit, bs.length, bs.order);
+          double raw_value = 0.0;
+          switch (bs.value_kind) {
+            case signaldb::ValueKind::Unsigned:
+              raw_value = static_cast<double>(raw);
+              break;
+            case signaldb::ValueKind::Signed:
+              raw_value = static_cast<double>(
+                  protocol::sign_extend(raw, bs.length));
+              break;
+            case signaldb::ValueKind::Float32:
+              raw_value = static_cast<double>(protocol::raw_to_float32(
+                  static_cast<std::uint32_t>(raw)));
+              break;
+            case signaldb::ValueKind::Float64:
+              raw_value = protocol::raw_to_float64(raw);
+              break;
+          }
+          out.columns[0].append_int64(t);
+          out.columns[1].append_string(bs.s_id);
+          out.columns[2].append_float64(bs.scale * raw_value + bs.offset);
+          if (bs.categorical) {
+            const signaldb::ValueTableEntry* entry =
+                bs.spec != nullptr ? bs.spec->find_label(raw) : nullptr;
+            out.columns[3].append_string(
+                entry != nullptr ? entry->label
+                                 : "raw:" + std::to_string(raw));
+          } else {
+            out.columns[3].append_null();
+          }
+          out.columns[4].append_string(row.string_at(b_col));
+        }
+      },
+      "interpret_fused_join_u1u2");
+}
+
+}  // namespace
+
+Table interpret(Engine& engine, const Table& kpre, const Table& urel,
+                const InterpretOptions& options) {
+  if (!options.two_stage_interpretation) {
+    return interpret_fused(engine, kpre, urel, options);
+  }
+
+  Table joined = dataflow::hash_join(engine, kpre, urel, {"b_id", "m_id"},
+                                     {"u_b_id", "u_m_id"},
+                                     dataflow::JoinType::Inner, "join_urel");
+
+  const auto specs = broadcast_specs(options.catalog);
+  const bool skip_errors = options.skip_error_frames;
+
+  // Optional two-stage mode: F_u1 materializes the relevant payload bytes
+  // l_rel as an extra column first (Algorithm 1 line 5), then F_u2
+  // interprets them (line 6). The fused default applies u2(u1(row)) in one
+  // pass without materializing K_join2.
+  std::size_t lrel_col = 0;
+  if (options.two_stage_interpretation) {
+    const JoinCols cols(joined.schema());
+    joined = dataflow::with_column(
+        engine, joined, {"l_rel", ValueType::String},
+        [cols](const RowView& row) -> Value {
+          const std::string& payload = row.string_at(cols.l);
+          const auto span = std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(payload.data()),
+              payload.size());
+          const std::uint16_t start =
+              static_cast<std::uint16_t>(row.int64_at(cols.start_bit));
+          const std::uint16_t length =
+              static_cast<std::uint16_t>(row.int64_at(cols.length));
+          const protocol::ByteOrder order =
+              order_from(row.int64_at(cols.byte_order));
+          if (!protocol::bit_field_fits(span.size(), start, length, order)) {
+            return Value{};
+          }
+          const std::uint64_t raw =
+              protocol::extract_bits(span, start, length, order);
+          // l_rel rendered as 8 raw bytes little-endian.
+          std::string bytes(8, '\0');
+          for (int i = 0; i < 8; ++i) {
+            bytes[static_cast<std::size_t>(i)] =
+                static_cast<char>((raw >> (8 * i)) & 0xFF);
+          }
+          return Value{std::move(bytes)};
+        },
+        "u1_extract_lrel");
+    lrel_col = joined.schema().require("l_rel");
+  }
+
+  const JoinCols cols(joined.schema());
+  const bool two_stage = options.two_stage_interpretation;
+
+  return dataflow::map_rows(
+      engine, joined, ks_schema(),
+      [cols, &specs, skip_errors, two_stage, lrel_col](const RowView& row,
+                                                       Partition& out) {
+        if (skip_errors) {
+          const tracefile::MInfo info =
+              tracefile::parse_m_info(row.string_at(cols.m_info));
+          if ((info.flags & tracefile::TraceRecord::kFlagErrorFrame) != 0) {
+            return;
+          }
+        }
+        const std::string& payload = row.string_at(cols.l);
+        const auto span = std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(payload.data()),
+            payload.size());
+
+        // Presence condition (conditional members, e.g. SOME/IP).
+        if (row.int64_at(cols.presence_always) == 0) {
+          const std::uint16_t sel_start = static_cast<std::uint16_t>(
+              row.int64_at(cols.presence_start));
+          const std::uint16_t sel_len = static_cast<std::uint16_t>(
+              row.int64_at(cols.presence_length));
+          const protocol::ByteOrder sel_order =
+              order_from(row.int64_at(cols.presence_order));
+          if (!protocol::bit_field_fits(span.size(), sel_start, sel_len,
+                                        sel_order)) {
+            return;
+          }
+          const std::uint64_t selector =
+              protocol::extract_bits(span, sel_start, sel_len, sel_order);
+          if (selector !=
+              static_cast<std::uint64_t>(
+                  row.int64_at(cols.presence_equals))) {
+            return;
+          }
+        }
+
+        const std::uint16_t length =
+            static_cast<std::uint16_t>(row.int64_at(cols.length));
+        std::uint64_t raw = 0;
+        if (two_stage) {
+          if (row.is_null(lrel_col)) return;
+          const std::string& bytes = row.string_at(lrel_col);
+          for (int i = 0; i < 8; ++i) {
+            raw |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                       bytes[static_cast<std::size_t>(i)]))
+                   << (8 * i);
+          }
+        } else {
+          const std::uint16_t start =
+              static_cast<std::uint16_t>(row.int64_at(cols.start_bit));
+          const protocol::ByteOrder order =
+              order_from(row.int64_at(cols.byte_order));
+          if (!protocol::bit_field_fits(span.size(), start, length, order)) {
+            return;
+          }
+          raw = protocol::extract_bits(span, start, length, order);
+        }
+
+        double raw_value = 0.0;
+        switch (static_cast<signaldb::ValueKind>(
+            row.int64_at(cols.value_kind))) {
+          case signaldb::ValueKind::Unsigned:
+            raw_value = static_cast<double>(raw);
+            break;
+          case signaldb::ValueKind::Signed:
+            raw_value =
+                static_cast<double>(protocol::sign_extend(raw, length));
+            break;
+          case signaldb::ValueKind::Float32:
+            raw_value = static_cast<double>(
+                protocol::raw_to_float32(static_cast<std::uint32_t>(raw)));
+            break;
+          case signaldb::ValueKind::Float64:
+            raw_value = protocol::raw_to_float64(raw);
+            break;
+        }
+        const double physical =
+            row.float64_at(cols.scale) * raw_value +
+            row.float64_at(cols.offset);
+
+        const std::string& s_id = row.string_at(cols.s_id);
+        out.columns[0].append_int64(row.int64_at(cols.t));
+        out.columns[1].append_string(s_id);
+        out.columns[2].append_float64(physical);
+        if (row.int64_at(cols.categorical) != 0) {
+          const auto it = specs.find(s_id);
+          const signaldb::ValueTableEntry* entry =
+              it != specs.end() ? it->second->find_label(raw) : nullptr;
+          out.columns[3].append_string(entry != nullptr
+                                           ? entry->label
+                                           : "raw:" + std::to_string(raw));
+        } else {
+          out.columns[3].append_null();
+        }
+        out.columns[4].append_string(row.string_at(cols.b_id));
+      },
+      two_stage ? "u2_interpret" : "interpret_u1u2");
+}
+
+Table extract_signals(Engine& engine, const Table& kb, const Table& urel,
+                      const InterpretOptions& options) {
+  const Table kpre = preselect(engine, kb, urel);
+  return interpret(engine, kpre, urel, options);
+}
+
+}  // namespace ivt::core

@@ -1,0 +1,53 @@
+// Preselection + information interpretation (paper Sec. 3, Algorithm 1
+// lines 3–6).
+//
+// Preselection filters the raw byte trace K_b down to the message types
+// referenced by U_comb *before* any interpretation happens ("Interpretation
+// cost is kept low as relevant messages are filtered prior to
+// interpretation"). Interpretation joins U_comb onto the preselected rows
+// and applies the per-row mappings
+//   u1 : (l, u_info) -> l_rel          (relevant payload bytes)
+//   u2 : (l_rel, m_info, u_info) -> (t, (v, s_id))
+// yielding the signal-instance table K_s.
+#pragma once
+
+#include "dataflow/engine.hpp"
+#include "dataflow/table.hpp"
+#include "signaldb/catalog.hpp"
+
+namespace ivt::core {
+
+struct InterpretOptions {
+  /// Broadcast catalog used to resolve categorical labels (the Spark
+  /// equivalent is a broadcast variable). Without it, categorical values
+  /// decode as "raw:<n>".
+  const signaldb::Catalog* catalog = nullptr;
+  /// Drop records the monitor flagged as error frames.
+  bool skip_error_frames = false;
+  /// Execute the literal Algorithm 1 plan: materialize K_join via the
+  /// hash join (line 4), then run F_u1 (line 5) and F_u2 (line 6) as
+  /// separate engine stages. The default instead fuses the join probe and
+  /// both mappings into one pipelined stage — the same plan a Spark
+  /// optimizer produces (broadcast join + whole-stage codegen), avoiding
+  /// the K_join materialization that duplicates each payload once per
+  /// matched signal. Used by bench_ablation_join.
+  bool two_stage_interpretation = false;
+};
+
+/// Line 3: K_pre = σ_{(m_id,b_id) ∈ U_comb}(K_b).
+dataflow::Table preselect(dataflow::Engine& engine, const dataflow::Table& kb,
+                          const dataflow::Table& urel);
+
+/// Lines 4–6: K_join = K_pre ⋈ U_comb; K_s = F_u2(F_u1(K_join)).
+dataflow::Table interpret(dataflow::Engine& engine,
+                          const dataflow::Table& kpre,
+                          const dataflow::Table& urel,
+                          const InterpretOptions& options = {});
+
+/// Convenience: preselect + interpret.
+dataflow::Table extract_signals(dataflow::Engine& engine,
+                                const dataflow::Table& kb,
+                                const dataflow::Table& urel,
+                                const InterpretOptions& options = {});
+
+}  // namespace ivt::core

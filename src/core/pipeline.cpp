@@ -1,0 +1,147 @@
+#include "core/pipeline.hpp"
+
+#include <unordered_map>
+
+#include "core/schemas.hpp"
+#include "core/urel.hpp"
+
+namespace ivt::core {
+
+dataflow::Table concat_tables(const dataflow::Schema& schema,
+                              std::vector<dataflow::Table> tables) {
+  dataflow::Table out(schema);
+  for (dataflow::Table& t : tables) {
+    for (std::size_t p = 0; p < t.num_partitions(); ++p) {
+      if (t.partition(p).num_rows() == 0) continue;
+      out.add_partition(std::move(t.mutable_partition(p)));
+    }
+  }
+  if (out.num_partitions() == 0) {
+    out.add_partition(dataflow::Table::make_partition(schema));
+  }
+  return out;
+}
+
+Pipeline::Pipeline(const signaldb::Catalog& catalog, PipelineConfig config)
+    : catalog_(catalog), config_(std::move(config)) {
+  urel_ = config_.signals.empty()
+              ? make_full_urel_table(catalog_)
+              : make_urel_table(catalog_, config_.signals);
+  config_.interpret.catalog = &catalog_;
+}
+
+const signaldb::SignalSpec* Pipeline::spec_of(const std::string& s_id) const {
+  const signaldb::SignalRef ref = catalog_.find_signal(s_id);
+  return ref.valid() ? ref.signal : nullptr;
+}
+
+dataflow::Table Pipeline::extract(dataflow::Engine& engine,
+                                  const dataflow::Table& kb) const {
+  return extract_signals(engine, kb, urel_, config_.interpret);
+}
+
+Pipeline::ReducedResult Pipeline::extract_and_reduce(
+    dataflow::Engine& engine, const dataflow::Table& kb) const {
+  ReducedResult result;
+  const dataflow::Table ks = extract(engine, kb);
+  result.ks_rows = ks.num_rows();
+
+  SplitDataResult split = split_signals_data(engine, ks, config_.split);
+  result.correspondences = std::move(split.correspondences);
+
+  result.sequences.resize(split.sequences.size());
+  engine.parallel_for(split.sequences.size(), [&](std::size_t i) {
+    const SequenceData& seq = split.sequences[i];
+    result.sequences[i] =
+        reduce_sequence(config_.constraints, seq, spec_of(seq.s_id));
+  });
+  for (const SequenceData& seq : result.sequences) {
+    result.reduced_rows += seq.size();
+  }
+  return result;
+}
+
+PipelineResult Pipeline::run(dataflow::Engine& engine,
+                             const dataflow::Table& kb) const {
+  PipelineResult result;
+  result.kb_rows = kb.num_rows();
+
+  // Lines 3–6: preselection + interpretation.
+  const dataflow::Table kpre = preselect(engine, kb, urel_);
+  result.kpre_rows = kpre.num_rows();
+  dataflow::Table ks = interpret(engine, kpre, urel_, config_.interpret);
+  result.ks_rows = ks.num_rows();
+
+  // Lines 7–9: splitting + gateway dedup.
+  SplitDataResult split = split_signals_data(engine, ks, config_.split);
+  result.correspondences = std::move(split.correspondences);
+  if (config_.keep_ks) {
+    result.ks = std::move(ks);
+  } else {
+    ks = dataflow::Table(ks_schema());
+  }
+
+  // Lines 10–28 per sequence, parallel across sequences: reduction,
+  // extension, classification, branch processing.
+  const std::size_t n = split.sequences.size();
+  std::vector<SequenceReport> reports(n);
+  std::vector<dataflow::Table> branch_tables(n);
+  std::vector<std::vector<dataflow::Table>> extension_tables(n);
+
+  engine.parallel_for(n, [&](std::size_t i) {
+    const SequenceData& raw = split.sequences[i];
+    const signaldb::SignalSpec* spec = spec_of(raw.s_id);
+    SequenceReport& report = reports[i];
+    report.s_id = raw.s_id;
+    report.bus = raw.bus;
+    report.input_rows = raw.size();
+
+    // Line 10–11: constraint reduction.
+    const SequenceData red =
+        reduce_sequence(config_.constraints, raw, spec);
+    report.reduced_rows = red.size();
+    const ConstraintContext context{red, spec};
+
+    // Line 12: extensions W (on raw or reduced data, see PipelineConfig).
+    const ConstraintContext extension_context{
+        config_.extensions_on_reduced ? red : raw, spec};
+    extension_tables[i] = apply_extensions(config_.extensions,
+                                           extension_context);
+    for (const dataflow::Table& t : extension_tables[i]) {
+      report.extension_rows += t.num_rows();
+    }
+
+    // Lines 13–28: classification + branch processing.
+    report.classification = classify_sequence(context, config_.classifier);
+    branch_tables[i] = process_by_branch(report.classification.branch,
+                                         context, config_.branch,
+                                         &report.branch_stats);
+    report.output_rows = branch_tables[i].num_rows();
+  });
+
+  result.sequences = std::move(reports);
+  for (const SequenceReport& report : result.sequences) {
+    result.reduced_rows += report.reduced_rows;
+  }
+
+  // Line 29: merge K_res and W into R_out.
+  std::vector<dataflow::Table> all;
+  all.reserve(branch_tables.size() * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    all.push_back(std::move(branch_tables[i]));
+    for (dataflow::Table& t : extension_tables[i]) {
+      all.push_back(std::move(t));
+    }
+  }
+  result.krep = concat_tables(krep_schema(), std::move(all));
+  result.krep_rows = result.krep.num_rows();
+
+  // Sec. 4.3: state representation.
+  if (config_.build_state) {
+    result.state =
+        build_state_representation(engine, result.krep, config_.state);
+  }
+  return result;
+}
+
+}  // namespace ivt::core

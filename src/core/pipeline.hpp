@@ -1,0 +1,120 @@
+// End-to-end preprocessing pipeline (paper Algorithm 1).
+//
+// One-time parameterization per domain: which signals to extract
+// (U_comb), the reduction constraint set C, the extension rules E, the
+// classifier threshold and the branch knobs. Once parameterized, the
+// pipeline turns any raw trace table K_b into the reduced, interpreted,
+// homogeneous sequence R_out and the wide state representation — fully
+// automatically, as a sequence of distributable tabular operations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/branches.hpp"
+#include "core/classify.hpp"
+#include "core/extend.hpp"
+#include "core/interpret.hpp"
+#include "core/reduce.hpp"
+#include "core/split.hpp"
+#include "core/state_repr.hpp"
+#include "dataflow/engine.hpp"
+#include "signaldb/catalog.hpp"
+
+namespace ivt::core {
+
+struct PipelineConfig {
+  /// U_comb: the domain's relevant signals. Empty = all catalog signals.
+  std::vector<std::string> signals;
+  ClassifierConfig classifier;
+  BranchConfig branch;
+  /// C: reduction constraints. Defaults to the paper's evaluation setup
+  /// (remove repeated identical instances, preserve cycle violations).
+  std::vector<ConstraintRule> constraints;
+  /// E: extension rules (default: none).
+  std::vector<ExtensionRule> extensions;
+  /// Algorithm 1 line 12 applies F_E to K_red. On reduced data, gap-based
+  /// rules would see gaps created by repeat-removal rather than true send
+  /// gaps, so the default applies extensions to the pre-reduction split
+  /// sequence (both coincide when C is empty). Set true for the literal
+  /// Algorithm 1 behaviour.
+  bool extensions_on_reduced = false;
+  InterpretOptions interpret;
+  SplitOptions split;
+  StateRepresentationOptions state;
+  bool build_state = true;
+  /// Keep the (large) K_s table in the result for inspection.
+  bool keep_ks = false;
+
+  PipelineConfig() { constraints.push_back(drop_repeated_values_rule()); }
+};
+
+/// Per-sequence outcome (one row of the processing report).
+struct SequenceReport {
+  std::string s_id;
+  std::string bus;
+  Classification classification;
+  std::size_t input_rows = 0;    ///< after splitting
+  std::size_t reduced_rows = 0;  ///< after constraint reduction (K_red)
+  std::size_t output_rows = 0;   ///< homogenized elements (K_res)
+  std::size_t extension_rows = 0;
+  BranchStats branch_stats;
+};
+
+struct PipelineResult {
+  std::size_t kb_rows = 0;
+  std::size_t kpre_rows = 0;
+  std::size_t ks_rows = 0;
+  std::size_t reduced_rows = 0;
+  std::size_t krep_rows = 0;
+
+  dataflow::Table ks;    ///< only populated when config.keep_ks
+  dataflow::Table krep;  ///< R_out: merged homogeneous sequence (incl. W)
+  dataflow::Table state; ///< state representation (empty when disabled)
+  std::vector<SequenceReport> sequences;
+  std::vector<ChannelCorrespondence> correspondences;
+};
+
+class Pipeline {
+ public:
+  /// The catalog must outlive the pipeline (specs are referenced, not
+  /// copied). Throws std::invalid_argument on unknown signal names.
+  Pipeline(const signaldb::Catalog& catalog, PipelineConfig config);
+
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+  /// The parameterization table U_comb handed to the join.
+  [[nodiscard]] const dataflow::Table& urel() const { return urel_; }
+
+  /// Full Algorithm 1.
+  PipelineResult run(dataflow::Engine& engine,
+                     const dataflow::Table& kb) const;
+
+  /// Lines 3–6 only: preselection, join, interpretation. Returns K_s.
+  dataflow::Table extract(dataflow::Engine& engine,
+                          const dataflow::Table& kb) const;
+
+  /// Lines 3–11 only (the scope of the paper's Fig. 5 measurement):
+  /// extraction, splitting/dedup and constraint reduction.
+  struct ReducedResult {
+    std::size_t ks_rows = 0;
+    std::size_t reduced_rows = 0;
+    std::vector<SequenceData> sequences;
+    std::vector<ChannelCorrespondence> correspondences;
+  };
+  ReducedResult extract_and_reduce(dataflow::Engine& engine,
+                                   const dataflow::Table& kb) const;
+
+ private:
+  [[nodiscard]] const signaldb::SignalSpec* spec_of(
+      const std::string& s_id) const;
+
+  const signaldb::Catalog& catalog_;
+  PipelineConfig config_;
+  dataflow::Table urel_;
+};
+
+/// Concatenate krep-schema tables (deterministic order, partitions moved).
+dataflow::Table concat_tables(const dataflow::Schema& schema,
+                              std::vector<dataflow::Table> tables);
+
+}  // namespace ivt::core

@@ -1,0 +1,142 @@
+#include "core/reduce.hpp"
+
+#include <algorithm>
+
+namespace ivt::core {
+
+std::vector<std::size_t> apply_constraints(
+    const std::vector<ConstraintRule>& rules, const ConstraintContext& context,
+    ReductionStats* stats) {
+  const SequenceData& data = context.data;
+  std::vector<std::uint8_t> marks(data.size(), 0);
+  for (const ConstraintRule& rule : rules) {
+    if (rule.signal_pattern != "*" && rule.signal_pattern != data.s_id) {
+      continue;
+    }
+    if (rule.applies && !rule.applies(context)) continue;
+    for (const MarkFn& f : rule.marks) {
+      f(context, marks);
+    }
+  }
+  std::vector<std::size_t> keep;
+  keep.reserve(data.size());
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    if (marks[i] == 0) keep.push_back(i);
+  }
+  if (stats != nullptr) {
+    stats->input_rows += data.size();
+    stats->removed_rows += data.size() - keep.size();
+  }
+  return keep;
+}
+
+namespace {
+
+SequenceData filter_data(const SequenceData& data,
+                         const std::vector<std::size_t>& keep) {
+  SequenceData out;
+  out.s_id = data.s_id;
+  out.bus = data.bus;
+  out.t.reserve(keep.size());
+  out.v_num.reserve(keep.size());
+  out.has_num.reserve(keep.size());
+  out.v_str.reserve(keep.size());
+  out.has_str.reserve(keep.size());
+  for (std::size_t i : keep) {
+    out.t.push_back(data.t[i]);
+    out.v_num.push_back(data.v_num[i]);
+    out.has_num.push_back(data.has_num[i]);
+    out.v_str.push_back(data.v_str[i]);
+    out.has_str.push_back(data.has_str[i]);
+  }
+  return out;
+}
+
+bool values_equal(const SequenceData& d, std::size_t i, std::size_t j) {
+  if (d.has_num[i] != d.has_num[j] || d.has_str[i] != d.has_str[j]) {
+    return false;
+  }
+  if (d.has_num[i] != 0 && d.v_num[i] != d.v_num[j]) return false;
+  if (d.has_str[i] != 0 && d.v_str[i] != d.v_str[j]) return false;
+  return true;
+}
+
+}  // namespace
+
+SequenceData reduce_sequence(const std::vector<ConstraintRule>& rules,
+                             const SequenceData& data,
+                             const signaldb::SignalSpec* spec,
+                             ReductionStats* stats) {
+  const ConstraintContext context{data, spec};
+  return filter_data(data, apply_constraints(rules, context, stats));
+}
+
+ConstraintRule drop_repeated_values_rule(double cycle_tolerance) {
+  ConstraintRule rule;
+  rule.name = "drop_repeated_values";
+  rule.signal_pattern = "*";
+  rule.marks.push_back([cycle_tolerance](const ConstraintContext& ctx,
+                                         std::vector<std::uint8_t>& marks) {
+    const SequenceData& d = ctx.data;
+    if (d.size() < 3) return;
+    const std::int64_t expected_cycle =
+        ctx.spec != nullptr ? ctx.spec->expected_cycle_ns : 0;
+    const std::int64_t gap_limit =
+        expected_cycle > 0
+            ? static_cast<std::int64_t>(cycle_tolerance *
+                                        static_cast<double>(expected_cycle))
+            : 0;
+    // Keep first and last; inner elements are redundant when identical to
+    // the previous element and the gap is unsuspicious.
+    for (std::size_t i = 1; i + 1 < d.size(); ++i) {
+      if (!values_equal(d, i, i - 1)) continue;
+      if (gap_limit > 0 && d.t[i] - d.t[i - 1] > gap_limit) continue;
+      marks[i] = 1;
+    }
+  });
+  return rule;
+}
+
+ConstraintRule drop_within_band_rule(std::string signal, double lo,
+                                     double hi) {
+  ConstraintRule rule;
+  rule.name = "drop_within_band";
+  rule.signal_pattern = std::move(signal);
+  rule.marks.push_back(
+      [lo, hi](const ConstraintContext& ctx, std::vector<std::uint8_t>& marks) {
+        const SequenceData& d = ctx.data;
+        auto inside = [&](std::size_t i) {
+          return d.has_num[i] != 0 && d.v_num[i] >= lo && d.v_num[i] <= hi;
+        };
+        for (std::size_t i = 0; i < d.size(); ++i) {
+          if (!inside(i)) continue;
+          // Preserve band entry/exit witnesses.
+          const bool prev_inside = i > 0 && inside(i - 1);
+          const bool next_inside = i + 1 < d.size() && inside(i + 1);
+          if (prev_inside && next_inside) marks[i] = 1;
+        }
+      });
+  return rule;
+}
+
+ConstraintRule decimate_rule(std::string signal, std::size_t keep_every,
+                             double min_rate_hz) {
+  ConstraintRule rule;
+  rule.name = "decimate";
+  rule.signal_pattern = std::move(signal);
+  rule.applies = [min_rate_hz](const ConstraintContext& ctx) {
+    const double duration = ctx.data.duration_s();
+    if (duration <= 0.0) return false;
+    return static_cast<double>(ctx.data.size()) / duration > min_rate_hz;
+  };
+  const std::size_t every = std::max<std::size_t>(keep_every, 1);
+  rule.marks.push_back(
+      [every](const ConstraintContext& ctx, std::vector<std::uint8_t>& marks) {
+        for (std::size_t i = 0; i < ctx.data.size(); ++i) {
+          if (i % every != 0 && i + 1 != ctx.data.size()) marks[i] = 1;
+        }
+      });
+  return rule;
+}
+
+}  // namespace ivt::core

@@ -1,0 +1,83 @@
+// Constraint reduction (Algorithm 1 lines 10–11; paper Sec. 4.1).
+//
+// A constraint c = (s_id, d, F) marks elements of a signal sequence:
+// when the applicability predicate d holds, every marking function f ∈ F
+// runs over the sequence; an element whose combined mark e is true is
+// *redundant* and removed, "leaving task-relevant elements only".
+// Important state changes (e.g. cycle-time violations) must survive — the
+// built-in rules are written accordingly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sequence.hpp"
+#include "signaldb/catalog.hpp"
+
+namespace ivt::core {
+
+/// Context handed to predicates and marking functions.
+struct ConstraintContext {
+  const SequenceData& data;
+  /// Spec of the sequence's signal type (nullptr when unknown to the
+  /// catalog). Carries expected_cycle_ns and the value table.
+  const signaldb::SignalSpec* spec = nullptr;
+};
+
+/// Marking function f: sets marks[i] = 1 for redundant elements. Never
+/// clears marks set by other functions (e is the OR over all f ∈ F).
+using MarkFn =
+    std::function<void(const ConstraintContext&, std::vector<std::uint8_t>&)>;
+
+/// c = (s_id, d, F).
+struct ConstraintRule {
+  std::string name;
+  /// Exact signal name, or "*" to apply to every sequence.
+  std::string signal_pattern = "*";
+  /// d: applicability predicate (empty = always applicable).
+  std::function<bool(const ConstraintContext&)> applies;
+  /// F: marking functions.
+  std::vector<MarkFn> marks;
+};
+
+struct ReductionStats {
+  std::size_t input_rows = 0;
+  std::size_t removed_rows = 0;
+};
+
+/// Apply every matching rule to `data`, returning the surviving element
+/// indices (ascending) — the paper's K_red.
+std::vector<std::size_t> apply_constraints(
+    const std::vector<ConstraintRule>& rules, const ConstraintContext& context,
+    ReductionStats* stats = nullptr);
+
+/// Filter a SequenceData down to the surviving rows.
+SequenceData reduce_sequence(const std::vector<ConstraintRule>& rules,
+                             const SequenceData& data,
+                             const signaldb::SignalSpec* spec,
+                             ReductionStats* stats = nullptr);
+
+// ---- Built-in rules -------------------------------------------------------
+
+/// Remove elements whose value equals the previous element's value —
+/// cyclically repeated data points — *except* when the temporal gap to the
+/// previous element exceeds `cycle_tolerance ×` the signal's expected
+/// cycle time (such elements witness a cycle-time violation and are
+/// preserved). First and last element always survive. Signals without a
+/// documented cycle fall back to pure repeat-removal.
+ConstraintRule drop_repeated_values_rule(double cycle_tolerance = 1.5);
+
+/// Remove numeric elements inside the closed band [lo, hi] (e.g. "idle"
+/// readings a domain does not care about). Band boundary crossings (the
+/// element before/after a removed run) are preserved as state changes.
+ConstraintRule drop_within_band_rule(std::string signal, double lo, double hi);
+
+/// Keep only every `keep_every`-th element of high-rate sequences
+/// (deterministic decimation; d checks the sequence exceeds
+/// `min_rate_hz`).
+ConstraintRule decimate_rule(std::string signal, std::size_t keep_every,
+                             double min_rate_hz);
+
+}  // namespace ivt::core

@@ -1,0 +1,127 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ivt::core {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string report_summary_line(const PipelineResult& result) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "K_b %zu -> K_pre %zu -> K_s %zu -> reduced %zu -> R_out %zu"
+                " (state rows: %zu, sequences: %zu)",
+                result.kb_rows, result.kpre_rows, result.ks_rows,
+                result.reduced_rows, result.krep_rows,
+                result.state.num_rows(), result.sequences.size());
+  return buf;
+}
+
+std::string report_to_text(const PipelineResult& result) {
+  std::ostringstream os;
+  os << report_summary_line(result) << "\n\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-20s %-8s %-8s %-8s %2s %4s %3s %8s %8s %8s %5s %5s %5s\n",
+                "signal", "bus", "branch", "type", "zt", "zr", "zn", "in",
+                "reduced", "out", "outl", "val", "ext");
+  os << line;
+  for (const SequenceReport& r : result.sequences) {
+    std::snprintf(
+        line, sizeof(line),
+        "%-20s %-8s %-8s %-8s %2c %4c %3zu %8zu %8zu %8zu %5zu %5zu %5zu\n",
+        r.s_id.c_str(), r.bus.c_str(),
+        std::string(to_string(r.classification.branch)).c_str(),
+        std::string(to_string(r.classification.data_type)).c_str(),
+        r.classification.criteria.z_type, r.classification.criteria.z_rate,
+        r.classification.criteria.z_num, r.input_rows, r.reduced_rows,
+        r.output_rows, r.branch_stats.outliers, r.branch_stats.validity,
+        r.extension_rows);
+    os << line;
+  }
+  if (!result.correspondences.empty()) {
+    os << "\ngateway correspondences:\n";
+    for (const ChannelCorrespondence& c : result.correspondences) {
+      os << "  " << c.s_id << ": representative " << c.representative_bus
+         << " ==";
+      for (const std::string& bus : c.corresponding_buses) os << " " << bus;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string report_to_json(const PipelineResult& result) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"kb_rows\": " << result.kb_rows << ",\n";
+  os << "  \"kpre_rows\": " << result.kpre_rows << ",\n";
+  os << "  \"ks_rows\": " << result.ks_rows << ",\n";
+  os << "  \"reduced_rows\": " << result.reduced_rows << ",\n";
+  os << "  \"krep_rows\": " << result.krep_rows << ",\n";
+  os << "  \"state_rows\": " << result.state.num_rows() << ",\n";
+  os << "  \"sequences\": [\n";
+  for (std::size_t i = 0; i < result.sequences.size(); ++i) {
+    const SequenceReport& r = result.sequences[i];
+    os << "    {\"s_id\": \"" << json_escape(r.s_id) << "\", \"bus\": \""
+       << json_escape(r.bus) << "\", \"branch\": \""
+       << to_string(r.classification.branch) << "\", \"data_type\": \""
+       << to_string(r.classification.data_type) << "\", \"z_type\": \""
+       << r.classification.criteria.z_type << "\", \"z_rate\": \""
+       << r.classification.criteria.z_rate
+       << "\", \"z_num\": " << r.classification.criteria.z_num
+       << ", \"z_val\": "
+       << (r.classification.criteria.z_val ? "true" : "false")
+       << ", \"input_rows\": " << r.input_rows
+       << ", \"reduced_rows\": " << r.reduced_rows
+       << ", \"output_rows\": " << r.output_rows
+       << ", \"outliers\": " << r.branch_stats.outliers
+       << ", \"validity\": " << r.branch_stats.validity
+       << ", \"extensions\": " << r.extension_rows << "}"
+       << (i + 1 < result.sequences.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"correspondences\": [\n";
+  for (std::size_t i = 0; i < result.correspondences.size(); ++i) {
+    const ChannelCorrespondence& c = result.correspondences[i];
+    os << "    {\"s_id\": \"" << json_escape(c.s_id)
+       << "\", \"representative\": \"" << json_escape(c.representative_bus)
+       << "\", \"duplicates\": [";
+    for (std::size_t j = 0; j < c.corresponding_buses.size(); ++j) {
+      os << "\"" << json_escape(c.corresponding_buses[j]) << "\""
+         << (j + 1 < c.corresponding_buses.size() ? ", " : "");
+    }
+    os << "]}" << (i + 1 < result.correspondences.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace ivt::core

@@ -1,0 +1,19 @@
+// Rendering of pipeline processing reports (text and JSON).
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace ivt::core {
+
+/// Fixed-width per-sequence report plus stage totals.
+std::string report_to_text(const PipelineResult& result);
+
+/// Machine-readable JSON (stable key order; no external dependency).
+std::string report_to_json(const PipelineResult& result);
+
+/// One-line summary: row counts through the stages.
+std::string report_summary_line(const PipelineResult& result);
+
+}  // namespace ivt::core

@@ -1,0 +1,53 @@
+#include "core/schemas.hpp"
+
+namespace ivt::core {
+
+using dataflow::Schema;
+using dataflow::ValueType;
+
+const Schema& ks_schema() {
+  static const Schema schema{{
+      {"t", ValueType::Int64},
+      {"s_id", ValueType::String},
+      {"v_num", ValueType::Float64},
+      {"v_str", ValueType::String},
+      {"b_id", ValueType::String},
+  }};
+  return schema;
+}
+
+const Schema& urel_schema() {
+  static const Schema schema{{
+      {"s_id", ValueType::String},
+      {"u_b_id", ValueType::String},
+      {"u_m_id", ValueType::Int64},
+      {"start_bit", ValueType::Int64},
+      {"length", ValueType::Int64},
+      {"byte_order", ValueType::Int64},     // 0 = intel, 1 = motorola
+      {"value_kind", ValueType::Int64},     // signaldb::ValueKind
+      {"scale", ValueType::Float64},
+      {"offset", ValueType::Float64},
+      {"categorical", ValueType::Int64},    // bool
+      {"presence_always", ValueType::Int64},
+      {"presence_start", ValueType::Int64},
+      {"presence_length", ValueType::Int64},
+      {"presence_order", ValueType::Int64},
+      {"presence_equals", ValueType::Int64},
+      {"expected_cycle_ns", ValueType::Int64},
+  }};
+  return schema;
+}
+
+const Schema& krep_schema() {
+  static const Schema schema{{
+      {"t", ValueType::Int64},
+      {"s_id", ValueType::String},
+      {"value", ValueType::String},
+      {"v_num", ValueType::Float64},
+      {"element_kind", ValueType::String},
+      {"b_id", ValueType::String},
+  }};
+  return schema;
+}
+
+}  // namespace ivt::core

@@ -1,0 +1,34 @@
+// Table schemas shared across the pipeline stages.
+//
+// Naming follows the paper's formalization: K_b (raw byte trace), U_rel /
+// U_comb (translation tuples), K_s (extracted signal instances), K_rep
+// (homogenized symbolized sequence) — see Algorithm 1.
+#pragma once
+
+#include "dataflow/schema.hpp"
+
+namespace ivt::core {
+
+/// K_s: one row per signal instance ŝ = (v, s_id) at time t on channel
+/// b_id. Numeric values fill v_num; categorical instances additionally
+/// carry their label in v_str (v_str is null for pure numeric signals).
+const dataflow::Schema& ks_schema();
+
+/// U_rel / U_comb: one row per signal type to extract, carrying u_info as
+/// typed columns (byte positions, interpretation rule, presence
+/// condition, expected cycle). The paper's Table 1 in tabular form.
+const dataflow::Schema& urel_schema();
+
+/// K_rep: homogenized output of the three processing branches. `value` is
+/// the symbolized state (e.g. "(high,increasing)" / "ON" / "snv");
+/// `element_kind` distinguishes regular states, preserved outliers,
+/// validity elements and extension elements w.
+const dataflow::Schema& krep_schema();
+
+/// Element kinds used in K_rep's `element_kind` column.
+inline constexpr const char* kElementState = "state";
+inline constexpr const char* kElementOutlier = "outlier";
+inline constexpr const char* kElementValidity = "validity";
+inline constexpr const char* kElementExtension = "extension";
+
+}  // namespace ivt::core

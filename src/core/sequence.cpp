@@ -1,0 +1,71 @@
+#include "core/sequence.hpp"
+
+#include <numeric>
+
+#include "core/schemas.hpp"
+
+namespace ivt::core {
+
+SequenceData materialize_sequence(const SignalSequence& sequence) {
+  SequenceData data;
+  data.s_id = sequence.s_id;
+  data.bus = sequence.bus;
+  const std::size_t n = sequence.table.num_rows();
+  data.t.reserve(n);
+  data.v_num.reserve(n);
+  data.has_num.reserve(n);
+  data.v_str.reserve(n);
+  data.has_str.reserve(n);
+  const std::size_t t_col = sequence.table.schema().require("t");
+  const std::size_t num_col = sequence.table.schema().require("v_num");
+  const std::size_t str_col = sequence.table.schema().require("v_str");
+  sequence.table.for_each_row([&](const dataflow::RowView& row) {
+    data.t.push_back(row.int64_at(t_col));
+    if (row.is_null(num_col)) {
+      data.v_num.push_back(0.0);
+      data.has_num.push_back(0);
+    } else {
+      data.v_num.push_back(row.float64_at(num_col));
+      data.has_num.push_back(1);
+    }
+    if (row.is_null(str_col)) {
+      data.v_str.emplace_back();
+      data.has_str.push_back(0);
+    } else {
+      data.v_str.push_back(row.string_at(str_col));
+      data.has_str.push_back(1);
+    }
+  });
+  return data;
+}
+
+dataflow::Table sequence_to_table(const SequenceData& data,
+                                  const std::vector<std::size_t>& keep) {
+  dataflow::TableBuilder builder(ks_schema(), 0);
+  for (std::size_t i : keep) {
+    dataflow::Partition& dst = builder.current_partition();
+    dst.columns[0].append_int64(data.t[i]);
+    dst.columns[1].append_string(data.s_id);
+    if (data.has_num[i] != 0) {
+      dst.columns[2].append_float64(data.v_num[i]);
+    } else {
+      dst.columns[2].append_null();
+    }
+    if (data.has_str[i] != 0) {
+      dst.columns[3].append_string(data.v_str[i]);
+    } else {
+      dst.columns[3].append_null();
+    }
+    dst.columns[4].append_string(data.bus);
+    builder.commit_row();
+  }
+  return builder.build();
+}
+
+dataflow::Table sequence_to_table(const SequenceData& data) {
+  std::vector<std::size_t> all(data.size());
+  std::iota(all.begin(), all.end(), 0);
+  return sequence_to_table(data, all);
+}
+
+}  // namespace ivt::core

@@ -1,0 +1,62 @@
+// Signal splitting + gateway de-duplication (Algorithm 1 lines 7–9).
+//
+// K_s is split into one sequence per signal type. Signals forwarded
+// through gateways are recorded once per channel; the equality check e(·)
+// detects channels carrying the identical instance sequence and keeps only
+// a representative channel for processing, recording the correspondence so
+// results can be propagated back ("computational cost is reduced by
+// processing signal instances for one channel only").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sequence.hpp"
+#include "dataflow/engine.hpp"
+
+namespace ivt::core {
+
+/// Channels found to carry an identical copy of the representative
+/// sequence K_srep (the paper's K_scor set).
+struct ChannelCorrespondence {
+  std::string s_id;
+  std::string representative_bus;
+  std::vector<std::string> corresponding_buses;
+};
+
+struct SplitResult {
+  /// One entry per (signal type, distinct-content channel). With gateway
+  /// duplicates removed this is normally one entry per signal type.
+  std::vector<SignalSequence> sequences;
+  std::vector<ChannelCorrespondence> correspondences;
+};
+
+struct SplitOptions {
+  /// Run the equality check e(·) and drop duplicate channels. When false,
+  /// every (s_id, b_id) combination yields its own sequence.
+  bool dedup_channels = true;
+};
+
+/// Split the K_s table per signal type (single parallel scan; semantics of
+/// the per-type σ selections in Algorithm 1 line 8). Sequence order is
+/// deterministic: signal types in order of first appearance, channels per
+/// type in order of first appearance.
+SplitResult split_signals(dataflow::Engine& engine, const dataflow::Table& ks,
+                          const SplitOptions& options = {});
+
+/// The equality check e(·): two channels correspond when they carry the
+/// same number of instances with pairwise equal values (time stamps may
+/// differ by the forwarding latency). Exposed for tests.
+bool sequences_equal(const SequenceData& a, const SequenceData& b);
+
+/// Lower-level variant used by the pipeline: returns the materialized
+/// SequenceData directly (no intermediate per-sequence tables).
+struct SplitDataResult {
+  std::vector<SequenceData> sequences;
+  std::vector<ChannelCorrespondence> correspondences;
+};
+SplitDataResult split_signals_data(dataflow::Engine& engine,
+                                   const dataflow::Table& ks,
+                                   const SplitOptions& options = {});
+
+}  // namespace ivt::core

@@ -1,0 +1,79 @@
+#include "core/urel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/schemas.hpp"
+
+namespace ivt::core {
+
+namespace {
+
+void append_tuple(dataflow::TableBuilder& builder,
+                  const signaldb::MessageSpec& message,
+                  const signaldb::SignalSpec& signal) {
+  using dataflow::Value;
+  builder.append_row({
+      Value{signal.name},
+      Value{message.bus},
+      Value{message.message_id},
+      Value{static_cast<std::int64_t>(signal.start_bit)},
+      Value{static_cast<std::int64_t>(signal.length)},
+      Value{static_cast<std::int64_t>(
+          signal.byte_order == protocol::ByteOrder::Motorola ? 1 : 0)},
+      Value{static_cast<std::int64_t>(signal.value_kind)},
+      Value{signal.transform.scale},
+      Value{signal.transform.offset},
+      Value{static_cast<std::int64_t>(signal.is_categorical() ? 1 : 0)},
+      Value{static_cast<std::int64_t>(signal.presence.always ? 1 : 0)},
+      Value{static_cast<std::int64_t>(signal.presence.selector_start_bit)},
+      Value{static_cast<std::int64_t>(signal.presence.selector_length)},
+      Value{static_cast<std::int64_t>(
+          signal.presence.selector_order == protocol::ByteOrder::Motorola
+              ? 1
+              : 0)},
+      Value{static_cast<std::int64_t>(signal.presence.equals)},
+      Value{signal.expected_cycle_ns},
+  });
+}
+
+}  // namespace
+
+dataflow::Table make_urel_table(
+    const signaldb::Catalog& catalog,
+    const std::vector<std::string>& signal_names) {
+  dataflow::TableBuilder builder(urel_schema(), 0);
+  for (const std::string& name : signal_names) {
+    const signaldb::SignalRef ref = catalog.find_signal(name);
+    if (!ref.valid()) {
+      throw std::invalid_argument("make_urel_table: unknown signal '" + name +
+                                  "'");
+    }
+    append_tuple(builder, *ref.message, *ref.signal);
+  }
+  return builder.build();
+}
+
+dataflow::Table make_full_urel_table(const signaldb::Catalog& catalog) {
+  dataflow::TableBuilder builder(urel_schema(), 0);
+  for (const signaldb::MessageSpec& message : catalog.messages()) {
+    for (const signaldb::SignalSpec& signal : message.signals) {
+      append_tuple(builder, message, signal);
+    }
+  }
+  return builder.build();
+}
+
+std::vector<MessageKey> relevant_message_keys(const dataflow::Table& urel) {
+  const std::size_t bus_col = urel.schema().require("u_b_id");
+  const std::size_t id_col = urel.schema().require("u_m_id");
+  std::vector<MessageKey> keys;
+  urel.for_each_row([&](const dataflow::RowView& row) {
+    keys.push_back(MessageKey{row.string_at(bus_col), row.int64_at(id_col)});
+  });
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+}  // namespace ivt::core

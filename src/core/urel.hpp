@@ -1,0 +1,34 @@
+// Structuring (paper Sec. 3.1): build the translation-tuple table
+// U_rel / U_comb from the signal catalog and a domain's signal selection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/table.hpp"
+#include "signaldb/catalog.hpp"
+
+namespace ivt::core {
+
+/// Build a U_comb table containing one translation tuple
+/// u_rel = (s_id, b_id, m_id, u_info) per selected signal. Unknown signal
+/// names throw std::invalid_argument (a mis-parameterized domain is a
+/// configuration error, not data).
+dataflow::Table make_urel_table(const signaldb::Catalog& catalog,
+                                const std::vector<std::string>& signal_names);
+
+/// U_rel over the whole catalog (all signals possible).
+dataflow::Table make_full_urel_table(const signaldb::Catalog& catalog);
+
+/// The (m_id, b_id) combinations appearing in a U_rel table — the
+/// preselection filter set.
+struct MessageKey {
+  std::string bus;
+  std::int64_t message_id = 0;
+
+  friend bool operator==(const MessageKey&, const MessageKey&) = default;
+  friend auto operator<=>(const MessageKey&, const MessageKey&) = default;
+};
+std::vector<MessageKey> relevant_message_keys(const dataflow::Table& urel);
+
+}  // namespace ivt::core

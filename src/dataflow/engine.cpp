@@ -1,0 +1,88 @@
+#include "dataflow/engine.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace ivt::dataflow {
+
+Engine::Engine(EngineConfig config) : config_(config) {
+  std::size_t workers = config.workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 4;
+  }
+  default_partitions_ = config.default_partitions != 0
+                            ? config.default_partitions
+                            : 4 * workers;
+  pool_ = std::make_unique<ThreadPool>(workers);
+}
+
+void Engine::apply_task_overhead() const {
+  if (config_.task_overhead.count() > 0) {
+    std::this_thread::sleep_for(config_.task_overhead);
+  }
+}
+
+void Engine::parallel_for(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    apply_task_overhead();
+    fn(0);
+    return;
+  }
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (std::size_t i = 0; i < n; ++i) {
+    pool_->submit([&, i] {
+      apply_task_overhead();
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool_->help_until_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+Table Engine::map_partitions(
+    const std::string& stage_name, const Table& in, const Schema& out_schema,
+    const std::function<Partition(const Partition&, std::size_t)>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<Partition> out(in.num_partitions());
+  parallel_for(in.num_partitions(), [&](std::size_t i) {
+    out[i] = fn(in.partition(i), i);
+  });
+  Table result(out_schema);
+  for (Partition& p : out) result.add_partition(std::move(p));
+  const auto end = std::chrono::steady_clock::now();
+
+  StageMetrics m;
+  m.name = stage_name;
+  m.tasks = in.num_partitions();
+  m.input_rows = in.num_rows();
+  m.output_rows = result.num_rows();
+  m.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  record_stage(std::move(m));
+  return result;
+}
+
+std::vector<StageMetrics> Engine::metrics() const {
+  std::lock_guard lock(metrics_mutex_);
+  return metrics_;
+}
+
+void Engine::clear_metrics() {
+  std::lock_guard lock(metrics_mutex_);
+  metrics_.clear();
+}
+
+void Engine::record_stage(StageMetrics m) {
+  std::lock_guard lock(metrics_mutex_);
+  metrics_.push_back(std::move(m));
+}
+
+}  // namespace ivt::dataflow

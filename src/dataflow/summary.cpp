@@ -1,0 +1,141 @@
+#include "dataflow/summary.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace ivt::dataflow {
+
+std::vector<ColumnSummary> summarize(Engine& engine, const Table& table,
+                                     const SummaryOptions& options) {
+  const Schema& schema = table.schema();
+
+  struct PartialColumn {
+    std::size_t count = 0;
+    std::size_t nulls = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    bool has_numeric = false;
+    std::unordered_set<std::string> distinct;
+    bool capped = false;
+  };
+  std::vector<std::vector<PartialColumn>> partials(
+      table.num_partitions(), std::vector<PartialColumn>(schema.size()));
+
+  engine.parallel_for(table.num_partitions(), [&](std::size_t pi) {
+    const Partition& p = table.partition(pi);
+    const std::size_t rows = p.num_rows();
+    for (std::size_t c = 0; c < schema.size(); ++c) {
+      PartialColumn& pc = partials[pi][c];
+      const Column& col = p.columns[c];
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (col.is_null(r)) {
+          ++pc.nulls;
+          continue;
+        }
+        ++pc.count;
+        switch (col.type()) {
+          case ValueType::Null:
+            break;
+          case ValueType::Int64:
+          case ValueType::Float64: {
+            const double v = col.number_at(r);
+            if (!pc.has_numeric) {
+              pc.min = v;
+              pc.max = v;
+              pc.has_numeric = true;
+            } else {
+              pc.min = std::min(pc.min, v);
+              pc.max = std::max(pc.max, v);
+            }
+            pc.sum += v;
+            if (!pc.capped) {
+              pc.distinct.insert(col.value_at(r).to_display_string());
+              if (pc.distinct.size() >= options.distinct_cap) {
+                pc.capped = true;
+              }
+            }
+            break;
+          }
+          case ValueType::String:
+            if (!pc.capped) {
+              pc.distinct.insert(col.string_at(r));
+              if (pc.distinct.size() >= options.distinct_cap) {
+                pc.capped = true;
+              }
+            }
+            break;
+        }
+      }
+    }
+  });
+
+  std::vector<ColumnSummary> out(schema.size());
+  for (std::size_t c = 0; c < schema.size(); ++c) {
+    ColumnSummary& s = out[c];
+    s.name = schema.field(c).name;
+    s.type = schema.field(c).type;
+    std::unordered_set<std::string> distinct;
+    bool has_numeric = false;
+    double sum = 0.0;
+    for (const auto& partition : partials) {
+      const PartialColumn& pc = partition[c];
+      s.count += pc.count;
+      s.nulls += pc.nulls;
+      sum += pc.sum;
+      if (pc.has_numeric) {
+        if (!has_numeric) {
+          s.min = pc.min;
+          s.max = pc.max;
+          has_numeric = true;
+        } else {
+          s.min = std::min(*s.min, pc.min);
+          s.max = std::max(*s.max, pc.max);
+        }
+      }
+      s.distinct_capped |= pc.capped;
+      if (distinct.size() < options.distinct_cap) {
+        distinct.insert(pc.distinct.begin(), pc.distinct.end());
+      }
+    }
+    if (distinct.size() >= options.distinct_cap) {
+      s.distinct_capped = true;
+      s.distinct = options.distinct_cap;
+    } else {
+      s.distinct = distinct.size();
+    }
+    if (has_numeric && s.count > 0) {
+      s.mean = sum / static_cast<double>(s.count);
+    }
+  }
+  return out;
+}
+
+std::string to_display_string(const std::vector<ColumnSummary>& summaries) {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %-8s %10s %8s %10s %12s %12s %12s\n",
+                "column", "type", "count", "nulls", "distinct", "min", "max",
+                "mean");
+  os << line;
+  for (const ColumnSummary& s : summaries) {
+    std::string distinct = std::to_string(s.distinct);
+    if (s.distinct_capped) distinct += "+";
+    auto num = [](const std::optional<double>& v) {
+      if (!v) return std::string("-");
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", *v);
+      return std::string(buf);
+    };
+    std::snprintf(line, sizeof(line),
+                  "%-24s %-8s %10zu %8zu %10s %12s %12s %12s\n",
+                  s.name.c_str(), std::string(to_string(s.type)).c_str(),
+                  s.count, s.nulls, distinct.c_str(), num(s.min).c_str(),
+                  num(s.max).c_str(), num(s.mean).c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace ivt::dataflow

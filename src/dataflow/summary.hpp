@@ -1,0 +1,39 @@
+// Column summaries ("describe") for quick dataset inspection.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.hpp"
+#include "dataflow/table.hpp"
+
+namespace ivt::dataflow {
+
+struct ColumnSummary {
+  std::string name;
+  ValueType type = ValueType::Null;
+  std::size_t count = 0;   ///< non-null cells
+  std::size_t nulls = 0;
+  /// Distinct non-null values, capped at `distinct_cap` (then reported as
+  /// exactly the cap with `distinct_capped` set).
+  std::size_t distinct = 0;
+  bool distinct_capped = false;
+  /// Numeric columns only:
+  std::optional<double> min;
+  std::optional<double> max;
+  std::optional<double> mean;
+};
+
+struct SummaryOptions {
+  std::size_t distinct_cap = 10'000;
+};
+
+/// Summarize every column (parallel per partition, deterministic merge).
+std::vector<ColumnSummary> summarize(Engine& engine, const Table& table,
+                                     const SummaryOptions& options = {});
+
+/// Fixed-width rendering of summaries.
+std::string to_display_string(const std::vector<ColumnSummary>& summaries);
+
+}  // namespace ivt::dataflow

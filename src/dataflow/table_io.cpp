@@ -1,0 +1,223 @@
+#include "dataflow/table_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ivt::dataflow {
+
+namespace {
+
+constexpr char kMagic[4] = {'I', 'V', 'T', 'B'};
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  static_assert(std::is_integral_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.put(static_cast<char>(
+        (static_cast<std::make_unsigned_t<T>>(value) >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename T>
+T get(std::istream& in) {
+  static_assert(std::is_integral_v<T>);
+  std::make_unsigned_t<T> value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    const int c = in.get();
+    if (c == EOF) throw std::runtime_error("table file: unexpected EOF");
+    value |= static_cast<std::make_unsigned_t<T>>(
+                 static_cast<unsigned char>(c))
+             << (8 * i);
+  }
+  return static_cast<T>(value);
+}
+
+void put_f64(std::ostream& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put<std::uint64_t>(out, bits);
+}
+
+double get_f64(std::istream& in) {
+  const std::uint64_t bits = get<std::uint64_t>(in);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void write_column(const Column& col, std::ostream& out) {
+  const std::size_t rows = col.size();
+  // Validity bitmap.
+  std::string bitmap((rows + 7) / 8, '\0');
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (!col.is_null(r)) {
+      bitmap[r / 8] |= static_cast<char>(1 << (r % 8));
+    }
+  }
+  out.write(bitmap.data(), static_cast<std::streamsize>(bitmap.size()));
+  switch (col.type()) {
+    case ValueType::Null:
+      break;
+    case ValueType::Int64:
+      for (std::size_t r = 0; r < rows; ++r) {
+        put<std::int64_t>(out, col.is_null(r) ? 0 : col.int64_at(r));
+      }
+      break;
+    case ValueType::Float64:
+      for (std::size_t r = 0; r < rows; ++r) {
+        put_f64(out, col.is_null(r) ? 0.0 : col.float64_at(r));
+      }
+      break;
+    case ValueType::String:
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (col.is_null(r)) {
+          put<std::uint32_t>(out, 0);
+          continue;
+        }
+        const std::string& s = col.string_at(r);
+        if (s.size() > 0xFFFFFFFFull) {
+          throw std::invalid_argument("table file: string cell too long");
+        }
+        put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+        out.write(s.data(), static_cast<std::streamsize>(s.size()));
+      }
+      break;
+  }
+}
+
+Column read_column(ValueType type, std::size_t rows, std::istream& in) {
+  Column col(type);
+  col.reserve(rows);
+  std::string bitmap((rows + 7) / 8, '\0');
+  in.read(bitmap.data(), static_cast<std::streamsize>(bitmap.size()));
+  if (static_cast<std::size_t>(in.gcount()) != bitmap.size()) {
+    throw std::runtime_error("table file: truncated validity bitmap");
+  }
+  auto valid = [&bitmap](std::size_t r) {
+    return (bitmap[r / 8] >> (r % 8)) & 1;
+  };
+  switch (type) {
+    case ValueType::Null:
+      for (std::size_t r = 0; r < rows; ++r) col.append_null();
+      break;
+    case ValueType::Int64:
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::int64_t v = get<std::int64_t>(in);
+        if (valid(r)) {
+          col.append_int64(v);
+        } else {
+          col.append_null();
+        }
+      }
+      break;
+    case ValueType::Float64:
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double v = get_f64(in);
+        if (valid(r)) {
+          col.append_float64(v);
+        } else {
+          col.append_null();
+        }
+      }
+      break;
+    case ValueType::String:
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::uint32_t len = get<std::uint32_t>(in);
+        std::string s(len, '\0');
+        in.read(s.data(), len);
+        if (static_cast<std::uint32_t>(in.gcount()) != len) {
+          throw std::runtime_error("table file: truncated string cell");
+        }
+        if (valid(r)) {
+          col.append_string(std::move(s));
+        } else {
+          col.append_null();
+        }
+      }
+      break;
+  }
+  return col;
+}
+
+}  // namespace
+
+void write_table(const Table& table, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(out, kTableFormatVersion);
+  const Schema& schema = table.schema();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(schema.size()));
+  for (const Field& f : schema.fields()) {
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(f.type));
+    if (f.name.size() > 0xFFFF) {
+      throw std::invalid_argument("table file: field name too long");
+    }
+    put<std::uint16_t>(out, static_cast<std::uint16_t>(f.name.size()));
+    out.write(f.name.data(), static_cast<std::streamsize>(f.name.size()));
+  }
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(table.num_partitions()));
+  for (const Partition& p : table.partitions()) {
+    put<std::uint64_t>(out, p.num_rows());
+    for (const Column& col : p.columns) {
+      write_column(col, out);
+    }
+  }
+  if (!out) throw std::runtime_error("table file: write failed");
+}
+
+Table read_table(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("table file: bad magic");
+  }
+  const std::uint32_t version = get<std::uint32_t>(in);
+  if (version != kTableFormatVersion) {
+    throw std::runtime_error("table file: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint32_t field_count = get<std::uint32_t>(in);
+  std::vector<Field> fields;
+  fields.reserve(field_count);
+  for (std::uint32_t i = 0; i < field_count; ++i) {
+    Field f;
+    f.type = static_cast<ValueType>(get<std::uint8_t>(in));
+    const std::uint16_t len = get<std::uint16_t>(in);
+    f.name.resize(len);
+    in.read(f.name.data(), len);
+    if (in.gcount() != len) {
+      throw std::runtime_error("table file: truncated field name");
+    }
+    fields.push_back(std::move(f));
+  }
+  Table table((Schema(std::move(fields))));
+  const std::uint32_t partitions = get<std::uint32_t>(in);
+  for (std::uint32_t pi = 0; pi < partitions; ++pi) {
+    const std::uint64_t rows = get<std::uint64_t>(in);
+    Partition p;
+    p.columns.reserve(table.schema().size());
+    for (const Field& f : table.schema().fields()) {
+      p.columns.push_back(
+          read_column(f.type, static_cast<std::size_t>(rows), in));
+    }
+    table.add_partition(std::move(p));
+  }
+  return table;
+}
+
+void save_table(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_table(table, out);
+}
+
+Table load_table(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return read_table(in);
+}
+
+}  // namespace ivt::dataflow

@@ -1,0 +1,32 @@
+// Binary table container (.ivtbl) — the engine's result "database".
+//
+// The paper measures "interpretation followed by writing the results to
+// the database"; this module provides that sink as a compact columnar
+// file. Layout (little-endian):
+//   magic "IVTB" | u32 version | u32 field_count
+//   per field: u8 type | u16 name_len | name
+//   u32 partition_count
+//   per partition: u64 row_count, then per column:
+//     validity bitmap (ceil(rows/8) bytes), then the dense payload:
+//       Int64/Float64: rows * 8 bytes
+//       String: per row u32 length + bytes
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dataflow/table.hpp"
+
+namespace ivt::dataflow {
+
+inline constexpr std::uint32_t kTableFormatVersion = 1;
+
+/// Write `table` (schema + all partitions) to `out`.
+void write_table(const Table& table, std::ostream& out);
+void save_table(const Table& table, const std::string& path);
+
+/// Read a table back; throws std::runtime_error on corruption.
+Table read_table(std::istream& in);
+Table load_table(const std::string& path);
+
+}  // namespace ivt::dataflow

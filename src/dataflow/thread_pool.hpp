@@ -1,0 +1,50 @@
+// Fixed-size worker pool used by the Engine to execute partition tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ivt::dataflow {
+
+/// Minimal fixed-size thread pool. Tasks are plain std::function<void()>;
+/// exceptions escaping a task terminate (tasks are expected to capture and
+/// report their own failures — the Engine wraps user kernels accordingly).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueue one task.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Like wait_idle(), but the calling thread joins in executing queued
+  /// tasks instead of sleeping. Avoids one context switch per task, which
+  /// dominates on machines with few cores.
+  void help_until_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ivt::dataflow

@@ -1,0 +1,60 @@
+// Bit-level payload codec shared by every protocol.
+//
+// In-vehicle signals are packed into message payloads as bit fields with a
+// start bit, a bit length, a byte order and a raw->physical transform
+// (DBC-style). This module implements the raw bit plumbing; the transform
+// lives in ivt::signaldb.
+//
+// Bit numbering follows the DBC convention: bit b sits in byte b/8 at
+// in-byte position b%8 (bit 0 = least significant bit of byte 0).
+// - Intel (little endian): field occupies ascending bit numbers starting
+//   at start_bit; start_bit addresses the field's LSB.
+// - Motorola (big endian): start_bit addresses the field's MSB; the field
+//   grows towards numerically *lower* in-byte positions and then into the
+//   next byte (standard "motorola forward / sawtooth" layout).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ivt::protocol {
+
+enum class ByteOrder : std::uint8_t { Intel, Motorola };
+
+/// True when a field [start_bit, length] fits into `payload_size` bytes.
+bool bit_field_fits(std::size_t payload_size, std::uint16_t start_bit,
+                    std::uint16_t length, ByteOrder order);
+
+/// Extract an unsigned raw value (length in [1,64]). Precondition: the
+/// field fits (std::out_of_range otherwise).
+std::uint64_t extract_bits(std::span<const std::uint8_t> payload,
+                           std::uint16_t start_bit, std::uint16_t length,
+                           ByteOrder order);
+
+/// Insert `value`'s low `length` bits into the payload.
+/// Precondition: the field fits (std::out_of_range otherwise).
+void insert_bits(std::span<std::uint8_t> payload, std::uint16_t start_bit,
+                 std::uint16_t length, ByteOrder order, std::uint64_t value);
+
+/// Sign-extend a `length`-bit raw value to int64 (two's complement).
+std::int64_t sign_extend(std::uint64_t raw, std::uint16_t length);
+
+/// Reinterpret a 32-bit raw value as IEEE-754 float.
+float raw_to_float32(std::uint32_t raw);
+std::uint32_t float32_to_raw(float value);
+
+/// Reinterpret a 64-bit raw value as IEEE-754 double.
+double raw_to_float64(std::uint64_t raw);
+std::uint64_t float64_to_raw(double value);
+
+/// Hex rendering of a payload, e.g. "5A 01 FF".
+std::string to_hex(std::span<const std::uint8_t> payload);
+
+/// Parse "5A 01 FF" / "5a01ff" back into bytes; throws std::invalid_argument
+/// on malformed input.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace ivt::protocol

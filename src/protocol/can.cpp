@@ -1,0 +1,119 @@
+#include "protocol/can.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "protocol/bitcodec.hpp"
+
+namespace ivt::protocol {
+
+namespace {
+
+constexpr std::array<std::size_t, 16> kFdDlcTable = {
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64};
+
+}  // namespace
+
+std::size_t CanFrame::dlc() const {
+  if (!fd) return data.size();
+  return can_fd_length_to_dlc(data.size());
+}
+
+bool CanFrame::is_valid() const {
+  if (extended_id ? id > kMaxExtendedId : id > kMaxStandardId) return false;
+  if (!fd) return data.size() <= 8;
+  if (data.size() > 64) return false;
+  return std::find(kFdDlcTable.begin(), kFdDlcTable.end(), data.size()) !=
+         kFdDlcTable.end();
+}
+
+std::size_t can_fd_dlc_to_length(std::uint8_t dlc) {
+  if (dlc >= kFdDlcTable.size()) {
+    throw std::invalid_argument("CAN-FD DLC out of range: " +
+                                std::to_string(dlc));
+  }
+  return kFdDlcTable[dlc];
+}
+
+std::uint8_t can_fd_length_to_dlc(std::size_t length) {
+  for (std::size_t dlc = 0; dlc < kFdDlcTable.size(); ++dlc) {
+    if (kFdDlcTable[dlc] >= length) return static_cast<std::uint8_t>(dlc);
+  }
+  throw std::invalid_argument("CAN-FD payload too long: " +
+                              std::to_string(length));
+}
+
+std::uint16_t can_crc15(const CanFrame& frame) {
+  // CRC-15-CAN, MSB-first bitwise over a canonical byte rendering of the
+  // frame header + payload.
+  constexpr std::uint16_t kPoly = 0x4599;
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(static_cast<std::uint8_t>(frame.id >> 24));
+  bytes.push_back(static_cast<std::uint8_t>(frame.id >> 16));
+  bytes.push_back(static_cast<std::uint8_t>(frame.id >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(frame.id));
+  bytes.push_back(static_cast<std::uint8_t>(frame.data.size()));
+  bytes.insert(bytes.end(), frame.data.begin(), frame.data.end());
+
+  std::uint16_t crc = 0;
+  for (std::uint8_t byte : bytes) {
+    for (int bit = 7; bit >= 0; --bit) {
+      const bool in = ((byte >> bit) & 1) != 0;
+      const bool top = (crc & 0x4000) != 0;
+      crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+      if (in != top) crc ^= kPoly & 0x7FFF;
+    }
+  }
+  return crc;
+}
+
+std::vector<std::uint8_t> serialize(const CanFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(6 + frame.data.size());
+  std::uint8_t flags = 0;
+  if (frame.extended_id) flags |= 0x01;
+  if (frame.fd) flags |= 0x02;
+  out.push_back(flags);
+  out.push_back(static_cast<std::uint8_t>(frame.id >> 24));
+  out.push_back(static_cast<std::uint8_t>(frame.id >> 16));
+  out.push_back(static_cast<std::uint8_t>(frame.id >> 8));
+  out.push_back(static_cast<std::uint8_t>(frame.id));
+  out.push_back(static_cast<std::uint8_t>(frame.data.size()));
+  out.insert(out.end(), frame.data.begin(), frame.data.end());
+  return out;
+}
+
+CanFrame deserialize_can(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 6) {
+    throw std::invalid_argument("CAN deserialize: truncated header");
+  }
+  CanFrame frame;
+  frame.extended_id = (bytes[0] & 0x01) != 0;
+  frame.fd = (bytes[0] & 0x02) != 0;
+  frame.id = (static_cast<std::uint32_t>(bytes[1]) << 24) |
+             (static_cast<std::uint32_t>(bytes[2]) << 16) |
+             (static_cast<std::uint32_t>(bytes[3]) << 8) |
+             static_cast<std::uint32_t>(bytes[4]);
+  const std::size_t len = bytes[5];
+  if (bytes.size() < 6 + len) {
+    throw std::invalid_argument("CAN deserialize: truncated payload");
+  }
+  frame.data.assign(bytes.begin() + 6, bytes.begin() + 6 + len);
+  return frame;
+}
+
+std::string to_display_string(const CanFrame& frame) {
+  std::string out = frame.fd ? "CANFD " : "CAN ";
+  char idbuf[16];
+  std::snprintf(idbuf, sizeof(idbuf), frame.extended_id ? "%08X" : "%03X",
+                frame.id);
+  out += idbuf;
+  out += " [";
+  out += std::to_string(frame.data.size());
+  out += "] ";
+  out += to_hex(frame.data);
+  return out;
+}
+
+}  // namespace ivt::protocol

@@ -1,0 +1,46 @@
+// Classic CAN and CAN-FD frames.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ivt::protocol {
+
+/// A CAN 2.0 / CAN-FD data frame as recorded by a bus monitor.
+struct CanFrame {
+  std::uint32_t id = 0;        ///< 11-bit standard or 29-bit extended id
+  bool extended_id = false;    ///< 29-bit id flag (IDE)
+  bool fd = false;             ///< CAN-FD frame (EDL)
+  std::vector<std::uint8_t> data;  ///< 0..8 bytes (classic) / 0..64 (FD)
+
+  [[nodiscard]] std::size_t dlc() const;  ///< DLC field for current size
+
+  /// Frame-level validity: id range, payload length legal for frame kind
+  /// (FD payload sizes must be DLC-encodable: 0..8,12,16,20,24,32,48,64).
+  [[nodiscard]] bool is_valid() const;
+};
+
+inline constexpr std::uint32_t kMaxStandardId = 0x7FF;
+inline constexpr std::uint32_t kMaxExtendedId = 0x1FFFFFFF;
+
+/// CAN-FD DLC (0..15) -> payload byte count (0..64).
+std::size_t can_fd_dlc_to_length(std::uint8_t dlc);
+
+/// Payload byte count -> smallest DLC whose length is >= `length`.
+/// Throws std::invalid_argument for length > 64.
+std::uint8_t can_fd_length_to_dlc(std::size_t length);
+
+/// CRC-15 over id/dlc/data — the polynomial used on the wire (x^15 + x^14 +
+/// x^10 + x^8 + x^7 + x^4 + x^3 + 1). Monitors use it to flag corrupted
+/// frames; the fault injector uses it to create them.
+std::uint16_t can_crc15(const CanFrame& frame);
+
+/// Wire-ish serialization used by the trace format: [flags][id][len][data].
+std::vector<std::uint8_t> serialize(const CanFrame& frame);
+CanFrame deserialize_can(std::span<const std::uint8_t> bytes);
+
+std::string to_display_string(const CanFrame& frame);
+
+}  // namespace ivt::protocol

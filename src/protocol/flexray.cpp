@@ -1,0 +1,62 @@
+#include "protocol/flexray.hpp"
+
+#include <stdexcept>
+
+#include "protocol/bitcodec.hpp"
+
+namespace ivt::protocol {
+
+std::uint16_t flexray_header_crc(const FlexRayFrame& frame) {
+  // 11-bit CRC, polynomial x^11 + x^9 + x^8 + x^7 + x^2 + 1 (0x385),
+  // init 0x1A, over the 20-bit header field (frame id + payload length in
+  // words), MSB first.
+  constexpr std::uint16_t kPoly = 0x385;
+  std::uint16_t crc = 0x1A;
+  const std::uint32_t header =
+      (static_cast<std::uint32_t>(frame.slot_id & 0x7FF) << 9) |
+      (static_cast<std::uint32_t>((frame.data.size() + 1) / 2) & 0x7F) << 2;
+  for (int bit = 19; bit >= 0; --bit) {
+    const bool in = ((header >> bit) & 1) != 0;
+    const bool top = (crc & 0x400) != 0;
+    crc = static_cast<std::uint16_t>((crc << 1) & 0x7FF);
+    if (in != top) crc ^= kPoly & 0x7FF;
+  }
+  return crc;
+}
+
+std::vector<std::uint8_t> serialize(const FlexRayFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(5 + frame.data.size());
+  out.push_back(static_cast<std::uint8_t>(frame.slot_id >> 8));
+  out.push_back(static_cast<std::uint8_t>(frame.slot_id));
+  out.push_back(frame.cycle);
+  out.push_back(frame.channel_a ? 0x01 : 0x00);
+  out.push_back(static_cast<std::uint8_t>(frame.data.size()));
+  out.insert(out.end(), frame.data.begin(), frame.data.end());
+  return out;
+}
+
+FlexRayFrame deserialize_flexray(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 5) {
+    throw std::invalid_argument("FlexRay deserialize: truncated header");
+  }
+  FlexRayFrame frame;
+  frame.slot_id =
+      static_cast<std::uint16_t>((bytes[0] << 8) | bytes[1]);
+  frame.cycle = bytes[2];
+  frame.channel_a = (bytes[3] & 0x01) != 0;
+  const std::size_t len = bytes[4];
+  if (bytes.size() < 5 + len) {
+    throw std::invalid_argument("FlexRay deserialize: truncated payload");
+  }
+  frame.data.assign(bytes.begin() + 5, bytes.begin() + 5 + len);
+  return frame;
+}
+
+std::string to_display_string(const FlexRayFrame& frame) {
+  return "FR slot " + std::to_string(frame.slot_id) + " cyc " +
+         std::to_string(frame.cycle) + " [" +
+         std::to_string(frame.data.size()) + "] " + to_hex(frame.data);
+}
+
+}  // namespace ivt::protocol

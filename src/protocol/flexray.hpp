@@ -1,0 +1,32 @@
+// FlexRay static-segment frames (minimal model: slot id, cycle, payload).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ivt::protocol {
+
+struct FlexRayFrame {
+  std::uint16_t slot_id = 1;  ///< 1..2047
+  std::uint8_t cycle = 0;     ///< 0..63
+  bool channel_a = true;
+  std::vector<std::uint8_t> data;  ///< up to 254 bytes, even length on wire
+
+  [[nodiscard]] bool is_valid() const {
+    return slot_id >= 1 && slot_id <= 2047 && cycle <= 63 &&
+           data.size() <= 254;
+  }
+};
+
+/// FlexRay 11-bit header CRC over sync/startup bits, frame id and payload
+/// length (polynomial 0x385, init 0x1A).
+std::uint16_t flexray_header_crc(const FlexRayFrame& frame);
+
+std::vector<std::uint8_t> serialize(const FlexRayFrame& frame);
+FlexRayFrame deserialize_flexray(std::span<const std::uint8_t> bytes);
+
+std::string to_display_string(const FlexRayFrame& frame);
+
+}  // namespace ivt::protocol

@@ -1,0 +1,30 @@
+#include "protocol/frame.hpp"
+
+namespace ivt::protocol {
+
+std::string_view to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::Can:
+      return "CAN";
+    case Protocol::CanFd:
+      return "CAN-FD";
+    case Protocol::Lin:
+      return "LIN";
+    case Protocol::SomeIp:
+      return "SOME/IP";
+    case Protocol::FlexRay:
+      return "FlexRay";
+  }
+  return "unknown";
+}
+
+std::optional<Protocol> parse_protocol(std::string_view name) {
+  if (name == "CAN") return Protocol::Can;
+  if (name == "CAN-FD" || name == "CANFD") return Protocol::CanFd;
+  if (name == "LIN" || name == "K-LIN") return Protocol::Lin;
+  if (name == "SOME/IP" || name == "SOMEIP") return Protocol::SomeIp;
+  if (name == "FlexRay" || name == "FLEXRAY") return Protocol::FlexRay;
+  return std::nullopt;
+}
+
+}  // namespace ivt::protocol

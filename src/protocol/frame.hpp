@@ -1,0 +1,21 @@
+// Protocol identifiers shared across the trace tooling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ivt::protocol {
+
+enum class Protocol : std::uint8_t {
+  Can = 0,
+  CanFd = 1,
+  Lin = 2,
+  SomeIp = 3,
+  FlexRay = 4,
+};
+
+std::string_view to_string(Protocol protocol);
+std::optional<Protocol> parse_protocol(std::string_view name);
+
+}  // namespace ivt::protocol

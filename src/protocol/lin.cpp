@@ -1,0 +1,80 @@
+#include "protocol/lin.hpp"
+
+#include <stdexcept>
+
+#include "protocol/bitcodec.hpp"
+
+namespace ivt::protocol {
+
+std::uint8_t lin_protected_id(std::uint8_t id) {
+  if (id > 0x3F) {
+    throw std::invalid_argument("LIN id out of range: " + std::to_string(id));
+  }
+  const auto bit = [id](int i) { return (id >> i) & 1; };
+  const std::uint8_t p0 =
+      static_cast<std::uint8_t>(bit(0) ^ bit(1) ^ bit(2) ^ bit(4));
+  const std::uint8_t p1 =
+      static_cast<std::uint8_t>(~(bit(1) ^ bit(3) ^ bit(4) ^ bit(5)) & 1);
+  return static_cast<std::uint8_t>(id | (p0 << 6) | (p1 << 7));
+}
+
+std::uint8_t lin_id_from_pid(std::uint8_t pid) {
+  const std::uint8_t id = pid & 0x3F;
+  if (lin_protected_id(id) != pid) {
+    throw std::invalid_argument("LIN PID parity error");
+  }
+  return id;
+}
+
+std::uint8_t lin_checksum(const LinFrame& frame) {
+  std::uint16_t sum = 0;
+  if (frame.checksum_model == LinChecksumModel::Enhanced) {
+    sum = lin_protected_id(frame.id);
+  }
+  for (std::uint8_t b : frame.data) {
+    sum = static_cast<std::uint16_t>(sum + b);
+    if (sum >= 256) sum = static_cast<std::uint16_t>(sum - 255);
+  }
+  return static_cast<std::uint8_t>(~sum & 0xFF);
+}
+
+std::vector<std::uint8_t> serialize(const LinFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + frame.data.size());
+  out.push_back(lin_protected_id(frame.id));
+  out.push_back(static_cast<std::uint8_t>(
+      (frame.data.size() & 0x0F) |
+      (frame.checksum_model == LinChecksumModel::Enhanced ? 0x80 : 0x00)));
+  out.insert(out.end(), frame.data.begin(), frame.data.end());
+  out.push_back(lin_checksum(frame));
+  return out;
+}
+
+LinFrame deserialize_lin(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 3) {
+    throw std::invalid_argument("LIN deserialize: truncated frame");
+  }
+  LinFrame frame;
+  frame.id = lin_id_from_pid(bytes[0]);
+  frame.checksum_model = (bytes[1] & 0x80) != 0 ? LinChecksumModel::Enhanced
+                                                : LinChecksumModel::Classic;
+  const std::size_t len = bytes[1] & 0x0F;
+  if (len == 0 || len > 8 || bytes.size() < 2 + len + 1) {
+    throw std::invalid_argument("LIN deserialize: bad length");
+  }
+  frame.data.assign(bytes.begin() + 2, bytes.begin() + 2 + len);
+  const std::uint8_t checksum = bytes[2 + len];
+  if (checksum != lin_checksum(frame)) {
+    throw std::invalid_argument("LIN deserialize: checksum mismatch");
+  }
+  return frame;
+}
+
+std::string to_display_string(const LinFrame& frame) {
+  char idbuf[8];
+  std::snprintf(idbuf, sizeof(idbuf), "%02X", frame.id);
+  return std::string("LIN ") + idbuf + " [" +
+         std::to_string(frame.data.size()) + "] " + to_hex(frame.data);
+}
+
+}  // namespace ivt::protocol

@@ -1,0 +1,42 @@
+// LIN 2.x frames (the paper's "K-LIN" channel).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ivt::protocol {
+
+enum class LinChecksumModel : std::uint8_t {
+  Classic,   ///< over data bytes only (LIN 1.x and diagnostic frames)
+  Enhanced,  ///< over PID + data bytes (LIN 2.x)
+};
+
+/// A LIN frame as observed on the bus.
+struct LinFrame {
+  std::uint8_t id = 0;  ///< 6-bit frame identifier (0..63)
+  std::vector<std::uint8_t> data;  ///< 1..8 bytes
+  LinChecksumModel checksum_model = LinChecksumModel::Enhanced;
+
+  [[nodiscard]] bool is_valid() const {
+    return id <= 0x3F && !data.empty() && data.size() <= 8;
+  }
+};
+
+/// Protected identifier: id plus the two parity bits P0/P1 (LIN 2.x spec).
+std::uint8_t lin_protected_id(std::uint8_t id);
+
+/// Recover the 6-bit id from a PID; throws std::invalid_argument when the
+/// parity bits are inconsistent.
+std::uint8_t lin_id_from_pid(std::uint8_t pid);
+
+/// Carry-wrapping inverted-sum-8 checksum per the LIN spec.
+std::uint8_t lin_checksum(const LinFrame& frame);
+
+std::vector<std::uint8_t> serialize(const LinFrame& frame);
+LinFrame deserialize_lin(std::span<const std::uint8_t> bytes);
+
+std::string to_display_string(const LinFrame& frame);
+
+}  // namespace ivt::protocol

@@ -1,0 +1,83 @@
+#include "protocol/someip.hpp"
+
+#include <stdexcept>
+
+#include "protocol/bitcodec.hpp"
+
+namespace ivt::protocol {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint16_t>((b[at] << 8) | b[at + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
+  return (static_cast<std::uint32_t>(b[at]) << 24) |
+         (static_cast<std::uint32_t>(b[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[at + 2]) << 8) |
+         static_cast<std::uint32_t>(b[at + 3]);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const SomeIpMessage& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSomeIpHeaderSize + message.payload.size());
+  put_u16(out, message.service_id);
+  put_u16(out, message.method_id);
+  put_u32(out, message.length());
+  put_u16(out, message.client_id);
+  put_u16(out, message.session_id);
+  out.push_back(message.protocol_version);
+  out.push_back(message.interface_version);
+  out.push_back(static_cast<std::uint8_t>(message.message_type));
+  out.push_back(static_cast<std::uint8_t>(message.return_code));
+  out.insert(out.end(), message.payload.begin(), message.payload.end());
+  return out;
+}
+
+SomeIpMessage deserialize_someip(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSomeIpHeaderSize) {
+    throw std::invalid_argument("SOME/IP deserialize: truncated header");
+  }
+  SomeIpMessage m;
+  m.service_id = get_u16(bytes, 0);
+  m.method_id = get_u16(bytes, 2);
+  const std::uint32_t length = get_u32(bytes, 4);
+  m.client_id = get_u16(bytes, 8);
+  m.session_id = get_u16(bytes, 10);
+  m.protocol_version = bytes[12];
+  m.interface_version = bytes[13];
+  m.message_type = static_cast<SomeIpMessageType>(bytes[14]);
+  m.return_code = static_cast<SomeIpReturnCode>(bytes[15]);
+  if (length < 8 || bytes.size() < 8 + length) {
+    throw std::invalid_argument("SOME/IP deserialize: bad length field");
+  }
+  const std::size_t payload_len = length - 8;
+  m.payload.assign(bytes.begin() + kSomeIpHeaderSize,
+                   bytes.begin() + kSomeIpHeaderSize + payload_len);
+  return m;
+}
+
+std::string to_display_string(const SomeIpMessage& message) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "SOME/IP %04X.%04X", message.service_id,
+                message.method_id);
+  return std::string(buf) + " [" + std::to_string(message.payload.size()) +
+         "] " + to_hex(message.payload);
+}
+
+}  // namespace ivt::protocol

@@ -1,0 +1,66 @@
+// SOME/IP messages (Scalable service-Oriented MiddlewarE over IP).
+//
+// The paper's Table 1 extracts signals from SOME/IP with rules "where
+// values of preceding bytes define the presence of a signal type in
+// succeeding bytes" — i.e. optional payload members. We model the
+// standard 16-byte header plus a payload; the conditional-presence rules
+// live in ivt::signaldb (PresenceCondition).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ivt::protocol {
+
+enum class SomeIpMessageType : std::uint8_t {
+  Request = 0x00,
+  RequestNoReturn = 0x01,
+  Notification = 0x02,
+  Response = 0x80,
+  Error = 0x81,
+};
+
+enum class SomeIpReturnCode : std::uint8_t {
+  Ok = 0x00,
+  NotOk = 0x01,
+  UnknownService = 0x02,
+  UnknownMethod = 0x03,
+  NotReady = 0x04,
+  MalformedMessage = 0x09,
+};
+
+struct SomeIpMessage {
+  std::uint16_t service_id = 0;
+  std::uint16_t method_id = 0;  ///< method or event id
+  std::uint16_t client_id = 0;
+  std::uint16_t session_id = 0;
+  std::uint8_t protocol_version = 1;
+  std::uint8_t interface_version = 1;
+  SomeIpMessageType message_type = SomeIpMessageType::Notification;
+  SomeIpReturnCode return_code = SomeIpReturnCode::Ok;
+  std::vector<std::uint8_t> payload;
+
+  /// 32-bit message id as used on the wire and as the trace's m_id.
+  [[nodiscard]] std::uint32_t message_id() const {
+    return (static_cast<std::uint32_t>(service_id) << 16) | method_id;
+  }
+  /// Length field: request id + version/type/return fields + payload.
+  [[nodiscard]] std::uint32_t length() const {
+    return static_cast<std::uint32_t>(8 + payload.size());
+  }
+};
+
+inline constexpr std::size_t kSomeIpHeaderSize = 16;
+
+/// Serialize header (big-endian, per spec) + payload.
+std::vector<std::uint8_t> serialize(const SomeIpMessage& message);
+
+/// Parse; throws std::invalid_argument on truncation or a length field
+/// inconsistent with the buffer.
+SomeIpMessage deserialize_someip(std::span<const std::uint8_t> bytes);
+
+std::string to_display_string(const SomeIpMessage& message);
+
+}  // namespace ivt::protocol

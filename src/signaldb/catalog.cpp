@@ -1,0 +1,98 @@
+#include "signaldb/catalog.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ivt::signaldb {
+
+void Catalog::add_message(MessageSpec message) {
+  for (const MessageSpec& m : messages_) {
+    if (m.bus == message.bus && m.message_id == message.message_id) {
+      throw std::invalid_argument("catalog: duplicate (bus, id) = (" +
+                                  message.bus + ", " +
+                                  std::to_string(message.message_id) + ")");
+    }
+    if (m.name == message.name) {
+      throw std::invalid_argument("catalog: duplicate message name '" +
+                                  message.name + "'");
+    }
+  }
+  std::unordered_set<std::string_view> new_names;
+  for (const SignalSpec& s : message.signals) {
+    if (!new_names.insert(s.name).second) {
+      throw std::invalid_argument("catalog: duplicate signal '" + s.name +
+                                  "' within message '" + message.name + "'");
+    }
+    if (find_signal(s.name).valid()) {
+      throw std::invalid_argument("catalog: signal name '" + s.name +
+                                  "' already defined in another message");
+    }
+  }
+  messages_.push_back(std::move(message));
+}
+
+const MessageSpec* Catalog::find_message(std::string_view bus,
+                                         std::int64_t message_id) const {
+  for (const MessageSpec& m : messages_) {
+    if (m.bus == bus && m.message_id == message_id) return &m;
+  }
+  return nullptr;
+}
+
+const MessageSpec* Catalog::find_message_by_name(std::string_view name) const {
+  for (const MessageSpec& m : messages_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+SignalRef Catalog::find_signal(std::string_view name) const {
+  for (const MessageSpec& m : messages_) {
+    if (const SignalSpec* s = m.find_signal(name)) {
+      return SignalRef{&m, s};
+    }
+  }
+  return SignalRef{};
+}
+
+std::size_t Catalog::num_signals() const {
+  std::size_t n = 0;
+  for (const MessageSpec& m : messages_) n += m.signals.size();
+  return n;
+}
+
+std::vector<std::string> Catalog::signal_names() const {
+  std::vector<std::string> names;
+  names.reserve(num_signals());
+  for (const MessageSpec& m : messages_) {
+    for (const SignalSpec& s : m.signals) names.push_back(s.name);
+  }
+  return names;
+}
+
+bool Catalog::document_cycle_time(std::string_view bus,
+                                  std::int64_t message_id,
+                                  std::int64_t expected_cycle_ns) {
+  for (MessageSpec& m : messages_) {
+    if (m.bus == bus && m.message_id == message_id) {
+      for (SignalSpec& s : m.signals) {
+        s.expected_cycle_ns = expected_cycle_ns;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Catalog::bus_names() const {
+  std::vector<std::string> buses;
+  for (const MessageSpec& m : messages_) {
+    if (std::find(buses.begin(), buses.end(), m.bus) == buses.end()) {
+      buses.push_back(m.bus);
+    }
+  }
+  return buses;
+}
+
+}  // namespace ivt::signaldb

@@ -1,0 +1,68 @@
+// Catalog: the full set of documented message/signal types of a vehicle —
+// the source from which a domain's translation tuples U_rel are selected.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "signaldb/spec.hpp"
+
+namespace ivt::signaldb {
+
+/// Reference to one signal inside the catalog.
+struct SignalRef {
+  const MessageSpec* message = nullptr;
+  const SignalSpec* signal = nullptr;
+
+  [[nodiscard]] bool valid() const { return message && signal; }
+};
+
+class Catalog {
+ public:
+  /// Add a message type. Throws std::invalid_argument when (bus, id) or
+  /// the message name is already present, or when a contained signal name
+  /// collides with one defined elsewhere (signal names are globally unique
+  /// s_id values in the paper's alphabet Σ).
+  void add_message(MessageSpec message);
+
+  [[nodiscard]] const std::vector<MessageSpec>& messages() const {
+    return messages_;
+  }
+
+  [[nodiscard]] const MessageSpec* find_message(std::string_view bus,
+                                                std::int64_t message_id) const;
+  [[nodiscard]] const MessageSpec* find_message_by_name(
+      std::string_view name) const;
+
+  /// Lookup a signal type by its globally unique name.
+  [[nodiscard]] SignalRef find_signal(std::string_view name) const;
+
+  [[nodiscard]] std::size_t num_messages() const { return messages_.size(); }
+  [[nodiscard]] std::size_t num_signals() const;
+
+  /// All signal names (the alphabet Σ), in catalog order.
+  [[nodiscard]] std::vector<std::string> signal_names() const;
+
+  /// All distinct bus names, in first-use order.
+  [[nodiscard]] std::vector<std::string> bus_names() const;
+
+  /// Document (or update) the expected cycle time of every signal in the
+  /// message (bus, message_id) — e.g. from a data-driven estimate
+  /// (tracefile::estimate_cycles). Returns false when the message is
+  /// unknown.
+  bool document_cycle_time(std::string_view bus, std::int64_t message_id,
+                           std::int64_t expected_cycle_ns);
+
+ private:
+  std::vector<MessageSpec> messages_;
+};
+
+/// Text serialization (a small DBC-like format, documented in io.cpp).
+std::string to_text(const Catalog& catalog);
+Catalog catalog_from_text(const std::string& text);
+
+void save_catalog(const Catalog& catalog, const std::string& path);
+Catalog load_catalog(const std::string& path);
+
+}  // namespace ivt::signaldb

@@ -1,0 +1,340 @@
+// Text (de)serialization for Catalog.
+//
+// Format (line oriented; '#' starts a comment; values with spaces are
+// double-quoted):
+//
+//   message <name> bus=<b_id> id=<m_id> protocol=<CAN|CAN-FD|LIN|SOME/IP|FlexRay> size=<bytes>
+//     signal <s_id> start=<bit> len=<bits> order=<intel|motorola>
+//            kind=<unsigned|signed|float32|float64> scale=<f> offset=<f>
+//            aff=<F|V> [unit=<str>] [cycle_ns=<int>] [min=<f>] [max=<f>]
+//            [presence=<selStart>,<selLen>,<intel|motorola>,<equals>]
+//            [ordered=<0|1>] [comment=<str>]
+//       value <raw> <label> [V]      # trailing V marks a validity label
+//   end
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "signaldb/catalog.hpp"
+
+namespace ivt::signaldb {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  if (!s.empty() &&
+      s.find_first_of(" \t\"#") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Split a line into tokens; double quotes group, backslash escapes.
+std::vector<std::string> tokenize(const std::string& line, std::size_t lineno) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  bool in_quotes = false;
+  bool has_token = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '\\' && i + 1 < line.size()) {
+        cur += line[++i];
+      } else if (c == '"') {
+        in_quotes = false;
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      has_token = true;
+    } else if (c == '#') {
+      break;
+    } else if (c == ' ' || c == '\t' || c == '\r') {
+      if (has_token) {
+        tokens.push_back(std::move(cur));
+        cur.clear();
+        has_token = false;
+      }
+    } else {
+      cur += c;
+      has_token = true;
+    }
+  }
+  if (in_quotes) {
+    throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                             ": unterminated quote");
+  }
+  if (has_token) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+/// key=value map over tokens[from..]; bare tokens are rejected.
+std::map<std::string, std::string> parse_kv(
+    const std::vector<std::string>& tokens, std::size_t from,
+    std::size_t lineno) {
+  std::map<std::string, std::string> kv;
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                               ": expected key=value, got '" + tokens[i] +
+                               "'");
+    }
+    kv[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return kv;
+}
+
+double to_double(const std::string& s, std::size_t lineno) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                             ": bad number '" + s + "'");
+  }
+}
+
+std::int64_t to_int(const std::string& s, std::size_t lineno) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(s, &pos, 0);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                             ": bad integer '" + s + "'");
+  }
+}
+
+protocol::ByteOrder to_order(const std::string& s, std::size_t lineno) {
+  if (s == "intel") return protocol::ByteOrder::Intel;
+  if (s == "motorola") return protocol::ByteOrder::Motorola;
+  throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                           ": bad byte order '" + s + "'");
+}
+
+}  // namespace
+
+std::string to_text(const Catalog& catalog) {
+  std::ostringstream os;
+  os << "# ivt signal catalog v1\n";
+  for (const MessageSpec& m : catalog.messages()) {
+    os << "message " << quote(m.name) << " bus=" << quote(m.bus)
+       << " id=" << m.message_id
+       << " protocol=" << protocol::to_string(m.protocol)
+       << " size=" << m.payload_size << "\n";
+    for (const SignalSpec& s : m.signals) {
+      os << "  signal " << quote(s.name) << " start=" << s.start_bit
+         << " len=" << s.length << " order="
+         << (s.byte_order == protocol::ByteOrder::Intel ? "intel"
+                                                        : "motorola")
+         << " kind=" << to_string(s.value_kind) << " scale=" << s.transform.scale
+         << " offset=" << s.transform.offset << " aff=" << to_string(s.affiliation);
+      if (!s.unit.empty()) os << " unit=" << quote(s.unit);
+      if (s.expected_cycle_ns != 0) os << " cycle_ns=" << s.expected_cycle_ns;
+      if (s.min_value) os << " min=" << *s.min_value;
+      if (s.max_value) os << " max=" << *s.max_value;
+      if (!s.presence.always) {
+        os << " presence=" << s.presence.selector_start_bit << ","
+           << s.presence.selector_length << ","
+           << (s.presence.selector_order == protocol::ByteOrder::Intel
+                   ? "intel"
+                   : "motorola")
+           << "," << s.presence.equals;
+      }
+      if (s.ordered_values) os << " ordered=1";
+      if (!s.comment.empty()) os << " comment=" << quote(s.comment);
+      os << "\n";
+      for (const ValueTableEntry& e : s.value_table) {
+        os << "    value " << e.raw << " " << quote(e.label)
+           << (e.validity ? " V" : "") << "\n";
+      }
+    }
+    os << "end\n";
+  }
+  return os.str();
+}
+
+Catalog catalog_from_text(const std::string& text) {
+  Catalog catalog;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+
+  MessageSpec current;
+  bool in_message = false;
+
+  auto finish_message = [&]() {
+    if (in_message) {
+      catalog.add_message(std::move(current));
+      current = MessageSpec{};
+      in_message = false;
+    }
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::vector<std::string> tokens = tokenize(line, lineno);
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens[0];
+
+    if (kind == "message") {
+      finish_message();
+      if (tokens.size() < 2) {
+        throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                                 ": message needs a name");
+      }
+      current = MessageSpec{};
+      current.name = tokens[1];
+      const auto kv = parse_kv(tokens, 2, lineno);
+      for (const auto& [key, value] : kv) {
+        if (key == "bus") {
+          current.bus = value;
+        } else if (key == "id") {
+          current.message_id = to_int(value, lineno);
+        } else if (key == "protocol") {
+          const auto p = protocol::parse_protocol(value);
+          if (!p) {
+            throw std::runtime_error("catalog line " +
+                                     std::to_string(lineno) +
+                                     ": unknown protocol '" + value + "'");
+          }
+          current.protocol = *p;
+        } else if (key == "size") {
+          current.payload_size =
+              static_cast<std::size_t>(to_int(value, lineno));
+        } else {
+          throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                                   ": unknown message key '" + key + "'");
+        }
+      }
+      in_message = true;
+    } else if (kind == "signal") {
+      if (!in_message) {
+        throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                                 ": signal outside message");
+      }
+      if (tokens.size() < 2) {
+        throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                                 ": signal needs a name");
+      }
+      SignalSpec s;
+      s.name = tokens[1];
+      const auto kv = parse_kv(tokens, 2, lineno);
+      for (const auto& [key, value] : kv) {
+        if (key == "start") {
+          s.start_bit = static_cast<std::uint16_t>(to_int(value, lineno));
+        } else if (key == "len") {
+          s.length = static_cast<std::uint16_t>(to_int(value, lineno));
+        } else if (key == "order") {
+          s.byte_order = to_order(value, lineno);
+        } else if (key == "kind") {
+          const auto k = parse_value_kind(value);
+          if (!k) {
+            throw std::runtime_error("catalog line " +
+                                     std::to_string(lineno) +
+                                     ": unknown kind '" + value + "'");
+          }
+          s.value_kind = *k;
+        } else if (key == "scale") {
+          s.transform.scale = to_double(value, lineno);
+        } else if (key == "offset") {
+          s.transform.offset = to_double(value, lineno);
+        } else if (key == "aff") {
+          if (value == "F") {
+            s.affiliation = Affiliation::Functional;
+          } else if (value == "V") {
+            s.affiliation = Affiliation::Validity;
+          } else {
+            throw std::runtime_error("catalog line " +
+                                     std::to_string(lineno) +
+                                     ": bad aff '" + value + "'");
+          }
+        } else if (key == "unit") {
+          s.unit = value;
+        } else if (key == "cycle_ns") {
+          s.expected_cycle_ns = to_int(value, lineno);
+        } else if (key == "min") {
+          s.min_value = to_double(value, lineno);
+        } else if (key == "max") {
+          s.max_value = to_double(value, lineno);
+        } else if (key == "presence") {
+          // selStart,selLen,order,equals
+          std::istringstream ps(value);
+          std::string part;
+          std::vector<std::string> parts;
+          while (std::getline(ps, part, ',')) parts.push_back(part);
+          if (parts.size() != 4) {
+            throw std::runtime_error("catalog line " +
+                                     std::to_string(lineno) +
+                                     ": presence needs 4 fields");
+          }
+          s.presence.always = false;
+          s.presence.selector_start_bit =
+              static_cast<std::uint16_t>(to_int(parts[0], lineno));
+          s.presence.selector_length =
+              static_cast<std::uint16_t>(to_int(parts[1], lineno));
+          s.presence.selector_order = to_order(parts[2], lineno);
+          s.presence.equals =
+              static_cast<std::uint64_t>(to_int(parts[3], lineno));
+        } else if (key == "ordered") {
+          s.ordered_values = to_int(value, lineno) != 0;
+        } else if (key == "comment") {
+          s.comment = value;
+        } else {
+          throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                                   ": unknown signal key '" + key + "'");
+        }
+      }
+      current.signals.push_back(std::move(s));
+    } else if (kind == "value") {
+      if (!in_message || current.signals.empty()) {
+        throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                                 ": value outside signal");
+      }
+      if (tokens.size() != 3 && !(tokens.size() == 4 && tokens[3] == "V")) {
+        throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                                 ": value needs <raw> <label> [V]");
+      }
+      current.signals.back().value_table.push_back(ValueTableEntry{
+          static_cast<std::uint64_t>(to_int(tokens[1], lineno)), tokens[2],
+          tokens.size() == 4});
+    } else if (kind == "end") {
+      finish_message();
+    } else {
+      throw std::runtime_error("catalog line " + std::to_string(lineno) +
+                               ": unknown directive '" + kind + "'");
+    }
+  }
+  finish_message();
+  return catalog;
+}
+
+void save_catalog(const Catalog& catalog, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << to_text(catalog);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Catalog load_catalog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return catalog_from_text(buffer.str());
+}
+
+}  // namespace ivt::signaldb

@@ -1,0 +1,159 @@
+#include "signaldb/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ivt::signaldb {
+
+std::string_view to_string(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::Unsigned:
+      return "unsigned";
+    case ValueKind::Signed:
+      return "signed";
+    case ValueKind::Float32:
+      return "float32";
+    case ValueKind::Float64:
+      return "float64";
+  }
+  return "unknown";
+}
+
+std::optional<ValueKind> parse_value_kind(std::string_view name) {
+  if (name == "unsigned") return ValueKind::Unsigned;
+  if (name == "signed") return ValueKind::Signed;
+  if (name == "float32") return ValueKind::Float32;
+  if (name == "float64") return ValueKind::Float64;
+  return std::nullopt;
+}
+
+std::string_view to_string(Affiliation affiliation) {
+  return affiliation == Affiliation::Functional ? "F" : "V";
+}
+
+const ValueTableEntry* SignalSpec::find_label(std::uint64_t raw) const {
+  for (const ValueTableEntry& e : value_table) {
+    if (e.raw == raw) return &e;
+  }
+  return nullptr;
+}
+
+std::optional<std::uint64_t> SignalSpec::find_raw(
+    std::string_view label) const {
+  for (const ValueTableEntry& e : value_table) {
+    if (e.label == label) return e.raw;
+  }
+  return std::nullopt;
+}
+
+const SignalSpec* MessageSpec::find_signal(std::string_view name) const {
+  for (const SignalSpec& s : signals) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+DecodedValue decode_signal(std::span<const std::uint8_t> payload,
+                           const SignalSpec& spec) {
+  DecodedValue out;
+  if (!spec.presence.always) {
+    if (!protocol::bit_field_fits(payload.size(),
+                                  spec.presence.selector_start_bit,
+                                  spec.presence.selector_length,
+                                  spec.presence.selector_order)) {
+      return out;
+    }
+    const std::uint64_t selector = protocol::extract_bits(
+        payload, spec.presence.selector_start_bit,
+        spec.presence.selector_length, spec.presence.selector_order);
+    if (selector != spec.presence.equals) return out;
+  }
+  if (!protocol::bit_field_fits(payload.size(), spec.start_bit, spec.length,
+                                spec.byte_order)) {
+    return out;
+  }
+  const std::uint64_t raw = protocol::extract_bits(
+      payload, spec.start_bit, spec.length, spec.byte_order);
+  out.present = true;
+  double raw_value = 0.0;
+  switch (spec.value_kind) {
+    case ValueKind::Unsigned:
+      raw_value = static_cast<double>(raw);
+      break;
+    case ValueKind::Signed:
+      raw_value = static_cast<double>(protocol::sign_extend(raw, spec.length));
+      break;
+    case ValueKind::Float32:
+      raw_value = static_cast<double>(
+          protocol::raw_to_float32(static_cast<std::uint32_t>(raw)));
+      break;
+    case ValueKind::Float64:
+      raw_value = protocol::raw_to_float64(raw);
+      break;
+  }
+  out.physical = spec.transform.apply(raw_value);
+  if (spec.is_categorical()) {
+    if (const ValueTableEntry* entry = spec.find_label(raw)) {
+      out.label = entry->label;
+    } else {
+      out.label = "raw:" + std::to_string(raw);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::uint64_t physical_to_raw(const SignalSpec& spec, double physical) {
+  if (spec.transform.scale == 0.0) {
+    throw std::invalid_argument("encode_signal: zero scale on '" + spec.name +
+                                "'");
+  }
+  double raw_value = spec.transform.invert(physical);
+  switch (spec.value_kind) {
+    case ValueKind::Float32:
+      return protocol::float32_to_raw(static_cast<float>(raw_value));
+    case ValueKind::Float64:
+      return protocol::float64_to_raw(raw_value);
+    case ValueKind::Signed: {
+      const double lo =
+          -std::ldexp(1.0, spec.length - 1);  // -2^(len-1)
+      const double hi = std::ldexp(1.0, spec.length - 1) - 1.0;
+      raw_value = std::clamp(std::round(raw_value), lo, hi);
+      const std::int64_t v = static_cast<std::int64_t>(raw_value);
+      return static_cast<std::uint64_t>(v) &
+             (spec.length >= 64 ? ~0ULL : ((1ULL << spec.length) - 1));
+    }
+    case ValueKind::Unsigned: {
+      const double hi = spec.length >= 64
+                            ? std::ldexp(1.0, 64) - 1.0
+                            : std::ldexp(1.0, spec.length) - 1.0;
+      raw_value = std::clamp(std::round(raw_value), 0.0, hi);
+      return static_cast<std::uint64_t>(raw_value);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+void encode_signal(std::span<std::uint8_t> payload, const SignalSpec& spec,
+                   double physical) {
+  protocol::insert_bits(payload, spec.start_bit, spec.length, spec.byte_order,
+                        physical_to_raw(spec, physical));
+}
+
+void encode_signal_label(std::span<std::uint8_t> payload,
+                         const SignalSpec& spec, std::string_view label) {
+  const std::optional<std::uint64_t> raw = spec.find_raw(label);
+  if (!raw) {
+    throw std::invalid_argument("encode_signal_label: unknown label '" +
+                                std::string(label) + "' for signal '" +
+                                spec.name + "'");
+  }
+  protocol::insert_bits(payload, spec.start_bit, spec.length, spec.byte_order,
+                        *raw);
+}
+
+}  // namespace ivt::signaldb

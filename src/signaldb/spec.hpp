@@ -1,0 +1,149 @@
+// Signal & message specifications — the domain documentation the paper's
+// translation tuples U_rel are generated from (paper Table 1).
+//
+// A SignalSpec carries everything u_info needs: where the signal's bits
+// live in the payload (rel.B), how the raw value maps to a physical value
+// or categorical label (Int.rule), validity semantics and domain knowledge
+// such as the expected cycle time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "protocol/bitcodec.hpp"
+#include "protocol/frame.hpp"
+
+namespace ivt::signaldb {
+
+/// How the raw bit field is to be read.
+enum class ValueKind : std::uint8_t {
+  Unsigned,
+  Signed,   ///< two's complement
+  Float32,  ///< IEEE-754, length must be 32
+  Float64,  ///< IEEE-754, length must be 64
+};
+
+std::string_view to_string(ValueKind kind);
+std::optional<ValueKind> parse_value_kind(std::string_view name);
+
+/// The paper's z_aff: functional property (F) vs. validity flag (V).
+enum class Affiliation : std::uint8_t { Functional, Validity };
+
+std::string_view to_string(Affiliation affiliation);
+
+/// physical = scale * raw + offset.
+struct LinearTransform {
+  double scale = 1.0;
+  double offset = 0.0;
+
+  [[nodiscard]] double apply(double raw) const {
+    return scale * raw + offset;
+  }
+  /// Inverse mapping used by encoders; scale must be non-zero.
+  [[nodiscard]] double invert(double physical) const {
+    return (physical - offset) / scale;
+  }
+  friend bool operator==(const LinearTransform&,
+                         const LinearTransform&) = default;
+};
+
+/// raw value -> categorical label (e.g. 0 -> "off", 1 -> "parklight on").
+/// `validity` marks labels that express validity rather than a functional
+/// state (e.g. "signal invalid") — branch β/γ route such elements into the
+/// validity part K_V.
+struct ValueTableEntry {
+  std::uint64_t raw = 0;
+  std::string label;
+  bool validity = false;
+
+  friend bool operator==(const ValueTableEntry&,
+                         const ValueTableEntry&) = default;
+};
+
+/// Conditional presence of an optional payload member (SOME/IP): the
+/// signal exists in a given instance only when a selector field elsewhere
+/// in the payload equals `equals` (paper Sec. 3.2: "values of preceding
+/// bytes define the presence of a signal type in succeeding bytes").
+struct PresenceCondition {
+  bool always = true;
+  std::uint16_t selector_start_bit = 0;
+  std::uint16_t selector_length = 8;
+  protocol::ByteOrder selector_order = protocol::ByteOrder::Intel;
+  std::uint64_t equals = 0;
+
+  friend bool operator==(const PresenceCondition&,
+                         const PresenceCondition&) = default;
+};
+
+/// One signal type s (identified by `name` == s_id).
+struct SignalSpec {
+  std::string name;
+  std::uint16_t start_bit = 0;
+  std::uint16_t length = 8;
+  protocol::ByteOrder byte_order = protocol::ByteOrder::Intel;
+  ValueKind value_kind = ValueKind::Unsigned;
+  LinearTransform transform;
+  /// Non-empty -> the decoded value is the matching label (categorical
+  /// signal). Raw values without an entry decode as "raw:<value>".
+  std::vector<ValueTableEntry> value_table;
+  Affiliation affiliation = Affiliation::Functional;
+  std::string unit;
+  std::optional<double> min_value;  ///< physical plausibility bounds
+  std::optional<double> max_value;
+  PresenceCondition presence;
+  /// Expected send cycle (domain knowledge used by extensions/constraints);
+  /// 0 = event-driven.
+  std::int64_t expected_cycle_ns = 0;
+  /// Domain knowledge feeding the classifier's z_val criterion: true when
+  /// the value table order expresses a comparable valence (ordinal, e.g.
+  /// off < low < medium < high). Ignored for non-categorical signals.
+  bool ordered_values = false;
+  std::string comment;
+
+  [[nodiscard]] bool is_categorical() const { return !value_table.empty(); }
+
+  /// Label for a raw value, or nullptr.
+  [[nodiscard]] const ValueTableEntry* find_label(std::uint64_t raw) const;
+  /// Raw value for a label, or nullopt.
+  [[nodiscard]] std::optional<std::uint64_t> find_raw(
+      std::string_view label) const;
+};
+
+/// One message type m = (S, m_id, b_id).
+struct MessageSpec {
+  std::string name;
+  std::int64_t message_id = 0;  ///< m_id (CAN id, LIN id, SOME/IP msg id)
+  std::string bus;              ///< b_id
+  protocol::Protocol protocol = protocol::Protocol::Can;
+  std::size_t payload_size = 8;
+  std::vector<SignalSpec> signals;
+
+  [[nodiscard]] const SignalSpec* find_signal(std::string_view name) const;
+};
+
+/// Result of decoding one signal out of one payload.
+struct DecodedValue {
+  bool present = false;  ///< presence condition satisfied & field fits
+  double physical = 0.0;           ///< numeric value (always filled if present)
+  std::optional<std::string> label;  ///< categorical label if any
+};
+
+/// Decode `spec` from `payload`. Never throws: a field that does not fit
+/// or whose presence condition fails yields present == false.
+DecodedValue decode_signal(std::span<const std::uint8_t> payload,
+                           const SignalSpec& spec);
+
+/// Encode a physical value into `payload` (raw = round(invert(physical))
+/// clamped to the field's range). Presence selectors are NOT written here.
+/// Throws std::out_of_range if the field does not fit.
+void encode_signal(std::span<std::uint8_t> payload, const SignalSpec& spec,
+                   double physical);
+
+/// Encode a categorical label; throws std::invalid_argument for an
+/// unknown label.
+void encode_signal_label(std::span<std::uint8_t> payload,
+                         const SignalSpec& spec, std::string_view label);
+
+}  // namespace ivt::signaldb

@@ -1,0 +1,542 @@
+#include "simnet/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "protocol/can.hpp"
+
+namespace ivt::simnet {
+
+namespace {
+
+constexpr std::int64_t kMs = 1'000'000;
+
+/// Buses of the modelled vehicle, cycled over messages.
+struct BusSlot {
+  const char* name;
+  protocol::Protocol protocol;
+};
+constexpr BusSlot kBusMenu[] = {
+    {"FC", protocol::Protocol::Can},      // body CAN (paper's FA-CAN)
+    {"KC", protocol::Protocol::Can},      // comfort CAN
+    {"DC", protocol::Protocol::Can},      // drive CAN
+    {"K-LIN", protocol::Protocol::Lin},   // paper Table 1
+    {"IP", protocol::Protocol::SomeIp},   // ethernet backbone
+};
+
+/// Field width (bits) per signal kind.
+std::uint16_t kind_bits(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::AlphaNumeric:
+      return 16;
+    case SignalKind::BetaNumeric:
+      return 8;
+    case SignalKind::BetaString:
+      return 8;
+    case SignalKind::GammaBinary:
+      return 2;
+    case SignalKind::GammaNominal:
+      return 8;
+  }
+  return 8;
+}
+
+bool is_alpha(SignalKind k) { return k == SignalKind::AlphaNumeric; }
+bool is_beta(SignalKind k) {
+  return k == SignalKind::BetaNumeric || k == SignalKind::BetaString;
+}
+
+signaldb::SignalSpec make_signal_spec(SignalKind kind, const std::string& name,
+                                      std::uint16_t start_bit,
+                                      std::mt19937_64& rng) {
+  signaldb::SignalSpec s;
+  s.name = name;
+  s.start_bit = start_bit;
+  s.length = kind_bits(kind);
+  s.byte_order = (rng() % 4 == 0) ? protocol::ByteOrder::Motorola
+                                  : protocol::ByteOrder::Intel;
+  switch (kind) {
+    case SignalKind::AlphaNumeric: {
+      constexpr double kScales[] = {0.01, 0.1, 0.25, 0.5};
+      s.value_kind = signaldb::ValueKind::Unsigned;
+      s.transform.scale = kScales[rng() % 4];
+      s.transform.offset = 0.0;
+      s.unit = "u";
+      s.min_value = 0.0;
+      s.max_value = s.transform.apply(65535.0);
+      s.comment = "high-rate functional value";
+      break;
+    }
+    case SignalKind::BetaNumeric: {
+      s.value_kind = signaldb::ValueKind::Unsigned;
+      s.transform.scale = 1.0;
+      s.unit = "level";
+      s.min_value = 0.0;
+      s.max_value = 20.0;
+      s.comment = "low-rate ordinal level";
+      break;
+    }
+    case SignalKind::BetaString: {
+      s.value_kind = signaldb::ValueKind::Unsigned;
+      s.ordered_values = true;
+      s.value_table = {
+          {0, "off", false},      {1, "low", false},  {2, "medium", false},
+          {3, "high", false},     {14, "snv", true},  // signal not valid
+      };
+      s.comment = "ordinal state with valence";
+      break;
+    }
+    case SignalKind::GammaBinary: {
+      s.value_kind = signaldb::ValueKind::Unsigned;
+      s.value_table = {{0, "OFF", false}, {1, "ON", false}};
+      s.comment = "binary contact";
+      break;
+    }
+    case SignalKind::GammaNominal: {
+      s.value_kind = signaldb::ValueKind::Unsigned;
+      const std::size_t states = 3 + rng() % 3;  // 3..5 functional states
+      static const char* kStates[] = {"init",    "driving", "parking",
+                                      "standby", "charging"};
+      for (std::size_t i = 0; i < states; ++i) {
+        s.value_table.push_back({i, kStates[i], false});
+      }
+      s.value_table.push_back({15, "invalid", true});
+      s.comment = "nominal mode";
+      break;
+    }
+  }
+  return s;
+}
+
+std::int64_t pick_period(SignalKind dominant, std::mt19937_64& rng) {
+  if (is_alpha(dominant)) {
+    constexpr std::int64_t kMenu[] = {20 * kMs, 40 * kMs, 50 * kMs, 100 * kMs};
+    return kMenu[rng() % 4];
+  }
+  if (is_beta(dominant)) {
+    constexpr std::int64_t kMenu[] = {200 * kMs, 500 * kMs, 1000 * kMs};
+    return kMenu[rng() % 3];
+  }
+  constexpr std::int64_t kMenu[] = {100 * kMs, 200 * kMs, 500 * kMs};
+  return kMenu[rng() % 3];
+}
+
+}  // namespace
+
+DatasetSpec syn_spec() {
+  DatasetSpec spec;
+  spec.name = "SYN";
+  spec.alpha = 6;
+  spec.beta_numeric = 2;
+  spec.beta_string = 2;
+  spec.gamma_binary = 2;
+  spec.gamma_nominal = 1;
+  spec.signals_per_message = 1.47;
+  spec.target_examples = 13'197'983;
+  return spec;
+}
+
+DatasetSpec lig_spec() {
+  DatasetSpec spec;
+  spec.name = "LIG";
+  spec.alpha = 27;
+  spec.beta_numeric = 35;
+  spec.beta_string = 36;
+  spec.gamma_binary = 41;
+  spec.gamma_nominal = 41;
+  spec.signals_per_message = 5.11;
+  spec.target_examples = 12'306'327;
+  return spec;
+}
+
+DatasetSpec sta_spec() {
+  DatasetSpec spec;
+  spec.name = "STA";
+  spec.alpha = 6;
+  spec.beta_numeric = 0;
+  spec.beta_string = 1;
+  spec.gamma_binary = 36;
+  spec.gamma_nominal = 35;
+  spec.signals_per_message = 3.66;
+  spec.target_examples = 4'807'891;
+  return spec;
+}
+
+VehiclePlan plan_vehicle(const DatasetSpec& spec, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  VehiclePlan plan;
+
+  // 1. All planned signals, shuffled so kinds mix across messages.
+  std::vector<SignalKind> kinds;
+  auto add_kinds = [&kinds](SignalKind kind, std::size_t n) {
+    kinds.insert(kinds.end(), n, kind);
+  };
+  add_kinds(SignalKind::AlphaNumeric, spec.alpha);
+  add_kinds(SignalKind::BetaNumeric, spec.beta_numeric);
+  add_kinds(SignalKind::BetaString, spec.beta_string);
+  add_kinds(SignalKind::GammaBinary, spec.gamma_binary);
+  add_kinds(SignalKind::GammaNominal, spec.gamma_nominal);
+  std::shuffle(kinds.begin(), kinds.end(), rng);
+
+  // 2. Message sizes: >= 1 signal each, mean ≈ signals_per_message.
+  const std::size_t total = kinds.size();
+  std::size_t num_messages = static_cast<std::size_t>(std::llround(
+      static_cast<double>(total) / std::max(spec.signals_per_message, 1.0)));
+  num_messages = std::clamp<std::size_t>(num_messages, 1, total);
+  std::vector<std::size_t> sizes(num_messages, 1);
+  for (std::size_t extra = total - num_messages; extra > 0; --extra) {
+    sizes[rng() % num_messages] += 1;
+  }
+
+  // 3. Build messages (into a local vector; the catalog is filled after
+  //    calibration so expected cycle times are final when added).
+  std::vector<signaldb::MessageSpec> specs;
+  std::size_t kind_cursor = 0;
+  std::int64_t next_can_id = 0x100;
+  std::int64_t next_lin_id = 0x01;
+  std::int64_t next_someip_method = 0x0001;
+  std::size_t signal_counter = 0;
+
+  for (std::size_t mi = 0; mi < num_messages; ++mi) {
+    const std::size_t n_signals = sizes[mi];
+    std::vector<SignalKind> msg_kinds(
+        kinds.begin() + static_cast<std::ptrdiff_t>(kind_cursor),
+        kinds.begin() + static_cast<std::ptrdiff_t>(kind_cursor + n_signals));
+    kind_cursor += n_signals;
+
+    // Bits needed (SOME/IP optional members carry an extra selector byte).
+    std::size_t bits = 0;
+    for (SignalKind k : msg_kinds) bits += kind_bits(k);
+
+    BusSlot slot = kBusMenu[mi % std::size(kBusMenu)];
+    // LIN frames carry at most 8 bytes; spill large messages onto CAN.
+    if (slot.protocol == protocol::Protocol::Lin &&
+        (bits > 64 || next_lin_id > 0x3F)) {
+      slot = kBusMenu[0];
+    }
+    const bool someip = slot.protocol == protocol::Protocol::SomeIp;
+    const bool conditional_last = someip && msg_kinds.size() >= 2;
+    if (conditional_last) bits += 8;  // selector byte
+
+    signaldb::MessageSpec message;
+    message.bus = slot.name;
+    message.protocol = slot.protocol;
+    if (message.protocol == protocol::Protocol::Can && bits > 64) {
+      message.protocol = protocol::Protocol::CanFd;
+    }
+    message.payload_size = (bits + 7) / 8;
+    if (message.protocol == protocol::Protocol::CanFd) {
+      message.payload_size = protocol::can_fd_dlc_to_length(
+          protocol::can_fd_length_to_dlc(message.payload_size));
+    }
+    message.name = spec.name + "_MSG_" + std::to_string(mi);
+    switch (message.protocol) {
+      case protocol::Protocol::Can:
+      case protocol::Protocol::CanFd:
+      case protocol::Protocol::FlexRay:
+        message.message_id = next_can_id++;
+        break;
+      case protocol::Protocol::Lin:
+        message.message_id = next_lin_id++;
+        break;
+      case protocol::Protocol::SomeIp:
+        message.message_id =
+            (0x4000LL << 16) | next_someip_method++;
+        break;
+    }
+
+    // Allocate fields left to right.
+    std::uint16_t bit_cursor = 0;
+    for (std::size_t si = 0; si < msg_kinds.size(); ++si) {
+      const bool is_last = si + 1 == msg_kinds.size();
+      std::string name = spec.name + "_s" + std::to_string(signal_counter++);
+      std::uint16_t selector_bit = 0;
+      if (conditional_last && is_last) {
+        selector_bit = bit_cursor;
+        bit_cursor = static_cast<std::uint16_t>(bit_cursor + 8);
+      }
+      signaldb::SignalSpec s =
+          make_signal_spec(msg_kinds[si], name, bit_cursor, rng);
+      // Motorola start bit must address the field MSB; for simplicity the
+      // generator keeps byte-aligned Motorola fields only.
+      if (s.byte_order == protocol::ByteOrder::Motorola) {
+        if (bit_cursor % 8 != 0 || s.length % 8 != 0) {
+          s.byte_order = protocol::ByteOrder::Intel;
+        } else {
+          s.start_bit = static_cast<std::uint16_t>(bit_cursor + 7);
+        }
+      }
+      if (conditional_last && is_last) {
+        s.presence.always = false;
+        s.presence.selector_start_bit = selector_bit;
+        s.presence.selector_length = 8;
+        s.presence.selector_order = protocol::ByteOrder::Intel;
+        s.presence.equals = 1;
+      }
+      bit_cursor = static_cast<std::uint16_t>(bit_cursor +
+                                              kind_bits(msg_kinds[si]));
+      message.signals.push_back(std::move(s));
+    }
+
+    MessagePlan mplan;
+    mplan.message_index = mi;
+    mplan.signal_kinds = msg_kinds;
+    mplan.seed = rng();
+    // Dominant kind: α > β > γ.
+    SignalKind dominant = msg_kinds.front();
+    for (SignalKind k : msg_kinds) {
+      if (is_alpha(k)) dominant = k;
+      if (is_beta(k) && !is_alpha(dominant)) dominant = k;
+    }
+    mplan.period_ns = pick_period(dominant, rng);
+    mplan.jitter_ns = mplan.period_ns / 50;
+
+    plan.messages.push_back(std::move(mplan));
+    specs.push_back(std::move(message));
+  }
+
+  // 4. Calibrate periods so expected examples over the full recording hit
+  //    the Table 5 target.
+  double expected = 0.0;
+  for (const MessagePlan& mp : plan.messages) {
+    const signaldb::MessageSpec& m = specs[mp.message_index];
+    double per_instance = 0.0;
+    for (const signaldb::SignalSpec& s : m.signals) {
+      per_instance += s.presence.always ? 1.0 : 0.75;
+    }
+    expected += static_cast<double>(spec.full_duration_ns) /
+                static_cast<double>(mp.period_ns) * per_instance;
+  }
+  const double ratio =
+      expected / std::max<double>(1.0, static_cast<double>(
+                                           spec.target_examples));
+  for (MessagePlan& mp : plan.messages) {
+    mp.period_ns = std::max<std::int64_t>(
+        kMs, static_cast<std::int64_t>(
+                 static_cast<double>(mp.period_ns) * ratio));
+    mp.jitter_ns = mp.period_ns / 50;
+  }
+
+  // 5. Propagate the calibrated cycle into the catalog as the documented
+  //    expected cycle time (domain knowledge for constraints/extensions),
+  //    and derive the α/L rate threshold.
+  double min_alpha_hz = 1e12;
+  double max_slow_hz = 0.0;
+  for (const MessagePlan& mp : plan.messages) {
+    signaldb::MessageSpec& m = specs[mp.message_index];
+    const double hz = 1e9 / static_cast<double>(mp.period_ns);
+    bool has_alpha = false;
+    for (std::size_t si = 0; si < m.signals.size(); ++si) {
+      m.signals[si].expected_cycle_ns = mp.period_ns;
+      if (is_alpha(mp.signal_kinds[si])) has_alpha = true;
+    }
+    if (has_alpha) {
+      min_alpha_hz = std::min(min_alpha_hz, hz);
+    } else {
+      max_slow_hz = std::max(max_slow_hz, hz);
+    }
+  }
+  if (min_alpha_hz < 1e12 && max_slow_hz > 0.0) {
+    plan.recommended_rate_threshold_hz = std::sqrt(min_alpha_hz * max_slow_hz);
+  } else if (min_alpha_hz < 1e12) {
+    plan.recommended_rate_threshold_hz = min_alpha_hz / 2.0;
+  } else {
+    plan.recommended_rate_threshold_hz = max_slow_hz * 2.0 + 1.0;
+  }
+
+  for (signaldb::MessageSpec& m : specs) {
+    plan.catalog.add_message(std::move(m));
+  }
+
+  // 6. Gateway routes: every 4th CAN message is forwarded to the next CAN
+  //    bus (duplicated signal instances for the splitter to dedup).
+  std::size_t can_counter = 0;
+  for (const signaldb::MessageSpec& m : plan.catalog.messages()) {
+    if (m.protocol != protocol::Protocol::Can) continue;
+    if (can_counter++ % 4 != 0) continue;
+    const std::string to_bus = m.bus == "FC" ? "KC" : "FC";
+    plan.gateway_routes.push_back(
+        Route{m.bus, m.message_id, to_bus, 150'000});
+  }
+  return plan;
+}
+
+NetworkSimulator build_simulator(const VehiclePlan& plan,
+                                 std::uint64_t journey_seed,
+                                 bool inject_faults,
+                                 std::int64_t duration_hint_ns) {
+  NetworkSimulator sim;
+  constexpr std::size_t kMessagesPerEcu = 3;
+  // Ordinal/nominal signals should pass through several states per
+  // journey; see the header comment.
+  const auto level_dwell = [duration_hint_ns](std::int64_t period_ns) {
+    if (duration_hint_ns > 0) {
+      return std::max<std::int64_t>(duration_hint_ns / 12, period_ns);
+    }
+    return period_ns * 8;
+  };
+
+  Ecu ecu("ECU00");
+  std::size_t in_ecu = 0;
+  std::size_t ecu_counter = 0;
+
+  for (const MessagePlan& mp : plan.messages) {
+    const signaldb::MessageSpec& message =
+        plan.catalog.messages()[mp.message_index];
+    TxMessage tx;
+    tx.message = &message;
+    tx.period_ns = mp.period_ns;
+    tx.jitter_ns = mp.jitter_ns;
+
+    std::mt19937_64 rng(mp.seed ^ (journey_seed * 0x9E3779B97F4A7C15ULL));
+    for (std::size_t si = 0; si < message.signals.size(); ++si) {
+      const signaldb::SignalSpec& spec = message.signals[si];
+      const SignalKind kind = mp.signal_kinds[si];
+      SignalBinding binding;
+      binding.spec = &spec;
+      const std::uint64_t pseed = rng();
+      switch (kind) {
+        case SignalKind::AlphaNumeric: {
+          const double hi = spec.max_value.value_or(100.0);
+          std::unique_ptr<ValueProcess> base;
+          if (pseed % 2 == 0) {
+            base = make_sine(hi * 0.4, hi * 0.5,
+                             static_cast<std::int64_t>(20e9) +
+                                 static_cast<std::int64_t>(pseed % 7) *
+                                     1'000'000'000LL);
+          } else {
+            base = make_random_walk(hi * 0.5, hi * 0.01, 0.0, hi, pseed);
+          }
+          if (inject_faults) {
+            base = make_outlier_injector(std::move(base), 5e-4, 4.0,
+                                         hi * 2.0, pseed ^ 0xABCD);
+          }
+          binding.process = std::move(base);
+          break;
+        }
+        case SignalKind::BetaNumeric: {
+          binding.process = make_step_levels(
+              {0, 1, 2, 3, 4, 5, 6}, level_dwell(mp.period_ns), true, pseed);
+          break;
+        }
+        case SignalKind::BetaString: {
+          // Index process over the 4 functional labels; occasionally the
+          // injector forces index 4 = the validity label "snv".
+          auto base = make_step_levels({0, 1, 2, 3},
+                                       level_dwell(mp.period_ns), true,
+                                       pseed);
+          if (inject_faults) {
+            binding.process = make_outlier_injector(std::move(base), 2e-3,
+                                                    0.0, 4.0, pseed ^ 0x77);
+          } else {
+            binding.process = std::move(base);
+          }
+          binding.process_emits_table_index = true;
+          break;
+        }
+        case SignalKind::GammaBinary: {
+          const std::int64_t dwell = duration_hint_ns > 0
+                                         ? level_dwell(mp.period_ns)
+                                         : mp.period_ns * 20;
+          binding.process =
+              make_duty_cycle(dwell, dwell * 3 / 2, pseed);
+          binding.process_emits_table_index = true;
+          break;
+        }
+        case SignalKind::GammaNominal: {
+          // Target ~8 state changes per journey.
+          double switch_probability = 0.01;
+          if (duration_hint_ns > 0) {
+            const double samples = static_cast<double>(duration_hint_ns) /
+                                   static_cast<double>(mp.period_ns);
+            switch_probability =
+                std::clamp(8.0 / std::max(samples, 1.0), 0.005, 0.5);
+          }
+          binding.process = make_markov_chain(spec.value_table.size(),
+                                              switch_probability, pseed);
+          binding.process_emits_table_index = true;
+          break;
+        }
+      }
+      tx.bindings.push_back(std::move(binding));
+    }
+    ecu.add_tx_message(std::move(tx));
+    if (++in_ecu >= kMessagesPerEcu) {
+      sim.add_ecu(std::move(ecu));
+      ecu = Ecu("ECU" + std::to_string(++ecu_counter));
+      in_ecu = 0;
+    }
+  }
+  if (in_ecu > 0) sim.add_ecu(std::move(ecu));
+
+  if (!plan.gateway_routes.empty()) {
+    Gateway gw("GW0");
+    for (const Route& r : plan.gateway_routes) gw.add_route(r);
+    sim.add_gateway(std::move(gw));
+  }
+  return sim;
+}
+
+Dataset make_dataset(const DatasetSpec& spec, const DatasetConfig& config) {
+  const VehiclePlan plan = plan_vehicle(spec, config.seed);
+  const std::int64_t duration_ns = static_cast<std::int64_t>(
+      static_cast<double>(spec.full_duration_ns) * config.scale);
+  NetworkSimulator sim = build_simulator(plan, config.seed * 31 + 7,
+                                         config.inject_faults, duration_ns);
+
+  SimulationConfig sim_config;
+  sim_config.duration_ns = duration_ns;
+  sim_config.seed = config.seed;
+  if (config.inject_faults) {
+    sim_config.faults.dropout_rate = 0.0015;
+    sim_config.faults.cycle_violation_rate = 0.002;
+    sim_config.faults.violation_factor = 3.0;
+    sim_config.faults.error_frame_rate = 5e-4;
+  }
+
+  Dataset ds;
+  ds.name = spec.name;
+  ds.trace = sim.run(sim_config, "V001", spec.name + "_J1");
+  ds.signal_names = plan.catalog.signal_names();
+  ds.catalog = plan.catalog;
+  return ds;
+}
+
+Dataset make_syn_dataset(const DatasetConfig& config) {
+  return make_dataset(syn_spec(), config);
+}
+Dataset make_lig_dataset(const DatasetConfig& config) {
+  return make_dataset(lig_spec(), config);
+}
+Dataset make_sta_dataset(const DatasetConfig& config) {
+  return make_dataset(sta_spec(), config);
+}
+
+Fleet make_fleet(std::size_t num_journeys, const DatasetSpec& spec,
+                 const DatasetConfig& config) {
+  const VehiclePlan plan = plan_vehicle(spec, config.seed);
+  Fleet fleet;
+  fleet.signal_names = plan.catalog.signal_names();
+  const std::int64_t duration_ns = static_cast<std::int64_t>(
+      static_cast<double>(spec.full_duration_ns) * config.scale);
+  for (std::size_t j = 0; j < num_journeys; ++j) {
+    NetworkSimulator sim =
+        build_simulator(plan, config.seed + 1000 * (j + 1),
+                        config.inject_faults, duration_ns);
+    SimulationConfig sim_config;
+    sim_config.duration_ns = duration_ns;
+    sim_config.seed = config.seed + j;
+    if (config.inject_faults) {
+      sim_config.faults.dropout_rate = 0.0015;
+      sim_config.faults.cycle_violation_rate = 0.002;
+      sim_config.faults.error_frame_rate = 5e-4;
+    }
+    fleet.journeys.push_back(
+        sim.run(sim_config, "V001", "J" + std::to_string(j + 1)));
+  }
+  fleet.catalog = plan.catalog;
+  return fleet;
+}
+
+}  // namespace ivt::simnet

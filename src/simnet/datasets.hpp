@@ -1,0 +1,128 @@
+// Procedural vehicle models reproducing the paper's three data sets.
+//
+// Paper Table 5 characterizes SYN / LIG / STA by signal-type counts, the
+// α/β/γ branch split, example (signal instance) counts over a 20 h
+// recording and the mean number of signal types per message. The planners
+// here build a catalog + ECU/gateway model whose simulated trace matches
+// those statistics; `DatasetConfig::scale` shrinks the recording duration
+// (examples scale linearly) so benches run at laptop scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "signaldb/catalog.hpp"
+#include "simnet/simulator.hpp"
+#include "tracefile/trace.hpp"
+
+namespace ivt::simnet {
+
+/// Planned waveform family of one signal (drives both the SignalSpec
+/// generation and the ValueProcess selection).
+enum class SignalKind : std::uint8_t {
+  AlphaNumeric,   ///< high-rate numeric (branch α)
+  BetaNumeric,    ///< low-rate numeric ordinal (branch β)
+  BetaString,     ///< string ordinal with valence (branch β)
+  GammaBinary,    ///< two-valued (branch γ)
+  GammaNominal,   ///< unordered categorical (branch γ)
+};
+
+/// Static description of a data set (paper Table 5 row).
+struct DatasetSpec {
+  std::string name;
+  std::size_t alpha = 0;
+  std::size_t beta_numeric = 0;
+  std::size_t beta_string = 0;
+  std::size_t gamma_binary = 0;
+  std::size_t gamma_nominal = 0;
+  /// Mean signal types per message (∅ row of Table 5).
+  double signals_per_message = 2.0;
+  /// Signal instances over the full recording (Table 5 "# examples").
+  std::size_t target_examples = 1'000'000;
+  /// Full recording length (paper: 20 h of driving).
+  std::int64_t full_duration_ns = 20LL * 3600 * 1'000'000'000LL;
+
+  [[nodiscard]] std::size_t total_signals() const {
+    return alpha + beta_numeric + beta_string + gamma_binary + gamma_nominal;
+  }
+};
+
+/// The paper's three data sets (signal counts from Table 5; the γ count is
+/// split between binary and nominal).
+DatasetSpec syn_spec();
+DatasetSpec lig_spec();
+DatasetSpec sta_spec();
+
+struct DatasetConfig {
+  /// Fraction of the full 20 h recording to simulate.
+  double scale = 0.001;
+  std::uint64_t seed = 42;
+  bool inject_faults = true;
+};
+
+/// Plan of one message: rebuildable ECU behaviour (used to regenerate
+/// fresh, independent journeys from the same vehicle).
+struct MessagePlan {
+  std::size_t message_index = 0;  ///< into catalog.messages()
+  std::int64_t period_ns = 0;
+  std::int64_t jitter_ns = 0;
+  std::vector<SignalKind> signal_kinds;  ///< parallel to message signals
+  std::uint64_t seed = 0;
+};
+
+/// A full vehicle model: catalog + per-message plans + gateway routes.
+struct VehiclePlan {
+  signaldb::Catalog catalog;
+  std::vector<MessagePlan> messages;
+  std::vector<Route> gateway_routes;
+  /// Rate threshold (Hz) separating the planned high-rate (α) from
+  /// low-rate message periods — feed this to the classifier's z_rate
+  /// criterion (the paper: "a threshold T determined by domain knowledge").
+  double recommended_rate_threshold_hz = 5.0;
+};
+
+/// Deterministically derive a vehicle model from a dataset spec. Message
+/// periods are calibrated so the expected number of signal instances over
+/// `spec.full_duration_ns` matches `spec.target_examples`.
+VehiclePlan plan_vehicle(const DatasetSpec& spec, std::uint64_t seed);
+
+/// Build a ready-to-run simulator for one journey of the planned vehicle.
+/// Different `journey_seed`s give statistically independent journeys.
+/// `duration_hint_ns` (the journey length about to be simulated) scales
+/// the level-change dynamics of ordinal/nominal signals so every signal
+/// type visits several of its states within the journey — without it, a
+/// strongly scaled-down journey would leave slow signals constant and
+/// distort the α/β/γ statistics of Table 5. 0 falls back to
+/// period-relative dwell times.
+NetworkSimulator build_simulator(const VehiclePlan& plan,
+                                 std::uint64_t journey_seed,
+                                 bool inject_faults,
+                                 std::int64_t duration_hint_ns = 0);
+
+/// One generated data set: catalog, a simulated journey trace, and the
+/// data set's relevant-signal selection (its U_comb — the paper extracts
+/// every signal type of the data set).
+struct Dataset {
+  std::string name;
+  signaldb::Catalog catalog;
+  tracefile::Trace trace;
+  std::vector<std::string> signal_names;
+};
+
+Dataset make_dataset(const DatasetSpec& spec, const DatasetConfig& config);
+Dataset make_syn_dataset(const DatasetConfig& config = {});
+Dataset make_lig_dataset(const DatasetConfig& config = {});
+Dataset make_sta_dataset(const DatasetConfig& config = {});
+
+/// Multi-journey fleet recording (the input to the paper's Table 6).
+struct Fleet {
+  signaldb::Catalog catalog;
+  std::vector<tracefile::Trace> journeys;
+  std::vector<std::string> signal_names;
+};
+
+Fleet make_fleet(std::size_t num_journeys, const DatasetSpec& spec,
+                 const DatasetConfig& config);
+
+}  // namespace ivt::simnet

@@ -1,0 +1,102 @@
+#include "simnet/ecu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ivt::simnet {
+
+std::vector<std::uint8_t> encode_message_instance(TxMessage& tx,
+                                                  std::int64_t t_ns,
+                                                  std::mt19937_64& rng) {
+  std::vector<std::uint8_t> payload(tx.message->payload_size, 0);
+  for (SignalBinding& binding : tx.bindings) {
+    const signaldb::SignalSpec& spec = *binding.spec;
+    bool encode = true;
+    if (!spec.presence.always) {
+      // Make the optional member present most of the time; otherwise
+      // write a different selector value so decoders must check it.
+      const bool present =
+          std::uniform_real_distribution<double>(0.0, 1.0)(rng) < 0.75;
+      const std::uint64_t selector =
+          present ? spec.presence.equals : spec.presence.equals + 1;
+      protocol::insert_bits(payload, spec.presence.selector_start_bit,
+                            spec.presence.selector_length,
+                            spec.presence.selector_order, selector);
+      encode = present;
+    }
+    if (!encode) continue;
+    const double value = binding.process->next(t_ns);
+    if (binding.process_emits_table_index && spec.is_categorical()) {
+      const std::size_t max_index = spec.value_table.size() - 1;
+      const std::size_t index = static_cast<std::size_t>(std::clamp(
+          std::llround(value), 0LL, static_cast<long long>(max_index)));
+      protocol::insert_bits(payload, spec.start_bit, spec.length,
+                            spec.byte_order, spec.value_table[index].raw);
+    } else {
+      signaldb::encode_signal(payload, spec, value);
+    }
+  }
+  return payload;
+}
+
+void Ecu::generate(std::int64_t start_ns, std::int64_t end_ns,
+                   const FaultConfig& faults, std::uint64_t seed,
+                   const std::function<void(tracefile::TraceRecord)>& sink) {
+  std::uint64_t message_index = 0;
+  for (TxMessage& tx : tx_) {
+    // Independent stream per message, derived deterministically.
+    std::mt19937_64 rng(seed ^ (0x9E3779B97F4A7C15ULL * (message_index + 1)));
+    ++message_index;
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+    const bool cyclic = tx.period_ns > 0;
+    const std::int64_t mean_gap =
+        cyclic ? tx.period_ns
+               : std::max<std::int64_t>(tx.event_mean_gap_ns, 1);
+
+    // Random phase so messages do not all fire at t = start.
+    std::int64_t t = start_ns + static_cast<std::int64_t>(
+                                    unit(rng) * static_cast<double>(mean_gap));
+    while (t < end_ns) {
+      bool dropped = false;
+      if (cyclic && faults.dropout_rate > 0.0 &&
+          unit(rng) < faults.dropout_rate) {
+        dropped = true;
+      }
+      if (!dropped) {
+        tracefile::TraceRecord rec;
+        rec.t_ns = t;
+        rec.bus = tx.message->bus;
+        rec.message_id = tx.message->message_id;
+        rec.protocol = tx.message->protocol;
+        rec.payload = encode_message_instance(tx, t, rng);
+        if (faults.error_frame_rate > 0.0 &&
+            unit(rng) < faults.error_frame_rate) {
+          rec.flags |= tracefile::TraceRecord::kFlagErrorFrame;
+        }
+        sink(std::move(rec));
+      }
+
+      std::int64_t gap;
+      if (cyclic) {
+        gap = tx.period_ns;
+        if (tx.jitter_ns > 0) {
+          gap += static_cast<std::int64_t>(
+              (unit(rng) * 2.0 - 1.0) * static_cast<double>(tx.jitter_ns));
+        }
+        if (faults.cycle_violation_rate > 0.0 &&
+            unit(rng) < faults.cycle_violation_rate) {
+          gap = static_cast<std::int64_t>(static_cast<double>(gap) *
+                                          faults.violation_factor);
+        }
+      } else {
+        std::exponential_distribution<double> exp_dist(
+            1.0 / static_cast<double>(mean_gap));
+        gap = static_cast<std::int64_t>(exp_dist(rng)) + 1;
+      }
+      t += std::max<std::int64_t>(gap, 1);
+    }
+  }
+}
+
+}  // namespace ivt::simnet

@@ -1,0 +1,86 @@
+// Simulated ECU: periodically (or event-driven) encodes its signals into
+// message payloads and emits trace records.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "signaldb/spec.hpp"
+#include "simnet/value_process.hpp"
+#include "tracefile/trace.hpp"
+
+namespace ivt::simnet {
+
+/// Binds a signal type to the process generating its values.
+struct SignalBinding {
+  const signaldb::SignalSpec* spec = nullptr;
+  std::unique_ptr<ValueProcess> process;
+  /// For categorical specs: the process emits an *index* into the value
+  /// table (encoded as that entry's raw value). For numeric specs the
+  /// process emits the physical value directly.
+  bool process_emits_table_index = false;
+};
+
+/// Transmission behaviour mirroring real bus scheduling:
+/// - cyclic: period > 0, each gap jittered uniformly by ±jitter;
+/// - event-driven: period == 0, exponential inter-arrival times with mean
+///   `event_mean_gap_ns`.
+struct TxMessage {
+  const signaldb::MessageSpec* message = nullptr;
+  std::int64_t period_ns = 0;
+  std::int64_t jitter_ns = 0;
+  std::int64_t event_mean_gap_ns = 0;
+  std::vector<SignalBinding> bindings;
+};
+
+/// Fault injection knobs (applied during generation so the resulting trace
+/// contains the anomalies the pipeline is supposed to surface).
+struct FaultConfig {
+  /// Probability that one cyclic send is dropped (creates a cycle-time
+  /// violation: the observed gap doubles).
+  double dropout_rate = 0.0;
+  /// Probability that one cyclic gap is stretched by `violation_factor`.
+  double cycle_violation_rate = 0.0;
+  double violation_factor = 3.0;
+  /// Probability that a record is flagged as an error frame.
+  double error_frame_rate = 0.0;
+};
+
+class Ecu {
+ public:
+  explicit Ecu(std::string name) : name_(std::move(name)) {}
+
+  Ecu(Ecu&&) = default;
+  Ecu& operator=(Ecu&&) = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void add_tx_message(TxMessage tx) { tx_.push_back(std::move(tx)); }
+  [[nodiscard]] const std::vector<TxMessage>& tx_messages() const {
+    return tx_;
+  }
+
+  /// Generate this ECU's records in [start_ns, end_ns) into `sink`.
+  /// Records are produced per message in time order (the simulator merges
+  /// across messages). Deterministic for a fixed `seed`.
+  void generate(std::int64_t start_ns, std::int64_t end_ns,
+                const FaultConfig& faults, std::uint64_t seed,
+                const std::function<void(tracefile::TraceRecord)>& sink);
+
+ private:
+  std::string name_;
+  std::vector<TxMessage> tx_;
+};
+
+/// Build the payload of one message instance at time t: runs every
+/// binding's process (stateful, hence non-const tx) and encodes the
+/// results, including presence selectors for conditional signals.
+/// Exposed for tests.
+std::vector<std::uint8_t> encode_message_instance(TxMessage& tx,
+                                                  std::int64_t t_ns,
+                                                  std::mt19937_64& rng);
+
+}  // namespace ivt::simnet

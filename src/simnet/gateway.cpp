@@ -1,0 +1,21 @@
+#include "simnet/gateway.hpp"
+
+namespace ivt::simnet {
+
+std::vector<tracefile::TraceRecord> Gateway::apply(
+    const std::vector<tracefile::TraceRecord>& records) const {
+  std::vector<tracefile::TraceRecord> forwarded;
+  for (const tracefile::TraceRecord& rec : records) {
+    for (const Route& route : routes_) {
+      if (rec.bus == route.from_bus && rec.message_id == route.message_id) {
+        tracefile::TraceRecord copy = rec;
+        copy.bus = route.to_bus;
+        copy.t_ns += route.latency_ns;
+        forwarded.push_back(std::move(copy));
+      }
+    }
+  }
+  return forwarded;
+}
+
+}  // namespace ivt::simnet

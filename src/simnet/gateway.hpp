@@ -1,0 +1,43 @@
+// Gateway: forwards selected messages between buses.
+//
+// Routed messages appear a second time in the trace on the destination
+// channel with a small forwarding latency — exactly the duplication the
+// paper's signal splitter exploits ("when signals are forwarded through
+// gateways they are recorded multiple times in the trace").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tracefile/trace.hpp"
+
+namespace ivt::simnet {
+
+struct Route {
+  std::string from_bus;
+  std::int64_t message_id = 0;
+  std::string to_bus;
+  std::int64_t latency_ns = 100'000;  ///< typical gateway store&forward time
+};
+
+class Gateway {
+ public:
+  explicit Gateway(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void add_route(Route route) { routes_.push_back(std::move(route)); }
+  [[nodiscard]] const std::vector<Route>& routes() const { return routes_; }
+
+  /// Forwarded copies for every input record that matches a route. The
+  /// copy keeps payload and m_id, changes b_id and shifts t by latency.
+  [[nodiscard]] std::vector<tracefile::TraceRecord> apply(
+      const std::vector<tracefile::TraceRecord>& records) const;
+
+ private:
+  std::string name_;
+  std::vector<Route> routes_;
+};
+
+}  // namespace ivt::simnet

@@ -1,0 +1,183 @@
+#include "simnet/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ivt::simnet {
+
+ScenarioBuilder::ScenarioBuilder(const signaldb::Catalog& catalog)
+    : catalog_(catalog) {}
+
+const signaldb::SignalSpec& ScenarioBuilder::require_signal(
+    const std::string& name, const signaldb::MessageSpec** message_out) const {
+  const signaldb::SignalRef ref = catalog_.find_signal(name);
+  if (!ref.valid()) {
+    throw std::invalid_argument("scenario: unknown signal '" + name + "'");
+  }
+  if (message_out != nullptr) *message_out = ref.message;
+  return *ref.signal;
+}
+
+ScenarioBuilder& ScenarioBuilder::set(std::int64_t t_ns,
+                                      const std::string& signal,
+                                      double value) {
+  require_signal(signal, nullptr);
+  timelines_[signal].push_back(Change{t_ns, value, false});
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::set_label(std::int64_t t_ns,
+                                            const std::string& signal,
+                                            const std::string& label) {
+  const signaldb::SignalSpec& spec = require_signal(signal, nullptr);
+  const auto raw = spec.find_raw(label);
+  if (!raw) {
+    throw std::invalid_argument("scenario: unknown label '" + label +
+                                "' for signal '" + signal + "'");
+  }
+  timelines_[signal].push_back(
+      Change{t_ns, static_cast<double>(*raw), true});
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::message_period(
+    const std::string& message_name, std::int64_t period_ns) {
+  if (catalog_.find_message_by_name(message_name) == nullptr) {
+    throw std::invalid_argument("scenario: unknown message '" + message_name +
+                                "'");
+  }
+  period_overrides_[message_name] = period_ns;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::blackout(const std::string& message_name,
+                                           std::int64_t from_ns,
+                                           std::int64_t to_ns) {
+  if (catalog_.find_message_by_name(message_name) == nullptr) {
+    throw std::invalid_argument("scenario: unknown message '" + message_name +
+                                "'");
+  }
+  blackouts_[message_name].push_back(Blackout{from_ns, to_ns});
+  return *this;
+}
+
+tracefile::Trace ScenarioBuilder::build(std::int64_t start_ns,
+                                        std::int64_t end_ns) const {
+  tracefile::Trace trace;
+  trace.vehicle = "SCENARIO";
+  trace.journey = "S1";
+
+  for (const signaldb::MessageSpec& message : catalog_.messages()) {
+    // Emit only messages with at least one scripted signal.
+    bool scripted = false;
+    for (const signaldb::SignalSpec& s : message.signals) {
+      if (timelines_.contains(s.name)) {
+        scripted = true;
+        break;
+      }
+    }
+    if (!scripted) continue;
+
+    // Period: override > min documented cycle > 100 ms.
+    std::int64_t period = 100'000'000;
+    if (const auto it = period_overrides_.find(message.name);
+        it != period_overrides_.end()) {
+      period = it->second;
+    } else {
+      std::int64_t min_cycle = 0;
+      for (const signaldb::SignalSpec& s : message.signals) {
+        if (s.expected_cycle_ns > 0 &&
+            (min_cycle == 0 || s.expected_cycle_ns < min_cycle)) {
+          min_cycle = s.expected_cycle_ns;
+        }
+      }
+      if (min_cycle > 0) period = min_cycle;
+    }
+    if (period <= 0) {
+      throw std::invalid_argument("scenario: non-positive period for '" +
+                                  message.name + "'");
+    }
+
+    // Sorted per-signal timelines.
+    struct SignalTimeline {
+      const signaldb::SignalSpec* spec;
+      std::vector<Change> changes;  // sorted by t
+    };
+    std::vector<SignalTimeline> timelines;
+    for (const signaldb::SignalSpec& s : message.signals) {
+      SignalTimeline tl;
+      tl.spec = &s;
+      if (const auto it = timelines_.find(s.name); it != timelines_.end()) {
+        tl.changes = it->second;
+        std::stable_sort(tl.changes.begin(), tl.changes.end(),
+                         [](const Change& a, const Change& b) {
+                           return a.t_ns < b.t_ns;
+                         });
+      }
+      timelines.push_back(std::move(tl));
+    }
+
+    const std::vector<Blackout>* blackout_list = nullptr;
+    if (const auto it = blackouts_.find(message.name);
+        it != blackouts_.end()) {
+      blackout_list = &it->second;
+    }
+
+    for (std::int64_t t = start_ns; t < end_ns; t += period) {
+      if (blackout_list != nullptr) {
+        bool dark = false;
+        for (const Blackout& b : *blackout_list) {
+          if (t >= b.from_ns && t < b.to_ns) {
+            dark = true;
+            break;
+          }
+        }
+        if (dark) continue;
+      }
+      tracefile::TraceRecord rec;
+      rec.t_ns = t;
+      rec.bus = message.bus;
+      rec.message_id = message.message_id;
+      rec.protocol = message.protocol;
+      rec.payload.assign(message.payload_size, 0);
+      for (const SignalTimeline& tl : timelines) {
+        // Last change at or before t (default: 0 / first table entry).
+        const Change* current = nullptr;
+        for (const Change& change : tl.changes) {
+          if (change.t_ns <= t) {
+            current = &change;
+          } else {
+            break;
+          }
+        }
+        if (current == nullptr) {
+          if (tl.spec->is_categorical()) {
+            protocol::insert_bits(rec.payload, tl.spec->start_bit,
+                                  tl.spec->length, tl.spec->byte_order,
+                                  tl.spec->value_table.front().raw);
+          } else {
+            signaldb::encode_signal(rec.payload, *tl.spec, 0.0);
+          }
+          continue;
+        }
+        if (current->is_raw) {
+          protocol::insert_bits(rec.payload, tl.spec->start_bit,
+                                tl.spec->length, tl.spec->byte_order,
+                                static_cast<std::uint64_t>(current->value));
+        } else {
+          signaldb::encode_signal(rec.payload, *tl.spec, current->value);
+        }
+      }
+      trace.records.push_back(std::move(rec));
+    }
+  }
+
+  std::stable_sort(trace.records.begin(), trace.records.end(),
+                   [](const tracefile::TraceRecord& a,
+                      const tracefile::TraceRecord& b) {
+                     return a.t_ns < b.t_ns;
+                   });
+  return trace;
+}
+
+}  // namespace ivt::simnet

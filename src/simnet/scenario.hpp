@@ -1,0 +1,85 @@
+// Scripted scenarios: deterministic trace construction from a timeline of
+// signal value changes.
+//
+// Where the stochastic simulator (ecu.hpp) answers "does the pipeline
+// behave on realistic traffic", ScenarioBuilder answers "does it produce
+// exactly THIS output for THIS story" — it drives golden tests and the
+// paper-figure reproductions (e.g. Table 4's lights scenario).
+//
+// Usage:
+//   ScenarioBuilder scenario(catalog);
+//   scenario.set_label(2.0_s, "headlight", "off")
+//           .set(4.0_s, "speed", 80.0)
+//           .set_label(20.1_s, "headlight", "parklight on");
+//   Trace trace = scenario.build(0, 25.0_s);
+//
+// Every message containing a scripted signal is emitted cyclically at its
+// period (defaulting to the documented expected cycle of its signals);
+// each instance encodes the timeline value current at emission time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "signaldb/catalog.hpp"
+#include "tracefile/trace.hpp"
+
+namespace ivt::simnet {
+
+class ScenarioBuilder {
+ public:
+  /// The catalog must outlive the builder.
+  explicit ScenarioBuilder(const signaldb::Catalog& catalog);
+
+  /// Signal holds numeric `value` from t_ns onward. Throws
+  /// std::invalid_argument for unknown signals.
+  ScenarioBuilder& set(std::int64_t t_ns, const std::string& signal,
+                       double value);
+
+  /// Signal holds categorical `label` from t_ns onward. Throws for
+  /// unknown signals or labels.
+  ScenarioBuilder& set_label(std::int64_t t_ns, const std::string& signal,
+                             const std::string& label);
+
+  /// Override the emission period of a message (default: the minimum
+  /// documented expected cycle among its signals, or 100 ms).
+  ScenarioBuilder& message_period(const std::string& message_name,
+                                  std::int64_t period_ns);
+
+  /// Suppress emission of a message inside [from_ns, to_ns) — scripts a
+  /// sender stall / cycle-time violation.
+  ScenarioBuilder& blackout(const std::string& message_name,
+                            std::int64_t from_ns, std::int64_t to_ns);
+
+  /// Emit the trace over [start_ns, end_ns). Only messages with at least
+  /// one scripted signal are emitted. Unscripted signals of an emitted
+  /// message encode 0 / their first value-table entry.
+  [[nodiscard]] tracefile::Trace build(std::int64_t start_ns,
+                                       std::int64_t end_ns) const;
+
+ private:
+  struct Change {
+    std::int64_t t_ns;
+    double value;          // physical, or value-table raw for labels
+    bool is_raw = false;   // true when `value` is a raw table code
+  };
+  struct Blackout {
+    std::int64_t from_ns;
+    std::int64_t to_ns;
+  };
+
+  const signaldb::SignalSpec& require_signal(const std::string& name,
+                                             const signaldb::MessageSpec**
+                                                 message_out) const;
+
+  const signaldb::Catalog& catalog_;
+  /// signal name -> sorted-on-build change list.
+  std::map<std::string, std::vector<Change>> timelines_;
+  std::map<std::string, std::int64_t> period_overrides_;
+  std::map<std::string, std::vector<Blackout>> blackouts_;
+};
+
+}  // namespace ivt::simnet

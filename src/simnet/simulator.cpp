@@ -1,0 +1,43 @@
+#include "simnet/simulator.hpp"
+
+#include <algorithm>
+
+namespace ivt::simnet {
+
+tracefile::Trace NetworkSimulator::run(const SimulationConfig& config,
+                                       const std::string& vehicle,
+                                       const std::string& journey) {
+  tracefile::Trace trace;
+  trace.vehicle = vehicle;
+  trace.journey = journey;
+  trace.start_unix_ns = config.start_ns;
+
+  std::vector<tracefile::TraceRecord> records;
+  const std::int64_t end_ns = config.start_ns + config.duration_ns;
+  std::uint64_t ecu_index = 0;
+  for (Ecu& ecu : ecus_) {
+    const std::uint64_t ecu_seed =
+        config.seed * 0x100000001B3ULL + (++ecu_index);
+    ecu.generate(config.start_ns, end_ns, config.faults, ecu_seed,
+                 [&records](tracefile::TraceRecord rec) {
+                   records.push_back(std::move(rec));
+                 });
+  }
+
+  for (const Gateway& gw : gateways_) {
+    std::vector<tracefile::TraceRecord> forwarded = gw.apply(records);
+    records.insert(records.end(),
+                   std::make_move_iterator(forwarded.begin()),
+                   std::make_move_iterator(forwarded.end()));
+  }
+
+  std::stable_sort(records.begin(), records.end(),
+                   [](const tracefile::TraceRecord& a,
+                      const tracefile::TraceRecord& b) {
+                     return a.t_ns < b.t_ns;
+                   });
+  trace.records = std::move(records);
+  return trace;
+}
+
+}  // namespace ivt::simnet

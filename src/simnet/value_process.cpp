@@ -1,0 +1,286 @@
+#include "simnet/value_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ivt::simnet {
+
+namespace {
+
+class Constant final : public ValueProcess {
+ public:
+  explicit Constant(double value) : value_(value) {}
+  double next(std::int64_t) override { return value_; }
+
+ private:
+  double value_;
+};
+
+class Sine final : public ValueProcess {
+ public:
+  Sine(double amplitude, double offset, std::int64_t period_ns, double phase)
+      : amplitude_(amplitude),
+        offset_(offset),
+        period_ns_(period_ns > 0 ? period_ns : 1),
+        phase_(phase) {}
+
+  double next(std::int64_t t_ns) override {
+    const double x = 2.0 * std::numbers::pi *
+                         static_cast<double>(t_ns % period_ns_) /
+                         static_cast<double>(period_ns_) +
+                     phase_;
+    return offset_ + amplitude_ * std::sin(x);
+  }
+
+ private:
+  double amplitude_;
+  double offset_;
+  std::int64_t period_ns_;
+  double phase_;
+};
+
+class Ramp final : public ValueProcess {
+ public:
+  Ramp(double low, double high, std::int64_t period_ns)
+      : low_(low), high_(high), period_ns_(period_ns > 0 ? period_ns : 1) {}
+
+  double next(std::int64_t t_ns) override {
+    const double frac = static_cast<double>(t_ns % period_ns_) /
+                        static_cast<double>(period_ns_);
+    return low_ + (high_ - low_) * frac;
+  }
+
+ private:
+  double low_;
+  double high_;
+  std::int64_t period_ns_;
+};
+
+class RandomWalk final : public ValueProcess {
+ public:
+  RandomWalk(double initial, double step, double min_value, double max_value,
+             std::uint64_t seed)
+      : value_(initial),
+        min_(min_value),
+        max_(max_value),
+        dist_(-step, step),
+        rng_(seed) {}
+
+  double next(std::int64_t) override {
+    value_ = std::clamp(value_ + dist_(rng_), min_, max_);
+    return value_;
+  }
+
+ private:
+  double value_;
+  double min_;
+  double max_;
+  std::uniform_real_distribution<double> dist_;
+  std::mt19937_64 rng_;
+};
+
+class StepLevels final : public ValueProcess {
+ public:
+  StepLevels(std::vector<double> levels, std::int64_t mean_dwell_ns,
+             bool neighbour_jumps, std::uint64_t seed)
+      : levels_(std::move(levels)),
+        mean_dwell_ns_(std::max<std::int64_t>(mean_dwell_ns, 1)),
+        neighbour_jumps_(neighbour_jumps),
+        rng_(seed) {
+    if (levels_.empty()) levels_.push_back(0.0);
+    index_ = std::uniform_int_distribution<std::size_t>(
+        0, levels_.size() - 1)(rng_);
+  }
+
+  double next(std::int64_t t_ns) override {
+    while (t_ns >= next_jump_ns_) {
+      schedule_jump();
+      jump();
+    }
+    return levels_[index_];
+  }
+
+ private:
+  void schedule_jump() {
+    std::exponential_distribution<double> exp_dist(
+        1.0 / static_cast<double>(mean_dwell_ns_));
+    next_jump_ns_ += static_cast<std::int64_t>(exp_dist(rng_)) + 1;
+  }
+
+  void jump() {
+    if (levels_.size() < 2) return;
+    if (neighbour_jumps_) {
+      if (index_ == 0) {
+        ++index_;
+      } else if (index_ == levels_.size() - 1) {
+        --index_;
+      } else {
+        index_ += std::uniform_int_distribution<int>(0, 1)(rng_) ? 1 : -1;
+      }
+      return;
+    }
+    std::size_t target = std::uniform_int_distribution<std::size_t>(
+        0, levels_.size() - 2)(rng_);
+    if (target >= index_) ++target;
+    index_ = target;
+  }
+
+  std::vector<double> levels_;
+  std::int64_t mean_dwell_ns_;
+  bool neighbour_jumps_;
+  std::mt19937_64 rng_;
+  std::size_t index_ = 0;
+  std::int64_t next_jump_ns_ = 0;
+};
+
+class DutyCycle final : public ValueProcess {
+ public:
+  DutyCycle(std::int64_t mean_on_ns, std::int64_t mean_off_ns,
+            std::uint64_t seed)
+      : mean_on_ns_(std::max<std::int64_t>(mean_on_ns, 1)),
+        mean_off_ns_(std::max<std::int64_t>(mean_off_ns, 1)),
+        rng_(seed) {}
+
+  double next(std::int64_t t_ns) override {
+    while (t_ns >= next_flip_ns_) {
+      on_ = !on_;
+      std::exponential_distribution<double> exp_dist(
+          1.0 / static_cast<double>(on_ ? mean_on_ns_ : mean_off_ns_));
+      next_flip_ns_ += static_cast<std::int64_t>(exp_dist(rng_)) + 1;
+    }
+    return on_ ? 1.0 : 0.0;
+  }
+
+ private:
+  std::int64_t mean_on_ns_;
+  std::int64_t mean_off_ns_;
+  std::mt19937_64 rng_;
+  bool on_ = false;
+  std::int64_t next_flip_ns_ = 0;
+};
+
+class MarkovChain final : public ValueProcess {
+ public:
+  MarkovChain(std::size_t num_states, double switch_probability,
+              std::uint64_t seed)
+      : num_states_(std::max<std::size_t>(num_states, 1)),
+        switch_probability_(std::clamp(switch_probability, 0.0, 1.0)),
+        rng_(seed) {}
+
+  double next(std::int64_t) override {
+    if (num_states_ > 1 &&
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
+            switch_probability_) {
+      std::size_t target = std::uniform_int_distribution<std::size_t>(
+          0, num_states_ - 2)(rng_);
+      if (target >= state_) ++target;
+      state_ = target;
+    }
+    return static_cast<double>(state_);
+  }
+
+ private:
+  std::size_t num_states_;
+  double switch_probability_;
+  std::mt19937_64 rng_;
+  std::size_t state_ = 0;
+};
+
+class OutlierInjector final : public ValueProcess {
+ public:
+  OutlierInjector(std::unique_ptr<ValueProcess> inner, double rate,
+                  double gain, double kick, std::uint64_t seed)
+      : inner_(std::move(inner)),
+        rate_(std::clamp(rate, 0.0, 1.0)),
+        gain_(gain),
+        kick_(kick),
+        rng_(seed) {}
+
+  double next(std::int64_t t_ns) override {
+    const double value = inner_->next(t_ns);
+    if (std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < rate_) {
+      return value * gain_ + kick_;
+    }
+    return value;
+  }
+
+ private:
+  std::unique_ptr<ValueProcess> inner_;
+  double rate_;
+  double gain_;
+  double kick_;
+  std::mt19937_64 rng_;
+};
+
+class Quantizer final : public ValueProcess {
+ public:
+  Quantizer(std::unique_ptr<ValueProcess> inner, double step)
+      : inner_(std::move(inner)), step_(step > 0.0 ? step : 1.0) {}
+
+  double next(std::int64_t t_ns) override {
+    return std::round(inner_->next(t_ns) / step_) * step_;
+  }
+
+ private:
+  std::unique_ptr<ValueProcess> inner_;
+  double step_;
+};
+
+}  // namespace
+
+std::unique_ptr<ValueProcess> make_constant(double value) {
+  return std::make_unique<Constant>(value);
+}
+
+std::unique_ptr<ValueProcess> make_sine(double amplitude, double offset,
+                                        std::int64_t period_ns, double phase) {
+  return std::make_unique<Sine>(amplitude, offset, period_ns, phase);
+}
+
+std::unique_ptr<ValueProcess> make_ramp(double low, double high,
+                                        std::int64_t period_ns) {
+  return std::make_unique<Ramp>(low, high, period_ns);
+}
+
+std::unique_ptr<ValueProcess> make_random_walk(double initial, double step,
+                                               double min_value,
+                                               double max_value,
+                                               std::uint64_t seed) {
+  return std::make_unique<RandomWalk>(initial, step, min_value, max_value,
+                                      seed);
+}
+
+std::unique_ptr<ValueProcess> make_step_levels(std::vector<double> levels,
+                                               std::int64_t mean_dwell_ns,
+                                               bool neighbour_jumps,
+                                               std::uint64_t seed) {
+  return std::make_unique<StepLevels>(std::move(levels), mean_dwell_ns,
+                                      neighbour_jumps, seed);
+}
+
+std::unique_ptr<ValueProcess> make_duty_cycle(std::int64_t mean_on_ns,
+                                              std::int64_t mean_off_ns,
+                                              std::uint64_t seed) {
+  return std::make_unique<DutyCycle>(mean_on_ns, mean_off_ns, seed);
+}
+
+std::unique_ptr<ValueProcess> make_markov_chain(std::size_t num_states,
+                                                double switch_probability,
+                                                std::uint64_t seed) {
+  return std::make_unique<MarkovChain>(num_states, switch_probability, seed);
+}
+
+std::unique_ptr<ValueProcess> make_outlier_injector(
+    std::unique_ptr<ValueProcess> inner, double rate, double gain,
+    double kick, std::uint64_t seed) {
+  return std::make_unique<OutlierInjector>(std::move(inner), rate, gain, kick,
+                                           seed);
+}
+
+std::unique_ptr<ValueProcess> make_quantizer(
+    std::unique_ptr<ValueProcess> inner, double step) {
+  return std::make_unique<Quantizer>(std::move(inner), step);
+}
+
+}  // namespace ivt::simnet

@@ -1,0 +1,78 @@
+// Deterministic value processes: the physical behaviour behind each
+// simulated signal type.
+//
+// Each process is sampled in non-decreasing time order by the simulator
+// and produces the *physical* signal value; the ECU encodes it into the
+// payload via the signal's SignalSpec. All randomness flows from explicit
+// seeds so a given configuration always reproduces the identical trace
+// (the paper's "preserving determinism" requirement).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+namespace ivt::simnet {
+
+class ValueProcess {
+ public:
+  virtual ~ValueProcess() = default;
+  /// Next physical value; `t_ns` is non-decreasing across calls.
+  virtual double next(std::int64_t t_ns) = 0;
+};
+
+/// Fixed value (e.g. a configuration constant).
+std::unique_ptr<ValueProcess> make_constant(double value);
+
+/// offset + amplitude * sin(2π t / period + phase). High-rate numeric (α).
+std::unique_ptr<ValueProcess> make_sine(double amplitude, double offset,
+                                        std::int64_t period_ns,
+                                        double phase = 0.0);
+
+/// Sawtooth ramp from `low` to `high` over `period_ns` (e.g. odometer-like
+/// wrap-around counters).
+std::unique_ptr<ValueProcess> make_ramp(double low, double high,
+                                        std::int64_t period_ns);
+
+/// Bounded random walk: value += U(-step, step), clamped to [min, max].
+/// High-rate numeric (α) — models speed, steering angle.
+std::unique_ptr<ValueProcess> make_random_walk(double initial, double step,
+                                               double min_value,
+                                               double max_value,
+                                               std::uint64_t seed);
+
+/// Piecewise-constant level process: dwell on one of `levels` for an
+/// exponentially distributed time (mean dwell), then jump to a neighbour
+/// level (ordinal semantics, branch β) or to a uniform level (nominal).
+std::unique_ptr<ValueProcess> make_step_levels(std::vector<double> levels,
+                                               std::int64_t mean_dwell_ns,
+                                               bool neighbour_jumps,
+                                               std::uint64_t seed);
+
+/// Binary duty-cycle process emitting 0/1 with exponentially distributed
+/// on/off dwell times (branch γ binary signals such as belt contact).
+std::unique_ptr<ValueProcess> make_duty_cycle(std::int64_t mean_on_ns,
+                                              std::int64_t mean_off_ns,
+                                              std::uint64_t seed);
+
+/// Discrete Markov chain over {0..num_states-1}: at each sample, switch to
+/// a uniformly random other state with probability `switch_probability`
+/// (nominal signals, branch γ).
+std::unique_ptr<ValueProcess> make_markov_chain(std::size_t num_states,
+                                                double switch_probability,
+                                                std::uint64_t seed);
+
+/// Decorator: with probability `rate`, replaces the wrapped process's
+/// value with an implausible spike (value * gain + kick). This is the
+/// simulator's source of genuine outliers that branch α/β must isolate.
+std::unique_ptr<ValueProcess> make_outlier_injector(
+    std::unique_ptr<ValueProcess> inner, double rate, double gain,
+    double kick, std::uint64_t seed);
+
+/// Decorator: quantize the wrapped value to multiples of `step`
+/// (models sensor quantization; keeps z_num realistic for ordinals).
+std::unique_ptr<ValueProcess> make_quantizer(
+    std::unique_ptr<ValueProcess> inner, double step);
+
+}  // namespace ivt::simnet

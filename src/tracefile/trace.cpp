@@ -1,0 +1,117 @@
+#include "tracefile/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <stdexcept>
+
+namespace ivt::tracefile {
+
+std::int64_t Trace::duration_ns() const {
+  if (records.size() < 2) return 0;
+  return records.back().t_ns - records.front().t_ns;
+}
+
+bool Trace::is_time_ordered() const {
+  return std::is_sorted(records.begin(), records.end(),
+                        [](const TraceRecord& a, const TraceRecord& b) {
+                          return a.t_ns < b.t_ns;
+                        });
+}
+
+const dataflow::Schema& kb_schema() {
+  static const dataflow::Schema schema{{
+      {"t", dataflow::ValueType::Int64},
+      {"l", dataflow::ValueType::String},
+      {"b_id", dataflow::ValueType::String},
+      {"m_id", dataflow::ValueType::Int64},
+      {"m_info", dataflow::ValueType::String},
+  }};
+  return schema;
+}
+
+std::string make_m_info(protocol::Protocol protocol, std::uint32_t flags) {
+  std::string out{protocol::to_string(protocol)};
+  out += ':';
+  out += std::to_string(flags);
+  return out;
+}
+
+MInfo parse_m_info(std::string_view m_info) {
+  MInfo info;
+  const std::size_t colon = m_info.rfind(':');
+  if (colon == std::string_view::npos) {
+    throw std::invalid_argument("bad m_info cell: '" + std::string(m_info) +
+                                "'");
+  }
+  const auto proto = protocol::parse_protocol(m_info.substr(0, colon));
+  if (!proto) {
+    throw std::invalid_argument("bad protocol in m_info: '" +
+                                std::string(m_info) + "'");
+  }
+  info.protocol = *proto;
+  const std::string_view flags_str = m_info.substr(colon + 1);
+  const auto [ptr, ec] = std::from_chars(
+      flags_str.data(), flags_str.data() + flags_str.size(), info.flags);
+  if (ec != std::errc{} || ptr != flags_str.data() + flags_str.size()) {
+    throw std::invalid_argument("bad flags in m_info: '" +
+                                std::string(m_info) + "'");
+  }
+  return info;
+}
+
+dataflow::Table to_kb_table(const Trace& trace, std::size_t partitions) {
+  if (partitions == 0) partitions = 1;
+  std::size_t per = (trace.records.size() + partitions - 1) / partitions;
+  if (per == 0) per = 1;
+  dataflow::TableBuilder builder(kb_schema(), per);
+  for (const TraceRecord& rec : trace.records) {
+    dataflow::Partition& dst = builder.current_partition();
+    dst.columns[0].append_int64(rec.t_ns);
+    dst.columns[1].append_string(
+        std::string(rec.payload.begin(), rec.payload.end()));
+    dst.columns[2].append_string(rec.bus);
+    dst.columns[3].append_int64(rec.message_id);
+    dst.columns[4].append_string(make_m_info(rec.protocol, rec.flags));
+    builder.commit_row();
+  }
+  return builder.build();
+}
+
+Trace from_kb_table(const dataflow::Table& table) {
+  if (table.schema() != kb_schema()) {
+    throw std::invalid_argument("from_kb_table: schema is not K_b");
+  }
+  Trace trace;
+  trace.records.reserve(table.num_rows());
+  table.for_each_row([&](const dataflow::RowView& row) {
+    TraceRecord rec;
+    rec.t_ns = row.int64_at(0);
+    const std::string& payload = row.string_at(1);
+    rec.payload.assign(payload.begin(), payload.end());
+    rec.bus = row.string_at(2);
+    rec.message_id = row.int64_at(3);
+    const MInfo info = parse_m_info(row.string_at(4));
+    rec.protocol = info.protocol;
+    rec.flags = info.flags;
+    trace.records.push_back(std::move(rec));
+  });
+  return trace;
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.num_records = trace.records.size();
+  stats.duration_ns = trace.duration_ns();
+  std::map<std::string, std::size_t> per_bus;
+  std::map<std::int64_t, std::size_t> per_message;
+  for (const TraceRecord& rec : trace.records) {
+    ++per_bus[rec.bus];
+    ++per_message[rec.message_id];
+  }
+  stats.records_per_bus.assign(per_bus.begin(), per_bus.end());
+  stats.records_per_message.assign(per_message.begin(), per_message.end());
+  return stats;
+}
+
+}  // namespace ivt::tracefile

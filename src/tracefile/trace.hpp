@@ -1,0 +1,73 @@
+// In-memory trace model.
+//
+// A Trace is the common log K_b the paper's monitoring devices write: an
+// ordered sequence of byte tuples k_b = (t, l, b_id, m_id, m_info), where
+// l is the raw payload and m_info carries the protocol-specific fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/table.hpp"
+#include "protocol/frame.hpp"
+
+namespace ivt::tracefile {
+
+/// One recorded message instance (the paper's byte tuple k_b).
+struct TraceRecord {
+  std::int64_t t_ns = 0;       ///< timestamp (monotonic, ns since start)
+  std::string bus;             ///< b_id
+  std::int64_t message_id = 0; ///< m_id (CAN id, LIN id, SOME/IP message id)
+  protocol::Protocol protocol = protocol::Protocol::Can;
+  std::uint32_t flags = 0;     ///< monitor flags (bit 0: error frame)
+  std::vector<std::uint8_t> payload;  ///< l
+
+  static constexpr std::uint32_t kFlagErrorFrame = 0x1;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Journey metadata + record sequence.
+struct Trace {
+  std::string vehicle;
+  std::string journey;
+  std::int64_t start_unix_ns = 0;
+  std::vector<TraceRecord> records;
+
+  [[nodiscard]] std::size_t size() const { return records.size(); }
+  [[nodiscard]] bool empty() const { return records.empty(); }
+  /// Duration between first and last record (0 for < 2 records).
+  [[nodiscard]] std::int64_t duration_ns() const;
+  /// True when records are sorted by t_ns (the monitor guarantee).
+  [[nodiscard]] bool is_time_ordered() const;
+};
+
+/// Schema of the tabular K_b form: (t: int64, l: string, b_id: string,
+/// m_id: int64, m_info: string). m_info is "<protocol>:<flags>".
+const dataflow::Schema& kb_schema();
+
+/// Convert a trace to the K_b table, split into `partitions` slices.
+dataflow::Table to_kb_table(const Trace& trace, std::size_t partitions);
+
+/// Inverse of to_kb_table (metadata is not stored in the table).
+Trace from_kb_table(const dataflow::Table& table);
+
+/// Encode/decode the m_info cell.
+std::string make_m_info(protocol::Protocol protocol, std::uint32_t flags);
+struct MInfo {
+  protocol::Protocol protocol = protocol::Protocol::Can;
+  std::uint32_t flags = 0;
+};
+MInfo parse_m_info(std::string_view m_info);
+
+/// Per-trace statistics (used by the Table 5 style reports).
+struct TraceStats {
+  std::size_t num_records = 0;
+  std::int64_t duration_ns = 0;
+  std::vector<std::pair<std::string, std::size_t>> records_per_bus;
+  std::vector<std::pair<std::int64_t, std::size_t>> records_per_message;
+};
+TraceStats compute_stats(const Trace& trace);
+
+}  // namespace ivt::tracefile

@@ -1,0 +1,122 @@
+#include "tracefile/trace_ops.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ivt::tracefile {
+
+namespace {
+
+Trace copy_metadata(const Trace& trace) {
+  Trace out;
+  out.vehicle = trace.vehicle;
+  out.journey = trace.journey;
+  out.start_unix_ns = trace.start_unix_ns;
+  return out;
+}
+
+}  // namespace
+
+Trace slice_time(const Trace& trace, std::int64_t from_ns,
+                 std::int64_t to_ns) {
+  return filter_records(trace, [from_ns, to_ns](const TraceRecord& rec) {
+    return rec.t_ns >= from_ns && rec.t_ns < to_ns;
+  });
+}
+
+Trace filter_buses(const Trace& trace,
+                   const std::vector<std::string>& buses) {
+  return filter_records(trace, [&buses](const TraceRecord& rec) {
+    return std::find(buses.begin(), buses.end(), rec.bus) != buses.end();
+  });
+}
+
+Trace filter_messages(const Trace& trace,
+                      const std::vector<std::int64_t>& message_ids) {
+  return filter_records(trace, [&message_ids](const TraceRecord& rec) {
+    return std::find(message_ids.begin(), message_ids.end(),
+                     rec.message_id) != message_ids.end();
+  });
+}
+
+Trace filter_records(const Trace& trace,
+                     const std::function<bool(const TraceRecord&)>& keep) {
+  Trace out = copy_metadata(trace);
+  for (const TraceRecord& rec : trace.records) {
+    if (keep(rec)) out.records.push_back(rec);
+  }
+  return out;
+}
+
+Trace merge_traces(const std::vector<Trace>& traces) {
+  Trace out;
+  if (traces.empty()) return out;
+  out.vehicle = traces.front().vehicle;
+  out.journey = traces.front().journey;
+  out.start_unix_ns = traces.front().start_unix_ns;
+  std::size_t total = 0;
+  for (const Trace& t : traces) {
+    total += t.records.size();
+    out.start_unix_ns = std::min(out.start_unix_ns, t.start_unix_ns);
+  }
+  out.records.reserve(total);
+  // k-way merge via repeated stable min pick (k is small: logger count).
+  std::vector<std::size_t> cursor(traces.size(), 0);
+  for (std::size_t emitted = 0; emitted < total; ++emitted) {
+    std::size_t best = traces.size();
+    for (std::size_t k = 0; k < traces.size(); ++k) {
+      if (cursor[k] >= traces[k].records.size()) continue;
+      if (best == traces.size() ||
+          traces[k].records[cursor[k]].t_ns <
+              traces[best].records[cursor[best]].t_ns) {
+        best = k;
+      }
+    }
+    out.records.push_back(traces[best].records[cursor[best]]);
+    ++cursor[best];
+  }
+  return out;
+}
+
+Trace shift_time(const Trace& trace, std::int64_t delta_ns) {
+  Trace out = copy_metadata(trace);
+  out.records.reserve(trace.records.size());
+  for (TraceRecord rec : trace.records) {
+    rec.t_ns += delta_ns;
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<CycleEstimate> estimate_cycles(const Trace& trace) {
+  std::map<std::pair<std::string, std::int64_t>, std::vector<std::int64_t>>
+      gaps;
+  std::map<std::pair<std::string, std::int64_t>, std::int64_t> last_seen;
+  std::map<std::pair<std::string, std::int64_t>, std::size_t> counts;
+  for (const TraceRecord& rec : trace.records) {
+    const auto key = std::make_pair(rec.bus, rec.message_id);
+    ++counts[key];
+    const auto it = last_seen.find(key);
+    if (it != last_seen.end()) {
+      gaps[key].push_back(rec.t_ns - it->second);
+    }
+    last_seen[key] = rec.t_ns;
+  }
+  std::vector<CycleEstimate> out;
+  out.reserve(counts.size());
+  for (auto& [key, gap_list] : gaps) {
+    CycleEstimate est;
+    est.bus = key.first;
+    est.message_id = key.second;
+    est.instances = counts[key];
+    std::nth_element(gap_list.begin(),
+                     gap_list.begin() + static_cast<std::ptrdiff_t>(
+                                            gap_list.size() / 2),
+                     gap_list.end());
+    est.median_gap_ns = gap_list[gap_list.size() / 2];
+    out.push_back(std::move(est));
+  }
+  return out;
+}
+
+}  // namespace ivt::tracefile

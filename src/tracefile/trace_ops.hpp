@@ -1,0 +1,50 @@
+// Trace manipulation utilities: slicing, filtering, merging — the
+// day-to-day plumbing of a trace-analysis toolchain (cutting a journey to
+// the interesting window, isolating one channel, fusing multi-logger
+// recordings).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tracefile/trace.hpp"
+
+namespace ivt::tracefile {
+
+/// Records with from_ns <= t < to_ns (metadata preserved).
+Trace slice_time(const Trace& trace, std::int64_t from_ns,
+                 std::int64_t to_ns);
+
+/// Records of the given channels only.
+Trace filter_buses(const Trace& trace, const std::vector<std::string>& buses);
+
+/// Records of the given message ids only.
+Trace filter_messages(const Trace& trace,
+                      const std::vector<std::int64_t>& message_ids);
+
+/// Generic predicate filter.
+Trace filter_records(const Trace& trace,
+                     const std::function<bool(const TraceRecord&)>& keep);
+
+/// Merge several (time-ordered) traces into one time-ordered trace.
+/// Vehicle/journey metadata is taken from the first input; `start_unix_ns`
+/// becomes the minimum. Ties keep the input order (stable).
+Trace merge_traces(const std::vector<Trace>& traces);
+
+/// Shift every timestamp by `delta_ns` (e.g. to align multi-logger
+/// clocks before merging).
+Trace shift_time(const Trace& trace, std::int64_t delta_ns);
+
+/// Per-message-type cycle-time estimate: median gap between consecutive
+/// instances of each (bus, m_id). Used to bootstrap missing
+/// expected_cycle documentation from data.
+struct CycleEstimate {
+  std::string bus;
+  std::int64_t message_id = 0;
+  std::int64_t median_gap_ns = 0;
+  std::size_t instances = 0;
+};
+std::vector<CycleEstimate> estimate_cycles(const Trace& trace);
+
+}  // namespace ivt::tracefile

@@ -1,0 +1,151 @@
+#include "algo/sax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace ivt::algo {
+namespace {
+
+TEST(PaaTest, ExactDivision) {
+  const std::vector<double> xs{1.0, 1.0, 5.0, 5.0};
+  const auto out = paa(xs, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);
+}
+
+TEST(PaaTest, FractionalFramesAreWeighted) {
+  const std::vector<double> xs{0.0, 6.0, 12.0};
+  const auto out = paa(xs, 2);
+  ASSERT_EQ(out.size(), 2u);
+  // Frame 0 covers x[0] and half of x[1]: (0*1 + 6*0.5) / 1.5 = 2
+  EXPECT_NEAR(out[0], 2.0, 1e-9);
+  EXPECT_NEAR(out[1], 10.0, 1e-9);
+}
+
+TEST(PaaTest, SegmentsClampToLength) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_EQ(paa(xs, 10).size(), 2u);
+}
+
+TEST(PaaTest, OneSegmentIsMean) {
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  const auto out = paa(xs, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], 4.0, 1e-9);
+}
+
+TEST(PaaTest, EmptyInput) { EXPECT_TRUE(paa({}, 4).empty()); }
+
+TEST(PaaTest, MeanIsPreserved) {
+  std::vector<double> xs;
+  for (int i = 0; i < 17; ++i) xs.push_back(std::sin(i * 0.3));
+  const auto out = paa(xs, 5);
+  double in_mean = 0.0;
+  for (double x : xs) in_mean += x;
+  in_mean /= static_cast<double>(xs.size());
+  double out_mean = 0.0;
+  for (double x : out) out_mean += x;
+  out_mean /= static_cast<double>(out.size());
+  EXPECT_NEAR(in_mean, out_mean, 1e-9);
+}
+
+TEST(ZNormalizeTest, MeanZeroStdOne) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto z = znormalize(xs);
+  double m = 0.0;
+  for (double v : z) m += v;
+  EXPECT_NEAR(m, 0.0, 1e-12);
+}
+
+TEST(ZNormalizeTest, FlatSeriesBecomesZeros) {
+  const std::vector<double> xs(5, 42.0);
+  const auto z = znormalize(xs);
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(BreakpointsTest, SizesAndMonotonicity) {
+  for (std::size_t a = 2; a <= 16; ++a) {
+    const auto bp = sax_breakpoints(a);
+    ASSERT_EQ(bp.size(), a - 1) << "alphabet " << a;
+    for (std::size_t i = 1; i < bp.size(); ++i) {
+      EXPECT_LT(bp[i - 1], bp[i]);
+    }
+  }
+}
+
+TEST(BreakpointsTest, SymmetricAboutZero) {
+  for (std::size_t a : {3u, 5u, 9u}) {
+    const auto bp = sax_breakpoints(a);
+    for (std::size_t i = 0; i < bp.size(); ++i) {
+      EXPECT_NEAR(bp[i], -bp[bp.size() - 1 - i], 1e-9);
+    }
+  }
+}
+
+TEST(BreakpointsTest, OutOfRangeThrows) {
+  EXPECT_THROW(sax_breakpoints(1), std::invalid_argument);
+  EXPECT_THROW(sax_breakpoints(17), std::invalid_argument);
+}
+
+TEST(SaxSymbolTest, RegionsMapToLetters) {
+  const auto bp = sax_breakpoints(3);  // cuts at ±0.4307
+  EXPECT_EQ(sax_symbol(-1.0, bp), 'a');
+  EXPECT_EQ(sax_symbol(0.0, bp), 'b');
+  EXPECT_EQ(sax_symbol(1.0, bp), 'c');
+}
+
+TEST(SaxSymbolTest, BoundaryGoesToUpperRegion) {
+  const auto bp = sax_breakpoints(2);  // cut at 0
+  EXPECT_EQ(sax_symbol(0.0, bp), 'b');
+  EXPECT_EQ(sax_symbol(-1e-9, bp), 'a');
+}
+
+TEST(SaxWordTest, RampProducesNonDecreasingWord) {
+  std::vector<double> xs;
+  for (int i = 0; i < 64; ++i) xs.push_back(static_cast<double>(i));
+  const std::string word = sax_word(xs, 8, 4);
+  ASSERT_EQ(word.size(), 8u);
+  for (std::size_t i = 1; i < word.size(); ++i) {
+    EXPECT_LE(word[i - 1], word[i]);
+  }
+  EXPECT_EQ(word.front(), 'a');
+  EXPECT_EQ(word.back(), 'd');
+}
+
+TEST(SaxWordTest, SineUsesFullAlphabetSymmetrically) {
+  std::vector<double> xs;
+  for (int i = 0; i < 256; ++i) {
+    xs.push_back(std::sin(2.0 * std::numbers::pi * i / 256.0));
+  }
+  const std::string word = sax_word(xs, 16, 4);
+  EXPECT_NE(word.find('a'), std::string::npos);
+  EXPECT_NE(word.find('d'), std::string::npos);
+}
+
+TEST(MinDistTest, IdenticalWordsHaveZeroDistance) {
+  EXPECT_DOUBLE_EQ(sax_min_dist("abc", "abc", 4, 12), 0.0);
+}
+
+TEST(MinDistTest, AdjacentSymbolsHaveZeroDistance) {
+  EXPECT_DOUBLE_EQ(sax_min_dist("ab", "ba", 4, 8), 0.0);
+}
+
+TEST(MinDistTest, FarSymbolsHavePositiveDistance) {
+  EXPECT_GT(sax_min_dist("aa", "dd", 4, 8), 0.0);
+}
+
+TEST(MinDistTest, LengthMismatchThrows) {
+  EXPECT_THROW(sax_min_dist("ab", "abc", 4, 8), std::invalid_argument);
+}
+
+TEST(MinDistTest, GrowsWithSeriesLength) {
+  const double d1 = sax_min_dist("aa", "dd", 4, 8);
+  const double d2 = sax_min_dist("aa", "dd", 4, 32);
+  EXPECT_GT(d2, d1);
+}
+
+}  // namespace
+}  // namespace ivt::algo

@@ -1,0 +1,69 @@
+#include "algo/smoothing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::algo {
+namespace {
+
+TEST(SmoothingTest, ZeroWindowIsIdentity) {
+  const std::vector<double> xs{1.0, 5.0, 2.0};
+  EXPECT_EQ(moving_average(xs, 0), xs);
+  EXPECT_EQ(moving_median(xs, 0), xs);
+}
+
+TEST(SmoothingTest, MovingAverageInterior) {
+  const std::vector<double> xs{0.0, 3.0, 6.0, 9.0, 12.0};
+  const auto out = moving_average(xs, 1);
+  ASSERT_EQ(out.size(), xs.size());
+  EXPECT_DOUBLE_EQ(out[2], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(SmoothingTest, MovingAverageBorderTruncates) {
+  const std::vector<double> xs{0.0, 6.0};
+  const auto out = moving_average(xs, 1);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);  // mean of first two only
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(SmoothingTest, MovingAverageFlattensSpike) {
+  std::vector<double> xs(11, 1.0);
+  xs[5] = 100.0;
+  const auto out = moving_average(xs, 2);
+  EXPECT_LT(out[5], 25.0);
+}
+
+TEST(SmoothingTest, MovingMedianRemovesSpikeCompletely) {
+  std::vector<double> xs(11, 1.0);
+  xs[5] = 100.0;
+  const auto out = moving_median(xs, 2);
+  EXPECT_DOUBLE_EQ(out[5], 1.0);
+}
+
+TEST(SmoothingTest, ExponentialAlphaOneIsIdentity) {
+  const std::vector<double> xs{1.0, 9.0, 4.0};
+  EXPECT_EQ(exponential_smoothing(xs, 1.0), xs);
+}
+
+TEST(SmoothingTest, ExponentialConverges) {
+  std::vector<double> xs(50, 10.0);
+  xs[0] = 0.0;
+  const auto out = exponential_smoothing(xs, 0.3);
+  EXPECT_NEAR(out.back(), 10.0, 1e-4);
+  EXPECT_LT(out[1], 10.0);
+}
+
+TEST(SmoothingTest, ExponentialBadAlphaThrows) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(exponential_smoothing(xs, 0.0), std::invalid_argument);
+  EXPECT_THROW(exponential_smoothing(xs, 1.5), std::invalid_argument);
+}
+
+TEST(SmoothingTest, EmptyInputs) {
+  EXPECT_TRUE(moving_average({}, 3).empty());
+  EXPECT_TRUE(moving_median({}, 3).empty());
+  EXPECT_TRUE(exponential_smoothing({}, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace ivt::algo

@@ -1,0 +1,63 @@
+#include "algo/trend.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::algo {
+namespace {
+
+TEST(TrendTest, ClassifySlope) {
+  EXPECT_EQ(classify_slope(1.0, 0.1), Trend::Increasing);
+  EXPECT_EQ(classify_slope(-1.0, 0.1), Trend::Decreasing);
+  EXPECT_EQ(classify_slope(0.05, 0.1), Trend::Steady);
+  EXPECT_EQ(classify_slope(-0.1, 0.1), Trend::Steady);  // boundary inclusive
+}
+
+TEST(TrendTest, Names) {
+  EXPECT_EQ(to_string(Trend::Increasing), "increasing");
+  EXPECT_EQ(to_string(Trend::Steady), "steady");
+  EXPECT_EQ(to_string(Trend::Decreasing), "decreasing");
+}
+
+TEST(TrendTest, SegmentTrendUsesSlope) {
+  Segment seg;
+  seg.fit.slope = -3.0;
+  EXPECT_EQ(segment_trend(seg, 0.5), Trend::Decreasing);
+}
+
+TEST(GradientTrendsTest, FirstElementIsSteady) {
+  const std::vector<double> ts{0.0, 1.0, 2.0};
+  const std::vector<double> ys{5.0, 6.0, 6.0};
+  const auto trends = gradient_trends(ts, ys, 0.1);
+  ASSERT_EQ(trends.size(), 3u);
+  EXPECT_EQ(trends[0], Trend::Steady);
+  EXPECT_EQ(trends[1], Trend::Increasing);
+  EXPECT_EQ(trends[2], Trend::Steady);
+}
+
+TEST(GradientTrendsTest, RespectsTimeSpacing) {
+  // Same delta over a long gap: small slope -> steady.
+  const std::vector<double> ts{0.0, 100.0};
+  const std::vector<double> ys{0.0, 1.0};
+  EXPECT_EQ(gradient_trends(ts, ys, 0.5)[1], Trend::Steady);
+  const std::vector<double> ts_fast{0.0, 0.1};
+  EXPECT_EQ(gradient_trends(ts_fast, ys, 0.5)[1], Trend::Increasing);
+}
+
+TEST(GradientTrendsTest, ZeroDtIsSteady) {
+  const std::vector<double> ts{1.0, 1.0};
+  const std::vector<double> ys{0.0, 100.0};
+  EXPECT_EQ(gradient_trends(ts, ys, 0.1)[1], Trend::Steady);
+}
+
+TEST(GradientTrendsTest, MismatchThrows) {
+  EXPECT_THROW(gradient_trends(std::vector<double>{1.0},
+                               std::vector<double>{1.0, 2.0}, 0.1),
+               std::invalid_argument);
+}
+
+TEST(GradientTrendsTest, EmptyInput) {
+  EXPECT_TRUE(gradient_trends({}, {}, 0.1).empty());
+}
+
+}  // namespace
+}  // namespace ivt::algo

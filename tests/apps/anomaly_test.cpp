@@ -1,0 +1,124 @@
+#include "apps/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/schemas.hpp"
+
+namespace ivt::apps {
+namespace {
+
+using dataflow::Schema;
+using dataflow::Table;
+using dataflow::TableBuilder;
+using dataflow::Value;
+using dataflow::ValueType;
+
+Table state_with_rare_row() {
+  Schema schema{{{"t", ValueType::Int64},
+                 {"a", ValueType::String},
+                 {"b", ValueType::String}}};
+  TableBuilder builder(schema, 0);
+  std::int64_t t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    builder.append_row({Value{t++}, Value{"normal"}, Value{"on"}});
+  }
+  builder.append_row({Value{t++}, Value{"weird"}, Value{"off"}});
+  return builder.build();
+}
+
+TEST(StateAnomalyTest, RareJointStateDetected) {
+  const auto anomalies = detect_state_anomalies(state_with_rare_row());
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].description, "weird|off");
+  EXPECT_GT(anomalies[0].severity, 10.0);  // -log2(1/2001) ≈ 11
+  EXPECT_EQ(anomalies[0].occurrences, 1u);
+}
+
+TEST(StateAnomalyTest, ThresholdControlsDetection) {
+  AnomalyConfig config;
+  config.max_state_frequency = 1e-9;
+  EXPECT_TRUE(detect_state_anomalies(state_with_rare_row(), config).empty());
+}
+
+TEST(StateAnomalyTest, TopKLimits) {
+  Schema schema{{{"t", ValueType::Int64}, {"a", ValueType::String}}};
+  TableBuilder builder(schema, 0);
+  std::int64_t t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    builder.append_row({Value{t++}, Value{"base"}});
+  }
+  for (int i = 0; i < 10; ++i) {
+    builder.append_row({Value{t++}, Value{"odd" + std::to_string(i)}});
+  }
+  AnomalyConfig config;
+  config.max_state_frequency = 0.01;
+  config.top_k = 3;
+  EXPECT_EQ(detect_state_anomalies(builder.build(), config).size(), 3u);
+}
+
+Table krep_with_elements() {
+  TableBuilder builder(ivt::core::krep_schema(), 0);
+  auto add = [&](std::int64_t t, const char* sid, const char* value,
+                 double num, const char* kind) {
+    dataflow::Partition& dst = builder.current_partition();
+    dst.columns[0].append_int64(t);
+    dst.columns[1].append_string(sid);
+    dst.columns[2].append_string(value);
+    dst.columns[3].append_float64(num);
+    dst.columns[4].append_string(kind);
+    dst.columns[5].append_string("FC");
+    builder.commit_row();
+  };
+  add(0, "speed", "(high,steady)", 120.0, ivt::core::kElementState);
+  add(10, "speed", "outlier v=800", 800.0, ivt::core::kElementOutlier);
+  add(20, "heat", "snv", 0.0, ivt::core::kElementValidity);
+  add(30, "speed.cycle_violation", "violation gap=0.5s expected=0.1s", 0.5,
+      ivt::core::kElementExtension);
+  add(40, "speed.gap", "0.1", 0.1, ivt::core::kElementExtension);
+  return builder.build();
+}
+
+TEST(ElementAnomalyTest, RanksOutlierFirst) {
+  const auto anomalies = detect_element_anomalies(krep_with_elements());
+  ASSERT_EQ(anomalies.size(), 3u);  // outlier, violation, validity
+  EXPECT_EQ(anomalies[0].signal, "speed");
+  EXPECT_NE(anomalies[0].description.find("outlier"), std::string::npos);
+  EXPECT_GT(anomalies[0].severity, anomalies[1].severity);
+}
+
+TEST(ElementAnomalyTest, RegularStatesAndPlainExtensionsIgnored) {
+  const auto anomalies = detect_element_anomalies(krep_with_elements());
+  for (const auto& a : anomalies) {
+    EXPECT_NE(a.description, "(high,steady)");
+    EXPECT_NE(a.description, "0.1");
+  }
+}
+
+TEST(ElementAnomalyTest, ViolationRankedAboveValidity) {
+  const auto anomalies = detect_element_anomalies(krep_with_elements());
+  EXPECT_NE(anomalies[1].description.find("violation"), std::string::npos);
+  EXPECT_EQ(anomalies[2].description, "snv");
+}
+
+TEST(ToExtensionRuleTest, MarksSimilarDeviations) {
+  Anomaly anomaly;
+  anomaly.signal = "speed";
+  const auto rule = to_extension_rule(anomaly, 100.0, 50.0);
+  EXPECT_EQ(rule.signal_pattern, "speed");
+
+  ivt::core::SequenceData d;
+  d.s_id = "speed";
+  d.bus = "FC";
+  d.t = {0, 1, 2};
+  d.v_num = {100.0, 300.0, 120.0};
+  d.has_num = {1, 1, 1};
+  d.v_str = {"", "", ""};
+  d.has_str = {0, 0, 0};
+  const ivt::core::ConstraintContext ctx{d, nullptr};
+  const auto tables = ivt::core::apply_extensions({rule}, ctx);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].num_rows(), 1u);  // only the 300 deviates >= 50
+}
+
+}  // namespace
+}  // namespace ivt::apps

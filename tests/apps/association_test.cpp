@@ -1,0 +1,147 @@
+#include "apps/association_rules.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::apps {
+namespace {
+
+using dataflow::Schema;
+using dataflow::Table;
+using dataflow::TableBuilder;
+using dataflow::Value;
+using dataflow::ValueType;
+
+/// State table where wiper errors co-occur with cold temperature.
+Table wiper_error_state() {
+  Schema schema{{{"t", ValueType::Int64},
+                 {"temp", ValueType::String},
+                 {"wiper", ValueType::String},
+                 {"error", ValueType::String}}};
+  TableBuilder b(schema, 0);
+  std::int64_t t = 0;
+  auto add = [&](const char* temp, const char* wiper, const char* error,
+                 int copies) {
+    for (int i = 0; i < copies; ++i) {
+      b.append_row({Value{t++}, Value{temp}, Value{wiper}, Value{error}});
+    }
+  };
+  add("cold", "active", "blocked", 10);   // the pattern to find
+  add("cold", "inactive", "none", 10);
+  add("warm", "active", "none", 30);
+  add("warm", "inactive", "none", 50);
+  return b.build();
+}
+
+TEST(AssociationTest, FindsColdWiperRule) {
+  MinerConfig config;
+  config.min_support = 0.05;
+  config.min_confidence = 0.9;
+  config.consequent_columns = {"error"};
+  const auto rules = mine_rules(wiper_error_state(), config);
+  ASSERT_FALSE(rules.empty());
+  // The strongest rule must be IF temp=cold AND wiper=active THEN blocked.
+  bool found = false;
+  for (const auto& rule : rules) {
+    if (rule.consequent.value != "blocked") continue;
+    if (rule.antecedents.size() == 2 && rule.confidence >= 0.99) {
+      found = true;
+      EXPECT_NEAR(rule.support, 0.1, 1e-9);
+      EXPECT_GT(rule.lift, 5.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AssociationTest, MinSupportPrunes) {
+  MinerConfig config;
+  config.min_support = 0.5;  // nothing except warm/inactive combos frequent
+  const auto rules = mine_rules(wiper_error_state(), config);
+  for (const auto& rule : rules) {
+    EXPECT_GE(rule.support, 0.5);
+  }
+}
+
+TEST(AssociationTest, MinConfidenceFilters) {
+  MinerConfig config;
+  config.min_support = 0.01;
+  config.min_confidence = 1.0;
+  const auto rules = mine_rules(wiper_error_state(), config);
+  for (const auto& rule : rules) {
+    EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+  }
+}
+
+TEST(AssociationTest, ConsequentColumnFilterRespected) {
+  MinerConfig config;
+  config.min_support = 0.05;
+  config.min_confidence = 0.8;
+  config.consequent_columns = {"error"};
+  for (const auto& rule : mine_rules(wiper_error_state(), config)) {
+    EXPECT_EQ(rule.consequent.column, "error");
+  }
+}
+
+TEST(AssociationTest, TimeColumnIgnored) {
+  MinerConfig config;
+  config.min_support = 0.001;
+  for (const auto& rule : mine_rules(wiper_error_state(), config)) {
+    EXPECT_NE(rule.consequent.column, "t");
+    for (const auto& a : rule.antecedents) EXPECT_NE(a.column, "t");
+  }
+}
+
+TEST(AssociationTest, RulesSortedByLift) {
+  MinerConfig config;
+  config.min_support = 0.05;
+  config.min_confidence = 0.5;
+  const auto rules = mine_rules(wiper_error_state(), config);
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_GE(rules[i - 1].lift, rules[i].lift);
+  }
+}
+
+TEST(AssociationTest, EmptyTableYieldsNoRules) {
+  Schema schema{{{"t", ValueType::Int64}, {"a", ValueType::String}}};
+  TableBuilder b(schema, 0);
+  EXPECT_TRUE(mine_rules(b.build(), {}).empty());
+}
+
+TEST(AssociationTest, DisplayStringFormat) {
+  AssociationRule rule;
+  rule.antecedents = {{"temp", "cold"}, {"wiper", "active"}};
+  rule.consequent = {"error", "blocked"};
+  rule.support = 0.1;
+  rule.confidence = 1.0;
+  rule.lift = 10.0;
+  const std::string s = rule.to_display_string();
+  EXPECT_NE(s.find("IF temp=cold AND wiper=active THEN error=blocked"),
+            std::string::npos);
+  EXPECT_NE(s.find("lift=10.00"), std::string::npos);
+}
+
+TEST(AssociationTest, NullCellsSkipped) {
+  Schema schema{{{"t", ValueType::Int64},
+                 {"a", ValueType::String},
+                 {"b", ValueType::String}}};
+  TableBuilder builder(schema, 0);
+  for (int i = 0; i < 10; ++i) {
+    builder.append_row({Value{static_cast<std::int64_t>(i)}, Value{"x"},
+                        i < 5 ? Value{"y"} : Value{}});
+  }
+  MinerConfig config;
+  config.min_support = 0.3;
+  config.min_confidence = 0.4;
+  const auto rules = mine_rules(builder.build(), config);
+  // Rule a=x -> b=y has confidence 0.5 (5 of 10), support 0.5.
+  bool found = false;
+  for (const auto& rule : rules) {
+    if (rule.consequent.column == "b") {
+      EXPECT_NEAR(rule.confidence, 0.5, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ivt::apps

@@ -1,0 +1,129 @@
+// End-to-end CLI tests: simulate -> inspect -> extract -> run with real
+// files in a temp directory.
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "dataflow/table_io.hpp"
+
+namespace ivt::cli {
+namespace {
+
+int run(std::initializer_list<const char*> argv_list) {
+  std::vector<const char*> argv{"ivt"};
+  argv.insert(argv.end(), argv_list.begin(), argv_list.end());
+  return run_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    prefix_ = new std::string(::testing::TempDir() + "/cli_syn");
+    ASSERT_EQ(run({"simulate", "--dataset", "SYN", "--scale", "0.0001",
+                   "--seed", "7", "--out", prefix_->c_str()}),
+              0);
+  }
+  static void TearDownTestSuite() {
+    delete prefix_;
+    prefix_ = nullptr;
+  }
+  static std::string trace_path() { return *prefix_ + "_J1.ivt"; }
+  static std::string catalog_path() { return *prefix_ + ".ivsdb"; }
+  static std::string* prefix_;
+};
+
+std::string* CliTest::prefix_ = nullptr;
+
+TEST_F(CliTest, SimulateWroteFiles) {
+  EXPECT_TRUE(std::ifstream(trace_path()).good());
+  EXPECT_TRUE(std::ifstream(catalog_path()).good());
+}
+
+TEST_F(CliTest, InspectRuns) {
+  EXPECT_EQ(run({"inspect", "--trace", trace_path().c_str(), "--catalog",
+                 catalog_path().c_str()}),
+            0);
+}
+
+TEST_F(CliTest, CatalogRuns) {
+  EXPECT_EQ(run({"catalog", "--file", catalog_path().c_str()}), 0);
+}
+
+TEST_F(CliTest, ExtractWritesTable) {
+  const std::string out = ::testing::TempDir() + "/cli_ks.ivtbl";
+  EXPECT_EQ(run({"extract", "--trace", trace_path().c_str(), "--catalog",
+                 catalog_path().c_str(), "--out", out.c_str()}),
+            0);
+  const dataflow::Table ks = dataflow::load_table(out);
+  EXPECT_GT(ks.num_rows(), 0u);
+  EXPECT_TRUE(ks.schema().contains("s_id"));
+}
+
+TEST_F(CliTest, ExtractSignalSubset) {
+  const std::string out = ::testing::TempDir() + "/cli_ks_subset.csv";
+  EXPECT_EQ(run({"extract", "--trace", trace_path().c_str(), "--catalog",
+                 catalog_path().c_str(), "--signals", "SYN_s0", "--out",
+                 out.c_str()}),
+            0);
+  std::ifstream in(out);
+  std::string line;
+  std::getline(in, line);  // header
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("SYN_s0"), std::string::npos);
+    ++rows;
+  }
+  EXPECT_GT(rows, 0u);
+}
+
+TEST_F(CliTest, RunProducesStateAndReport) {
+  const std::string state = ::testing::TempDir() + "/cli_state.ivtbl";
+  EXPECT_EQ(run({"run", "--trace", trace_path().c_str(), "--catalog",
+                 catalog_path().c_str(), "--extensions", "cycle_violation",
+                 "--state", state.c_str(), "--report", "json"}),
+            0);
+  const dataflow::Table table = dataflow::load_table(state);
+  EXPECT_GT(table.num_rows(), 0u);
+  EXPECT_TRUE(table.schema().contains("t"));
+}
+
+TEST_F(CliTest, MineRunsAndWritesDot) {
+  const std::string dot = ::testing::TempDir() + "/cli_mine.dot";
+  EXPECT_EQ(run({"mine", "--trace", trace_path().c_str(), "--catalog",
+                 catalog_path().c_str(), "--top-k", "3", "--dot",
+                 dot.c_str()}),
+            0);
+}
+
+TEST_F(CliTest, ExportAscRuns) {
+  const std::string out = ::testing::TempDir() + "/cli_dump.asc";
+  EXPECT_EQ(run({"export-asc", "--trace", trace_path().c_str(), "--out",
+                 out.c_str()}),
+            0);
+  std::ifstream in(out);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("vehicle"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_EQ(run({"bogus"}), 2);
+}
+
+TEST_F(CliTest, MissingRequiredOptionFails) {
+  EXPECT_EQ(run({"inspect"}), 1);
+}
+
+TEST_F(CliTest, UnknownDatasetFails) {
+  EXPECT_EQ(run({"simulate", "--dataset", "XXX"}), 1);
+}
+
+TEST_F(CliTest, HelpSucceeds) {
+  EXPECT_EQ(run({"help"}), 0);
+}
+
+}  // namespace
+}  // namespace ivt::cli

@@ -1,0 +1,195 @@
+#include "core/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+
+namespace ivt::core {
+namespace {
+
+using testing::kMs;
+
+// ---- map_criteria: the six rows of paper Table 3 --------------------------
+
+struct Table3Row {
+  char z_type;
+  char z_rate;
+  std::size_t z_num;
+  bool z_val;
+  DataType expected_type;
+  Branch expected_branch;
+};
+
+class Table3Test : public ::testing::TestWithParam<Table3Row> {};
+
+TEST_P(Table3Test, MapsExactlyAsInPaper) {
+  const Table3Row& row = GetParam();
+  const Classification c = map_criteria(
+      Criteria{row.z_type, row.z_rate, row.z_num, row.z_val});
+  EXPECT_EQ(c.data_type, row.expected_type);
+  EXPECT_EQ(c.branch, row.expected_branch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable3, Table3Test,
+    ::testing::Values(
+        // N, H, >2, true -> numeric, alpha
+        Table3Row{'N', 'H', 5, true, DataType::Numeric, Branch::Alpha},
+        // N, L, >2, true -> ordinal, beta
+        Table3Row{'N', 'L', 5, true, DataType::Ordinal, Branch::Beta},
+        // S, H|L, >2, true -> ordinal, beta
+        Table3Row{'S', 'H', 4, true, DataType::Ordinal, Branch::Beta},
+        Table3Row{'S', 'L', 4, true, DataType::Ordinal, Branch::Beta},
+        // S, H|L, =2, true -> binary, gamma
+        Table3Row{'S', 'L', 2, true, DataType::Binary, Branch::Gamma},
+        Table3Row{'S', 'H', 2, true, DataType::Binary, Branch::Gamma},
+        // S, H|L, >2, false -> nominal, gamma
+        Table3Row{'S', 'L', 6, false, DataType::Nominal, Branch::Gamma},
+        // N, H|L, =2, true -> binary, gamma
+        Table3Row{'N', 'H', 2, true, DataType::Binary, Branch::Gamma},
+        Table3Row{'N', 'L', 2, true, DataType::Binary, Branch::Gamma}));
+
+TEST(MapCriteriaTest, UnlistedCombinationFallsBackToNominalGamma) {
+  // Constant sequence: z_num = 1 is not in Table 3.
+  const Classification c = map_criteria(Criteria{'N', 'L', 1, true});
+  EXPECT_EQ(c.data_type, DataType::Nominal);
+  EXPECT_EQ(c.branch, Branch::Gamma);
+}
+
+// ---- classify_sequence: criteria computed from data ------------------------
+
+SequenceData numeric_sequence(double rate_hz, std::size_t n,
+                              bool binary = false) {
+  SequenceData d;
+  d.s_id = "sig";
+  d.bus = "FC";
+  const auto gap = static_cast<std::int64_t>(1e9 / rate_hz);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.t.push_back(static_cast<std::int64_t>(i) * gap);
+    d.v_num.push_back(binary ? static_cast<double>(i % 2)
+                             : static_cast<double>(i % 17));
+    d.has_num.push_back(1);
+    d.v_str.emplace_back();
+    d.has_str.push_back(0);
+  }
+  return d;
+}
+
+SequenceData string_sequence(const std::vector<std::string>& labels,
+                             double rate_hz = 1.0) {
+  SequenceData d;
+  d.s_id = "sig";
+  d.bus = "FC";
+  const auto gap = static_cast<std::int64_t>(1e9 / rate_hz);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    d.t.push_back(static_cast<std::int64_t>(i) * gap);
+    d.v_num.push_back(0.0);
+    d.has_num.push_back(0);
+    d.v_str.push_back(labels[i]);
+    d.has_str.push_back(1);
+  }
+  return d;
+}
+
+TEST(ClassifySequenceTest, FastNumericIsAlpha) {
+  const SequenceData d = numeric_sequence(50.0, 200);
+  const Classification c =
+      classify_sequence({d, nullptr}, ClassifierConfig{5.0, 64});
+  EXPECT_EQ(c.criteria.z_type, 'N');
+  EXPECT_EQ(c.criteria.z_rate, 'H');
+  EXPECT_EQ(c.branch, Branch::Alpha);
+}
+
+TEST(ClassifySequenceTest, SlowNumericIsBetaOrdinal) {
+  const SequenceData d = numeric_sequence(1.0, 50);
+  const Classification c =
+      classify_sequence({d, nullptr}, ClassifierConfig{5.0, 64});
+  EXPECT_EQ(c.criteria.z_rate, 'L');
+  EXPECT_EQ(c.data_type, DataType::Ordinal);
+  EXPECT_EQ(c.branch, Branch::Beta);
+}
+
+TEST(ClassifySequenceTest, BinaryNumericIsGamma) {
+  const SequenceData d = numeric_sequence(50.0, 100, /*binary=*/true);
+  const Classification c = classify_sequence({d, nullptr});
+  EXPECT_EQ(c.criteria.z_num, 2u);
+  EXPECT_EQ(c.data_type, DataType::Binary);
+  EXPECT_EQ(c.branch, Branch::Gamma);
+}
+
+TEST(ClassifySequenceTest, OrderedStringsAreBeta) {
+  signaldb::SignalSpec spec;
+  spec.name = "sig";
+  spec.ordered_values = true;
+  spec.value_table = {{0, "off", false},
+                      {1, "low", false},
+                      {2, "high", false}};
+  const SequenceData d = string_sequence({"off", "low", "high", "low"});
+  const Classification c = classify_sequence({d, &spec});
+  EXPECT_EQ(c.criteria.z_type, 'S');
+  EXPECT_TRUE(c.criteria.z_val);
+  EXPECT_EQ(c.branch, Branch::Beta);
+}
+
+TEST(ClassifySequenceTest, UnorderedStringsAreNominal) {
+  signaldb::SignalSpec spec;
+  spec.name = "sig";
+  spec.ordered_values = false;
+  const SequenceData d =
+      string_sequence({"driving", "parking", "standby", "driving"});
+  const Classification c = classify_sequence({d, &spec});
+  EXPECT_FALSE(c.criteria.z_val);
+  EXPECT_EQ(c.data_type, DataType::Nominal);
+  EXPECT_EQ(c.branch, Branch::Gamma);
+}
+
+TEST(ClassifySequenceTest, TwoValuedStringsAreBinary) {
+  const SequenceData d = string_sequence({"ON", "OFF", "ON", "OFF"});
+  const Classification c = classify_sequence({d, nullptr});
+  EXPECT_EQ(c.criteria.z_num, 2u);
+  EXPECT_EQ(c.data_type, DataType::Binary);
+}
+
+TEST(ClassifySequenceTest, ValidityLabelsExcludedFromZNum) {
+  signaldb::SignalSpec spec;
+  spec.name = "sig";
+  spec.value_table = {{0, "ON", false},
+                      {1, "OFF", false},
+                      {14, "snv", true}};
+  const SequenceData d = string_sequence({"ON", "OFF", "snv", "ON"});
+  const Classification c = classify_sequence({d, &spec});
+  EXPECT_EQ(c.criteria.z_num, 2u);  // snv not counted
+  EXPECT_EQ(c.data_type, DataType::Binary);
+}
+
+TEST(ClassifySequenceTest, RateThresholdBoundary) {
+  // Exactly at threshold: rate must be H only when strictly greater.
+  const SequenceData d = numeric_sequence(5.0, 100);
+  const Classification at =
+      classify_sequence({d, nullptr}, ClassifierConfig{5.0, 64});
+  // rate = n/duration = 100 / (99 * 0.2 s) ≈ 5.05 > 5 -> H.
+  EXPECT_EQ(at.criteria.z_rate, 'H');
+  const Classification above =
+      classify_sequence({d, nullptr}, ClassifierConfig{6.0, 64});
+  EXPECT_EQ(above.criteria.z_rate, 'L');
+}
+
+TEST(ClassifySequenceTest, EmptySequenceIsGamma) {
+  SequenceData d;
+  d.s_id = "sig";
+  const Classification c = classify_sequence({d, nullptr});
+  EXPECT_EQ(c.branch, Branch::Gamma);
+}
+
+TEST(ClassifyTest, EnumNames) {
+  EXPECT_EQ(to_string(DataType::Numeric), "numeric");
+  EXPECT_EQ(to_string(DataType::Ordinal), "ordinal");
+  EXPECT_EQ(to_string(DataType::Binary), "binary");
+  EXPECT_EQ(to_string(DataType::Nominal), "nominal");
+  EXPECT_EQ(to_string(Branch::Alpha), "alpha");
+  EXPECT_EQ(to_string(Branch::Beta), "beta");
+  EXPECT_EQ(to_string(Branch::Gamma), "gamma");
+}
+
+}  // namespace
+}  // namespace ivt::core

@@ -1,0 +1,112 @@
+#include "core/extend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/schemas.hpp"
+#include "test_fixtures.hpp"
+
+namespace ivt::core {
+namespace {
+
+using testing::kMs;
+
+SequenceData gap_sequence() {
+  SequenceData d;
+  d.s_id = "wpos";
+  d.bus = "FC";
+  // Paper Table 2: gaps 0.5, 0.4, 0.45 s.
+  d.t = {2000 * kMs, 2500 * kMs, 2900 * kMs, 3350 * kMs};
+  d.v_num = {45.0, 60.0, 62.0, 64.0};
+  d.has_num.assign(4, 1);
+  d.v_str.assign(4, "");
+  d.has_str.assign(4, 0);
+  return d;
+}
+
+TEST(ExtendTest, GapExtensionMatchesPaperTable2) {
+  const SequenceData d = gap_sequence();
+  const ConstraintContext ctx{d, nullptr};
+  const auto tables = apply_extensions({gap_extension()}, ctx);
+  ASSERT_EQ(tables.size(), 1u);
+  const auto rows = tables[0].collect_rows();
+  ASSERT_EQ(rows.size(), 3u);  // no gap for the first element
+  const auto& schema = tables[0].schema();
+  EXPECT_EQ(rows[0][schema.require("s_id")], dataflow::Value{"wpos.gap"});
+  EXPECT_EQ(rows[0][schema.require("v_num")], dataflow::Value{0.5});
+  EXPECT_EQ(rows[1][schema.require("v_num")], dataflow::Value{0.4});
+  EXPECT_EQ(rows[2][schema.require("v_num")], dataflow::Value{0.45});
+  EXPECT_EQ(rows[0][schema.require("element_kind")],
+            dataflow::Value{kElementExtension});
+}
+
+TEST(ExtendTest, CycleViolationEmitsOnlyViolations) {
+  SequenceData d = gap_sequence();
+  signaldb::SignalSpec spec;
+  spec.name = "wpos";
+  spec.expected_cycle_ns = 400 * kMs;
+  const ConstraintContext ctx{d, &spec};
+  // tolerance 1.1 -> limit 440 ms: gaps 500 and 450 violate, 400 does not.
+  const auto tables =
+      apply_extensions({cycle_violation_extension(1.1)}, ctx);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].num_rows(), 2u);
+  const auto rows = tables[0].collect_rows();
+  EXPECT_EQ(rows[0][tables[0].schema().require("t")],
+            dataflow::Value{std::int64_t{2500 * kMs}});
+}
+
+TEST(ExtendTest, CycleViolationNeedsDocumentedCycle) {
+  const SequenceData d = gap_sequence();
+  const ConstraintContext ctx{d, nullptr};
+  EXPECT_TRUE(apply_extensions({cycle_violation_extension(1.1)}, ctx).empty());
+}
+
+TEST(ExtendTest, DerivativeExtension) {
+  const SequenceData d = gap_sequence();
+  const ConstraintContext ctx{d, nullptr};
+  const auto tables = apply_extensions({derivative_extension()}, ctx);
+  ASSERT_EQ(tables.size(), 1u);
+  const auto rows = tables[0].collect_rows();
+  ASSERT_EQ(rows.size(), 3u);
+  // (60-45)/0.5s = 30 per second.
+  EXPECT_EQ(rows[0][tables[0].schema().require("v_num")],
+            dataflow::Value{30.0});
+}
+
+TEST(ExtendTest, SignalPatternFilters) {
+  const SequenceData d = gap_sequence();
+  ExtensionRule rule = gap_extension();
+  rule.signal_pattern = "other";
+  const ConstraintContext ctx{d, nullptr};
+  EXPECT_TRUE(apply_extensions({rule}, ctx).empty());
+}
+
+TEST(ExtendTest, MultipleRulesProduceMultipleTables) {
+  const SequenceData d = gap_sequence();
+  const ConstraintContext ctx{d, nullptr};
+  const auto tables = apply_extensions(
+      {gap_extension(), derivative_extension()}, ctx);
+  EXPECT_EQ(tables.size(), 2u);
+}
+
+TEST(ExtendTest, EmptySequenceYieldsNothing) {
+  SequenceData d;
+  d.s_id = "x";
+  const ConstraintContext ctx{d, nullptr};
+  EXPECT_TRUE(apply_extensions({gap_extension()}, ctx).empty());
+}
+
+TEST(ExtendTest, EmitterBuildsKrepSchema) {
+  ExtensionEmitter emitter("sig.test", "FC");
+  emitter.emit(42, 1.5, "hello");
+  const auto table = emitter.build();
+  EXPECT_EQ(table.schema(), krep_schema());
+  const auto rows = table.collect_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], dataflow::Value{std::int64_t{42}});
+  EXPECT_EQ(rows[0][1], dataflow::Value{"sig.test"});
+  EXPECT_EQ(rows[0][2], dataflow::Value{"hello"});
+}
+
+}  // namespace
+}  // namespace ivt::core

@@ -1,0 +1,171 @@
+#include "core/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+
+namespace ivt::core {
+namespace {
+
+using testing::kMs;
+
+SequenceData numeric_sequence(const std::vector<std::int64_t>& ts,
+                              const std::vector<double>& vs,
+                              const std::string& s_id = "sig") {
+  SequenceData d;
+  d.s_id = s_id;
+  d.bus = "FC";
+  d.t = ts;
+  d.v_num = vs;
+  d.has_num.assign(vs.size(), 1);
+  d.v_str.assign(vs.size(), "");
+  d.has_str.assign(vs.size(), 0);
+  return d;
+}
+
+signaldb::SignalSpec cyclic_spec(std::int64_t cycle_ns) {
+  signaldb::SignalSpec spec;
+  spec.name = "sig";
+  spec.expected_cycle_ns = cycle_ns;
+  return spec;
+}
+
+TEST(ReduceTest, DropRepeatedValuesKeepsChanges) {
+  // Values: 1 1 1 2 2 3 -> keep 1 (first), 2 (change), 3 (change+last).
+  const SequenceData d = numeric_sequence(
+      {0, 10 * kMs, 20 * kMs, 30 * kMs, 40 * kMs, 50 * kMs},
+      {1, 1, 1, 2, 2, 3});
+  const auto spec = cyclic_spec(10 * kMs);
+  const std::vector<ConstraintRule> rules{drop_repeated_values_rule()};
+  const SequenceData out = reduce_sequence(rules, d, &spec);
+  EXPECT_EQ(out.v_num, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(ReduceTest, FirstAndLastAlwaysSurvive) {
+  const SequenceData d = numeric_sequence(
+      {0, 10 * kMs, 20 * kMs}, {5, 5, 5});
+  const auto spec = cyclic_spec(10 * kMs);
+  const SequenceData out =
+      reduce_sequence({drop_repeated_values_rule()}, d, &spec);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.t.front(), 0);
+  EXPECT_EQ(out.t.back(), 20 * kMs);
+}
+
+TEST(ReduceTest, CycleViolationWitnessPreserved) {
+  // Identical values, but one gap of 50 ms >> 1.5 x 10 ms cycle: the
+  // element after the gap must survive ("important state changes such as
+  // violations of cycle times need to be preserved").
+  const SequenceData d = numeric_sequence(
+      {0, 10 * kMs, 60 * kMs, 70 * kMs}, {5, 5, 5, 5});
+  const auto spec = cyclic_spec(10 * kMs);
+  const SequenceData out =
+      reduce_sequence({drop_repeated_values_rule(1.5)}, d, &spec);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.t[1], 60 * kMs);  // violation witness
+}
+
+TEST(ReduceTest, NoSpecFallsBackToPureRepeatRemoval) {
+  const SequenceData d = numeric_sequence(
+      {0, 100 * kMs, 20'000 * kMs}, {5, 5, 5});
+  const SequenceData out =
+      reduce_sequence({drop_repeated_values_rule()}, d, nullptr);
+  EXPECT_EQ(out.size(), 2u);  // inner repeat removed despite giant gap
+}
+
+TEST(ReduceTest, StringRepeatsReduced) {
+  SequenceData d;
+  d.s_id = "state";
+  d.t = {0, 10 * kMs, 20 * kMs, 30 * kMs};
+  d.v_num = {0, 0, 0, 0};
+  d.has_num = {0, 0, 0, 0};
+  d.v_str = {"on", "on", "off", "off"};
+  d.has_str = {1, 1, 1, 1};
+  const SequenceData out =
+      reduce_sequence({drop_repeated_values_rule()}, d, nullptr);
+  EXPECT_EQ(out.v_str, (std::vector<std::string>{"on", "off", "off"}));
+}
+
+TEST(ReduceTest, SignalPatternFilters) {
+  const SequenceData d = numeric_sequence({0, kMs, 2 * kMs}, {1, 1, 1});
+  ConstraintRule other = drop_repeated_values_rule();
+  other.signal_pattern = "different_signal";
+  const SequenceData out = reduce_sequence({other}, d, nullptr);
+  EXPECT_EQ(out.size(), 3u);  // rule did not apply
+}
+
+TEST(ReduceTest, ApplicabilityPredicateRespected) {
+  const SequenceData d = numeric_sequence({0, kMs, 2 * kMs}, {1, 1, 1});
+  ConstraintRule rule = drop_repeated_values_rule();
+  rule.applies = [](const ConstraintContext&) { return false; };
+  EXPECT_EQ(reduce_sequence({rule}, d, nullptr).size(), 3u);
+}
+
+TEST(ReduceTest, MarksAreOrAcrossRules) {
+  const SequenceData d = numeric_sequence(
+      {0, 10 * kMs, 20 * kMs, 30 * kMs}, {1.0, 1.0, 50.0, 60.0});
+  // Rule A: drop repeats (marks index 1). Rule B: drop band [45, 55]
+  // interior — only boundary witnesses survive.
+  const std::vector<ConstraintRule> rules{
+      drop_repeated_values_rule(),
+      drop_within_band_rule("sig", 0.9, 1.1),
+  };
+  const SequenceData out = reduce_sequence(rules, d, nullptr);
+  // Index 1 dropped by repeats; band rule keeps boundaries.
+  EXPECT_EQ(out.v_num, (std::vector<double>{1.0, 50.0, 60.0}));
+}
+
+TEST(ReduceTest, BandRulePreservesEntryExit) {
+  const SequenceData d = numeric_sequence(
+      {0, kMs, 2 * kMs, 3 * kMs, 4 * kMs}, {0.0, 10.0, 10.0, 10.0, 0.0});
+  const SequenceData out = reduce_sequence(
+      {drop_within_band_rule("sig", 9.0, 11.0)}, d, nullptr);
+  // Middle 10 removed; first/last 10 kept as witnesses.
+  EXPECT_EQ(out.v_num, (std::vector<double>{0.0, 10.0, 10.0, 0.0}));
+}
+
+TEST(ReduceTest, DecimateOnlyAppliesAboveRate) {
+  // 100 points over 1 s = 100 Hz > 50 Hz: decimation applies.
+  std::vector<std::int64_t> ts;
+  std::vector<double> vs;
+  for (int i = 0; i < 100; ++i) {
+    ts.push_back(i * 10 * kMs / 10);
+    vs.push_back(i);
+  }
+  const SequenceData d = numeric_sequence(ts, vs);
+  const SequenceData out =
+      reduce_sequence({decimate_rule("sig", 10, 50.0)}, d, nullptr);
+  EXPECT_LE(out.size(), 11u);
+  EXPECT_GE(out.size(), 10u);
+
+  // Slow sequence: rule's d predicate fails, nothing removed.
+  const SequenceData slow = numeric_sequence(
+      {0, 1000 * kMs, 2000 * kMs}, {1, 2, 3});
+  EXPECT_EQ(
+      reduce_sequence({decimate_rule("sig", 10, 50.0)}, slow, nullptr).size(),
+      3u);
+}
+
+TEST(ReduceTest, StatsAccumulate) {
+  const SequenceData d = numeric_sequence(
+      {0, 10 * kMs, 20 * kMs}, {1, 1, 2});
+  ReductionStats stats;
+  reduce_sequence({drop_repeated_values_rule()}, d, nullptr, &stats);
+  EXPECT_EQ(stats.input_rows, 3u);
+  EXPECT_EQ(stats.removed_rows, 1u);
+}
+
+TEST(ReduceTest, EmptySequence) {
+  const SequenceData d = numeric_sequence({}, {});
+  EXPECT_EQ(reduce_sequence({drop_repeated_values_rule()}, d, nullptr).size(),
+            0u);
+}
+
+TEST(ReduceTest, TwoElementSequenceUntouched) {
+  const SequenceData d = numeric_sequence({0, kMs}, {1, 1});
+  EXPECT_EQ(reduce_sequence({drop_repeated_values_rule()}, d, nullptr).size(),
+            2u);
+}
+
+}  // namespace
+}  // namespace ivt::core

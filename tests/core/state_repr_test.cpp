@@ -1,0 +1,161 @@
+#include "core/state_repr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/schemas.hpp"
+#include "test_fixtures.hpp"
+
+namespace ivt::core {
+namespace {
+
+using testing::kMs;
+
+dataflow::Engine& engine() {
+  static dataflow::Engine e{{.workers = 4, .default_partitions = 2}};
+  return e;
+}
+
+struct KrepRow {
+  std::int64_t t;
+  std::string s_id;
+  std::string value;
+  std::string kind = kElementState;
+};
+
+dataflow::Table make_krep(const std::vector<KrepRow>& rows) {
+  dataflow::TableBuilder builder(krep_schema(), 0);
+  for (const KrepRow& row : rows) {
+    dataflow::Partition& dst = builder.current_partition();
+    dst.columns[0].append_int64(row.t);
+    dst.columns[1].append_string(row.s_id);
+    dst.columns[2].append_string(row.value);
+    dst.columns[3].append_null();
+    dst.columns[4].append_string(row.kind);
+    dst.columns[5].append_string("FC");
+    builder.commit_row();
+  }
+  return builder.build();
+}
+
+TEST(StateReprTest, PaperTable4Shape) {
+  // Simplified version of paper Table 4: lights + speed.
+  const auto krep = make_krep({
+      {2000 * kMs, "headlight", "off"},
+      {2000 * kMs, "speed", "(high,increasing)"},
+      {4000 * kMs, "lever", "pushed up"},
+      {20100 * kMs, "headlight", "parklight on"},
+      {23500 * kMs, "headlight", "headlight on"},
+  });
+  const auto state = build_state_representation(engine(), krep);
+  // Columns: t + 3 signals in chronological first-appearance order.
+  ASSERT_EQ(state.schema().size(), 4u);
+  EXPECT_EQ(state.schema().field(0).name, "t");
+  EXPECT_EQ(state.schema().field(1).name, "headlight");
+  EXPECT_EQ(state.schema().field(2).name, "speed");
+  EXPECT_EQ(state.schema().field(3).name, "lever");
+  EXPECT_EQ(state.num_rows(), 4u);  // 2000 merged, 4000, 20100, 23500
+}
+
+TEST(StateReprTest, ForwardFill) {
+  const auto krep = make_krep({
+      {0, "a", "1"},
+      {1000, "b", "x"},
+      {2000, "a", "2"},
+  });
+  const auto state = build_state_representation(engine(), krep);
+  const auto rows = state.collect_rows();
+  ASSERT_EQ(rows.size(), 3u);
+  const std::size_t a = state.schema().require("a");
+  const std::size_t b = state.schema().require("b");
+  // Row 0: a=1, b missing.
+  EXPECT_EQ(rows[0][a], dataflow::Value{"1"});
+  EXPECT_TRUE(rows[0][b].is_null());
+  // Row 1: a carried forward.
+  EXPECT_EQ(rows[1][a], dataflow::Value{"1"});
+  EXPECT_EQ(rows[1][b], dataflow::Value{"x"});
+  // Row 2: b carried forward.
+  EXPECT_EQ(rows[2][a], dataflow::Value{"2"});
+  EXPECT_EQ(rows[2][b], dataflow::Value{"x"});
+}
+
+TEST(StateReprTest, SameTimestampMergesIntoOneRow) {
+  const auto krep = make_krep({
+      {500, "a", "1"},
+      {500, "b", "2"},
+  });
+  const auto state = build_state_representation(engine(), krep);
+  EXPECT_EQ(state.num_rows(), 1u);
+}
+
+TEST(StateReprTest, MergeDisabledKeepsRows) {
+  const auto krep = make_krep({
+      {500, "a", "1"},
+      {500, "b", "2"},
+  });
+  StateRepresentationOptions options;
+  options.merge_same_timestamp = false;
+  const auto state = build_state_representation(engine(), krep, options);
+  EXPECT_EQ(state.num_rows(), 2u);
+}
+
+TEST(StateReprTest, UnsortedInputIsSortedFirst) {
+  const auto krep = make_krep({
+      {2000, "a", "late"},
+      {0, "a", "early"},
+  });
+  const auto state = build_state_representation(engine(), krep);
+  const auto rows = state.collect_rows();
+  EXPECT_EQ(rows[0][0], dataflow::Value{std::int64_t{0}});
+  EXPECT_EQ(rows[0][1], dataflow::Value{"early"});
+  EXPECT_EQ(rows[1][1], dataflow::Value{"late"});
+}
+
+TEST(StateReprTest, ExtensionsAreMomentaryByDefault) {
+  const auto krep = make_krep({
+      {0, "a", "1"},
+      {1000, "a.gap", "0.5", kElementExtension},
+      {2000, "a", "2"},
+  });
+  const auto state = build_state_representation(engine(), krep);
+  const auto rows = state.collect_rows();
+  const std::size_t gap_col = state.schema().require("a.gap");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows[0][gap_col].is_null());
+  EXPECT_EQ(rows[1][gap_col], dataflow::Value{"0.5"});
+  // NOT forward-filled: the violation was momentary.
+  EXPECT_TRUE(rows[2][gap_col].is_null());
+}
+
+TEST(StateReprTest, ExtensionsCanBeExcluded) {
+  const auto krep = make_krep({
+      {0, "a", "1"},
+      {1000, "a.gap", "0.5", kElementExtension},
+  });
+  StateRepresentationOptions options;
+  options.include_extensions = false;
+  const auto state = build_state_representation(engine(), krep, options);
+  EXPECT_FALSE(state.schema().contains("a.gap"));
+  EXPECT_EQ(state.num_rows(), 1u);
+}
+
+TEST(StateReprTest, OutlierValuePropagatesLikeState) {
+  const auto krep = make_krep({
+      {0, "speed", "(high,steady)"},
+      {1000, "speed", "outlier v=800", kElementOutlier},
+      {2000, "speed", "(high,steady)"},
+  });
+  const auto state = build_state_representation(engine(), krep);
+  const auto rows = state.collect_rows();
+  EXPECT_EQ(rows[1][1], dataflow::Value{"outlier v=800"});
+  EXPECT_EQ(rows[2][1], dataflow::Value{"(high,steady)"});
+}
+
+TEST(StateReprTest, EmptyInput) {
+  const auto krep = make_krep({});
+  const auto state = build_state_representation(engine(), krep);
+  EXPECT_EQ(state.num_rows(), 0u);
+  EXPECT_EQ(state.schema().size(), 1u);  // just "t"
+}
+
+}  // namespace
+}  // namespace ivt::core

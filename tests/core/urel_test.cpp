@@ -1,0 +1,79 @@
+#include "core/urel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/schemas.hpp"
+#include "test_fixtures.hpp"
+
+namespace ivt::core {
+namespace {
+
+using testing::wiper_catalog;
+
+TEST(UrelTest, SchemaHasPaperColumns) {
+  // u_rel = (s_id^rel, b_id, m_id, u_info) — u_info unpacked into typed
+  // columns.
+  const auto& schema = urel_schema();
+  EXPECT_TRUE(schema.contains("s_id"));
+  EXPECT_TRUE(schema.contains("u_b_id"));
+  EXPECT_TRUE(schema.contains("u_m_id"));
+  EXPECT_TRUE(schema.contains("start_bit"));
+  EXPECT_TRUE(schema.contains("scale"));
+  EXPECT_TRUE(schema.contains("expected_cycle_ns"));
+}
+
+TEST(UrelTest, SelectedSignalsOnly) {
+  const auto catalog = wiper_catalog();
+  const auto urel = make_urel_table(catalog, {"wpos", "heat"});
+  EXPECT_EQ(urel.num_rows(), 2u);
+  const auto rows = urel.collect_rows();
+  EXPECT_EQ(rows[0][0], dataflow::Value{"wpos"});
+  EXPECT_EQ(rows[1][0], dataflow::Value{"heat"});
+}
+
+TEST(UrelTest, TupleCarriesInterpretationRule) {
+  const auto catalog = wiper_catalog();
+  const auto urel = make_urel_table(catalog, {"wpos"});
+  const auto row = urel.collect_rows()[0];
+  const auto& schema = urel.schema();
+  EXPECT_EQ(row[schema.require("u_b_id")], dataflow::Value{"FC"});
+  EXPECT_EQ(row[schema.require("u_m_id")], dataflow::Value{std::int64_t{3}});
+  EXPECT_EQ(row[schema.require("start_bit")],
+            dataflow::Value{std::int64_t{0}});
+  EXPECT_EQ(row[schema.require("length")], dataflow::Value{std::int64_t{16}});
+  EXPECT_EQ(row[schema.require("scale")], dataflow::Value{0.5});
+}
+
+TEST(UrelTest, UnknownSignalThrows) {
+  const auto catalog = wiper_catalog();
+  EXPECT_THROW(make_urel_table(catalog, {"nope"}), std::invalid_argument);
+}
+
+TEST(UrelTest, FullTableCoversAllSignals) {
+  const auto catalog = wiper_catalog();
+  const auto urel = make_full_urel_table(catalog);
+  EXPECT_EQ(urel.num_rows(), catalog.num_signals());
+}
+
+TEST(UrelTest, RelevantMessageKeysDeduplicated) {
+  const auto catalog = wiper_catalog();
+  // wpos and wvel share (FC, 3).
+  const auto urel = make_urel_table(catalog, {"wpos", "wvel", "heat"});
+  const auto keys = relevant_message_keys(urel);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0].bus, "FC");
+  EXPECT_EQ(keys[0].message_id, 3);
+  EXPECT_EQ(keys[1].bus, "K-LIN");
+}
+
+TEST(UrelTest, CategoricalFlagSet) {
+  const auto catalog = wiper_catalog();
+  const auto urel = make_urel_table(catalog, {"wpos", "heat"});
+  const auto rows = urel.collect_rows();
+  const std::size_t cat = urel.schema().require("categorical");
+  EXPECT_EQ(rows[0][cat], dataflow::Value{std::int64_t{0}});
+  EXPECT_EQ(rows[1][cat], dataflow::Value{std::int64_t{1}});
+}
+
+}  // namespace
+}  // namespace ivt::core

@@ -1,0 +1,93 @@
+#include "dataflow/column.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::dataflow {
+namespace {
+
+TEST(ColumnTest, TypedAppendAndRead) {
+  Column c(ValueType::Int64);
+  c.append_int64(1);
+  c.append_int64(-5);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.int64_at(0), 1);
+  EXPECT_EQ(c.int64_at(1), -5);
+  EXPECT_FALSE(c.is_null(0));
+}
+
+TEST(ColumnTest, NullsTracked) {
+  Column c(ValueType::Float64);
+  c.append_float64(1.5);
+  c.append_null();
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_FALSE(c.is_null(0));
+  EXPECT_TRUE(c.is_null(1));
+  EXPECT_TRUE(c.value_at(1).is_null());
+}
+
+TEST(ColumnTest, BoxedAppend) {
+  Column c(ValueType::String);
+  c.append(Value{"abc"});
+  c.append(Value{});
+  EXPECT_EQ(c.string_at(0), "abc");
+  EXPECT_TRUE(c.is_null(1));
+}
+
+TEST(ColumnTest, TypeMismatchThrows) {
+  Column c(ValueType::Int64);
+  EXPECT_THROW(c.append_string("x"), std::invalid_argument);
+  EXPECT_THROW(c.append(Value{1.5}), std::invalid_argument);
+}
+
+TEST(ColumnTest, Int64WidensIntoFloat64Column) {
+  Column c(ValueType::Float64);
+  c.append(Value{std::int64_t{3}});
+  EXPECT_DOUBLE_EQ(c.float64_at(0), 3.0);
+}
+
+TEST(ColumnTest, NumberAtWidens) {
+  Column c(ValueType::Int64);
+  c.append_int64(9);
+  EXPECT_DOUBLE_EQ(c.number_at(0), 9.0);
+}
+
+TEST(ColumnTest, AppendFromCopiesCellIncludingNull) {
+  Column src(ValueType::String);
+  src.append_string("x");
+  src.append_null();
+  Column dst(ValueType::String);
+  dst.append_from(src, 0);
+  dst.append_from(src, 1);
+  EXPECT_EQ(dst.string_at(0), "x");
+  EXPECT_TRUE(dst.is_null(1));
+}
+
+TEST(ColumnTest, AppendFromWidensInt64ToFloat64) {
+  Column src(ValueType::Int64);
+  src.append_int64(7);
+  Column dst(ValueType::Float64);
+  dst.append_from(src, 0);
+  EXPECT_DOUBLE_EQ(dst.float64_at(0), 7.0);
+}
+
+TEST(ColumnTest, AppendFromTypeMismatchThrows) {
+  Column src(ValueType::String);
+  src.append_string("x");
+  Column dst(ValueType::Int64);
+  EXPECT_THROW(dst.append_from(src, 0), std::invalid_argument);
+}
+
+TEST(ColumnTest, ValueAtBoxesCorrectly) {
+  Column c(ValueType::Int64);
+  c.append_int64(11);
+  EXPECT_EQ(c.value_at(0), Value{std::int64_t{11}});
+}
+
+TEST(ColumnTest, MoveAppendStealsString) {
+  Column c(ValueType::String);
+  c.append(Value{std::string(100, 'a')});
+  EXPECT_EQ(c.string_at(0).size(), 100u);
+}
+
+}  // namespace
+}  // namespace ivt::dataflow

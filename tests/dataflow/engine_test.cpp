@@ -1,0 +1,132 @@
+#include "dataflow/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace ivt::dataflow {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(EngineTest, DefaultsDeriveFromWorkers) {
+  Engine e{EngineConfig{.workers = 3}};
+  EXPECT_EQ(e.workers(), 3u);
+  EXPECT_EQ(e.default_partitions(), 12u);
+}
+
+TEST(EngineTest, ParallelForCoversRange) {
+  Engine e{EngineConfig{.workers = 4}};
+  std::vector<int> hits(50, 0);
+  e.parallel_for(50, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 50);
+}
+
+TEST(EngineTest, ParallelForZeroIsNoop) {
+  Engine e{EngineConfig{.workers = 2}};
+  e.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(EngineTest, ParallelForRethrowsTaskException) {
+  Engine e{EngineConfig{.workers = 4}};
+  EXPECT_THROW(e.parallel_for(8,
+                              [](std::size_t i) {
+                                if (i == 3) {
+                                  throw std::runtime_error("task failed");
+                                }
+                              }),
+               std::runtime_error);
+}
+
+TEST(EngineTest, MapPartitionsRecordsMetrics) {
+  Engine e{EngineConfig{.workers = 2}};
+  Schema schema{{{"v", ValueType::Int64}}};
+  TableBuilder b(schema, 2);
+  for (std::int64_t i = 0; i < 6; ++i) b.append_row({Value{i}});
+  const Table t = b.build();
+
+  const Table out = e.map_partitions(
+      "double", t, schema, [&](const Partition& p, std::size_t) {
+        Partition q = Table::make_partition(schema);
+        for (std::size_t r = 0; r < p.num_rows(); ++r) {
+          q.columns[0].append_int64(p.columns[0].int64_at(r) * 2);
+        }
+        return q;
+      });
+  EXPECT_EQ(out.num_rows(), 6u);
+  const auto metrics = e.metrics();
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].name, "double");
+  EXPECT_EQ(metrics[0].tasks, 3u);
+  EXPECT_EQ(metrics[0].input_rows, 6u);
+  EXPECT_EQ(metrics[0].output_rows, 6u);
+}
+
+TEST(EngineTest, ClearMetrics) {
+  Engine e{EngineConfig{.workers = 1}};
+  e.record_stage({"x", 1, 0, 0, 0.0});
+  EXPECT_EQ(e.metrics().size(), 1u);
+  e.clear_metrics();
+  EXPECT_TRUE(e.metrics().empty());
+}
+
+TEST(EngineTest, MapPartitionsPreservesPartitionIndexOrder) {
+  Engine e{EngineConfig{.workers = 8}};
+  Schema schema{{{"v", ValueType::Int64}}};
+  TableBuilder b(schema, 1);
+  for (std::int64_t i = 0; i < 16; ++i) b.append_row({Value{i}});
+  const Table t = b.build();
+  const Table out = e.map_partitions(
+      "ident", t, schema,
+      [&](const Partition& p, std::size_t) {
+        Partition q = Table::make_partition(schema);
+        q.columns[0].append_from(p.columns[0], 0);
+        return q;
+      });
+  std::vector<std::int64_t> values;
+  out.for_each_row(
+      [&](const RowView& r) { values.push_back(r.int64_at(0)); });
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_EQ(values[i], i);
+}
+
+TEST(EngineTest, TaskOverheadSlowsExecution) {
+  Engine fast{EngineConfig{.workers = 1}};
+  Engine slow{EngineConfig{
+      .workers = 1, .task_overhead = std::chrono::microseconds(2000)}};
+  const auto time_one = [](Engine& e) {
+    const auto start = std::chrono::steady_clock::now();
+    e.parallel_for(10, [](std::size_t) {});
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const double t_fast = time_one(fast);
+  const double t_slow = time_one(slow);
+  EXPECT_GT(t_slow, t_fast);
+  // 10 tasks x 2 ms, shared between the caller and the worker thread
+  // (caller helps drain the queue), so at least ~5 tasks' worth of delay.
+  EXPECT_GE(t_slow, 0.008);
+}
+
+}  // namespace
+}  // namespace ivt::dataflow

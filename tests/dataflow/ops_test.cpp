@@ -1,0 +1,273 @@
+#include "dataflow/ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::dataflow {
+namespace {
+
+class OpsTest : public ::testing::Test {
+ protected:
+  Engine engine_{EngineConfig{.workers = 4, .default_partitions = 4}};
+
+  static Schema people_schema() {
+    return Schema{{{"id", ValueType::Int64},
+                   {"city", ValueType::String},
+                   {"score", ValueType::Float64}}};
+  }
+
+  static Table people(std::size_t partition_rows = 3) {
+    TableBuilder b(people_schema(), partition_rows);
+    const char* cities[] = {"muc", "ber", "muc", "ham", "ber",
+                            "muc", "ham", "muc", "ber", "muc"};
+    for (std::int64_t i = 0; i < 10; ++i) {
+      b.append_row({Value{i}, Value{cities[i]},
+                    Value{static_cast<double>(i) * 0.5}});
+    }
+    return b.build();
+  }
+};
+
+TEST_F(OpsTest, FilterKeepsMatchingRows) {
+  const Table t = people();
+  const Table out = filter(engine_, t, [](const RowView& r) {
+    return r.int64_at(0) % 2 == 0;
+  });
+  EXPECT_EQ(out.num_rows(), 5u);
+  out.for_each_row(
+      [](const RowView& r) { EXPECT_EQ(r.int64_at(0) % 2, 0); });
+}
+
+TEST_F(OpsTest, FilterPreservesOrder) {
+  const Table out = filter(engine_, people(), [](const RowView& r) {
+    return r.int64_at(0) >= 5;
+  });
+  std::vector<std::int64_t> ids;
+  out.for_each_row([&](const RowView& r) { ids.push_back(r.int64_at(0)); });
+  EXPECT_EQ(ids, (std::vector<std::int64_t>{5, 6, 7, 8, 9}));
+}
+
+TEST_F(OpsTest, ProjectSelectsAndReorders) {
+  const Table out = project(engine_, people(), {"score", "id"});
+  ASSERT_EQ(out.schema().size(), 2u);
+  EXPECT_EQ(out.schema().field(0).name, "score");
+  EXPECT_EQ(out.num_rows(), 10u);
+}
+
+TEST_F(OpsTest, WithColumnComputesValues) {
+  const Table out = with_column(
+      engine_, people(), {"double_id", ValueType::Int64},
+      [](const RowView& r) { return Value{r.int64_at(0) * 2}; });
+  out.for_each_row([&](const RowView& r) {
+    EXPECT_EQ(r.int64_at(out.schema().require("double_id")),
+              r.int64_at(0) * 2);
+  });
+}
+
+TEST_F(OpsTest, MapRowsCanFanOut) {
+  const Schema out_schema{{{"id", ValueType::Int64}}};
+  const Table out = map_rows(
+      engine_, people(), out_schema,
+      [](const RowView& r, Partition& dst) {
+        // Emit one row per unit of id (0..id-1 copies), i.e. id copies.
+        for (std::int64_t k = 0; k < r.int64_at(0) % 3; ++k) {
+          dst.columns[0].append_int64(r.int64_at(0));
+        }
+      });
+  // ids mod 3: 0,1,2,0,1,2,... -> total = sum of (i%3) over 0..9 = 9
+  EXPECT_EQ(out.num_rows(), 9u);
+}
+
+TEST_F(OpsTest, HashJoinInner) {
+  const Table left = people();
+  TableBuilder rb(
+      Schema{{{"city", ValueType::String}, {"zip", ValueType::Int64}}}, 0);
+  rb.append_row({Value{"muc"}, Value{std::int64_t{80331}}});
+  rb.append_row({Value{"ber"}, Value{std::int64_t{10115}}});
+  const Table right = rb.build();
+
+  const Table out =
+      hash_join(engine_, left, right, {"city"}, {"city"});
+  // "ham" rows drop out: 10 - 2 = 8 rows.
+  EXPECT_EQ(out.num_rows(), 8u);
+  ASSERT_TRUE(out.schema().contains("zip"));
+  out.for_each_row([&](const RowView& r) {
+    const std::string& city = r.string_at(out.schema().require("city"));
+    const std::int64_t zip = r.int64_at(out.schema().require("zip"));
+    EXPECT_EQ(zip, city == "muc" ? 80331 : 10115);
+  });
+}
+
+TEST_F(OpsTest, HashJoinLeftOuterKeepsUnmatched) {
+  const Table left = people();
+  TableBuilder rb(
+      Schema{{{"city", ValueType::String}, {"zip", ValueType::Int64}}}, 0);
+  rb.append_row({Value{"muc"}, Value{std::int64_t{80331}}});
+  const Table right = rb.build();
+  const Table out = hash_join(engine_, left, right, {"city"}, {"city"},
+                              JoinType::LeftOuter);
+  EXPECT_EQ(out.num_rows(), 10u);
+  std::size_t nulls = 0;
+  out.for_each_row([&](const RowView& r) {
+    if (r.is_null(out.schema().require("zip"))) ++nulls;
+  });
+  EXPECT_EQ(nulls, 5u);  // ber(3) + ham(2)
+}
+
+TEST_F(OpsTest, HashJoinDuplicateRightKeysMultiply) {
+  TableBuilder rb(
+      Schema{{{"city", ValueType::String}, {"tag", ValueType::String}}}, 0);
+  rb.append_row({Value{"muc"}, Value{"a"}});
+  rb.append_row({Value{"muc"}, Value{"b"}});
+  const Table right = rb.build();
+  const Table out = hash_join(engine_, people(), right, {"city"}, {"city"});
+  EXPECT_EQ(out.num_rows(), 10u);  // 5 muc rows x 2 tags
+}
+
+TEST_F(OpsTest, HashJoinNameClashThrows) {
+  EXPECT_THROW(hash_join(engine_, people(), people(), {"city"}, {"city"}),
+               std::invalid_argument);
+}
+
+TEST_F(OpsTest, HashJoinEmptyKeysThrows) {
+  EXPECT_THROW(hash_join(engine_, people(), people(), {}, {}),
+               std::invalid_argument);
+}
+
+TEST_F(OpsTest, UnionAllConcatenates) {
+  const Table out = union_all(people(), people());
+  EXPECT_EQ(out.num_rows(), 20u);
+}
+
+TEST_F(OpsTest, UnionAllSchemaMismatchThrows) {
+  EXPECT_THROW(
+      union_all(people(), project(engine_, people(), {"id"})),
+      std::invalid_argument);
+}
+
+TEST_F(OpsTest, SortByDescending) {
+  const Table out = sort_by(engine_, people(), {{"id", false}});
+  std::vector<std::int64_t> ids;
+  out.for_each_row([&](const RowView& r) { ids.push_back(r.int64_at(0)); });
+  EXPECT_EQ(ids, (std::vector<std::int64_t>{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST_F(OpsTest, SortIsStableOnTies) {
+  const Table out = sort_by(engine_, people(), {{"city", true}});
+  // Within one city, ids must stay ascending (input order).
+  std::string last_city;
+  std::int64_t last_id = -1;
+  out.for_each_row([&](const RowView& r) {
+    const std::string& city = r.string_at(1);
+    if (city == last_city) EXPECT_GT(r.int64_at(0), last_id);
+    last_city = city;
+    last_id = r.int64_at(0);
+  });
+}
+
+TEST_F(OpsTest, SortNullsFirst) {
+  TableBuilder b(Schema{{{"v", ValueType::Int64}}}, 0);
+  b.append_row({Value{std::int64_t{2}}});
+  b.append_row({Value{}});
+  b.append_row({Value{std::int64_t{1}}});
+  const Table out = sort_by(engine_, b.build(), {{"v", true}});
+  const auto rows = out.collect_rows();
+  EXPECT_TRUE(rows[0][0].is_null());
+  EXPECT_EQ(rows[1][0], Value{std::int64_t{1}});
+}
+
+TEST_F(OpsTest, DistinctKeepsFirstOccurrence) {
+  const Table out = distinct(engine_, people(), {"city"});
+  EXPECT_EQ(out.num_rows(), 3u);
+  const auto rows = out.collect_rows();
+  EXPECT_EQ(rows[0][1], Value{"muc"});
+  EXPECT_EQ(rows[1][1], Value{"ber"});
+  EXPECT_EQ(rows[2][1], Value{"ham"});
+}
+
+TEST_F(OpsTest, GroupByCountSumMinMax) {
+  const Table out = group_by(
+      engine_, people(), {"city"},
+      {{AggOp::Count, "", "n"},
+       {AggOp::Sum, "score", "total"},
+       {AggOp::Min, "id", "min_id"},
+       {AggOp::Max, "id", "max_id"}});
+  ASSERT_EQ(out.num_rows(), 3u);
+  const auto& schema = out.schema();
+  out.for_each_row([&](const RowView& r) {
+    const std::string& city = r.string_at(schema.require("city"));
+    const std::int64_t n = r.int64_at(schema.require("n"));
+    if (city == "muc") {
+      EXPECT_EQ(n, 5);
+      EXPECT_EQ(r.int64_at(schema.require("min_id")), 0);
+      EXPECT_EQ(r.int64_at(schema.require("max_id")), 9);
+      // ids 0,2,5,7,9 -> scores 0,1,2.5,3.5,4.5 = 11.5
+      EXPECT_DOUBLE_EQ(r.float64_at(schema.require("total")), 11.5);
+    } else if (city == "ham") {
+      EXPECT_EQ(n, 2);
+    }
+  });
+}
+
+TEST_F(OpsTest, GroupByFirstLastMeanFollowLogicalOrder) {
+  const Table out = group_by(engine_, people(), {"city"},
+                             {{AggOp::First, "id", "first_id"},
+                              {AggOp::Last, "id", "last_id"},
+                              {AggOp::Mean, "id", "mean_id"}});
+  out.for_each_row([&](const RowView& r) {
+    const std::string& city = r.string_at(0);
+    if (city == "ber") {
+      EXPECT_EQ(r.int64_at(out.schema().require("first_id")), 1);
+      EXPECT_EQ(r.int64_at(out.schema().require("last_id")), 8);
+      EXPECT_DOUBLE_EQ(r.float64_at(out.schema().require("mean_id")),
+                       (1.0 + 4.0 + 8.0) / 3.0);
+    }
+  });
+}
+
+TEST_F(OpsTest, GroupByGroupOrderIsFirstOccurrence) {
+  const Table out =
+      group_by(engine_, people(), {"city"}, {{AggOp::Count, "", "n"}});
+  const auto rows = out.collect_rows();
+  EXPECT_EQ(rows[0][0], Value{"muc"});
+  EXPECT_EQ(rows[1][0], Value{"ber"});
+  EXPECT_EQ(rows[2][0], Value{"ham"});
+}
+
+TEST_F(OpsTest, WithLagPerGroup) {
+  const Table out = with_lag(engine_, people(), {"city"}, "id", "prev_id");
+  const std::size_t lag_col = out.schema().require("prev_id");
+  std::size_t nulls = 0;
+  out.for_each_row([&](const RowView& r) {
+    if (r.is_null(lag_col)) ++nulls;
+  });
+  EXPECT_EQ(nulls, 3u);  // one per city
+  // Row id=2 (muc) must see previous muc id=0.
+  out.for_each_row([&](const RowView& r) {
+    if (r.int64_at(0) == 2) EXPECT_EQ(r.int64_at(lag_col), 0);
+    if (r.int64_at(0) == 9) EXPECT_EQ(r.int64_at(lag_col), 7);
+  });
+}
+
+TEST_F(OpsTest, ResultsIndependentOfWorkerCount) {
+  Engine one{EngineConfig{.workers = 1, .default_partitions = 4}};
+  Engine many{EngineConfig{.workers = 8, .default_partitions = 4}};
+  const Table t = people(2);
+  auto run = [&](Engine& e) {
+    const Table f = filter(e, t, [](const RowView& r) {
+      return r.int64_at(0) != 3;
+    });
+    return group_by(e, f, {"city"}, {{AggOp::Count, "", "n"}}).collect_rows();
+  };
+  EXPECT_EQ(run(one), run(many));
+}
+
+TEST_F(OpsTest, FilterPropagatesPredicateExceptions) {
+  EXPECT_THROW(
+      filter(engine_, people(), [](const RowView&) -> bool {
+        throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ivt::dataflow

@@ -1,0 +1,78 @@
+#include "dataflow/schema.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::dataflow {
+namespace {
+
+Schema make_schema() {
+  return Schema{{{"t", ValueType::Int64},
+                 {"name", ValueType::String},
+                 {"v", ValueType::Float64}}};
+}
+
+TEST(SchemaTest, SizeAndFieldAccess) {
+  const Schema s = make_schema();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.field(0).name, "t");
+  EXPECT_EQ(s.field(1).type, ValueType::String);
+}
+
+TEST(SchemaTest, IndexOf) {
+  const Schema s = make_schema();
+  EXPECT_EQ(s.index_of("t"), 0u);
+  EXPECT_EQ(s.index_of("v"), 2u);
+  EXPECT_FALSE(s.index_of("missing").has_value());
+}
+
+TEST(SchemaTest, RequireThrowsOnMissing) {
+  const Schema s = make_schema();
+  EXPECT_EQ(s.require("name"), 1u);
+  EXPECT_THROW((void)s.require("nope"), std::out_of_range);
+}
+
+TEST(SchemaTest, DuplicateNamesRejected) {
+  EXPECT_THROW(Schema({{"a", ValueType::Int64}, {"a", ValueType::String}}),
+               std::invalid_argument);
+}
+
+TEST(SchemaTest, WithFieldAppends) {
+  const Schema s = make_schema().with_field({"extra", ValueType::Int64});
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.require("extra"), 3u);
+}
+
+TEST(SchemaTest, WithFieldRejectsDuplicate) {
+  EXPECT_THROW(make_schema().with_field({"t", ValueType::Int64}),
+               std::invalid_argument);
+}
+
+TEST(SchemaTest, SelectReordersFields) {
+  const Schema s = make_schema().select({"v", "t"});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.field(0).name, "v");
+  EXPECT_EQ(s.field(1).name, "t");
+}
+
+TEST(SchemaTest, SelectUnknownThrows) {
+  EXPECT_THROW(make_schema().select({"zz"}), std::out_of_range);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(make_schema(), make_schema());
+  EXPECT_NE(make_schema(), make_schema().with_field({"x", ValueType::Null}));
+}
+
+TEST(SchemaTest, DisplayString) {
+  EXPECT_EQ(make_schema().to_display_string(),
+            "(t: int64, name: string, v: float64)");
+}
+
+TEST(SchemaTest, EmptySchema) {
+  const Schema s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains("anything"));
+}
+
+}  // namespace
+}  // namespace ivt::dataflow

@@ -1,0 +1,90 @@
+#include "dataflow/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::dataflow {
+namespace {
+
+Table sample_table() {
+  Schema schema{{{"n", ValueType::Int64},
+                 {"x", ValueType::Float64},
+                 {"s", ValueType::String}}};
+  TableBuilder b(schema, 4);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    b.append_row({Value{i}, i == 5 ? Value{} : Value{static_cast<double>(i)},
+                  Value{i % 2 == 0 ? "even" : "odd"}});
+  }
+  return b.build();
+}
+
+TEST(SummaryTest, CountsAndNulls) {
+  Engine engine{{.workers = 2}};
+  const auto summaries = summarize(engine, sample_table());
+  ASSERT_EQ(summaries.size(), 3u);
+  EXPECT_EQ(summaries[0].count, 10u);
+  EXPECT_EQ(summaries[0].nulls, 0u);
+  EXPECT_EQ(summaries[1].count, 9u);
+  EXPECT_EQ(summaries[1].nulls, 1u);
+}
+
+TEST(SummaryTest, NumericStats) {
+  Engine engine{{.workers = 2}};
+  const auto summaries = summarize(engine, sample_table());
+  EXPECT_DOUBLE_EQ(*summaries[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(*summaries[0].max, 9.0);
+  EXPECT_DOUBLE_EQ(*summaries[0].mean, 4.5);
+  // x skips 5 -> mean of remaining 9 values = (45-5)/9.
+  EXPECT_DOUBLE_EQ(*summaries[1].mean, 40.0 / 9.0);
+  EXPECT_FALSE(summaries[2].min.has_value());
+}
+
+TEST(SummaryTest, DistinctCounts) {
+  Engine engine{{.workers = 2}};
+  const auto summaries = summarize(engine, sample_table());
+  EXPECT_EQ(summaries[0].distinct, 10u);
+  EXPECT_EQ(summaries[2].distinct, 2u);
+  EXPECT_FALSE(summaries[2].distinct_capped);
+}
+
+TEST(SummaryTest, DistinctCapApplies) {
+  Engine engine{{.workers = 2}};
+  SummaryOptions options;
+  options.distinct_cap = 4;
+  const auto summaries = summarize(engine, sample_table(), options);
+  EXPECT_TRUE(summaries[0].distinct_capped);
+  EXPECT_EQ(summaries[0].distinct, 4u);
+}
+
+TEST(SummaryTest, EmptyTable) {
+  Engine engine{{.workers = 1}};
+  Table t(Schema{{{"x", ValueType::Float64}}});
+  const auto summaries = summarize(engine, t);
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].count, 0u);
+  EXPECT_FALSE(summaries[0].mean.has_value());
+}
+
+TEST(SummaryTest, DisplayContainsColumnNames) {
+  Engine engine{{.workers = 1}};
+  const std::string s =
+      to_display_string(summarize(engine, sample_table()));
+  EXPECT_NE(s.find("column"), std::string::npos);
+  EXPECT_NE(s.find("mean"), std::string::npos);
+  EXPECT_NE(s.find("float64"), std::string::npos);
+}
+
+TEST(SummaryTest, DeterministicAcrossWorkers) {
+  Engine one{{.workers = 1}};
+  Engine many{{.workers = 8}};
+  const auto a = summarize(one, sample_table());
+  const auto b = summarize(many, sample_table());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].count, b[i].count);
+    EXPECT_EQ(a[i].distinct, b[i].distinct);
+    EXPECT_EQ(a[i].mean, b[i].mean);
+  }
+}
+
+}  // namespace
+}  // namespace ivt::dataflow

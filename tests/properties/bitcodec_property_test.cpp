@@ -1,0 +1,92 @@
+// Property tests: insert/extract round-trips over randomized field layouts.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "protocol/bitcodec.hpp"
+
+namespace ivt::protocol {
+namespace {
+
+struct LayoutCase {
+  ByteOrder order;
+  std::size_t payload_size;
+};
+
+class BitCodecPropertyTest : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(BitCodecPropertyTest, RandomRoundTripsPreserveValue) {
+  const auto [order, payload_size] = GetParam();
+  std::mt19937_64 rng(0xC0DEC + payload_size +
+                      (order == ByteOrder::Motorola ? 1000 : 0));
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const std::uint16_t length = static_cast<std::uint16_t>(
+        1 + rng() % std::min<std::size_t>(64, payload_size * 8));
+    // Draw start bits until the field fits.
+    std::uint16_t start = 0;
+    bool found = false;
+    for (int tries = 0; tries < 64; ++tries) {
+      start = static_cast<std::uint16_t>(rng() % (payload_size * 8));
+      if (bit_field_fits(payload_size, start, length, order)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    const std::uint64_t value =
+        rng() & (length >= 64 ? ~0ULL : ((1ULL << length) - 1));
+
+    std::vector<std::uint8_t> payload(payload_size);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+    const std::vector<std::uint8_t> before = payload;
+
+    insert_bits(payload, start, length, order, value);
+    EXPECT_EQ(extract_bits(payload, start, length, order), value)
+        << "start=" << start << " len=" << length;
+
+    // Inserting back the ORIGINAL field value restores the exact payload
+    // (no neighbour disturbance).
+    const std::uint64_t original =
+        extract_bits(before, start, length, order);
+    insert_bits(payload, start, length, order, original);
+    EXPECT_EQ(payload, before);
+  }
+}
+
+TEST_P(BitCodecPropertyTest, ExtractNeverReadsOutsideField) {
+  const auto [order, payload_size] = GetParam();
+  std::mt19937_64 rng(0xFEED + payload_size);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const std::uint16_t length =
+        static_cast<std::uint16_t>(1 + rng() % 16);
+    const std::uint16_t start =
+        static_cast<std::uint16_t>(rng() % (payload_size * 8));
+    if (!bit_field_fits(payload_size, start, length, order)) continue;
+
+    std::vector<std::uint8_t> a(payload_size, 0x00);
+    std::vector<std::uint8_t> b(payload_size, 0xFF);
+    const std::uint64_t value = rng() & ((1ULL << length) - 1);
+    insert_bits(a, start, length, order, value);
+    insert_bits(b, start, length, order, value);
+    // Same field value regardless of surrounding bits.
+    EXPECT_EQ(extract_bits(a, start, length, order),
+              extract_bits(b, start, length, order));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, BitCodecPropertyTest,
+    ::testing::Values(LayoutCase{ByteOrder::Intel, 1},
+                      LayoutCase{ByteOrder::Intel, 8},
+                      LayoutCase{ByteOrder::Intel, 64},
+                      LayoutCase{ByteOrder::Motorola, 1},
+                      LayoutCase{ByteOrder::Motorola, 8},
+                      LayoutCase{ByteOrder::Motorola, 64}),
+    [](const auto& info) {
+      return std::string(info.param.order == ByteOrder::Intel ? "Intel"
+                                                              : "Motorola") +
+             "_" + std::to_string(info.param.payload_size) + "B";
+    });
+
+}  // namespace
+}  // namespace ivt::protocol

@@ -1,0 +1,114 @@
+// Property tests: branch α behaves sanely across its configuration space
+// (SAX alphabet sizes × outlier methods), parameterized sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/branches.hpp"
+#include "core/schemas.hpp"
+
+namespace ivt::core {
+namespace {
+
+constexpr std::int64_t kMs = 1'000'000;
+
+SequenceData sine_with_spikes() {
+  SequenceData d;
+  d.s_id = "sig";
+  d.bus = "FC";
+  for (int i = 0; i < 200; ++i) {
+    d.t.push_back(i * 10 * kMs);
+    double v = 100.0 + 50.0 * std::sin(i * 0.1);
+    if (i == 60 || i == 150) v = 5000.0;
+    d.v_num.push_back(v);
+    d.has_num.push_back(1);
+    d.v_str.emplace_back();
+    d.has_str.push_back(0);
+  }
+  return d;
+}
+
+struct ConfigCase {
+  std::size_t alphabet;
+  algo::OutlierMethod method;
+};
+
+class BranchConfigPropertyTest
+    : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(BranchConfigPropertyTest, AlphaInvariantsHoldAcrossConfigs) {
+  const auto [alphabet, method] = GetParam();
+  BranchConfig config;
+  config.sax_alphabet = alphabet;
+  config.outlier.method = method;
+  const SequenceData d = sine_with_spikes();
+  BranchStats stats;
+  const auto out = process_alpha({d, nullptr}, config, &stats);
+
+  // Both spikes isolated.
+  EXPECT_EQ(stats.outliers, 2u);
+  // Symbolization compresses.
+  EXPECT_LT(out.num_rows(), d.size());
+  EXPECT_GE(stats.segments, 2u);
+  // Output schema + symbol labels bounded by the alphabet.
+  EXPECT_EQ(out.schema(), krep_schema());
+  const std::size_t value_col = out.schema().require("value");
+  const std::size_t kind_col = out.schema().require("element_kind");
+  std::size_t state_rows = 0;
+  out.for_each_row([&](const dataflow::RowView& row) {
+    if (row.string_at(kind_col) != kElementState) return;
+    ++state_rows;
+    const std::string& value = row.string_at(value_col);
+    EXPECT_EQ(value.front(), '(');
+    EXPECT_EQ(value.back(), ')');
+    EXPECT_NE(value.find(','), std::string::npos);
+  });
+  EXPECT_EQ(state_rows, stats.segments);
+  // Time-ordered output.
+  std::int64_t last = -1;
+  out.for_each_row([&](const dataflow::RowView& row) {
+    EXPECT_GE(row.int64_at(0), last);
+    last = row.int64_at(0);
+  });
+}
+
+TEST_P(BranchConfigPropertyTest, SineUsesHighAndLowLevels) {
+  const auto [alphabet, method] = GetParam();
+  BranchConfig config;
+  config.sax_alphabet = alphabet;
+  config.outlier.method = method;
+  config.swab_error_scale = 0.2;  // fine segmentation
+  const SequenceData d = sine_with_spikes();
+  const auto out = process_alpha({d, nullptr}, config);
+  // With a fine segmentation, at least two distinct level names appear.
+  std::set<std::string> levels;
+  const std::size_t value_col = out.schema().require("value");
+  const std::size_t kind_col = out.schema().require("element_kind");
+  out.for_each_row([&](const dataflow::RowView& row) {
+    if (row.string_at(kind_col) != kElementState) return;
+    const std::string& value = row.string_at(value_col);
+    levels.insert(value.substr(1, value.find(',') - 1));
+  });
+  EXPECT_GE(levels.size(), 2u);
+  EXPECT_LE(levels.size(), alphabet);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BranchConfigPropertyTest,
+    ::testing::Values(ConfigCase{2, algo::OutlierMethod::Hampel},
+                      ConfigCase{3, algo::OutlierMethod::Hampel},
+                      ConfigCase{5, algo::OutlierMethod::Hampel},
+                      ConfigCase{8, algo::OutlierMethod::Hampel},
+                      ConfigCase{16, algo::OutlierMethod::Hampel},
+                      ConfigCase{5, algo::OutlierMethod::ZScore},
+                      ConfigCase{5, algo::OutlierMethod::Iqr}),
+    [](const auto& info) {
+      const char* method = "Hampel";
+      if (info.param.method == algo::OutlierMethod::ZScore) method = "ZScore";
+      if (info.param.method == algo::OutlierMethod::Iqr) method = "Iqr";
+      return std::string("A") + std::to_string(info.param.alphabet) + "_" +
+             method;
+    });
+
+}  // namespace
+}  // namespace ivt::core

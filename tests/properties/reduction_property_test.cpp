@@ -1,0 +1,140 @@
+// Property tests: invariants of the constraint reduction over randomized
+// signal sequences.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/reduce.hpp"
+
+namespace ivt::core {
+namespace {
+
+constexpr std::int64_t kMs = 1'000'000;
+
+SequenceData random_sequence(std::uint64_t seed, std::size_t n,
+                             std::size_t levels, double violation_rate) {
+  std::mt19937_64 rng(seed);
+  SequenceData d;
+  d.s_id = "sig";
+  d.bus = "FC";
+  std::int64_t t = 0;
+  double value = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng() % 4 == 0) {
+      value = static_cast<double>(rng() % levels);
+    }
+    t += 10 * kMs;
+    if (std::uniform_real_distribution<double>(0, 1)(rng) < violation_rate) {
+      t += 40 * kMs;  // cycle violation (10 ms expected)
+    }
+    d.t.push_back(t);
+    d.v_num.push_back(value);
+    d.has_num.push_back(1);
+    d.v_str.emplace_back();
+    d.has_str.push_back(0);
+  }
+  return d;
+}
+
+signaldb::SignalSpec spec_10ms() {
+  signaldb::SignalSpec spec;
+  spec.name = "sig";
+  spec.expected_cycle_ns = 10 * kMs;
+  return spec;
+}
+
+class ReductionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReductionPropertyTest, SurvivorsAreASubsequence) {
+  const SequenceData d = random_sequence(GetParam(), 500, 5, 0.02);
+  const auto spec = spec_10ms();
+  const SequenceData out =
+      reduce_sequence({drop_repeated_values_rule()}, d, &spec);
+  // Every output (t, v) pair must appear in the input in order.
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    while (cursor < d.size() &&
+           (d.t[cursor] != out.t[i] || d.v_num[cursor] != out.v_num[i])) {
+      ++cursor;
+    }
+    ASSERT_LT(cursor, d.size()) << "output row " << i << " not found";
+    ++cursor;
+  }
+}
+
+TEST_P(ReductionPropertyTest, FirstAndLastSurvive) {
+  const SequenceData d = random_sequence(GetParam(), 300, 4, 0.0);
+  const auto spec = spec_10ms();
+  const SequenceData out =
+      reduce_sequence({drop_repeated_values_rule()}, d, &spec);
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out.t.front(), d.t.front());
+  EXPECT_EQ(out.t.back(), d.t.back());
+}
+
+TEST_P(ReductionPropertyTest, AllValueChangesSurvive) {
+  const SequenceData d = random_sequence(GetParam(), 400, 6, 0.01);
+  const auto spec = spec_10ms();
+  const SequenceData out =
+      reduce_sequence({drop_repeated_values_rule()}, d, &spec);
+  // Collect input change points and assert each appears in the output.
+  std::size_t out_cursor = 0;
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    if (d.v_num[i] == d.v_num[i - 1]) continue;
+    bool found = false;
+    while (out_cursor < out.size()) {
+      if (out.t[out_cursor] == d.t[i]) {
+        found = true;
+        break;
+      }
+      ++out_cursor;
+    }
+    EXPECT_TRUE(found) << "change at t=" << d.t[i] << " dropped";
+  }
+}
+
+TEST_P(ReductionPropertyTest, CycleViolationWitnessesSurvive) {
+  const SequenceData d = random_sequence(GetParam(), 400, 3, 0.05);
+  const auto spec = spec_10ms();
+  const SequenceData out =
+      reduce_sequence({drop_repeated_values_rule(1.5)}, d, &spec);
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    if (d.t[i] - d.t[i - 1] <= 15 * kMs) continue;  // not a violation
+    bool found = false;
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      if (out.t[j] == d.t[i]) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "violation witness at t=" << d.t[i] << " dropped";
+  }
+}
+
+TEST_P(ReductionPropertyTest, ReductionIsIdempotent) {
+  const SequenceData d = random_sequence(GetParam(), 300, 5, 0.02);
+  const auto spec = spec_10ms();
+  const std::vector<ConstraintRule> rules{drop_repeated_values_rule()};
+  const SequenceData once = reduce_sequence(rules, d, &spec);
+  const SequenceData twice = reduce_sequence(rules, once, &spec);
+  EXPECT_EQ(once.t, twice.t);
+  EXPECT_EQ(once.v_num, twice.v_num);
+}
+
+TEST_P(ReductionPropertyTest, MoreRulesNeverKeepMore) {
+  const SequenceData d = random_sequence(GetParam(), 300, 5, 0.02);
+  const auto spec = spec_10ms();
+  const SequenceData one =
+      reduce_sequence({drop_repeated_values_rule()}, d, &spec);
+  const SequenceData two = reduce_sequence(
+      {drop_repeated_values_rule(), drop_within_band_rule("sig", 0.5, 1.5)},
+      d, &spec);
+  EXPECT_LE(two.size(), one.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+}  // namespace
+}  // namespace ivt::core

@@ -1,0 +1,159 @@
+// Property tests: CSV and binary table serialization round-trip randomly
+// generated tables; the trace container round-trips random traces; and
+// truncated inputs throw instead of crashing or silently succeeding.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "dataflow/csv.hpp"
+#include "dataflow/table_io.hpp"
+#include "tracefile/binary_format.hpp"
+
+namespace ivt {
+namespace {
+
+using dataflow::Field;
+using dataflow::Schema;
+using dataflow::Table;
+using dataflow::TableBuilder;
+using dataflow::Value;
+using dataflow::ValueType;
+
+Value random_value(ValueType type, std::mt19937_64& rng) {
+  if (rng() % 10 == 0) return Value{};  // null
+  switch (type) {
+    case ValueType::Int64:
+      return Value{static_cast<std::int64_t>(rng()) / 1024};
+    case ValueType::Float64:
+      return Value{std::uniform_real_distribution<double>(-1e6, 1e6)(rng)};
+    case ValueType::String: {
+      // Include CSV-hostile characters.
+      static const char* kPieces[] = {"plain", "with,comma", "with\"quote",
+                                      "with\nnewline", "", "ünïcode-ish"};
+      std::string s = kPieces[rng() % 6];
+      s += std::to_string(rng() % 100);
+      return Value{std::move(s)};
+    }
+    case ValueType::Null:
+      return Value{};
+  }
+  return Value{};
+}
+
+Table random_table(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Field> fields;
+  const std::size_t width = 1 + rng() % 5;
+  for (std::size_t c = 0; c < width; ++c) {
+    const ValueType types[] = {ValueType::Int64, ValueType::Float64,
+                               ValueType::String};
+    fields.push_back(Field{"c" + std::to_string(c), types[rng() % 3]});
+  }
+  const Schema schema{std::move(fields)};
+  TableBuilder builder(schema, 1 + rng() % 7);
+  const std::size_t rows = rng() % 200;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(schema.size());
+    for (std::size_t c = 0; c < schema.size(); ++c) {
+      row.push_back(random_value(schema.field(c).type, rng));
+    }
+    builder.append_row(std::move(row));
+  }
+  return builder.build();
+}
+
+class SerializationPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializationPropertyTest, BinaryTableRoundTrip) {
+  const Table t = random_table(GetParam());
+  std::stringstream ss;
+  dataflow::write_table(t, ss);
+  const Table back = dataflow::read_table(ss);
+  EXPECT_EQ(back.schema(), t.schema());
+  EXPECT_EQ(back.collect_rows(), t.collect_rows());
+}
+
+TEST_P(SerializationPropertyTest, BinaryTableTruncationThrows) {
+  const Table t = random_table(GetParam());
+  if (t.num_rows() == 0) return;
+  std::stringstream ss;
+  dataflow::write_table(t, ss);
+  std::string data = ss.str();
+  data.resize(data.size() * 2 / 3);
+  std::stringstream truncated(data);
+  EXPECT_THROW(dataflow::read_table(truncated), std::runtime_error);
+}
+
+TEST_P(SerializationPropertyTest, CsvRoundTripModuloFloatFormat) {
+  // CSV prints doubles with %.9g — exact round trip holds for the values
+  // we generate only up to that precision, so compare rendered cells.
+  const Table t = random_table(GetParam());
+  std::stringstream ss;
+  dataflow::write_csv(t, ss);
+  const Table back = dataflow::read_csv(ss, t.schema());
+  ASSERT_EQ(back.num_rows(), t.num_rows());
+  const auto a = t.collect_rows();
+  const auto b = back.collect_rows();
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    for (std::size_t c = 0; c < a[r].size(); ++c) {
+      if (t.schema().field(c).type == ValueType::String &&
+          !a[r][c].is_null() && a[r][c].as_string().empty()) {
+        // Documented lossy corner: CSV cannot distinguish an empty string
+        // from null.
+        EXPECT_TRUE(b[r][c].is_null() ||
+                    b[r][c].as_string().empty());
+        continue;
+      }
+      EXPECT_EQ(a[r][c].to_display_string(), b[r][c].to_display_string())
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST_P(SerializationPropertyTest, TraceContainerRoundTrip) {
+  std::mt19937_64 rng(GetParam() ^ 0x70D014);
+  tracefile::Trace trace;
+  trace.vehicle = "V" + std::to_string(rng() % 10);
+  trace.journey = "J" + std::to_string(rng() % 10);
+  trace.start_unix_ns = static_cast<std::int64_t>(rng());
+  const std::size_t n = rng() % 300;
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tracefile::TraceRecord rec;
+    t += static_cast<std::int64_t>(rng() % 1'000'000);
+    rec.t_ns = t;
+    rec.bus = "BUS" + std::to_string(rng() % 4);
+    rec.message_id = static_cast<std::int64_t>(rng() % 2048);
+    rec.protocol = static_cast<protocol::Protocol>(rng() % 5);
+    rec.flags = static_cast<std::uint32_t>(rng() % 2);
+    rec.payload.resize(rng() % 64);
+    for (auto& b : rec.payload) b = static_cast<std::uint8_t>(rng());
+    trace.records.push_back(std::move(rec));
+  }
+  std::stringstream ss;
+  {
+    tracefile::TraceWriter writer(ss, trace.vehicle, trace.journey,
+                                  trace.start_unix_ns);
+    for (const auto& rec : trace.records) writer.write(rec);
+  }
+  tracefile::TraceReader reader(ss);
+  tracefile::Trace back;
+  back.vehicle = reader.vehicle();
+  back.journey = reader.journey();
+  back.start_unix_ns = reader.start_unix_ns();
+  tracefile::TraceRecord rec;
+  while (reader.next(rec)) back.records.push_back(rec);
+  EXPECT_EQ(back.vehicle, trace.vehicle);
+  EXPECT_EQ(back.start_unix_ns, trace.start_unix_ns);
+  EXPECT_EQ(back.records, trace.records);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+}  // namespace
+}  // namespace ivt

@@ -1,0 +1,152 @@
+// Property tests: segmentation invariants over generated waveforms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "algo/swab.hpp"
+
+namespace ivt::algo {
+namespace {
+
+enum class Waveform { Sine, Ramp, Steps, Noise, Constant };
+
+std::vector<double> make_waveform(Waveform kind, std::size_t n,
+                                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  double level = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    switch (kind) {
+      case Waveform::Sine:
+        xs.push_back(std::sin(x * 0.05));
+        break;
+      case Waveform::Ramp:
+        xs.push_back(0.01 * x);
+        break;
+      case Waveform::Steps:
+        if (i % 40 == 0) {
+          level = static_cast<double>(rng() % 8);
+        }
+        xs.push_back(level);
+        break;
+      case Waveform::Noise:
+        xs.push_back(std::uniform_real_distribution<double>(-1, 1)(rng));
+        break;
+      case Waveform::Constant:
+        xs.push_back(3.5);
+        break;
+    }
+  }
+  return xs;
+}
+
+struct WaveCase {
+  Waveform kind;
+  std::size_t n;
+};
+
+class SwabPropertyTest : public ::testing::TestWithParam<WaveCase> {
+ protected:
+  static std::vector<double> unit_ts(std::size_t n) {
+    std::vector<double> ts(n);
+    for (std::size_t i = 0; i < n; ++i) ts[i] = static_cast<double>(i);
+    return ts;
+  }
+};
+
+TEST_P(SwabPropertyTest, SegmentsPartitionTheSeries) {
+  const auto [kind, n] = GetParam();
+  const auto xs = make_waveform(kind, n, 7);
+  const auto ts = unit_ts(n);
+  SegmentationConfig config;
+  config.max_error = 1.0;
+  config.buffer_size = 80;
+  const auto segments = swab_segment(ts, xs, config);
+  ASSERT_FALSE(segments.empty());
+  EXPECT_EQ(segments.front().start, 0u);
+  EXPECT_EQ(segments.back().end, n);
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_EQ(segments[i].start, segments[i - 1].end);
+  }
+  for (const Segment& seg : segments) {
+    EXPECT_GT(seg.length(), 0u);
+  }
+}
+
+TEST_P(SwabPropertyTest, SegmentErrorsMatchTheirFit) {
+  const auto [kind, n] = GetParam();
+  const auto xs = make_waveform(kind, n, 11);
+  const auto ts = unit_ts(n);
+  SegmentationConfig config;
+  config.max_error = 2.0;
+  const auto segments = swab_segment(ts, xs, config);
+  for (const Segment& seg : segments) {
+    const Segment refit = fit_segment(ts, xs, seg.start, seg.end);
+    EXPECT_NEAR(seg.error, refit.error, 1e-6);
+    EXPECT_NEAR(seg.fit.slope, refit.fit.slope, 1e-9);
+  }
+}
+
+TEST_P(SwabPropertyTest, DeterministicAcrossRuns) {
+  const auto [kind, n] = GetParam();
+  const auto xs = make_waveform(kind, n, 13);
+  const auto ts = unit_ts(n);
+  SegmentationConfig config;
+  config.max_error = 0.5;
+  config.buffer_size = 60;
+  const auto a = swab_segment(ts, xs, config);
+  const auto b = swab_segment(ts, xs, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+}
+
+TEST_P(SwabPropertyTest, LargerBudgetNeverYieldsMoreSegments) {
+  const auto [kind, n] = GetParam();
+  const auto xs = make_waveform(kind, n, 17);
+  const auto ts = unit_ts(n);
+  const auto tight = bottom_up_segment(ts, xs, 0.1);
+  const auto loose = bottom_up_segment(ts, xs, 10.0);
+  EXPECT_LE(loose.size(), tight.size());
+}
+
+std::string wave_case_name(const ::testing::TestParamInfo<WaveCase>& info) {
+  const char* name = "Unknown";
+  switch (info.param.kind) {
+    case Waveform::Sine:
+      name = "Sine";
+      break;
+    case Waveform::Ramp:
+      name = "Ramp";
+      break;
+    case Waveform::Steps:
+      name = "Steps";
+      break;
+    case Waveform::Noise:
+      name = "Noise";
+      break;
+    case Waveform::Constant:
+      name = "Constant";
+      break;
+  }
+  return std::string(name) + "_" + std::to_string(info.param.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Waveforms, SwabPropertyTest,
+    ::testing::Values(WaveCase{Waveform::Sine, 300},
+                      WaveCase{Waveform::Ramp, 300},
+                      WaveCase{Waveform::Steps, 400},
+                      WaveCase{Waveform::Noise, 200},
+                      WaveCase{Waveform::Constant, 150},
+                      WaveCase{Waveform::Sine, 37},
+                      WaveCase{Waveform::Steps, 1000}),
+    wave_case_name);
+
+}  // namespace
+}  // namespace ivt::algo

@@ -1,0 +1,130 @@
+#include "protocol/bitcodec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::protocol {
+namespace {
+
+TEST(BitCodecTest, IntelSingleByte) {
+  const std::vector<std::uint8_t> payload{0xA5};  // 1010 0101
+  EXPECT_EQ(extract_bits(payload, 0, 4, ByteOrder::Intel), 0x5u);
+  EXPECT_EQ(extract_bits(payload, 4, 4, ByteOrder::Intel), 0xAu);
+  EXPECT_EQ(extract_bits(payload, 0, 8, ByteOrder::Intel), 0xA5u);
+}
+
+TEST(BitCodecTest, IntelMultiByteLittleEndian) {
+  const std::vector<std::uint8_t> payload{0x34, 0x12};
+  EXPECT_EQ(extract_bits(payload, 0, 16, ByteOrder::Intel), 0x1234u);
+}
+
+TEST(BitCodecTest, IntelUnalignedField) {
+  // bits: byte0 = abcdefgh (h = bit0). Field at start 4, len 8 spans bytes.
+  const std::vector<std::uint8_t> payload{0xF0, 0x0F};
+  // bits 4..11 = high nibble of byte0 (1111) + low nibble of byte1 (1111)
+  EXPECT_EQ(extract_bits(payload, 4, 8, ByteOrder::Intel), 0xFFu);
+}
+
+TEST(BitCodecTest, MotorolaByteAligned16) {
+  const std::vector<std::uint8_t> payload{0x12, 0x34};
+  // Motorola start bit = MSB of byte 0 = bit 7.
+  EXPECT_EQ(extract_bits(payload, 7, 16, ByteOrder::Motorola), 0x1234u);
+}
+
+TEST(BitCodecTest, MotorolaNibble) {
+  const std::vector<std::uint8_t> payload{0xA5};
+  EXPECT_EQ(extract_bits(payload, 7, 4, ByteOrder::Motorola), 0xAu);
+  EXPECT_EQ(extract_bits(payload, 3, 4, ByteOrder::Motorola), 0x5u);
+}
+
+TEST(BitCodecTest, InsertExtractRoundTripIntel) {
+  for (std::uint16_t start : {0, 3, 8, 13}) {
+    for (std::uint16_t len : {1, 5, 8, 12, 16}) {
+      std::vector<std::uint8_t> payload(8, 0);
+      const std::uint64_t value = 0x5A5A5A5A5A5A5A5AULL &
+                                  ((len >= 64) ? ~0ULL : ((1ULL << len) - 1));
+      insert_bits(payload, start, len, ByteOrder::Intel, value);
+      EXPECT_EQ(extract_bits(payload, start, len, ByteOrder::Intel), value)
+          << "start=" << start << " len=" << len;
+    }
+  }
+}
+
+TEST(BitCodecTest, InsertExtractRoundTripMotorola) {
+  for (std::uint16_t start : {7, 15, 23}) {
+    for (std::uint16_t len : {4, 8, 12, 16}) {
+      std::vector<std::uint8_t> payload(8, 0);
+      const std::uint64_t value = 0x3CC3F00FULL & ((1ULL << len) - 1);
+      insert_bits(payload, start, len, ByteOrder::Motorola, value);
+      EXPECT_EQ(extract_bits(payload, start, len, ByteOrder::Motorola), value)
+          << "start=" << start << " len=" << len;
+    }
+  }
+}
+
+TEST(BitCodecTest, InsertDoesNotDisturbNeighbours) {
+  std::vector<std::uint8_t> payload(2, 0xFF);
+  insert_bits(payload, 4, 4, ByteOrder::Intel, 0x0);
+  EXPECT_EQ(payload[0], 0x0F);
+  EXPECT_EQ(payload[1], 0xFF);
+}
+
+TEST(BitCodecTest, Full64BitField) {
+  std::vector<std::uint8_t> payload(8, 0);
+  const std::uint64_t value = 0xDEADBEEFCAFEBABEULL;
+  insert_bits(payload, 0, 64, ByteOrder::Intel, value);
+  EXPECT_EQ(extract_bits(payload, 0, 64, ByteOrder::Intel), value);
+}
+
+TEST(BitCodecTest, FitChecks) {
+  EXPECT_TRUE(bit_field_fits(8, 0, 64, ByteOrder::Intel));
+  EXPECT_FALSE(bit_field_fits(8, 1, 64, ByteOrder::Intel));
+  EXPECT_FALSE(bit_field_fits(1, 0, 0, ByteOrder::Intel));
+  EXPECT_FALSE(bit_field_fits(1, 0, 65, ByteOrder::Intel));
+  EXPECT_TRUE(bit_field_fits(2, 7, 16, ByteOrder::Motorola));
+  EXPECT_FALSE(bit_field_fits(2, 7, 17, ByteOrder::Motorola));
+}
+
+TEST(BitCodecTest, OutOfRangeThrows) {
+  const std::vector<std::uint8_t> payload(2, 0);
+  EXPECT_THROW(extract_bits(payload, 12, 8, ByteOrder::Intel),
+               std::out_of_range);
+  std::vector<std::uint8_t> w(2, 0);
+  EXPECT_THROW(insert_bits(w, 12, 8, ByteOrder::Intel, 1),
+               std::out_of_range);
+}
+
+TEST(BitCodecTest, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x1, 1), -1);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(42, 32), 42);
+}
+
+TEST(BitCodecTest, FloatRoundTrip) {
+  EXPECT_FLOAT_EQ(raw_to_float32(float32_to_raw(3.14f)), 3.14f);
+  EXPECT_DOUBLE_EQ(raw_to_float64(float64_to_raw(-2.718281828)),
+                   -2.718281828);
+}
+
+TEST(BitCodecTest, HexRoundTrip) {
+  const std::vector<std::uint8_t> payload{0x5A, 0x01, 0xFF};
+  EXPECT_EQ(to_hex(payload), "5A 01 FF");
+  EXPECT_EQ(from_hex("5A 01 FF"), payload);
+  EXPECT_EQ(from_hex("5a01ff"), payload);
+}
+
+TEST(BitCodecTest, HexRejectsBadInput) {
+  EXPECT_THROW(from_hex("5G"), std::invalid_argument);
+  EXPECT_THROW(from_hex("5"), std::invalid_argument);
+  EXPECT_THROW(from_hex("5 A"), std::invalid_argument);
+}
+
+TEST(BitCodecTest, EmptyHex) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+}  // namespace
+}  // namespace ivt::protocol

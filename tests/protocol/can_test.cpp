@@ -1,0 +1,131 @@
+#include "protocol/can.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocol/frame.hpp"
+
+namespace ivt::protocol {
+namespace {
+
+CanFrame sample_frame() {
+  CanFrame f;
+  f.id = 0x123;
+  f.data = {0x11, 0x22, 0x33, 0x44};
+  return f;
+}
+
+TEST(CanTest, ValidityStandardId) {
+  CanFrame f = sample_frame();
+  EXPECT_TRUE(f.is_valid());
+  f.id = 0x800;  // > 11 bits
+  EXPECT_FALSE(f.is_valid());
+  f.extended_id = true;
+  EXPECT_TRUE(f.is_valid());
+  f.id = 0x20000000;  // > 29 bits
+  EXPECT_FALSE(f.is_valid());
+}
+
+TEST(CanTest, ClassicPayloadLimit) {
+  CanFrame f = sample_frame();
+  f.data.assign(8, 0);
+  EXPECT_TRUE(f.is_valid());
+  f.data.assign(9, 0);
+  EXPECT_FALSE(f.is_valid());
+}
+
+TEST(CanTest, FdPayloadSizesMustBeDlcEncodable) {
+  CanFrame f = sample_frame();
+  f.fd = true;
+  f.data.assign(12, 0);
+  EXPECT_TRUE(f.is_valid());
+  f.data.assign(13, 0);
+  EXPECT_FALSE(f.is_valid());
+  f.data.assign(64, 0);
+  EXPECT_TRUE(f.is_valid());
+}
+
+TEST(CanTest, DlcClassic) {
+  CanFrame f = sample_frame();
+  EXPECT_EQ(f.dlc(), 4u);
+}
+
+TEST(CanTest, FdDlcTable) {
+  EXPECT_EQ(can_fd_dlc_to_length(8), 8u);
+  EXPECT_EQ(can_fd_dlc_to_length(9), 12u);
+  EXPECT_EQ(can_fd_dlc_to_length(15), 64u);
+  EXPECT_THROW(can_fd_dlc_to_length(16), std::invalid_argument);
+}
+
+TEST(CanTest, FdLengthToDlcRoundsUp) {
+  EXPECT_EQ(can_fd_length_to_dlc(0), 0u);
+  EXPECT_EQ(can_fd_length_to_dlc(9), 9u);   // -> 12 bytes
+  EXPECT_EQ(can_fd_length_to_dlc(64), 15u);
+  EXPECT_THROW(can_fd_length_to_dlc(65), std::invalid_argument);
+}
+
+TEST(CanTest, SerializeRoundTrip) {
+  const CanFrame f = sample_frame();
+  const CanFrame back = deserialize_can(serialize(f));
+  EXPECT_EQ(back.id, f.id);
+  EXPECT_EQ(back.data, f.data);
+  EXPECT_EQ(back.extended_id, f.extended_id);
+  EXPECT_EQ(back.fd, f.fd);
+}
+
+TEST(CanTest, SerializeRoundTripExtendedFd) {
+  CanFrame f;
+  f.id = 0x1ABCDEF0;
+  f.extended_id = true;
+  f.fd = true;
+  f.data.assign(12, 0x77);
+  const CanFrame back = deserialize_can(serialize(f));
+  EXPECT_EQ(back.id, f.id);
+  EXPECT_TRUE(back.extended_id);
+  EXPECT_TRUE(back.fd);
+  EXPECT_EQ(back.data.size(), 12u);
+}
+
+TEST(CanTest, DeserializeTruncatedThrows) {
+  const std::vector<std::uint8_t> junk{0x00, 0x01};
+  EXPECT_THROW(deserialize_can(junk), std::invalid_argument);
+  std::vector<std::uint8_t> bytes = serialize(sample_frame());
+  bytes.pop_back();
+  EXPECT_THROW(deserialize_can(bytes), std::invalid_argument);
+}
+
+TEST(CanTest, Crc15DetectsBitFlips) {
+  const CanFrame f = sample_frame();
+  const std::uint16_t crc = can_crc15(f);
+  EXPECT_LE(crc, 0x7FFFu);
+  CanFrame tampered = f;
+  tampered.data[1] ^= 0x01;
+  EXPECT_NE(can_crc15(tampered), crc);
+  CanFrame other_id = f;
+  other_id.id ^= 0x1;
+  EXPECT_NE(can_crc15(other_id), crc);
+}
+
+TEST(CanTest, Crc15Deterministic) {
+  EXPECT_EQ(can_crc15(sample_frame()), can_crc15(sample_frame()));
+}
+
+TEST(CanTest, DisplayString) {
+  const std::string s = to_display_string(sample_frame());
+  EXPECT_NE(s.find("CAN 123"), std::string::npos);
+  EXPECT_NE(s.find("11 22 33 44"), std::string::npos);
+}
+
+TEST(ProtocolEnumTest, RoundTrip) {
+  for (Protocol p : {Protocol::Can, Protocol::CanFd, Protocol::Lin,
+                     Protocol::SomeIp, Protocol::FlexRay}) {
+    EXPECT_EQ(parse_protocol(to_string(p)), p);
+  }
+  EXPECT_FALSE(parse_protocol("bogus").has_value());
+}
+
+TEST(ProtocolEnumTest, KLinAlias) {
+  EXPECT_EQ(parse_protocol("K-LIN"), Protocol::Lin);
+}
+
+}  // namespace
+}  // namespace ivt::protocol

@@ -1,0 +1,69 @@
+#include "protocol/flexray.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::protocol {
+namespace {
+
+FlexRayFrame sample_frame() {
+  FlexRayFrame f;
+  f.slot_id = 42;
+  f.cycle = 7;
+  f.data = {0xAA, 0xBB};
+  return f;
+}
+
+TEST(FlexRayTest, Validity) {
+  FlexRayFrame f = sample_frame();
+  EXPECT_TRUE(f.is_valid());
+  f.slot_id = 0;
+  EXPECT_FALSE(f.is_valid());
+  f.slot_id = 2048;
+  EXPECT_FALSE(f.is_valid());
+  f.slot_id = 1;
+  f.cycle = 64;
+  EXPECT_FALSE(f.is_valid());
+}
+
+TEST(FlexRayTest, SerializeRoundTrip) {
+  const FlexRayFrame f = sample_frame();
+  const FlexRayFrame back = deserialize_flexray(serialize(f));
+  EXPECT_EQ(back.slot_id, f.slot_id);
+  EXPECT_EQ(back.cycle, f.cycle);
+  EXPECT_EQ(back.channel_a, f.channel_a);
+  EXPECT_EQ(back.data, f.data);
+}
+
+TEST(FlexRayTest, ChannelBPreserved) {
+  FlexRayFrame f = sample_frame();
+  f.channel_a = false;
+  EXPECT_FALSE(deserialize_flexray(serialize(f)).channel_a);
+}
+
+TEST(FlexRayTest, TruncatedThrows) {
+  EXPECT_THROW(deserialize_flexray(std::vector<std::uint8_t>{1, 2, 3}),
+               std::invalid_argument);
+  auto bytes = serialize(sample_frame());
+  bytes.pop_back();
+  EXPECT_THROW(deserialize_flexray(bytes), std::invalid_argument);
+}
+
+TEST(FlexRayTest, HeaderCrcDependsOnSlotAndLength) {
+  const FlexRayFrame f = sample_frame();
+  const std::uint16_t crc = flexray_header_crc(f);
+  EXPECT_LE(crc, 0x7FFu);
+  FlexRayFrame other = f;
+  other.slot_id = 43;
+  EXPECT_NE(flexray_header_crc(other), crc);
+  FlexRayFrame longer = f;
+  longer.data.assign(6, 0);
+  EXPECT_NE(flexray_header_crc(longer), crc);
+}
+
+TEST(FlexRayTest, DisplayString) {
+  const std::string s = to_display_string(sample_frame());
+  EXPECT_NE(s.find("slot 42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ivt::protocol

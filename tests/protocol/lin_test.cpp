@@ -1,0 +1,101 @@
+#include "protocol/lin.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::protocol {
+namespace {
+
+LinFrame sample_frame() {
+  LinFrame f;
+  f.id = 0x11;
+  f.data = {0x01, 0x02, 0x03};
+  return f;
+}
+
+TEST(LinTest, ProtectedIdKnownVectors) {
+  // From the LIN 2.1 spec examples: id 0x00 -> PID 0x80.
+  EXPECT_EQ(lin_protected_id(0x00), 0x80);
+  // P0/P1 of every id round-trip through lin_id_from_pid.
+  for (std::uint8_t id = 0; id <= 0x3F; ++id) {
+    EXPECT_EQ(lin_id_from_pid(lin_protected_id(id)), id);
+  }
+}
+
+TEST(LinTest, ProtectedIdRejectsOutOfRange) {
+  EXPECT_THROW(lin_protected_id(0x40), std::invalid_argument);
+}
+
+TEST(LinTest, PidParityErrorDetected) {
+  const std::uint8_t pid = lin_protected_id(0x11);
+  EXPECT_THROW(lin_id_from_pid(pid ^ 0x80), std::invalid_argument);
+}
+
+TEST(LinTest, ChecksumEnhancedDiffersFromClassic) {
+  LinFrame f = sample_frame();
+  f.checksum_model = LinChecksumModel::Enhanced;
+  const std::uint8_t enhanced = lin_checksum(f);
+  f.checksum_model = LinChecksumModel::Classic;
+  const std::uint8_t classic = lin_checksum(f);
+  EXPECT_NE(enhanced, classic);
+}
+
+TEST(LinTest, ChecksumCarryWraps) {
+  LinFrame f;
+  f.id = 0x00;
+  f.checksum_model = LinChecksumModel::Classic;
+  f.data = {0xFF, 0xFF};
+  // 0xFF + 0xFF = 0x1FE -> wrap: 0x1FE - 0xFF = 0xFF; ~0xFF = 0x00.
+  EXPECT_EQ(lin_checksum(f), 0x00);
+}
+
+TEST(LinTest, SerializeRoundTrip) {
+  const LinFrame f = sample_frame();
+  const LinFrame back = deserialize_lin(serialize(f));
+  EXPECT_EQ(back.id, f.id);
+  EXPECT_EQ(back.data, f.data);
+  EXPECT_EQ(back.checksum_model, f.checksum_model);
+}
+
+TEST(LinTest, SerializeRoundTripClassic) {
+  LinFrame f = sample_frame();
+  f.checksum_model = LinChecksumModel::Classic;
+  const LinFrame back = deserialize_lin(serialize(f));
+  EXPECT_EQ(back.checksum_model, LinChecksumModel::Classic);
+}
+
+TEST(LinTest, CorruptedChecksumRejected) {
+  std::vector<std::uint8_t> bytes = serialize(sample_frame());
+  bytes.back() ^= 0xFF;
+  EXPECT_THROW(deserialize_lin(bytes), std::invalid_argument);
+}
+
+TEST(LinTest, CorruptedPayloadRejected) {
+  std::vector<std::uint8_t> bytes = serialize(sample_frame());
+  bytes[2] ^= 0x01;  // first data byte
+  EXPECT_THROW(deserialize_lin(bytes), std::invalid_argument);
+}
+
+TEST(LinTest, TruncatedRejected) {
+  EXPECT_THROW(deserialize_lin(std::vector<std::uint8_t>{0x80}),
+               std::invalid_argument);
+}
+
+TEST(LinTest, Validity) {
+  LinFrame f = sample_frame();
+  EXPECT_TRUE(f.is_valid());
+  f.data.clear();
+  EXPECT_FALSE(f.is_valid());
+  f.data.assign(9, 0);
+  EXPECT_FALSE(f.is_valid());
+  f.data.assign(8, 0);
+  f.id = 0x40;
+  EXPECT_FALSE(f.is_valid());
+}
+
+TEST(LinTest, DisplayString) {
+  const std::string s = to_display_string(sample_frame());
+  EXPECT_NE(s.find("LIN 11"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ivt::protocol

@@ -1,0 +1,85 @@
+#include "protocol/someip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::protocol {
+namespace {
+
+SomeIpMessage sample_message() {
+  SomeIpMessage m;
+  m.service_id = 0x1234;
+  m.method_id = 0x8001;
+  m.client_id = 0x0002;
+  m.session_id = 0x0100;
+  m.message_type = SomeIpMessageType::Notification;
+  m.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  return m;
+}
+
+TEST(SomeIpTest, MessageIdComposition) {
+  EXPECT_EQ(sample_message().message_id(), 0x12348001u);
+}
+
+TEST(SomeIpTest, LengthField) {
+  EXPECT_EQ(sample_message().length(), 12u);  // 8 + 4 payload bytes
+}
+
+TEST(SomeIpTest, SerializeHeaderIsBigEndian) {
+  const auto bytes = serialize(sample_message());
+  ASSERT_GE(bytes.size(), kSomeIpHeaderSize);
+  EXPECT_EQ(bytes[0], 0x12);
+  EXPECT_EQ(bytes[1], 0x34);
+  EXPECT_EQ(bytes[2], 0x80);
+  EXPECT_EQ(bytes[3], 0x01);
+  // length = 12 at offset 4..7
+  EXPECT_EQ(bytes[7], 12);
+}
+
+TEST(SomeIpTest, SerializeRoundTrip) {
+  const SomeIpMessage m = sample_message();
+  const SomeIpMessage back = deserialize_someip(serialize(m));
+  EXPECT_EQ(back.service_id, m.service_id);
+  EXPECT_EQ(back.method_id, m.method_id);
+  EXPECT_EQ(back.client_id, m.client_id);
+  EXPECT_EQ(back.session_id, m.session_id);
+  EXPECT_EQ(back.message_type, m.message_type);
+  EXPECT_EQ(back.return_code, m.return_code);
+  EXPECT_EQ(back.payload, m.payload);
+}
+
+TEST(SomeIpTest, EmptyPayloadRoundTrip) {
+  SomeIpMessage m = sample_message();
+  m.payload.clear();
+  const SomeIpMessage back = deserialize_someip(serialize(m));
+  EXPECT_TRUE(back.payload.empty());
+}
+
+TEST(SomeIpTest, TruncatedHeaderThrows) {
+  const std::vector<std::uint8_t> junk(8, 0);
+  EXPECT_THROW(deserialize_someip(junk), std::invalid_argument);
+}
+
+TEST(SomeIpTest, InconsistentLengthThrows) {
+  auto bytes = serialize(sample_message());
+  bytes[7] = 200;  // claims more payload than present
+  EXPECT_THROW(deserialize_someip(bytes), std::invalid_argument);
+  bytes[7] = 4;  // less than the minimum 8
+  EXPECT_THROW(deserialize_someip(bytes), std::invalid_argument);
+}
+
+TEST(SomeIpTest, MessageTypes) {
+  SomeIpMessage m = sample_message();
+  m.message_type = SomeIpMessageType::Error;
+  m.return_code = SomeIpReturnCode::MalformedMessage;
+  const SomeIpMessage back = deserialize_someip(serialize(m));
+  EXPECT_EQ(back.message_type, SomeIpMessageType::Error);
+  EXPECT_EQ(back.return_code, SomeIpReturnCode::MalformedMessage);
+}
+
+TEST(SomeIpTest, DisplayString) {
+  const std::string s = to_display_string(sample_message());
+  EXPECT_NE(s.find("1234.8001"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ivt::protocol

@@ -1,0 +1,129 @@
+#include "signaldb/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::signaldb {
+namespace {
+
+MessageSpec wiper_message() {
+  MessageSpec m;
+  m.name = "WiperStatus";
+  m.message_id = 3;
+  m.bus = "FC";
+  m.payload_size = 4;
+  SignalSpec wpos;
+  wpos.name = "wpos";
+  wpos.start_bit = 0;
+  wpos.length = 16;
+  wpos.transform = {0.5, 0.0};
+  SignalSpec wvel;
+  wvel.name = "wvel";
+  wvel.start_bit = 16;
+  wvel.length = 16;
+  m.signals = {wpos, wvel};
+  return m;
+}
+
+MessageSpec heater_message() {
+  MessageSpec m;
+  m.name = "Heater";
+  m.message_id = 11;
+  m.bus = "K-LIN";
+  m.protocol = protocol::Protocol::Lin;
+  SignalSpec heat;
+  heat.name = "heat";
+  heat.length = 4;
+  m.signals = {heat};
+  return m;
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog c;
+  c.add_message(wiper_message());
+  c.add_message(heater_message());
+  EXPECT_EQ(c.num_messages(), 2u);
+  EXPECT_EQ(c.num_signals(), 3u);
+  ASSERT_NE(c.find_message("FC", 3), nullptr);
+  EXPECT_EQ(c.find_message("FC", 3)->name, "WiperStatus");
+  EXPECT_EQ(c.find_message("FC", 99), nullptr);
+  EXPECT_EQ(c.find_message("XX", 3), nullptr);
+}
+
+TEST(CatalogTest, FindByName) {
+  Catalog c;
+  c.add_message(wiper_message());
+  ASSERT_NE(c.find_message_by_name("WiperStatus"), nullptr);
+  EXPECT_EQ(c.find_message_by_name("nope"), nullptr);
+}
+
+TEST(CatalogTest, FindSignal) {
+  Catalog c;
+  c.add_message(wiper_message());
+  const SignalRef ref = c.find_signal("wvel");
+  ASSERT_TRUE(ref.valid());
+  EXPECT_EQ(ref.message->name, "WiperStatus");
+  EXPECT_EQ(ref.signal->start_bit, 16);
+  EXPECT_FALSE(c.find_signal("missing").valid());
+}
+
+TEST(CatalogTest, DuplicateBusIdRejected) {
+  Catalog c;
+  c.add_message(wiper_message());
+  MessageSpec dup = wiper_message();
+  dup.name = "Other";
+  dup.signals.clear();
+  EXPECT_THROW(c.add_message(dup), std::invalid_argument);
+}
+
+TEST(CatalogTest, DuplicateMessageNameRejected) {
+  Catalog c;
+  c.add_message(wiper_message());
+  MessageSpec dup = wiper_message();
+  dup.message_id = 4;
+  dup.signals.clear();
+  EXPECT_THROW(c.add_message(dup), std::invalid_argument);
+}
+
+TEST(CatalogTest, GloballyDuplicateSignalNameRejected) {
+  Catalog c;
+  c.add_message(wiper_message());
+  MessageSpec other = heater_message();
+  other.signals[0].name = "wpos";
+  EXPECT_THROW(c.add_message(other), std::invalid_argument);
+}
+
+TEST(CatalogTest, DuplicateSignalWithinMessageRejected) {
+  Catalog c;
+  MessageSpec m = wiper_message();
+  m.signals[1].name = "wpos";
+  EXPECT_THROW(c.add_message(m), std::invalid_argument);
+}
+
+TEST(CatalogTest, SignalNamesInOrder) {
+  Catalog c;
+  c.add_message(wiper_message());
+  c.add_message(heater_message());
+  EXPECT_EQ(c.signal_names(),
+            (std::vector<std::string>{"wpos", "wvel", "heat"}));
+}
+
+TEST(CatalogTest, BusNamesDeduplicated) {
+  Catalog c;
+  c.add_message(wiper_message());
+  c.add_message(heater_message());
+  MessageSpec third;
+  third.name = "Third";
+  third.message_id = 7;
+  third.bus = "FC";
+  c.add_message(third);
+  EXPECT_EQ(c.bus_names(), (std::vector<std::string>{"FC", "K-LIN"}));
+}
+
+TEST(CatalogTest, MessageFindSignal) {
+  const MessageSpec m = wiper_message();
+  ASSERT_NE(m.find_signal("wpos"), nullptr);
+  EXPECT_EQ(m.find_signal("zz"), nullptr);
+}
+
+}  // namespace
+}  // namespace ivt::signaldb

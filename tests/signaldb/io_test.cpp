@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "signaldb/catalog.hpp"
+
+namespace ivt::signaldb {
+namespace {
+
+Catalog sample_catalog() {
+  Catalog c;
+  MessageSpec m;
+  m.name = "Wiper Status";  // space forces quoting
+  m.message_id = 3;
+  m.bus = "FC";
+  m.payload_size = 8;
+
+  SignalSpec wpos;
+  wpos.name = "wpos";
+  wpos.start_bit = 0;
+  wpos.length = 16;
+  wpos.transform = {0.5, -10.0};
+  wpos.unit = "deg";
+  wpos.min_value = 0.0;
+  wpos.max_value = 360.0;
+  wpos.expected_cycle_ns = 100'000'000;
+  wpos.comment = "wiper position \"raw\"";
+
+  SignalSpec wstat;
+  wstat.name = "wstat";
+  wstat.start_bit = 24;
+  wstat.length = 4;
+  wstat.byte_order = protocol::ByteOrder::Motorola;
+  wstat.start_bit = 31;
+  wstat.value_kind = ValueKind::Unsigned;
+  wstat.ordered_values = true;
+  wstat.affiliation = Affiliation::Validity;
+  wstat.value_table = {{0, "off", false},
+                       {1, "slow wipe", false},
+                       {14, "not valid", true}};
+  wstat.presence.always = false;
+  wstat.presence.selector_start_bit = 8;
+  wstat.presence.selector_length = 8;
+  wstat.presence.equals = 2;
+
+  m.signals = {wpos, wstat};
+  c.add_message(std::move(m));
+  return c;
+}
+
+void expect_catalogs_equal(const Catalog& a, const Catalog& b) {
+  ASSERT_EQ(a.num_messages(), b.num_messages());
+  for (std::size_t i = 0; i < a.messages().size(); ++i) {
+    const MessageSpec& ma = a.messages()[i];
+    const MessageSpec& mb = b.messages()[i];
+    EXPECT_EQ(ma.name, mb.name);
+    EXPECT_EQ(ma.bus, mb.bus);
+    EXPECT_EQ(ma.message_id, mb.message_id);
+    EXPECT_EQ(ma.protocol, mb.protocol);
+    EXPECT_EQ(ma.payload_size, mb.payload_size);
+    ASSERT_EQ(ma.signals.size(), mb.signals.size());
+    for (std::size_t j = 0; j < ma.signals.size(); ++j) {
+      const SignalSpec& sa = ma.signals[j];
+      const SignalSpec& sb = mb.signals[j];
+      EXPECT_EQ(sa.name, sb.name);
+      EXPECT_EQ(sa.start_bit, sb.start_bit);
+      EXPECT_EQ(sa.length, sb.length);
+      EXPECT_EQ(sa.byte_order, sb.byte_order);
+      EXPECT_EQ(sa.value_kind, sb.value_kind);
+      EXPECT_EQ(sa.transform, sb.transform);
+      EXPECT_EQ(sa.value_table, sb.value_table);
+      EXPECT_EQ(sa.affiliation, sb.affiliation);
+      EXPECT_EQ(sa.unit, sb.unit);
+      EXPECT_EQ(sa.min_value, sb.min_value);
+      EXPECT_EQ(sa.max_value, sb.max_value);
+      EXPECT_EQ(sa.presence, sb.presence);
+      EXPECT_EQ(sa.expected_cycle_ns, sb.expected_cycle_ns);
+      EXPECT_EQ(sa.ordered_values, sb.ordered_values);
+      EXPECT_EQ(sa.comment, sb.comment);
+    }
+  }
+}
+
+TEST(CatalogIoTest, TextRoundTrip) {
+  const Catalog original = sample_catalog();
+  const Catalog back = catalog_from_text(to_text(original));
+  expect_catalogs_equal(original, back);
+}
+
+TEST(CatalogIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/catalog_io_test.ivsdb";
+  const Catalog original = sample_catalog();
+  save_catalog(original, path);
+  expect_catalogs_equal(original, load_catalog(path));
+}
+
+TEST(CatalogIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "message M bus=FC id=1 protocol=CAN size=8\n"
+      "  signal s start=0 len=8  # trailing comment\n"
+      "end\n";
+  const Catalog c = catalog_from_text(text);
+  EXPECT_EQ(c.num_messages(), 1u);
+  EXPECT_EQ(c.num_signals(), 1u);
+}
+
+TEST(CatalogIoTest, ValidityMarkerParsed) {
+  const std::string text =
+      "message M bus=FC id=1 protocol=CAN size=8\n"
+      "  signal s start=0 len=8\n"
+      "    value 0 ok\n"
+      "    value 1 bad V\n"
+      "end\n";
+  const Catalog c = catalog_from_text(text);
+  const SignalSpec& s = c.messages()[0].signals[0];
+  ASSERT_EQ(s.value_table.size(), 2u);
+  EXPECT_FALSE(s.value_table[0].validity);
+  EXPECT_TRUE(s.value_table[1].validity);
+}
+
+TEST(CatalogIoTest, UnknownDirectiveRejected) {
+  EXPECT_THROW(catalog_from_text("bogus thing\n"), std::runtime_error);
+}
+
+TEST(CatalogIoTest, SignalOutsideMessageRejected) {
+  EXPECT_THROW(catalog_from_text("signal s start=0 len=8\n"),
+               std::runtime_error);
+}
+
+TEST(CatalogIoTest, ValueOutsideSignalRejected) {
+  EXPECT_THROW(
+      catalog_from_text("message M bus=FC id=1 protocol=CAN size=8\n"
+                        "  value 0 x\n"),
+      std::runtime_error);
+}
+
+TEST(CatalogIoTest, BadNumberRejected) {
+  EXPECT_THROW(
+      catalog_from_text("message M bus=FC id=abc protocol=CAN size=8\n"),
+      std::runtime_error);
+}
+
+TEST(CatalogIoTest, UnterminatedQuoteRejected) {
+  EXPECT_THROW(catalog_from_text("message \"M bus=FC id=1\n"),
+               std::runtime_error);
+}
+
+TEST(CatalogIoTest, UnknownProtocolRejected) {
+  EXPECT_THROW(
+      catalog_from_text("message M bus=FC id=1 protocol=XXX size=8\n"),
+      std::runtime_error);
+}
+
+TEST(CatalogIoTest, MissingEndStillFinishesMessage) {
+  const Catalog c = catalog_from_text(
+      "message M bus=FC id=1 protocol=CAN size=8\n"
+      "  signal s start=0 len=8\n");
+  EXPECT_EQ(c.num_messages(), 1u);
+}
+
+TEST(CatalogIoTest, HexIdsAccepted) {
+  const Catalog c = catalog_from_text(
+      "message M bus=FC id=0x123 protocol=CAN size=8\n");
+  EXPECT_EQ(c.messages()[0].message_id, 0x123);
+}
+
+}  // namespace
+}  // namespace ivt::signaldb

@@ -1,0 +1,184 @@
+#include "signaldb/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::signaldb {
+namespace {
+
+SignalSpec numeric_spec() {
+  SignalSpec s;
+  s.name = "wpos";
+  s.start_bit = 0;
+  s.length = 16;
+  s.byte_order = protocol::ByteOrder::Intel;
+  s.value_kind = ValueKind::Unsigned;
+  s.transform = {0.5, 0.0};
+  return s;
+}
+
+SignalSpec categorical_spec() {
+  SignalSpec s;
+  s.name = "heat";
+  s.start_bit = 0;
+  s.length = 4;
+  s.value_table = {{0, "off", false},
+                   {1, "low", false},
+                   {2, "high", false},
+                   {15, "snv", true}};
+  return s;
+}
+
+TEST(SpecTest, LinearTransformApplyInvert) {
+  const LinearTransform t{0.25, -10.0};
+  EXPECT_DOUBLE_EQ(t.apply(100.0), 15.0);
+  EXPECT_DOUBLE_EQ(t.invert(t.apply(64.0)), 64.0);
+}
+
+TEST(SpecTest, DecodeUnsignedWithScale) {
+  // Paper Fig. 2: l' = x5A x01 -> raw 0x015A = 346; v = 0.5 * 346 = 173.
+  std::vector<std::uint8_t> payload{0x5A, 0x01, 0x00, 0x00};
+  const DecodedValue v = decode_signal(payload, numeric_spec());
+  ASSERT_TRUE(v.present);
+  EXPECT_DOUBLE_EQ(v.physical, 173.0);
+  EXPECT_FALSE(v.label.has_value());
+}
+
+TEST(SpecTest, DecodeSigned) {
+  SignalSpec s = numeric_spec();
+  s.value_kind = ValueKind::Signed;
+  s.transform = {1.0, 0.0};
+  std::vector<std::uint8_t> payload{0xFF, 0xFF};  // -1 as int16
+  const DecodedValue v = decode_signal(payload, s);
+  ASSERT_TRUE(v.present);
+  EXPECT_DOUBLE_EQ(v.physical, -1.0);
+}
+
+TEST(SpecTest, DecodeFloat32) {
+  SignalSpec s;
+  s.name = "f";
+  s.start_bit = 0;
+  s.length = 32;
+  s.value_kind = ValueKind::Float32;
+  std::vector<std::uint8_t> payload(4, 0);
+  const std::uint32_t raw = protocol::float32_to_raw(2.5f);
+  protocol::insert_bits(payload, 0, 32, protocol::ByteOrder::Intel, raw);
+  const DecodedValue v = decode_signal(payload, s);
+  ASSERT_TRUE(v.present);
+  EXPECT_DOUBLE_EQ(v.physical, 2.5);
+}
+
+TEST(SpecTest, DecodeCategoricalLabel) {
+  std::vector<std::uint8_t> payload{0x02};
+  const DecodedValue v = decode_signal(payload, categorical_spec());
+  ASSERT_TRUE(v.present);
+  EXPECT_EQ(v.label, "high");
+}
+
+TEST(SpecTest, DecodeUnknownRawGetsRawLabel) {
+  std::vector<std::uint8_t> payload{0x07};
+  const DecodedValue v = decode_signal(payload, categorical_spec());
+  ASSERT_TRUE(v.present);
+  EXPECT_EQ(v.label, "raw:7");
+}
+
+TEST(SpecTest, FieldDoesNotFitIsAbsent) {
+  std::vector<std::uint8_t> payload{0x00};  // 1 byte, need 2
+  EXPECT_FALSE(decode_signal(payload, numeric_spec()).present);
+}
+
+TEST(SpecTest, PresenceConditionGates) {
+  SignalSpec s = numeric_spec();
+  s.start_bit = 8;
+  s.presence.always = false;
+  s.presence.selector_start_bit = 0;
+  s.presence.selector_length = 8;
+  s.presence.equals = 1;
+  std::vector<std::uint8_t> payload{0x01, 0x10, 0x00};
+  EXPECT_TRUE(decode_signal(payload, s).present);
+  payload[0] = 0x02;
+  EXPECT_FALSE(decode_signal(payload, s).present);
+}
+
+TEST(SpecTest, EncodeDecodeRoundTrip) {
+  const SignalSpec s = numeric_spec();
+  std::vector<std::uint8_t> payload(4, 0);
+  encode_signal(payload, s, 173.0);
+  const DecodedValue v = decode_signal(payload, s);
+  ASSERT_TRUE(v.present);
+  EXPECT_DOUBLE_EQ(v.physical, 173.0);
+}
+
+TEST(SpecTest, EncodeClampsToFieldRange) {
+  const SignalSpec s = numeric_spec();  // 16 bit, scale 0.5 -> max 32767.5
+  std::vector<std::uint8_t> payload(4, 0);
+  encode_signal(payload, s, 1e9);
+  const DecodedValue v = decode_signal(payload, s);
+  EXPECT_DOUBLE_EQ(v.physical, 0.5 * 65535.0);
+}
+
+TEST(SpecTest, EncodeSignedNegative) {
+  SignalSpec s = numeric_spec();
+  s.value_kind = ValueKind::Signed;
+  s.transform = {1.0, 0.0};
+  std::vector<std::uint8_t> payload(4, 0);
+  encode_signal(payload, s, -42.0);
+  EXPECT_DOUBLE_EQ(decode_signal(payload, s).physical, -42.0);
+}
+
+TEST(SpecTest, EncodeLabel) {
+  const SignalSpec s = categorical_spec();
+  std::vector<std::uint8_t> payload(1, 0);
+  encode_signal_label(payload, s, "snv");
+  EXPECT_EQ(decode_signal(payload, s).label, "snv");
+}
+
+TEST(SpecTest, EncodeUnknownLabelThrows) {
+  const SignalSpec s = categorical_spec();
+  std::vector<std::uint8_t> payload(1, 0);
+  EXPECT_THROW(encode_signal_label(payload, s, "bogus"),
+               std::invalid_argument);
+}
+
+TEST(SpecTest, EncodeZeroScaleThrows) {
+  SignalSpec s = numeric_spec();
+  s.transform.scale = 0.0;
+  std::vector<std::uint8_t> payload(4, 0);
+  EXPECT_THROW(encode_signal(payload, s, 1.0), std::invalid_argument);
+}
+
+TEST(SpecTest, FindLabelAndRaw) {
+  const SignalSpec s = categorical_spec();
+  ASSERT_NE(s.find_label(1), nullptr);
+  EXPECT_EQ(s.find_label(1)->label, "low");
+  EXPECT_EQ(s.find_label(9), nullptr);
+  EXPECT_EQ(s.find_raw("high"), 2u);
+  EXPECT_FALSE(s.find_raw("none").has_value());
+}
+
+TEST(SpecTest, MotorolaDecodeMatchesIntelValue) {
+  SignalSpec intel = numeric_spec();
+  intel.transform = {1.0, 0.0};
+  SignalSpec moto = intel;
+  moto.byte_order = protocol::ByteOrder::Motorola;
+  moto.start_bit = 7;  // MSB of byte 0
+
+  std::vector<std::uint8_t> p_intel(2, 0);
+  std::vector<std::uint8_t> p_moto(2, 0);
+  encode_signal(p_intel, intel, 0x1234);
+  encode_signal(p_moto, moto, 0x1234);
+  EXPECT_DOUBLE_EQ(decode_signal(p_intel, intel).physical, 4660.0);
+  EXPECT_DOUBLE_EQ(decode_signal(p_moto, moto).physical, 4660.0);
+  // Byte layouts must differ (little vs big endian).
+  EXPECT_NE(p_intel, p_moto);
+}
+
+TEST(SpecTest, EnumNames) {
+  EXPECT_EQ(to_string(ValueKind::Unsigned), "unsigned");
+  EXPECT_EQ(parse_value_kind("signed"), ValueKind::Signed);
+  EXPECT_FALSE(parse_value_kind("int").has_value());
+  EXPECT_EQ(to_string(Affiliation::Functional), "F");
+  EXPECT_EQ(to_string(Affiliation::Validity), "V");
+}
+
+}  // namespace
+}  // namespace ivt::signaldb

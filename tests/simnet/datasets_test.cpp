@@ -1,0 +1,133 @@
+#include "simnet/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ivt::simnet {
+namespace {
+
+TEST(DatasetSpecTest, PaperTable5SignalTypeCounts) {
+  EXPECT_EQ(syn_spec().total_signals(), 13u);
+  EXPECT_EQ(syn_spec().alpha, 6u);
+  EXPECT_EQ(syn_spec().beta_numeric + syn_spec().beta_string, 4u);
+
+  EXPECT_EQ(lig_spec().total_signals(), 180u);
+  EXPECT_EQ(lig_spec().alpha, 27u);
+  EXPECT_EQ(lig_spec().beta_numeric + lig_spec().beta_string, 71u);
+  EXPECT_EQ(lig_spec().gamma_binary + lig_spec().gamma_nominal, 82u);
+
+  EXPECT_EQ(sta_spec().total_signals(), 78u);
+  EXPECT_EQ(sta_spec().alpha, 6u);
+  EXPECT_EQ(sta_spec().beta_numeric + sta_spec().beta_string, 1u);
+  EXPECT_EQ(sta_spec().gamma_binary + sta_spec().gamma_nominal, 71u);
+}
+
+TEST(PlanVehicleTest, CatalogMatchesSpec) {
+  const VehiclePlan plan = plan_vehicle(syn_spec(), 42);
+  EXPECT_EQ(plan.catalog.num_signals(), 13u);
+  EXPECT_EQ(plan.messages.size(), plan.catalog.num_messages());
+  // Mean signals per message ~ 1.47 -> 13/1.47 ≈ 9 messages.
+  EXPECT_NEAR(static_cast<double>(plan.catalog.num_messages()), 9.0, 1.0);
+}
+
+TEST(PlanVehicleTest, Deterministic) {
+  const VehiclePlan a = plan_vehicle(syn_spec(), 42);
+  const VehiclePlan b = plan_vehicle(syn_spec(), 42);
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    EXPECT_EQ(a.messages[i].period_ns, b.messages[i].period_ns);
+    EXPECT_EQ(a.messages[i].seed, b.messages[i].seed);
+  }
+  EXPECT_EQ(to_text(a.catalog), to_text(b.catalog));
+}
+
+TEST(PlanVehicleTest, ExpectedExamplesNearTarget) {
+  for (const DatasetSpec& spec : {syn_spec(), lig_spec(), sta_spec()}) {
+    const VehiclePlan plan = plan_vehicle(spec, 42);
+    double expected = 0.0;
+    for (const MessagePlan& mp : plan.messages) {
+      const auto& m = plan.catalog.messages()[mp.message_index];
+      double per_instance = 0.0;
+      for (const auto& s : m.signals) {
+        per_instance += s.presence.always ? 1.0 : 0.75;
+      }
+      expected += static_cast<double>(spec.full_duration_ns) /
+                  static_cast<double>(mp.period_ns) * per_instance;
+    }
+    EXPECT_NEAR(expected / static_cast<double>(spec.target_examples), 1.0,
+                0.15)
+        << spec.name;
+  }
+}
+
+TEST(PlanVehicleTest, CycleTimesDocumented) {
+  const VehiclePlan plan = plan_vehicle(syn_spec(), 42);
+  for (const auto& m : plan.catalog.messages()) {
+    for (const auto& s : m.signals) {
+      EXPECT_GT(s.expected_cycle_ns, 0);
+    }
+  }
+}
+
+TEST(PlanVehicleTest, RateThresholdSeparatesAlphaFromSlow) {
+  const VehiclePlan plan = plan_vehicle(lig_spec(), 42);
+  EXPECT_GT(plan.recommended_rate_threshold_hz, 0.0);
+  for (const MessagePlan& mp : plan.messages) {
+    const double hz = 1e9 / static_cast<double>(mp.period_ns);
+    const bool has_alpha =
+        std::find(mp.signal_kinds.begin(), mp.signal_kinds.end(),
+                  SignalKind::AlphaNumeric) != mp.signal_kinds.end();
+    if (has_alpha) {
+      EXPECT_GT(hz, plan.recommended_rate_threshold_hz);
+    }
+  }
+}
+
+TEST(PlanVehicleTest, GatewayRoutesExist) {
+  const VehiclePlan plan = plan_vehicle(lig_spec(), 42);
+  EXPECT_FALSE(plan.gateway_routes.empty());
+}
+
+TEST(MakeDatasetTest, SmallScaleSynHasPlausibleShape) {
+  DatasetConfig config;
+  config.scale = 2e-4;  // ~14 s of driving
+  const Dataset ds = make_syn_dataset(config);
+  EXPECT_EQ(ds.name, "SYN");
+  EXPECT_EQ(ds.signal_names.size(), 13u);
+  EXPECT_GT(ds.trace.size(), 500u);
+  EXPECT_TRUE(ds.trace.is_time_ordered());
+  // Multiple buses present.
+  std::set<std::string> buses;
+  for (const auto& rec : ds.trace.records) buses.insert(rec.bus);
+  EXPECT_GE(buses.size(), 2u);
+}
+
+TEST(MakeDatasetTest, ScaleScalesRecordCount) {
+  DatasetConfig small;
+  small.scale = 1e-4;
+  DatasetConfig big;
+  big.scale = 2e-4;
+  const Dataset a = make_dataset(syn_spec(), small);
+  const Dataset b = make_dataset(syn_spec(), big);
+  EXPECT_NEAR(static_cast<double>(b.trace.size()) /
+                  static_cast<double>(a.trace.size()),
+              2.0, 0.3);
+}
+
+TEST(MakeFleetTest, JourneysAreIndependentButSameCatalog) {
+  DatasetConfig config;
+  config.scale = 5e-5;
+  const Fleet fleet = make_fleet(3, syn_spec(), config);
+  ASSERT_EQ(fleet.journeys.size(), 3u);
+  EXPECT_NE(fleet.journeys[0].records, fleet.journeys[1].records);
+  EXPECT_EQ(fleet.journeys[0].journey, "J1");
+  EXPECT_EQ(fleet.journeys[2].journey, "J3");
+  for (const auto& journey : fleet.journeys) {
+    EXPECT_GT(journey.size(), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace ivt::simnet

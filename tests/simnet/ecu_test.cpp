@@ -1,0 +1,209 @@
+#include "simnet/ecu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simnet/gateway.hpp"
+
+namespace ivt::simnet {
+namespace {
+
+constexpr std::int64_t kMs = 1'000'000;
+
+signaldb::MessageSpec wiper_spec() {
+  signaldb::MessageSpec m;
+  m.name = "Wiper";
+  m.message_id = 3;
+  m.bus = "FC";
+  m.payload_size = 4;
+  signaldb::SignalSpec wpos;
+  wpos.name = "wpos";
+  wpos.start_bit = 0;
+  wpos.length = 16;
+  wpos.transform = {0.5, 0.0};
+  signaldb::SignalSpec wvel;
+  wvel.name = "wvel";
+  wvel.start_bit = 16;
+  wvel.length = 16;
+  m.signals = {wpos, wvel};
+  return m;
+}
+
+TxMessage make_tx(const signaldb::MessageSpec& spec) {
+  TxMessage tx;
+  tx.message = &spec;
+  tx.period_ns = 10 * kMs;
+  tx.bindings.push_back({&spec.signals[0], make_constant(45.0), false});
+  tx.bindings.push_back({&spec.signals[1], make_constant(1.0), false});
+  return tx;
+}
+
+TEST(EcuTest, EncodeMessageInstanceEncodesAllSignals) {
+  const signaldb::MessageSpec spec = wiper_spec();
+  TxMessage tx = make_tx(spec);
+  std::mt19937_64 rng(1);
+  const auto payload = encode_message_instance(tx, 0, rng);
+  ASSERT_EQ(payload.size(), 4u);
+  EXPECT_DOUBLE_EQ(signaldb::decode_signal(payload, spec.signals[0]).physical,
+                   45.0);
+  EXPECT_DOUBLE_EQ(signaldb::decode_signal(payload, spec.signals[1]).physical,
+                   1.0);
+}
+
+TEST(EcuTest, CyclicGenerationCountMatchesPeriod) {
+  const signaldb::MessageSpec spec = wiper_spec();
+  Ecu ecu("E1");
+  ecu.add_tx_message(make_tx(spec));
+  std::vector<tracefile::TraceRecord> records;
+  ecu.generate(0, 1000 * kMs, FaultConfig{}, 42,
+               [&](tracefile::TraceRecord rec) {
+                 records.push_back(std::move(rec));
+               });
+  // 1 s at 10 ms: ~100 sends (random phase -> 99..101).
+  EXPECT_GE(records.size(), 98u);
+  EXPECT_LE(records.size(), 102u);
+  for (const auto& rec : records) {
+    EXPECT_EQ(rec.bus, "FC");
+    EXPECT_EQ(rec.message_id, 3);
+  }
+}
+
+TEST(EcuTest, GenerationIsDeterministic) {
+  const signaldb::MessageSpec spec = wiper_spec();
+  auto run = [&spec]() {
+    Ecu ecu("E1");
+    ecu.add_tx_message(make_tx(spec));
+    std::vector<tracefile::TraceRecord> records;
+    ecu.generate(0, 500 * kMs, FaultConfig{}, 7,
+                 [&](tracefile::TraceRecord rec) {
+                   records.push_back(std::move(rec));
+                 });
+    return records;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EcuTest, DropoutsReduceRecordCount) {
+  const signaldb::MessageSpec spec = wiper_spec();
+  FaultConfig faults;
+  faults.dropout_rate = 0.5;
+  Ecu ecu("E1");
+  ecu.add_tx_message(make_tx(spec));
+  std::vector<tracefile::TraceRecord> records;
+  ecu.generate(0, 1000 * kMs, faults, 42, [&](tracefile::TraceRecord rec) {
+    records.push_back(std::move(rec));
+  });
+  EXPECT_LT(records.size(), 80u);
+  EXPECT_GT(records.size(), 20u);
+}
+
+TEST(EcuTest, CycleViolationsStretchGaps) {
+  const signaldb::MessageSpec spec = wiper_spec();
+  FaultConfig faults;
+  faults.cycle_violation_rate = 0.2;
+  faults.violation_factor = 5.0;
+  Ecu ecu("E1");
+  ecu.add_tx_message(make_tx(spec));
+  std::vector<tracefile::TraceRecord> records;
+  ecu.generate(0, 2000 * kMs, faults, 42, [&](tracefile::TraceRecord rec) {
+    records.push_back(std::move(rec));
+  });
+  std::size_t violations = 0;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (records[i].t_ns - records[i - 1].t_ns > 30 * kMs) ++violations;
+  }
+  EXPECT_GT(violations, 5u);
+}
+
+TEST(EcuTest, ErrorFramesFlagged) {
+  const signaldb::MessageSpec spec = wiper_spec();
+  FaultConfig faults;
+  faults.error_frame_rate = 0.3;
+  Ecu ecu("E1");
+  ecu.add_tx_message(make_tx(spec));
+  std::size_t errors = 0;
+  std::size_t total = 0;
+  ecu.generate(0, 2000 * kMs, faults, 42, [&](tracefile::TraceRecord rec) {
+    ++total;
+    if ((rec.flags & tracefile::TraceRecord::kFlagErrorFrame) != 0) ++errors;
+  });
+  EXPECT_GT(errors, total / 6);
+  EXPECT_LT(errors, total / 2);
+}
+
+TEST(EcuTest, EventDrivenUsesMeanGap) {
+  const signaldb::MessageSpec spec = wiper_spec();
+  TxMessage tx = make_tx(spec);
+  tx.period_ns = 0;
+  tx.event_mean_gap_ns = 20 * kMs;
+  Ecu ecu("E1");
+  ecu.add_tx_message(std::move(tx));
+  std::size_t count = 0;
+  ecu.generate(0, 4000 * kMs, FaultConfig{}, 3,
+               [&](tracefile::TraceRecord) { ++count; });
+  // Expect roughly 200 events; allow wide tolerance.
+  EXPECT_GT(count, 120u);
+  EXPECT_LT(count, 320u);
+}
+
+TEST(EcuTest, ConditionalSignalSometimesAbsent) {
+  signaldb::MessageSpec spec = wiper_spec();
+  spec.payload_size = 5;
+  spec.signals[1].start_bit = 24;
+  spec.signals[1].presence.always = false;
+  spec.signals[1].presence.selector_start_bit = 16;
+  spec.signals[1].presence.selector_length = 8;
+  spec.signals[1].presence.equals = 1;
+
+  TxMessage tx;
+  tx.message = &spec;
+  tx.period_ns = 10 * kMs;
+  tx.bindings.push_back({&spec.signals[0], make_constant(45.0), false});
+  tx.bindings.push_back({&spec.signals[1], make_constant(7.0), false});
+  Ecu ecu("E1");
+  ecu.add_tx_message(std::move(tx));
+  std::size_t present = 0;
+  std::size_t absent = 0;
+  ecu.generate(0, 3000 * kMs, FaultConfig{}, 5,
+               [&](tracefile::TraceRecord rec) {
+                 if (signaldb::decode_signal(rec.payload, spec.signals[1])
+                         .present) {
+                   ++present;
+                 } else {
+                   ++absent;
+                 }
+               });
+  EXPECT_GT(present, 0u);
+  EXPECT_GT(absent, 0u);
+  EXPECT_GT(present, absent);  // 75% presence by design
+}
+
+TEST(GatewayTest, ForwardsMatchingRecordsWithLatency) {
+  Gateway gw("GW");
+  gw.add_route({"FC", 3, "KC", 200});
+  std::vector<tracefile::TraceRecord> records(2);
+  records[0].bus = "FC";
+  records[0].message_id = 3;
+  records[0].t_ns = 1000;
+  records[1].bus = "FC";
+  records[1].message_id = 4;  // not routed
+  const auto forwarded = gw.apply(records);
+  ASSERT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(forwarded[0].bus, "KC");
+  EXPECT_EQ(forwarded[0].t_ns, 1200);
+  EXPECT_EQ(forwarded[0].message_id, 3);
+}
+
+TEST(GatewayTest, PayloadIsIdenticalCopy) {
+  Gateway gw("GW");
+  gw.add_route({"FC", 3, "KC", 0});
+  std::vector<tracefile::TraceRecord> records(1);
+  records[0].bus = "FC";
+  records[0].message_id = 3;
+  records[0].payload = {1, 2, 3};
+  const auto forwarded = gw.apply(records);
+  ASSERT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(forwarded[0].payload, records[0].payload);
+}
+
+}  // namespace
+}  // namespace ivt::simnet

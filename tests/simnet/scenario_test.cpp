@@ -1,0 +1,123 @@
+#include "simnet/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_fixtures.hpp"
+
+namespace ivt::simnet {
+namespace {
+
+using ivt::core::testing::kMs;
+using ivt::core::testing::wiper_catalog;
+
+TEST(ScenarioTest, EmitsOnlyScriptedMessages) {
+  const auto catalog = wiper_catalog();
+  ScenarioBuilder scenario(catalog);
+  scenario.set(0, "wpos", 45.0);
+  const auto trace = scenario.build(0, 1000 * kMs);
+  EXPECT_FALSE(trace.empty());
+  for (const auto& rec : trace.records) {
+    EXPECT_EQ(rec.message_id, 3);  // only the wiper message
+  }
+}
+
+TEST(ScenarioTest, PeriodDefaultsToDocumentedCycle) {
+  const auto catalog = wiper_catalog();  // wiper cycle 500 ms
+  ScenarioBuilder scenario(catalog);
+  scenario.set(0, "wpos", 45.0);
+  const auto trace = scenario.build(0, 2000 * kMs);
+  EXPECT_EQ(trace.size(), 4u);  // t = 0, 500, 1000, 1500 ms
+}
+
+TEST(ScenarioTest, PeriodOverride) {
+  const auto catalog = wiper_catalog();
+  ScenarioBuilder scenario(catalog);
+  scenario.set(0, "wpos", 45.0).message_period("Wiper", 100 * kMs);
+  EXPECT_EQ(scenario.build(0, 1000 * kMs).size(), 10u);
+}
+
+TEST(ScenarioTest, TimelineValuesApplyFromTheirTime) {
+  const auto catalog = wiper_catalog();
+  const auto* spec = catalog.find_signal("wpos").signal;
+  ScenarioBuilder scenario(catalog);
+  scenario.set(0, "wpos", 10.0).set(1000 * kMs, "wpos", 99.0);
+  const auto trace = scenario.build(0, 2000 * kMs);
+  for (const auto& rec : trace.records) {
+    const double expected = rec.t_ns < 1000 * kMs ? 10.0 : 99.0;
+    EXPECT_DOUBLE_EQ(signaldb::decode_signal(rec.payload, *spec).physical,
+                     expected)
+        << "t=" << rec.t_ns;
+  }
+}
+
+TEST(ScenarioTest, LabelsEncodeTableRaw) {
+  const auto catalog = wiper_catalog();
+  const auto* spec = catalog.find_signal("heat").signal;
+  ScenarioBuilder scenario(catalog);
+  scenario.set_label(0, "heat", "medium");
+  const auto trace = scenario.build(0, 1000 * kMs);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(signaldb::decode_signal(trace.records[0].payload, *spec).label,
+            "medium");
+}
+
+TEST(ScenarioTest, UnscriptedSignalsGetDefaults) {
+  const auto catalog = wiper_catalog();
+  const auto* wvel = catalog.find_signal("wvel").signal;
+  ScenarioBuilder scenario(catalog);
+  scenario.set(0, "wpos", 45.0);  // wvel unscripted
+  const auto trace = scenario.build(0, 1000 * kMs);
+  EXPECT_DOUBLE_EQ(
+      signaldb::decode_signal(trace.records[0].payload, *wvel).physical, 0.0);
+}
+
+TEST(ScenarioTest, BlackoutSuppressesEmission) {
+  const auto catalog = wiper_catalog();
+  ScenarioBuilder scenario(catalog);
+  scenario.set(0, "wpos", 45.0)
+      .message_period("Wiper", 100 * kMs)
+      .blackout("Wiper", 300 * kMs, 600 * kMs);
+  const auto trace = scenario.build(0, 1000 * kMs);
+  EXPECT_EQ(trace.size(), 7u);  // 10 - 3 suppressed (300, 400, 500)
+  for (const auto& rec : trace.records) {
+    EXPECT_TRUE(rec.t_ns < 300 * kMs || rec.t_ns >= 600 * kMs);
+  }
+}
+
+TEST(ScenarioTest, MultipleMessagesInterleaveTimeOrdered) {
+  const auto catalog = wiper_catalog();
+  ScenarioBuilder scenario(catalog);
+  scenario.set(0, "wpos", 1.0).set_label(0, "belt", "ON");
+  const auto trace = scenario.build(0, 2000 * kMs);
+  EXPECT_TRUE(trace.is_time_ordered());
+  bool saw_wiper = false;
+  bool saw_belt = false;
+  for (const auto& rec : trace.records) {
+    saw_wiper |= rec.message_id == 3;
+    saw_belt |= rec.message_id == 20;
+  }
+  EXPECT_TRUE(saw_wiper);
+  EXPECT_TRUE(saw_belt);
+}
+
+TEST(ScenarioTest, UnknownSignalThrows) {
+  const auto catalog = wiper_catalog();
+  ScenarioBuilder scenario(catalog);
+  EXPECT_THROW(scenario.set(0, "nope", 1.0), std::invalid_argument);
+  EXPECT_THROW(scenario.set_label(0, "heat", "nope"), std::invalid_argument);
+  EXPECT_THROW(scenario.message_period("nope", 1), std::invalid_argument);
+  EXPECT_THROW(scenario.blackout("nope", 0, 1), std::invalid_argument);
+}
+
+TEST(ScenarioTest, DeterministicOutput) {
+  const auto catalog = wiper_catalog();
+  auto build = [&catalog]() {
+    ScenarioBuilder scenario(catalog);
+    scenario.set(0, "wpos", 45.0).set(700 * kMs, "wpos", 60.0);
+    return scenario.build(0, 3000 * kMs);
+  };
+  EXPECT_EQ(build().records, build().records);
+}
+
+}  // namespace
+}  // namespace ivt::simnet

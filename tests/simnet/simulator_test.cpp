@@ -1,0 +1,128 @@
+#include "simnet/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::simnet {
+namespace {
+
+constexpr std::int64_t kMs = 1'000'000;
+
+struct Fixture {
+  signaldb::MessageSpec wiper;
+  signaldb::MessageSpec lights;
+
+  Fixture() {
+    wiper.name = "Wiper";
+    wiper.message_id = 3;
+    wiper.bus = "FC";
+    wiper.payload_size = 2;
+    signaldb::SignalSpec wpos;
+    wpos.name = "wpos";
+    wpos.length = 16;
+    wiper.signals = {wpos};
+
+    lights.name = "Lights";
+    lights.message_id = 5;
+    lights.bus = "KC";
+    lights.payload_size = 1;
+    signaldb::SignalSpec head;
+    head.name = "head";
+    head.length = 2;
+    lights.signals = {head};
+  }
+
+  NetworkSimulator build() {
+    NetworkSimulator sim;
+    Ecu e1("E1");
+    TxMessage tx1;
+    tx1.message = &wiper;
+    tx1.period_ns = 10 * kMs;
+    tx1.bindings.push_back({&wiper.signals[0], make_constant(100.0), false});
+    e1.add_tx_message(std::move(tx1));
+    sim.add_ecu(std::move(e1));
+
+    Ecu e2("E2");
+    TxMessage tx2;
+    tx2.message = &lights;
+    tx2.period_ns = 25 * kMs;
+    tx2.bindings.push_back({&lights.signals[0], make_constant(1.0), false});
+    e2.add_tx_message(std::move(tx2));
+    sim.add_ecu(std::move(e2));
+    return sim;
+  }
+};
+
+TEST(SimulatorTest, TraceIsTimeOrdered) {
+  Fixture fx;
+  NetworkSimulator sim = fx.build();
+  SimulationConfig config;
+  config.duration_ns = 500 * kMs;
+  const tracefile::Trace trace = sim.run(config, "V1", "J1");
+  EXPECT_TRUE(trace.is_time_ordered());
+  EXPECT_EQ(trace.vehicle, "V1");
+  EXPECT_EQ(trace.journey, "J1");
+}
+
+TEST(SimulatorTest, BothEcusContribute) {
+  Fixture fx;
+  NetworkSimulator sim = fx.build();
+  SimulationConfig config;
+  config.duration_ns = 500 * kMs;
+  const tracefile::Trace trace = sim.run(config, "V1", "J1");
+  std::size_t wiper_count = 0;
+  std::size_t light_count = 0;
+  for (const auto& rec : trace.records) {
+    if (rec.message_id == 3) ++wiper_count;
+    if (rec.message_id == 5) ++light_count;
+  }
+  EXPECT_NEAR(static_cast<double>(wiper_count), 50.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(light_count), 20.0, 3.0);
+}
+
+TEST(SimulatorTest, GatewayDuplicatesRoutedMessages) {
+  Fixture fx;
+  NetworkSimulator sim = fx.build();
+  Gateway gw("GW");
+  gw.add_route({"FC", 3, "KC", 150'000});
+  sim.add_gateway(std::move(gw));
+  SimulationConfig config;
+  config.duration_ns = 500 * kMs;
+  const tracefile::Trace trace = sim.run(config, "V1", "J1");
+  std::size_t on_fc = 0;
+  std::size_t on_kc = 0;
+  for (const auto& rec : trace.records) {
+    if (rec.message_id != 3) continue;
+    if (rec.bus == "FC") ++on_fc;
+    if (rec.bus == "KC") ++on_kc;
+  }
+  EXPECT_EQ(on_fc, on_kc);
+  EXPECT_GT(on_fc, 0u);
+  EXPECT_TRUE(trace.is_time_ordered());
+}
+
+TEST(SimulatorTest, SameSeedSameTrace) {
+  Fixture fx;
+  SimulationConfig config;
+  config.duration_ns = 300 * kMs;
+  config.seed = 99;
+  NetworkSimulator sim1 = fx.build();
+  NetworkSimulator sim2 = fx.build();
+  const auto t1 = sim1.run(config, "V", "J");
+  const auto t2 = sim2.run(config, "V", "J");
+  EXPECT_EQ(t1.records, t2.records);
+}
+
+TEST(SimulatorTest, DifferentSeedsDifferentTraces) {
+  Fixture fx;
+  SimulationConfig a;
+  a.duration_ns = 300 * kMs;
+  a.seed = 1;
+  SimulationConfig b = a;
+  b.seed = 2;
+  NetworkSimulator sim1 = fx.build();
+  NetworkSimulator sim2 = fx.build();
+  EXPECT_NE(sim1.run(a, "V", "J").records, sim2.run(b, "V", "J").records);
+}
+
+}  // namespace
+}  // namespace ivt::simnet

@@ -1,0 +1,149 @@
+#include "simnet/value_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ivt::simnet {
+namespace {
+
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+std::vector<double> sample(ValueProcess& p, std::size_t n,
+                           std::int64_t step_ns = 10'000'000) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(p.next(static_cast<std::int64_t>(i) * step_ns));
+  }
+  return out;
+}
+
+TEST(ValueProcessTest, ConstantStaysPut) {
+  auto p = make_constant(7.5);
+  for (double v : sample(*p, 10)) EXPECT_DOUBLE_EQ(v, 7.5);
+}
+
+TEST(ValueProcessTest, SineStaysInRangeAndOscillates) {
+  auto p = make_sine(2.0, 10.0, kSecond);
+  const auto xs = sample(*p, 200);
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  EXPECT_GE(*lo, 8.0 - 1e-9);
+  EXPECT_LE(*hi, 12.0 + 1e-9);
+  EXPECT_LT(*lo, 9.0);  // actually reaches low part
+  EXPECT_GT(*hi, 11.0);
+}
+
+TEST(ValueProcessTest, SineIsPeriodic) {
+  auto p = make_sine(1.0, 0.0, kSecond);
+  const double a = p->next(123'000'000);
+  const double b = p->next(123'000'000 + kSecond);
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(ValueProcessTest, RampWrapsAround) {
+  auto p = make_ramp(0.0, 100.0, kSecond);
+  EXPECT_NEAR(p->next(0), 0.0, 1e-9);
+  EXPECT_NEAR(p->next(kSecond / 2), 50.0, 1e-9);
+  EXPECT_NEAR(p->next(kSecond), 0.0, 1e-9);  // wrapped
+}
+
+TEST(ValueProcessTest, RandomWalkBoundedAndDeterministic) {
+  auto p1 = make_random_walk(50.0, 1.0, 0.0, 100.0, 7);
+  auto p2 = make_random_walk(50.0, 1.0, 0.0, 100.0, 7);
+  const auto a = sample(*p1, 500);
+  const auto b = sample(*p2, 500);
+  EXPECT_EQ(a, b);  // same seed, same walk
+  for (double v : a) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(ValueProcessTest, RandomWalkSeedsDiffer) {
+  auto p1 = make_random_walk(50.0, 1.0, 0.0, 100.0, 7);
+  auto p2 = make_random_walk(50.0, 1.0, 0.0, 100.0, 8);
+  EXPECT_NE(sample(*p1, 100), sample(*p2, 100));
+}
+
+TEST(ValueProcessTest, StepLevelsOnlyEmitsLevels) {
+  auto p = make_step_levels({0.0, 1.0, 2.0, 3.0}, kSecond / 10, true, 11);
+  for (double v : sample(*p, 300)) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0 || v == 2.0 || v == 3.0) << v;
+  }
+}
+
+TEST(ValueProcessTest, StepLevelsNeighbourJumpsAreAdjacent) {
+  // Dwell time much larger than the sampling interval, so at most one
+  // jump happens between samples (multiple jumps within one gap are legal
+  // for coarser sampling).
+  auto p = make_step_levels({0.0, 1.0, 2.0, 3.0}, 2 * kSecond, true, 13);
+  const auto xs = sample(*p, 500);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_LE(std::fabs(xs[i] - xs[i - 1]), 1.0 + 1e-9);
+  }
+}
+
+TEST(ValueProcessTest, StepLevelsEventuallyMoves) {
+  auto p = make_step_levels({0.0, 1.0, 2.0}, kSecond / 50, false, 17);
+  const auto xs = sample(*p, 400);
+  std::set<double> distinct(xs.begin(), xs.end());
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(ValueProcessTest, DutyCycleBinaryAndToggles) {
+  auto p = make_duty_cycle(kSecond / 10, kSecond / 10, 3);
+  const auto xs = sample(*p, 500);
+  bool saw_on = false;
+  bool saw_off = false;
+  for (double v : xs) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+    saw_on |= v == 1.0;
+    saw_off |= v == 0.0;
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off);
+}
+
+TEST(ValueProcessTest, MarkovChainStaysInStateSpace) {
+  auto p = make_markov_chain(5, 0.2, 23);
+  for (double v : sample(*p, 300)) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 4.0);
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+  }
+}
+
+TEST(ValueProcessTest, MarkovZeroSwitchNeverMoves) {
+  auto p = make_markov_chain(5, 0.0, 23);
+  const auto xs = sample(*p, 100);
+  for (double v : xs) EXPECT_DOUBLE_EQ(v, xs[0]);
+}
+
+TEST(ValueProcessTest, OutlierInjectorRateZeroIsTransparent) {
+  auto base1 = make_sine(1.0, 0.0, kSecond);
+  auto wrapped = make_outlier_injector(make_sine(1.0, 0.0, kSecond), 0.0,
+                                       10.0, 100.0, 1);
+  EXPECT_EQ(sample(*base1, 50), sample(*wrapped, 50));
+}
+
+TEST(ValueProcessTest, OutlierInjectorProducesSpikes) {
+  auto wrapped = make_outlier_injector(make_constant(1.0), 0.05, 10.0, 100.0,
+                                       99);
+  const auto xs = sample(*wrapped, 2000);
+  const std::size_t spikes = static_cast<std::size_t>(
+      std::count(xs.begin(), xs.end(), 110.0));
+  EXPECT_GT(spikes, 50u);
+  EXPECT_LT(spikes, 200u);
+}
+
+TEST(ValueProcessTest, QuantizerSnapsToStep) {
+  auto q = make_quantizer(make_constant(3.3), 0.5);
+  EXPECT_DOUBLE_EQ(q->next(0), 3.5);
+  auto q2 = make_quantizer(make_constant(3.2), 0.5);
+  EXPECT_DOUBLE_EQ(q2->next(0), 3.0);
+}
+
+}  // namespace
+}  // namespace ivt::simnet

@@ -1,0 +1,132 @@
+#include "tracefile/binary_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace ivt::tracefile {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  trace.vehicle = "V001";
+  trace.journey = "J7";
+  trace.start_unix_ns = 1'700'000'000'000'000'000;
+  const char* buses[] = {"FC", "KC", "K-LIN", "FC"};
+  for (int i = 0; i < 4; ++i) {
+    TraceRecord rec;
+    rec.t_ns = i * 500;
+    rec.bus = buses[i];
+    rec.message_id = 100 + i;
+    rec.protocol =
+        i == 2 ? protocol::Protocol::Lin : protocol::Protocol::Can;
+    rec.flags = i == 3 ? TraceRecord::kFlagErrorFrame : 0;
+    rec.payload.assign(static_cast<std::size_t>(i + 1),
+                       static_cast<std::uint8_t>(0xA0 + i));
+    trace.records.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+TEST(BinaryFormatTest, StreamRoundTrip) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  {
+    TraceWriter writer(ss, t.vehicle, t.journey, t.start_unix_ns);
+    for (const TraceRecord& rec : t.records) writer.write(rec);
+    EXPECT_EQ(writer.records_written(), 4u);
+  }
+  TraceReader reader(ss);
+  EXPECT_EQ(reader.vehicle(), "V001");
+  EXPECT_EQ(reader.journey(), "J7");
+  EXPECT_EQ(reader.start_unix_ns(), t.start_unix_ns);
+  std::vector<TraceRecord> back;
+  TraceRecord rec;
+  while (reader.next(rec)) back.push_back(rec);
+  EXPECT_EQ(back, t.records);
+}
+
+TEST(BinaryFormatTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/trace_test.ivt";
+  const Trace t = sample_trace();
+  save_trace(t, path);
+  const Trace back = load_trace(path);
+  EXPECT_EQ(back.vehicle, t.vehicle);
+  EXPECT_EQ(back.journey, t.journey);
+  EXPECT_EQ(back.start_unix_ns, t.start_unix_ns);
+  EXPECT_EQ(back.records, t.records);
+}
+
+TEST(BinaryFormatTest, BusNamesInternedOnce) {
+  const Trace t = sample_trace();  // FC appears twice
+  std::stringstream ss;
+  TraceWriter writer(ss, t.vehicle, t.journey, 0);
+  for (const TraceRecord& rec : t.records) writer.write(rec);
+  const std::string data = ss.str();
+  // "FC" must appear exactly once in the byte stream (one bus definition).
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = data.find("FC", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(BinaryFormatTest, BadMagicRejected) {
+  std::stringstream ss("NOTAMAGIC................");
+  EXPECT_THROW(TraceReader reader(ss), std::runtime_error);
+}
+
+TEST(BinaryFormatTest, TruncatedRecordRejected) {
+  std::stringstream ss;
+  {
+    TraceWriter writer(ss, "V", "J", 0);
+    writer.write(sample_trace().records[0]);
+  }
+  std::string data = ss.str();
+  data.resize(data.size() - 2);
+  std::stringstream truncated(data);
+  TraceReader reader(truncated);
+  TraceRecord rec;
+  EXPECT_THROW(reader.next(rec), std::runtime_error);
+}
+
+TEST(BinaryFormatTest, EmptyTraceRoundTrip) {
+  std::stringstream ss;
+  { TraceWriter writer(ss, "V", "J", 42); }
+  TraceReader reader(ss);
+  TraceRecord rec;
+  EXPECT_FALSE(reader.next(rec));
+}
+
+TEST(BinaryFormatTest, LargePayloadAndNegativeTime) {
+  Trace t;
+  t.vehicle = "V";
+  TraceRecord rec;
+  rec.t_ns = -5;  // pre-trigger records can be negative relative to start
+  rec.bus = "FC";
+  rec.payload.assign(4096, 0x42);
+  t.records.push_back(rec);
+  const std::string path = ::testing::TempDir() + "/trace_large.ivt";
+  save_trace(t, path);
+  const Trace back = load_trace(path);
+  EXPECT_EQ(back.records[0].t_ns, -5);
+  EXPECT_EQ(back.records[0].payload.size(), 4096u);
+}
+
+TEST(BinaryFormatTest, AscExportMentionsRecords) {
+  std::ostringstream os;
+  export_asc(sample_trace(), os);
+  const std::string asc = os.str();
+  EXPECT_NE(asc.find("V001"), std::string::npos);
+  EXPECT_NE(asc.find("FC"), std::string::npos);
+  EXPECT_NE(asc.find("ERROR"), std::string::npos);
+  // 1 header + 1 base line + 4 records
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(asc.begin(), asc.end(), '\n')),
+            6u);
+}
+
+}  // namespace
+}  // namespace ivt::tracefile

@@ -1,0 +1,147 @@
+#include "tracefile/trace_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ivt::tracefile {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  trace.vehicle = "V";
+  trace.journey = "J";
+  trace.start_unix_ns = 100;
+  for (int i = 0; i < 10; ++i) {
+    TraceRecord rec;
+    rec.t_ns = i * 100;
+    rec.bus = i % 2 == 0 ? "FC" : "KC";
+    rec.message_id = 3 + i % 3;
+    trace.records.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+TEST(TraceOpsTest, SliceTimeHalfOpen) {
+  const Trace out = slice_time(sample_trace(), 200, 500);
+  ASSERT_EQ(out.size(), 3u);  // t = 200, 300, 400
+  EXPECT_EQ(out.records.front().t_ns, 200);
+  EXPECT_EQ(out.records.back().t_ns, 400);
+  EXPECT_EQ(out.vehicle, "V");
+}
+
+TEST(TraceOpsTest, FilterBuses) {
+  const Trace out = filter_buses(sample_trace(), {"FC"});
+  EXPECT_EQ(out.size(), 5u);
+  for (const auto& rec : out.records) EXPECT_EQ(rec.bus, "FC");
+}
+
+TEST(TraceOpsTest, FilterMessages) {
+  const Trace out = filter_messages(sample_trace(), {3, 4});
+  for (const auto& rec : out.records) {
+    EXPECT_TRUE(rec.message_id == 3 || rec.message_id == 4);
+  }
+  EXPECT_EQ(out.size(), 7u);  // ids cycle 3,4,5: 4+3
+}
+
+TEST(TraceOpsTest, FilterPredicate) {
+  const Trace out = filter_records(
+      sample_trace(), [](const TraceRecord& r) { return r.t_ns >= 800; });
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(TraceOpsTest, ShiftTime) {
+  const Trace out = shift_time(sample_trace(), 50);
+  EXPECT_EQ(out.records[0].t_ns, 50);
+  EXPECT_EQ(out.records[9].t_ns, 950);
+}
+
+TEST(TraceOpsTest, MergePreservesTimeOrder) {
+  Trace a = sample_trace();
+  Trace b = shift_time(sample_trace(), 37);
+  b.start_unix_ns = 50;
+  const Trace merged = merge_traces({a, b});
+  EXPECT_EQ(merged.size(), 20u);
+  EXPECT_TRUE(merged.is_time_ordered());
+  EXPECT_EQ(merged.start_unix_ns, 50);
+}
+
+TEST(TraceOpsTest, MergeIsStableOnTies) {
+  Trace a;
+  TraceRecord ra;
+  ra.t_ns = 100;
+  ra.bus = "A";
+  a.records.push_back(ra);
+  Trace b;
+  TraceRecord rb;
+  rb.t_ns = 100;
+  rb.bus = "B";
+  b.records.push_back(rb);
+  const Trace merged = merge_traces({a, b});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.records[0].bus, "A");
+  EXPECT_EQ(merged.records[1].bus, "B");
+}
+
+TEST(TraceOpsTest, MergeEmptyInput) {
+  EXPECT_TRUE(merge_traces({}).empty());
+}
+
+TEST(TraceOpsTest, EstimateCyclesFindsMedianGap) {
+  Trace trace;
+  for (int i = 0; i < 20; ++i) {
+    TraceRecord rec;
+    rec.t_ns = i * 1000;
+    rec.bus = "FC";
+    rec.message_id = 7;
+    trace.records.push_back(rec);
+  }
+  const auto estimates = estimate_cycles(trace);
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_EQ(estimates[0].bus, "FC");
+  EXPECT_EQ(estimates[0].message_id, 7);
+  EXPECT_EQ(estimates[0].median_gap_ns, 1000);
+  EXPECT_EQ(estimates[0].instances, 20u);
+}
+
+TEST(TraceOpsTest, EstimateCyclesRobustToOneViolation) {
+  Trace trace;
+  std::int64_t t = 0;
+  for (int i = 0; i < 21; ++i) {
+    TraceRecord rec;
+    rec.t_ns = t;
+    rec.bus = "FC";
+    rec.message_id = 7;
+    trace.records.push_back(rec);
+    t += (i == 10) ? 50'000 : 1000;  // one huge gap
+  }
+  const auto estimates = estimate_cycles(trace);
+  EXPECT_EQ(estimates[0].median_gap_ns, 1000);  // median ignores the spike
+}
+
+TEST(TraceOpsTest, EstimateCyclesPerMessageType) {
+  Trace trace;
+  for (int i = 0; i < 10; ++i) {
+    TraceRecord fast;
+    fast.t_ns = i * 10;
+    fast.bus = "FC";
+    fast.message_id = 1;
+    trace.records.push_back(fast);
+    TraceRecord slow;
+    slow.t_ns = i * 100;
+    slow.bus = "FC";
+    slow.message_id = 2;
+    trace.records.push_back(slow);
+  }
+  auto estimates = estimate_cycles(trace);
+  ASSERT_EQ(estimates.size(), 2u);
+  std::sort(estimates.begin(), estimates.end(),
+            [](const CycleEstimate& a, const CycleEstimate& b) {
+              return a.message_id < b.message_id;
+            });
+  EXPECT_EQ(estimates[0].median_gap_ns, 10);
+  EXPECT_EQ(estimates[1].median_gap_ns, 100);
+}
+
+}  // namespace
+}  // namespace ivt::tracefile

@@ -1,0 +1,108 @@
+#include "tracefile/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ivt::tracefile {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  trace.vehicle = "V1";
+  trace.journey = "J1";
+  trace.start_unix_ns = 1234;
+  for (int i = 0; i < 6; ++i) {
+    TraceRecord rec;
+    rec.t_ns = i * 1000;
+    rec.bus = i % 2 == 0 ? "FC" : "KC";
+    rec.message_id = 3 + i % 3;
+    rec.protocol = protocol::Protocol::Can;
+    rec.payload = {static_cast<std::uint8_t>(i), 0x01};
+    trace.records.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+TEST(TraceTest, DurationAndOrder) {
+  const Trace t = sample_trace();
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.duration_ns(), 5000);
+  EXPECT_TRUE(t.is_time_ordered());
+}
+
+TEST(TraceTest, UnorderedDetected) {
+  Trace t = sample_trace();
+  std::swap(t.records[0], t.records[5]);
+  EXPECT_FALSE(t.is_time_ordered());
+}
+
+TEST(TraceTest, EmptyTraceDuration) {
+  Trace t;
+  EXPECT_EQ(t.duration_ns(), 0);
+  EXPECT_TRUE(t.is_time_ordered());
+}
+
+TEST(TraceTest, MInfoRoundTrip) {
+  const std::string m = make_m_info(protocol::Protocol::SomeIp, 3);
+  const MInfo info = parse_m_info(m);
+  EXPECT_EQ(info.protocol, protocol::Protocol::SomeIp);
+  EXPECT_EQ(info.flags, 3u);
+}
+
+TEST(TraceTest, MInfoBadInputThrows) {
+  EXPECT_THROW(parse_m_info("garbage"), std::invalid_argument);
+  EXPECT_THROW(parse_m_info("CAN:xx"), std::invalid_argument);
+  EXPECT_THROW(parse_m_info("NOPE:1"), std::invalid_argument);
+}
+
+TEST(TraceTest, KbTableSchemaMatchesPaper) {
+  // k_b = (t, l, b_id, m_id, m_info)
+  const auto& schema = kb_schema();
+  ASSERT_EQ(schema.size(), 5u);
+  EXPECT_EQ(schema.field(0).name, "t");
+  EXPECT_EQ(schema.field(1).name, "l");
+  EXPECT_EQ(schema.field(2).name, "b_id");
+  EXPECT_EQ(schema.field(3).name, "m_id");
+  EXPECT_EQ(schema.field(4).name, "m_info");
+}
+
+TEST(TraceTest, ToKbTableRoundTrip) {
+  const Trace t = sample_trace();
+  const dataflow::Table kb = to_kb_table(t, 3);
+  EXPECT_EQ(kb.num_rows(), 6u);
+  EXPECT_EQ(kb.num_partitions(), 3u);
+  const Trace back = from_kb_table(kb);
+  EXPECT_EQ(back.records, t.records);
+}
+
+TEST(TraceTest, FromWrongSchemaThrows) {
+  dataflow::Table wrong(dataflow::Schema{{{"x", dataflow::ValueType::Int64}}});
+  EXPECT_THROW(from_kb_table(wrong), std::invalid_argument);
+}
+
+TEST(TraceTest, ZeroPartitionRequestYieldsOne) {
+  const dataflow::Table kb = to_kb_table(sample_trace(), 0);
+  EXPECT_EQ(kb.num_partitions(), 1u);
+}
+
+TEST(TraceTest, PayloadBytesSurviveTableRoundTrip) {
+  Trace t;
+  TraceRecord rec;
+  rec.bus = "FC";
+  rec.payload = {0x00, 0xFF, 0x1F, 0x00};  // embedded NULs matter
+  t.records.push_back(rec);
+  const Trace back = from_kb_table(to_kb_table(t, 1));
+  EXPECT_EQ(back.records[0].payload, rec.payload);
+}
+
+TEST(TraceTest, ComputeStats) {
+  const TraceStats stats = compute_stats(sample_trace());
+  EXPECT_EQ(stats.num_records, 6u);
+  EXPECT_EQ(stats.duration_ns, 5000);
+  ASSERT_EQ(stats.records_per_bus.size(), 2u);
+  EXPECT_EQ(stats.records_per_bus[0].first, "FC");
+  EXPECT_EQ(stats.records_per_bus[0].second, 3u);
+  EXPECT_EQ(stats.records_per_message.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ivt::tracefile
