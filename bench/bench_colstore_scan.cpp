@@ -1,0 +1,200 @@
+// Columnar-store ablation: preselection cost on the row-oriented .ivt
+// container (full streaming decode of every record, then σ-filter) versus
+// the chunked .ivc container (zone-map chunk pruning + row filtering
+// during decode, payloads materialized only for surviving rows).
+//
+// Selectivity is swept as a percentage of distinct message ids requested;
+// the paper's preselection (Algorithm 1 lines 2-3) typically requests a
+// single domain's messages, i.e. low selectivity, where the columnar scan
+// touches a fraction of the bytes the .ivt path decodes.
+//
+// Each benchmark also appends a JSON line to BENCH_colstore_scan.json
+// (IVT_BENCH_JSON_DIR overrides the directory) with timing, row counts
+// and peak RSS.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench_util.hpp"
+#include "colstore/columnar_reader.hpp"
+#include "colstore/columnar_writer.hpp"
+#include "dataflow/ops.hpp"
+#include "simnet/datasets.hpp"
+#include "tracefile/binary_format.hpp"
+#include "tracefile/trace.hpp"
+
+namespace {
+
+using namespace ivt;
+
+/// LIG-class journey written once to both containers in a temp dir.
+struct Workload {
+  std::string ivt_path;
+  std::string ivc_path;
+  std::vector<std::int64_t> message_ids;  ///< distinct, ascending
+  std::size_t num_records = 0;
+
+  Workload() {
+    simnet::DatasetConfig config;
+    config.scale = 1e-3 * bench::bench_scale();
+    config.seed = 42;
+    const simnet::Dataset dataset = simnet::make_lig_dataset(config);
+    num_records = dataset.trace.size();
+
+    const char* tmp = std::getenv("TMPDIR");
+    const std::string dir = tmp != nullptr ? tmp : "/tmp";
+    ivt_path = dir + "/ivt_bench_colstore.ivt";
+    ivc_path = dir + "/ivt_bench_colstore.ivc";
+    tracefile::save_trace(dataset.trace, ivt_path);
+    colstore::save_trace_columnar(dataset.trace, ivc_path,
+                                  {.chunk_rows = 8192});
+
+    std::set<std::int64_t> ids;
+    for (const tracefile::TraceRecord& rec : dataset.trace.records) {
+      ids.insert(rec.message_id);
+    }
+    message_ids.assign(ids.begin(), ids.end());
+  }
+
+  /// The first `percent`% of distinct ids (at least one).
+  [[nodiscard]] std::vector<std::int64_t> id_subset(
+      std::int64_t percent) const {
+    const std::size_t n = std::max<std::size_t>(
+        1, message_ids.size() * static_cast<std::size_t>(percent) / 100);
+    return {message_ids.begin(),
+            message_ids.begin() + static_cast<std::ptrdiff_t>(n)};
+  }
+};
+
+Workload& workload() {
+  static Workload w;
+  return w;
+}
+
+void emit_result(const std::string& path_kind, std::int64_t percent,
+                 double seconds_per_iter, std::size_t rows_out,
+                 std::size_t rows_in) {
+  static bench::JsonLinesEmitter emitter("colstore_scan");
+  bench::JsonRecord record;
+  record.add("bench", "colstore_scan")
+      .add("path", path_kind)
+      .add("selectivity_pct", percent)
+      .add("seconds", seconds_per_iter)
+      .add("rows_in", static_cast<std::uint64_t>(rows_in))
+      .add("rows_out", static_cast<std::uint64_t>(rows_out))
+      .add("scale", bench::bench_scale())
+      .add("peak_rss_bytes", bench::peak_rss_bytes());
+  emitter.emit(record);
+}
+
+/// Baseline: the only path the row container supports — stream-decode
+/// every record, build K_b, then σ-filter on the id set.
+void BM_IvtFullDecodeScan(benchmark::State& state) {
+  const std::int64_t percent = state.range(0);
+  const std::vector<std::int64_t> ids = workload().id_subset(percent);
+  const std::set<std::int64_t> id_set(ids.begin(), ids.end());
+  std::size_t rows = 0;
+  bench::Stopwatch watch;
+  for (auto _ : state) {
+    const tracefile::Trace trace = tracefile::load_trace(workload().ivt_path);
+    std::size_t kept = 0;
+    for (const tracefile::TraceRecord& rec : trace.records) {
+      kept += id_set.contains(rec.message_id) ? 1 : 0;
+    }
+    rows = kept;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows_out"] = static_cast<double>(rows);
+  emit_result("ivt_full_decode", percent,
+              watch.seconds() / static_cast<double>(state.iterations()),
+              rows, workload().num_records);
+}
+BENCHMARK(BM_IvtFullDecodeScan)->Arg(5)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+/// Columnar path: zone-map pruning + pushed-down row filter; only
+/// surviving rows are materialized into the K_b table.
+void BM_IvcPrunedScan(benchmark::State& state) {
+  const std::int64_t percent = state.range(0);
+  colstore::ScanPredicate pred;
+  pred.message_ids = workload().id_subset(percent);
+  const colstore::ColumnarReader reader(workload().ivc_path);
+  std::size_t rows = 0;
+  colstore::ScanStats stats;
+  bench::Stopwatch watch;
+  for (auto _ : state) {
+    const dataflow::Table kpre = reader.scan(pred, &stats);
+    rows = kpre.num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows_out"] = static_cast<double>(rows);
+  state.counters["chunks_scanned"] =
+      static_cast<double>(stats.chunks_scanned);
+  emit_result("ivc_pruned_scan", percent,
+              watch.seconds() / static_cast<double>(state.iterations()),
+              rows, workload().num_records);
+}
+BENCHMARK(BM_IvcPrunedScan)->Arg(5)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+/// Columnar path including file open + footer parse each iteration (the
+/// cold-start cost a per-journey batch job pays).
+void BM_IvcOpenAndScan(benchmark::State& state) {
+  const std::int64_t percent = state.range(0);
+  colstore::ScanPredicate pred;
+  pred.message_ids = workload().id_subset(percent);
+  std::size_t rows = 0;
+  bench::Stopwatch watch;
+  for (auto _ : state) {
+    const colstore::ColumnarReader reader(workload().ivc_path);
+    const dataflow::Table kpre = reader.scan(pred);
+    rows = kpre.num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows_out"] = static_cast<double>(rows);
+  emit_result("ivc_open_and_scan", percent,
+              watch.seconds() / static_cast<double>(state.iterations()),
+              rows, workload().num_records);
+}
+BENCHMARK(BM_IvcOpenAndScan)->Arg(5)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+/// Time-windowed scan: zone maps on t_ns prune chunks outside the window
+/// entirely (time-ordered traces give tight per-chunk time ranges).
+void BM_IvcTimeWindowScan(benchmark::State& state) {
+  const colstore::ColumnarReader reader(workload().ivc_path);
+  // Middle 10% of the journey.
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  for (const colstore::ChunkInfo& c : reader.chunks()) {
+    hi = std::max(hi, c.max_t_ns);
+    lo = std::min(lo, c.min_t_ns);
+  }
+  const std::int64_t span = hi - lo;
+  colstore::ScanPredicate pred;
+  pred.has_time_range = true;
+  pred.min_t_ns = lo + span * 45 / 100;
+  pred.max_t_ns = lo + span * 55 / 100;
+  std::size_t rows = 0;
+  colstore::ScanStats stats;
+  bench::Stopwatch watch;
+  for (auto _ : state) {
+    const dataflow::Table slice = reader.scan(pred, &stats);
+    rows = slice.num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows_out"] = static_cast<double>(rows);
+  state.counters["chunks_scanned"] =
+      static_cast<double>(stats.chunks_scanned);
+  state.counters["chunks_total"] = static_cast<double>(stats.chunks_total);
+  emit_result("ivc_time_window", 10,
+              watch.seconds() / static_cast<double>(state.iterations()),
+              rows, workload().num_records);
+}
+BENCHMARK(BM_IvcTimeWindowScan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

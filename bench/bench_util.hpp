@@ -2,8 +2,17 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace ivt::bench {
 
@@ -42,5 +51,120 @@ inline std::size_t bench_workers() {
   }
   return 0;  // engine default = hardware concurrency
 }
+
+/// Peak resident set size of this process so far, in bytes (0 when the
+/// platform offers no getrusage).
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// One JSON-lines benchmark record: ordered key -> rendered-JSON-value
+/// pairs, so benchmark results land in BENCH_*.json machine-readably.
+class JsonRecord {
+ public:
+  JsonRecord& add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, '"' + escape(value) + '"');
+    return *this;
+  }
+  JsonRecord& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+  JsonRecord& add(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRecord& add(const std::string& key, std::int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRecord& add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRecord& add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_line() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += '"' + escape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Appends one JSON object per emit() to BENCH_<name>.json (or to
+/// $IVT_BENCH_JSON_DIR/BENCH_<name>.json when the env var is set), so a
+/// benchmark run leaves a machine-readable trajectory next to the
+/// human-readable console output. Each process run appends; delete the
+/// file to reset a trajectory.
+class JsonLinesEmitter {
+ public:
+  explicit JsonLinesEmitter(const std::string& bench_name)
+      : path_(default_dir() + "BENCH_" + bench_name + ".json"),
+        out_(path_, std::ios::app) {}
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool ok() const { return out_.good(); }
+
+  void emit(const JsonRecord& record) {
+    out_ << record.to_line() << '\n';
+    out_.flush();
+  }
+
+ private:
+  static std::string default_dir() {
+    if (const char* env = std::getenv("IVT_BENCH_JSON_DIR")) {
+      std::string dir = env;
+      if (!dir.empty() && dir.back() != '/') dir += '/';
+      return dir;
+    }
+    return "";
+  }
+
+  std::string path_;
+  std::ofstream out_;
+};
 
 }  // namespace ivt::bench

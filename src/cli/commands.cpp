@@ -10,6 +10,8 @@
 #include "apps/anomaly.hpp"
 #include "apps/association_rules.hpp"
 #include "apps/transition_graph.hpp"
+#include "colstore/columnar_reader.hpp"
+#include "colstore/columnar_writer.hpp"
 #include "core/interpret.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
@@ -39,15 +41,23 @@ commands:
       --catalog PATH          also write the catalog (default PREFIX.ivsdb)
       --no-faults             disable fault injection
 
-  inspect      statistics of a recorded trace
-      --trace PATH            .ivt trace file (required)
+  inspect      statistics of a recorded trace (.ivt or .ivc); for .ivc
+               also dumps the chunk directory with its zone maps
+      --trace PATH            trace file (required)
       --catalog PATH          optional: report catalog coverage
 
   catalog      validate and summarize a catalog file
       --file PATH             .ivsdb catalog (required)
 
-  extract      signal extraction (Algorithm 1 lines 3-6) to a table file
-      --trace PATH            .ivt trace (required)
+  pack         convert a row-oriented .ivt trace into the columnar .ivc
+               container (chunked columns + per-chunk zone maps)
+      --trace PATH            .ivt input (required)
+      --out PATH              .ivc output (required)
+      --chunk-rows N          rows per chunk (default 65536)
+
+  extract      signal extraction (Algorithm 1 lines 3-6) to a table file;
+               .ivc traces are scanned with zone-map predicate pushdown
+      --trace PATH            .ivt or .ivc trace (required)
       --catalog PATH          .ivsdb catalog (required)
       --signals a,b,c         U_comb selection (default: all signals)
       --out PATH              .csv or .ivtbl output (required)
@@ -76,7 +86,7 @@ commands:
                               signal) as Graphviz DOT
 
   export-asc   dump a trace as readable text
-      --trace PATH            .ivt trace (required)
+      --trace PATH            .ivt or .ivc trace (required)
       --out PATH              output file (default: stdout)
 )";
 
@@ -140,8 +150,47 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+/// Chunk-directory / zone-map dump of a columnar container.
+int inspect_columnar(const std::string& path, const Args& args) {
+  warn_unused(args);
+  const colstore::ColumnarReader reader(path);
+  std::printf("container    : ivc (columnar, %zu chunks)\n",
+              reader.num_chunks());
+  std::printf("vehicle      : %s\n", reader.vehicle().c_str());
+  std::printf("journey      : %s\n", reader.journey().c_str());
+  std::printf("records      : %zu\n", reader.num_rows());
+  std::printf("buses        :");
+  for (const std::string& bus : reader.bus_names()) {
+    std::printf(" %s", bus.c_str());
+  }
+  std::printf("\n\n%-6s %10s %10s %22s %22s  %s\n", "chunk", "rows",
+              "bytes", "t_ns [min,max]", "m_id [min,max]", "buses");
+  for (std::size_t i = 0; i < reader.num_chunks(); ++i) {
+    const colstore::ChunkInfo& c = reader.chunk(i);
+    std::string buses;
+    for (std::size_t b = 0; b < reader.bus_names().size(); ++b) {
+      if (c.has_bus(static_cast<std::uint16_t>(b))) {
+        if (!buses.empty()) buses += ',';
+        buses += reader.bus_names()[b];
+      }
+    }
+    std::printf("%-6zu %10u %10llu [%10lld,%10lld] [%10lld,%10lld]  %s\n",
+                i, c.row_count,
+                static_cast<unsigned long long>(c.encoded_bytes),
+                static_cast<long long>(c.min_t_ns),
+                static_cast<long long>(c.max_t_ns),
+                static_cast<long long>(c.min_message_id),
+                static_cast<long long>(c.max_message_id), buses.c_str());
+  }
+  return 0;
+}
+
 int cmd_inspect(const Args& args) {
-  const tracefile::Trace trace = tracefile::load_trace(args.require("trace"));
+  const std::string trace_path = args.require("trace");
+  if (colstore::is_columnar_trace_file(trace_path)) {
+    return inspect_columnar(trace_path, args);
+  }
+  const tracefile::Trace trace = tracefile::load_trace(trace_path);
   const auto catalog_path = args.get("catalog");
   warn_unused(args);
 
@@ -198,8 +247,32 @@ int cmd_catalog(const Args& args) {
   return 0;
 }
 
+int cmd_pack(const Args& args) {
+  const std::string trace_path = args.require("trace");
+  const std::string out_path = args.require("out");
+  colstore::ColumnarWriterOptions options;
+  options.chunk_rows = static_cast<std::size_t>(
+      args.get_int("chunk-rows",
+                   static_cast<std::int64_t>(colstore::kDefaultChunkRows)));
+  warn_unused(args);
+
+  const colstore::PackStats stats =
+      colstore::pack_trace_file(trace_path, out_path, options);
+  std::fprintf(stderr,
+               "packed %zu records into %zu chunks: %llu -> %llu bytes "
+               "(%.2fx)\n",
+               stats.records, stats.chunks,
+               static_cast<unsigned long long>(stats.input_bytes),
+               static_cast<unsigned long long>(stats.output_bytes),
+               stats.output_bytes > 0
+                   ? static_cast<double>(stats.input_bytes) /
+                         static_cast<double>(stats.output_bytes)
+                   : 0.0);
+  return 0;
+}
+
 int cmd_extract(const Args& args) {
-  const tracefile::Trace trace = tracefile::load_trace(args.require("trace"));
+  const std::string trace_path = args.require("trace");
   const signaldb::Catalog catalog = load_catalog_arg(args, "catalog");
   const std::vector<std::string> signals = args.get_list("signals");
   const std::string out_path = args.require("out");
@@ -212,15 +285,34 @@ int cmd_extract(const Args& args) {
   warn_unused(args);
 
   dataflow::Engine engine(engine_config);
-  const auto kb =
-      tracefile::to_kb_table(trace, engine.default_partitions());
   const auto urel = signals.empty()
                         ? core::make_full_urel_table(catalog)
                         : core::make_urel_table(catalog, signals);
-  const auto ks = core::extract_signals(engine, kb, urel, options);
+  dataflow::Table ks;
+  std::size_t input_rows = 0;
+  if (colstore::is_columnar_trace_file(trace_path)) {
+    // Columnar container: push U_comb down into the scan so only chunks
+    // whose zone maps can match are decoded at all.
+    const colstore::ColumnarReader reader(trace_path);
+    input_rows = reader.num_rows();
+    colstore::ScanStats stats;
+    const auto kpre = core::preselect(engine, reader, urel, &stats);
+    ks = core::interpret(engine, kpre, urel, options);
+    std::fprintf(stderr,
+                 "pushdown scan: %zu/%zu chunks decoded, %zu/%zu rows "
+                 "materialized\n",
+                 stats.chunks_scanned, stats.chunks_total,
+                 stats.rows_emitted, input_rows);
+  } else {
+    const tracefile::Trace trace = tracefile::load_trace(trace_path);
+    const auto kb =
+        tracefile::to_kb_table(trace, engine.default_partitions());
+    input_rows = kb.num_rows();
+    ks = core::extract_signals(engine, kb, urel, options);
+  }
   write_table_arg(ks, out_path);
   std::fprintf(stderr, "extracted %zu signal instances from %zu records -> %s\n",
-               ks.num_rows(), kb.num_rows(), out_path.c_str());
+               ks.num_rows(), input_rows, out_path.c_str());
   std::printf("%s",
               dataflow::to_display_string(dataflow::summarize(engine, ks))
                   .c_str());
@@ -228,7 +320,8 @@ int cmd_extract(const Args& args) {
 }
 
 int cmd_run(const Args& args) {
-  const tracefile::Trace trace = tracefile::load_trace(args.require("trace"));
+  const tracefile::Trace trace =
+      colstore::load_any_trace(args.require("trace"));
   const signaldb::Catalog catalog = load_catalog_arg(args, "catalog");
 
   core::PipelineConfig config;
@@ -275,7 +368,8 @@ int cmd_run(const Args& args) {
 }
 
 int cmd_mine(const Args& args) {
-  const tracefile::Trace trace = tracefile::load_trace(args.require("trace"));
+  const tracefile::Trace trace =
+      colstore::load_any_trace(args.require("trace"));
   const signaldb::Catalog catalog = load_catalog_arg(args, "catalog");
 
   core::PipelineConfig config;
@@ -366,7 +460,8 @@ int cmd_mine(const Args& args) {
 }
 
 int cmd_export_asc(const Args& args) {
-  const tracefile::Trace trace = tracefile::load_trace(args.require("trace"));
+  const tracefile::Trace trace =
+      colstore::load_any_trace(args.require("trace"));
   const auto out_path = args.get("out");
   warn_unused(args);
   if (out_path) {
@@ -390,6 +485,7 @@ int run_cli(int argc, const char* const* argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "inspect") return cmd_inspect(args);
     if (command == "catalog") return cmd_catalog(args);
+    if (command == "pack") return cmd_pack(args);
     if (command == "extract") return cmd_extract(args);
     if (command == "run") return cmd_run(args);
     if (command == "mine") return cmd_mine(args);

@@ -1,12 +1,16 @@
 // Subcommands of the `ivt` tool.
 //
 //   ivt simulate  — generate SYN/LIG/STA-style traces + catalog files
-//   ivt inspect   — trace statistics (and catalog coverage)
+//   ivt inspect   — trace statistics (.ivt) or chunk/zone-map dump (.ivc)
 //   ivt catalog   — validate and summarize a catalog file
+//   ivt pack      — convert a row-oriented .ivt trace into columnar .ivc
 //   ivt extract   — Algorithm 1 lines 3–6: trace -> K_s (CSV / .ivtbl)
 //   ivt run       — the full pipeline: trace -> R_out + state table
 //   ivt mine      — Sec. 4.4 applications on a preprocessed journey
 //   ivt export-asc — textual trace dump
+//
+// Commands taking --trace accept both containers; .ivc inputs to
+// `extract` use zone-map predicate pushdown for preselection.
 //
 // Each command returns a process exit code; diagnostics go to stderr.
 #pragma once
@@ -18,6 +22,7 @@ namespace ivt::cli {
 int cmd_simulate(const Args& args);
 int cmd_inspect(const Args& args);
 int cmd_catalog(const Args& args);
+int cmd_pack(const Args& args);
 int cmd_extract(const Args& args);
 int cmd_run(const Args& args);
 int cmd_mine(const Args& args);

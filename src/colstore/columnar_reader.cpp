@@ -1,0 +1,481 @@
+#include "colstore/columnar_reader.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "colstore/encoding.hpp"
+#include "dataflow/engine.hpp"
+#include "dataflow/thread_pool.hpp"
+#include "tracefile/binary_format.hpp"
+
+namespace ivt::colstore {
+
+namespace {
+
+template <typename T>
+T get_le(ByteCursor& in) {
+  static_assert(std::is_integral_v<T>);
+  std::make_unsigned_t<T> value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<std::make_unsigned_t<T>>(in.u8()) << (8 * i);
+  }
+  return static_cast<T>(value);
+}
+
+std::string get_short_string(ByteCursor& in) {
+  const std::uint8_t len = get_le<std::uint8_t>(in);
+  const ByteSpan bytes = in.bytes(len);
+  return std::string(reinterpret_cast<const char*>(bytes.data), bytes.size);
+}
+
+/// Row-level filter compiled against one file's bus dictionary.
+struct CompiledPredicate {
+  bool never_matches = false;
+  bool has_ids = false;
+  std::unordered_set<std::int64_t> ids;
+  bool has_buses = false;
+  std::vector<std::uint8_t> bus_allowed;  ///< indexed by dictionary index
+  bool has_time_range = false;
+  std::int64_t min_t_ns = 0;
+  std::int64_t max_t_ns = 0;
+  bool has_pairs = false;
+  struct PairHash {
+    std::size_t operator()(
+        const std::pair<std::uint16_t, std::int64_t>& p) const {
+      return std::hash<std::int64_t>{}(p.second) * 8191 + p.first;
+    }
+  };
+  std::unordered_set<std::pair<std::uint16_t, std::int64_t>, PairHash> pairs;
+
+  [[nodiscard]] bool matches_row(std::uint16_t bus, std::int64_t mid,
+                                 std::int64_t t) const {
+    if (has_time_range && (t < min_t_ns || t > max_t_ns)) return false;
+    if (has_ids && !ids.contains(mid)) return false;
+    if (has_buses && bus_allowed[bus] == 0) return false;
+    if (has_pairs && !pairs.contains({bus, mid})) return false;
+    return true;
+  }
+};
+
+CompiledPredicate compile_predicate(const ScanPredicate& pred,
+                                    const std::vector<std::string>& buses) {
+  CompiledPredicate c;
+  c.has_ids = !pred.message_ids.empty();
+  c.ids.insert(pred.message_ids.begin(), pred.message_ids.end());
+  c.has_time_range = pred.has_time_range;
+  c.min_t_ns = pred.min_t_ns;
+  c.max_t_ns = pred.max_t_ns;
+
+  auto resolve_bus = [&buses](const std::string& name)
+      -> std::optional<std::uint16_t> {
+    const auto it = std::find(buses.begin(), buses.end(), name);
+    if (it == buses.end()) return std::nullopt;
+    return static_cast<std::uint16_t>(it - buses.begin());
+  };
+
+  if (!pred.buses.empty()) {
+    c.has_buses = true;
+    c.bus_allowed.assign(buses.size(), 0);
+    bool any = false;
+    for (const std::string& name : pred.buses) {
+      if (const auto idx = resolve_bus(name)) {
+        c.bus_allowed[*idx] = 1;
+        any = true;
+      }
+    }
+    if (!any) c.never_matches = true;  // requested buses absent from file
+  }
+  if (!pred.bus_message_pairs.empty()) {
+    c.has_pairs = true;
+    for (const auto& [name, mid] : pred.bus_message_pairs) {
+      if (const auto idx = resolve_bus(name)) c.pairs.insert({*idx, mid});
+    }
+    if (c.pairs.empty()) c.never_matches = true;
+  }
+  return c;
+}
+
+/// Dictionary indices the predicate's bus constraint resolves to (for the
+/// zone-map bitmap test). Pairs contribute only when no plain bus set is
+/// given — with both present the plain set is the looser prune bound.
+std::vector<std::uint16_t> prune_bus_indices(
+    const ScanPredicate& pred, const std::vector<std::string>& buses) {
+  std::vector<std::uint16_t> out;
+  auto add = [&buses, &out](const std::string& name) {
+    const auto it = std::find(buses.begin(), buses.end(), name);
+    if (it != buses.end()) {
+      out.push_back(static_cast<std::uint16_t>(it - buses.begin()));
+    }
+  };
+  if (!pred.buses.empty()) {
+    for (const std::string& name : pred.buses) add(name);
+  } else {
+    for (const auto& [name, mid] : pred.bus_message_pairs) add(name);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool chunk_may_match(const ChunkInfo& chunk, const ScanPredicate& pred,
+                     const std::vector<std::uint16_t>& pred_bus_indices) {
+  if (pred.has_time_range &&
+      (chunk.max_t_ns < pred.min_t_ns || chunk.min_t_ns > pred.max_t_ns)) {
+    return false;
+  }
+  const std::vector<std::int64_t>* ids = &pred.message_ids;
+  std::vector<std::int64_t> pair_ids;
+  if (ids->empty() && !pred.bus_message_pairs.empty()) {
+    pair_ids.reserve(pred.bus_message_pairs.size());
+    for (const auto& [bus, mid] : pred.bus_message_pairs) {
+      pair_ids.push_back(mid);
+    }
+    ids = &pair_ids;
+  }
+  if (!ids->empty()) {
+    bool any = false;
+    for (const std::int64_t id : *ids) {
+      if (id >= chunk.min_message_id && id <= chunk.max_message_id) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  const bool has_bus_constraint =
+      !pred.buses.empty() || !pred.bus_message_pairs.empty();
+  if (has_bus_constraint) {
+    bool any = false;
+    for (const std::uint16_t idx : pred_bus_indices) {
+      if (chunk.has_bus(idx)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+ColumnarReader::ColumnarReader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in) throw std::runtime_error("read failed: " + path);
+  data_ = std::move(buffer).str();
+  parse();
+}
+
+ColumnarReader::ColumnarReader(std::string data, FromBufferTag)
+    : data_(std::move(data)) {
+  parse();
+}
+
+ColumnarReader ColumnarReader::from_buffer(std::string data) {
+  return ColumnarReader(std::move(data), FromBufferTag{});
+}
+
+void ColumnarReader::parse() {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data_.data());
+  const std::size_t size = data_.size();
+  constexpr std::size_t kTailBytes = sizeof(std::uint64_t) + 4;
+  if (size < sizeof(kChunkMagic) + sizeof(std::uint32_t) + kTailBytes ||
+      std::memcmp(bytes, kChunkMagic, sizeof(kChunkMagic)) != 0) {
+    throw std::runtime_error("ivc: bad magic");
+  }
+
+  ByteCursor header(ByteSpan{bytes + sizeof(kChunkMagic),
+                             size - sizeof(kChunkMagic)});
+  const std::uint32_t version = get_le<std::uint32_t>(header);
+  if (version != kColumnarFormatVersion) {
+    throw std::runtime_error("ivc: unsupported version " +
+                             std::to_string(version));
+  }
+  vehicle_ = get_short_string(header);
+  journey_ = get_short_string(header);
+  start_unix_ns_ = get_le<std::int64_t>(header);
+
+  ByteCursor tail(ByteSpan{bytes + size - kTailBytes, kTailBytes});
+  const std::uint64_t footer_offset = get_le<std::uint64_t>(tail);
+  const ByteSpan tail_magic = tail.bytes(4);
+  if (std::memcmp(tail_magic.data, kFooterMagic, 4) != 0) {
+    throw std::runtime_error("ivc: bad footer magic");
+  }
+  if (footer_offset >= size - kTailBytes) {
+    throw std::runtime_error("ivc: footer offset out of range");
+  }
+
+  ByteCursor footer(ByteSpan{bytes + footer_offset,
+                             size - kTailBytes -
+                                 static_cast<std::size_t>(footer_offset)});
+  const std::uint16_t num_buses = get_le<std::uint16_t>(footer);
+  buses_.reserve(num_buses);
+  for (std::uint16_t i = 0; i < num_buses; ++i) {
+    buses_.push_back(get_short_string(footer));
+  }
+  const std::uint32_t num_chunks = get_le<std::uint32_t>(footer);
+  chunks_.reserve(num_chunks);
+  for (std::uint32_t i = 0; i < num_chunks; ++i) {
+    ChunkInfo info;
+    info.offset = get_le<std::uint64_t>(footer);
+    info.encoded_bytes = get_le<std::uint64_t>(footer);
+    info.row_count = get_le<std::uint32_t>(footer);
+    info.min_t_ns = get_le<std::int64_t>(footer);
+    info.max_t_ns = get_le<std::int64_t>(footer);
+    info.min_message_id = get_le<std::int64_t>(footer);
+    info.max_message_id = get_le<std::int64_t>(footer);
+    const std::uint16_t words = get_le<std::uint16_t>(footer);
+    info.bus_bits.reserve(words);
+    for (std::uint16_t w = 0; w < words; ++w) {
+      info.bus_bits.push_back(get_le<std::uint64_t>(footer));
+    }
+    if (info.offset + info.encoded_bytes > footer_offset) {
+      throw std::runtime_error("ivc: chunk extent out of range");
+    }
+    chunks_.push_back(std::move(info));
+  }
+}
+
+std::size_t ColumnarReader::num_rows() const {
+  std::size_t rows = 0;
+  for (const ChunkInfo& c : chunks_) rows += c.row_count;
+  return rows;
+}
+
+namespace {
+
+/// Decoded column vectors of one chunk.
+struct DecodedChunk {
+  std::vector<std::int64_t> t_ns;
+  std::vector<std::uint64_t> bus_idx;
+  std::vector<std::uint64_t> protocol;
+  std::vector<std::int64_t> message_id;
+  std::vector<std::uint64_t> flags;
+  std::vector<std::uint64_t> payload_len;
+  ByteSpan payload;
+};
+
+DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
+                            std::size_t num_buses) {
+  ByteCursor in(ByteSpan{
+      reinterpret_cast<const std::uint8_t*>(data.data()) + info.offset,
+      static_cast<std::size_t>(info.encoded_bytes)});
+  const std::uint32_t rows = get_le<std::uint32_t>(in);
+  if (rows != info.row_count) {
+    throw std::runtime_error("ivc: chunk row count mismatch");
+  }
+  auto next_block = [&in]() {
+    const std::uint32_t len = get_le<std::uint32_t>(in);
+    return in.bytes(len);
+  };
+  DecodedChunk chunk;
+  chunk.t_ns = decode_delta(next_block(), rows);
+  chunk.bus_idx = decode_rle(next_block(), rows);
+  chunk.protocol = decode_rle(next_block(), rows);
+  chunk.message_id = decode_svarints(next_block(), rows);
+  chunk.flags = decode_rle(next_block(), rows);
+  {
+    ByteCursor lens(next_block());
+    chunk.payload_len.resize(rows);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      chunk.payload_len[r] = get_uvarint(lens);
+    }
+  }
+  chunk.payload = next_block();
+
+  std::uint64_t payload_total = 0;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    if (chunk.bus_idx[r] >= num_buses) {
+      throw std::runtime_error("ivc: bus index out of range");
+    }
+    if (chunk.protocol[r] > 0xFF || chunk.flags[r] > 0xFFFFFFFFULL) {
+      throw std::runtime_error("ivc: corrupt protocol/flags column");
+    }
+    payload_total += chunk.payload_len[r];
+  }
+  if (payload_total != chunk.payload.size) {
+    throw std::runtime_error("ivc: payload block size mismatch");
+  }
+  return chunk;
+}
+
+}  // namespace
+
+dataflow::Table ColumnarReader::scan_with_runner(const ScanPredicate& pred,
+                                                 const TaskRunner& run,
+                                                 ScanStats* stats) const {
+  ScanStats local;
+  local.chunks_total = chunks_.size();
+
+  const CompiledPredicate compiled = compile_predicate(pred, buses_);
+  std::vector<std::size_t> survivors;
+  if (!compiled.never_matches) {
+    const std::vector<std::uint16_t> bus_indices =
+        prune_bus_indices(pred, buses_);
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      if (chunk_may_match(chunks_[i], pred, bus_indices)) {
+        survivors.push_back(i);
+      }
+    }
+  }
+  local.chunks_scanned = survivors.size();
+  for (const std::size_t i : survivors) {
+    local.rows_considered += chunks_[i].row_count;
+  }
+
+  const dataflow::Schema& schema = tracefile::kb_schema();
+  std::vector<dataflow::Partition> partitions(survivors.size());
+  run(survivors.size(), [&](std::size_t k) {
+    const ChunkInfo& info = chunks_[survivors[k]];
+    const DecodedChunk chunk = decode_columns(data_, info, buses_.size());
+    dataflow::Partition out = dataflow::Table::make_partition(schema);
+    std::size_t payload_pos = 0;
+    for (std::uint32_t r = 0; r < info.row_count; ++r) {
+      const std::size_t len =
+          static_cast<std::size_t>(chunk.payload_len[r]);
+      const std::size_t pos = payload_pos;
+      payload_pos += len;
+      const auto bus = static_cast<std::uint16_t>(chunk.bus_idx[r]);
+      if (!compiled.matches_row(bus, chunk.message_id[r], chunk.t_ns[r])) {
+        continue;
+      }
+      out.columns[0].append_int64(chunk.t_ns[r]);
+      out.columns[1].append_string(std::string(
+          reinterpret_cast<const char*>(chunk.payload.data) + pos, len));
+      out.columns[2].append_string(buses_[bus]);
+      out.columns[3].append_int64(chunk.message_id[r]);
+      out.columns[4].append_string(tracefile::make_m_info(
+          static_cast<protocol::Protocol>(chunk.protocol[r]),
+          static_cast<std::uint32_t>(chunk.flags[r])));
+    }
+    partitions[k] = std::move(out);
+  });
+
+  dataflow::Table table(schema);
+  for (dataflow::Partition& p : partitions) {
+    if (p.num_rows() == 0) continue;
+    local.rows_emitted += p.num_rows();
+    table.add_partition(std::move(p));
+  }
+  if (stats != nullptr) *stats = local;
+  return table;
+}
+
+dataflow::Table ColumnarReader::scan(const ScanPredicate& pred,
+                                     ScanStats* stats) const {
+  return scan_with_runner(
+      pred,
+      [](std::size_t n, const std::function<void(std::size_t)>& task) {
+        for (std::size_t i = 0; i < n; ++i) task(i);
+      },
+      stats);
+}
+
+dataflow::Table ColumnarReader::scan(const ScanPredicate& pred,
+                                     dataflow::ThreadPool& pool,
+                                     ScanStats* stats) const {
+  return scan_with_runner(
+      pred,
+      [&pool](std::size_t n,
+              const std::function<void(std::size_t)>& task) {
+        std::mutex mutex;
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < n; ++i) {
+          pool.submit([&, i] {
+            try {
+              task(i);
+            } catch (...) {
+              const std::lock_guard<std::mutex> lock(mutex);
+              if (!error) error = std::current_exception();
+            }
+          });
+        }
+        pool.help_until_idle();
+        if (error) std::rethrow_exception(error);
+      },
+      stats);
+}
+
+dataflow::Table ColumnarReader::scan(const ScanPredicate& pred,
+                                     dataflow::Engine& engine,
+                                     ScanStats* stats) const {
+  ScanStats local;
+  const auto start = std::chrono::steady_clock::now();
+  dataflow::Table table = scan_with_runner(
+      pred,
+      [&engine](std::size_t n,
+                const std::function<void(std::size_t)>& task) {
+        engine.parallel_for(n, task);
+      },
+      &local);
+  dataflow::StageMetrics metrics;
+  metrics.name = "colstore_scan";
+  metrics.tasks = local.chunks_scanned;
+  metrics.input_rows = local.rows_considered;
+  metrics.output_rows = local.rows_emitted;
+  metrics.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  engine.record_stage(std::move(metrics));
+  if (stats != nullptr) *stats = local;
+  return table;
+}
+
+tracefile::Trace ColumnarReader::read_trace() const {
+  tracefile::Trace trace;
+  trace.vehicle = vehicle_;
+  trace.journey = journey_;
+  trace.start_unix_ns = start_unix_ns_;
+  trace.records.reserve(num_rows());
+  for (const ChunkInfo& info : chunks_) {
+    const DecodedChunk chunk = decode_columns(data_, info, buses_.size());
+    std::size_t payload_pos = 0;
+    for (std::uint32_t r = 0; r < info.row_count; ++r) {
+      tracefile::TraceRecord rec;
+      rec.t_ns = chunk.t_ns[r];
+      rec.bus = buses_[static_cast<std::size_t>(chunk.bus_idx[r])];
+      rec.message_id = chunk.message_id[r];
+      rec.protocol = static_cast<protocol::Protocol>(chunk.protocol[r]);
+      rec.flags = static_cast<std::uint32_t>(chunk.flags[r]);
+      const std::size_t len =
+          static_cast<std::size_t>(chunk.payload_len[r]);
+      const auto* base =
+          reinterpret_cast<const std::uint8_t*>(chunk.payload.data);
+      rec.payload.assign(base + payload_pos, base + payload_pos + len);
+      payload_pos += len;
+      trace.records.push_back(std::move(rec));
+    }
+  }
+  return trace;
+}
+
+bool is_columnar_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kChunkMagic, sizeof(magic)) == 0;
+}
+
+tracefile::Trace load_any_trace(const std::string& path) {
+  if (is_columnar_trace_file(path)) {
+    return ColumnarReader(path).read_trace();
+  }
+  return tracefile::load_trace(path);
+}
+
+}  // namespace ivt::colstore

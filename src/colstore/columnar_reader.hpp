@@ -1,0 +1,101 @@
+// Reader side of the .ivc columnar trace container.
+//
+// The reader maps the whole file into memory once, parses the footer, and
+// serves scans: a ScanPredicate first prunes chunks via their zone maps,
+// then the surviving chunks are decoded — optionally in parallel on a
+// dataflow::ThreadPool or Engine — straight into a partitioned
+// dataflow::Table in K_b schema (one partition per surviving chunk, chunk
+// order preserved, so logical row order is deterministic and identical to
+// the row-oriented .ivt load path).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "colstore/format.hpp"
+#include "dataflow/table.hpp"
+#include "tracefile/trace.hpp"
+
+namespace ivt::dataflow {
+class Engine;
+class ThreadPool;
+}  // namespace ivt::dataflow
+
+namespace ivt::colstore {
+
+class ColumnarReader {
+ public:
+  /// Reads and indexes the file; throws std::runtime_error on a bad
+  /// magic/version/footer.
+  explicit ColumnarReader(const std::string& path);
+
+  /// Index an in-memory image of a .ivc file (tests, network buffers).
+  static ColumnarReader from_buffer(std::string data);
+
+  [[nodiscard]] const std::string& vehicle() const { return vehicle_; }
+  [[nodiscard]] const std::string& journey() const { return journey_; }
+  [[nodiscard]] std::int64_t start_unix_ns() const { return start_unix_ns_; }
+
+  [[nodiscard]] std::size_t num_chunks() const { return chunks_.size(); }
+  [[nodiscard]] const ChunkInfo& chunk(std::size_t i) const {
+    return chunks_[i];
+  }
+  [[nodiscard]] const std::vector<ChunkInfo>& chunks() const {
+    return chunks_;
+  }
+  [[nodiscard]] const std::vector<std::string>& bus_names() const {
+    return buses_;
+  }
+  [[nodiscard]] std::size_t num_rows() const;
+
+  /// Zone-map-pruned scan into a K_b table, decoding sequentially.
+  [[nodiscard]] dataflow::Table scan(const ScanPredicate& pred = {},
+                                     ScanStats* stats = nullptr) const;
+
+  /// Same, decoding surviving chunks in parallel on `pool`.
+  [[nodiscard]] dataflow::Table scan(const ScanPredicate& pred,
+                                     dataflow::ThreadPool& pool,
+                                     ScanStats* stats = nullptr) const;
+
+  /// Same, decoding on the engine's worker pool; records a
+  /// "colstore_scan" stage in the engine metrics.
+  [[nodiscard]] dataflow::Table scan(const ScanPredicate& pred,
+                                     dataflow::Engine& engine,
+                                     ScanStats* stats = nullptr) const;
+
+  /// Full materialization back into the in-memory trace model.
+  [[nodiscard]] tracefile::Trace read_trace() const;
+
+ private:
+  struct FromBufferTag {};
+  ColumnarReader(std::string data, FromBufferTag);
+
+  void parse();
+
+  /// Shared scan core: `run(n, task)` must invoke task(i) for i in [0, n)
+  /// (sequentially or on a pool) and return only when all are done.
+  using TaskRunner =
+      std::function<void(std::size_t,
+                         const std::function<void(std::size_t)>&)>;
+  dataflow::Table scan_with_runner(const ScanPredicate& pred,
+                                   const TaskRunner& run,
+                                   ScanStats* stats) const;
+
+  std::string data_;
+  std::string vehicle_;
+  std::string journey_;
+  std::int64_t start_unix_ns_ = 0;
+  std::vector<std::string> buses_;
+  std::vector<ChunkInfo> chunks_;
+};
+
+/// True when the file at `path` starts with the .ivc magic (cheap sniff
+/// used by the CLI to dispatch between .ivt and .ivc loaders).
+bool is_columnar_trace_file(const std::string& path);
+
+/// Load either container into a Trace, dispatching on the file magic.
+tracefile::Trace load_any_trace(const std::string& path);
+
+}  // namespace ivt::colstore

@@ -1,0 +1,222 @@
+#include "colstore/columnar_writer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "colstore/encoding.hpp"
+#include "tracefile/binary_format.hpp"
+
+namespace ivt::colstore {
+
+namespace {
+
+template <typename T>
+void put_le(std::ostream& out, std::uint64_t& offset, T value) {
+  static_assert(std::is_integral_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.put(static_cast<char>(
+        (static_cast<std::make_unsigned_t<T>>(value) >> (8 * i)) & 0xFF));
+  }
+  offset += sizeof(T);
+}
+
+void put_bytes(std::ostream& out, std::uint64_t& offset, const char* data,
+               std::size_t size) {
+  out.write(data, static_cast<std::streamsize>(size));
+  offset += size;
+}
+
+void put_block(std::ostream& out, std::uint64_t& offset,
+               const std::string& block) {
+  if (block.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::runtime_error("ivc: column block too large");
+  }
+  put_le<std::uint32_t>(out, offset, static_cast<std::uint32_t>(block.size()));
+  put_bytes(out, offset, block.data(), block.size());
+}
+
+}  // namespace
+
+ColumnarWriter::ColumnarWriter(std::ostream& out, const std::string& vehicle,
+                               const std::string& journey,
+                               std::int64_t start_unix_ns,
+                               ColumnarWriterOptions options)
+    : out_(out), options_(options) {
+  if (options_.chunk_rows == 0) options_.chunk_rows = kDefaultChunkRows;
+  put_bytes(out_, offset_, kChunkMagic, sizeof(kChunkMagic));
+  put_le<std::uint32_t>(out_, offset_, kColumnarFormatVersion);
+  for (const std::string* s : {&vehicle, &journey}) {
+    if (s->size() > 255) {
+      throw std::invalid_argument("ivc: string too long: " + *s);
+    }
+    put_le<std::uint8_t>(out_, offset_, static_cast<std::uint8_t>(s->size()));
+    put_bytes(out_, offset_, s->data(), s->size());
+  }
+  put_le<std::int64_t>(out_, offset_, start_unix_ns);
+}
+
+std::uint16_t ColumnarWriter::bus_index(const std::string& bus) {
+  const auto it = bus_lookup_.find(bus);
+  if (it != bus_lookup_.end()) return it->second;
+  if (bus.size() > 255) {
+    throw std::invalid_argument("ivc: bus name too long: " + bus);
+  }
+  if (buses_.size() >= 0xFFFF) {
+    throw std::runtime_error("ivc: too many distinct buses");
+  }
+  const std::uint16_t index = static_cast<std::uint16_t>(buses_.size());
+  buses_.push_back(bus);
+  bus_lookup_.emplace(bus, index);
+  return index;
+}
+
+void ColumnarWriter::write(const tracefile::TraceRecord& record) {
+  if (finished_) throw std::logic_error("ivc: write after finish");
+  if (record.payload.size() > 0xFFFF) {
+    throw std::invalid_argument("ivc: payload too long");
+  }
+  t_ns_.push_back(record.t_ns);
+  bus_idx_.push_back(bus_index(record.bus));
+  protocol_.push_back(static_cast<std::uint64_t>(record.protocol));
+  message_id_.push_back(record.message_id);
+  flags_.push_back(record.flags);
+  payload_len_.push_back(record.payload.size());
+  payload_bytes_.append(
+      reinterpret_cast<const char*>(record.payload.data()),
+      record.payload.size());
+  ++written_;
+  if (t_ns_.size() >= options_.chunk_rows) flush_chunk();
+}
+
+void ColumnarWriter::flush_chunk() {
+  if (t_ns_.empty()) return;
+
+  ChunkInfo info;
+  info.offset = offset_;
+  info.row_count = static_cast<std::uint32_t>(t_ns_.size());
+  info.min_t_ns = info.max_t_ns = t_ns_.front();
+  info.min_message_id = info.max_message_id = message_id_.front();
+  for (std::size_t i = 0; i < t_ns_.size(); ++i) {
+    info.min_t_ns = std::min(info.min_t_ns, t_ns_[i]);
+    info.max_t_ns = std::max(info.max_t_ns, t_ns_[i]);
+    info.min_message_id = std::min(info.min_message_id, message_id_[i]);
+    info.max_message_id = std::max(info.max_message_id, message_id_[i]);
+    info.set_bus(static_cast<std::uint16_t>(bus_idx_[i]));
+  }
+
+  put_le<std::uint32_t>(out_, offset_, info.row_count);
+  std::string block;
+  encode_delta(t_ns_, block);
+  put_block(out_, offset_, block);
+  block.clear();
+  encode_rle(bus_idx_, block);
+  put_block(out_, offset_, block);
+  block.clear();
+  encode_rle(protocol_, block);
+  put_block(out_, offset_, block);
+  block.clear();
+  encode_svarints(message_id_, block);
+  put_block(out_, offset_, block);
+  block.clear();
+  encode_rle(flags_, block);
+  put_block(out_, offset_, block);
+  block.clear();
+  for (const std::uint64_t len : payload_len_) put_uvarint(block, len);
+  put_block(out_, offset_, block);
+  block.clear();
+  put_le<std::uint32_t>(out_, offset_,
+                        static_cast<std::uint32_t>(payload_bytes_.size()));
+  put_bytes(out_, offset_, payload_bytes_.data(), payload_bytes_.size());
+
+  info.encoded_bytes = offset_ - info.offset;
+  chunks_.push_back(std::move(info));
+
+  t_ns_.clear();
+  bus_idx_.clear();
+  protocol_.clear();
+  message_id_.clear();
+  flags_.clear();
+  payload_len_.clear();
+  payload_bytes_.clear();
+}
+
+void ColumnarWriter::finish() {
+  if (finished_) throw std::logic_error("ivc: finish called twice");
+  flush_chunk();
+  finished_ = true;
+
+  const std::uint64_t footer_offset = offset_;
+  put_le<std::uint16_t>(out_, offset_,
+                        static_cast<std::uint16_t>(buses_.size()));
+  for (const std::string& bus : buses_) {
+    put_le<std::uint8_t>(out_, offset_,
+                         static_cast<std::uint8_t>(bus.size()));
+    put_bytes(out_, offset_, bus.data(), bus.size());
+  }
+  put_le<std::uint32_t>(out_, offset_,
+                        static_cast<std::uint32_t>(chunks_.size()));
+  for (const ChunkInfo& c : chunks_) {
+    put_le<std::uint64_t>(out_, offset_, c.offset);
+    put_le<std::uint64_t>(out_, offset_, c.encoded_bytes);
+    put_le<std::uint32_t>(out_, offset_, c.row_count);
+    put_le<std::int64_t>(out_, offset_, c.min_t_ns);
+    put_le<std::int64_t>(out_, offset_, c.max_t_ns);
+    put_le<std::int64_t>(out_, offset_, c.min_message_id);
+    put_le<std::int64_t>(out_, offset_, c.max_message_id);
+    put_le<std::uint16_t>(out_, offset_,
+                          static_cast<std::uint16_t>(c.bus_bits.size()));
+    for (const std::uint64_t word : c.bus_bits) {
+      put_le<std::uint64_t>(out_, offset_, word);
+    }
+  }
+  put_le<std::uint64_t>(out_, offset_, footer_offset);
+  put_bytes(out_, offset_, kFooterMagic, sizeof(kFooterMagic));
+  out_.flush();
+  if (!out_) throw std::runtime_error("ivc: write failed");
+}
+
+void save_trace_columnar(const tracefile::Trace& trace,
+                         const std::string& path,
+                         ColumnarWriterOptions options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  ColumnarWriter writer(out, trace.vehicle, trace.journey,
+                        trace.start_unix_ns, options);
+  for (const tracefile::TraceRecord& rec : trace.records) writer.write(rec);
+  writer.finish();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+PackStats pack_trace_file(const std::string& ivt_path,
+                          const std::string& ivc_path,
+                          ColumnarWriterOptions options) {
+  std::ifstream in(ivt_path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + ivt_path);
+  std::ofstream out(ivc_path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + ivc_path);
+
+  tracefile::TraceReader reader(in);
+  ColumnarWriter writer(out, reader.vehicle(), reader.journey(),
+                        reader.start_unix_ns(), options);
+  tracefile::TraceRecord rec;
+  while (reader.next(rec)) writer.write(rec);
+  writer.finish();
+  if (!out) throw std::runtime_error("write failed: " + ivc_path);
+  out.close();
+
+  PackStats stats;
+  stats.records = writer.records_written();
+  stats.chunks = writer.chunks_written();
+  std::error_code ec;
+  stats.input_bytes = std::filesystem::file_size(ivt_path, ec);
+  if (ec) stats.input_bytes = 0;
+  stats.output_bytes = std::filesystem::file_size(ivc_path, ec);
+  if (ec) stats.output_bytes = 0;
+  return stats;
+}
+
+}  // namespace ivt::colstore

@@ -1,0 +1,163 @@
+// Column-block encodings of the .ivc container.
+//
+// All encodings operate on in-memory byte buffers: the writer appends to a
+// std::string scratch block per column, the reader decodes from a
+// ByteSpan slice of the mapped file. Three primitives cover every column:
+//   - LEB128 varints (unsigned) and zigzag varints (signed),
+//   - delta + zigzag for monotone-ish timestamp streams,
+//   - run-length (value, run) pairs for low-cardinality streams
+//     (bus index, protocol, flags).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ivt::colstore {
+
+/// Non-owning view of an encoded column block.
+struct ByteSpan {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Sequential decoder over a ByteSpan; throws on overrun (a truncated or
+/// corrupt block must never read out of bounds).
+class ByteCursor {
+ public:
+  explicit ByteCursor(ByteSpan span) : span_(span) {}
+
+  [[nodiscard]] bool exhausted() const { return pos_ >= span_.size; }
+  [[nodiscard]] std::size_t remaining() const { return span_.size - pos_; }
+
+  std::uint8_t u8() {
+    if (pos_ >= span_.size) {
+      throw std::runtime_error("ivc: column block overrun");
+    }
+    return span_.data[pos_++];
+  }
+
+  /// Raw byte slice of length n.
+  ByteSpan bytes(std::size_t n) {
+    if (n > remaining()) {
+      throw std::runtime_error("ivc: column block overrun");
+    }
+    const ByteSpan out{span_.data + pos_, n};
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  ByteSpan span_;
+  std::size_t pos_ = 0;
+};
+
+// --- varint -----------------------------------------------------------
+
+inline void put_uvarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+inline std::uint64_t get_uvarint(ByteCursor& in) {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = in.u8();
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  throw std::runtime_error("ivc: varint too long");
+}
+
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+inline void put_svarint(std::string& out, std::int64_t v) {
+  put_uvarint(out, zigzag_encode(v));
+}
+
+inline std::int64_t get_svarint(ByteCursor& in) {
+  return zigzag_decode(get_uvarint(in));
+}
+
+// --- delta-encoded signed stream (timestamps) -------------------------
+
+inline void encode_delta(const std::vector<std::int64_t>& values,
+                         std::string& out) {
+  std::int64_t prev = 0;
+  for (const std::int64_t v : values) {
+    put_svarint(out, v - prev);
+    prev = v;
+  }
+}
+
+inline std::vector<std::int64_t> decode_delta(ByteSpan block,
+                                              std::size_t count) {
+  ByteCursor in(block);
+  std::vector<std::int64_t> values(count);
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    prev += get_svarint(in);
+    values[i] = prev;
+  }
+  return values;
+}
+
+// --- plain zigzag stream (message ids) --------------------------------
+
+inline void encode_svarints(const std::vector<std::int64_t>& values,
+                            std::string& out) {
+  for (const std::int64_t v : values) put_svarint(out, v);
+}
+
+inline std::vector<std::int64_t> decode_svarints(ByteSpan block,
+                                                 std::size_t count) {
+  ByteCursor in(block);
+  std::vector<std::int64_t> values(count);
+  for (std::size_t i = 0; i < count; ++i) values[i] = get_svarint(in);
+  return values;
+}
+
+// --- run-length (value, run) pairs ------------------------------------
+
+inline void encode_rle(const std::vector<std::uint64_t>& values,
+                       std::string& out) {
+  std::size_t i = 0;
+  while (i < values.size()) {
+    std::size_t run = 1;
+    while (i + run < values.size() && values[i + run] == values[i]) ++run;
+    put_uvarint(out, values[i]);
+    put_uvarint(out, run);
+    i += run;
+  }
+}
+
+inline std::vector<std::uint64_t> decode_rle(ByteSpan block,
+                                             std::size_t count) {
+  ByteCursor in(block);
+  std::vector<std::uint64_t> values;
+  values.reserve(count);
+  while (values.size() < count) {
+    const std::uint64_t value = get_uvarint(in);
+    const std::uint64_t run = get_uvarint(in);
+    if (run == 0 || run > count - values.size()) {
+      throw std::runtime_error("ivc: bad RLE run length");
+    }
+    values.insert(values.end(), static_cast<std::size_t>(run), value);
+  }
+  return values;
+}
+
+}  // namespace ivt::colstore

@@ -1,0 +1,96 @@
+// Columnar trace container (.ivc) — chunked, compressed, zone-mapped.
+//
+// Layout (all fixed-width integers little-endian):
+//
+//   header : magic "IVCC" | u32 version | u8 vehicle_len | vehicle
+//            | u8 journey_len | journey | i64 start_unix_ns
+//   chunks : row-group chunks back to back; each chunk is
+//            u32 row_count, then 7 column blocks, each prefixed with a
+//            u32 encoded byte length:
+//              0 t_ns        delta + zigzag varint
+//              1 bus_index   RLE (value, run) uvarint pairs
+//              2 protocol    RLE (value, run) uvarint pairs
+//              3 message_id  zigzag varint
+//              4 flags       RLE (value, run) uvarint pairs
+//              5 payload_len uvarint per row
+//              6 payload     concatenated raw bytes
+//   footer : bus dictionary (u16 count | (u8 len | name)*)
+//            | u32 chunk_count | chunk directory entries (ChunkInfo)
+//   tail   : u64 footer_offset | magic "IVCF"
+//
+// The per-chunk directory entry carries the zone map preselection prunes
+// on: min/max t_ns, min/max message_id, a bus-index bitmap and the row
+// count. Zone maps are conservative — a surviving chunk still gets
+// row-filtered during decode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ivt::colstore {
+
+inline constexpr char kChunkMagic[4] = {'I', 'V', 'C', 'C'};
+inline constexpr char kFooterMagic[4] = {'I', 'V', 'C', 'F'};
+inline constexpr std::uint32_t kColumnarFormatVersion = 1;
+inline constexpr std::size_t kColumnsPerChunk = 7;
+inline constexpr std::size_t kDefaultChunkRows = 65536;
+
+/// Per-chunk statistics + location: one directory entry of the footer.
+struct ChunkInfo {
+  std::uint64_t offset = 0;        ///< file offset of the chunk's row_count
+  std::uint64_t encoded_bytes = 0; ///< total chunk size on disk
+  std::uint32_t row_count = 0;
+  std::int64_t min_t_ns = 0;
+  std::int64_t max_t_ns = 0;
+  std::int64_t min_message_id = 0;
+  std::int64_t max_message_id = 0;
+  /// Bitmap over bus dictionary indices (word i bit b = index 64*i + b).
+  std::vector<std::uint64_t> bus_bits;
+
+  [[nodiscard]] bool has_bus(std::uint16_t index) const {
+    const std::size_t word = index / 64;
+    return word < bus_bits.size() &&
+           (bus_bits[word] >> (index % 64)) & 1;
+  }
+  void set_bus(std::uint16_t index) {
+    const std::size_t word = index / 64;
+    if (word >= bus_bits.size()) bus_bits.resize(word + 1, 0);
+    bus_bits[word] |= std::uint64_t{1} << (index % 64);
+  }
+};
+
+/// Pushed-down scan filter. Every set member is a conjunct; an empty
+/// predicate matches all rows. `bus_message_pairs` refines the two
+/// independent sets to exact (b_id, m_id) combinations — the shape of the
+/// paper's U_comb preselection set — so a pushed-down scan returns K_pre
+/// exactly, not a superset.
+struct ScanPredicate {
+  std::vector<std::int64_t> message_ids;  ///< empty = any id
+  std::vector<std::string> buses;         ///< empty = any bus
+  bool has_time_range = false;
+  std::int64_t min_t_ns = 0;  ///< inclusive, used when has_time_range
+  std::int64_t max_t_ns = 0;  ///< inclusive, used when has_time_range
+  std::vector<std::pair<std::string, std::int64_t>> bus_message_pairs;
+
+  [[nodiscard]] bool unconstrained() const {
+    return message_ids.empty() && buses.empty() && !has_time_range &&
+           bus_message_pairs.empty();
+  }
+};
+
+/// Zone-map test: can any row of `chunk` match `pred`? (Bus names have
+/// been resolved to dictionary indices by the reader; an id requested but
+/// absent from the dictionary can never match.)
+bool chunk_may_match(const ChunkInfo& chunk, const ScanPredicate& pred,
+                     const std::vector<std::uint16_t>& pred_bus_indices);
+
+/// Counters of one scan, for tests / `ivt inspect` / benchmarks.
+struct ScanStats {
+  std::size_t chunks_total = 0;
+  std::size_t chunks_scanned = 0;   ///< survived the zone maps
+  std::size_t rows_considered = 0;  ///< rows in surviving chunks
+  std::size_t rows_emitted = 0;     ///< rows passing the row-level filter
+};
+
+}  // namespace ivt::colstore

@@ -1,5 +1,6 @@
 #include "core/interpret.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -91,6 +92,24 @@ Table preselect(Engine& engine, const Table& kb, const Table& urel) {
             MessageKey{row.string_at(b_col), row.int64_at(m_col)});
       },
       "preselect");
+}
+
+Table preselect(Engine& engine, const colstore::ColumnarReader& reader,
+                const Table& urel, colstore::ScanStats* stats) {
+  colstore::ScanPredicate pred;
+  for (MessageKey& key : relevant_message_keys(urel)) {
+    pred.message_ids.push_back(key.message_id);
+    pred.buses.push_back(key.bus);
+    pred.bus_message_pairs.emplace_back(std::move(key.bus), key.message_id);
+  }
+  std::sort(pred.message_ids.begin(), pred.message_ids.end());
+  pred.message_ids.erase(
+      std::unique(pred.message_ids.begin(), pred.message_ids.end()),
+      pred.message_ids.end());
+  std::sort(pred.buses.begin(), pred.buses.end());
+  pred.buses.erase(std::unique(pred.buses.begin(), pred.buses.end()),
+                   pred.buses.end());
+  return reader.scan(pred, engine, stats);
 }
 
 namespace {

@@ -11,6 +11,7 @@
 // yielding the signal-instance table K_s.
 #pragma once
 
+#include "colstore/columnar_reader.hpp"
 #include "dataflow/engine.hpp"
 #include "dataflow/table.hpp"
 #include "signaldb/catalog.hpp"
@@ -37,6 +38,17 @@ struct InterpretOptions {
 /// Line 3: K_pre = σ_{(m_id,b_id) ∈ U_comb}(K_b).
 dataflow::Table preselect(dataflow::Engine& engine, const dataflow::Table& kb,
                           const dataflow::Table& urel);
+
+/// Line 3 with storage pushdown: instead of decoding all of K_b and then
+/// filtering, push the U_comb (m_id, b_id) set into a columnar scan —
+/// chunks whose zone maps cannot intersect the set are skipped entirely,
+/// and surviving chunks are row-filtered to the exact pair set during
+/// decode. Returns the same K_pre rows, in the same logical order, as
+/// preselect(engine, reader.scan(), urel).
+dataflow::Table preselect(dataflow::Engine& engine,
+                          const colstore::ColumnarReader& reader,
+                          const dataflow::Table& urel,
+                          colstore::ScanStats* stats = nullptr);
 
 /// Lines 4–6: K_join = K_pre ⋈ U_comb; K_s = F_u2(F_u1(K_join)).
 dataflow::Table interpret(dataflow::Engine& engine,

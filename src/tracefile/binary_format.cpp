@@ -72,14 +72,19 @@ TraceWriter::TraceWriter(std::ostream& out, const std::string& vehicle,
 }
 
 std::uint16_t TraceWriter::bus_index(const std::string& bus) {
-  for (std::size_t i = 0; i < buses_.size(); ++i) {
-    if (buses_[i] == bus) return static_cast<std::uint16_t>(i);
+  const auto it = bus_lookup_.find(bus);
+  if (it != bus_lookup_.end()) return it->second;
+  if (bus.size() > 255) {
+    // Validate before interning or writing the tag byte, so a rejected
+    // name leaves neither the dictionary nor the stream half-updated.
+    throw std::invalid_argument("trace file: string too long: " + bus);
   }
   if (buses_.size() >= 0xFFFF) {
     throw std::runtime_error("trace file: too many distinct buses");
   }
   const std::uint16_t index = static_cast<std::uint16_t>(buses_.size());
   buses_.push_back(bus);
+  bus_lookup_.emplace(bus, index);
   out_.put(static_cast<char>(kTagBusDef));
   put<std::uint16_t>(out_, index);
   put_short_string(out_, bus);

@@ -15,6 +15,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
 
 #include "tracefile/trace.hpp"
 
@@ -37,6 +38,9 @@ class TraceWriter {
 
   std::ostream& out_;
   std::vector<std::string> buses_;
+  /// Intern lookup: name -> index into buses_. Kept alongside the vector
+  /// so interning stays O(1) per record instead of O(#buses).
+  std::unordered_map<std::string, std::uint16_t> bus_lookup_;
   std::size_t written_ = 0;
 };
 

@@ -92,6 +92,105 @@ TEST(BinaryFormatTest, TruncatedRecordRejected) {
   EXPECT_THROW(reader.next(rec), std::runtime_error);
 }
 
+TEST(BinaryFormatTest, TruncatedMidPayloadRejected) {
+  std::stringstream ss;
+  {
+    TraceWriter writer(ss, "V", "J", 0);
+    TraceRecord rec;
+    rec.bus = "FC";
+    rec.payload.assign(16, 0x55);
+    writer.write(rec);
+  }
+  std::string data = ss.str();
+  data.resize(data.size() - 8);  // cut inside the 16-byte payload
+  std::stringstream truncated(data);
+  TraceReader reader(truncated);
+  TraceRecord rec;
+  EXPECT_THROW(reader.next(rec), std::runtime_error);
+}
+
+TEST(BinaryFormatTest, OutOfRangeBusIndexRejected) {
+  // A record referencing bus index 5 when no bus was ever defined: craft
+  // the stream by writing a valid record and patching its index bytes
+  // (tag 0x02 | i64 t_ns | u16 bus_index | ...).
+  std::stringstream ss;
+  {
+    TraceWriter writer(ss, "V", "J", 0);
+    TraceRecord rec;
+    rec.bus = "FC";
+    writer.write(rec);
+  }
+  std::string data = ss.str();
+  // With an empty payload the record is the trailing 26 bytes:
+  // tag(1) t_ns(8) bus(2) protocol(1) m_id(8) flags(4) payload_len(2).
+  const std::size_t record_start = data.size() - 26;
+  ASSERT_EQ(data[record_start], '\x02');
+  data[record_start + 1 + 8] = 5;  // bus index low byte: 0 -> 5
+  std::stringstream patched(data);
+  TraceReader reader(patched);
+  TraceRecord rec;
+  EXPECT_THROW(reader.next(rec), std::runtime_error);
+}
+
+TEST(BinaryFormatTest, OverlongBusNameRejectedWithoutCorruptingStream) {
+  std::stringstream ss;
+  TraceWriter writer(ss, "V", "J", 0);
+  TraceRecord bad;
+  bad.bus = std::string(256, 'x');
+  EXPECT_THROW(writer.write(bad), std::invalid_argument);
+  // The rejected name must leave neither a partial bus definition in the
+  // stream nor a dictionary entry: a valid record must still round-trip.
+  TraceRecord good;
+  good.bus = "FC";
+  good.message_id = 7;
+  writer.write(good);
+  TraceReader reader(ss);
+  TraceRecord back;
+  ASSERT_TRUE(reader.next(back));
+  EXPECT_EQ(back, good);
+  EXPECT_FALSE(reader.next(back));
+}
+
+TEST(BinaryFormatTest, ManyBusesInternAndRoundTrip) {
+  // Regression for the O(#buses) linear intern scan: thousands of
+  // distinct buses must stay fast and index correctly.
+  Trace t;
+  t.vehicle = "V";
+  for (int i = 0; i < 2000; ++i) {
+    TraceRecord rec;
+    rec.t_ns = i;
+    rec.bus = "BUS" + std::to_string(i % 1000);  // each name used twice
+    rec.message_id = i;
+    t.records.push_back(std::move(rec));
+  }
+  std::stringstream ss;
+  {
+    TraceWriter writer(ss, t.vehicle, "J", 0);
+    for (const TraceRecord& rec : t.records) writer.write(rec);
+  }
+  TraceReader reader(ss);
+  std::vector<TraceRecord> back;
+  TraceRecord rec;
+  while (reader.next(rec)) back.push_back(rec);
+  EXPECT_EQ(back, t.records);
+}
+
+TEST(BinaryFormatTest, BusInternCapEnforced) {
+  // The u16 bus index caps the dictionary at 0xFFFF names; the 65536th
+  // distinct bus must be rejected (and the hash-map intern keeps writing
+  // 65535 definitions tractable in the first place).
+  std::stringstream ss;
+  TraceWriter writer(ss, "V", "J", 0);
+  TraceRecord rec;
+  for (int i = 0; i < 0xFFFF; ++i) {
+    rec.t_ns = i;
+    rec.bus = "B" + std::to_string(i);
+    writer.write(rec);
+  }
+  rec.bus = "ONE-TOO-MANY";
+  EXPECT_THROW(writer.write(rec), std::runtime_error);
+}
+
 TEST(BinaryFormatTest, EmptyTraceRoundTrip) {
   std::stringstream ss;
   { TraceWriter writer(ss, "V", "J", 42); }
