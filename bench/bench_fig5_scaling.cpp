@@ -9,6 +9,7 @@
 // (gateway dedup). Expect a linear curve (O(n) row-wise interpretation)
 // with fluctuations from task scheduling.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -42,16 +43,29 @@ dataflow::Table kb_prefix(const dataflow::Table& kb, std::size_t rows,
 
 }  // namespace
 
-int main() {
-  const double scale = 2e-2 * bench::bench_scale();
-  constexpr std::size_t kSteps = 8;
+int main(int argc, char** argv) {
+  // --quick: CI-budget variant (smaller dataset, fewer steps) that still
+  // exercises every stage and emits the same JSON artifacts.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double scale = (quick ? 2e-3 : 2e-2) * bench::bench_scale();
+  const std::size_t kSteps = quick ? 3 : 8;
   dataflow::Engine engine({.workers = bench::bench_workers(),
                            .task_overhead = std::chrono::microseconds(100)});
+  bench::JsonLinesEmitter json("fig5_scaling");
 
   std::printf("Fig. 5 reproduction — execution time after interpretation "
               "and reduction (Algorithm 1 lines 3-11)\n");
   std::printf("dataset scale %.4g, %zu workers, 100us simulated task "
-              "dispatch overhead\n\n", scale, engine.workers());
+              "dispatch overhead%s\n\n", scale, engine.workers(),
+              quick ? " [quick]" : "");
   std::printf("%-8s %12s %12s %12s %14s\n", "dataset", "kb_rows",
               "examples", "reduced", "time_ms");
 
@@ -80,9 +94,25 @@ int main() {
       const double ms = timer.seconds() * 1e3;
       std::printf("%-8s %12zu %12zu %12zu %14.2f\n", spec.name.c_str(), rows,
                   result.ks_rows, result.reduced_rows, ms);
+      json.emit(bench::JsonRecord()
+                    .add("bench", "fig5_scaling")
+                    .add("dataset", spec.name)
+                    .add("quick", quick)
+                    .add("step", static_cast<std::uint64_t>(step))
+                    .add("kb_rows", static_cast<std::uint64_t>(rows))
+                    .add("examples",
+                         static_cast<std::uint64_t>(result.ks_rows))
+                    .add("reduced",
+                         static_cast<std::uint64_t>(result.reduced_rows))
+                    .add("time_ms", ms)
+                    .add("peak_rss_bytes", bench::peak_rss_bytes()));
     }
     std::puts("");
   }
+  const std::string metrics_path =
+      bench::write_metrics_snapshot("fig5_scaling");
+  std::printf("JSON trajectory: %s\nmetrics snapshot: %s\n", json.path().c_str(),
+              metrics_path.c_str());
   std::printf(
       "Paper reference: linear growth in examples per data set (O(n)\n"
       "row-wise interpretation), fluctuations from cluster scheduling;\n"

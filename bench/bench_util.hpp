@@ -14,6 +14,8 @@
 #include <sys/resource.h>
 #endif
 
+#include "obs/metrics.hpp"
+
 namespace ivt::bench {
 
 /// Wall-clock stopwatch.
@@ -52,6 +54,15 @@ inline std::size_t bench_workers() {
   return 0;  // engine default = hardware concurrency
 }
 
+/// Normalizes a getrusage ru_maxrss value to bytes. macOS reports bytes;
+/// Linux (and the BSDs) report KiB. Split out from peak_rss_bytes() so the
+/// unit conversion is testable on every platform regardless of which
+/// branch the host compiles.
+inline std::uint64_t maxrss_to_bytes(std::uint64_t ru_maxrss,
+                                     bool platform_reports_bytes) {
+  return platform_reports_bytes ? ru_maxrss : ru_maxrss * 1024;
+}
+
 /// Peak resident set size of this process so far, in bytes (0 when the
 /// platform offers no getrusage).
 inline std::uint64_t peak_rss_bytes() {
@@ -59,13 +70,37 @@ inline std::uint64_t peak_rss_bytes() {
   struct rusage usage {};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
 #if defined(__APPLE__)
-  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+  constexpr bool kMaxRssIsBytes = true;
 #else
-  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+  constexpr bool kMaxRssIsBytes = false;
 #endif
+  return maxrss_to_bytes(static_cast<std::uint64_t>(usage.ru_maxrss),
+                         kMaxRssIsBytes);
 #else
   return 0;
 #endif
+}
+
+/// Directory benchmark artifacts land in: $IVT_BENCH_JSON_DIR (with a
+/// trailing '/' appended) when set, else the current directory.
+inline std::string bench_json_dir() {
+  if (const char* env = std::getenv("IVT_BENCH_JSON_DIR")) {
+    std::string dir = env;
+    if (!dir.empty() && dir.back() != '/') dir += '/';
+    return dir;
+  }
+  return "";
+}
+
+/// Dumps the current obs metrics registry to METRICS_<name>.json next to
+/// the BENCH_*.json trajectory (honors IVT_BENCH_JSON_DIR), so a benchmark
+/// run leaves its internal counters (pool, colstore, pipeline stages)
+/// alongside the wall-clock numbers. A no-op registry (IVT_OBS=OFF)
+/// produces an empty-but-valid snapshot.
+inline std::string write_metrics_snapshot(const std::string& bench_name) {
+  const std::string path = bench_json_dir() + "METRICS_" + bench_name + ".json";
+  obs::write_metrics_json(path);
+  return path;
 }
 
 /// One JSON-lines benchmark record: ordered key -> rendered-JSON-value
@@ -142,7 +177,7 @@ class JsonRecord {
 class JsonLinesEmitter {
  public:
   explicit JsonLinesEmitter(const std::string& bench_name)
-      : path_(default_dir() + "BENCH_" + bench_name + ".json"),
+      : path_(bench_json_dir() + "BENCH_" + bench_name + ".json"),
         out_(path_, std::ios::app) {}
 
   [[nodiscard]] const std::string& path() const { return path_; }
@@ -154,15 +189,6 @@ class JsonLinesEmitter {
   }
 
  private:
-  static std::string default_dir() {
-    if (const char* env = std::getenv("IVT_BENCH_JSON_DIR")) {
-      std::string dir = env;
-      if (!dir.empty() && dir.back() != '/') dir += '/';
-      return dir;
-    }
-    return "";
-  }
-
   std::string path_;
   std::ofstream out_;
 };

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 
 #include <algorithm>
@@ -20,6 +21,7 @@
 #include "dataflow/ops.hpp"
 #include "dataflow/summary.hpp"
 #include "dataflow/table_io.hpp"
+#include "obs/obs.hpp"
 #include "simnet/datasets.hpp"
 #include "tracefile/binary_format.hpp"
 
@@ -63,6 +65,9 @@ commands:
       --out PATH              .csv or .ivtbl output (required)
       --workers N             engine workers (default: hardware)
       --skip-error-frames     drop monitor-flagged error frames
+      --trace-out PATH        write a Chrome trace (chrome://tracing,
+                              Perfetto) of the run's spans
+      --metrics-out PATH      write the metrics registry snapshot as JSON
 
   run          full preprocessing pipeline (Algorithm 1)
       --trace, --catalog, --signals, --workers   as in extract
@@ -72,10 +77,13 @@ commands:
       --state PATH            write the state representation (.csv/.ivtbl)
       --krep PATH             write the homogenized sequence R_out
       --report text|json      processing report to stdout (default text)
+      --trace-out PATH        write a Chrome trace of the run's spans
+      --metrics-out PATH      write the metrics registry snapshot as JSON
 
   mine         Sec. 4.4 applications on one journey (runs the pipeline,
                then anomaly ranking, rare transitions and IF-THEN rules)
       --trace, --catalog, --signals, --workers, --rate-threshold  as in run
+      --trace-out, --metrics-out                 as in run
       --top-k N               anomalies to report (default 10)
       --rare-probability P    rare-transition threshold (default 0.05)
       --min-support S         Apriori minimum support (default 0.1)
@@ -107,6 +115,46 @@ void warn_unused(const Args& args) {
     std::fprintf(stderr, "warning: unknown option --%s ignored\n",
                  key.c_str());
   }
+}
+
+/// --trace-out / --metrics-out handling shared by extract/run/mine.
+/// Read the options before the command runs (so warn_unused stays
+/// accurate), write the artifacts after it finishes.
+class ObsOutputs {
+ public:
+  explicit ObsOutputs(const Args& args)
+      : trace_out_(args.get("trace-out")),
+        metrics_out_(args.get("metrics-out")) {}
+
+  void write() const {
+    if (trace_out_) {
+      obs::write_chrome_trace(*trace_out_);
+      std::fprintf(stderr, "chrome trace written to %s (%zu spans)\n",
+                   trace_out_->c_str(), obs::collect_spans().size());
+    }
+    if (metrics_out_) {
+      obs::write_metrics_json(*metrics_out_);
+      std::fprintf(stderr, "metrics snapshot written to %s\n",
+                   metrics_out_->c_str());
+    }
+  }
+
+ private:
+  std::optional<std::string> trace_out_;
+  std::optional<std::string> metrics_out_;
+};
+
+/// K_b table from either container. Columnar traces decode straight into
+/// a partitioned table on the engine's workers (and populate the
+/// colstore.* metrics); row traces go through the in-memory Trace model.
+dataflow::Table load_kb_table(const std::string& trace_path,
+                              dataflow::Engine& engine) {
+  if (colstore::is_columnar_trace_file(trace_path)) {
+    const colstore::ColumnarReader reader(trace_path);
+    return reader.scan({}, engine);
+  }
+  const tracefile::Trace trace = tracefile::load_trace(trace_path);
+  return tracefile::to_kb_table(trace, engine.default_partitions());
 }
 
 simnet::DatasetSpec spec_by_name(const std::string& name) {
@@ -282,6 +330,7 @@ int cmd_extract(const Args& args) {
   core::InterpretOptions options;
   options.catalog = &catalog;
   options.skip_error_frames = args.has("skip-error-frames");
+  const ObsOutputs obs_outputs(args);
   warn_unused(args);
 
   dataflow::Engine engine(engine_config);
@@ -316,12 +365,12 @@ int cmd_extract(const Args& args) {
   std::printf("%s",
               dataflow::to_display_string(dataflow::summarize(engine, ks))
                   .c_str());
+  obs_outputs.write();
   return 0;
 }
 
 int cmd_run(const Args& args) {
-  const tracefile::Trace trace =
-      colstore::load_any_trace(args.require("trace"));
+  const std::string trace_path = args.require("trace");
   const signaldb::Catalog catalog = load_catalog_arg(args, "catalog");
 
   core::PipelineConfig config;
@@ -346,12 +395,12 @@ int cmd_run(const Args& args) {
   const std::string report_kind = args.get_or("report", "text");
   const auto state_path = args.get("state");
   const auto krep_path = args.get("krep");
+  const ObsOutputs obs_outputs(args);
   warn_unused(args);
 
   dataflow::Engine engine(engine_config);
   const core::Pipeline pipeline(catalog, config);
-  const auto kb =
-      tracefile::to_kb_table(trace, engine.default_partitions());
+  const auto kb = load_kb_table(trace_path, engine);
   const core::PipelineResult result = pipeline.run(engine, kb);
 
   if (state_path) write_table_arg(result.state, *state_path);
@@ -364,12 +413,12 @@ int cmd_run(const Args& args) {
   } else {
     throw std::invalid_argument("unknown report kind '" + report_kind + "'");
   }
+  obs_outputs.write();
   return 0;
 }
 
 int cmd_mine(const Args& args) {
-  const tracefile::Trace trace =
-      colstore::load_any_trace(args.require("trace"));
+  const std::string trace_path = args.require("trace");
   const signaldb::Catalog catalog = load_catalog_arg(args, "catalog");
 
   core::PipelineConfig config;
@@ -387,12 +436,13 @@ int cmd_mine(const Args& args) {
   const double min_confidence = args.get_double("min-confidence", 0.9);
   std::vector<std::string> rule_columns = args.get_list("rule-columns");
   const auto dot_path = args.get("dot");
+  const ObsOutputs obs_outputs(args);
   warn_unused(args);
 
   dataflow::Engine engine(engine_config);
   const core::Pipeline pipeline(catalog, config);
-  const core::PipelineResult result = pipeline.run(
-      engine, tracefile::to_kb_table(trace, engine.default_partitions()));
+  const core::PipelineResult result =
+      pipeline.run(engine, load_kb_table(trace_path, engine));
   std::printf("%s\n", core::report_summary_line(result).c_str());
 
   // 1. Element anomalies.

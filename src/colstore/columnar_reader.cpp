@@ -15,6 +15,7 @@
 #include "colstore/encoding.hpp"
 #include "dataflow/engine.hpp"
 #include "dataflow/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "tracefile/binary_format.hpp"
 
 namespace ivt::colstore {
@@ -316,6 +317,7 @@ DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
 dataflow::Table ColumnarReader::scan_with_runner(const ScanPredicate& pred,
                                                  const TaskRunner& run,
                                                  ScanStats* stats) const {
+  OBS_SPAN_V(scan_span, "colstore.scan");
   ScanStats local;
   local.chunks_total = chunks_.size();
 
@@ -331,14 +333,27 @@ dataflow::Table ColumnarReader::scan_with_runner(const ScanPredicate& pred,
     }
   }
   local.chunks_scanned = survivors.size();
+  std::uint64_t decoded_bytes = 0;
   for (const std::size_t i : survivors) {
     local.rows_considered += chunks_[i].row_count;
+    decoded_bytes += chunks_[i].encoded_bytes;
   }
+  std::uint64_t total_bytes = 0;
+  for (const ChunkInfo& c : chunks_) total_bytes += c.encoded_bytes;
+  OBS_COUNT("colstore.chunks_total", local.chunks_total);
+  OBS_COUNT("colstore.chunks_decoded", local.chunks_scanned);
+  OBS_COUNT("colstore.chunks_pruned",
+            local.chunks_total - local.chunks_scanned);
+  OBS_COUNT("colstore.bytes_decoded", decoded_bytes);
+  OBS_COUNT("colstore.bytes_skipped", total_bytes - decoded_bytes);
 
   const dataflow::Schema& schema = tracefile::kb_schema();
   std::vector<dataflow::Partition> partitions(survivors.size());
   run(survivors.size(), [&](std::size_t k) {
+    OBS_SPAN_V(chunk_span, "colstore.decode_chunk");
     const ChunkInfo& info = chunks_[survivors[k]];
+    chunk_span.set_bytes(info.encoded_bytes);
+    chunk_span.set_rows(info.row_count);
     const DecodedChunk chunk = decode_columns(data_, info, buses_.size());
     dataflow::Partition out = dataflow::Table::make_partition(schema);
     std::size_t payload_pos = 0;
@@ -369,6 +384,10 @@ dataflow::Table ColumnarReader::scan_with_runner(const ScanPredicate& pred,
     local.rows_emitted += p.num_rows();
     table.add_partition(std::move(p));
   }
+  OBS_COUNT("colstore.rows_emitted", local.rows_emitted);
+  OBS_COUNT("colstore.rows_pruned",
+            num_rows() - local.rows_emitted);
+  scan_span.set_rows(local.rows_emitted);
   if (stats != nullptr) *stats = local;
   return table;
 }

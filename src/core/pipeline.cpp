@@ -1,11 +1,57 @@
 #include "core/pipeline.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <unordered_map>
 
 #include "core/schemas.hpp"
 #include "core/urel.hpp"
+#include "obs/obs.hpp"
 
 namespace ivt::core {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// Append one stage total to the report and publish it to the metrics
+/// registry (`pipeline.stage.<name>.wall_ns`), so both `--report-json`
+/// and `--metrics-out` answer "which stage dominated".
+void record_stage_time(std::vector<StageTiming>& times, const char* name,
+                       std::uint64_t wall_ns) {
+  times.push_back({name, static_cast<double>(wall_ns) / 1e6});
+#if IVT_OBS_ENABLED
+  obs::Registry::instance()
+      .counter(std::string("pipeline.stage.") + name + ".wall_ns")
+      .add(wall_ns);
+#endif
+}
+
+const char* branch_span_name(Branch branch) {
+  switch (branch) {
+    case Branch::Alpha: return "branch.alpha";
+    case Branch::Beta: return "branch.beta";
+    case Branch::Gamma: return "branch.gamma";
+  }
+  return "branch.unknown";
+}
+
+/// Relaxed-atomic nanosecond accumulators for the per-sequence sub-stages
+/// (reduce/extend/classify/branch run inside parallel_for, so their
+/// totals are summed across workers).
+struct SubStageNs {
+  std::atomic<std::uint64_t> reduce{0};
+  std::atomic<std::uint64_t> extend{0};
+  std::atomic<std::uint64_t> classify{0};
+  std::atomic<std::uint64_t> branch{0};
+};
+
+}  // namespace
 
 dataflow::Table concat_tables(const dataflow::Schema& schema,
                               std::vector<dataflow::Table> tables) {
@@ -42,18 +88,29 @@ dataflow::Table Pipeline::extract(dataflow::Engine& engine,
 
 Pipeline::ReducedResult Pipeline::extract_and_reduce(
     dataflow::Engine& engine, const dataflow::Table& kb) const {
+  OBS_SPAN("pipeline.extract_and_reduce");
   ReducedResult result;
-  const dataflow::Table ks = extract(engine, kb);
+  dataflow::Table ks = [&] {
+    OBS_SPAN_V(span, "pipeline.interpret");
+    dataflow::Table t = extract(engine, kb);
+    span.set_rows(t.num_rows());
+    return t;
+  }();
   result.ks_rows = ks.num_rows();
 
-  SplitDataResult split = split_signals_data(engine, ks, config_.split);
+  SplitDataResult split = [&] {
+    OBS_SPAN_V(span, "pipeline.split");
+    return split_signals_data(engine, ks, config_.split);
+  }();
   result.correspondences = std::move(split.correspondences);
 
   result.sequences.resize(split.sequences.size());
   engine.parallel_for(split.sequences.size(), [&](std::size_t i) {
+    OBS_SPAN_V(span, "sequence.reduce");
     const SequenceData& seq = split.sequences[i];
     result.sequences[i] =
         reduce_sequence(config_.constraints, seq, spec_of(seq.s_id));
+    span.set_rows(result.sequences[i].size());
   });
   for (const SequenceData& seq : result.sequences) {
     result.reduced_rows += seq.size();
@@ -63,17 +120,44 @@ Pipeline::ReducedResult Pipeline::extract_and_reduce(
 
 PipelineResult Pipeline::run(dataflow::Engine& engine,
                              const dataflow::Table& kb) const {
+  OBS_SPAN("pipeline.run");
+  using Clock = std::chrono::steady_clock;
   PipelineResult result;
   result.kb_rows = kb.num_rows();
+  OBS_COUNT("pipeline.runs", 1);
+  OBS_COUNT("pipeline.kb_rows", result.kb_rows);
 
   // Lines 3–6: preselection + interpretation.
-  const dataflow::Table kpre = preselect(engine, kb, urel_);
+  auto stage_start = Clock::now();
+  const dataflow::Table kpre = [&] {
+    OBS_SPAN_V(span, "pipeline.preselect");
+    dataflow::Table t = preselect(engine, kb, urel_);
+    span.set_rows(t.num_rows());
+    return t;
+  }();
   result.kpre_rows = kpre.num_rows();
-  dataflow::Table ks = interpret(engine, kpre, urel_, config_.interpret);
+  record_stage_time(result.stage_times, "preselect", elapsed_ns(stage_start));
+
+  stage_start = Clock::now();
+  dataflow::Table ks = [&] {
+    OBS_SPAN_V(span, "pipeline.interpret");
+    dataflow::Table t = interpret(engine, kpre, urel_, config_.interpret);
+    span.set_rows(t.num_rows());
+    return t;
+  }();
   result.ks_rows = ks.num_rows();
+  record_stage_time(result.stage_times, "interpret", elapsed_ns(stage_start));
+  OBS_COUNT("pipeline.ks_rows", result.ks_rows);
 
   // Lines 7–9: splitting + gateway dedup.
-  SplitDataResult split = split_signals_data(engine, ks, config_.split);
+  stage_start = Clock::now();
+  SplitDataResult split = [&] {
+    OBS_SPAN_V(span, "pipeline.split");
+    SplitDataResult r = split_signals_data(engine, ks, config_.split);
+    span.set_rows(r.sequences.size());
+    return r;
+  }();
+  record_stage_time(result.stage_times, "split", elapsed_ns(stage_start));
   result.correspondences = std::move(split.correspondences);
   if (config_.keep_ks) {
     result.ks = std::move(ks);
@@ -87,6 +171,7 @@ PipelineResult Pipeline::run(dataflow::Engine& engine,
   std::vector<SequenceReport> reports(n);
   std::vector<dataflow::Table> branch_tables(n);
   std::vector<std::vector<dataflow::Table>> extension_tables(n);
+  SubStageNs sub_ns;
 
   engine.parallel_for(n, [&](std::size_t i) {
     const SequenceData& raw = split.sequences[i];
@@ -97,49 +182,98 @@ PipelineResult Pipeline::run(dataflow::Engine& engine,
     report.input_rows = raw.size();
 
     // Line 10–11: constraint reduction.
-    const SequenceData red =
-        reduce_sequence(config_.constraints, raw, spec);
+    auto sub_start = Clock::now();
+    const SequenceData red = [&] {
+      OBS_SPAN_V(span, "sequence.reduce");
+      SequenceData r = reduce_sequence(config_.constraints, raw, spec);
+      span.set_rows(r.size());
+      return r;
+    }();
+    sub_ns.reduce.fetch_add(elapsed_ns(sub_start),
+                            std::memory_order_relaxed);
     report.reduced_rows = red.size();
     const ConstraintContext context{red, spec};
 
     // Line 12: extensions W (on raw or reduced data, see PipelineConfig).
-    const ConstraintContext extension_context{
-        config_.extensions_on_reduced ? red : raw, spec};
-    extension_tables[i] = apply_extensions(config_.extensions,
-                                           extension_context);
-    for (const dataflow::Table& t : extension_tables[i]) {
-      report.extension_rows += t.num_rows();
+    sub_start = Clock::now();
+    {
+      OBS_SPAN_V(span, "sequence.extend");
+      const ConstraintContext extension_context{
+          config_.extensions_on_reduced ? red : raw, spec};
+      extension_tables[i] =
+          apply_extensions(config_.extensions, extension_context);
+      for (const dataflow::Table& t : extension_tables[i]) {
+        report.extension_rows += t.num_rows();
+      }
+      span.set_rows(report.extension_rows);
     }
+    sub_ns.extend.fetch_add(elapsed_ns(sub_start),
+                            std::memory_order_relaxed);
 
     // Lines 13–28: classification + branch processing.
-    report.classification = classify_sequence(context, config_.classifier);
-    branch_tables[i] = process_by_branch(report.classification.branch,
-                                         context, config_.branch,
-                                         &report.branch_stats);
+    sub_start = Clock::now();
+    {
+      OBS_SPAN("sequence.classify");
+      report.classification = classify_sequence(context, config_.classifier);
+    }
+    sub_ns.classify.fetch_add(elapsed_ns(sub_start),
+                              std::memory_order_relaxed);
+
+    sub_start = Clock::now();
+    {
+      OBS_SPAN_V(span, branch_span_name(report.classification.branch));
+      branch_tables[i] = process_by_branch(report.classification.branch,
+                                           context, config_.branch,
+                                           &report.branch_stats);
+      span.set_rows(branch_tables[i].num_rows());
+    }
+    sub_ns.branch.fetch_add(elapsed_ns(sub_start),
+                            std::memory_order_relaxed);
     report.output_rows = branch_tables[i].num_rows();
   });
+  record_stage_time(result.stage_times, "reduce",
+                    sub_ns.reduce.load(std::memory_order_relaxed));
+  record_stage_time(result.stage_times, "extend",
+                    sub_ns.extend.load(std::memory_order_relaxed));
+  record_stage_time(result.stage_times, "classify",
+                    sub_ns.classify.load(std::memory_order_relaxed));
+  record_stage_time(result.stage_times, "branch",
+                    sub_ns.branch.load(std::memory_order_relaxed));
 
   result.sequences = std::move(reports);
   for (const SequenceReport& report : result.sequences) {
     result.reduced_rows += report.reduced_rows;
   }
+  OBS_COUNT("pipeline.reduced_rows", result.reduced_rows);
 
   // Line 29: merge K_res and W into R_out.
-  std::vector<dataflow::Table> all;
-  all.reserve(branch_tables.size() * 2);
-  for (std::size_t i = 0; i < n; ++i) {
-    all.push_back(std::move(branch_tables[i]));
-    for (dataflow::Table& t : extension_tables[i]) {
-      all.push_back(std::move(t));
+  stage_start = Clock::now();
+  {
+    OBS_SPAN_V(span, "pipeline.merge");
+    std::vector<dataflow::Table> all;
+    all.reserve(branch_tables.size() * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      all.push_back(std::move(branch_tables[i]));
+      for (dataflow::Table& t : extension_tables[i]) {
+        all.push_back(std::move(t));
+      }
     }
+    result.krep = concat_tables(krep_schema(), std::move(all));
+    span.set_rows(result.krep.num_rows());
   }
-  result.krep = concat_tables(krep_schema(), std::move(all));
   result.krep_rows = result.krep.num_rows();
+  record_stage_time(result.stage_times, "merge", elapsed_ns(stage_start));
+  OBS_COUNT("pipeline.krep_rows", result.krep_rows);
 
   // Sec. 4.3: state representation.
   if (config_.build_state) {
+    stage_start = Clock::now();
+    OBS_SPAN_V(span, "pipeline.state_repr");
     result.state =
         build_state_representation(engine, result.krep, config_.state);
+    span.set_rows(result.state.num_rows());
+    record_stage_time(result.stage_times, "state_repr",
+                      elapsed_ns(stage_start));
   }
   return result;
 }

@@ -61,12 +61,26 @@ struct SequenceReport {
   BranchStats branch_stats;
 };
 
+/// Wall time of one Algorithm-1 stage across the whole run (sub-stages
+/// executed per sequence are summed over sequences, so on a parallel run
+/// they can exceed the elapsed wall clock).
+struct StageTiming {
+  std::string stage;
+  double wall_ms = 0.0;
+};
+
 struct PipelineResult {
   std::size_t kb_rows = 0;
   std::size_t kpre_rows = 0;
   std::size_t ks_rows = 0;
   std::size_t reduced_rows = 0;
   std::size_t krep_rows = 0;
+
+  /// Per-stage wall-time totals in execution order (preselect, interpret,
+  /// split, reduce, extend, classify, branch, merge, state_repr). Also
+  /// published to the obs metrics registry as
+  /// `pipeline.stage.<name>.wall_ns` counters.
+  std::vector<StageTiming> stage_times;
 
   dataflow::Table ks;    ///< only populated when config.keep_ks
   dataflow::Table krep;  ///< R_out: merged homogeneous sequence (incl. W)

@@ -46,7 +46,17 @@ std::string report_summary_line(const PipelineResult& result) {
 
 std::string report_to_text(const PipelineResult& result) {
   std::ostringstream os;
-  os << report_summary_line(result) << "\n\n";
+  os << report_summary_line(result) << "\n";
+  if (!result.stage_times.empty()) {
+    os << "\nstage wall times (per-sequence stages summed over workers):\n";
+    for (const StageTiming& st : result.stage_times) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "  %-12s %10.2f ms\n",
+                    st.stage.c_str(), st.wall_ms);
+      os << buf;
+    }
+  }
+  os << "\n";
   char line[256];
   std::snprintf(line, sizeof(line),
                 "%-20s %-8s %-8s %-8s %2s %4s %3s %8s %8s %8s %5s %5s %5s\n",
@@ -87,6 +97,16 @@ std::string report_to_json(const PipelineResult& result) {
   os << "  \"reduced_rows\": " << result.reduced_rows << ",\n";
   os << "  \"krep_rows\": " << result.krep_rows << ",\n";
   os << "  \"state_rows\": " << result.state.num_rows() << ",\n";
+  os << "  \"stages\": [\n";
+  for (std::size_t i = 0; i < result.stage_times.size(); ++i) {
+    const StageTiming& st = result.stage_times[i];
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", st.wall_ms);
+    os << "    {\"stage\": \"" << json_escape(st.stage)
+       << "\", \"wall_ms\": " << wall << "}"
+       << (i + 1 < result.stage_times.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
   os << "  \"sequences\": [\n";
   for (std::size_t i = 0; i < result.sequences.size(); ++i) {
     const SequenceReport& r = result.sequences[i];

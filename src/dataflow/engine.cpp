@@ -3,6 +3,8 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace ivt::dataflow {
 
 Engine::Engine(EngineConfig config) : config_(config) {
@@ -51,14 +53,20 @@ void Engine::parallel_for(std::size_t n,
 Table Engine::map_partitions(
     const std::string& stage_name, const Table& in, const Schema& out_schema,
     const std::function<Partition(const Partition&, std::size_t)>& fn) {
+  OBS_SPAN_V(stage_span, "engine." + stage_name);
+  OBS_COUNT("engine.stages", 1);
+  OBS_COUNT("engine.tasks", in.num_partitions());
   const auto start = std::chrono::steady_clock::now();
   std::vector<Partition> out(in.num_partitions());
   parallel_for(in.num_partitions(), [&](std::size_t i) {
+    OBS_SPAN_V(task_span, "engine.task");
     out[i] = fn(in.partition(i), i);
+    task_span.set_rows(out[i].num_rows());
   });
   Table result(out_schema);
   for (Partition& p : out) result.add_partition(std::move(p));
   const auto end = std::chrono::steady_clock::now();
+  stage_span.set_rows(result.num_rows());
 
   StageMetrics m;
   m.name = stage_name;
@@ -66,6 +74,7 @@ Table Engine::map_partitions(
   m.input_rows = in.num_rows();
   m.output_rows = result.num_rows();
   m.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  OBS_HIST_MS("engine.stage_wall_ms", m.wall_ms);
   record_stage(std::move(m));
   return result;
 }

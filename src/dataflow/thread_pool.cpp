@@ -1,11 +1,10 @@
 #include "dataflow/thread_pool.hpp"
 
-#include <algorithm>
+#include "obs/obs.hpp"
 
 namespace ivt::dataflow {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
-  num_threads = std::max<std::size_t>(num_threads, 1);
   threads_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -21,12 +20,24 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    // Inline mode: nobody would ever drain the queue.
+    OBS_COUNT("pool.tasks_executed", 1);
+    task();
+    return;
+  }
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
+  OBS_GAUGE_ADD("pool.queue_depth", 1);
   cv_task_.notify_one();
 }
 
@@ -41,6 +52,9 @@ void ThreadPool::help_until_idle() {
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
+    OBS_GAUGE_ADD("pool.queue_depth", -1);
+    OBS_COUNT("pool.tasks_executed", 1);
+    OBS_COUNT("pool.tasks_helped", 1);
     task();
     lock.lock();
     if (--in_flight_ == 0) {
@@ -56,6 +70,9 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
+#if IVT_OBS_ENABLED
+      const std::int64_t wait_start = obs::trace_now_ns();
+#endif
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) {
@@ -64,8 +81,19 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+#if IVT_OBS_ENABLED
+      OBS_COUNT("pool.idle_ns", obs::trace_now_ns() - wait_start);
+#endif
     }
+    OBS_GAUGE_ADD("pool.queue_depth", -1);
+#if IVT_OBS_ENABLED
+    const std::int64_t task_start = obs::trace_now_ns();
+#endif
     task();
+#if IVT_OBS_ENABLED
+    OBS_COUNT("pool.busy_ns", obs::trace_now_ns() - task_start);
+#endif
+    OBS_COUNT("pool.tasks_executed", 1);
     {
       std::lock_guard lock(mutex_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

@@ -14,6 +14,17 @@ namespace ivt::dataflow {
 /// Minimal fixed-size thread pool. Tasks are plain std::function<void()>;
 /// exceptions escaping a task terminate (tasks are expected to capture and
 /// report their own failures — the Engine wraps user kernels accordingly).
+///
+/// `num_threads == 0` selects inline mode: no workers are spawned and
+/// submit() executes the task on the calling thread immediately, so
+/// wait_idle()/help_until_idle() return at once instead of deadlocking on
+/// a queue nobody drains. (In inline mode an exception from the task
+/// propagates out of submit() itself.)
+///
+/// Observability (when built with IVT_OBS=ON): gauge `pool.queue_depth`,
+/// counters `pool.tasks_executed`, `pool.tasks_helped` (tasks stolen by
+/// help_until_idle callers), `pool.busy_ns` and `pool.idle_ns` (per-worker
+/// task vs. wait time, summed over workers).
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -24,7 +35,10 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
 
-  /// Enqueue one task.
+  /// Tasks currently queued (submitted, not yet picked up by a worker).
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Enqueue one task (inline mode: run it now).
   void submit(std::function<void()> task);
 
   /// Block until every task submitted so far has finished.
@@ -40,7 +54,7 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;

@@ -1,0 +1,274 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ivt::obs {
+
+std::size_t shard_index() noexcept {
+  // Sequentially assigned per thread so the first kMetricShards threads
+  // (main + typical pool sizes) each own a private slot.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  shards_ = std::vector<Shard>(kMetricShards);
+  for (Shard& s : shards_) {
+    s.counts = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::record(double value) noexcept {
+#if IVT_OBS_ENABLED
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = shards_[shard_index()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+#else
+  (void)value;
+#endif
+}
+
+Histogram::Data Histogram::data() const {
+  Data out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < out.counts.size(); ++b) {
+      out.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+    out.count += shard.count.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& shard : shards_) {
+    for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> default_latency_bounds_ms() {
+  return {0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000};
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    std::string_view name) const {
+  for (const Entry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
+                                          std::uint64_t fallback) const {
+  const Entry* e = find(name);
+  return e != nullptr && e->kind == Kind::Counter ? e->counter : fallback;
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // leaked: outlive all threads
+  return *registry;
+}
+
+namespace {
+
+template <typename T, typename Make>
+T& find_or_create(std::vector<std::pair<std::string, std::unique_ptr<T>>>& v,
+                  std::string_view name, const Make& make) {
+  for (auto& [n, metric] : v) {
+    if (n == name) return *metric;
+  }
+  v.emplace_back(std::string(name), make());
+  return *v.back().second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+#if IVT_OBS_ENABLED
+  const std::lock_guard lock(mutex_);
+  return find_or_create(counters_, name,
+                        [] { return std::make_unique<Counter>(); });
+#else
+  (void)name;
+  static Counter dummy;
+  return dummy;
+#endif
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+#if IVT_OBS_ENABLED
+  const std::lock_guard lock(mutex_);
+  return find_or_create(gauges_, name,
+                        [] { return std::make_unique<Gauge>(); });
+#else
+  (void)name;
+  static Gauge dummy;
+  return dummy;
+#endif
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+#if IVT_OBS_ENABLED
+  const std::lock_guard lock(mutex_);
+  return find_or_create(histograms_, name, [&bounds] {
+    return std::make_unique<Histogram>(std::move(bounds));
+  });
+#else
+  (void)name;
+  static Histogram dummy{std::move(bounds)};
+  return dummy;
+#endif
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  const std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::Counter;
+    e.counter = c->value();
+    out.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::Gauge;
+    e.gauge = g->value();
+    out.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::Histogram;
+    e.hist = h->data();
+    out.entries.push_back(std::move(e));
+  }
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"metrics\": {\n";
+  for (std::size_t i = 0; i < snapshot.entries.size(); ++i) {
+    const MetricsSnapshot::Entry& e = snapshot.entries[i];
+    os << "    \"" << json_escape(e.name) << "\": ";
+    switch (e.kind) {
+      case MetricsSnapshot::Kind::Counter:
+        os << e.counter;
+        break;
+      case MetricsSnapshot::Kind::Gauge:
+        os << e.gauge;
+        break;
+      case MetricsSnapshot::Kind::Histogram: {
+        os << "{\"count\": " << e.hist.count
+           << ", \"sum\": " << render_double(e.hist.sum) << ", \"bounds\": [";
+        for (std::size_t b = 0; b < e.hist.bounds.size(); ++b) {
+          os << (b > 0 ? ", " : "") << render_double(e.hist.bounds[b]);
+        }
+        os << "], \"counts\": [";
+        for (std::size_t b = 0; b < e.hist.counts.size(); ++b) {
+          os << (b > 0 ? ", " : "") << e.hist.counts[b];
+        }
+        os << "]}";
+        break;
+      }
+    }
+    os << (i + 1 < snapshot.entries.size() ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+  return os.str();
+}
+
+std::string to_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const MetricsSnapshot::Entry& e : snapshot.entries) {
+    char line[160];
+    switch (e.kind) {
+      case MetricsSnapshot::Kind::Counter:
+        std::snprintf(line, sizeof(line), "%-44s %20llu\n", e.name.c_str(),
+                      static_cast<unsigned long long>(e.counter));
+        break;
+      case MetricsSnapshot::Kind::Gauge:
+        std::snprintf(line, sizeof(line), "%-44s %20lld\n", e.name.c_str(),
+                      static_cast<long long>(e.gauge));
+        break;
+      case MetricsSnapshot::Kind::Histogram:
+        std::snprintf(line, sizeof(line),
+                      "%-44s count=%llu sum=%.6g mean=%.6g\n", e.name.c_str(),
+                      static_cast<unsigned long long>(e.hist.count),
+                      e.hist.sum,
+                      e.hist.count > 0
+                          ? e.hist.sum / static_cast<double>(e.hist.count)
+                          : 0.0);
+        break;
+    }
+    os << line;
+  }
+  return os.str();
+}
+
+void write_metrics_json(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << to_json(Registry::instance().snapshot());
+}
+
+}  // namespace ivt::obs

@@ -1,0 +1,189 @@
+// Process-wide metrics registry: counters, gauges and fixed-bucket
+// histograms with a lock-free fast path.
+//
+// Writes go to per-thread shards (cache-line-padded atomic slots indexed
+// by a thread-local shard id), so concurrent increments from the worker
+// pool never contend on one cache line; a snapshot aggregates the shards.
+// Registration (name -> metric lookup) takes a mutex, but instrumentation
+// sites cache the returned reference in a function-local static, so the
+// steady state is one relaxed atomic add per event.
+//
+// Compile-time switch: building with -DIVT_OBS_ENABLED=0 (CMake option
+// IVT_OBS=OFF) turns every mutating call into an inline no-op and keeps
+// the registry permanently empty, so instrumented code costs nothing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef IVT_OBS_ENABLED
+#define IVT_OBS_ENABLED 1
+#endif
+
+namespace ivt::obs {
+
+/// Number of write shards per metric. Threads hash onto a slot; more
+/// threads than shards degrades to (still correct) shared fetch_adds.
+inline constexpr std::size_t kMetricShards = 32;
+
+/// This thread's shard slot (stable for the thread's lifetime).
+std::size_t shard_index() noexcept;
+
+/// Monotonically increasing event count (rows, tasks, bytes, ns...).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+#if IVT_OBS_ENABLED
+    shards_[shard_index()].v.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Signed instantaneous value (queue depth, in-flight tasks). `add` is
+/// sharded and lock-free; `set` collapses all shards (use it only from
+/// one writer at a time, e.g. configuration values).
+class Gauge {
+ public:
+  void add(std::int64_t delta) noexcept {
+#if IVT_OBS_ENABLED
+    shards_[shard_index()].v.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  void set(std::int64_t value) noexcept {
+#if IVT_OBS_ENABLED
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+    shards_[0].v.store(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    std::int64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bucket edges plus
+/// an implicit overflow bucket, so there are bounds.size() + 1 counters.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double value) noexcept;
+
+  struct Data {
+    std::vector<double> bounds;        ///< upper edges (overflow implicit)
+    std::vector<std::uint64_t> counts; ///< bounds.size() + 1 buckets
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  [[nodiscard]] Data data() const;
+
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<double> sum{0.0};
+    std::atomic<std::uint64_t> count{0};
+  };
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// Default histogram edges for durations in milliseconds.
+std::vector<double> default_latency_bounds_ms();
+
+/// Aggregated point-in-time view of every registered metric.
+struct MetricsSnapshot {
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::Counter;
+    std::uint64_t counter = 0;
+    std::int64_t gauge = 0;
+    Histogram::Data hist;
+  };
+  std::vector<Entry> entries;  ///< sorted by name
+
+  /// nullptr when `name` is absent or not of the requested kind.
+  [[nodiscard]] const Entry* find(std::string_view name) const;
+  [[nodiscard]] std::uint64_t counter_or(std::string_view name,
+                                         std::uint64_t fallback) const;
+};
+
+/// Process-wide registry. Metric objects live forever once registered
+/// (references stay valid), mirroring how instrumentation sites cache
+/// them in static locals.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` is used on first registration only.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every registered metric (tests, per-run deltas). Entries stay
+  /// registered.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+/// Render a snapshot as a stable-key-order JSON document / aligned text.
+std::string to_json(const MetricsSnapshot& snapshot);
+std::string to_text(const MetricsSnapshot& snapshot);
+
+/// Snapshot the process registry and write it as JSON to `path`.
+/// Throws std::runtime_error when the file cannot be opened.
+void write_metrics_json(const std::string& path);
+
+}  // namespace ivt::obs

@@ -1,0 +1,80 @@
+// Umbrella header for instrumentation sites: span + metric macros.
+//
+// Naming scheme (see DESIGN.md "Observability"):
+//   spans    "stage.substage"        e.g. pipeline.interpret, branch.alpha
+//   counters "subsystem.what[_unit]" e.g. pool.busy_ns, colstore.rows_emitted
+//   gauges   "subsystem.what"        e.g. pool.queue_depth
+//
+// Every macro is an inline no-op (arguments unevaluated) when the build
+// sets IVT_OBS_ENABLED=0, so hot paths can be instrumented freely.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+#define IVT_OBS_CONCAT_INNER(a, b) a##b
+#define IVT_OBS_CONCAT(a, b) IVT_OBS_CONCAT_INNER(a, b)
+
+/// Anonymous RAII span covering the rest of the enclosing scope.
+#define OBS_SPAN(name)                        \
+  [[maybe_unused]] ::ivt::obs::SpanScope IVT_OBS_CONCAT( \
+      obs_span_, __COUNTER__)(name)
+
+/// Named span variable, for attaching attributes: OBS_SPAN_V(s, "x");
+/// s.set_rows(n);
+#define OBS_SPAN_V(var, name) ::ivt::obs::SpanScope var(name)
+
+#if IVT_OBS_ENABLED
+
+/// Add `delta` to the counter `name` (name must be a string literal; the
+/// registry lookup happens once per call site).
+#define OBS_COUNT(name, delta)                                    \
+  do {                                                            \
+    static ::ivt::obs::Counter& obs_counter_ =                    \
+        ::ivt::obs::Registry::instance().counter(name);           \
+    obs_counter_.add(static_cast<std::uint64_t>(delta));          \
+  } while (0)
+
+#define OBS_GAUGE_ADD(name, delta)                                \
+  do {                                                            \
+    static ::ivt::obs::Gauge& obs_gauge_ =                        \
+        ::ivt::obs::Registry::instance().gauge(name);             \
+    obs_gauge_.add(static_cast<std::int64_t>(delta));             \
+  } while (0)
+
+#define OBS_GAUGE_SET(name, value)                                \
+  do {                                                            \
+    static ::ivt::obs::Gauge& obs_gauge_ =                        \
+        ::ivt::obs::Registry::instance().gauge(name);             \
+    obs_gauge_.set(static_cast<std::int64_t>(value));             \
+  } while (0)
+
+/// Record `value` into the histogram `name` (default latency bounds, ms).
+#define OBS_HIST_MS(name, value)                                  \
+  do {                                                            \
+    static ::ivt::obs::Histogram& obs_hist_ =                     \
+        ::ivt::obs::Registry::instance().histogram(               \
+            name, ::ivt::obs::default_latency_bounds_ms());       \
+    obs_hist_.record(static_cast<double>(value));                 \
+  } while (0)
+
+#else  // !IVT_OBS_ENABLED
+
+#define OBS_COUNT(name, delta) \
+  do {                         \
+    (void)sizeof(delta);       \
+  } while (0)
+#define OBS_GAUGE_ADD(name, delta) \
+  do {                             \
+    (void)sizeof(delta);           \
+  } while (0)
+#define OBS_GAUGE_SET(name, value) \
+  do {                             \
+    (void)sizeof(value);           \
+  } while (0)
+#define OBS_HIST_MS(name, value) \
+  do {                           \
+    (void)sizeof(value);         \
+  } while (0)
+
+#endif  // IVT_OBS_ENABLED

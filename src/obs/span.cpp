@@ -1,0 +1,191 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace ivt::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{true};
+
+/// One thread's bounded span storage. Owned jointly by the thread (via a
+/// thread_local shared_ptr) and the global collector, so events survive
+/// thread exit — a ThreadPool can be torn down before the trace is
+/// exported.
+struct ThreadRing {
+  std::uint32_t tid = 0;
+  std::vector<SpanEvent> events;   ///< grows to kSpanRingCapacity, then wraps
+  std::size_t head = 0;            ///< next overwrite position once full
+  std::uint64_t dropped = 0;
+  std::mutex mutex;  ///< uncontended except during collect/reset
+
+  void push(const SpanEvent& e) {
+    const std::lock_guard lock(mutex);
+    if (events.size() < kSpanRingCapacity) {
+      events.push_back(e);
+    } else {
+      events[head] = e;
+      head = (head + 1) % kSpanRingCapacity;
+      ++dropped;
+    }
+  }
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 0;
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();  // leaked: outlives all threads
+  return *c;
+}
+
+ThreadRing& this_thread_ring() {
+  thread_local const std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    Collector& c = collector();
+    const std::lock_guard lock(c.mutex);
+    r->tid = c.next_tid++;
+    c.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+thread_local std::uint32_t t_depth = 0;
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool enabled) noexcept {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::int64_t trace_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+#if IVT_OBS_ENABLED
+
+SpanScope::SpanScope(std::string_view name) noexcept {
+  if (!tracing_enabled()) return;
+  active_ = true;
+  const std::size_t n = std::min(name.size(), kSpanNameCapacity);
+  std::memcpy(name_, name.data(), n);
+  name_[n] = '\0';
+  ++t_depth;
+  start_ns_ = trace_now_ns();
+}
+
+SpanScope::~SpanScope() {
+  if (!active_) return;
+  SpanEvent e;
+  e.start_ns = start_ns_;
+  e.dur_ns = trace_now_ns() - start_ns_;
+  e.depth = --t_depth;
+  e.rows = rows_;
+  e.bytes = bytes_;
+  std::memcpy(e.name, name_, sizeof(name_));
+  ThreadRing& ring = this_thread_ring();
+  e.tid = ring.tid;
+  ring.push(e);
+}
+
+#endif  // IVT_OBS_ENABLED
+
+std::vector<SpanEvent> collect_spans() {
+  std::vector<SpanEvent> out;
+  Collector& c = collector();
+  const std::lock_guard lock(c.mutex);
+  for (const std::shared_ptr<ThreadRing>& ring : c.rings) {
+    const std::lock_guard ring_lock(ring->mutex);
+    // Oldest-first: the segment after `head` predates the one before it.
+    for (std::size_t i = ring->head; i < ring->events.size(); ++i) {
+      out.push_back(ring->events[i]);
+    }
+    for (std::size_t i = 0; i < ring->head; ++i) {
+      out.push_back(ring->events[i]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t dropped_span_count() {
+  std::uint64_t dropped = 0;
+  Collector& c = collector();
+  const std::lock_guard lock(c.mutex);
+  for (const std::shared_ptr<ThreadRing>& ring : c.rings) {
+    const std::lock_guard ring_lock(ring->mutex);
+    dropped += ring->dropped;
+  }
+  return dropped;
+}
+
+void reset_spans() {
+  Collector& c = collector();
+  const std::lock_guard lock(c.mutex);
+  for (const std::shared_ptr<ThreadRing>& ring : c.rings) {
+    const std::lock_guard ring_lock(ring->mutex);
+    ring->events.clear();
+    ring->head = 0;
+    ring->dropped = 0;
+  }
+}
+
+std::string chrome_trace_json() {
+  std::vector<SpanEvent> spans = collect_spans();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.tid < b.tid;
+            });
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const SpanEvent& e : spans) {
+    if (!first) os << ",\n";
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"cat\": \"ivt\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %u, "
+                  "\"args\": {\"depth\": %u",
+                  e.name, static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3, e.tid, e.depth);
+    os << buf;
+    if (e.rows != kSpanAttrUnset) os << ", \"rows\": " << e.rows;
+    if (e.bytes != kSpanAttrUnset) os << ", \"bytes\": " << e.bytes;
+    os << "}}";
+  }
+  if (!first) os << "\n";
+  os << "],\n\"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << chrome_trace_json();
+}
+
+}  // namespace ivt::obs

@@ -1,0 +1,99 @@
+// Span tracing: RAII scopes recorded into per-thread ring buffers and
+// exported as Chrome trace-event JSON (loadable in chrome://tracing and
+// Perfetto).
+//
+// A span is `OBS_SPAN("stage.substage")` (see obs/obs.hpp): on scope exit
+// it appends one complete-event record — name, start, duration, thread
+// id, nesting depth, optional row/byte attributes — to its thread's ring.
+// Rings are fixed-size (oldest events overwritten, overwrites counted),
+// so tracing memory is bounded no matter how long a run is; rings outlive
+// their threads so a pool can be destroyed before export.
+//
+// Recording is gated on `tracing_enabled()` (default on; a disabled span
+// costs one relaxed atomic load). With IVT_OBS_ENABLED=0 the whole class
+// compiles to an empty object and export returns an empty trace.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef IVT_OBS_ENABLED
+#define IVT_OBS_ENABLED 1
+#endif
+
+namespace ivt::obs {
+
+/// Span names longer than this are truncated (keep them short and
+/// hierarchical: "stage.substage").
+inline constexpr std::size_t kSpanNameCapacity = 47;
+
+/// Events retained per thread before the ring wraps.
+inline constexpr std::size_t kSpanRingCapacity = 1 << 13;
+
+inline constexpr std::uint64_t kSpanAttrUnset = ~std::uint64_t{0};
+
+struct SpanEvent {
+  char name[kSpanNameCapacity + 1];
+  std::int64_t start_ns = 0;  ///< steady time since the trace epoch
+  std::int64_t dur_ns = 0;
+  std::uint32_t tid = 0;   ///< sequential per-process thread id
+  std::uint32_t depth = 0; ///< nesting level within the thread
+  std::uint64_t rows = kSpanAttrUnset;
+  std::uint64_t bytes = kSpanAttrUnset;
+};
+
+[[nodiscard]] bool tracing_enabled() noexcept;
+void set_tracing_enabled(bool enabled) noexcept;
+
+/// Steady-clock nanoseconds since the process trace epoch.
+std::int64_t trace_now_ns() noexcept;
+
+class SpanScope {
+ public:
+#if IVT_OBS_ENABLED
+  explicit SpanScope(std::string_view name) noexcept;
+  ~SpanScope();
+
+  void set_rows(std::uint64_t rows) noexcept { rows_ = rows; }
+  void set_bytes(std::uint64_t bytes) noexcept { bytes_ = bytes; }
+#else
+  explicit SpanScope(std::string_view) noexcept {}
+  void set_rows(std::uint64_t) noexcept {}
+  void set_bytes(std::uint64_t) noexcept {}
+#endif
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+#if IVT_OBS_ENABLED
+ private:
+  std::int64_t start_ns_ = 0;
+  std::uint64_t rows_ = kSpanAttrUnset;
+  std::uint64_t bytes_ = kSpanAttrUnset;
+  char name_[kSpanNameCapacity + 1];
+  bool active_ = false;
+#endif
+};
+
+/// Snapshot of every thread's recorded spans (ring order, then by tid).
+[[nodiscard]] std::vector<SpanEvent> collect_spans();
+
+/// Spans lost to ring wrap-around since the last reset.
+[[nodiscard]] std::uint64_t dropped_span_count();
+
+/// Drop all recorded spans (kept rings stay allocated).
+void reset_spans();
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}, "X" complete events,
+/// microsecond timestamps) of everything recorded so far.
+[[nodiscard]] std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to `path`; throws std::runtime_error when
+/// the file cannot be opened.
+void write_chrome_trace(const std::string& path);
+
+}  // namespace ivt::obs

@@ -8,6 +8,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace ivt::tracefile {
 
 namespace {
@@ -163,14 +165,21 @@ bool TraceReader::next(TraceRecord& record) {
 }
 
 void save_trace(const Trace& trace, const std::string& path) {
+  OBS_SPAN_V(span, "tracefile.save");
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open for write: " + path);
   TraceWriter writer(out, trace.vehicle, trace.journey, trace.start_unix_ns);
   for (const TraceRecord& rec : trace.records) writer.write(rec);
   if (!out) throw std::runtime_error("write failed: " + path);
+  span.set_rows(trace.records.size());
+  span.set_bytes(static_cast<std::uint64_t>(out.tellp()));
+  OBS_COUNT("tracefile.records_written", trace.records.size());
+  OBS_COUNT("tracefile.bytes_written",
+            static_cast<std::uint64_t>(out.tellp()));
 }
 
 Trace load_trace(const std::string& path) {
+  OBS_SPAN_V(span, "tracefile.load");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for read: " + path);
   TraceReader reader(in);
@@ -180,6 +189,8 @@ Trace load_trace(const std::string& path) {
   trace.start_unix_ns = reader.start_unix_ns();
   TraceRecord rec;
   while (reader.next(rec)) trace.records.push_back(rec);
+  span.set_rows(trace.records.size());
+  OBS_COUNT("tracefile.records_read", trace.records.size());
   return trace;
 }
 

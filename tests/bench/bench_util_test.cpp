@@ -1,0 +1,60 @@
+#include "bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace ivt::bench {
+namespace {
+
+TEST(BenchUtilTest, MaxRssToBytesNormalizesPerPlatformUnits) {
+  // macOS getrusage reports bytes; Linux reports KiB. The helper must
+  // normalize both to bytes.
+  EXPECT_EQ(maxrss_to_bytes(1048576, /*platform_reports_bytes=*/true),
+            1048576u);
+  EXPECT_EQ(maxrss_to_bytes(1024, /*platform_reports_bytes=*/false),
+            1024u * 1024u);
+  EXPECT_EQ(maxrss_to_bytes(0, true), 0u);
+  EXPECT_EQ(maxrss_to_bytes(0, false), 0u);
+}
+
+TEST(BenchUtilTest, PeakRssIsPlausiblyBytes) {
+  // Guard against a unit regression: a running test process occupies at
+  // least 1 MiB resident, so a KiB-valued result (a few thousand) would
+  // fail, while a byte-valued result passes. Touch some memory first so
+  // the floor holds even on a minimal libc.
+  std::vector<std::uint8_t> ballast(4 * 1024 * 1024, 1);
+  volatile std::uint8_t sink = ballast[ballast.size() / 2];
+  (void)sink;
+  const std::uint64_t rss = peak_rss_bytes();
+  if (rss == 0) GTEST_SKIP() << "platform offers no getrusage";
+  EXPECT_GE(rss, 1024u * 1024u);
+}
+
+TEST(BenchUtilTest, JsonRecordRendersTypedFields) {
+  const std::string line = JsonRecord()
+                               .add("name", "fig\"5\"")
+                               .add("time_ms", 1.5)
+                               .add("rows", std::uint64_t{42})
+                               .add("quick", true)
+                               .to_line();
+  EXPECT_EQ(line,
+            "{\"name\": \"fig\\\"5\\\"\", \"time_ms\": 1.5, "
+            "\"rows\": 42, \"quick\": true}");
+}
+
+TEST(BenchUtilTest, MetricsSnapshotWritesValidFile) {
+  ::setenv("IVT_BENCH_JSON_DIR", ::testing::TempDir().c_str(), 1);
+  const std::string path = write_metrics_snapshot("util_test");
+  ::unsetenv("IVT_BENCH_JSON_DIR");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "snapshot not written: " << path;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"metrics\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ivt::bench

@@ -24,9 +24,15 @@ TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
   SUCCEED();
 }
 
-TEST(ThreadPoolTest, AtLeastOneThread) {
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
   ThreadPool pool(0);
-  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  int ran = 0;
+  pool.submit([&ran] { ++ran; });
+  EXPECT_EQ(ran, 1);   // executed synchronously in submit()
+  pool.wait_idle();    // regression: must not deadlock with no workers
+  pool.help_until_idle();
+  EXPECT_EQ(pool.queue_depth(), 0u);
 }
 
 TEST(EngineTest, DefaultsDeriveFromWorkers) {

@@ -1,0 +1,200 @@
+// Minimal recursive-descent JSON parser for tests: parses a document into
+// a variant tree so exported trace/metrics JSON can be validated
+// structurally (not by substring matching). Throws std::runtime_error on
+// malformed input, which is itself the well-formedness check.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ivt::testjson {
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v;
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v);
+  }
+
+  [[nodiscard]] const Object& object() const { return std::get<Object>(v); }
+  [[nodiscard]] const Array& array() const { return std::get<Array>(v); }
+  [[nodiscard]] double number() const { return std::get<double>(v); }
+  [[nodiscard]] const std::string& string() const {
+    return std::get<std::string>(v);
+  }
+
+  /// Object member access; throws when absent.
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    const Object& obj = object();
+    const auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return is_object() && object().count(key) > 0;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing content");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at offset " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value{parse_string()};
+      case 't': return parse_literal("true", Value{true});
+      case 'f': return parse_literal("false", Value{false});
+      case 'n': return parse_literal("null", Value{nullptr});
+      default: return parse_number();
+    }
+  }
+
+  Value parse_literal(const std::string& word, Value value) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      throw std::runtime_error("bad literal at offset " + std::to_string(pos_));
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw std::runtime_error("bad number at offset " + std::to_string(pos_));
+    }
+    return Value{std::stod(text_.substr(start, pos_ - start))};
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            // Tests only need ASCII round-trips; decode the low byte.
+            out += static_cast<char>(
+                std::stoul(text_.substr(pos_, 4), nullptr, 16) & 0xFF);
+            pos_ += 4;
+            break;
+          default: throw std::runtime_error("bad escape char");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    if (peek() == ']') {
+      ++pos_;
+      return Value{std::move(arr)};
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Value{std::move(arr)};
+      if (c != ',') throw std::runtime_error("expected ',' in array");
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    if (peek() == '}') {
+      ++pos_;
+      return Value{std::move(obj)};
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Value{std::move(obj)};
+      if (c != ',') throw std::runtime_error("expected ',' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace ivt::testjson
