@@ -94,18 +94,19 @@ int main(int argc, char** argv) {
       const double ms = timer.seconds() * 1e3;
       std::printf("%-8s %12zu %12zu %12zu %14.2f\n", spec.name.c_str(), rows,
                   result.ks_rows, result.reduced_rows, ms);
-      json.emit(bench::JsonRecord()
-                    .add("bench", "fig5_scaling")
-                    .add("dataset", spec.name)
-                    .add("quick", quick)
-                    .add("step", static_cast<std::uint64_t>(step))
-                    .add("kb_rows", static_cast<std::uint64_t>(rows))
-                    .add("examples",
-                         static_cast<std::uint64_t>(result.ks_rows))
-                    .add("reduced",
-                         static_cast<std::uint64_t>(result.reduced_rows))
-                    .add("time_ms", ms)
-                    .add("peak_rss_bytes", bench::peak_rss_bytes()));
+      bench::JsonRecord record;
+      record.add("bench", "fig5_scaling")
+          .add("dataset", spec.name)
+          .add("quick", quick)
+          .add("step", static_cast<std::uint64_t>(step))
+          .add("kb_rows", static_cast<std::uint64_t>(rows))
+          .add("examples", static_cast<std::uint64_t>(result.ks_rows))
+          .add("reduced", static_cast<std::uint64_t>(result.reduced_rows))
+          .add("time_ms", ms)
+          .add("peak_rss_bytes", bench::peak_rss_bytes());
+      bench::add_robustness_fields(record,
+                                   bench::read_robustness_counters());
+      json.emit(record);
     }
     std::puts("");
   }

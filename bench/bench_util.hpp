@@ -103,6 +103,29 @@ inline std::string write_metrics_snapshot(const std::string& bench_name) {
   return path;
 }
 
+/// Robustness counters of the current process, read from the obs metrics
+/// registry: transient-task retries, quarantined .ivc chunks, dropped
+/// pipeline sequences and total recovered errors. All zero on a clean run
+/// and under IVT_OBS=OFF (the registry is then a no-op), so emitting them
+/// into every benchmark row costs one registry snapshot and nothing else.
+struct RobustnessCounters {
+  std::uint64_t task_retries = 0;
+  std::uint64_t chunks_quarantined = 0;
+  std::uint64_t sequences_dropped = 0;
+  std::uint64_t errors_total = 0;
+};
+
+inline RobustnessCounters read_robustness_counters() {
+  const obs::MetricsSnapshot snapshot = obs::Registry::instance().snapshot();
+  RobustnessCounters c;
+  c.task_retries = snapshot.counter_or("engine.task_retries", 0);
+  c.chunks_quarantined =
+      snapshot.counter_or("colstore.chunks_quarantined", 0);
+  c.sequences_dropped = snapshot.counter_or("pipeline.sequences_dropped", 0);
+  c.errors_total = snapshot.counter_or("errors.total", 0);
+  return c;
+}
+
 /// One JSON-lines benchmark record: ordered key -> rendered-JSON-value
 /// pairs, so benchmark results land in BENCH_*.json machine-readably.
 class JsonRecord {
@@ -168,6 +191,16 @@ class JsonRecord {
 
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Folds robustness counters into a bench record (cumulative process
+/// totals at emit time).
+inline JsonRecord& add_robustness_fields(JsonRecord& record,
+                                         const RobustnessCounters& c) {
+  return record.add("task_retries", c.task_retries)
+      .add("chunks_quarantined", c.chunks_quarantined)
+      .add("sequences_dropped", c.sequences_dropped)
+      .add("errors_total", c.errors_total);
+}
 
 /// Appends one JSON object per emit() to BENCH_<name>.json (or to
 /// $IVT_BENCH_JSON_DIR/BENCH_<name>.json when the env var is set), so a

@@ -21,6 +21,9 @@
 #include "dataflow/ops.hpp"
 #include "dataflow/summary.hpp"
 #include "dataflow/table_io.hpp"
+#include "errors/error.hpp"
+#include "errors/failure_log.hpp"
+#include "faultfx/faultfx.hpp"
 #include "obs/obs.hpp"
 #include "simnet/datasets.hpp"
 #include "tracefile/binary_format.hpp"
@@ -65,6 +68,7 @@ commands:
       --out PATH              .csv or .ivtbl output (required)
       --workers N             engine workers (default: hardware)
       --skip-error-frames     drop monitor-flagged error frames
+      --on-error fail|skip|quarantine   corrupt-input policy (default fail)
       --trace-out PATH        write a Chrome trace (chrome://tracing,
                               Perfetto) of the run's spans
       --metrics-out PATH      write the metrics registry snapshot as JSON
@@ -77,6 +81,11 @@ commands:
       --state PATH            write the state representation (.csv/.ivtbl)
       --krep PATH             write the homogenized sequence R_out
       --report text|json      processing report to stdout (default text)
+      --on-error fail|skip|quarantine   failure policy: fail aborts on the
+                              first corrupt chunk / failed sequence; skip
+                              drops the unit and records it in the report;
+                              quarantine additionally writes a
+                              <trace>.quarantine.json sidecar manifest
       --trace-out PATH        write a Chrome trace of the run's spans
       --metrics-out PATH      write the metrics registry snapshot as JSON
 
@@ -96,6 +105,16 @@ commands:
   export-asc   dump a trace as readable text
       --trace PATH            .ivt or .ivc trace (required)
       --out PATH              output file (default: stdout)
+
+environment:
+  IVT_FAULTS   failpoint recipe armed before the command runs, e.g.
+               colstore.decode_chunk:error:0.01:seed=7 (see src/faultfx)
+
+exit codes:
+  0  success            2  usage error (bad command line)
+  1  other failure      3  input format error (corrupt trace / catalog)
+                        4  partial success (units dropped under
+                           --on-error=skip|quarantine)
 )";
 
 signaldb::Catalog load_catalog_arg(const Args& args, const char* key) {
@@ -144,17 +163,50 @@ class ObsOutputs {
   std::optional<std::string> metrics_out_;
 };
 
+/// --on-error=fail|skip|quarantine (default fail). A bad value is a usage
+/// error.
+errors::ErrorPolicy error_policy_arg(const Args& args) {
+  const auto text = args.get("on-error");
+  if (!text) return errors::ErrorPolicy::Fail;
+  const auto policy = errors::parse_error_policy(*text);
+  if (!policy) {
+    throw std::invalid_argument("bad --on-error '" + *text +
+                                "' (expected fail, skip or quarantine)");
+  }
+  return *policy;
+}
+
 /// K_b table from either container. Columnar traces decode straight into
 /// a partitioned table on the engine's workers (and populate the
 /// colstore.* metrics); row traces go through the in-memory Trace model.
+/// Under Skip/Quarantine, corrupt chunks / record-stream tails are dropped
+/// and recorded in `failures` instead of aborting.
 dataflow::Table load_kb_table(const std::string& trace_path,
-                              dataflow::Engine& engine) {
+                              dataflow::Engine& engine,
+                              errors::ErrorPolicy on_error =
+                                  errors::ErrorPolicy::Fail,
+                              errors::FailureLog* failures = nullptr) {
   if (colstore::is_columnar_trace_file(trace_path)) {
     const colstore::ColumnarReader reader(trace_path);
-    return reader.scan({}, engine);
+    colstore::ScanOptions options;
+    options.on_error = on_error;
+    options.failures = failures;
+    return reader.scan({}, engine, options);
   }
-  const tracefile::Trace trace = tracefile::load_trace(trace_path);
+  const tracefile::Trace trace =
+      tracefile::load_trace_tolerant(trace_path, on_error, failures);
   return tracefile::to_kb_table(trace, engine.default_partitions());
+}
+
+/// Quarantine epilogue shared by extract/run: writes the sidecar manifest
+/// next to the input and tells the user on stderr.
+void write_quarantine_sidecar(const std::string& trace_path,
+                              const errors::FailureLog& failures) {
+  const std::string manifest_path = trace_path + ".quarantine.json";
+  errors::write_quarantine_manifest(manifest_path, trace_path,
+                                    failures.records());
+  std::fprintf(stderr, "quarantine manifest written to %s (%zu failures)\n",
+               manifest_path.c_str(), failures.size());
 }
 
 simnet::DatasetSpec spec_by_name(const std::string& name) {
@@ -330,6 +382,7 @@ int cmd_extract(const Args& args) {
   core::InterpretOptions options;
   options.catalog = &catalog;
   options.skip_error_frames = args.has("skip-error-frames");
+  const errors::ErrorPolicy on_error = error_policy_arg(args);
   const ObsOutputs obs_outputs(args);
   warn_unused(args);
 
@@ -337,6 +390,7 @@ int cmd_extract(const Args& args) {
   const auto urel = signals.empty()
                         ? core::make_full_urel_table(catalog)
                         : core::make_urel_table(catalog, signals);
+  errors::FailureLog failures;
   dataflow::Table ks;
   std::size_t input_rows = 0;
   if (colstore::is_columnar_trace_file(trace_path)) {
@@ -345,15 +399,24 @@ int cmd_extract(const Args& args) {
     const colstore::ColumnarReader reader(trace_path);
     input_rows = reader.num_rows();
     colstore::ScanStats stats;
-    const auto kpre = core::preselect(engine, reader, urel, &stats);
+    colstore::ScanOptions scan_options;
+    scan_options.on_error = on_error;
+    scan_options.failures = &failures;
+    const auto kpre =
+        core::preselect(engine, reader, urel, scan_options, &stats);
     ks = core::interpret(engine, kpre, urel, options);
     std::fprintf(stderr,
                  "pushdown scan: %zu/%zu chunks decoded, %zu/%zu rows "
                  "materialized\n",
                  stats.chunks_scanned, stats.chunks_total,
                  stats.rows_emitted, input_rows);
+    if (stats.chunks_quarantined > 0) {
+      std::fprintf(stderr, "corrupt chunks dropped: %zu (%zu rows)\n",
+                   stats.chunks_quarantined, stats.rows_quarantined);
+    }
   } else {
-    const tracefile::Trace trace = tracefile::load_trace(trace_path);
+    const tracefile::Trace trace =
+        tracefile::load_trace_tolerant(trace_path, on_error, &failures);
     const auto kb =
         tracefile::to_kb_table(trace, engine.default_partitions());
     input_rows = kb.num_rows();
@@ -365,8 +428,11 @@ int cmd_extract(const Args& args) {
   std::printf("%s",
               dataflow::to_display_string(dataflow::summarize(engine, ks))
                   .c_str());
+  if (on_error == errors::ErrorPolicy::Quarantine && !failures.empty()) {
+    write_quarantine_sidecar(trace_path, failures);
+  }
   obs_outputs.write();
-  return 0;
+  return failures.empty() ? 0 : 4;
 }
 
 int cmd_run(const Args& args) {
@@ -393,6 +459,10 @@ int cmd_run(const Args& args) {
   engine_config.workers =
       static_cast<std::size_t>(args.get_int("workers", 0));
   const std::string report_kind = args.get_or("report", "text");
+  if (report_kind != "json" && report_kind != "text") {
+    throw std::invalid_argument("unknown report kind '" + report_kind + "'");
+  }
+  config.on_error = error_policy_arg(args);
   const auto state_path = args.get("state");
   const auto krep_path = args.get("krep");
   const ObsOutputs obs_outputs(args);
@@ -400,21 +470,38 @@ int cmd_run(const Args& args) {
 
   dataflow::Engine engine(engine_config);
   const core::Pipeline pipeline(catalog, config);
-  const auto kb = load_kb_table(trace_path, engine);
-  const core::PipelineResult result = pipeline.run(engine, kb);
+  errors::FailureLog ingest_failures;
+  const auto kb =
+      load_kb_table(trace_path, engine, config.on_error, &ingest_failures);
+  core::PipelineResult result = pipeline.run(engine, kb);
+
+  // Fold upstream ingest losses (quarantined chunks, truncated record
+  // streams) into the run report next to the dropped sequences.
+  std::vector<errors::FailureRecord> combined = ingest_failures.records();
+  for (errors::FailureRecord& f : result.failures) {
+    combined.push_back(std::move(f));
+  }
+  result.failures = std::move(combined);
 
   if (state_path) write_table_arg(result.state, *state_path);
   if (krep_path) write_table_arg(result.krep, *krep_path);
 
   if (report_kind == "json") {
     std::printf("%s", core::report_to_json(result).c_str());
-  } else if (report_kind == "text") {
-    std::printf("%s", core::report_to_text(result).c_str());
   } else {
-    throw std::invalid_argument("unknown report kind '" + report_kind + "'");
+    std::printf("%s", core::report_to_text(result).c_str());
+  }
+  if (config.on_error == errors::ErrorPolicy::Quarantine &&
+      !result.failures.empty()) {
+    const std::string manifest_path = trace_path + ".quarantine.json";
+    errors::write_quarantine_manifest(manifest_path, trace_path,
+                                      result.failures);
+    std::fprintf(stderr,
+                 "quarantine manifest written to %s (%zu failures)\n",
+                 manifest_path.c_str(), result.failures.size());
   }
   obs_outputs.write();
-  return 0;
+  return result.failures.empty() ? 0 : 4;
 }
 
 int cmd_mine(const Args& args) {
@@ -532,6 +619,10 @@ int run_cli(int argc, const char* const* argv) {
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
   try {
+    // Arm failpoints before any I/O so injected faults cover the whole
+    // command; a malformed recipe aborts (a typo'd IVT_FAULTS must not
+    // silently run without faults).
+    faultfx::arm_from_env();
     if (command == "simulate") return cmd_simulate(args);
     if (command == "inspect") return cmd_inspect(args);
     if (command == "catalog") return cmd_catalog(args);
@@ -546,6 +637,19 @@ int run_cli(int argc, const char* const* argv) {
     }
     std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
                  kUsage);
+    return 2;
+  } catch (const errors::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.describe().c_str());
+    switch (e.category()) {
+      case errors::Category::Format:
+      case errors::Category::Decode:
+      case errors::Category::Spec:
+        return 3;  // the input, not the invocation, is at fault
+      default:
+        return 1;
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "usage error: %s\n", e.what());
     return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,6 +1,7 @@
 #include "colstore/columnar_reader.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <exception>
@@ -8,13 +9,14 @@
 #include <mutex>
 #include <optional>
 #include <sstream>
-#include <stdexcept>
 #include <unordered_set>
 #include <utility>
 
 #include "colstore/encoding.hpp"
 #include "dataflow/engine.hpp"
 #include "dataflow/thread_pool.hpp"
+#include "errors/error.hpp"
+#include "faultfx/faultfx.hpp"
 #include "obs/obs.hpp"
 #include "tracefile/binary_format.hpp"
 
@@ -171,12 +173,12 @@ bool chunk_may_match(const ChunkInfo& chunk, const ScanPredicate& pred,
 
 ColumnarReader::ColumnarReader(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  if (!in) IVT_THROW(errors::Category::Io, "cannot open for read: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  if (!in) throw std::runtime_error("read failed: " + path);
+  if (!in) IVT_THROW(errors::Category::Io, "read failed: " + path);
   data_ = std::move(buffer).str();
-  parse();
+  errors::with_context("indexing " + path, [this] { parse(); });
 }
 
 ColumnarReader::ColumnarReader(std::string data, FromBufferTag)
@@ -194,15 +196,15 @@ void ColumnarReader::parse() {
   constexpr std::size_t kTailBytes = sizeof(std::uint64_t) + 4;
   if (size < sizeof(kChunkMagic) + sizeof(std::uint32_t) + kTailBytes ||
       std::memcmp(bytes, kChunkMagic, sizeof(kChunkMagic)) != 0) {
-    throw std::runtime_error("ivc: bad magic");
+    IVT_THROW(errors::Category::Format, "ivc: bad magic");
   }
 
   ByteCursor header(ByteSpan{bytes + sizeof(kChunkMagic),
                              size - sizeof(kChunkMagic)});
   const std::uint32_t version = get_le<std::uint32_t>(header);
   if (version != kColumnarFormatVersion) {
-    throw std::runtime_error("ivc: unsupported version " +
-                             std::to_string(version));
+    IVT_THROW(errors::Category::Format,
+              "ivc: unsupported version " + std::to_string(version));
   }
   vehicle_ = get_short_string(header);
   journey_ = get_short_string(header);
@@ -212,10 +214,10 @@ void ColumnarReader::parse() {
   const std::uint64_t footer_offset = get_le<std::uint64_t>(tail);
   const ByteSpan tail_magic = tail.bytes(4);
   if (std::memcmp(tail_magic.data, kFooterMagic, 4) != 0) {
-    throw std::runtime_error("ivc: bad footer magic");
+    IVT_THROW(errors::Category::Format, "ivc: bad footer magic");
   }
   if (footer_offset >= size - kTailBytes) {
-    throw std::runtime_error("ivc: footer offset out of range");
+    IVT_THROW(errors::Category::Format, "ivc: footer offset out of range");
   }
 
   ByteCursor footer(ByteSpan{bytes + footer_offset,
@@ -243,7 +245,7 @@ void ColumnarReader::parse() {
       info.bus_bits.push_back(get_le<std::uint64_t>(footer));
     }
     if (info.offset + info.encoded_bytes > footer_offset) {
-      throw std::runtime_error("ivc: chunk extent out of range");
+      IVT_THROW(errors::Category::Format, "ivc: chunk extent out of range");
     }
     chunks_.push_back(std::move(info));
   }
@@ -275,7 +277,7 @@ DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
       static_cast<std::size_t>(info.encoded_bytes)});
   const std::uint32_t rows = get_le<std::uint32_t>(in);
   if (rows != info.row_count) {
-    throw std::runtime_error("ivc: chunk row count mismatch");
+    IVT_THROW(errors::Category::Decode, "ivc: chunk row count mismatch");
   }
   auto next_block = [&in]() {
     const std::uint32_t len = get_le<std::uint32_t>(in);
@@ -299,15 +301,16 @@ DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
   std::uint64_t payload_total = 0;
   for (std::uint32_t r = 0; r < rows; ++r) {
     if (chunk.bus_idx[r] >= num_buses) {
-      throw std::runtime_error("ivc: bus index out of range");
+      IVT_THROW(errors::Category::Decode, "ivc: bus index out of range");
     }
     if (chunk.protocol[r] > 0xFF || chunk.flags[r] > 0xFFFFFFFFULL) {
-      throw std::runtime_error("ivc: corrupt protocol/flags column");
+      IVT_THROW(errors::Category::Decode,
+                "ivc: corrupt protocol/flags column");
     }
     payload_total += chunk.payload_len[r];
   }
   if (payload_total != chunk.payload.size) {
-    throw std::runtime_error("ivc: payload block size mismatch");
+    IVT_THROW(errors::Category::Decode, "ivc: payload block size mismatch");
   }
   return chunk;
 }
@@ -316,6 +319,7 @@ DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
 
 dataflow::Table ColumnarReader::scan_with_runner(const ScanPredicate& pred,
                                                  const TaskRunner& run,
+                                                 const ScanOptions& options,
                                                  ScanStats* stats) const {
   OBS_SPAN_V(scan_span, "colstore.scan");
   ScanStats local;
@@ -349,8 +353,11 @@ dataflow::Table ColumnarReader::scan_with_runner(const ScanPredicate& pred,
 
   const dataflow::Schema& schema = tracefile::kb_schema();
   std::vector<dataflow::Partition> partitions(survivors.size());
-  run(survivors.size(), [&](std::size_t k) {
+  std::atomic<std::size_t> chunks_quarantined{0};
+  std::atomic<std::size_t> rows_quarantined{0};
+  const auto decode_one = [&](std::size_t k) {
     OBS_SPAN_V(chunk_span, "colstore.decode_chunk");
+    FAULT_POINT("colstore.decode_chunk");
     const ChunkInfo& info = chunks_[survivors[k]];
     chunk_span.set_bytes(info.encoded_bytes);
     chunk_span.set_rows(info.row_count);
@@ -376,7 +383,40 @@ dataflow::Table ColumnarReader::scan_with_runner(const ScanPredicate& pred,
           static_cast<std::uint32_t>(chunk.flags[r])));
     }
     partitions[k] = std::move(out);
+  };
+  run(survivors.size(), [&](std::size_t k) {
+    if (options.on_error == errors::ErrorPolicy::Fail) {
+      const std::size_t chunk_index = survivors[k];
+      errors::with_context("decoding chunk " + std::to_string(chunk_index) +
+                               " @ offset " +
+                               std::to_string(chunks_[chunk_index].offset),
+                           [&] { decode_one(k); });
+      return;
+    }
+    try {
+      decode_one(k);
+    } catch (const errors::Error& e) {
+      if (e.severity() == errors::Severity::Fatal) throw;
+      // Skip/Quarantine: drop the chunk and resync to the next one. The
+      // chunk directory gives every neighbour's extent, so a corrupt body
+      // costs exactly its own rows.
+      const ChunkInfo& info = chunks_[survivors[k]];
+      chunks_quarantined.fetch_add(1, std::memory_order_relaxed);
+      rows_quarantined.fetch_add(info.row_count, std::memory_order_relaxed);
+      OBS_COUNT("colstore.chunks_quarantined", 1);
+      if (options.failures != nullptr) {
+        options.failures->add(
+            "colstore.decode_chunk",
+            "chunk " + std::to_string(survivors[k]) + " @ offset " +
+                std::to_string(info.offset) + " (" +
+                std::to_string(info.row_count) + " rows)",
+            e);
+      }
+      partitions[k] = dataflow::Table::make_partition(schema);
+    }
   });
+  local.chunks_quarantined = chunks_quarantined.load();
+  local.rows_quarantined = rows_quarantined.load();
 
   dataflow::Table table(schema);
   for (dataflow::Partition& p : partitions) {
@@ -394,12 +434,18 @@ dataflow::Table ColumnarReader::scan_with_runner(const ScanPredicate& pred,
 
 dataflow::Table ColumnarReader::scan(const ScanPredicate& pred,
                                      ScanStats* stats) const {
+  return scan(pred, ScanOptions{}, stats);
+}
+
+dataflow::Table ColumnarReader::scan(const ScanPredicate& pred,
+                                     const ScanOptions& options,
+                                     ScanStats* stats) const {
   return scan_with_runner(
       pred,
       [](std::size_t n, const std::function<void(std::size_t)>& task) {
         for (std::size_t i = 0; i < n; ++i) task(i);
       },
-      stats);
+      options, stats);
 }
 
 dataflow::Table ColumnarReader::scan(const ScanPredicate& pred,
@@ -409,26 +455,24 @@ dataflow::Table ColumnarReader::scan(const ScanPredicate& pred,
       pred,
       [&pool](std::size_t n,
               const std::function<void(std::size_t)>& task) {
-        std::mutex mutex;
-        std::exception_ptr error;
         for (std::size_t i = 0; i < n; ++i) {
-          pool.submit([&, i] {
-            try {
-              task(i);
-            } catch (...) {
-              const std::lock_guard<std::mutex> lock(mutex);
-              if (!error) error = std::current_exception();
-            }
-          });
+          pool.submit([&task, i] { task(i); });
         }
+        // The pool's exception barrier rethrows the first task failure.
         pool.help_until_idle();
-        if (error) std::rethrow_exception(error);
       },
-      stats);
+      ScanOptions{}, stats);
 }
 
 dataflow::Table ColumnarReader::scan(const ScanPredicate& pred,
                                      dataflow::Engine& engine,
+                                     ScanStats* stats) const {
+  return scan(pred, engine, ScanOptions{}, stats);
+}
+
+dataflow::Table ColumnarReader::scan(const ScanPredicate& pred,
+                                     dataflow::Engine& engine,
+                                     const ScanOptions& options,
                                      ScanStats* stats) const {
   ScanStats local;
   const auto start = std::chrono::steady_clock::now();
@@ -438,7 +482,7 @@ dataflow::Table ColumnarReader::scan(const ScanPredicate& pred,
                 const std::function<void(std::size_t)>& task) {
         engine.parallel_for(n, task);
       },
-      &local);
+      options, &local);
   dataflow::StageMetrics metrics;
   metrics.name = "colstore_scan";
   metrics.tasks = local.chunks_scanned;

@@ -27,7 +27,8 @@ namespace ivt::colstore {
 
 class ColumnarReader {
  public:
-  /// Reads and indexes the file; throws std::runtime_error on a bad
+  /// Reads and indexes the file; throws errors::Error(Io) when the file
+  /// cannot be read and errors::Error(Format) on a bad
   /// magic/version/footer.
   explicit ColumnarReader(const std::string& path);
 
@@ -54,6 +55,13 @@ class ColumnarReader {
   [[nodiscard]] dataflow::Table scan(const ScanPredicate& pred = {},
                                      ScanStats* stats = nullptr) const;
 
+  /// Same, with an explicit failure policy (ScanOptions): under
+  /// Skip/Quarantine a chunk that fails to decode is dropped — scan
+  /// resyncs at the next chunk boundary — instead of aborting the scan.
+  [[nodiscard]] dataflow::Table scan(const ScanPredicate& pred,
+                                     const ScanOptions& options,
+                                     ScanStats* stats = nullptr) const;
+
   /// Same, decoding surviving chunks in parallel on `pool`.
   [[nodiscard]] dataflow::Table scan(const ScanPredicate& pred,
                                      dataflow::ThreadPool& pool,
@@ -63,6 +71,12 @@ class ColumnarReader {
   /// "colstore_scan" stage in the engine metrics.
   [[nodiscard]] dataflow::Table scan(const ScanPredicate& pred,
                                      dataflow::Engine& engine,
+                                     ScanStats* stats = nullptr) const;
+
+  /// Engine-parallel scan with a failure policy.
+  [[nodiscard]] dataflow::Table scan(const ScanPredicate& pred,
+                                     dataflow::Engine& engine,
+                                     const ScanOptions& options,
                                      ScanStats* stats = nullptr) const;
 
   /// Full materialization back into the in-memory trace model.
@@ -81,6 +95,7 @@ class ColumnarReader {
                          const std::function<void(std::size_t)>&)>;
   dataflow::Table scan_with_runner(const ScanPredicate& pred,
                                    const TaskRunner& run,
+                                   const ScanOptions& options,
                                    ScanStats* stats) const;
 
   std::string data_;

@@ -11,9 +11,10 @@
 
 #include <cstdint>
 #include <cstddef>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "errors/error.hpp"
 
 namespace ivt::colstore {
 
@@ -23,8 +24,8 @@ struct ByteSpan {
   std::size_t size = 0;
 };
 
-/// Sequential decoder over a ByteSpan; throws on overrun (a truncated or
-/// corrupt block must never read out of bounds).
+/// Sequential decoder over a ByteSpan; throws errors::Error(Decode) on
+/// overrun (a truncated or corrupt block must never read out of bounds).
 class ByteCursor {
  public:
   explicit ByteCursor(ByteSpan span) : span_(span) {}
@@ -34,7 +35,7 @@ class ByteCursor {
 
   std::uint8_t u8() {
     if (pos_ >= span_.size) {
-      throw std::runtime_error("ivc: column block overrun");
+      IVT_THROW(errors::Category::Decode, "ivc: column block overrun");
     }
     return span_.data[pos_++];
   }
@@ -42,7 +43,7 @@ class ByteCursor {
   /// Raw byte slice of length n.
   ByteSpan bytes(std::size_t n) {
     if (n > remaining()) {
-      throw std::runtime_error("ivc: column block overrun");
+      IVT_THROW(errors::Category::Decode, "ivc: column block overrun");
     }
     const ByteSpan out{span_.data + pos_, n};
     pos_ += n;
@@ -71,7 +72,7 @@ inline std::uint64_t get_uvarint(ByteCursor& in) {
     v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) return v;
   }
-  throw std::runtime_error("ivc: varint too long");
+  IVT_THROW(errors::Category::Decode, "ivc: varint too long");
 }
 
 inline std::uint64_t zigzag_encode(std::int64_t v) {
@@ -153,7 +154,7 @@ inline std::vector<std::uint64_t> decode_rle(ByteSpan block,
     const std::uint64_t value = get_uvarint(in);
     const std::uint64_t run = get_uvarint(in);
     if (run == 0 || run > count - values.size()) {
-      throw std::runtime_error("ivc: bad RLE run length");
+      IVT_THROW(errors::Category::Decode, "ivc: bad RLE run length");
     }
     values.insert(values.end(), static_cast<std::size_t>(run), value);
   }

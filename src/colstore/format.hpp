@@ -28,6 +28,9 @@
 #include <string>
 #include <vector>
 
+#include "errors/error.hpp"
+#include "errors/failure_log.hpp"
+
 namespace ivt::colstore {
 
 inline constexpr char kChunkMagic[4] = {'I', 'V', 'C', 'C'};
@@ -91,6 +94,19 @@ struct ScanStats {
   std::size_t chunks_scanned = 0;   ///< survived the zone maps
   std::size_t rows_considered = 0;  ///< rows in surviving chunks
   std::size_t rows_emitted = 0;     ///< rows passing the row-level filter
+  std::size_t chunks_quarantined = 0;  ///< failed decode, skipped (policy)
+  std::size_t rows_quarantined = 0;    ///< directory rows of those chunks
+};
+
+/// Failure handling of one scan. The default (Fail) propagates the first
+/// decode error; Skip/Quarantine drop the failing chunk, resync to the
+/// next chunk boundary (chunk extents come from the footer directory, so
+/// a corrupt body never desyncs its neighbours), and record the loss in
+/// ScanStats — Quarantine additionally appends a FailureRecord per chunk
+/// to `failures` for the sidecar manifest.
+struct ScanOptions {
+  errors::ErrorPolicy on_error = errors::ErrorPolicy::Fail;
+  errors::FailureLog* failures = nullptr;  ///< optional, Quarantine only
 };
 
 }  // namespace ivt::colstore

@@ -96,6 +96,12 @@ Table preselect(Engine& engine, const Table& kb, const Table& urel) {
 
 Table preselect(Engine& engine, const colstore::ColumnarReader& reader,
                 const Table& urel, colstore::ScanStats* stats) {
+  return preselect(engine, reader, urel, colstore::ScanOptions{}, stats);
+}
+
+Table preselect(Engine& engine, const colstore::ColumnarReader& reader,
+                const Table& urel, const colstore::ScanOptions& options,
+                colstore::ScanStats* stats) {
   colstore::ScanPredicate pred;
   for (MessageKey& key : relevant_message_keys(urel)) {
     pred.message_ids.push_back(key.message_id);
@@ -109,7 +115,7 @@ Table preselect(Engine& engine, const colstore::ColumnarReader& reader,
   std::sort(pred.buses.begin(), pred.buses.end());
   pred.buses.erase(std::unique(pred.buses.begin(), pred.buses.end()),
                    pred.buses.end());
-  return reader.scan(pred, engine, stats);
+  return reader.scan(pred, engine, options, stats);
 }
 
 namespace {

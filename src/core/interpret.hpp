@@ -50,6 +50,15 @@ dataflow::Table preselect(dataflow::Engine& engine,
                           const dataflow::Table& urel,
                           colstore::ScanStats* stats = nullptr);
 
+/// Pushdown preselect with a failure policy: under Skip/Quarantine a
+/// chunk that fails to decode is dropped (recorded in `options.failures`
+/// and the scan stats) instead of aborting the run.
+dataflow::Table preselect(dataflow::Engine& engine,
+                          const colstore::ColumnarReader& reader,
+                          const dataflow::Table& urel,
+                          const colstore::ScanOptions& options,
+                          colstore::ScanStats* stats = nullptr);
+
 /// Lines 4–6: K_join = K_pre ⋈ U_comb; K_s = F_u2(F_u1(K_join)).
 dataflow::Table interpret(dataflow::Engine& engine,
                           const dataflow::Table& kpre,

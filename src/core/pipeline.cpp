@@ -6,6 +6,8 @@
 
 #include "core/schemas.hpp"
 #include "core/urel.hpp"
+#include "errors/error.hpp"
+#include "faultfx/faultfx.hpp"
 #include "obs/obs.hpp"
 
 namespace ivt::core {
@@ -172,8 +174,10 @@ PipelineResult Pipeline::run(dataflow::Engine& engine,
   std::vector<dataflow::Table> branch_tables(n);
   std::vector<std::vector<dataflow::Table>> extension_tables(n);
   SubStageNs sub_ns;
+  errors::FailureLog failure_log;
 
-  engine.parallel_for(n, [&](std::size_t i) {
+  const auto process_sequence = [&](std::size_t i) {
+    FAULT_POINT("pipeline.sequence");
     const SequenceData& raw = split.sequences[i];
     const signaldb::SignalSpec* spec = spec_of(raw.s_id);
     SequenceReport& report = reports[i];
@@ -230,7 +234,40 @@ PipelineResult Pipeline::run(dataflow::Engine& engine,
     sub_ns.branch.fetch_add(elapsed_ns(sub_start),
                             std::memory_order_relaxed);
     report.output_rows = branch_tables[i].num_rows();
+  };
+
+  engine.parallel_for(n, [&](std::size_t i) {
+    if (config_.on_error == errors::ErrorPolicy::Fail) {
+      errors::with_context("processing sequence " + split.sequences[i].s_id,
+                           [&] { process_sequence(i); });
+      return;
+    }
+    try {
+      process_sequence(i);
+    } catch (const errors::Error& e) {
+      if (e.severity() == errors::Severity::Fatal) throw;
+      // Degrade: this sequence contributes nothing to R_out; the run
+      // continues with the reason on record.
+      const SequenceData& raw = split.sequences[i];
+      SequenceReport& report = reports[i];
+      report.s_id = raw.s_id;
+      report.bus = raw.bus;
+      report.input_rows = raw.size();
+      report.reduced_rows = 0;
+      report.output_rows = 0;
+      report.extension_rows = 0;
+      report.dropped = true;
+      report.drop_reason = e.describe();
+      branch_tables[i] = dataflow::Table(krep_schema());
+      extension_tables[i].clear();
+      OBS_COUNT("pipeline.sequences_dropped", 1);
+      failure_log.add("pipeline.sequence",
+                      "sequence " + raw.s_id + " on " + raw.bus + " (" +
+                          std::to_string(raw.size()) + " rows)",
+                      e);
+    }
   });
+  result.failures = failure_log.records();
   record_stage_time(result.stage_times, "reduce",
                     sub_ns.reduce.load(std::memory_order_relaxed));
   record_stage_time(result.stage_times, "extend",

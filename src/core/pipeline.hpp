@@ -19,6 +19,8 @@
 #include "core/split.hpp"
 #include "core/state_repr.hpp"
 #include "dataflow/engine.hpp"
+#include "errors/error.hpp"
+#include "errors/failure_log.hpp"
 #include "signaldb/catalog.hpp"
 
 namespace ivt::core {
@@ -45,6 +47,11 @@ struct PipelineConfig {
   bool build_state = true;
   /// Keep the (large) K_s table in the result for inspection.
   bool keep_ks = false;
+  /// What to do when one sequence fails in reduce/extend/classify/branch:
+  /// Fail aborts the run (default); Skip/Quarantine degrade to "sequence
+  /// dropped, reason recorded" — the failed sequence contributes no rows
+  /// to R_out and shows up in PipelineResult::failures.
+  errors::ErrorPolicy on_error = errors::ErrorPolicy::Fail;
 
   PipelineConfig() { constraints.push_back(drop_repeated_values_rule()); }
 };
@@ -59,6 +66,9 @@ struct SequenceReport {
   std::size_t output_rows = 0;   ///< homogenized elements (K_res)
   std::size_t extension_rows = 0;
   BranchStats branch_stats;
+  /// Set when the sequence failed and the on_error policy dropped it.
+  bool dropped = false;
+  std::string drop_reason;
 };
 
 /// Wall time of one Algorithm-1 stage across the whole run (sub-stages
@@ -87,6 +97,16 @@ struct PipelineResult {
   dataflow::Table state; ///< state representation (empty when disabled)
   std::vector<SequenceReport> sequences;
   std::vector<ChannelCorrespondence> correspondences;
+  /// Recovered failures under Skip/Quarantine; empty on a clean run or
+  /// under Fail (which aborts instead). The pipeline records dropped
+  /// sequences here; callers may merge in upstream losses (quarantined
+  /// scan chunks, truncated traces) before rendering the report.
+  std::vector<errors::FailureRecord> failures;
+  [[nodiscard]] std::size_t sequences_dropped() const {
+    std::size_t n = 0;
+    for (const SequenceReport& s : sequences) n += s.dropped ? 1 : 0;
+    return n;
+  }
 };
 
 class Pipeline {

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "errors/failure_log.hpp"
+
 namespace ivt::core {
 
 namespace {
@@ -85,6 +87,13 @@ std::string report_to_text(const PipelineResult& result) {
       os << "\n";
     }
   }
+  if (!result.failures.empty()) {
+    os << "\nrecovered failures (" << result.failures.size() << "):\n";
+    for (const errors::FailureRecord& f : result.failures) {
+      os << "  [" << to_string(f.category) << "] " << f.site << ": "
+         << f.unit << " — " << f.message << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -124,8 +133,12 @@ std::string report_to_json(const PipelineResult& result) {
        << ", \"output_rows\": " << r.output_rows
        << ", \"outliers\": " << r.branch_stats.outliers
        << ", \"validity\": " << r.branch_stats.validity
-       << ", \"extensions\": " << r.extension_rows << "}"
-       << (i + 1 < result.sequences.size() ? "," : "") << "\n";
+       << ", \"extensions\": " << r.extension_rows
+       << ", \"dropped\": " << (r.dropped ? "true" : "false");
+    if (r.dropped) {
+      os << ", \"drop_reason\": \"" << json_escape(r.drop_reason) << "\"";
+    }
+    os << "}" << (i + 1 < result.sequences.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
   os << "  \"correspondences\": [\n";
@@ -140,7 +153,18 @@ std::string report_to_json(const PipelineResult& result) {
     }
     os << "]}" << (i + 1 < result.correspondences.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n";
+  std::size_t chunks_quarantined = 0;
+  for (const errors::FailureRecord& f : result.failures) {
+    chunks_quarantined += f.site == "colstore.decode_chunk" ? 1 : 0;
+  }
+  os << "  \"failures\": {\n";
+  os << "    \"total\": " << result.failures.size() << ",\n";
+  os << "    \"sequences_dropped\": " << result.sequences_dropped() << ",\n";
+  os << "    \"chunks_quarantined\": " << chunks_quarantined << ",\n";
+  os << "    \"records\": " << errors::failures_to_json(result.failures, "    ")
+     << "\n";
+  os << "  }\n}\n";
   return os.str();
 }
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <thread>
 
+#include "errors/error.hpp"
+#include "faultfx/faultfx.hpp"
 #include "obs/obs.hpp"
 
 namespace ivt::dataflow {
@@ -25,29 +27,61 @@ void Engine::apply_task_overhead() const {
   }
 }
 
+namespace {
+
+/// Deterministic jitter in [0, 1) for retry attempt `attempt` of task
+/// `index` — no global RNG state, so backoff is reproducible.
+double retry_jitter(std::size_t index, std::size_t attempt) {
+  std::uint64_t x = static_cast<std::uint64_t>(index) * 0x9E3779B97F4A7C15ULL +
+                    attempt + 1;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<double>((x ^ (x >> 31)) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+void Engine::run_with_retry(std::size_t index,
+                            const std::function<void(std::size_t)>& fn) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      FAULT_POINT("engine.task");
+      fn(index);
+      return;
+    } catch (const errors::Error& e) {
+      if (attempt >= config_.max_task_retries ||
+          !errors::is_transient(e.category())) {
+        throw;
+      }
+      task_retries_.fetch_add(1, std::memory_order_relaxed);
+      OBS_COUNT("engine.task_retries", 1);
+      const double scale =
+          static_cast<double>(std::uint64_t{1} << attempt) *
+          (1.0 + retry_jitter(index, attempt));
+      const auto backoff = std::chrono::microseconds(static_cast<long>(
+          static_cast<double>(config_.retry_backoff.count()) * scale));
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    }
+  }
+}
+
 void Engine::parallel_for(std::size_t n,
                           const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (n == 1) {
     apply_task_overhead();
-    fn(0);
+    run_with_retry(0, fn);
     return;
   }
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
   for (std::size_t i = 0; i < n; ++i) {
-    pool_->submit([&, i] {
+    pool_->submit([this, &fn, i] {
       apply_task_overhead();
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
+      run_with_retry(i, fn);
     });
   }
+  // The pool's exception barrier rethrows the first task failure here.
   pool_->help_until_idle();
-  if (first_error) std::rethrow_exception(first_error);
 }
 
 Table Engine::map_partitions(

@@ -11,6 +11,7 @@
 // count and scheduling order.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <exception>
@@ -33,6 +34,13 @@ struct EngineConfig {
   /// Simulated per-task dispatch latency (models cluster scheduling and
   /// shuffle communication). Zero disables the simulation.
   std::chrono::microseconds task_overhead{0};
+  /// Extra attempts for a task that failed with a *transient* error
+  /// (errors::is_transient, i.e. Category::Resource). Non-transient errors
+  /// are never retried. 0 disables retry.
+  std::size_t max_task_retries = 2;
+  /// Base backoff before a retry; attempt k sleeps base × 2^k plus a
+  /// deterministic jitter derived from (task index, attempt).
+  std::chrono::microseconds retry_backoff{100};
 };
 
 /// Counters for one executed stage (one logical operation).
@@ -55,8 +63,15 @@ class Engine {
   [[nodiscard]] const EngineConfig& config() const { return config_; }
 
   /// Run `fn(i)` for i in [0, n) on the worker pool; blocks until done.
-  /// The first exception thrown by any task is rethrown here.
+  /// Tasks failing with a transient errors::Error are retried up to
+  /// `max_task_retries` times with jittered exponential backoff; the first
+  /// unrecovered exception from any task is rethrown here.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Transient-failure retries performed since construction.
+  [[nodiscard]] std::size_t task_retries() const {
+    return task_retries_.load(std::memory_order_relaxed);
+  }
 
   /// Map every input partition through `fn` (partition-index-preserving);
   /// `fn(partition, index)` returns the output partition. Records a stage.
@@ -74,12 +89,15 @@ class Engine {
 
  private:
   void apply_task_overhead() const;
+  void run_with_retry(std::size_t index,
+                      const std::function<void(std::size_t)>& fn);
 
   EngineConfig config_;
   std::size_t default_partitions_;
   std::unique_ptr<ThreadPool> pool_;
   mutable std::mutex metrics_mutex_;
   std::vector<StageMetrics> metrics_;
+  std::atomic<std::size_t> task_retries_{0};
 };
 
 }  // namespace ivt::dataflow

@@ -29,7 +29,7 @@ void ThreadPool::submit(std::function<void()> task) {
   if (threads_.empty()) {
     // Inline mode: nobody would ever drain the queue.
     OBS_COUNT("pool.tasks_executed", 1);
-    task();
+    run_task(task);
     return;
   }
   {
@@ -42,8 +42,11 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  rethrow_if_failed();
 }
 
 void ThreadPool::help_until_idle() {
@@ -55,15 +58,45 @@ void ThreadPool::help_until_idle() {
     OBS_GAUGE_ADD("pool.queue_depth", -1);
     OBS_COUNT("pool.tasks_executed", 1);
     OBS_COUNT("pool.tasks_helped", 1);
-    task();
+    run_task(task);
     lock.lock();
     if (--in_flight_ == 0) {
       cv_idle_.notify_all();
+      lock.unlock();
+      rethrow_if_failed();
       return;
     }
   }
   // Queue drained; a worker may still be running the final tasks.
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  lock.unlock();
+  rethrow_if_failed();
+}
+
+std::size_t ThreadPool::tasks_failed() const {
+  std::lock_guard lock(mutex_);
+  return tasks_failed_;
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    ++tasks_failed_;
+    OBS_COUNT("pool.tasks_failed", 1);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::rethrow_if_failed() {
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(mutex_);
+    if (!first_error_) return;
+    std::swap(error, first_error_);
+  }
+  std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
@@ -89,7 +122,7 @@ void ThreadPool::worker_loop() {
 #if IVT_OBS_ENABLED
     const std::int64_t task_start = obs::trace_now_ns();
 #endif
-    task();
+    run_task(task);
 #if IVT_OBS_ENABLED
     OBS_COUNT("pool.busy_ns", obs::trace_now_ns() - task_start);
 #endif

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -11,15 +12,18 @@
 
 namespace ivt::dataflow {
 
-/// Minimal fixed-size thread pool. Tasks are plain std::function<void()>;
-/// exceptions escaping a task terminate (tasks are expected to capture and
-/// report their own failures — the Engine wraps user kernels accordingly).
+/// Minimal fixed-size thread pool. Tasks are plain std::function<void()>.
+/// An exception escaping a task is caught at the pool boundary, recorded,
+/// and rethrown from the next wait_idle()/help_until_idle() call — the
+/// first captured exception wins, later ones are counted and dropped
+/// (`pool.tasks_failed`). Remaining queued tasks still run; the pool stays
+/// usable after the rethrow.
 ///
 /// `num_threads == 0` selects inline mode: no workers are spawned and
 /// submit() executes the task on the calling thread immediately, so
 /// wait_idle()/help_until_idle() return at once instead of deadlocking on
-/// a queue nobody drains. (In inline mode an exception from the task
-/// propagates out of submit() itself.)
+/// a queue nobody drains. Inline-mode failures follow the same contract:
+/// captured in submit(), rethrown from the next wait_idle().
 ///
 /// Observability (when built with IVT_OBS=ON): gauge `pool.queue_depth`,
 /// counters `pool.tasks_executed`, `pool.tasks_helped` (tasks stolen by
@@ -41,16 +45,22 @@ class ThreadPool {
   /// Enqueue one task (inline mode: run it now).
   void submit(std::function<void()> task);
 
-  /// Block until every task submitted so far has finished.
+  /// Block until every task submitted so far has finished. If any task
+  /// threw since the last wait, rethrows the first captured exception.
   void wait_idle();
 
   /// Like wait_idle(), but the calling thread joins in executing queued
   /// tasks instead of sleeping. Avoids one context switch per task, which
-  /// dominates on machines with few cores.
+  /// dominates on machines with few cores. Same rethrow contract.
   void help_until_idle();
+
+  /// Tasks that threw since construction (not reset by wait_idle).
+  [[nodiscard]] std::size_t tasks_failed() const;
 
  private:
   void worker_loop();
+  void run_task(std::function<void()>& task);
+  void rethrow_if_failed();
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;
@@ -59,6 +69,8 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::size_t tasks_failed_ = 0;
 };
 
 }  // namespace ivt::dataflow

@@ -1,0 +1,95 @@
+#include "errors/error.hpp"
+
+#include <cstring>
+
+namespace ivt::errors {
+
+std::string_view to_string(Category category) {
+  switch (category) {
+    case Category::Io: return "io";
+    case Category::Format: return "format";
+    case Category::Decode: return "decode";
+    case Category::Spec: return "spec";
+    case Category::Resource: return "resource";
+    case Category::Internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Recoverable: return "recoverable";
+    case Severity::Fatal: return "fatal";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ErrorPolicy policy) {
+  switch (policy) {
+    case ErrorPolicy::Fail: return "fail";
+    case ErrorPolicy::Skip: return "skip";
+    case ErrorPolicy::Quarantine: return "quarantine";
+  }
+  return "unknown";
+}
+
+std::optional<ErrorPolicy> parse_error_policy(std::string_view text) {
+  if (text == "fail") return ErrorPolicy::Fail;
+  if (text == "skip") return ErrorPolicy::Skip;
+  if (text == "quarantine") return ErrorPolicy::Quarantine;
+  return std::nullopt;
+}
+
+Error::Error(Category category, std::string message, SourceLocation location,
+             Severity severity)
+    : std::runtime_error(message),
+      category_(category),
+      severity_(severity),
+      message_(std::move(message)),
+      location_(location) {}
+
+Error& Error::add_context(std::string frame) {
+  context_.push_back(std::move(frame));
+  rendered_.clear();
+  return *this;
+}
+
+std::string Error::describe() const {
+  std::string out;
+  out += to_string(category_);
+  out += " error";
+  if (location_.file != nullptr) {
+    // Basename only: full build paths are noise in user-facing output.
+    const char* base = location_.file;
+    for (const char* p = location_.file; *p != '\0'; ++p) {
+      if (*p == '/' || *p == '\\') base = p + 1;
+    }
+    out += " at ";
+    out += base;
+    out += ':';
+    out += std::to_string(location_.line);
+  }
+  out += ": ";
+  out += message_;
+  if (!context_.empty()) {
+    out += " (";
+    for (std::size_t i = 0; i < context_.size(); ++i) {
+      if (i > 0) out += "; ";
+      out += "while ";
+      out += context_[i];
+    }
+    out += ')';
+  }
+  return out;
+}
+
+const char* Error::what() const noexcept {
+  try {
+    if (rendered_.empty()) rendered_ = describe();
+    return rendered_.c_str();
+  } catch (...) {
+    return std::runtime_error::what();
+  }
+}
+
+}  // namespace ivt::errors

@@ -1,0 +1,132 @@
+// Typed error taxonomy for the whole pipeline.
+//
+// Every failure the system can encounter carries
+//   - a Category (io, format, decode, spec, resource, internal) that
+//     recovery policies dispatch on (only `resource` is transient and
+//     worth retrying; a corrupt chunk stays corrupt),
+//   - a Severity (recoverable failures can be skipped/quarantined by an
+//     ErrorPolicy, fatal ones always abort),
+//   - the source location of the throw site, and
+//   - a context chain: each layer that propagates the error prepends
+//     "while <doing X>" frames, so a CLI user sees
+//     `decode error at columnar_reader.cpp:301: ivc: bad RLE run length
+//      (while decoding chunk 3 @ 0x1a40; while scanning trace.ivc)`.
+//
+// Error derives from std::runtime_error so legacy catch sites (and the
+// seed's EXPECT_THROW(..., std::runtime_error) tests) keep working while
+// call sites migrate.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ivt::errors {
+
+enum class Category {
+  Io,        ///< file open/read/write failures
+  Format,    ///< malformed container structure (magic, footer, header)
+  Decode,    ///< corrupt encoded payload inside a structurally valid file
+  Spec,      ///< invalid catalog / signal specification
+  Resource,  ///< exhaustion or contention; the only transient category
+  Internal,  ///< invariant violation — a bug, never user data
+};
+
+enum class Severity {
+  Recoverable,  ///< an ErrorPolicy may skip/quarantine the unit of work
+  Fatal,        ///< always aborts the run regardless of policy
+};
+
+[[nodiscard]] std::string_view to_string(Category category);
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+/// Transient errors are worth a bounded retry (the failure may clear on
+/// its own); persistent ones fail identically every attempt.
+[[nodiscard]] constexpr bool is_transient(Category category) {
+  return category == Category::Resource;
+}
+
+/// Throw-site capture (filled in by the IVT_THROW macro).
+struct SourceLocation {
+  const char* file = nullptr;
+  int line = 0;
+};
+
+class Error : public std::runtime_error {
+ public:
+  Error(Category category, std::string message,
+        SourceLocation location = {},
+        Severity severity = Severity::Recoverable);
+
+  [[nodiscard]] Category category() const { return category_; }
+  [[nodiscard]] Severity severity() const { return severity_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] const SourceLocation& location() const { return location_; }
+  [[nodiscard]] const std::vector<std::string>& context() const {
+    return context_;
+  }
+
+  /// Append one "while <frame>" entry (innermost first). Returns *this so
+  /// catch sites can `throw e.add_context(...)`-style chain.
+  Error& add_context(std::string frame);
+
+  /// Full rendering: category, location, message, context chain.
+  [[nodiscard]] std::string describe() const;
+
+  /// what() returns describe() (cached), so untyped catch sites still see
+  /// the category and chain.
+  [[nodiscard]] const char* what() const noexcept override;
+
+ private:
+  Category category_;
+  Severity severity_;
+  std::string message_;
+  SourceLocation location_;
+  std::vector<std::string> context_;
+  mutable std::string rendered_;  ///< cache rebuilt after add_context
+};
+
+/// Throws an Error capturing the call site:
+///   IVT_THROW(Category::Decode, "ivc: bad RLE run length");
+#define IVT_THROW(category, ...)                                 \
+  throw ::ivt::errors::Error((category), (__VA_ARGS__),          \
+                             ::ivt::errors::SourceLocation{      \
+                                 __FILE__, __LINE__})
+
+/// Fatal variant — an ErrorPolicy must not swallow these.
+#define IVT_THROW_FATAL(category, ...)                           \
+  throw ::ivt::errors::Error((category), (__VA_ARGS__),          \
+                             ::ivt::errors::SourceLocation{      \
+                                 __FILE__, __LINE__},            \
+                             ::ivt::errors::Severity::Fatal)
+
+/// Run `fn`, stamping `frame` onto any Error that escapes it:
+///   return with_context("loading " + path, [&] { return parse(path); });
+template <typename Fn>
+decltype(auto) with_context(std::string frame, Fn&& fn) {
+  try {
+    return fn();
+  } catch (Error& e) {
+    e.add_context(std::move(frame));
+    throw;
+  }
+}
+
+/// What to do when a unit of work (chunk, sequence, record) fails with a
+/// recoverable Error.
+enum class ErrorPolicy {
+  Fail,        ///< rethrow: the whole run aborts (default)
+  Skip,        ///< drop the unit, record the reason, keep going
+  Quarantine,  ///< like Skip, plus persist a sidecar manifest of the
+               ///< dropped units for later re-ingestion
+};
+
+[[nodiscard]] std::string_view to_string(ErrorPolicy policy);
+
+/// Parses "fail" / "skip" / "quarantine"; nullopt otherwise.
+[[nodiscard]] std::optional<ErrorPolicy> parse_error_policy(
+    std::string_view text);
+
+}  // namespace ivt::errors

@@ -1,0 +1,62 @@
+// Thread-safe log of recovered failures for one run.
+//
+// Recovery sites (skipped chunks, dropped sequences, retried tasks)
+// append a FailureRecord instead of aborting; the CLI folds the log into
+// the report JSON's "failures" section and — under --on-error=quarantine —
+// writes it as a sidecar manifest (<input>.quarantine.json) so corrupt
+// units can be re-ingested or inspected later.
+//
+// Every append also bumps the obs counters `errors.total`,
+// `errors.category.<category>` and `errors.site.<site>`.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "errors/error.hpp"
+
+namespace ivt::errors {
+
+/// One recovered (non-aborting) failure.
+struct FailureRecord {
+  std::string site;     ///< failpoint-style site name, e.g. "colstore.decode_chunk"
+  std::string unit;     ///< what was dropped, e.g. "chunk 3 @ offset 6720"
+  Category category = Category::Internal;
+  std::string message;  ///< Error::describe() of the root cause
+  std::size_t retries = 0;  ///< attempts before giving up (0 = no retry)
+};
+
+class FailureLog {
+ public:
+  void add(FailureRecord record);
+
+  /// Convenience: build the record from a caught Error.
+  void add(const std::string& site, const std::string& unit, const Error& e,
+           std::size_t retries = 0);
+
+  [[nodiscard]] std::vector<FailureRecord> records() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Append every record of `other` (merging per-subsystem logs).
+  void merge(const FailureLog& other);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<FailureRecord> records_;
+};
+
+/// Renders records as a JSON array (shared by the report's "failures"
+/// section and the quarantine manifest).
+[[nodiscard]] std::string failures_to_json(
+    const std::vector<FailureRecord>& records, const std::string& indent);
+
+/// Writes a quarantine manifest `{"source": ..., "failures": [...]}` to
+/// `path`. Throws Error(Category::Io) when the file cannot be written.
+void write_quarantine_manifest(const std::string& path,
+                               const std::string& source,
+                               const std::vector<FailureRecord>& records);
+
+}  // namespace ivt::errors

@@ -1,0 +1,63 @@
+// Result<T>: value-or-Error propagation for APIs where a failure is an
+// expected outcome rather than an exceptional one (probing files, parsing
+// user-supplied specs). Keeps the typed taxonomy without forcing every
+// caller through try/catch.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "errors/error.hpp"
+
+namespace ivt::errors {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}       // NOLINT(implicit)
+  Result(Error error) : error_(std::move(error)) {}   // NOLINT(implicit)
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Throws the carried Error when !ok().
+  T& value() & {
+    require();
+    return *value_;
+  }
+  const T& value() const& {
+    require();
+    return *value_;
+  }
+  T&& value() && {
+    require();
+    return *std::move(value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// Only valid when !ok().
+  [[nodiscard]] const Error& error() const { return *error_; }
+
+  /// Runs `fn()` (returning T), converting a thrown Error into a Result.
+  template <typename Fn>
+  static Result<T> capture(Fn&& fn) {
+    try {
+      return Result<T>(fn());
+    } catch (Error& e) {
+      return Result<T>(std::move(e));
+    }
+  }
+
+ private:
+  void require() const {
+    if (!ok()) throw Error(*error_);
+  }
+
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+}  // namespace ivt::errors

@@ -15,6 +15,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "errors/error.hpp"
+#include "faultfx/faultfx.hpp"
 #include "signaldb/catalog.hpp"
 
 namespace ivt::signaldb {
@@ -70,7 +72,8 @@ std::vector<std::string> tokenize(const std::string& line, std::size_t lineno) {
     }
   }
   if (in_quotes) {
-    throw std::runtime_error("catalog line " + std::to_string(lineno) +
+    IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                              ": unterminated quote");
   }
   if (has_token) tokens.push_back(std::move(cur));
@@ -85,7 +88,8 @@ std::map<std::string, std::string> parse_kv(
   for (std::size_t i = from; i < tokens.size(); ++i) {
     const std::size_t eq = tokens[i].find('=');
     if (eq == std::string::npos) {
-      throw std::runtime_error("catalog line " + std::to_string(lineno) +
+      IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                                ": expected key=value, got '" + tokens[i] +
                                "'");
     }
@@ -101,7 +105,8 @@ double to_double(const std::string& s, std::size_t lineno) {
     if (pos != s.size()) throw std::invalid_argument(s);
     return v;
   } catch (const std::exception&) {
-    throw std::runtime_error("catalog line " + std::to_string(lineno) +
+    IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                              ": bad number '" + s + "'");
   }
 }
@@ -113,7 +118,8 @@ std::int64_t to_int(const std::string& s, std::size_t lineno) {
     if (pos != s.size()) throw std::invalid_argument(s);
     return v;
   } catch (const std::exception&) {
-    throw std::runtime_error("catalog line " + std::to_string(lineno) +
+    IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                              ": bad integer '" + s + "'");
   }
 }
@@ -121,7 +127,8 @@ std::int64_t to_int(const std::string& s, std::size_t lineno) {
 protocol::ByteOrder to_order(const std::string& s, std::size_t lineno) {
   if (s == "intel") return protocol::ByteOrder::Intel;
   if (s == "motorola") return protocol::ByteOrder::Motorola;
-  throw std::runtime_error("catalog line " + std::to_string(lineno) +
+  IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                            ": bad byte order '" + s + "'");
 }
 
@@ -193,7 +200,8 @@ Catalog catalog_from_text(const std::string& text) {
     if (kind == "message") {
       finish_message();
       if (tokens.size() < 2) {
-        throw std::runtime_error("catalog line " + std::to_string(lineno) +
+        IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                                  ": message needs a name");
       }
       current = MessageSpec{};
@@ -207,7 +215,8 @@ Catalog catalog_from_text(const std::string& text) {
         } else if (key == "protocol") {
           const auto p = protocol::parse_protocol(value);
           if (!p) {
-            throw std::runtime_error("catalog line " +
+            IVT_THROW(errors::Category::Spec,
+              "catalog line " +
                                      std::to_string(lineno) +
                                      ": unknown protocol '" + value + "'");
           }
@@ -216,18 +225,21 @@ Catalog catalog_from_text(const std::string& text) {
           current.payload_size =
               static_cast<std::size_t>(to_int(value, lineno));
         } else {
-          throw std::runtime_error("catalog line " + std::to_string(lineno) +
+          IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                                    ": unknown message key '" + key + "'");
         }
       }
       in_message = true;
     } else if (kind == "signal") {
       if (!in_message) {
-        throw std::runtime_error("catalog line " + std::to_string(lineno) +
+        IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                                  ": signal outside message");
       }
       if (tokens.size() < 2) {
-        throw std::runtime_error("catalog line " + std::to_string(lineno) +
+        IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                                  ": signal needs a name");
       }
       SignalSpec s;
@@ -243,7 +255,8 @@ Catalog catalog_from_text(const std::string& text) {
         } else if (key == "kind") {
           const auto k = parse_value_kind(value);
           if (!k) {
-            throw std::runtime_error("catalog line " +
+            IVT_THROW(errors::Category::Spec,
+              "catalog line " +
                                      std::to_string(lineno) +
                                      ": unknown kind '" + value + "'");
           }
@@ -258,7 +271,8 @@ Catalog catalog_from_text(const std::string& text) {
           } else if (value == "V") {
             s.affiliation = Affiliation::Validity;
           } else {
-            throw std::runtime_error("catalog line " +
+            IVT_THROW(errors::Category::Spec,
+              "catalog line " +
                                      std::to_string(lineno) +
                                      ": bad aff '" + value + "'");
           }
@@ -277,7 +291,8 @@ Catalog catalog_from_text(const std::string& text) {
           std::vector<std::string> parts;
           while (std::getline(ps, part, ',')) parts.push_back(part);
           if (parts.size() != 4) {
-            throw std::runtime_error("catalog line " +
+            IVT_THROW(errors::Category::Spec,
+              "catalog line " +
                                      std::to_string(lineno) +
                                      ": presence needs 4 fields");
           }
@@ -294,18 +309,21 @@ Catalog catalog_from_text(const std::string& text) {
         } else if (key == "comment") {
           s.comment = value;
         } else {
-          throw std::runtime_error("catalog line " + std::to_string(lineno) +
+          IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                                    ": unknown signal key '" + key + "'");
         }
       }
       current.signals.push_back(std::move(s));
     } else if (kind == "value") {
       if (!in_message || current.signals.empty()) {
-        throw std::runtime_error("catalog line " + std::to_string(lineno) +
+        IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                                  ": value outside signal");
       }
       if (tokens.size() != 3 && !(tokens.size() == 4 && tokens[3] == "V")) {
-        throw std::runtime_error("catalog line " + std::to_string(lineno) +
+        IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                                  ": value needs <raw> <label> [V]");
       }
       current.signals.back().value_table.push_back(ValueTableEntry{
@@ -314,7 +332,8 @@ Catalog catalog_from_text(const std::string& text) {
     } else if (kind == "end") {
       finish_message();
     } else {
-      throw std::runtime_error("catalog line " + std::to_string(lineno) +
+      IVT_THROW(errors::Category::Spec,
+              "catalog line " + std::to_string(lineno) +
                                ": unknown directive '" + kind + "'");
     }
   }
@@ -324,17 +343,20 @@ Catalog catalog_from_text(const std::string& text) {
 
 void save_catalog(const Catalog& catalog, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (!out) IVT_THROW(errors::Category::Io, "cannot open for write: " + path);
   out << to_text(catalog);
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (!out) IVT_THROW(errors::Category::Io, "write failed: " + path);
 }
 
 Catalog load_catalog(const std::string& path) {
+  FAULT_POINT("signaldb.load");
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  if (!in) IVT_THROW(errors::Category::Io, "cannot open for read: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return catalog_from_text(buffer.str());
+  return errors::with_context("loading catalog " + path, [&buffer] {
+    return catalog_from_text(buffer.str());
+  });
 }
 
 }  // namespace ivt::signaldb

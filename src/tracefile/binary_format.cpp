@@ -8,6 +8,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "errors/error.hpp"
+#include "faultfx/faultfx.hpp"
 #include "obs/obs.hpp"
 
 namespace ivt::tracefile {
@@ -34,7 +36,7 @@ T get(std::istream& in) {
   std::make_unsigned_t<T> value = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i) {
     const int c = in.get();
-    if (c == EOF) throw std::runtime_error("trace file: unexpected EOF");
+    if (c == EOF) IVT_THROW(errors::Category::Format, "trace file: unexpected EOF");
     value |= static_cast<std::make_unsigned_t<T>>(
                  static_cast<unsigned char>(c))
              << (8 * i);
@@ -55,7 +57,7 @@ std::string get_short_string(std::istream& in) {
   std::string s(len, '\0');
   in.read(s.data(), len);
   if (in.gcount() != len) {
-    throw std::runtime_error("trace file: truncated string");
+    IVT_THROW(errors::Category::Format, "trace file: truncated string");
   }
   return s;
 }
@@ -82,7 +84,8 @@ std::uint16_t TraceWriter::bus_index(const std::string& bus) {
     throw std::invalid_argument("trace file: string too long: " + bus);
   }
   if (buses_.size() >= 0xFFFF) {
-    throw std::runtime_error("trace file: too many distinct buses");
+    IVT_THROW(errors::Category::Resource,
+              "trace file: too many distinct buses");
   }
   const std::uint16_t index = static_cast<std::uint16_t>(buses_.size());
   buses_.push_back(bus);
@@ -108,7 +111,7 @@ void TraceWriter::write(const TraceRecord& record) {
   out_.write(reinterpret_cast<const char*>(record.payload.data()),
              static_cast<std::streamsize>(record.payload.size()));
   ++written_;
-  if (!out_) throw std::runtime_error("trace file: write failed");
+  if (!out_) IVT_THROW(errors::Category::Io, "trace file: write failed");
 }
 
 TraceReader::TraceReader(std::istream& in) : in_(in) {
@@ -116,12 +119,12 @@ TraceReader::TraceReader(std::istream& in) : in_(in) {
   in_.read(magic, sizeof(magic));
   if (in_.gcount() != sizeof(magic) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("trace file: bad magic");
+    IVT_THROW(errors::Category::Format, "trace file: bad magic");
   }
   const std::uint32_t version = get<std::uint32_t>(in_);
   if (version != kBinaryFormatVersion) {
-    throw std::runtime_error("trace file: unsupported version " +
-                             std::to_string(version));
+    IVT_THROW(errors::Category::Format,
+              "trace file: unsupported version " + std::to_string(version));
   }
   vehicle_ = get_short_string(in_);
   journey_ = get_short_string(in_);
@@ -136,19 +139,22 @@ bool TraceReader::next(TraceRecord& record) {
       const std::uint16_t index = get<std::uint16_t>(in_);
       std::string name = get_short_string(in_);
       if (index != buses_.size()) {
-        throw std::runtime_error("trace file: bus index out of order");
+        IVT_THROW(errors::Category::Format,
+                  "trace file: bus index out of order");
       }
       buses_.push_back(std::move(name));
       continue;
     }
     if (tag != kTagRecord) {
-      throw std::runtime_error("trace file: unknown record tag " +
-                               std::to_string(tag));
+      IVT_THROW(errors::Category::Format,
+                "trace file: unknown record tag " + std::to_string(tag));
     }
+    FAULT_POINT("tracefile.read_record");
     record.t_ns = get<std::int64_t>(in_);
     const std::uint16_t bus = get<std::uint16_t>(in_);
     if (bus >= buses_.size()) {
-      throw std::runtime_error("trace file: undefined bus index");
+      IVT_THROW(errors::Category::Decode,
+                "trace file: undefined bus index");
     }
     record.bus = buses_[bus];
     record.protocol = static_cast<protocol::Protocol>(get<std::uint8_t>(in_));
@@ -158,8 +164,10 @@ bool TraceReader::next(TraceRecord& record) {
     record.payload.resize(len);
     in_.read(reinterpret_cast<char*>(record.payload.data()), len);
     if (in_.gcount() != len) {
-      throw std::runtime_error("trace file: truncated payload");
+      IVT_THROW(errors::Category::Decode, "trace file: truncated payload");
     }
+    FAULT_POINT_MUTATE("tracefile.record", record.payload.data(),
+                       record.payload.size());
     return true;
   }
 }
@@ -167,10 +175,10 @@ bool TraceReader::next(TraceRecord& record) {
 void save_trace(const Trace& trace, const std::string& path) {
   OBS_SPAN_V(span, "tracefile.save");
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (!out) IVT_THROW(errors::Category::Io, "cannot open for write: " + path);
   TraceWriter writer(out, trace.vehicle, trace.journey, trace.start_unix_ns);
   for (const TraceRecord& rec : trace.records) writer.write(rec);
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (!out) IVT_THROW(errors::Category::Io, "write failed: " + path);
   span.set_rows(trace.records.size());
   span.set_bytes(static_cast<std::uint64_t>(out.tellp()));
   OBS_COUNT("tracefile.records_written", trace.records.size());
@@ -181,14 +189,55 @@ void save_trace(const Trace& trace, const std::string& path) {
 Trace load_trace(const std::string& path) {
   OBS_SPAN_V(span, "tracefile.load");
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  if (!in) IVT_THROW(errors::Category::Io, "cannot open for read: " + path);
+  Trace trace = errors::with_context("loading " + path, [&in] {
+    TraceReader reader(in);
+    Trace out;
+    out.vehicle = reader.vehicle();
+    out.journey = reader.journey();
+    out.start_unix_ns = reader.start_unix_ns();
+    TraceRecord rec;
+    while (reader.next(rec)) out.records.push_back(rec);
+    return out;
+  });
+  span.set_rows(trace.records.size());
+  OBS_COUNT("tracefile.records_read", trace.records.size());
+  return trace;
+}
+
+Trace load_trace_tolerant(const std::string& path,
+                          errors::ErrorPolicy on_error,
+                          errors::FailureLog* failures) {
+  if (on_error == errors::ErrorPolicy::Fail) return load_trace(path);
+  OBS_SPAN_V(span, "tracefile.load");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) IVT_THROW(errors::Category::Io, "cannot open for read: " + path);
+  // Header corruption is never tolerated — without it there is no trace.
   TraceReader reader(in);
   Trace trace;
   trace.vehicle = reader.vehicle();
   trace.journey = reader.journey();
   trace.start_unix_ns = reader.start_unix_ns();
   TraceRecord rec;
-  while (reader.next(rec)) trace.records.push_back(rec);
+  for (;;) {
+    try {
+      if (!reader.next(rec)) break;
+    } catch (const errors::Error& e) {
+      if (e.severity() == errors::Severity::Fatal) throw;
+      // The record stream has no per-record framing to resync on, so a
+      // corrupt record costs the tail of the file. Record the loss.
+      OBS_COUNT("tracefile.tails_dropped", 1);
+      if (failures != nullptr) {
+        failures->add("tracefile.read_record",
+                      "record stream tail after record " +
+                          std::to_string(trace.records.size()) + " of " +
+                          path,
+                      e);
+      }
+      break;
+    }
+    trace.records.push_back(rec);
+  }
   span.set_rows(trace.records.size());
   OBS_COUNT("tracefile.records_read", trace.records.size());
   return trace;

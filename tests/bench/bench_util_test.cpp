@@ -44,6 +44,39 @@ TEST(BenchUtilTest, JsonRecordRendersTypedFields) {
             "\"rows\": 42, \"quick\": true}");
 }
 
+TEST(BenchUtilTest, RobustnessCountersReadFromRegistry) {
+#if IVT_OBS_ENABLED
+  obs::Registry::instance().reset();
+  obs::Registry::instance().counter("engine.task_retries").add(3);
+  obs::Registry::instance().counter("colstore.chunks_quarantined").add(2);
+  obs::Registry::instance().counter("errors.total").add(5);
+  const RobustnessCounters c = read_robustness_counters();
+  EXPECT_EQ(c.task_retries, 3u);
+  EXPECT_EQ(c.chunks_quarantined, 2u);
+  EXPECT_EQ(c.sequences_dropped, 0u);  // never bumped -> fallback
+  EXPECT_EQ(c.errors_total, 5u);
+  obs::Registry::instance().reset();
+#else
+  // No-op registry: every counter reads as zero.
+  const RobustnessCounters c = read_robustness_counters();
+  EXPECT_EQ(c.task_retries, 0u);
+  EXPECT_EQ(c.errors_total, 0u);
+#endif
+}
+
+TEST(BenchUtilTest, RobustnessFieldsRenderIntoRecord) {
+  RobustnessCounters c;
+  c.task_retries = 1;
+  c.chunks_quarantined = 2;
+  c.sequences_dropped = 3;
+  c.errors_total = 6;
+  JsonRecord record;
+  add_robustness_fields(record, c);
+  EXPECT_EQ(record.to_line(),
+            "{\"task_retries\": 1, \"chunks_quarantined\": 2, "
+            "\"sequences_dropped\": 3, \"errors_total\": 6}");
+}
+
 TEST(BenchUtilTest, MetricsSnapshotWritesValidFile) {
   ::setenv("IVT_BENCH_JSON_DIR", ::testing::TempDir().c_str(), 1);
   const std::string path = write_metrics_snapshot("util_test");

@@ -1,0 +1,120 @@
+// Shared corruption harness for robustness tests: deterministic byte-level
+// vandalism of in-memory container images (.ivc / .ivt). Tests assert the
+// readers quarantine or throw typed errors instead of crashing or
+// misreading — never that a particular garbage value comes back.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "colstore/columnar_reader.hpp"
+#include "colstore/format.hpp"
+
+namespace ivt::testcorrupt {
+
+/// Flip a single bit (bit index counts from byte 0, LSB first).
+inline void flip_bit(std::string& data, std::size_t bit) {
+  data[bit / 8] = static_cast<char>(
+      static_cast<std::uint8_t>(data[bit / 8]) ^ (1U << (bit % 8)));
+}
+
+/// Overwrite `len` bytes starting at `begin` with 0xFF.
+inline void stomp(std::string& data, std::size_t begin, std::size_t len) {
+  for (std::size_t i = begin; i < begin + len && i < data.size(); ++i) {
+    data[i] = '\xFF';
+  }
+}
+
+/// Drop everything after the first `keep` bytes.
+inline void truncate(std::string& data, std::size_t keep) {
+  if (keep < data.size()) data.resize(keep);
+}
+
+/// Write an (optionally corrupted) image to a temp file and return the path.
+inline std::string write_file(const std::string& path,
+                              const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return path;
+}
+
+/// Targeted corruption of a good .ivc image. Chunk extents come from the
+/// image's own footer directory (indexed before vandalising), so the
+/// harness stays valid when the writer's layout evolves.
+class IvcCorruptor {
+ public:
+  explicit IvcCorruptor(std::string good) : good_(std::move(good)) {
+    const colstore::ColumnarReader reader =
+        colstore::ColumnarReader::from_buffer(good_);
+    for (const colstore::ChunkInfo& c : reader.chunks()) {
+      chunks_.push_back({c.offset, c.encoded_bytes, c.row_count});
+    }
+  }
+
+  [[nodiscard]] const std::string& good() const { return good_; }
+  [[nodiscard]] std::size_t num_chunks() const { return chunks_.size(); }
+  [[nodiscard]] std::uint32_t chunk_rows(std::size_t i) const {
+    return chunks_[i].rows;
+  }
+  [[nodiscard]] std::size_t chunk_offset(std::size_t i) const {
+    return static_cast<std::size_t>(chunks_[i].offset);
+  }
+
+  /// Flip one bit in the middle of chunk i's encoded body. Skips the
+  /// 4-byte row-count prefix so the damage lands in column data.
+  [[nodiscard]] std::string with_corrupt_chunk(std::size_t i,
+                                               std::size_t bit = 0) const {
+    std::string bad = good_;
+    const std::size_t body = static_cast<std::size_t>(chunks_[i].offset) + 4;
+    flip_bit(bad, body * 8 + bit);
+    return bad;
+  }
+
+  /// Stomp chunk i's whole body (structural damage, not a subtle flip).
+  [[nodiscard]] std::string with_stomped_chunk(std::size_t i) const {
+    std::string bad = good_;
+    stomp(bad, static_cast<std::size_t>(chunks_[i].offset) + 4,
+          static_cast<std::size_t>(chunks_[i].bytes) - 4);
+    return bad;
+  }
+
+  /// Corrupt the file header (magic bytes).
+  [[nodiscard]] std::string with_corrupt_header() const {
+    std::string bad = good_;
+    bad[0] = 'X';
+    return bad;
+  }
+
+  /// Corrupt the footer / zone-map region: everything between the end of
+  /// the last chunk and the 12-byte tail (u64 footer offset + magic).
+  [[nodiscard]] std::string with_corrupt_zone_maps() const {
+    std::string bad = good_;
+    std::size_t footer_begin = 0;
+    for (const ChunkExtent& c : chunks_) {
+      footer_begin = static_cast<std::size_t>(c.offset + c.bytes);
+    }
+    stomp(bad, footer_begin, bad.size() - 12 - footer_begin);
+    return bad;
+  }
+
+  /// Truncate mid-file (loses the footer and part of the chunk data).
+  [[nodiscard]] std::string with_truncation() const {
+    std::string bad = good_;
+    truncate(bad, bad.size() / 2);
+    return bad;
+  }
+
+ private:
+  struct ChunkExtent {
+    std::uint64_t offset;
+    std::uint64_t bytes;
+    std::uint32_t rows;
+  };
+  std::string good_;
+  std::vector<ChunkExtent> chunks_;
+};
+
+}  // namespace ivt::testcorrupt

@@ -1,0 +1,157 @@
+// Failure-path tests for the execution layer: the ThreadPool exception
+// barrier (worker and inline modes) and the Engine's transient-error
+// retry loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "dataflow/engine.hpp"
+#include "dataflow/thread_pool.hpp"
+#include "errors/error.hpp"
+
+namespace ivt::dataflow {
+namespace {
+
+TEST(ThreadPoolFailureTest, FirstExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&completed] { ++completed; });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "task boom");
+  }
+  // Every healthy task still ran: one failure does not poison the queue.
+  EXPECT_EQ(completed.load(), 8);
+  EXPECT_EQ(pool.tasks_failed(), 1u);
+}
+
+TEST(ThreadPoolFailureTest, PoolStaysUsableAfterRethrow) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The captured exception was consumed by the rethrow.
+  pool.submit([] {});
+  EXPECT_NO_THROW(pool.wait_idle());
+
+  pool.submit([] { throw std::runtime_error("second"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(pool.tasks_failed(), 2u);
+}
+
+TEST(ThreadPoolFailureTest, LaterFailuresCountedFirstWins) {
+  ThreadPool pool(0);  // inline: deterministic submission order
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([i] { throw std::runtime_error("boom " + std::to_string(i)); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "boom 0");
+  }
+  EXPECT_EQ(pool.tasks_failed(), 3u);
+}
+
+TEST(ThreadPoolFailureTest, InlineModeSameContract) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("inline boom"); });
+  pool.submit([&completed] { ++completed; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 1);
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPoolFailureTest, HelpUntilIdleRethrows) {
+  ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("helped boom"); });
+  EXPECT_THROW(pool.help_until_idle(), std::runtime_error);
+  EXPECT_NO_THROW(pool.help_until_idle());
+}
+
+TEST(EngineRetryTest, TransientErrorIsRetried) {
+  // n > 1 so the tasks go through the worker pool, not the inline path.
+  Engine engine({.workers = 2,
+                 .max_task_retries = 3,
+                 .retry_backoff = std::chrono::microseconds(1)});
+  std::atomic<int> attempts[4] = {};
+  engine.parallel_for(4, [&attempts](std::size_t i) {
+    if (attempts[i].fetch_add(1) < 2 && i == 2) {
+      IVT_THROW(errors::Category::Resource, "temporarily out of budget");
+    }
+  });
+  EXPECT_EQ(attempts[2].load(), 3);  // 2 failures + 1 success
+  EXPECT_EQ(attempts[0].load(), 1);
+  EXPECT_EQ(engine.task_retries(), 2u);
+}
+
+TEST(EngineRetryTest, TransientErrorExhaustsRetriesThenThrows) {
+  Engine engine({.workers = 1,
+                 .max_task_retries = 2,
+                 .retry_backoff = std::chrono::microseconds(1)});
+  std::atomic<int> attempts{0};
+  EXPECT_THROW(engine.parallel_for(1,
+                                   [&attempts](std::size_t) {
+                                     ++attempts;
+                                     IVT_THROW(errors::Category::Resource,
+                                               "never clears");
+                                   }),
+               errors::Error);
+  EXPECT_EQ(attempts.load(), 3);  // initial + 2 retries
+  EXPECT_EQ(engine.task_retries(), 2u);
+}
+
+TEST(EngineRetryTest, PersistentErrorIsNotRetried) {
+  Engine engine({.workers = 1,
+                 .max_task_retries = 5,
+                 .retry_backoff = std::chrono::microseconds(1)});
+  std::atomic<int> attempts{0};
+  EXPECT_THROW(engine.parallel_for(1,
+                                   [&attempts](std::size_t) {
+                                     ++attempts;
+                                     IVT_THROW(errors::Category::Decode,
+                                               "corrupt stays corrupt");
+                                   }),
+               errors::Error);
+  EXPECT_EQ(attempts.load(), 1);
+  EXPECT_EQ(engine.task_retries(), 0u);
+}
+
+TEST(EngineRetryTest, UntypedExceptionIsNotRetried) {
+  Engine engine({.workers = 1, .max_task_retries = 5});
+  std::atomic<int> attempts{0};
+  EXPECT_THROW(engine.parallel_for(1,
+                                   [&attempts](std::size_t) {
+                                     ++attempts;
+                                     throw std::runtime_error("untyped");
+                                   }),
+               std::runtime_error);
+  EXPECT_EQ(attempts.load(), 1);
+}
+
+TEST(EngineRetryTest, InlineSingleTaskPathRetriesToo) {
+  // n == 1 takes the no-pool fast path; the retry loop must apply there
+  // as well.
+  Engine engine({.workers = 0,
+                 .max_task_retries = 1,
+                 .retry_backoff = std::chrono::microseconds(1)});
+  int attempts = 0;
+  engine.parallel_for(1, [&attempts](std::size_t) {
+    if (++attempts == 1) {
+      IVT_THROW(errors::Category::Resource, "one transient hiccup");
+    }
+  });
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(engine.task_retries(), 1u);
+}
+
+}  // namespace
+}  // namespace ivt::dataflow

@@ -1,0 +1,199 @@
+// Error taxonomy unit tests: categories, severity, context chains,
+// describe() rendering, the IVT_THROW macros, ErrorPolicy parsing,
+// Result<T>, and the FailureLog / quarantine-manifest machinery.
+#include "errors/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+
+#include "errors/failure_log.hpp"
+#include "errors/result.hpp"
+
+namespace ivt::errors {
+namespace {
+
+TEST(ErrorTest, CategoryNames) {
+  EXPECT_EQ(to_string(Category::Io), "io");
+  EXPECT_EQ(to_string(Category::Format), "format");
+  EXPECT_EQ(to_string(Category::Decode), "decode");
+  EXPECT_EQ(to_string(Category::Spec), "spec");
+  EXPECT_EQ(to_string(Category::Resource), "resource");
+  EXPECT_EQ(to_string(Category::Internal), "internal");
+}
+
+TEST(ErrorTest, OnlyResourceIsTransient) {
+  EXPECT_TRUE(is_transient(Category::Resource));
+  EXPECT_FALSE(is_transient(Category::Io));
+  EXPECT_FALSE(is_transient(Category::Format));
+  EXPECT_FALSE(is_transient(Category::Decode));
+  EXPECT_FALSE(is_transient(Category::Spec));
+  EXPECT_FALSE(is_transient(Category::Internal));
+}
+
+TEST(ErrorTest, DefaultsToRecoverable) {
+  const Error e(Category::Decode, "bad run length");
+  EXPECT_EQ(e.category(), Category::Decode);
+  EXPECT_EQ(e.severity(), Severity::Recoverable);
+  EXPECT_EQ(e.message(), "bad run length");
+  EXPECT_TRUE(e.context().empty());
+}
+
+TEST(ErrorTest, IsARuntimeErrorForLegacyCatchSites) {
+  try {
+    IVT_THROW(Category::Format, "bad magic");
+    FAIL() << "did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, ThrowMacroCapturesLocation) {
+  try {
+    IVT_THROW(Category::Io, "cannot open");
+  } catch (const Error& e) {
+    ASSERT_NE(e.location().file, nullptr);
+    EXPECT_NE(std::string(e.location().file).find("error_test.cpp"),
+              std::string::npos);
+    EXPECT_GT(e.location().line, 0);
+    // describe() renders the basename, not the whole path.
+    EXPECT_NE(e.describe().find("error_test.cpp:"), std::string::npos);
+    EXPECT_EQ(e.describe().find('/'), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, FatalMacroSetsSeverity) {
+  try {
+    IVT_THROW_FATAL(Category::Internal, "invariant violated");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.severity(), Severity::Fatal);
+  }
+}
+
+TEST(ErrorTest, DescribeRendersCategoryMessageAndChain) {
+  Error e(Category::Decode, "bad RLE run length");
+  e.add_context("decoding chunk 3 @ 0x1a40");
+  e.add_context("scanning trace.ivc");
+  const std::string d = e.describe();
+  EXPECT_EQ(d.find("decode error"), 0u);
+  EXPECT_NE(d.find("bad RLE run length"), std::string::npos);
+  // Innermost frame first.
+  const std::size_t inner = d.find("while decoding chunk 3 @ 0x1a40");
+  const std::size_t outer = d.find("while scanning trace.ivc");
+  ASSERT_NE(inner, std::string::npos);
+  ASSERT_NE(outer, std::string::npos);
+  EXPECT_LT(inner, outer);
+  // what() sees the same rendering (it is rebuilt after add_context).
+  EXPECT_EQ(std::string(e.what()), d);
+}
+
+TEST(ErrorTest, WithContextStampsAndRethrows) {
+  try {
+    with_context("loading trace.ivt", [] {
+      with_context("reading record 7",
+                   [] { IVT_THROW(Category::Decode, "truncated payload"); });
+    });
+    FAIL() << "did not throw";
+  } catch (const Error& e) {
+    ASSERT_EQ(e.context().size(), 2u);
+    EXPECT_EQ(e.context()[0], "reading record 7");
+    EXPECT_EQ(e.context()[1], "loading trace.ivt");
+  }
+}
+
+TEST(ErrorTest, WithContextPassesThroughReturnValue) {
+  const int v = with_context("computing", [] { return 42; });
+  EXPECT_EQ(v, 42);
+}
+
+TEST(ErrorPolicyTest, ParseRoundTrip) {
+  EXPECT_EQ(parse_error_policy("fail"), ErrorPolicy::Fail);
+  EXPECT_EQ(parse_error_policy("skip"), ErrorPolicy::Skip);
+  EXPECT_EQ(parse_error_policy("quarantine"), ErrorPolicy::Quarantine);
+  EXPECT_EQ(parse_error_policy("retry"), std::nullopt);
+  EXPECT_EQ(parse_error_policy(""), std::nullopt);
+  EXPECT_EQ(to_string(ErrorPolicy::Fail), "fail");
+  EXPECT_EQ(to_string(ErrorPolicy::Skip), "skip");
+  EXPECT_EQ(to_string(ErrorPolicy::Quarantine), "quarantine");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.value_or(0), 7);
+
+  Result<int> bad(Error(Category::Spec, "no such signal"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().category(), Category::Spec);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_THROW((void)bad.value(), Error);
+}
+
+TEST(ResultTest, CaptureConvertsThrownError) {
+  const Result<int> r = Result<int>::capture(
+      []() -> int { IVT_THROW(Category::Io, "gone"); });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), Category::Io);
+}
+
+TEST(FailureLogTest, AddRecordsAndMerge) {
+  FailureLog log;
+  EXPECT_TRUE(log.empty());
+  log.add("colstore.decode_chunk", "chunk 3 @ offset 6720",
+          Error(Category::Decode, "bad varint"));
+  log.add({.site = "pipeline.sequence",
+           .unit = "sequence S1 on FC",
+           .category = Category::Resource,
+           .message = "out of budget",
+           .retries = 2});
+  ASSERT_EQ(log.size(), 2u);
+  const std::vector<FailureRecord> records = log.records();
+  EXPECT_EQ(records[0].site, "colstore.decode_chunk");
+  EXPECT_EQ(records[0].category, Category::Decode);
+  EXPECT_NE(records[0].message.find("bad varint"), std::string::npos);
+  EXPECT_EQ(records[1].retries, 2u);
+
+  FailureLog other;
+  other.add("tracefile.read_record", "tail after record 9",
+            Error(Category::Format, "unexpected EOF"));
+  log.merge(other);
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(FailureLogTest, JsonRenderingEscapesAndCounts) {
+  FailureLog log;
+  log.add("site.a", "unit \"quoted\"", Error(Category::Decode, "msg"));
+  const std::string json = failures_to_json(log.records(), "");
+  EXPECT_NE(json.find("\"site\": \"site.a\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"category\": \"decode\""), std::string::npos);
+
+  EXPECT_EQ(failures_to_json({}, ""), "[]");
+}
+
+TEST(FailureLogTest, QuarantineManifestWritten) {
+  FailureLog log;
+  log.add("colstore.decode_chunk", "chunk 0 @ offset 24 (4 rows)",
+          Error(Category::Decode, "bad run"));
+  const std::string path =
+      ::testing::TempDir() + "/errors_manifest.quarantine.json";
+  write_quarantine_manifest(path, "trace.ivc", log.records());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const std::string body{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  EXPECT_NE(body.find("\"source\": \"trace.ivc\""), std::string::npos);
+  EXPECT_NE(body.find("\"quarantined\": 1"), std::string::npos);
+  EXPECT_NE(body.find("chunk 0 @ offset 24"), std::string::npos);
+
+  EXPECT_THROW(
+      write_quarantine_manifest("/nonexistent-dir/x.json", "t", log.records()),
+      Error);
+}
+
+}  // namespace
+}  // namespace ivt::errors
