@@ -18,6 +18,7 @@
 #include <set>
 
 #include "bench_util.hpp"
+#include "colstore/chunk_cursor.hpp"
 #include "colstore/columnar_reader.hpp"
 #include "colstore/columnar_writer.hpp"
 #include "dataflow/ops.hpp"
@@ -137,6 +138,42 @@ void BM_IvcPrunedScan(benchmark::State& state) {
               rows, workload().num_records);
 }
 BENCHMARK(BM_IvcPrunedScan)->Arg(5)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+/// Streaming morsel path: the same pruning + pushdown as BM_IvcPrunedScan
+/// but decoding one chunk at a time through ChunkCursor — the access
+/// pattern of --exec=streaming, where at most one morsel's rows are
+/// resident per worker instead of the whole K_pre table.
+void BM_IvcCursorStream(benchmark::State& state) {
+  const std::int64_t percent = state.range(0);
+  colstore::ScanPredicate pred;
+  pred.message_ids = workload().id_subset(percent);
+  const colstore::ColumnarReader reader(workload().ivc_path);
+  std::size_t rows = 0;
+  std::size_t peak_morsel_rows = 0;
+  bench::Stopwatch watch;
+  for (auto _ : state) {
+    const colstore::ChunkCursor cursor = reader.cursor(pred);
+    std::size_t kept = 0;
+    std::size_t peak = 0;
+    for (std::size_t k = 0; k < cursor.num_morsels(); ++k) {
+      const dataflow::Partition morsel = cursor.decode(k);
+      kept += morsel.num_rows();
+      peak = std::max(peak, morsel.num_rows());
+      benchmark::DoNotOptimize(morsel);
+    }  // morsel freed here: working set stays one chunk deep
+    rows = kept;
+    peak_morsel_rows = peak;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows_out"] = static_cast<double>(rows);
+  state.counters["peak_morsel_rows"] =
+      static_cast<double>(peak_morsel_rows);
+  emit_result("ivc_cursor_stream", percent,
+              watch.seconds() / static_cast<double>(state.iterations()),
+              rows, workload().num_records);
+}
+BENCHMARK(BM_IvcCursorStream)->Arg(5)->Arg(10)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
 /// Columnar path including file open + footer parse each iteration (the

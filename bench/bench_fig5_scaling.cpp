@@ -1,18 +1,31 @@
 // Paper Fig. 5: execution time of Algorithm 1 lines 3–11 (interpretation
 // + splitting + reduction) vs. number of examples, one series per data
-// set, with a constant number of signal types.
+// set, with a constant number of signal types — run in BOTH execution
+// modes over the same chunked .ivc input:
+//
+//   batch      zone-map-pruned scan materializes K_b, then the staged
+//              extract → split → reduce pipeline runs over it;
+//   streaming  the morsel executor fuses decode + preselect + interpret
+//              + split per chunk, never materializing K_b or K_s.
 //
 // Protocol (matching paper Sec. 5.1 "Execution performance"): per data
-// set, the K_b subset is increased step-wise; all signal types of the
+// set, the trace prefix is increased step-wise; all signal types of the
 // data set are interpreted; identical subsequent signal instances are
 // removed as the reduction; one channel per signal type is analyzed
-// (gateway dedup). Expect a linear curve (O(n) row-wise interpretation)
-// with fluctuations from task scheduling.
+// (gateway dedup). Expect linear curves (O(n) row-wise interpretation)
+// with matching throughput across modes, and a lower memory high-water
+// mark for streaming. The streaming run of each step executes FIRST:
+// ru_maxrss is a process-lifetime maximum, so the streaming rows record
+// the peak before batch's K_b materialization has ever happened.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "colstore/columnar_reader.hpp"
+#include "colstore/columnar_writer.hpp"
 #include "core/pipeline.hpp"
 #include "simnet/datasets.hpp"
 #include "tracefile/trace.hpp"
@@ -21,24 +34,19 @@ using namespace ivt;
 
 namespace {
 
-/// First `rows` rows of `kb` (prefix subset, like replaying less trace).
-dataflow::Table kb_prefix(const dataflow::Table& kb, std::size_t rows,
-                          std::size_t partitions) {
-  dataflow::TableBuilder builder(
-      kb.schema(), (rows + partitions - 1) / std::max<std::size_t>(1, partitions));
-  std::size_t copied = 0;
-  for (const dataflow::Partition& p : kb.partitions()) {
-    const std::size_t n = p.num_rows();
-    for (std::size_t r = 0; r < n && copied < rows; ++r, ++copied) {
-      dataflow::Partition& dst = builder.current_partition();
-      for (std::size_t c = 0; c < p.columns.size(); ++c) {
-        dst.columns[c].append_from(p.columns[c], r);
-      }
-      builder.commit_row();
-    }
-    if (copied >= rows) break;
-  }
-  return builder.build();
+/// First `rows` records of `trace` (prefix subset, like replaying less
+/// of the journey).
+tracefile::Trace trace_prefix(const tracefile::Trace& trace,
+                              std::size_t rows) {
+  tracefile::Trace out;
+  out.vehicle = trace.vehicle;
+  out.journey = trace.journey;
+  out.start_unix_ns = trace.start_unix_ns;
+  rows = std::min(rows, trace.records.size());
+  out.records.assign(trace.records.begin(),
+                     trace.records.begin() +
+                         static_cast<std::ptrdiff_t>(rows));
+  return out;
 }
 
 }  // namespace
@@ -61,13 +69,17 @@ int main(int argc, char** argv) {
                            .task_overhead = std::chrono::microseconds(100)});
   bench::JsonLinesEmitter json("fig5_scaling");
 
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string ivc_path =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/ivt_bench_fig5.ivc";
+
   std::printf("Fig. 5 reproduction — execution time after interpretation "
               "and reduction (Algorithm 1 lines 3-11)\n");
   std::printf("dataset scale %.4g, %zu workers, 100us simulated task "
               "dispatch overhead%s\n\n", scale, engine.workers(),
               quick ? " [quick]" : "");
-  std::printf("%-8s %12s %12s %12s %14s\n", "dataset", "kb_rows",
-              "examples", "reduced", "time_ms");
+  std::printf("%-8s %-10s %12s %12s %12s %14s %12s\n", "dataset", "exec",
+              "kb_rows", "examples", "reduced", "time_ms", "peak_rss_mb");
 
   for (const simnet::DatasetSpec& spec :
        {simnet::syn_spec(), simnet::lig_spec(), simnet::sta_spec()}) {
@@ -80,36 +92,48 @@ int main(int argc, char** argv) {
     core::PipelineConfig pconfig;
     pconfig.classifier.rate_threshold_hz = plan.recommended_rate_threshold_hz;
     const core::Pipeline pipeline(ds.catalog, pconfig);
-    const auto kb_full = tracefile::to_kb_table(ds.trace, 64);
-    const std::size_t total_rows = kb_full.num_rows();
+    const std::size_t total_rows = ds.trace.size();
 
     for (std::size_t step = 1; step <= kSteps; ++step) {
       const std::size_t rows = total_rows * step / kSteps;
-      const auto kb = kb_prefix(kb_full, rows, 64);
-      // Warm cold caches once at the smallest step only (cheap), then
-      // measure a single run — Fig. 5 reports single executions.
-      bench::Stopwatch timer;
-      const core::Pipeline::ReducedResult result =
-          pipeline.extract_and_reduce(engine, kb);
-      const double ms = timer.seconds() * 1e3;
-      std::printf("%-8s %12zu %12zu %12zu %14.2f\n", spec.name.c_str(), rows,
-                  result.ks_rows, result.reduced_rows, ms);
-      bench::JsonRecord record;
-      record.add("bench", "fig5_scaling")
-          .add("dataset", spec.name)
-          .add("quick", quick)
-          .add("step", static_cast<std::uint64_t>(step))
-          .add("kb_rows", static_cast<std::uint64_t>(rows))
-          .add("examples", static_cast<std::uint64_t>(result.ks_rows))
-          .add("reduced", static_cast<std::uint64_t>(result.reduced_rows))
-          .add("time_ms", ms)
-          .add("peak_rss_bytes", bench::peak_rss_bytes());
-      bench::add_robustness_fields(record,
-                                   bench::read_robustness_counters());
-      json.emit(record);
+      colstore::save_trace_columnar(trace_prefix(ds.trace, rows), ivc_path,
+                                    {.chunk_rows = 8192});
+      const colstore::ColumnarReader reader(ivc_path);
+
+      // Streaming first — see the header comment on ru_maxrss.
+      for (const bool streaming : {true, false}) {
+        bench::Stopwatch timer;
+        const core::Pipeline::ReducedResult result =
+            streaming
+                ? pipeline.extract_and_reduce_streaming(engine, reader)
+                : pipeline.extract_and_reduce(
+                      engine, reader.scan(colstore::ScanPredicate{}, engine));
+        const double ms = timer.seconds() * 1e3;
+        const char* exec = streaming ? "streaming" : "batch";
+        const std::uint64_t peak_rss = bench::peak_rss_bytes();
+        std::printf("%-8s %-10s %12zu %12zu %12zu %14.2f %12.1f\n",
+                    spec.name.c_str(), exec, rows, result.ks_rows,
+                    result.reduced_rows, ms,
+                    static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+        bench::JsonRecord record;
+        record.add("bench", "fig5_scaling")
+            .add("dataset", spec.name)
+            .add("exec", exec)
+            .add("quick", quick)
+            .add("step", static_cast<std::uint64_t>(step))
+            .add("kb_rows", static_cast<std::uint64_t>(rows))
+            .add("examples", static_cast<std::uint64_t>(result.ks_rows))
+            .add("reduced", static_cast<std::uint64_t>(result.reduced_rows))
+            .add("time_ms", ms)
+            .add("peak_rss_bytes", peak_rss);
+        bench::add_robustness_fields(record,
+                                     bench::read_robustness_counters());
+        json.emit(record);
+      }
     }
     std::puts("");
   }
+  std::remove(ivc_path.c_str());
   const std::string metrics_path =
       bench::write_metrics_snapshot("fig5_scaling");
   std::printf("JSON trajectory: %s\nmetrics snapshot: %s\n", json.path().c_str(),

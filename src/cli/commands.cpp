@@ -66,7 +66,9 @@ commands:
       --catalog PATH          .ivsdb catalog (required)
       --signals a,b,c         U_comb selection (default: all signals)
       --out PATH              .csv or .ivtbl output (required)
-      --workers N             engine workers (default: hardware)
+      --workers N             engine workers (default: hardware); a literal
+                              --workers=0 runs every task inline on the
+                              caller (deterministic debugging mode)
       --skip-error-frames     drop monitor-flagged error frames
       --on-error fail|skip|quarantine   corrupt-input policy (default fail)
       --trace-out PATH        write a Chrome trace (chrome://tracing,
@@ -75,6 +77,11 @@ commands:
 
   run          full preprocessing pipeline (Algorithm 1)
       --trace, --catalog, --signals, --workers   as in extract
+      --exec batch|streaming  execution mode (default batch). streaming
+                              fuses decode+preselect+interpret+split into
+                              one bounded-admission task per .ivc chunk —
+                              same output, bounded peak memory; requires a
+                              columnar .ivc trace
       --rate-threshold HZ     classifier z_rate threshold T (default 5)
       --no-reduction          disable the constraint set C
       --extensions gap,cycle_violation,derivative   extension rules E
@@ -162,6 +169,19 @@ class ObsOutputs {
   std::optional<std::string> trace_out_;
   std::optional<std::string> metrics_out_;
 };
+
+/// --workers=N (default: hardware concurrency). A literal --workers=0
+/// selects inline execution: every engine task runs immediately on the
+/// calling thread, so task order is deterministic and single-stepping
+/// under a debugger follows the data. Bounded-admission semantics hold
+/// trivially (at most one task exists at a time).
+dataflow::EngineConfig engine_config_from_args(const Args& args) {
+  dataflow::EngineConfig config;
+  config.workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  const auto text = args.get("workers");
+  if (text && config.workers == 0) config.inline_execution = true;
+  return config;
+}
 
 /// --on-error=fail|skip|quarantine (default fail). A bad value is a usage
 /// error.
@@ -376,9 +396,7 @@ int cmd_extract(const Args& args) {
   const signaldb::Catalog catalog = load_catalog_arg(args, "catalog");
   const std::vector<std::string> signals = args.get_list("signals");
   const std::string out_path = args.require("out");
-  dataflow::EngineConfig engine_config;
-  engine_config.workers =
-      static_cast<std::size_t>(args.get_int("workers", 0));
+  const dataflow::EngineConfig engine_config = engine_config_from_args(args);
   core::InterpretOptions options;
   options.catalog = &catalog;
   options.skip_error_frames = args.has("skip-error-frames");
@@ -455,9 +473,8 @@ int cmd_run(const Args& args) {
                                   "' (gap, cycle_violation, derivative)");
     }
   }
-  dataflow::EngineConfig engine_config;
-  engine_config.workers =
-      static_cast<std::size_t>(args.get_int("workers", 0));
+  const dataflow::EngineConfig engine_config = engine_config_from_args(args);
+  config.exec_mode = core::parse_exec_mode(args.get_or("exec", "batch"));
   const std::string report_kind = args.get_or("report", "text");
   if (report_kind != "json" && report_kind != "text") {
     throw std::invalid_argument("unknown report kind '" + report_kind + "'");
@@ -470,18 +487,31 @@ int cmd_run(const Args& args) {
 
   dataflow::Engine engine(engine_config);
   const core::Pipeline pipeline(catalog, config);
-  errors::FailureLog ingest_failures;
-  const auto kb =
-      load_kb_table(trace_path, engine, config.on_error, &ingest_failures);
-  core::PipelineResult result = pipeline.run(engine, kb);
+  core::PipelineResult result;
+  if (colstore::is_columnar_trace_file(trace_path)) {
+    // The reader overload dispatches on config.exec_mode and already folds
+    // scan-level losses (quarantined chunks) into result.failures.
+    const colstore::ColumnarReader reader(trace_path);
+    result = pipeline.run(engine, reader);
+  } else {
+    if (config.exec_mode == core::ExecMode::Streaming) {
+      throw std::invalid_argument(
+          "--exec=streaming requires a columnar .ivc trace ('" + trace_path +
+          "' is not one; convert it with 'ivt pack' first)");
+    }
+    errors::FailureLog ingest_failures;
+    const auto kb =
+        load_kb_table(trace_path, engine, config.on_error, &ingest_failures);
+    result = pipeline.run(engine, kb);
 
-  // Fold upstream ingest losses (quarantined chunks, truncated record
-  // streams) into the run report next to the dropped sequences.
-  std::vector<errors::FailureRecord> combined = ingest_failures.records();
-  for (errors::FailureRecord& f : result.failures) {
-    combined.push_back(std::move(f));
+    // Fold upstream ingest losses (truncated record streams) into the run
+    // report next to the dropped sequences.
+    std::vector<errors::FailureRecord> combined = ingest_failures.records();
+    for (errors::FailureRecord& f : result.failures) {
+      combined.push_back(std::move(f));
+    }
+    result.failures = std::move(combined);
   }
-  result.failures = std::move(combined);
 
   if (state_path) write_table_arg(result.state, *state_path);
   if (krep_path) write_table_arg(result.krep, *krep_path);
@@ -512,9 +542,7 @@ int cmd_mine(const Args& args) {
   config.signals = args.get_list("signals");
   config.classifier.rate_threshold_hz = args.get_double("rate-threshold", 5.0);
   config.extensions = {core::cycle_violation_extension(1.5)};
-  dataflow::EngineConfig engine_config;
-  engine_config.workers =
-      static_cast<std::size_t>(args.get_int("workers", 0));
+  const dataflow::EngineConfig engine_config = engine_config_from_args(args);
   const std::size_t top_k =
       static_cast<std::size_t>(args.get_int("top-k", 10));
   const double rare_probability =

@@ -1,0 +1,123 @@
+#include "colstore/chunk_cursor.hpp"
+
+#include <string>
+#include <utility>
+
+#include "colstore/columnar_reader.hpp"
+#include "errors/error.hpp"
+#include "faultfx/faultfx.hpp"
+#include "obs/obs.hpp"
+#include "tracefile/trace.hpp"
+
+namespace ivt::colstore {
+
+ChunkCursor::ChunkCursor(const ColumnarReader& reader,
+                         const ScanPredicate& pred, ScanOptions options)
+    : reader_(&reader),
+      options_(options),
+      compiled_(detail::compile_predicate(pred, reader.bus_names())) {
+  const std::vector<ChunkInfo>& chunks = reader.chunks();
+  prune_stats_.chunks_total = chunks.size();
+  if (!compiled_.never_matches) {
+    const std::vector<std::uint16_t> bus_indices =
+        detail::prune_bus_indices(pred, reader.bus_names());
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      if (chunk_may_match(chunks[i], pred, bus_indices)) {
+        survivors_.push_back(i);
+      }
+    }
+  }
+  prune_stats_.chunks_scanned = survivors_.size();
+  std::uint64_t decoded_bytes = 0;
+  for (const std::size_t i : survivors_) {
+    prune_stats_.rows_considered += chunks[i].row_count;
+    decoded_bytes += chunks[i].encoded_bytes;
+  }
+  std::uint64_t total_bytes = 0;
+  for (const ChunkInfo& c : chunks) total_bytes += c.encoded_bytes;
+  OBS_COUNT("colstore.chunks_total", prune_stats_.chunks_total);
+  OBS_COUNT("colstore.chunks_decoded", prune_stats_.chunks_scanned);
+  OBS_COUNT("colstore.chunks_pruned",
+            prune_stats_.chunks_total - prune_stats_.chunks_scanned);
+  OBS_COUNT("colstore.bytes_decoded", decoded_bytes);
+  OBS_COUNT("colstore.bytes_skipped", total_bytes - decoded_bytes);
+}
+
+std::size_t ChunkCursor::morsel_row_count(std::size_t k) const {
+  return reader_->chunk(survivors_[k]).row_count;
+}
+
+dataflow::Partition ChunkCursor::decode_unchecked(std::size_t k) const {
+  OBS_SPAN_V(chunk_span, "colstore.decode_chunk");
+  FAULT_POINT("colstore.decode_chunk");
+  const ChunkInfo& info = reader_->chunk(survivors_[k]);
+  chunk_span.set_bytes(info.encoded_bytes);
+  chunk_span.set_rows(info.row_count);
+  const std::vector<std::string>& buses = reader_->bus_names();
+  const detail::DecodedChunk chunk =
+      detail::decode_columns(reader_->buffer(), info, buses.size());
+  const dataflow::Schema& schema = tracefile::kb_schema();
+  dataflow::Partition out = dataflow::Table::make_partition(schema);
+  std::size_t payload_pos = 0;
+  for (std::uint32_t r = 0; r < info.row_count; ++r) {
+    const std::size_t len = static_cast<std::size_t>(chunk.payload_len[r]);
+    const std::size_t pos = payload_pos;
+    payload_pos += len;
+    const auto bus = static_cast<std::uint16_t>(chunk.bus_idx[r]);
+    if (!compiled_.matches_row(bus, chunk.message_id[r], chunk.t_ns[r])) {
+      continue;
+    }
+    out.columns[0].append_int64(chunk.t_ns[r]);
+    out.columns[1].append_string(std::string(
+        reinterpret_cast<const char*>(chunk.payload.data) + pos, len));
+    out.columns[2].append_string(buses[bus]);
+    out.columns[3].append_int64(chunk.message_id[r]);
+    out.columns[4].append_string(tracefile::make_m_info(
+        static_cast<protocol::Protocol>(chunk.protocol[r]),
+        static_cast<std::uint32_t>(chunk.flags[r])));
+  }
+  rows_emitted_.fetch_add(out.num_rows(), std::memory_order_relaxed);
+  return out;
+}
+
+dataflow::Partition ChunkCursor::decode(std::size_t k) const {
+  const std::size_t chunk_index = survivors_[k];
+  const ChunkInfo& info = reader_->chunk(chunk_index);
+  if (options_.on_error == errors::ErrorPolicy::Fail) {
+    dataflow::Partition out;
+    errors::with_context("decoding chunk " + std::to_string(chunk_index) +
+                             " @ offset " + std::to_string(info.offset),
+                         [&] { out = decode_unchecked(k); });
+    return out;
+  }
+  try {
+    return decode_unchecked(k);
+  } catch (const errors::Error& e) {
+    if (e.severity() == errors::Severity::Fatal) throw;
+    // Skip/Quarantine: drop the chunk and resync to the next one. The
+    // chunk directory gives every neighbour's extent, so a corrupt body
+    // costs exactly its own rows.
+    chunks_quarantined_.fetch_add(1, std::memory_order_relaxed);
+    rows_quarantined_.fetch_add(info.row_count, std::memory_order_relaxed);
+    OBS_COUNT("colstore.chunks_quarantined", 1);
+    if (options_.failures != nullptr) {
+      options_.failures->add(
+          "colstore.decode_chunk",
+          "chunk " + std::to_string(chunk_index) + " @ offset " +
+              std::to_string(info.offset) + " (" +
+              std::to_string(info.row_count) + " rows)",
+          e);
+    }
+    return dataflow::Table::make_partition(tracefile::kb_schema());
+  }
+}
+
+ScanStats ChunkCursor::stats() const {
+  ScanStats out = prune_stats_;
+  out.chunks_quarantined = chunks_quarantined_.load(std::memory_order_relaxed);
+  out.rows_quarantined = rows_quarantined_.load(std::memory_order_relaxed);
+  out.rows_emitted = rows_emitted_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace ivt::colstore

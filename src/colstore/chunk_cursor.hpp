@@ -1,0 +1,77 @@
+// Morsel-level visitor API over a .ivc file, the streaming counterpart to
+// the materializing ColumnarReader::scan.
+//
+// A cursor is created by ColumnarReader::cursor(pred, options): zone-map
+// pruning runs once up front, and each surviving chunk becomes one
+// *morsel* that the caller decodes on demand — typically as one fused
+// pipeline task per morsel — instead of materializing the whole K_b table
+// before downstream stages start. decode(k) applies the same compiled
+// row filter and the same error policy (Fail / Skip / Quarantine with
+// resync at the next chunk boundary) as scan(), and in fact scan() is
+// implemented on top of this class, so the two paths cannot drift.
+//
+// Ordering contract: morsel k corresponds to the k-th surviving chunk in
+// file order, and decode(k) emits that chunk's rows in file order. A
+// consumer that keeps per-morsel results indexed by k therefore
+// reconstructs exactly the partition order of scan().
+//
+// Thread safety: decode() may be called concurrently for distinct k; the
+// quarantine/row counters are atomic and the FailureLog locks internally.
+// The reader must outlive the cursor.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "colstore/chunk_decode.hpp"
+#include "colstore/format.hpp"
+#include "dataflow/table.hpp"
+
+namespace ivt::colstore {
+
+class ColumnarReader;
+
+class ChunkCursor {
+ public:
+  /// Surviving (non-pruned) chunks == morsels available to decode.
+  [[nodiscard]] std::size_t num_morsels() const { return survivors_.size(); }
+
+  /// Original chunk index (file order) of morsel k.
+  [[nodiscard]] std::size_t chunk_index(std::size_t k) const {
+    return survivors_[k];
+  }
+
+  /// Encoded row count of morsel k, before the row filter (cheap: read
+  /// from the chunk directory, no decode).
+  [[nodiscard]] std::size_t morsel_row_count(std::size_t k) const;
+
+  /// Decode morsel k into a filtered K_b partition. Under ErrorPolicy::Fail
+  /// a decode error propagates (with chunk context); under Skip/Quarantine
+  /// the chunk is dropped — an empty partition is returned, the quarantine
+  /// counters advance, and the failure is logged — so one corrupt chunk
+  /// costs exactly its own rows.
+  [[nodiscard]] dataflow::Partition decode(std::size_t k) const;
+
+  /// Scan statistics so far: pruning numbers are fixed at construction,
+  /// rows_emitted / quarantine counters reflect the decodes done so far.
+  [[nodiscard]] ScanStats stats() const;
+
+ private:
+  friend class ColumnarReader;
+  ChunkCursor(const ColumnarReader& reader, const ScanPredicate& pred,
+              ScanOptions options);
+
+  dataflow::Partition decode_unchecked(std::size_t k) const;
+
+  const ColumnarReader* reader_;
+  ScanOptions options_;
+  detail::CompiledPredicate compiled_;
+  std::vector<std::size_t> survivors_;
+  ScanStats prune_stats_;
+  mutable std::atomic<std::size_t> chunks_quarantined_{0};
+  mutable std::atomic<std::size_t> rows_quarantined_{0};
+  mutable std::atomic<std::size_t> rows_emitted_{0};
+};
+
+}  // namespace ivt::colstore

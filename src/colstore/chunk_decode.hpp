@@ -1,0 +1,70 @@
+// Internal decode machinery of the .ivc container, shared between the
+// materializing ColumnarReader::scan path and the morsel-driven
+// ChunkCursor. Not part of the public colstore API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "colstore/encoding.hpp"
+#include "colstore/format.hpp"
+
+namespace ivt::colstore::detail {
+
+/// Row-level filter compiled against one file's bus dictionary.
+struct CompiledPredicate {
+  bool never_matches = false;
+  bool has_ids = false;
+  std::unordered_set<std::int64_t> ids;
+  bool has_buses = false;
+  std::vector<std::uint8_t> bus_allowed;  ///< indexed by dictionary index
+  bool has_time_range = false;
+  std::int64_t min_t_ns = 0;
+  std::int64_t max_t_ns = 0;
+  bool has_pairs = false;
+  struct PairHash {
+    std::size_t operator()(
+        const std::pair<std::uint16_t, std::int64_t>& p) const {
+      return std::hash<std::int64_t>{}(p.second) * 8191 + p.first;
+    }
+  };
+  std::unordered_set<std::pair<std::uint16_t, std::int64_t>, PairHash> pairs;
+
+  [[nodiscard]] bool matches_row(std::uint16_t bus, std::int64_t mid,
+                                 std::int64_t t) const {
+    if (has_time_range && (t < min_t_ns || t > max_t_ns)) return false;
+    if (has_ids && !ids.contains(mid)) return false;
+    if (has_buses && bus_allowed[bus] == 0) return false;
+    if (has_pairs && !pairs.contains({bus, mid})) return false;
+    return true;
+  }
+};
+
+CompiledPredicate compile_predicate(const ScanPredicate& pred,
+                                    const std::vector<std::string>& buses);
+
+/// Dictionary indices the predicate's bus constraint resolves to (for the
+/// zone-map bitmap test). Pairs contribute only when no plain bus set is
+/// given — with both present the plain set is the looser prune bound.
+std::vector<std::uint16_t> prune_bus_indices(
+    const ScanPredicate& pred, const std::vector<std::string>& buses);
+
+/// Decoded column vectors of one chunk.
+struct DecodedChunk {
+  std::vector<std::int64_t> t_ns;
+  std::vector<std::uint64_t> bus_idx;
+  std::vector<std::uint64_t> protocol;
+  std::vector<std::int64_t> message_id;
+  std::vector<std::uint64_t> flags;
+  std::vector<std::uint64_t> payload_len;
+  ByteSpan payload;
+};
+
+DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
+                            std::size_t num_buses);
+
+}  // namespace ivt::colstore::detail

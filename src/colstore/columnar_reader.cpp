@@ -12,6 +12,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "colstore/chunk_cursor.hpp"
+#include "colstore/chunk_decode.hpp"
 #include "colstore/encoding.hpp"
 #include "dataflow/engine.hpp"
 #include "dataflow/thread_pool.hpp"
@@ -40,34 +42,9 @@ std::string get_short_string(ByteCursor& in) {
   return std::string(reinterpret_cast<const char*>(bytes.data), bytes.size);
 }
 
-/// Row-level filter compiled against one file's bus dictionary.
-struct CompiledPredicate {
-  bool never_matches = false;
-  bool has_ids = false;
-  std::unordered_set<std::int64_t> ids;
-  bool has_buses = false;
-  std::vector<std::uint8_t> bus_allowed;  ///< indexed by dictionary index
-  bool has_time_range = false;
-  std::int64_t min_t_ns = 0;
-  std::int64_t max_t_ns = 0;
-  bool has_pairs = false;
-  struct PairHash {
-    std::size_t operator()(
-        const std::pair<std::uint16_t, std::int64_t>& p) const {
-      return std::hash<std::int64_t>{}(p.second) * 8191 + p.first;
-    }
-  };
-  std::unordered_set<std::pair<std::uint16_t, std::int64_t>, PairHash> pairs;
+}  // namespace
 
-  [[nodiscard]] bool matches_row(std::uint16_t bus, std::int64_t mid,
-                                 std::int64_t t) const {
-    if (has_time_range && (t < min_t_ns || t > max_t_ns)) return false;
-    if (has_ids && !ids.contains(mid)) return false;
-    if (has_buses && bus_allowed[bus] == 0) return false;
-    if (has_pairs && !pairs.contains({bus, mid})) return false;
-    return true;
-  }
-};
+namespace detail {
 
 CompiledPredicate compile_predicate(const ScanPredicate& pred,
                                     const std::vector<std::string>& buses) {
@@ -107,9 +84,6 @@ CompiledPredicate compile_predicate(const ScanPredicate& pred,
   return c;
 }
 
-/// Dictionary indices the predicate's bus constraint resolves to (for the
-/// zone-map bitmap test). Pairs contribute only when no plain bus set is
-/// given — with both present the plain set is the looser prune bound.
 std::vector<std::uint16_t> prune_bus_indices(
     const ScanPredicate& pred, const std::vector<std::string>& buses) {
   std::vector<std::uint16_t> out;
@@ -129,7 +103,7 @@ std::vector<std::uint16_t> prune_bus_indices(
   return out;
 }
 
-}  // namespace
+}  // namespace detail
 
 bool chunk_may_match(const ChunkInfo& chunk, const ScanPredicate& pred,
                      const std::vector<std::uint16_t>& pred_bus_indices) {
@@ -257,18 +231,7 @@ std::size_t ColumnarReader::num_rows() const {
   return rows;
 }
 
-namespace {
-
-/// Decoded column vectors of one chunk.
-struct DecodedChunk {
-  std::vector<std::int64_t> t_ns;
-  std::vector<std::uint64_t> bus_idx;
-  std::vector<std::uint64_t> protocol;
-  std::vector<std::int64_t> message_id;
-  std::vector<std::uint64_t> flags;
-  std::vector<std::uint64_t> payload_len;
-  ByteSpan payload;
-};
+namespace detail {
 
 DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
                             std::size_t num_buses) {
@@ -315,109 +278,26 @@ DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
   return chunk;
 }
 
-}  // namespace
+}  // namespace detail
+
+ChunkCursor ColumnarReader::cursor(const ScanPredicate& pred,
+                                   ScanOptions options) const {
+  return ChunkCursor(*this, pred, options);
+}
 
 dataflow::Table ColumnarReader::scan_with_runner(const ScanPredicate& pred,
                                                  const TaskRunner& run,
                                                  const ScanOptions& options,
                                                  ScanStats* stats) const {
   OBS_SPAN_V(scan_span, "colstore.scan");
-  ScanStats local;
-  local.chunks_total = chunks_.size();
-
-  const CompiledPredicate compiled = compile_predicate(pred, buses_);
-  std::vector<std::size_t> survivors;
-  if (!compiled.never_matches) {
-    const std::vector<std::uint16_t> bus_indices =
-        prune_bus_indices(pred, buses_);
-    for (std::size_t i = 0; i < chunks_.size(); ++i) {
-      if (chunk_may_match(chunks_[i], pred, bus_indices)) {
-        survivors.push_back(i);
-      }
-    }
-  }
-  local.chunks_scanned = survivors.size();
-  std::uint64_t decoded_bytes = 0;
-  for (const std::size_t i : survivors) {
-    local.rows_considered += chunks_[i].row_count;
-    decoded_bytes += chunks_[i].encoded_bytes;
-  }
-  std::uint64_t total_bytes = 0;
-  for (const ChunkInfo& c : chunks_) total_bytes += c.encoded_bytes;
-  OBS_COUNT("colstore.chunks_total", local.chunks_total);
-  OBS_COUNT("colstore.chunks_decoded", local.chunks_scanned);
-  OBS_COUNT("colstore.chunks_pruned",
-            local.chunks_total - local.chunks_scanned);
-  OBS_COUNT("colstore.bytes_decoded", decoded_bytes);
-  OBS_COUNT("colstore.bytes_skipped", total_bytes - decoded_bytes);
-
+  const ChunkCursor cursor = this->cursor(pred, options);
   const dataflow::Schema& schema = tracefile::kb_schema();
-  std::vector<dataflow::Partition> partitions(survivors.size());
-  std::atomic<std::size_t> chunks_quarantined{0};
-  std::atomic<std::size_t> rows_quarantined{0};
-  const auto decode_one = [&](std::size_t k) {
-    OBS_SPAN_V(chunk_span, "colstore.decode_chunk");
-    FAULT_POINT("colstore.decode_chunk");
-    const ChunkInfo& info = chunks_[survivors[k]];
-    chunk_span.set_bytes(info.encoded_bytes);
-    chunk_span.set_rows(info.row_count);
-    const DecodedChunk chunk = decode_columns(data_, info, buses_.size());
-    dataflow::Partition out = dataflow::Table::make_partition(schema);
-    std::size_t payload_pos = 0;
-    for (std::uint32_t r = 0; r < info.row_count; ++r) {
-      const std::size_t len =
-          static_cast<std::size_t>(chunk.payload_len[r]);
-      const std::size_t pos = payload_pos;
-      payload_pos += len;
-      const auto bus = static_cast<std::uint16_t>(chunk.bus_idx[r]);
-      if (!compiled.matches_row(bus, chunk.message_id[r], chunk.t_ns[r])) {
-        continue;
-      }
-      out.columns[0].append_int64(chunk.t_ns[r]);
-      out.columns[1].append_string(std::string(
-          reinterpret_cast<const char*>(chunk.payload.data) + pos, len));
-      out.columns[2].append_string(buses_[bus]);
-      out.columns[3].append_int64(chunk.message_id[r]);
-      out.columns[4].append_string(tracefile::make_m_info(
-          static_cast<protocol::Protocol>(chunk.protocol[r]),
-          static_cast<std::uint32_t>(chunk.flags[r])));
-    }
-    partitions[k] = std::move(out);
-  };
-  run(survivors.size(), [&](std::size_t k) {
-    if (options.on_error == errors::ErrorPolicy::Fail) {
-      const std::size_t chunk_index = survivors[k];
-      errors::with_context("decoding chunk " + std::to_string(chunk_index) +
-                               " @ offset " +
-                               std::to_string(chunks_[chunk_index].offset),
-                           [&] { decode_one(k); });
-      return;
-    }
-    try {
-      decode_one(k);
-    } catch (const errors::Error& e) {
-      if (e.severity() == errors::Severity::Fatal) throw;
-      // Skip/Quarantine: drop the chunk and resync to the next one. The
-      // chunk directory gives every neighbour's extent, so a corrupt body
-      // costs exactly its own rows.
-      const ChunkInfo& info = chunks_[survivors[k]];
-      chunks_quarantined.fetch_add(1, std::memory_order_relaxed);
-      rows_quarantined.fetch_add(info.row_count, std::memory_order_relaxed);
-      OBS_COUNT("colstore.chunks_quarantined", 1);
-      if (options.failures != nullptr) {
-        options.failures->add(
-            "colstore.decode_chunk",
-            "chunk " + std::to_string(survivors[k]) + " @ offset " +
-                std::to_string(info.offset) + " (" +
-                std::to_string(info.row_count) + " rows)",
-            e);
-      }
-      partitions[k] = dataflow::Table::make_partition(schema);
-    }
-  });
-  local.chunks_quarantined = chunks_quarantined.load();
-  local.rows_quarantined = rows_quarantined.load();
+  std::vector<dataflow::Partition> partitions(cursor.num_morsels());
+  run(cursor.num_morsels(),
+      [&](std::size_t k) { partitions[k] = cursor.decode(k); });
 
+  ScanStats local = cursor.stats();
+  local.rows_emitted = 0;
   dataflow::Table table(schema);
   for (dataflow::Partition& p : partitions) {
     if (p.num_rows() == 0) continue;
@@ -504,7 +384,8 @@ tracefile::Trace ColumnarReader::read_trace() const {
   trace.start_unix_ns = start_unix_ns_;
   trace.records.reserve(num_rows());
   for (const ChunkInfo& info : chunks_) {
-    const DecodedChunk chunk = decode_columns(data_, info, buses_.size());
+    const detail::DecodedChunk chunk =
+        detail::decode_columns(data_, info, buses_.size());
     std::size_t payload_pos = 0;
     for (std::uint32_t r = 0; r < info.row_count; ++r) {
       tracefile::TraceRecord rec;

@@ -25,6 +25,8 @@ class ThreadPool;
 
 namespace ivt::colstore {
 
+class ChunkCursor;
+
 class ColumnarReader {
  public:
   /// Reads and indexes the file; throws errors::Error(Io) when the file
@@ -78,6 +80,16 @@ class ColumnarReader {
                                      dataflow::Engine& engine,
                                      const ScanOptions& options,
                                      ScanStats* stats = nullptr) const;
+
+  /// Morsel-level visitor over the file (streaming execution): zone-map
+  /// pruning runs now, each surviving chunk is decoded on demand via
+  /// ChunkCursor::decode. scan() is implemented on top of this. The
+  /// reader must outlive the returned cursor.
+  [[nodiscard]] ChunkCursor cursor(const ScanPredicate& pred = {},
+                                   ScanOptions options = {}) const;
+
+  /// Raw in-memory image of the file (used by ChunkCursor).
+  [[nodiscard]] const std::string& buffer() const { return data_; }
 
   /// Full materialization back into the in-memory trace model.
   [[nodiscard]] tracefile::Trace read_trace() const;

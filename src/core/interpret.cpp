@@ -99,9 +99,7 @@ Table preselect(Engine& engine, const colstore::ColumnarReader& reader,
   return preselect(engine, reader, urel, colstore::ScanOptions{}, stats);
 }
 
-Table preselect(Engine& engine, const colstore::ColumnarReader& reader,
-                const Table& urel, const colstore::ScanOptions& options,
-                colstore::ScanStats* stats) {
+colstore::ScanPredicate urel_scan_predicate(const Table& urel) {
   colstore::ScanPredicate pred;
   for (MessageKey& key : relevant_message_keys(urel)) {
     pred.message_ids.push_back(key.message_id);
@@ -115,7 +113,13 @@ Table preselect(Engine& engine, const colstore::ColumnarReader& reader,
   std::sort(pred.buses.begin(), pred.buses.end());
   pred.buses.erase(std::unique(pred.buses.begin(), pred.buses.end()),
                    pred.buses.end());
-  return reader.scan(pred, engine, options, stats);
+  return pred;
+}
+
+Table preselect(Engine& engine, const colstore::ColumnarReader& reader,
+                const Table& urel, const colstore::ScanOptions& options,
+                colstore::ScanStats* stats) {
+  return reader.scan(urel_scan_predicate(urel), engine, options, stats);
 }
 
 namespace {
@@ -184,92 +188,117 @@ broadcast_urel(const Table& urel, const signaldb::Catalog* catalog) {
   return map;
 }
 
+}  // namespace
+
+struct InterpretKernel::Impl {
+  std::unordered_map<std::string, std::vector<BroadcastSpec>> broadcast;
+  bool skip_error_frames = false;
+};
+
+InterpretKernel::InterpretKernel(const Table& urel,
+                                 const InterpretOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->broadcast = broadcast_urel(urel, options.catalog);
+  impl_->skip_error_frames = options.skip_error_frames;
+}
+
+InterpretKernel::~InterpretKernel() = default;
+
+void InterpretKernel::interpret_partition(const Partition& in,
+                                          const Schema& in_schema,
+                                          Partition& out) const {
+  const std::size_t t_col = in_schema.require("t");
+  const std::size_t l_col = in_schema.require("l");
+  const std::size_t b_col = in_schema.require("b_id");
+  const std::size_t m_col = in_schema.require("m_id");
+  const std::size_t info_col = in_schema.require("m_info");
+  const auto& broadcast = impl_->broadcast;
+  const bool skip_errors = impl_->skip_error_frames;
+
+  const std::size_t n = in.num_rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    const RowView row(&in_schema, &in, r);
+    const auto it = broadcast.find(row.string_at(b_col) + '\x1F' +
+                                   std::to_string(row.int64_at(m_col)));
+    if (it == broadcast.end()) continue;
+    if (skip_errors) {
+      const tracefile::MInfo info =
+          tracefile::parse_m_info(row.string_at(info_col));
+      if ((info.flags & tracefile::TraceRecord::kFlagErrorFrame) != 0) {
+        continue;
+      }
+    }
+    const std::string& payload = row.string_at(l_col);
+    const auto span = std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(payload.data()),
+        payload.size());
+    const std::int64_t t = row.int64_at(t_col);
+    for (const BroadcastSpec& bs : it->second) {
+      if (!bs.presence_always) {
+        if (!protocol::bit_field_fits(span.size(), bs.presence_start,
+                                      bs.presence_length,
+                                      bs.presence_order)) {
+          continue;
+        }
+        const std::uint64_t selector = protocol::extract_bits(
+            span, bs.presence_start, bs.presence_length, bs.presence_order);
+        if (selector != bs.presence_equals) continue;
+      }
+      if (!protocol::bit_field_fits(span.size(), bs.start_bit, bs.length,
+                                    bs.order)) {
+        continue;
+      }
+      const std::uint64_t raw =
+          protocol::extract_bits(span, bs.start_bit, bs.length, bs.order);
+      double raw_value = 0.0;
+      switch (bs.value_kind) {
+        case signaldb::ValueKind::Unsigned:
+          raw_value = static_cast<double>(raw);
+          break;
+        case signaldb::ValueKind::Signed:
+          raw_value =
+              static_cast<double>(protocol::sign_extend(raw, bs.length));
+          break;
+        case signaldb::ValueKind::Float32:
+          raw_value = static_cast<double>(
+              protocol::raw_to_float32(static_cast<std::uint32_t>(raw)));
+          break;
+        case signaldb::ValueKind::Float64:
+          raw_value = protocol::raw_to_float64(raw);
+          break;
+      }
+      out.columns[0].append_int64(t);
+      out.columns[1].append_string(bs.s_id);
+      out.columns[2].append_float64(bs.scale * raw_value + bs.offset);
+      if (bs.categorical) {
+        const signaldb::ValueTableEntry* entry =
+            bs.spec != nullptr ? bs.spec->find_label(raw) : nullptr;
+        out.columns[3].append_string(
+            entry != nullptr ? entry->label : "raw:" + std::to_string(raw));
+      } else {
+        out.columns[3].append_null();
+      }
+      out.columns[4].append_string(row.string_at(b_col));
+    }
+  }
+}
+
+namespace {
+
 /// Fused join ⨝ + u1 + u2: probe each K_pre row against the broadcast
 /// U_comb and emit its signal instances directly, without materializing
 /// the intermediate K_join table (the equivalent of Spark pipelining the
 /// join into the following map stages).
 Table interpret_fused(Engine& engine, const Table& kpre, const Table& urel,
                       const InterpretOptions& options) {
-  const auto broadcast = broadcast_urel(urel, options.catalog);
-  const Schema& schema = kpre.schema();
-  const std::size_t t_col = schema.require("t");
-  const std::size_t l_col = schema.require("l");
-  const std::size_t b_col = schema.require("b_id");
-  const std::size_t m_col = schema.require("m_id");
-  const std::size_t info_col = schema.require("m_info");
-  const bool skip_errors = options.skip_error_frames;
-
-  return dataflow::map_rows(
-      engine, kpre, ks_schema(),
-      [&broadcast, t_col, l_col, b_col, m_col, info_col, skip_errors](
-          const RowView& row, Partition& out) {
-        const auto it = broadcast.find(
-            row.string_at(b_col) + '\x1F' +
-            std::to_string(row.int64_at(m_col)));
-        if (it == broadcast.end()) return;
-        if (skip_errors) {
-          const tracefile::MInfo info =
-              tracefile::parse_m_info(row.string_at(info_col));
-          if ((info.flags & tracefile::TraceRecord::kFlagErrorFrame) != 0) {
-            return;
-          }
-        }
-        const std::string& payload = row.string_at(l_col);
-        const auto span = std::span<const std::uint8_t>(
-            reinterpret_cast<const std::uint8_t*>(payload.data()),
-            payload.size());
-        const std::int64_t t = row.int64_at(t_col);
-        for (const BroadcastSpec& bs : it->second) {
-          if (!bs.presence_always) {
-            if (!protocol::bit_field_fits(span.size(), bs.presence_start,
-                                          bs.presence_length,
-                                          bs.presence_order)) {
-              continue;
-            }
-            const std::uint64_t selector = protocol::extract_bits(
-                span, bs.presence_start, bs.presence_length,
-                bs.presence_order);
-            if (selector != bs.presence_equals) continue;
-          }
-          if (!protocol::bit_field_fits(span.size(), bs.start_bit, bs.length,
-                                        bs.order)) {
-            continue;
-          }
-          const std::uint64_t raw =
-              protocol::extract_bits(span, bs.start_bit, bs.length, bs.order);
-          double raw_value = 0.0;
-          switch (bs.value_kind) {
-            case signaldb::ValueKind::Unsigned:
-              raw_value = static_cast<double>(raw);
-              break;
-            case signaldb::ValueKind::Signed:
-              raw_value = static_cast<double>(
-                  protocol::sign_extend(raw, bs.length));
-              break;
-            case signaldb::ValueKind::Float32:
-              raw_value = static_cast<double>(protocol::raw_to_float32(
-                  static_cast<std::uint32_t>(raw)));
-              break;
-            case signaldb::ValueKind::Float64:
-              raw_value = protocol::raw_to_float64(raw);
-              break;
-          }
-          out.columns[0].append_int64(t);
-          out.columns[1].append_string(bs.s_id);
-          out.columns[2].append_float64(bs.scale * raw_value + bs.offset);
-          if (bs.categorical) {
-            const signaldb::ValueTableEntry* entry =
-                bs.spec != nullptr ? bs.spec->find_label(raw) : nullptr;
-            out.columns[3].append_string(
-                entry != nullptr ? entry->label
-                                 : "raw:" + std::to_string(raw));
-          } else {
-            out.columns[3].append_null();
-          }
-          out.columns[4].append_string(row.string_at(b_col));
-        }
-      },
-      "interpret_fused_join_u1u2");
+  const InterpretKernel kernel(urel, options);
+  return engine.map_partitions(
+      "interpret_fused_join_u1u2", kpre, ks_schema(),
+      [&kernel, &kpre](const Partition& p, std::size_t) {
+        Partition out = Table::make_partition(ks_schema());
+        kernel.interpret_partition(p, kpre.schema(), out);
+        return out;
+      });
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 // yielding the signal-instance table K_s.
 #pragma once
 
+#include <memory>
+
 #include "colstore/columnar_reader.hpp"
 #include "dataflow/engine.hpp"
 #include "dataflow/table.hpp"
@@ -58,6 +60,39 @@ dataflow::Table preselect(dataflow::Engine& engine,
                           const dataflow::Table& urel,
                           const colstore::ScanOptions& options,
                           colstore::ScanStats* stats = nullptr);
+
+/// The ScanPredicate form of U_comb's (m_id, b_id) set, as pushed down by
+/// the pushdown preselect overloads and by the streaming execution path —
+/// both must prune and row-filter identically.
+colstore::ScanPredicate urel_scan_predicate(const dataflow::Table& urel);
+
+/// Reusable fused interpretation kernel (join probe + u1 + u2 of
+/// Algorithm 1 lines 4–6): the broadcast U_comb map is built once, then
+/// interpret_partition() turns any K_pre partition into K_s rows. Both the
+/// batch interpret() stage and the streaming morsel path run through this
+/// class, so the two execution modes cannot drift semantically.
+class InterpretKernel {
+ public:
+  /// Build the broadcast side from U_comb. `urel` and the catalog in
+  /// `options` are only read during construction.
+  InterpretKernel(const dataflow::Table& urel,
+                  const InterpretOptions& options);
+  ~InterpretKernel();
+  InterpretKernel(const InterpretKernel&) = delete;
+  InterpretKernel& operator=(const InterpretKernel&) = delete;
+
+  /// Interpret every row of the K_pre partition `in` (schema `in_schema`,
+  /// K_b layout), appending the resulting signal instances to the
+  /// ks_schema() partition `out` in row order. Const and thread-safe:
+  /// morsel tasks call this concurrently.
+  void interpret_partition(const dataflow::Partition& in,
+                           const dataflow::Schema& in_schema,
+                           dataflow::Partition& out) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Lines 4–6: K_join = K_pre ⋈ U_comb; K_s = F_u2(F_u1(K_join)).
 dataflow::Table interpret(dataflow::Engine& engine,

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "core/schemas.hpp"
@@ -19,19 +20,6 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - since)
           .count());
-}
-
-/// Append one stage total to the report and publish it to the metrics
-/// registry (`pipeline.stage.<name>.wall_ns`), so both `--report-json`
-/// and `--metrics-out` answer "which stage dominated".
-void record_stage_time(std::vector<StageTiming>& times, const char* name,
-                       std::uint64_t wall_ns) {
-  times.push_back({name, static_cast<double>(wall_ns) / 1e6});
-#if IVT_OBS_ENABLED
-  obs::Registry::instance()
-      .counter(std::string("pipeline.stage.") + name + ".wall_ns")
-      .add(wall_ns);
-#endif
 }
 
 const char* branch_span_name(Branch branch) {
@@ -54,6 +42,29 @@ struct SubStageNs {
 };
 
 }  // namespace
+
+/// Publishes to the metrics registry so both `--report-json` and
+/// `--metrics-out` answer "which stage dominated".
+void record_stage_time(std::vector<StageTiming>& times, const char* name,
+                       std::uint64_t wall_ns) {
+  times.push_back({name, static_cast<double>(wall_ns) / 1e6});
+#if IVT_OBS_ENABLED
+  obs::Registry::instance()
+      .counter(std::string("pipeline.stage.") + name + ".wall_ns")
+      .add(wall_ns);
+#endif
+}
+
+ExecMode parse_exec_mode(const std::string& text) {
+  if (text == "batch") return ExecMode::Batch;
+  if (text == "streaming") return ExecMode::Streaming;
+  throw std::invalid_argument("unknown exec mode: " + text +
+                              " (expected batch|streaming)");
+}
+
+const char* to_string(ExecMode mode) {
+  return mode == ExecMode::Streaming ? "streaming" : "batch";
+}
 
 dataflow::Table concat_tables(const dataflow::Schema& schema,
                               std::vector<dataflow::Table> tables) {
@@ -160,12 +171,21 @@ PipelineResult Pipeline::run(dataflow::Engine& engine,
     return r;
   }();
   record_stage_time(result.stage_times, "split", elapsed_ns(stage_start));
-  result.correspondences = std::move(split.correspondences);
   if (config_.keep_ks) {
     result.ks = std::move(ks);
   } else {
     ks = dataflow::Table(ks_schema());
   }
+
+  process_and_merge(engine, std::move(split), result);
+  return result;
+}
+
+void Pipeline::process_and_merge(dataflow::Engine& engine,
+                                 SplitDataResult split,
+                                 PipelineResult& result) const {
+  using Clock = std::chrono::steady_clock;
+  result.correspondences = std::move(split.correspondences);
 
   // Lines 10–28 per sequence, parallel across sequences: reduction,
   // extension, classification, branch processing.
@@ -267,7 +287,12 @@ PipelineResult Pipeline::run(dataflow::Engine& engine,
                       e);
     }
   });
-  result.failures = failure_log.records();
+  {
+    std::vector<errors::FailureRecord> records = failure_log.records();
+    result.failures.insert(result.failures.end(),
+                           std::make_move_iterator(records.begin()),
+                           std::make_move_iterator(records.end()));
+  }
   record_stage_time(result.stage_times, "reduce",
                     sub_ns.reduce.load(std::memory_order_relaxed));
   record_stage_time(result.stage_times, "extend",
@@ -284,7 +309,7 @@ PipelineResult Pipeline::run(dataflow::Engine& engine,
   OBS_COUNT("pipeline.reduced_rows", result.reduced_rows);
 
   // Line 29: merge K_res and W into R_out.
-  stage_start = Clock::now();
+  auto stage_start = Clock::now();
   {
     OBS_SPAN_V(span, "pipeline.merge");
     std::vector<dataflow::Table> all;
@@ -312,6 +337,28 @@ PipelineResult Pipeline::run(dataflow::Engine& engine,
     record_stage_time(result.stage_times, "state_repr",
                       elapsed_ns(stage_start));
   }
+}
+
+PipelineResult Pipeline::run(dataflow::Engine& engine,
+                             const colstore::ColumnarReader& reader,
+                             colstore::ScanStats* stats) const {
+  if (config_.exec_mode == ExecMode::Streaming) {
+    return run_streaming(engine, reader, stats);
+  }
+  errors::FailureLog scan_failures;
+  colstore::ScanOptions scan_options;
+  scan_options.on_error = config_.on_error;
+  scan_options.failures = &scan_failures;
+  colstore::ScanStats local;
+  const dataflow::Table kb = reader.scan({}, engine, scan_options, &local);
+  PipelineResult result = run(engine, kb);
+  // Scan-level losses come first in the report, matching the order events
+  // actually happened.
+  std::vector<errors::FailureRecord> all = scan_failures.records();
+  all.insert(all.end(), std::make_move_iterator(result.failures.begin()),
+             std::make_move_iterator(result.failures.end()));
+  result.failures = std::move(all);
+  if (stats != nullptr) *stats = local;
   return result;
 }
 

@@ -8,6 +8,7 @@
 // automatically, as a sequence of distributable tabular operations.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,36 @@
 #include "signaldb/catalog.hpp"
 
 namespace ivt::core {
+
+/// How the pipeline executes lines 2–9 of Algorithm 1 over a columnar
+/// trace.
+///
+/// Batch (default): materialize the full K_b scan, then run preselect /
+/// interpret / split as separate engine stages with a barrier between
+/// each — peak memory grows with the trace.
+///
+/// Streaming: each surviving .ivc chunk flows decode → preselect →
+/// interpret → per-signal shard append as ONE morsel task; bounded task
+/// admission caps the number of decoded morsels in flight, so peak memory
+/// is bounded by max_in_flight × chunk size + the split accumulators.
+/// Output (K_s, K_rep, reports, failure counters) is identical to batch.
+enum class ExecMode { Batch, Streaming };
+
+/// Parse "batch" / "streaming" (the CLI --exec values); throws
+/// std::invalid_argument on anything else.
+ExecMode parse_exec_mode(const std::string& text);
+[[nodiscard]] const char* to_string(ExecMode mode);
+
+struct StreamingOptions {
+  /// Cap on morsels simultaneously queued or running. 0 = 2 × workers + 1
+  /// (enough to keep every worker busy while one morsel is being
+  /// admitted, without unbounded queue growth).
+  std::size_t max_in_flight = 0;
+  /// Hash-shard count for the split accumulators (shard by s_id). 0 =
+  /// 4 × workers, clamped to [1, 64]. Purely a contention knob: results
+  /// are merged order-stably and do not depend on it.
+  std::size_t shards = 0;
+};
 
 struct PipelineConfig {
   /// U_comb: the domain's relevant signals. Empty = all catalog signals.
@@ -52,6 +83,9 @@ struct PipelineConfig {
   /// dropped, reason recorded" — the failed sequence contributes no rows
   /// to R_out and shows up in PipelineResult::failures.
   errors::ErrorPolicy on_error = errors::ErrorPolicy::Fail;
+  /// Execution topology for run(engine, reader); see ExecMode.
+  ExecMode exec_mode = ExecMode::Batch;
+  StreamingOptions streaming;
 
   PipelineConfig() { constraints.push_back(drop_repeated_values_rule()); }
 };
@@ -123,6 +157,27 @@ class Pipeline {
   PipelineResult run(dataflow::Engine& engine,
                      const dataflow::Table& kb) const;
 
+  /// Full Algorithm 1 from a columnar reader, dispatching on
+  /// config().exec_mode. Batch materializes a full scan (honouring
+  /// config().on_error for corrupt chunks) and runs run(engine, kb);
+  /// Streaming runs run_streaming(). In both modes scan-level failures
+  /// (quarantined chunks) are folded into result.failures ahead of
+  /// sequence failures, and `stats` (optional) receives the scan
+  /// statistics — callers need not merge anything themselves.
+  PipelineResult run(dataflow::Engine& engine,
+                     const colstore::ColumnarReader& reader,
+                     colstore::ScanStats* stats = nullptr) const;
+
+  /// The streaming morsel path (ignores config().exec_mode — this IS the
+  /// streaming mode): U_comb is pushed down as the scan predicate, each
+  /// surviving chunk is decoded, preselected, interpreted and bucketed
+  /// into hash-sharded split accumulators as one bounded-admission task,
+  /// and the accumulators are merged order-stably so K_s order, split
+  /// sequences, K_rep and all counters are identical to batch.
+  PipelineResult run_streaming(dataflow::Engine& engine,
+                               const colstore::ColumnarReader& reader,
+                               colstore::ScanStats* stats = nullptr) const;
+
   /// Lines 3–6 only: preselection, join, interpretation. Returns K_s.
   dataflow::Table extract(dataflow::Engine& engine,
                           const dataflow::Table& kb) const;
@@ -138,9 +193,21 @@ class Pipeline {
   ReducedResult extract_and_reduce(dataflow::Engine& engine,
                                    const dataflow::Table& kb) const;
 
+  /// Streaming-mode lines 3–11 (Fig. 5 scope) straight from a reader.
+  ReducedResult extract_and_reduce_streaming(
+      dataflow::Engine& engine,
+      const colstore::ColumnarReader& reader) const;
+
  private:
   [[nodiscard]] const signaldb::SignalSpec* spec_of(
       const std::string& s_id) const;
+
+  /// Algorithm 1 lines 10–29 + state representation, shared verbatim by
+  /// the batch and streaming paths: consumes `split`, fills sequence
+  /// reports, K_rep, state and the per-sequence stage times, and appends
+  /// dropped-sequence failures to result.failures.
+  void process_and_merge(dataflow::Engine& engine, SplitDataResult split,
+                         PipelineResult& result) const;
 
   const signaldb::Catalog& catalog_;
   PipelineConfig config_;
@@ -150,5 +217,11 @@ class Pipeline {
 /// Concatenate krep-schema tables (deterministic order, partitions moved).
 dataflow::Table concat_tables(const dataflow::Schema& schema,
                               std::vector<dataflow::Table> tables);
+
+/// Append one stage total to `times` and publish it to the metrics
+/// registry (`pipeline.stage.<name>.wall_ns`). Shared by pipeline.cpp and
+/// streaming.cpp so both modes report stage times the same way.
+void record_stage_time(std::vector<StageTiming>& times, const char* name,
+                       std::uint64_t wall_ns);
 
 }  // namespace ivt::core

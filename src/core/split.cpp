@@ -6,11 +6,8 @@
 
 namespace ivt::core {
 
-namespace {
-
-/// Bucket key: s_id and bus, separated by a unit separator (neither may
-/// contain it: bus/signal names come from the catalog).
-std::string bucket_key(const std::string& s_id, const std::string& bus) {
+std::string split_bucket_key(const std::string& s_id,
+                             const std::string& bus) {
   std::string key;
   key.reserve(s_id.size() + bus.size() + 1);
   key += s_id;
@@ -19,12 +16,58 @@ std::string bucket_key(const std::string& s_id, const std::string& bus) {
   return key;
 }
 
-struct PartitionBuckets {
-  std::vector<std::string> order;
-  std::unordered_map<std::string, SequenceData> buckets;
-};
+PartitionSplit bucket_split_partition(const dataflow::Partition& p,
+                                      const dataflow::Schema& schema) {
+  const std::size_t t_col = schema.require("t");
+  const std::size_t sid_col = schema.require("s_id");
+  const std::size_t num_col = schema.require("v_num");
+  const std::size_t str_col = schema.require("v_str");
+  const std::size_t bus_col = schema.require("b_id");
 
-}  // namespace
+  PartitionSplit pb;
+  const std::size_t n = p.num_rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::string& s_id = p.columns[sid_col].string_at(r);
+    const std::string& bus = p.columns[bus_col].string_at(r);
+    std::string key = split_bucket_key(s_id, bus);
+    auto [it, inserted] = pb.buckets.try_emplace(key);
+    if (inserted) {
+      it->second.s_id = s_id;
+      it->second.bus = bus;
+      pb.order.push_back(std::move(key));
+      pb.first_row.push_back(r);
+    }
+    SequenceData& seq = it->second;
+    seq.t.push_back(p.columns[t_col].int64_at(r));
+    if (p.columns[num_col].is_null(r)) {
+      seq.v_num.push_back(0.0);
+      seq.has_num.push_back(0);
+    } else {
+      seq.v_num.push_back(p.columns[num_col].float64_at(r));
+      seq.has_num.push_back(1);
+    }
+    if (p.columns[str_col].is_null(r)) {
+      seq.v_str.emplace_back();
+      seq.has_str.push_back(0);
+    } else {
+      seq.v_str.push_back(p.columns[str_col].string_at(r));
+      seq.has_str.push_back(1);
+    }
+  }
+  return pb;
+}
+
+void append_sequence_data(SequenceData& dst, SequenceData&& src) {
+  dst.t.insert(dst.t.end(), src.t.begin(), src.t.end());
+  dst.v_num.insert(dst.v_num.end(), src.v_num.begin(), src.v_num.end());
+  dst.has_num.insert(dst.has_num.end(), src.has_num.begin(),
+                     src.has_num.end());
+  dst.v_str.insert(dst.v_str.end(),
+                   std::make_move_iterator(src.v_str.begin()),
+                   std::make_move_iterator(src.v_str.end()));
+  dst.has_str.insert(dst.has_str.end(), src.has_str.begin(),
+                     src.has_str.end());
+}
 
 bool sequences_equal(const SequenceData& a, const SequenceData& b) {
   if (a.size() != b.size()) return false;
@@ -41,51 +84,16 @@ bool sequences_equal(const SequenceData& a, const SequenceData& b) {
 SplitDataResult split_signals_data(dataflow::Engine& engine,
                                    const dataflow::Table& ks,
                                    const SplitOptions& options) {
-  const std::size_t t_col = ks.schema().require("t");
-  const std::size_t sid_col = ks.schema().require("s_id");
-  const std::size_t num_col = ks.schema().require("v_num");
-  const std::size_t str_col = ks.schema().require("v_str");
-  const std::size_t bus_col = ks.schema().require("b_id");
-
   // Phase 1: per-partition bucketing (parallel).
-  std::vector<PartitionBuckets> partials(ks.num_partitions());
+  std::vector<PartitionSplit> partials(ks.num_partitions());
   engine.parallel_for(ks.num_partitions(), [&](std::size_t pi) {
-    const dataflow::Partition& p = ks.partition(pi);
-    PartitionBuckets& pb = partials[pi];
-    const std::size_t n = p.num_rows();
-    for (std::size_t r = 0; r < n; ++r) {
-      const std::string& s_id = p.columns[sid_col].string_at(r);
-      const std::string& bus = p.columns[bus_col].string_at(r);
-      std::string key = bucket_key(s_id, bus);
-      auto [it, inserted] = pb.buckets.try_emplace(key);
-      if (inserted) {
-        it->second.s_id = s_id;
-        it->second.bus = bus;
-        pb.order.push_back(std::move(key));
-      }
-      SequenceData& seq = it->second;
-      seq.t.push_back(p.columns[t_col].int64_at(r));
-      if (p.columns[num_col].is_null(r)) {
-        seq.v_num.push_back(0.0);
-        seq.has_num.push_back(0);
-      } else {
-        seq.v_num.push_back(p.columns[num_col].float64_at(r));
-        seq.has_num.push_back(1);
-      }
-      if (p.columns[str_col].is_null(r)) {
-        seq.v_str.emplace_back();
-        seq.has_str.push_back(0);
-      } else {
-        seq.v_str.push_back(p.columns[str_col].string_at(r));
-        seq.has_str.push_back(1);
-      }
-    }
+    partials[pi] = bucket_split_partition(ks.partition(pi), ks.schema());
   });
 
   // Phase 2: merge in partition order (deterministic).
   std::vector<std::string> order;
   std::unordered_map<std::string, SequenceData> merged;
-  for (PartitionBuckets& pb : partials) {
+  for (PartitionSplit& pb : partials) {
     for (std::string& key : pb.order) {
       SequenceData& src = pb.buckets.at(key);
       auto [it, inserted] = merged.try_emplace(key);
@@ -94,20 +102,17 @@ SplitDataResult split_signals_data(dataflow::Engine& engine,
         order.push_back(key);
         continue;
       }
-      SequenceData& dst = it->second;
-      dst.t.insert(dst.t.end(), src.t.begin(), src.t.end());
-      dst.v_num.insert(dst.v_num.end(), src.v_num.begin(), src.v_num.end());
-      dst.has_num.insert(dst.has_num.end(), src.has_num.begin(),
-                         src.has_num.end());
-      dst.v_str.insert(dst.v_str.end(),
-                       std::make_move_iterator(src.v_str.begin()),
-                       std::make_move_iterator(src.v_str.end()));
-      dst.has_str.insert(dst.has_str.end(), src.has_str.begin(),
-                         src.has_str.end());
+      append_sequence_data(it->second, std::move(src));
     }
   }
   partials.clear();
+  return group_split_sequences(order, merged, options);
+}
 
+SplitDataResult group_split_sequences(
+    const std::vector<std::string>& order,
+    std::unordered_map<std::string, SequenceData>& merged,
+    const SplitOptions& options) {
   // Phase 3: group channels per signal type in first-appearance order and
   // run the equality check e(·).
   SplitDataResult result;

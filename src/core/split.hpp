@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/sequence.hpp"
@@ -58,5 +59,44 @@ struct SplitDataResult {
 SplitDataResult split_signals_data(dataflow::Engine& engine,
                                    const dataflow::Table& ks,
                                    const SplitOptions& options = {});
+
+// --- Building blocks shared with the streaming morsel path ---------------
+//
+// The streaming executor buckets each morsel's K_s rows as it is produced
+// (bucket_split_partition), appends the per-morsel segments into
+// hash-sharded accumulators, reconstructs the batch key order from
+// (first morsel, first row) tags, and finally reuses the same channel
+// grouping + e(·) dedup (group_split_sequences). Because every step is
+// shared or order-reconstructing, both modes emit identical sequences.
+
+/// Bucket key: s_id and bus, separated by a unit separator (neither may
+/// contain it: bus/signal names come from the catalog).
+std::string split_bucket_key(const std::string& s_id, const std::string& bus);
+
+/// One partition's (or morsel's) K_s rows bucketed per (s_id, b_id) in row
+/// order. `order` lists keys by first appearance; `first_row` gives the
+/// partition-local row index of that first appearance (parallel to
+/// `order`), so a merge across out-of-order morsels can reconstruct the
+/// global first-appearance order.
+struct PartitionSplit {
+  std::vector<std::string> order;
+  std::vector<std::size_t> first_row;
+  std::unordered_map<std::string, SequenceData> buckets;
+};
+
+/// Bucket every row of the ks_schema() partition `p`.
+PartitionSplit bucket_split_partition(const dataflow::Partition& p,
+                                      const dataflow::Schema& schema);
+
+/// Append src's rows to dst (same (s_id, b_id) bucket); src is consumed.
+void append_sequence_data(SequenceData& dst, SequenceData&& src);
+
+/// Phase 3 of the split: group the merged per-(s_id, b_id) sequences into
+/// per-signal channel lists in `order` and run the e(·) dedup. Consumes
+/// the sequences in `merged`.
+SplitDataResult group_split_sequences(
+    const std::vector<std::string>& order,
+    std::unordered_map<std::string, SequenceData>& merged,
+    const SplitOptions& options);
 
 }  // namespace ivt::core

@@ -1,0 +1,268 @@
+// Streaming morsel-driven execution of Algorithm 1 lines 2–9.
+//
+// The batch path materializes the full K_b scan, then runs preselect /
+// interpret / split as separate engine stages with a barrier between
+// each. Here the same work is re-fused per chunk: every surviving .ivc
+// chunk becomes one morsel task that decodes, row-filters against U_comb
+// (preselection), interprets to K_s rows and buckets them into
+// hash-sharded split accumulators — so no K_b or K_s table ever
+// materializes, and bounded task admission caps how many decoded morsels
+// exist at once.
+//
+// Equivalence with batch is by construction, not by luck:
+//  * the row filter is the same compiled predicate the pushdown preselect
+//    uses (urel_scan_predicate + ChunkCursor),
+//  * interpretation goes through the shared InterpretKernel,
+//  * per-morsel bucketing is the shared bucket_split_partition,
+//  * morsel index k == batch partition index k (chunk order), so sorting
+//    each key's segments by morsel and ordering keys by
+//    (first morsel, first row) reconstructs exactly the batch split's
+//    concatenation and first-appearance orders,
+//  * lines 10–29 + state run through the shared Pipeline::process_and_merge.
+// The differential harness in tests/integration/streaming_equivalence_test
+// asserts the identity across chunk sizes, worker counts and error
+// policies.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "colstore/chunk_cursor.hpp"
+#include "core/pipeline.hpp"
+#include "core/schemas.hpp"
+#include "errors/failure_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "tracefile/trace.hpp"
+
+namespace ivt::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           since)
+          .count());
+}
+
+/// One (s_id, b_id) run of K_s rows contributed by a single morsel.
+struct Segment {
+  std::size_t morsel = 0;
+  std::size_t first_row = 0;  ///< morsel-local row of the key's first hit
+  SequenceData data;
+};
+
+/// One split accumulator shard: appended to under its own mutex by morsel
+/// tasks, merged single-threaded afterwards.
+struct Shard {
+  std::mutex mu;
+  std::unordered_map<std::string, std::vector<Segment>> keys;
+};
+
+/// Shard by s_id (the prefix of the bucket key up to the unit separator),
+/// so all channels of one signal land in the same accumulator.
+std::size_t shard_of(const std::string& key, std::size_t num_shards) {
+  const std::size_t cut = key.find('\x1F');
+  return std::hash<std::string_view>{}(
+             std::string_view(key).substr(0, cut)) %
+         num_shards;
+}
+
+/// Everything the fused stage produces.
+struct StreamExtract {
+  SplitDataResult split;
+  std::size_t kpre_rows = 0;
+  std::size_t ks_rows = 0;
+  colstore::ScanStats stats;
+  /// Interpreted K_s partitions in morsel order (only when keep_ks).
+  std::vector<dataflow::Partition> ks_parts;
+  std::uint64_t fused_wall_ns = 0;
+};
+
+/// The fused decode → preselect → interpret → shard-append stage plus the
+/// order-stable merge. Shared by run_streaming and
+/// extract_and_reduce_streaming.
+StreamExtract stream_extract_split(dataflow::Engine& engine,
+                                   const colstore::ColumnarReader& reader,
+                                   const dataflow::Table& urel,
+                                   const PipelineConfig& config,
+                                   errors::FailureLog* scan_failures,
+                                   bool keep_ks) {
+  StreamExtract out;
+  const auto fused_start = Clock::now();
+  OBS_SPAN_V(fused_span, "pipeline.stream_extract_split");
+
+  colstore::ScanOptions scan_options;
+  scan_options.on_error = config.on_error;
+  scan_options.failures = scan_failures;
+  const colstore::ChunkCursor cursor =
+      reader.cursor(urel_scan_predicate(urel), scan_options);
+  const InterpretKernel kernel(urel, config.interpret);
+
+  const std::size_t num_morsels = cursor.num_morsels();
+  std::size_t num_shards = config.streaming.shards;
+  if (num_shards == 0) {
+    num_shards = std::clamp<std::size_t>(
+        4 * std::max<std::size_t>(1, engine.workers()), 1, 64);
+  }
+  std::vector<Shard> shards(num_shards);
+  if (keep_ks) out.ks_parts.resize(num_morsels);
+  std::atomic<std::size_t> kpre_rows{0};
+  std::atomic<std::size_t> ks_rows{0};
+  const dataflow::Schema& kb_schema_ref = tracefile::kb_schema();
+  const dataflow::Schema& ks_schema_ref = ks_schema();
+
+  engine.parallel_for_bounded(
+      num_morsels, config.streaming.max_in_flight, [&](std::size_t k) {
+        OBS_SPAN_V(span, "pipeline.morsel");
+        // Decode + preselect: the cursor's compiled row filter IS the
+        // preselection predicate; a quarantined chunk yields an empty
+        // partition (and is already on the failure log).
+        const dataflow::Partition kpre_part = cursor.decode(k);
+        kpre_rows.fetch_add(kpre_part.num_rows(), std::memory_order_relaxed);
+        // Interpret (lines 4–6), shared kernel.
+        dataflow::Partition ks_part =
+            dataflow::Table::make_partition(ks_schema_ref);
+        kernel.interpret_partition(kpre_part, kb_schema_ref, ks_part);
+        ks_rows.fetch_add(ks_part.num_rows(), std::memory_order_relaxed);
+        span.set_rows(ks_part.num_rows());
+        // Bucket (line 8 semantics) and append into the shards.
+        PartitionSplit buckets =
+            bucket_split_partition(ks_part, ks_schema_ref);
+        if (keep_ks) out.ks_parts[k] = std::move(ks_part);
+        for (std::size_t i = 0; i < buckets.order.size(); ++i) {
+          const std::string& key = buckets.order[i];
+          Segment seg;
+          seg.morsel = k;
+          seg.first_row = buckets.first_row[i];
+          seg.data = std::move(buckets.buckets.at(key));
+          Shard& shard = shards[shard_of(key, num_shards)];
+          const std::lock_guard lock(shard.mu);
+          shard.keys[key].push_back(std::move(seg));
+        }
+      });
+
+  // Order-stable merge. Within one key, morsel order == chunk order ==
+  // batch partition order, so concatenating segments sorted by morsel
+  // reproduces the batch phase-2 concatenation; across keys,
+  // (first morsel, first row) sorts into exactly the batch
+  // first-appearance order.
+  struct FirstHit {
+    std::size_t morsel;
+    std::size_t row;
+    std::string key;
+  };
+  std::vector<FirstHit> firsts;
+  std::unordered_map<std::string, SequenceData> merged;
+  for (Shard& shard : shards) {
+    for (auto& [key, segments] : shard.keys) {
+      std::sort(segments.begin(), segments.end(),
+                [](const Segment& a, const Segment& b) {
+                  return a.morsel < b.morsel;
+                });
+      SequenceData seq = std::move(segments.front().data);
+      for (std::size_t s = 1; s < segments.size(); ++s) {
+        append_sequence_data(seq, std::move(segments[s].data));
+      }
+      firsts.push_back(
+          {segments.front().morsel, segments.front().first_row, key});
+      merged.emplace(key, std::move(seq));
+    }
+  }
+  std::sort(firsts.begin(), firsts.end(),
+            [](const FirstHit& a, const FirstHit& b) {
+              return a.morsel != b.morsel ? a.morsel < b.morsel
+                                          : a.row < b.row;
+            });
+  std::vector<std::string> order;
+  order.reserve(firsts.size());
+  for (FirstHit& f : firsts) order.push_back(std::move(f.key));
+
+  out.split = group_split_sequences(order, merged, config.split);
+  out.kpre_rows = kpre_rows.load(std::memory_order_relaxed);
+  out.ks_rows = ks_rows.load(std::memory_order_relaxed);
+  out.stats = cursor.stats();
+  out.fused_wall_ns = elapsed_ns(fused_start);
+  fused_span.set_rows(out.ks_rows);
+  return out;
+}
+
+}  // namespace
+
+PipelineResult Pipeline::run_streaming(dataflow::Engine& engine,
+                                       const colstore::ColumnarReader& reader,
+                                       colstore::ScanStats* stats) const {
+  OBS_SPAN("pipeline.run_streaming");
+  OBS_COUNT("pipeline.runs", 1);
+  PipelineResult result;
+
+  errors::FailureLog scan_failures;
+  StreamExtract ext = stream_extract_split(
+      engine, reader, urel_, config_, &scan_failures, config_.keep_ks);
+
+  // K_b is never materialized; its row count is the file's total minus
+  // rows lost to quarantined chunks — the same number the batch scan
+  // emits.
+  result.kb_rows = reader.num_rows() - ext.stats.rows_quarantined;
+  OBS_COUNT("pipeline.kb_rows", result.kb_rows);
+  result.kpre_rows = ext.kpre_rows;
+  result.ks_rows = ext.ks_rows;
+  OBS_COUNT("pipeline.ks_rows", result.ks_rows);
+  record_stage_time(result.stage_times, "stream_extract_split",
+                    ext.fused_wall_ns);
+
+  if (config_.keep_ks) {
+    result.ks = dataflow::Table(ks_schema());
+    for (dataflow::Partition& p : ext.ks_parts) {
+      if (p.num_rows() == 0) continue;
+      result.ks.add_partition(std::move(p));
+    }
+  }
+
+  result.failures = scan_failures.records();
+  process_and_merge(engine, std::move(ext.split), result);
+
+  OBS_GAUGE_SET("process.peak_rss_bytes",
+                static_cast<std::int64_t>(obs::peak_rss_bytes()));
+  if (stats != nullptr) *stats = ext.stats;
+  return result;
+}
+
+Pipeline::ReducedResult Pipeline::extract_and_reduce_streaming(
+    dataflow::Engine& engine, const colstore::ColumnarReader& reader) const {
+  OBS_SPAN("pipeline.extract_and_reduce_streaming");
+  ReducedResult result;
+  errors::FailureLog scan_failures;
+  StreamExtract ext = stream_extract_split(engine, reader, urel_, config_,
+                                           &scan_failures, false);
+  result.ks_rows = ext.ks_rows;
+  SplitDataResult split = std::move(ext.split);
+  result.correspondences = std::move(split.correspondences);
+
+  result.sequences.resize(split.sequences.size());
+  engine.parallel_for(split.sequences.size(), [&](std::size_t i) {
+    OBS_SPAN_V(span, "sequence.reduce");
+    const SequenceData& seq = split.sequences[i];
+    result.sequences[i] =
+        reduce_sequence(config_.constraints, seq, spec_of(seq.s_id));
+    span.set_rows(result.sequences[i].size());
+  });
+  for (const SequenceData& seq : result.sequences) {
+    result.reduced_rows += seq.size();
+  }
+  OBS_GAUGE_SET("process.peak_rss_bytes",
+                static_cast<std::int64_t>(obs::peak_rss_bytes()));
+  return result;
+}
+
+}  // namespace ivt::core

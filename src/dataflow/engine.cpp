@@ -10,6 +10,15 @@
 namespace ivt::dataflow {
 
 Engine::Engine(EngineConfig config) : config_(config) {
+  if (config.inline_execution) {
+    // ThreadPool(0) runs every task on the submitting thread. Partition
+    // defaults act as if there were one worker, so table shapes stay
+    // reasonable for the differential harness.
+    default_partitions_ =
+        config.default_partitions != 0 ? config.default_partitions : 4;
+    pool_ = std::make_unique<ThreadPool>(0);
+    return;
+  }
   std::size_t workers = config.workers;
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
@@ -81,6 +90,33 @@ void Engine::parallel_for(std::size_t n,
     });
   }
   // The pool's exception barrier rethrows the first task failure here.
+  pool_->help_until_idle();
+}
+
+void Engine::parallel_for_bounded(std::size_t n, std::size_t max_in_flight,
+                                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (max_in_flight == 0) max_in_flight = 2 * workers() + 1;
+  if (n == 1) {
+    apply_task_overhead();
+    run_with_retry(0, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    OBS_GAUGE_ADD("engine.morsels_in_flight", 1);
+    pool_->submit_bounded(
+        [this, &fn, i] {
+          apply_task_overhead();
+          try {
+            run_with_retry(i, fn);
+          } catch (...) {
+            OBS_GAUGE_ADD("engine.morsels_in_flight", -1);
+            throw;
+          }
+          OBS_GAUGE_ADD("engine.morsels_in_flight", -1);
+        },
+        max_in_flight);
+  }
   pool_->help_until_idle();
 }
 

@@ -29,6 +29,11 @@ namespace ivt::dataflow {
 struct EngineConfig {
   /// Parallel workers (Spark: executors × cores). 0 = hardware concurrency.
   std::size_t workers = 0;
+  /// Run every task inline on the submitting thread (ThreadPool with zero
+  /// workers): single-threaded, deterministic execution order, bounded
+  /// admission trivially satisfied. The CLI maps a literal `--workers=0`
+  /// to this; `workers` is ignored when set.
+  bool inline_execution = false;
   /// Default partition count for repartitioning/new tables. 0 = 4 × workers.
   std::size_t default_partitions = 0;
   /// Simulated per-task dispatch latency (models cluster scheduling and
@@ -67,6 +72,16 @@ class Engine {
   /// `max_task_retries` times with jittered exponential backoff; the first
   /// unrecovered exception from any task is rethrown here.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Like parallel_for, but admission-bounded: at most `max_in_flight`
+  /// tasks are queued or running at any moment, so per-task working memory
+  /// (e.g. a decoded morsel) is capped at max_in_flight × morsel size. The
+  /// submitting thread helps execute tasks while the window is full.
+  /// `max_in_flight == 0` selects the default 2 × workers + 1. Same retry
+  /// and exception-barrier semantics as parallel_for. With
+  /// `inline_execution` every task runs immediately in submission order.
+  void parallel_for_bounded(std::size_t n, std::size_t max_in_flight,
+                            const std::function<void(std::size_t)>& fn);
 
   /// Transient-failure retries performed since construction.
   [[nodiscard]] std::size_t task_retries() const {

@@ -41,6 +41,40 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+void ThreadPool::submit_bounded(std::function<void()> task, std::size_t limit) {
+  if (limit == 0) limit = 1;
+  if (threads_.empty()) {
+    // Inline mode: the queue is always empty, so at most the one task we
+    // are about to run is ever in flight — the bound holds for any limit.
+    OBS_COUNT("pool.tasks_executed", 1);
+    run_task(task);
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  while (in_flight_ >= limit) {
+    if (!queue_.empty()) {
+      // Window full but work is queued: help drain it rather than sleep,
+      // so a slow producer thread is never pure overhead.
+      std::function<void()> helped = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      OBS_GAUGE_ADD("pool.queue_depth", -1);
+      OBS_COUNT("pool.tasks_executed", 1);
+      OBS_COUNT("pool.tasks_helped", 1);
+      run_task(helped);
+      lock.lock();
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+      continue;
+    }
+    cv_slot_.wait(lock, [&] { return in_flight_ < limit || !queue_.empty(); });
+  }
+  queue_.push_back(std::move(task));
+  ++in_flight_;
+  lock.unlock();
+  OBS_GAUGE_ADD("pool.queue_depth", 1);
+  cv_task_.notify_one();
+}
+
 void ThreadPool::wait_idle() {
   {
     std::unique_lock lock(mutex_);
@@ -60,6 +94,7 @@ void ThreadPool::help_until_idle() {
     OBS_COUNT("pool.tasks_helped", 1);
     run_task(task);
     lock.lock();
+    cv_slot_.notify_all();
     if (--in_flight_ == 0) {
       cv_idle_.notify_all();
       lock.unlock();
@@ -129,6 +164,7 @@ void ThreadPool::worker_loop() {
     OBS_COUNT("pool.tasks_executed", 1);
     {
       std::lock_guard lock(mutex_);
+      cv_slot_.notify_all();
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

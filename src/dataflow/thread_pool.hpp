@@ -45,6 +45,16 @@ class ThreadPool {
   /// Enqueue one task (inline mode: run it now).
   void submit(std::function<void()> task);
 
+  /// Bounded admission: enqueue one task, but only once fewer than
+  /// `limit` tasks are in flight (queued + running). While the window is
+  /// full the calling thread helps execute queued tasks instead of
+  /// sleeping, so a producer streaming large work items can never grow
+  /// the backlog — and thus the memory pinned by pending tasks — beyond
+  /// `limit`. `limit == 0` is treated as 1. Inline mode runs the task
+  /// immediately on the calling thread (the backlog is always empty, so
+  /// the bound holds trivially and execution order is deterministic).
+  void submit_bounded(std::function<void()> task, std::size_t limit);
+
   /// Block until every task submitted so far has finished. If any task
   /// threw since the last wait, rethrows the first captured exception.
   void wait_idle();
@@ -67,6 +77,9 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
+  // Notified on every in_flight_ decrement (cv_idle_ only fires at zero);
+  // submit_bounded() waits here for an admission slot.
+  std::condition_variable cv_slot_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
   std::exception_ptr first_error_;

@@ -6,6 +6,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
 namespace ivt::obs {
 
 std::size_t shard_index() noexcept {
@@ -269,6 +274,36 @@ void write_metrics_json(const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open for write: " + path);
   out << to_json(Registry::instance().snapshot());
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports bytes; Linux and the BSDs report KiB.
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return 0;
+  std::uint64_t pages_total = 0;
+  std::uint64_t pages_resident = 0;
+  statm >> pages_total >> pages_resident;
+  if (!statm) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return pages_resident * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
 }
 
 }  // namespace ivt::obs

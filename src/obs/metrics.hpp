@@ -186,4 +186,14 @@ std::string to_text(const MetricsSnapshot& snapshot);
 /// Throws std::runtime_error when the file cannot be opened.
 void write_metrics_json(const std::string& path);
 
+/// Process peak resident set size in bytes (getrusage ru_maxrss,
+/// platform-normalized; 0 where unavailable). Monotonic over the process
+/// lifetime — it never decreases after a high-water mark.
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (/proc/self/statm on Linux; 0 where
+/// unavailable). Unlike peak_rss_bytes this tracks frees, so benches can
+/// compare modes run in one process.
+std::uint64_t current_rss_bytes();
+
 }  // namespace ivt::obs

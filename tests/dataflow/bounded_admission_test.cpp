@@ -1,0 +1,163 @@
+// Bounded task admission: ThreadPool::submit_bounded and
+// Engine::parallel_for_bounded must cap tasks in flight (queued + running)
+// at the admission limit — the property the streaming executor's memory
+// bound rests on — while still running every task exactly once, surfacing
+// exceptions, and degrading to deterministic inline execution with zero
+// workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dataflow/engine.hpp"
+#include "dataflow/thread_pool.hpp"
+
+namespace ivt::dataflow {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SubmitBoundedTest, NeverExceedsAdmissionLimit) {
+  constexpr std::size_t kLimit = 3;
+  constexpr std::size_t kTasks = 64;
+  ThreadPool pool(4);
+  std::atomic<std::size_t> completed{0};
+  std::size_t submitted = 0;
+  std::size_t high_water = 0;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    pool.submit_bounded(
+        [&completed] {
+          std::this_thread::sleep_for(1ms);
+          completed.fetch_add(1);  // last statement: leads the pool's count
+        },
+        kLimit);
+    ++submitted;
+    // `completed` can only lag the pool's internal accounting, so this
+    // over-approximates in-flight; even the over-approximation must stay
+    // within the limit.
+    high_water = std::max(high_water, submitted - completed.load());
+  }
+  pool.wait_idle();
+  EXPECT_EQ(completed.load(), kTasks);
+  EXPECT_LE(high_water, kLimit);
+}
+
+TEST(SubmitBoundedTest, LimitZeroMeansOne) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> concurrent{0};
+  std::atomic<std::size_t> peak{0};
+  for (std::size_t i = 0; i < 16; ++i) {
+    pool.submit_bounded(
+        [&] {
+          const std::size_t now = concurrent.fetch_add(1) + 1;
+          std::size_t p = peak.load();
+          while (now > p && !peak.compare_exchange_weak(p, now)) {
+          }
+          std::this_thread::sleep_for(500us);
+          concurrent.fetch_sub(1);
+        },
+        0);
+  }
+  pool.wait_idle();
+  EXPECT_EQ(peak.load(), 1u);
+}
+
+TEST(SubmitBoundedTest, SingleWorkerTightLimitDoesNotDeadlock) {
+  // The submitter must help drain the queue when the window is full,
+  // otherwise worker=1 limit=1 livelocks with a sleeping producer.
+  ThreadPool pool(1);
+  std::atomic<std::size_t> completed{0};
+  for (std::size_t i = 0; i < 200; ++i) {
+    pool.submit_bounded([&completed] { completed.fetch_add(1); }, 1);
+  }
+  pool.wait_idle();
+  EXPECT_EQ(completed.load(), 200u);
+}
+
+TEST(SubmitBoundedTest, InlineModeRunsImmediatelyInOrder) {
+  ThreadPool pool(0);
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < 8; ++i) {
+    pool.submit_bounded([&order, i] { order.push_back(i); }, 2);
+    // Inline mode executes before submit_bounded returns.
+    ASSERT_EQ(order.size(), i + 1);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForBoundedTest, RunsEveryIndexExactlyOnce) {
+  Engine engine({.workers = 4});
+  constexpr std::size_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  engine.parallel_for_bounded(kN, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForBoundedTest, RespectsExplicitLimit) {
+  Engine engine({.workers = 8});
+  constexpr std::size_t kLimit = 2;
+  std::atomic<std::size_t> concurrent{0};
+  std::atomic<std::size_t> peak{0};
+  engine.parallel_for_bounded(64, kLimit, [&](std::size_t) {
+    const std::size_t now = concurrent.fetch_add(1) + 1;
+    std::size_t p = peak.load();
+    while (now > p && !peak.compare_exchange_weak(p, now)) {
+    }
+    std::this_thread::sleep_for(500us);
+    concurrent.fetch_sub(1);
+  });
+  EXPECT_GE(peak.load(), 1u);
+  // Running tasks are a subset of in-flight tasks, so the concurrency
+  // peak is bounded by the admission limit too.
+  EXPECT_LE(peak.load(), kLimit);
+}
+
+TEST(ParallelForBoundedTest, DefaultLimitKeepsWorkersBusy) {
+  Engine engine({.workers = 4});
+  std::atomic<std::size_t> completed{0};
+  // max_in_flight = 0 -> 2 x workers + 1: enough for full throughput.
+  engine.parallel_for_bounded(100, 0, [&](std::size_t) {
+    completed.fetch_add(1);
+  });
+  EXPECT_EQ(completed.load(), 100u);
+}
+
+TEST(ParallelForBoundedTest, PropagatesTaskException) {
+  Engine engine({.workers = 4});
+  EXPECT_THROW(
+      engine.parallel_for_bounded(32, 3,
+                                  [](std::size_t i) {
+                                    if (i == 17) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForBoundedTest, InlineEngineIsDeterministicallyOrdered) {
+  Engine engine({.workers = 0, .inline_execution = true});
+  EXPECT_EQ(engine.workers(), 0u);
+  std::vector<std::size_t> order;
+  engine.parallel_for_bounded(16, 2, [&](std::size_t i) {
+    order.push_back(i);  // no mutex: single-threaded by contract
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForBoundedTest, ZeroTasksIsANoOp) {
+  Engine engine({.workers = 2});
+  engine.parallel_for_bounded(0, 3, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace ivt::dataflow

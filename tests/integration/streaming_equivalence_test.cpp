@@ -1,0 +1,157 @@
+// Differential batch-vs-streaming equivalence: the streaming morsel
+// executor must be observationally indistinguishable from the batch
+// pipeline — byte-identical K_s / K_rep / state, identical report rows and
+// failure counters, identical exit codes — across chunk sizes, worker
+// counts (inline / 1 / N) and every --on-error policy, on clean and on
+// corrupted input.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "colstore/columnar_writer.hpp"
+#include "core/pipeline.hpp"
+#include "simnet/datasets.hpp"
+
+#include "../common/corruption.hpp"
+#include "../common/differ.hpp"
+
+namespace ivt {
+namespace {
+
+class StreamingEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    simnet::DatasetConfig config;
+    config.scale = 2e-4;  // ~14 s of the 20 h recording
+    config.seed = 42;
+    dataset_ = new simnet::Dataset(simnet::make_syn_dataset(config));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  /// The in-memory .ivc image of the shared trace at a given chunking.
+  static std::string pack(std::size_t chunk_rows) {
+    const std::string path = ::testing::TempDir() + "/streq_" +
+                             std::to_string(chunk_rows) + ".ivc";
+    colstore::ColumnarWriterOptions options;
+    options.chunk_rows = chunk_rows;
+    colstore::save_trace_columnar(dataset_->trace, path, options);
+    return path;
+  }
+
+  static core::PipelineConfig base_config() {
+    core::PipelineConfig config;
+    config.keep_ks = true;  // compare the K_s table too
+    return config;
+  }
+
+  static simnet::Dataset* dataset_;
+};
+
+simnet::Dataset* StreamingEquivalenceTest::dataset_ = nullptr;
+
+TEST_F(StreamingEquivalenceTest, IdenticalAcrossChunkSizes) {
+  // Small (many morsels), mid, prime (instances straddle boundaries at
+  // awkward offsets), and one-chunk (degenerate single morsel).
+  for (const std::size_t chunk_rows :
+       {std::size_t{256}, std::size_t{2048}, std::size_t{4099},
+        std::size_t{1u << 20}}) {
+    SCOPED_TRACE("chunk_rows=" + std::to_string(chunk_rows));
+    const colstore::ColumnarReader reader(pack(chunk_rows));
+    const testdiff::RunOutcome batch = testdiff::expect_modes_equivalent(
+        dataset_->catalog, reader, base_config(),
+        {.workers = 4, .default_partitions = 8});
+    ASSERT_FALSE(batch.threw) << batch.error;
+    EXPECT_GT(batch.result.krep_rows, 0u);
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, IdenticalAcrossWorkerCounts) {
+  const colstore::ColumnarReader reader(pack(1024));
+  // Inline (deterministic debugging mode), one worker, many workers.
+  const std::vector<dataflow::EngineConfig> engines = {
+      {.workers = 0, .inline_execution = true},
+      {.workers = 1},
+      {.workers = 8},
+  };
+  for (const dataflow::EngineConfig& engine_config : engines) {
+    SCOPED_TRACE("workers=" + std::to_string(engine_config.workers) +
+                 (engine_config.inline_execution ? " (inline)" : ""));
+    const testdiff::RunOutcome batch = testdiff::expect_modes_equivalent(
+        dataset_->catalog, reader, base_config(), engine_config);
+    ASSERT_FALSE(batch.threw) << batch.error;
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, IdenticalUnderEveryErrorPolicyCleanInput) {
+  const colstore::ColumnarReader reader(pack(1024));
+  for (const errors::ErrorPolicy policy :
+       {errors::ErrorPolicy::Fail, errors::ErrorPolicy::Skip,
+        errors::ErrorPolicy::Quarantine}) {
+    SCOPED_TRACE("policy=" + std::string(errors::to_string(policy)));
+    core::PipelineConfig config = base_config();
+    config.on_error = policy;
+    const testdiff::RunOutcome batch = testdiff::expect_modes_equivalent(
+        dataset_->catalog, reader, config, {.workers = 4});
+    ASSERT_FALSE(batch.threw) << batch.error;
+    EXPECT_EQ(batch.exit_code, 0);
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, IdenticalUnderEveryErrorPolicyCorruptChunk) {
+  // Vandalise one chunk body: Fail must abort both modes with the same
+  // typed error and exit 3; Skip / Quarantine must drop exactly that
+  // chunk's rows in both modes and exit 4 with equal failure counters.
+  const std::string good_path = pack(512);
+  std::ifstream in(good_path, std::ios::binary);
+  const std::string good((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const testcorrupt::IvcCorruptor corruptor(good);
+  ASSERT_GE(corruptor.num_chunks(), 3u);
+  const colstore::ColumnarReader reader =
+      colstore::ColumnarReader::from_buffer(corruptor.with_stomped_chunk(1));
+
+  for (const errors::ErrorPolicy policy :
+       {errors::ErrorPolicy::Fail, errors::ErrorPolicy::Skip,
+        errors::ErrorPolicy::Quarantine}) {
+    SCOPED_TRACE("policy=" + std::string(errors::to_string(policy)));
+    core::PipelineConfig config = base_config();
+    config.on_error = policy;
+    const testdiff::RunOutcome batch = testdiff::expect_modes_equivalent(
+        dataset_->catalog, reader, config, {.workers = 4});
+    if (policy == errors::ErrorPolicy::Fail) {
+      EXPECT_TRUE(batch.threw);
+      EXPECT_EQ(batch.exit_code, 3);
+    } else {
+      ASSERT_FALSE(batch.threw) << batch.error;
+      EXPECT_EQ(batch.exit_code, 4);
+      EXPECT_EQ(
+          testdiff::failure_counts(batch.result.failures)["colstore.decode_chunk"],
+          1u);
+    }
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, ReportCountersMatchScanStats) {
+  const colstore::ColumnarReader reader(pack(1024));
+  const testdiff::RunOutcome streaming = testdiff::run_mode(
+      dataset_->catalog, reader, base_config(), core::ExecMode::Streaming,
+      {.workers = 4});
+  ASSERT_FALSE(streaming.threw) << streaming.error;
+  // K_b is virtual in streaming mode, but its reported size must still be
+  // the file's row count (nothing quarantined here).
+  EXPECT_EQ(streaming.result.kb_rows, reader.num_rows());
+  // The pushdown row filter IS preselection: rows emitted by the cursor
+  // must equal the reported K_pre.
+  EXPECT_EQ(streaming.scan_stats.rows_emitted, streaming.result.kpre_rows);
+  EXPECT_EQ(streaming.scan_stats.chunks_quarantined, 0u);
+}
+
+}  // namespace
+}  // namespace ivt

@@ -1,0 +1,237 @@
+// Property: chunking is invisible. A signal instance stream packed at ANY
+// chunk size — including sizes that slice instance runs mid-sequence at
+// awkward prime offsets — must produce exactly the splits, e(·)
+// channel-dedup decisions and Extension gap annotations (the paper's W
+// elements) of the degenerate single-chunk layout, in both execution
+// modes. Chunk boundaries are a storage artefact; if any of these
+// observables shifted with chunk_rows, morsel-local state would be
+// leaking into the results.
+//
+// Two layers:
+//  * the full pipeline over a catalog-driven trace (splits + W gap
+//    annotations + byte-identical K_s / K_rep across chunkings), and
+//  * the split stage over a synthetic multi-channel K_s (the catalog
+//    model binds each signal to one bus, so gateway-duplicated channels
+//    — the e(·) dedup input — are constructed directly), re-partitioned
+//    at several boundaries to mimic morsels cutting sequences mid-run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "colstore/columnar_writer.hpp"
+#include "core/extend.hpp"
+#include "core/pipeline.hpp"
+#include "core/schemas.hpp"
+#include "core/split.hpp"
+#include "tracefile/trace.hpp"
+
+#include "../common/differ.hpp"
+#include "../core/test_fixtures.hpp"
+
+namespace ivt {
+namespace {
+
+using core::testing::kMs;
+using core::testing::KsRow;
+
+/// ~3400 records: wiper ramp with plateaus (reduction fodder), heater and
+/// belt for branch variety. Every sequence gets cut many times at small
+/// chunk sizes.
+tracefile::Trace boundary_trace() {
+  tracefile::Trace trace;
+  for (int i = 0; i < 3000; ++i) {
+    trace.records.push_back(core::testing::wiper_record(
+        i * 20 * kMs, static_cast<double>(i / 10),
+        static_cast<double>(i % 50), "FC"));
+  }
+  for (int i = 0; i < 60; ++i) {
+    trace.records.push_back(
+        core::testing::heater_record(i * 1000 * kMs + 3, (i % 4)));
+  }
+  for (int i = 0; i < 300; ++i) {
+    trace.records.push_back(
+        core::testing::belt_record(i * 200 * kMs + 7, (i / 10) % 2 == 1));
+  }
+  std::sort(trace.records.begin(), trace.records.end(),
+            [](const tracefile::TraceRecord& a,
+               const tracefile::TraceRecord& b) { return a.t_ns < b.t_ns; });
+  return trace;
+}
+
+class ChunkBoundaryPropertyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new signaldb::Catalog(core::testing::wiper_catalog());
+    trace_ = new tracefile::Trace(boundary_trace());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    delete trace_;
+    catalog_ = nullptr;
+    trace_ = nullptr;
+  }
+
+  static std::string pack(std::size_t chunk_rows) {
+    const std::string path = ::testing::TempDir() + "/chunkprop_" +
+                             std::to_string(chunk_rows) + ".ivc";
+    colstore::ColumnarWriterOptions options;
+    options.chunk_rows = chunk_rows;
+    colstore::save_trace_columnar(*trace_, path, options);
+    return path;
+  }
+
+  /// Gap extension on, channel dedup on, K_s kept: every observable the
+  /// property quantifies over is in the result.
+  static core::PipelineConfig config_with_gaps() {
+    core::PipelineConfig config;
+    config.extensions.push_back(core::gap_extension());
+    config.keep_ks = true;
+    return config;
+  }
+
+  /// Rows K_rep owes to extension rules — the W set.
+  static std::size_t extension_rows(const core::PipelineResult& result) {
+    const std::size_t kind_col = result.krep.schema().require("element_kind");
+    std::size_t n = 0;
+    for (const auto& row : result.krep.collect_rows()) {
+      if (row[kind_col].to_display_string() == "extension") ++n;
+    }
+    return n;
+  }
+
+  static signaldb::Catalog* catalog_;
+  static tracefile::Trace* trace_;
+};
+
+signaldb::Catalog* ChunkBoundaryPropertyTest::catalog_ = nullptr;
+tracefile::Trace* ChunkBoundaryPropertyTest::trace_ = nullptr;
+
+TEST_F(ChunkBoundaryPropertyTest, ChunkingIsInvisibleToThePipeline) {
+  // Reference: everything in one chunk — no instance can straddle a
+  // boundary because there are none.
+  const colstore::ColumnarReader single(pack(1u << 22));
+  const testdiff::RunOutcome reference = testdiff::run_mode(
+      *catalog_, single, config_with_gaps(), core::ExecMode::Streaming,
+      {.workers = 4});
+  ASSERT_FALSE(reference.threw) << reference.error;
+  ASSERT_GT(reference.result.krep_rows, 0u);
+  const std::size_t reference_w = extension_rows(reference.result);
+  ASSERT_GT(reference_w, 0u) << "property is vacuous without gap elements";
+
+  // Prime and power-of-two sizes small enough that every sequence is cut
+  // many times.
+  for (const std::size_t chunk_rows :
+       {std::size_t{61}, std::size_t{128}, std::size_t{509},
+        std::size_t{1021}, std::size_t{4096}}) {
+    SCOPED_TRACE("chunk_rows=" + std::to_string(chunk_rows));
+    const colstore::ColumnarReader reader(pack(chunk_rows));
+
+    // Both modes over the chunked layout agree with each other...
+    const testdiff::RunOutcome batch = testdiff::expect_modes_equivalent(
+        *catalog_, reader, config_with_gaps(), {.workers = 4});
+    ASSERT_FALSE(batch.threw) << batch.error;
+
+    // ...and with the single-chunk reference: same splits...
+    ASSERT_EQ(batch.result.sequences.size(),
+              reference.result.sequences.size());
+    for (std::size_t i = 0; i < batch.result.sequences.size(); ++i) {
+      const core::SequenceReport& a = batch.result.sequences[i];
+      const core::SequenceReport& b = reference.result.sequences[i];
+      EXPECT_EQ(a.s_id, b.s_id) << "sequence " << i;
+      EXPECT_EQ(a.bus, b.bus) << "sequence " << i;
+      EXPECT_EQ(a.input_rows, b.input_rows) << "sequence " << i;
+    }
+
+    // ...same W gap annotations, and in fact the same K_s and K_rep to
+    // the last byte.
+    EXPECT_EQ(extension_rows(batch.result), reference_w);
+    EXPECT_TRUE(testdiff::tables_identical(batch.result.ks,
+                                           reference.result.ks, "K_s"));
+    EXPECT_TRUE(testdiff::tables_identical(batch.result.krep,
+                                           reference.result.krep, "K_rep"));
+  }
+}
+
+// ---- Split-stage dedup under partition boundaries -------------------------
+
+/// K_s rows as morsel-shaped partitions of `rows_per_part` rows each.
+dataflow::Table make_ks_partitioned(const std::vector<KsRow>& rows,
+                                    std::size_t rows_per_part) {
+  dataflow::Table table(core::ks_schema());
+  for (std::size_t begin = 0; begin < rows.size(); begin += rows_per_part) {
+    dataflow::Partition p = dataflow::Table::make_partition(core::ks_schema());
+    const std::size_t end = std::min(rows.size(), begin + rows_per_part);
+    for (std::size_t r = begin; r < end; ++r) {
+      const KsRow& row = rows[r];
+      p.columns[0].append_int64(row.t);
+      p.columns[1].append_string(row.s_id);
+      if (row.has_num) {
+        p.columns[2].append_float64(row.v_num);
+      } else {
+        p.columns[2].append_null();
+      }
+      if (row.has_str) {
+        p.columns[3].append_string(row.v_str);
+      } else {
+        p.columns[3].append_null();
+      }
+      p.columns[4].append_string(row.bus);
+    }
+    table.add_partition(std::move(p));
+  }
+  return table;
+}
+
+TEST_F(ChunkBoundaryPropertyTest, SplitDedupInvariantUnderPartitioning) {
+  // Three channels of 'sig': FC and RC carry pairwise-equal values (a
+  // gateway forward — e(·) must collapse RC), KC diverges at one instance
+  // (must stay its own sequence). Channels are interleaved in time so
+  // small partitions slice every sequence mid-run.
+  std::vector<KsRow> rows;
+  for (int i = 0; i < 200; ++i) {
+    const double v = static_cast<double>(i / 7);
+    rows.push_back({i * 100 * kMs, "sig", v, true, "", false, "FC"});
+    rows.push_back({i * 100 * kMs + kMs, "sig", v, true, "", false, "RC"});
+    const double kc = (i == 150) ? v + 99.0 : v;  // one diverging instance
+    rows.push_back({i * 100 * kMs + 2 * kMs, "sig", kc, true, "", false,
+                    "KC"});
+  }
+
+  dataflow::Engine engine({.workers = 4});
+  core::SplitOptions options;  // dedup_channels = true
+  const core::SplitDataResult reference = core::split_signals_data(
+      engine, make_ks_partitioned(rows, rows.size()), options);
+  ASSERT_EQ(reference.sequences.size(), 2u);  // FC representative + KC
+  ASSERT_EQ(reference.correspondences.size(), 1u);
+  EXPECT_EQ(reference.correspondences[0].representative_bus, "FC");
+  EXPECT_EQ(reference.correspondences[0].corresponding_buses,
+            std::vector<std::string>{"RC"});
+
+  for (const std::size_t rows_per_part :
+       {std::size_t{1}, std::size_t{3}, std::size_t{7}, std::size_t{64},
+        std::size_t{101}}) {
+    SCOPED_TRACE("rows_per_part=" + std::to_string(rows_per_part));
+    const core::SplitDataResult got = core::split_signals_data(
+        engine, make_ks_partitioned(rows, rows_per_part), options);
+
+    ASSERT_EQ(got.sequences.size(), reference.sequences.size());
+    for (std::size_t i = 0; i < got.sequences.size(); ++i) {
+      const core::SequenceData& a = got.sequences[i];
+      const core::SequenceData& b = reference.sequences[i];
+      EXPECT_EQ(a.s_id, b.s_id);
+      EXPECT_EQ(a.bus, b.bus);
+      EXPECT_EQ(a.t, b.t);
+      EXPECT_EQ(a.v_num, b.v_num);
+    }
+    ASSERT_EQ(got.correspondences.size(), reference.correspondences.size());
+    EXPECT_EQ(got.correspondences[0].representative_bus, "FC");
+    EXPECT_EQ(got.correspondences[0].corresponding_buses,
+              std::vector<std::string>{"RC"});
+  }
+}
+
+}  // namespace
+}  // namespace ivt
