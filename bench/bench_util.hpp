@@ -113,7 +113,22 @@ struct RobustnessCounters {
   std::uint64_t chunks_quarantined = 0;
   std::uint64_t sequences_dropped = 0;
   std::uint64_t errors_total = 0;
+  // Static-analysis counters, injected by CI via environment variables
+  // (the lint/TSan lanes run before the bench step and export their
+  // summaries): how trustworthy was the tree this number was measured on?
+  std::uint64_t lint_findings = 0;   ///< $IVT_LINT_FINDINGS
+  std::uint64_t lint_exempted = 0;   ///< $IVT_LINT_EXEMPTED
+  std::uint64_t tsan_races = 0;      ///< $IVT_TSAN_RACES
 };
+
+inline std::uint64_t env_counter_or(const char* name, std::uint64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != nullptr && end != env && *end == '\0') return v;
+  }
+  return fallback;
+}
 
 inline RobustnessCounters read_robustness_counters() {
   const obs::MetricsSnapshot snapshot = obs::Registry::instance().snapshot();
@@ -123,6 +138,9 @@ inline RobustnessCounters read_robustness_counters() {
       snapshot.counter_or("colstore.chunks_quarantined", 0);
   c.sequences_dropped = snapshot.counter_or("pipeline.sequences_dropped", 0);
   c.errors_total = snapshot.counter_or("errors.total", 0);
+  c.lint_findings = env_counter_or("IVT_LINT_FINDINGS", 0);
+  c.lint_exempted = env_counter_or("IVT_LINT_EXEMPTED", 0);
+  c.tsan_races = env_counter_or("IVT_TSAN_RACES", 0);
   return c;
 }
 
@@ -199,7 +217,10 @@ inline JsonRecord& add_robustness_fields(JsonRecord& record,
   return record.add("task_retries", c.task_retries)
       .add("chunks_quarantined", c.chunks_quarantined)
       .add("sequences_dropped", c.sequences_dropped)
-      .add("errors_total", c.errors_total);
+      .add("errors_total", c.errors_total)
+      .add("lint_findings", c.lint_findings)
+      .add("lint_exempted", c.lint_exempted)
+      .add("tsan_races", c.tsan_races);
 }
 
 /// Appends one JSON object per emit() to BENCH_<name>.json (or to

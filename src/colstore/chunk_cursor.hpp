@@ -15,9 +15,12 @@
 // consumer that keeps per-morsel results indexed by k therefore
 // reconstructs exactly the partition order of scan().
 //
-// Thread safety: decode() may be called concurrently for distinct k; the
-// quarantine/row counters are atomic and the FailureLog locks internally.
-// The reader must outlive the cursor.
+// Thread safety: decode() may be called concurrently for distinct k; all
+// mutable state on this class is the relaxed-atomic quarantine/row
+// counters below (no mutex, hence no IVT_GUARDED_BY contract to state),
+// and the FailureLog behind ScanOptions locks internally. Everything else
+// is written once in the constructor and read-only afterwards. The reader
+// must outlive the cursor.
 #pragma once
 
 #include <atomic>

@@ -1,5 +1,7 @@
 #include "dataflow/column.hpp"
 
+#include "errors/error.hpp"
+
 namespace ivt::dataflow {
 
 Column::Column(ValueType type) : type_(type) {
@@ -37,7 +39,7 @@ void Column::reserve(std::size_t n) {
 }
 
 void Column::throw_type_mismatch(ValueType got) const {
-  throw std::invalid_argument(
+  IVT_THROW(errors::Category::Internal, 
       "column type mismatch: column is " + std::string(to_string(type_)) +
       ", value is " + std::string(to_string(got)));
 }

@@ -1,5 +1,7 @@
 #include "dataflow/csv.hpp"
 
+#include "errors/error.hpp"
+
 #include <charconv>
 #include <fstream>
 #include <ostream>
@@ -79,7 +81,7 @@ Value parse_cell(const std::string& s, ValueType type, std::size_t line) {
       std::int64_t v = 0;
       const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
       if (ec != std::errc{} || ptr != s.data() + s.size()) {
-        throw std::runtime_error("csv line " + std::to_string(line) +
+        IVT_THROW(errors::Category::Format, "csv line " + std::to_string(line) +
                                  ": bad int64 cell '" + s + "'");
       }
       return Value{v};
@@ -88,10 +90,10 @@ Value parse_cell(const std::string& s, ValueType type, std::size_t line) {
       try {
         std::size_t pos = 0;
         const double v = std::stod(s, &pos);
-        if (pos != s.size()) throw std::invalid_argument(s);
+        if (pos != s.size()) IVT_THROW(errors::Category::Format, s);
         return Value{v};
       } catch (const std::exception&) {
-        throw std::runtime_error("csv line " + std::to_string(line) +
+        IVT_THROW(errors::Category::Format, "csv line " + std::to_string(line) +
                                  ": bad float64 cell '" + s + "'");
       }
     }
@@ -173,9 +175,9 @@ void write_csv(const Table& table, std::ostream& out,
 void write_csv_file(const Table& table, const std::string& path,
                     const CsvOptions& options) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (!out) IVT_THROW(errors::Category::Io, "cannot open for write: " + path);
   write_csv(table, out, options);
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (!out) IVT_THROW(errors::Category::Io, "write failed: " + path);
 }
 
 Table read_csv(std::istream& in, const Schema& schema,
@@ -188,14 +190,14 @@ Table read_csv(std::istream& in, const Schema& schema,
       return Table(schema);
     }
     if (record.size() != schema.size()) {
-      throw std::runtime_error("csv header width " +
+      IVT_THROW(errors::Category::Format, "csv header width " +
                                std::to_string(record.size()) +
                                " does not match schema width " +
                                std::to_string(schema.size()));
     }
     for (std::size_t c = 0; c < schema.size(); ++c) {
       if (record[c] != schema.field(c).name) {
-        throw std::runtime_error("csv header mismatch at column " +
+        IVT_THROW(errors::Category::Format, "csv header mismatch at column " +
                                  std::to_string(c) + ": got '" + record[c] +
                                  "', expected '" + schema.field(c).name + "'");
       }
@@ -206,7 +208,7 @@ Table read_csv(std::istream& in, const Schema& schema,
     ++line;
     if (record.size() == 1 && record[0].empty()) continue;  // blank line
     if (record.size() != schema.size()) {
-      throw std::runtime_error("csv line " + std::to_string(line) +
+      IVT_THROW(errors::Category::Format, "csv line " + std::to_string(line) +
                                ": width " + std::to_string(record.size()) +
                                " does not match schema width " +
                                std::to_string(schema.size()));
@@ -225,7 +227,7 @@ Table read_csv_file(const std::string& path, const Schema& schema,
                     const CsvOptions& options,
                     std::size_t target_partition_rows) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  if (!in) IVT_THROW(errors::Category::Io, "cannot open for read: " + path);
   return read_csv(in, schema, options, target_partition_rows);
 }
 

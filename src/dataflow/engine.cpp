@@ -150,17 +150,17 @@ Table Engine::map_partitions(
 }
 
 std::vector<StageMetrics> Engine::metrics() const {
-  std::lock_guard lock(metrics_mutex_);
+  const support::MutexLock lock(metrics_mutex_);
   return metrics_;
 }
 
 void Engine::clear_metrics() {
-  std::lock_guard lock(metrics_mutex_);
+  const support::MutexLock lock(metrics_mutex_);
   metrics_.clear();
 }
 
 void Engine::record_stage(StageMetrics m) {
-  std::lock_guard lock(metrics_mutex_);
+  const support::MutexLock lock(metrics_mutex_);
   metrics_.push_back(std::move(m));
 }
 

@@ -17,12 +17,13 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "dataflow/table.hpp"
 #include "dataflow/thread_pool.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ivt::dataflow {
 
@@ -95,12 +96,13 @@ class Engine {
       const std::function<Partition(const Partition&, std::size_t)>& fn);
 
   /// Stage log of every operation executed through this engine.
-  [[nodiscard]] std::vector<StageMetrics> metrics() const;
-  void clear_metrics();
+  [[nodiscard]] std::vector<StageMetrics> metrics() const
+      IVT_EXCLUDES(metrics_mutex_);
+  void clear_metrics() IVT_EXCLUDES(metrics_mutex_);
 
   /// Record an externally measured stage (used by operations that cannot
   /// be expressed as a pure partition map, e.g. sort merge phases).
-  void record_stage(StageMetrics m);
+  void record_stage(StageMetrics m) IVT_EXCLUDES(metrics_mutex_);
 
  private:
   void apply_task_overhead() const;
@@ -110,8 +112,8 @@ class Engine {
   EngineConfig config_;
   std::size_t default_partitions_;
   std::unique_ptr<ThreadPool> pool_;
-  mutable std::mutex metrics_mutex_;
-  std::vector<StageMetrics> metrics_;
+  mutable support::Mutex metrics_mutex_;
+  std::vector<StageMetrics> metrics_ IVT_GUARDED_BY(metrics_mutex_);
   std::atomic<std::size_t> task_retries_{0};
 };
 

@@ -1,5 +1,7 @@
 #include "dataflow/ops.hpp"
 
+#include "errors/error.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <limits>
@@ -144,7 +146,7 @@ Table hash_join(Engine& engine, const Table& left, const Table& right,
                 const std::vector<std::string>& right_keys,
                 JoinType type, const std::string& stage_name) {
   if (left_keys.size() != right_keys.size() || left_keys.empty()) {
-    throw std::invalid_argument("hash_join: key lists must be non-empty and "
+    IVT_THROW(errors::Category::Spec, "hash_join: key lists must be non-empty and "
                                 "of equal length");
   }
   const std::vector<std::size_t> lkeys =
@@ -159,7 +161,7 @@ Table hash_join(Engine& engine, const Table& left, const Table& right,
     if (std::find(rkeys.begin(), rkeys.end(), c) != rkeys.end()) continue;
     const Field& f = right.schema().field(c);
     if (left.schema().contains(f.name)) {
-      throw std::invalid_argument("hash_join: output name clash on '" +
+      IVT_THROW(errors::Category::Spec, "hash_join: output name clash on '" +
                                   f.name + "'");
     }
     out_fields.push_back(f);
@@ -217,7 +219,7 @@ Table hash_join(Engine& engine, const Table& left, const Table& right,
 
 Table union_all(const Table& a, const Table& b) {
   if (a.schema() != b.schema()) {
-    throw std::invalid_argument("union_all: schema mismatch (" +
+    IVT_THROW(errors::Category::Spec, "union_all: schema mismatch (" +
                                 a.schema().to_display_string() + " vs " +
                                 b.schema().to_display_string() + ")");
   }

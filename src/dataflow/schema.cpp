@@ -1,5 +1,7 @@
 #include "dataflow/schema.hpp"
 
+#include "errors/error.hpp"
+
 #include <stdexcept>
 #include <unordered_set>
 
@@ -9,7 +11,7 @@ Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
   std::unordered_set<std::string_view> seen;
   for (const Field& f : fields_) {
     if (!seen.insert(f.name).second) {
-      throw std::invalid_argument("duplicate field name in schema: " + f.name);
+      IVT_THROW(errors::Category::Spec, "duplicate field name in schema: " + f.name);
     }
   }
 }
@@ -23,7 +25,7 @@ std::optional<std::size_t> Schema::index_of(std::string_view name) const {
 
 std::size_t Schema::require(std::string_view name) const {
   if (auto idx = index_of(name)) return *idx;
-  throw std::out_of_range("schema has no field named '" + std::string(name) +
+  IVT_THROW(errors::Category::Spec, "schema has no field named '" + std::string(name) +
                           "' (schema: " + to_display_string() + ")");
 }
 

@@ -1,5 +1,7 @@
 #include "dataflow/table.hpp"
 
+#include "errors/error.hpp"
+
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
@@ -19,16 +21,16 @@ std::size_t Table::num_rows() const {
 
 void Table::add_partition(Partition partition) {
   if (partition.columns.size() != schema_.size()) {
-    throw std::invalid_argument("partition width does not match schema");
+    IVT_THROW(errors::Category::Internal, "partition width does not match schema");
   }
   for (std::size_t i = 0; i < schema_.size(); ++i) {
     if (partition.columns[i].type() != schema_.field(i).type) {
-      throw std::invalid_argument("partition column '" +
+      IVT_THROW(errors::Category::Internal, "partition column '" +
                                   schema_.field(i).name +
                                   "' type does not match schema");
     }
     if (partition.columns[i].size() != partition.columns[0].size()) {
-      throw std::invalid_argument("ragged partition: column '" +
+      IVT_THROW(errors::Category::Internal, "ragged partition: column '" +
                                   schema_.field(i).name +
                                   "' length differs from first column");
     }
@@ -109,7 +111,7 @@ TableBuilder::TableBuilder(Schema schema, std::size_t target_partition_rows)
 
 void TableBuilder::append_row(std::vector<Value> row) {
   if (row.size() != schema_.size()) {
-    throw std::invalid_argument("row width does not match schema");
+    IVT_THROW(errors::Category::Internal, "row width does not match schema");
   }
   for (std::size_t c = 0; c < row.size(); ++c) {
     current_.columns[c].append(std::move(row[c]));

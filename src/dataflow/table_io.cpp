@@ -1,5 +1,7 @@
 #include "dataflow/table_io.hpp"
 
+#include "errors/error.hpp"
+
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -27,7 +29,7 @@ T get(std::istream& in) {
   std::make_unsigned_t<T> value = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i) {
     const int c = in.get();
-    if (c == EOF) throw std::runtime_error("table file: unexpected EOF");
+    if (c == EOF) IVT_THROW(errors::Category::Format, "table file: unexpected EOF");
     value |= static_cast<std::make_unsigned_t<T>>(
                  static_cast<unsigned char>(c))
              << (8 * i);
@@ -79,7 +81,7 @@ void write_column(const Column& col, std::ostream& out) {
         }
         const std::string& s = col.string_at(r);
         if (s.size() > 0xFFFFFFFFull) {
-          throw std::invalid_argument("table file: string cell too long");
+          IVT_THROW(errors::Category::Spec, "table file: string cell too long");
         }
         put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
         out.write(s.data(), static_cast<std::streamsize>(s.size()));
@@ -94,7 +96,7 @@ Column read_column(ValueType type, std::size_t rows, std::istream& in) {
   std::string bitmap((rows + 7) / 8, '\0');
   in.read(bitmap.data(), static_cast<std::streamsize>(bitmap.size()));
   if (static_cast<std::size_t>(in.gcount()) != bitmap.size()) {
-    throw std::runtime_error("table file: truncated validity bitmap");
+    IVT_THROW(errors::Category::Format, "table file: truncated validity bitmap");
   }
   auto valid = [&bitmap](std::size_t r) {
     return (bitmap[r / 8] >> (r % 8)) & 1;
@@ -129,7 +131,7 @@ Column read_column(ValueType type, std::size_t rows, std::istream& in) {
         std::string s(len, '\0');
         in.read(s.data(), len);
         if (static_cast<std::uint32_t>(in.gcount()) != len) {
-          throw std::runtime_error("table file: truncated string cell");
+          IVT_THROW(errors::Category::Format, "table file: truncated string cell");
         }
         if (valid(r)) {
           col.append_string(std::move(s));
@@ -152,7 +154,7 @@ void write_table(const Table& table, std::ostream& out) {
   for (const Field& f : schema.fields()) {
     put<std::uint8_t>(out, static_cast<std::uint8_t>(f.type));
     if (f.name.size() > 0xFFFF) {
-      throw std::invalid_argument("table file: field name too long");
+      IVT_THROW(errors::Category::Spec, "table file: field name too long");
     }
     put<std::uint16_t>(out, static_cast<std::uint16_t>(f.name.size()));
     out.write(f.name.data(), static_cast<std::streamsize>(f.name.size()));
@@ -164,7 +166,7 @@ void write_table(const Table& table, std::ostream& out) {
       write_column(col, out);
     }
   }
-  if (!out) throw std::runtime_error("table file: write failed");
+  if (!out) IVT_THROW(errors::Category::Io, "table file: write failed");
 }
 
 Table read_table(std::istream& in) {
@@ -172,11 +174,11 @@ Table read_table(std::istream& in) {
   in.read(magic, sizeof(magic));
   if (in.gcount() != sizeof(magic) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("table file: bad magic");
+    IVT_THROW(errors::Category::Format, "table file: bad magic");
   }
   const std::uint32_t version = get<std::uint32_t>(in);
   if (version != kTableFormatVersion) {
-    throw std::runtime_error("table file: unsupported version " +
+    IVT_THROW(errors::Category::Format, "table file: unsupported version " +
                              std::to_string(version));
   }
   const std::uint32_t field_count = get<std::uint32_t>(in);
@@ -189,7 +191,7 @@ Table read_table(std::istream& in) {
     f.name.resize(len);
     in.read(f.name.data(), len);
     if (in.gcount() != len) {
-      throw std::runtime_error("table file: truncated field name");
+      IVT_THROW(errors::Category::Format, "table file: truncated field name");
     }
     fields.push_back(std::move(f));
   }
@@ -210,13 +212,13 @@ Table read_table(std::istream& in) {
 
 void save_table(const Table& table, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (!out) IVT_THROW(errors::Category::Io, "cannot open for write: " + path);
   write_table(table, out);
 }
 
 Table load_table(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  if (!in) IVT_THROW(errors::Category::Io, "cannot open for read: " + path);
   return read_table(in);
 }
 

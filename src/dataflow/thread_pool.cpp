@@ -1,8 +1,11 @@
 #include "dataflow/thread_pool.hpp"
 
+#include "errors/error.hpp"
 #include "obs/obs.hpp"
 
 namespace ivt::dataflow {
+
+using support::MutexLock;
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   threads_.reserve(num_threads);
@@ -13,15 +16,21 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
+    // Wake workers (to drain and exit) and every submitter blocked on an
+    // admission slot (to observe stop_ and throw instead of deadlocking),
+    // then wait for the submitters to leave the critical section so the
+    // mutex/condvars are not destroyed under them.
+    cv_task_.notify_all();
+    cv_slot_.notify_all();
+    while (pending_submitters_ > 0) cv_shutdown_.wait(lock);
   }
-  cv_task_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -33,7 +42,11 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
+    if (stop_) {
+      IVT_THROW(errors::Category::Internal,
+                "ThreadPool::submit on a stopping pool");
+    }
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -50,8 +63,9 @@ void ThreadPool::submit_bounded(std::function<void()> task, std::size_t limit) {
     run_task(task);
     return;
   }
-  std::unique_lock lock(mutex_);
-  while (in_flight_ >= limit) {
+  MutexLock lock(mutex_);
+  ++pending_submitters_;
+  while (!stop_ && in_flight_ >= limit) {
     if (!queue_.empty()) {
       // Window full but work is queued: help drain it rather than sleep,
       // so a slow producer thread is never pure overhead.
@@ -66,7 +80,15 @@ void ThreadPool::submit_bounded(std::function<void()> task, std::size_t limit) {
       if (--in_flight_ == 0) cv_idle_.notify_all();
       continue;
     }
-    cv_slot_.wait(lock, [&] { return in_flight_ < limit || !queue_.empty(); });
+    cv_slot_.wait(lock);
+  }
+  --pending_submitters_;
+  if (stop_) {
+    // The destructor is waiting for us in cv_shutdown_; workers only run
+    // what is already queued, so pushing now could strand the task.
+    cv_shutdown_.notify_all();
+    IVT_THROW(errors::Category::Internal,
+              "ThreadPool destroyed while submit_bounded was pending");
   }
   queue_.push_back(std::move(task));
   ++in_flight_;
@@ -77,14 +99,14 @@ void ThreadPool::submit_bounded(std::function<void()> task, std::size_t limit) {
 
 void ThreadPool::wait_idle() {
   {
-    std::unique_lock lock(mutex_);
-    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) cv_idle_.wait(lock);
   }
   rethrow_if_failed();
 }
 
 void ThreadPool::help_until_idle() {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   while (!queue_.empty()) {
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
@@ -103,13 +125,13 @@ void ThreadPool::help_until_idle() {
     }
   }
   // Queue drained; a worker may still be running the final tasks.
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  while (in_flight_ != 0) cv_idle_.wait(lock);
   lock.unlock();
   rethrow_if_failed();
 }
 
 std::size_t ThreadPool::tasks_failed() const {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return tasks_failed_;
 }
 
@@ -117,7 +139,7 @@ void ThreadPool::run_task(std::function<void()>& task) {
   try {
     task();
   } catch (...) {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     ++tasks_failed_;
     OBS_COUNT("pool.tasks_failed", 1);
     if (!first_error_) first_error_ = std::current_exception();
@@ -127,7 +149,7 @@ void ThreadPool::run_task(std::function<void()>& task) {
 void ThreadPool::rethrow_if_failed() {
   std::exception_ptr error;
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     if (!first_error_) return;
     std::swap(error, first_error_);
   }
@@ -141,12 +163,9 @@ void ThreadPool::worker_loop() {
 #if IVT_OBS_ENABLED
       const std::int64_t wait_start = obs::trace_now_ns();
 #endif
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(lock);
+      if (queue_.empty()) return;  // stop_ was set and the queue is drained
       task = std::move(queue_.front());
       queue_.pop_front();
 #if IVT_OBS_ENABLED
@@ -163,7 +182,7 @@ void ThreadPool::worker_loop() {
 #endif
     OBS_COUNT("pool.tasks_executed", 1);
     {
-      std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       cv_slot_.notify_all();
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }

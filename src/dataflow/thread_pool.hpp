@@ -1,14 +1,15 @@
 // Fixed-size worker pool used by the Engine to execute partition tasks.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ivt::dataflow {
 
@@ -25,6 +26,17 @@ namespace ivt::dataflow {
 /// a queue nobody drains. Inline-mode failures follow the same contract:
 /// captured in submit(), rethrown from the next wait_idle().
 ///
+/// Shutdown: the destructor stops the pool, wakes every thread blocked in
+/// submit_bounded() (which then throws errors::Error(Internal) instead of
+/// deadlocking on an admission slot nobody will ever free), waits for
+/// those submitters to leave the critical section, and joins the workers
+/// after they drain the queue. Submitting to a stopping pool throws the
+/// same typed error.
+///
+/// Thread-safety contract (clang -Wthread-safety checked): all mutable
+/// state is IVT_GUARDED_BY(mutex_); the condition variables pair with
+/// mutex_ via explicit predicate loops.
+///
 /// Observability (when built with IVT_OBS=ON): gauge `pool.queue_depth`,
 /// counters `pool.tasks_executed`, `pool.tasks_helped` (tasks stolen by
 /// help_until_idle callers), `pool.busy_ns` and `pool.idle_ns` (per-worker
@@ -40,10 +52,11 @@ class ThreadPool {
   [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
 
   /// Tasks currently queued (submitted, not yet picked up by a worker).
-  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t queue_depth() const IVT_EXCLUDES(mutex_);
 
-  /// Enqueue one task (inline mode: run it now).
-  void submit(std::function<void()> task);
+  /// Enqueue one task (inline mode: run it now). Throws
+  /// errors::Error(Internal) if the pool is being destroyed.
+  void submit(std::function<void()> task) IVT_EXCLUDES(mutex_);
 
   /// Bounded admission: enqueue one task, but only once fewer than
   /// `limit` tasks are in flight (queued + running). While the window is
@@ -53,37 +66,46 @@ class ThreadPool {
   /// `limit`. `limit == 0` is treated as 1. Inline mode runs the task
   /// immediately on the calling thread (the backlog is always empty, so
   /// the bound holds trivially and execution order is deterministic).
-  void submit_bounded(std::function<void()> task, std::size_t limit);
+  /// If the pool is destroyed while this call is waiting for a slot it
+  /// throws errors::Error(Internal) instead of deadlocking.
+  void submit_bounded(std::function<void()> task, std::size_t limit)
+      IVT_EXCLUDES(mutex_);
 
   /// Block until every task submitted so far has finished. If any task
   /// threw since the last wait, rethrows the first captured exception.
-  void wait_idle();
+  void wait_idle() IVT_EXCLUDES(mutex_);
 
   /// Like wait_idle(), but the calling thread joins in executing queued
   /// tasks instead of sleeping. Avoids one context switch per task, which
   /// dominates on machines with few cores. Same rethrow contract.
-  void help_until_idle();
+  void help_until_idle() IVT_EXCLUDES(mutex_);
 
   /// Tasks that threw since construction (not reset by wait_idle).
-  [[nodiscard]] std::size_t tasks_failed() const;
+  [[nodiscard]] std::size_t tasks_failed() const IVT_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
-  void run_task(std::function<void()>& task);
-  void rethrow_if_failed();
+  void worker_loop() IVT_EXCLUDES(mutex_);
+  void run_task(std::function<void()>& task) IVT_EXCLUDES(mutex_);
+  void rethrow_if_failed() IVT_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
+  mutable support::Mutex mutex_;
+  std::deque<std::function<void()>> queue_ IVT_GUARDED_BY(mutex_);
+  support::CondVar cv_task_;
+  support::CondVar cv_idle_;
   // Notified on every in_flight_ decrement (cv_idle_ only fires at zero);
   // submit_bounded() waits here for an admission slot.
-  std::condition_variable cv_slot_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
-  std::size_t tasks_failed_ = 0;
+  support::CondVar cv_slot_;
+  // Destructor waits here until no submit_bounded() caller is left inside
+  // the critical section (see pending_submitters_).
+  support::CondVar cv_shutdown_;
+  std::size_t in_flight_ IVT_GUARDED_BY(mutex_) = 0;
+  /// Threads currently inside submit_bounded() (waiting for a slot or
+  /// helping); the destructor must not tear the pool down under them.
+  std::size_t pending_submitters_ IVT_GUARDED_BY(mutex_) = 0;
+  bool stop_ IVT_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ IVT_GUARDED_BY(mutex_);
+  std::size_t tasks_failed_ IVT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ivt::dataflow

@@ -51,7 +51,7 @@ void count_failure_metrics(const FailureRecord& record) {
 
 void FailureLog::add(FailureRecord record) {
   count_failure_metrics(record);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   records_.push_back(std::move(record));
 }
 
@@ -67,18 +67,18 @@ void FailureLog::add(const std::string& site, const std::string& unit,
 }
 
 std::vector<FailureRecord> FailureLog::records() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return records_;
 }
 
 std::size_t FailureLog::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return records_.size();
 }
 
 void FailureLog::merge(const FailureLog& other) {
   std::vector<FailureRecord> theirs = other.records();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   for (FailureRecord& r : theirs) records_.push_back(std::move(r));
 }
 

@@ -11,11 +11,12 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "errors/error.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ivt::errors {
 
@@ -30,22 +31,23 @@ struct FailureRecord {
 
 class FailureLog {
  public:
-  void add(FailureRecord record);
+  void add(FailureRecord record) IVT_EXCLUDES(mutex_);
 
   /// Convenience: build the record from a caught Error.
   void add(const std::string& site, const std::string& unit, const Error& e,
            std::size_t retries = 0);
 
-  [[nodiscard]] std::vector<FailureRecord> records() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<FailureRecord> records() const
+      IVT_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const IVT_EXCLUDES(mutex_);
   [[nodiscard]] bool empty() const { return size() == 0; }
 
   /// Append every record of `other` (merging per-subsystem logs).
-  void merge(const FailureLog& other);
+  void merge(const FailureLog& other) IVT_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<FailureRecord> records_;
+  mutable support::Mutex mutex_;
+  std::vector<FailureRecord> records_ IVT_GUARDED_BY(mutex_);
 };
 
 /// Renders records as a JSON array (shared by the report's "failures"

@@ -4,11 +4,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "obs/obs.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ivt::faultfx {
 
@@ -31,9 +32,11 @@ namespace {
 std::atomic<std::size_t> g_armed_sites{0};
 
 struct SiteRegistry {
-  std::mutex mutex;
-  std::unordered_map<std::string, std::unique_ptr<detail::Site>> sites;
-  std::vector<std::unique_ptr<FaultSpec>> retired_specs;
+  support::Mutex mutex;
+  std::unordered_map<std::string, std::unique_ptr<detail::Site>> sites
+      IVT_GUARDED_BY(mutex);
+  std::vector<std::unique_ptr<FaultSpec>> retired_specs
+      IVT_GUARDED_BY(mutex);
 
   static SiteRegistry& instance() {
     static SiteRegistry* registry = new SiteRegistry();  // never destroyed
@@ -41,14 +44,14 @@ struct SiteRegistry {
   }
 
   detail::Site& site(const std::string& name) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const support::MutexLock lock(mutex);
     std::unique_ptr<detail::Site>& slot = sites[name];
     if (!slot) slot = std::make_unique<detail::Site>();
     return *slot;
   }
 
   detail::Site* find(const std::string& name) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const support::MutexLock lock(mutex);
     const auto it = sites.find(name);
     return it == sites.end() ? nullptr : it->second.get();
   }
@@ -194,7 +197,7 @@ void arm(const FaultSpec& spec) {
   auto owned = std::make_unique<FaultSpec>(spec);
   const FaultSpec* raw = owned.get();
   {
-    const std::lock_guard<std::mutex> lock(registry.mutex);
+    const support::MutexLock lock(registry.mutex);
     registry.retired_specs.push_back(std::move(owned));
   }
   if (site.spec.exchange(raw, std::memory_order_acq_rel) == nullptr) {
@@ -218,7 +221,7 @@ std::size_t arm_from_env() {
 
 void disarm_all() {
   SiteRegistry& registry = SiteRegistry::instance();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const support::MutexLock lock(registry.mutex);
   for (auto& [name, site] : registry.sites) {
     if (site->spec.exchange(nullptr, std::memory_order_acq_rel) != nullptr) {
       g_armed_sites.fetch_sub(1, std::memory_order_release);

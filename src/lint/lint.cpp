@@ -1,0 +1,598 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ivt::lint {
+
+namespace {
+
+/// One pass over the source replacing comments (and optionally string /
+/// char literals) with spaces. Newlines survive so byte offsets keep
+/// mapping to the original line numbers.
+std::string strip_source(const std::string& s, bool strip_strings) {
+  std::string out = s;
+  enum class State { Code, Line, Block, Str, Chr, Raw };
+  State state = State::Code;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::Line;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::Block;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (std::isalnum(static_cast<unsigned char>(
+                                   s[i - 1])) == 0 &&
+                               s[i - 1] != '_'))) {
+          state = State::Raw;
+          raw_delim.clear();
+          std::size_t j = i + 2;
+          while (j < s.size() && s[j] != '(') raw_delim += s[j++];
+          if (strip_strings) {
+            for (std::size_t k = i; k <= j && k < s.size(); ++k) {
+              if (out[k] != '\n') out[k] = ' ';
+            }
+          }
+          i = j;
+        } else if (c == '"') {
+          state = State::Str;
+          if (strip_strings) out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::Chr;
+          if (strip_strings) out[i] = ' ';
+        }
+        break;
+      case State::Line:
+        if (c == '\n') {
+          state = State::Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::Block:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Str:
+        if (c == '\\') {
+          if (strip_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+          if (strip_strings) out[i] = ' ';
+        } else if (c != '\n' && strip_strings) {
+          out[i] = ' ';
+        }
+        break;
+      case State::Chr:
+        if (c == '\\') {
+          if (strip_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+          if (strip_strings) out[i] = ' ';
+        } else if (c != '\n' && strip_strings) {
+          out[i] = ' ';
+        }
+        break;
+      case State::Raw: {
+        // close is )delim"
+        const std::string close = ")" + raw_delim + "\"";
+        if (s.compare(i, close.size(), close) == 0) {
+          if (strip_strings) {
+            for (std::size_t k = i; k < i + close.size(); ++k) out[k] = ' ';
+          }
+          i += close.size() - 1;
+          state = State::Code;
+        } else if (c != '\n' && strip_strings) {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& s, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(s.begin(), s.begin() + static_cast<long>(offset),
+                            '\n'));
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string stem_of(const std::string& path) {
+  std::string base = basename_of(path);
+  const std::size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Class/struct body [open_brace, close_brace] spans, in document order.
+struct ClassSpan {
+  std::string name;
+  std::size_t open = 0;
+  std::size_t close = 0;
+};
+
+std::vector<ClassSpan> class_spans(const std::string& stripped) {
+  std::vector<ClassSpan> spans;
+  static const std::regex kClass(R"((?:^|[^\w])(class|struct)\s+(?:\w+\s+)*?(\w+)[^;{]*\{)");
+  for (std::sregex_iterator it(stripped.begin(), stripped.end(), kClass), end;
+       it != end; ++it) {
+    // `enum class` / `enum struct` are not record types.
+    const std::size_t kw = static_cast<std::size_t>(it->position(1));
+    static const std::regex kEnum(R"(enum\s*$)");
+    if (std::regex_search(stripped.substr(kw >= 8 ? kw - 8 : 0, kw >= 8 ? 8 : kw),
+                          kEnum)) {
+      continue;
+    }
+    ClassSpan span;
+    span.name = (*it)[2].str();
+    span.open = static_cast<std::size_t>(it->position(0)) + it->length(0) - 1;
+    int depth = 0;
+    std::size_t j = span.open;
+    for (; j < stripped.size(); ++j) {
+      if (stripped[j] == '{') ++depth;
+      if (stripped[j] == '}' && --depth == 0) break;
+    }
+    span.close = j;
+    spans.push_back(span);
+  }
+  return spans;
+}
+
+const ClassSpan* innermost_span(const std::vector<ClassSpan>& spans,
+                                std::size_t offset) {
+  const ClassSpan* best = nullptr;
+  for (const ClassSpan& s : spans) {
+    if (offset > s.open && offset < s.close &&
+        (best == nullptr || s.open > best->open)) {
+      best = &s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& content) {
+  return strip_source(content, /*strip_strings=*/true);
+}
+
+Config parse_config(const std::string& content,
+                    std::vector<std::string>* errors) {
+  Config config;
+  std::istringstream in(content);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank / comment-only
+    if (directive == "exempt") {
+      Config::Exemption e;
+      if (fields >> e.rule >> e.path_prefix) {
+        config.exemptions.push_back(std::move(e));
+      } else if (errors != nullptr) {
+        errors->push_back("line " + std::to_string(lineno) +
+                          ": exempt needs <rule> <path-prefix>");
+      }
+    } else if (directive == "registry") {
+      if (!(fields >> config.registry_path) && errors != nullptr) {
+        errors->push_back("line " + std::to_string(lineno) +
+                          ": registry needs <path>");
+      }
+    } else if (errors != nullptr) {
+      errors->push_back("line " + std::to_string(lineno) +
+                        ": unknown directive '" + directive + "'");
+    }
+  }
+  return config;
+}
+
+bool is_exempt(const Config& config, const std::string& rule,
+               const std::string& file) {
+  for (const Config::Exemption& e : config.exemptions) {
+    if (e.rule == rule && file.compare(0, e.path_prefix.size(),
+                                       e.path_prefix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Finding> check_bare_throw(const std::string& path,
+                                      const std::string& content) {
+  std::vector<Finding> findings;
+  const std::string stripped = strip_comments_and_strings(content);
+  static const std::regex kThrow(R"(throw\s+std\s*::\s*(\w+))");
+  for (std::sregex_iterator it(stripped.begin(), stripped.end(), kThrow), end;
+       it != end; ++it) {
+    findings.push_back(
+        {"bare-throw", path,
+         line_of(stripped, static_cast<std::size_t>(it->position(0))),
+         "bare `throw std::" + (*it)[1].str() +
+             "` — use IVT_THROW with an errors::Category so the failure "
+             "carries site and severity"});
+  }
+  return findings;
+}
+
+std::vector<Finding> check_mutex_guard(const std::string& path,
+                                       const std::string& content) {
+  std::vector<Finding> findings;
+  const std::string stripped = strip_comments_and_strings(content);
+  const std::vector<ClassSpan> spans = class_spans(stripped);
+  static const std::regex kMutexMember(
+      R"((std\s*::\s*mutex|support\s*::\s*Mutex)\s+(\w+)\s*;)");
+  for (std::sregex_iterator it(stripped.begin(), stripped.end(),
+                               kMutexMember),
+       end;
+       it != end; ++it) {
+    const std::size_t at = static_cast<std::size_t>(it->position(0));
+    const std::string type = (*it)[1].str();
+    const std::string name = (*it)[2].str();
+    const bool is_raw_std = type.find("std") != std::string::npos;
+    if (is_raw_std) {
+      findings.push_back({"mutex-guard", path, line_of(stripped, at),
+                          "raw std::mutex member '" + name +
+                              "' — use support::Mutex so clang "
+                              "-Wthread-safety can check the contract"});
+    }
+    const ClassSpan* span = innermost_span(spans, at);
+    if (span == nullptr) continue;  // local / namespace-scope object
+    const std::string body =
+        stripped.substr(span->open, span->close - span->open);
+    const std::regex guarded(R"(IVT(_PT)?_GUARDED_BY\s*\(\s*)" + name +
+                             R"(\s*\))");
+    if (!std::regex_search(body, guarded)) {
+      findings.push_back(
+          {"mutex-guard", path, line_of(stripped, at),
+           "class '" + span->name + "' owns mutex '" + name +
+               "' but no field is IVT_GUARDED_BY(" + name +
+               ") — state what the mutex protects"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_include_hygiene(const std::string& path,
+                                           const std::string& content) {
+  std::vector<Finding> findings;
+  // Strip comments only: include paths live inside quotes.
+  const std::string stripped = strip_source(content, /*strip_strings=*/false);
+  static const std::regex kInclude(R"([ \t]*#[ \t]*include[ \t]*"([^"]+)\")");
+  struct Inc {
+    std::string target;
+    std::size_t line;
+    std::size_t index;
+  };
+  std::vector<Inc> includes;
+  for (std::sregex_iterator it(stripped.begin(), stripped.end(), kInclude),
+       end;
+       it != end; ++it) {
+    includes.push_back({(*it)[1].str(),
+                        line_of(stripped,
+                                static_cast<std::size_t>(it->position(0))),
+                        includes.size()});
+  }
+  for (const Inc& inc : includes) {
+    if (inc.target.compare(0, 3, "../") == 0 ||
+        inc.target.find("/../") != std::string::npos) {
+      findings.push_back({"include-hygiene", path, inc.line,
+                          "parent-relative include \"" + inc.target +
+                              "\" — project includes are rooted at src/"});
+    }
+  }
+  // Self-header-first: if a .cpp includes "<...>/<stem>.hpp", that include
+  // must come before every other one, so the header is compiled stand-alone
+  // at least once.
+  if (ends_with(path, ".cpp")) {
+    const std::string self = stem_of(path) + ".hpp";
+    for (const Inc& inc : includes) {
+      if (basename_of(inc.target) == self && inc.index != 0) {
+        findings.push_back({"include-hygiene", path, inc.line,
+                            "own header \"" + inc.target +
+                                "\" must be the first include"});
+        break;
+      }
+    }
+  }
+  return findings;
+}
+
+bool is_valid_site_name(const std::string& name) {
+  static const std::regex kSite(R"([a-z0-9_]+(\.[a-z0-9_]+)+)");
+  return std::regex_match(name, kSite);
+}
+
+std::vector<Finding> check_fault_sites(const std::vector<FileContent>& files,
+                                       const std::string& registry_path,
+                                       const std::string& registry_content) {
+  std::vector<Finding> findings;
+
+  // Registry: one site per non-comment line.
+  std::map<std::string, std::size_t> registry;  // name -> line
+  {
+    std::istringstream in(registry_content);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream fields(line);
+      std::string name;
+      if (!(fields >> name)) continue;
+      if (!is_valid_site_name(name)) {
+        findings.push_back({"fault-site", registry_path, lineno,
+                            "registry entry '" + name +
+                                "' does not match the IVT_FAULTS site "
+                                "grammar seg(.seg)+, seg = [a-z0-9_]+"});
+        continue;
+      }
+      if (!registry.emplace(name, lineno).second) {
+        findings.push_back({"fault-site", registry_path, lineno,
+                            "site '" + name +
+                                "' declared more than once in the registry"});
+      }
+    }
+  }
+
+  // Code: every FAULT_POINT / FAULT_POINT_MUTATE use with a literal name.
+  struct Use {
+    std::string file;
+    std::size_t line;
+  };
+  std::map<std::string, std::vector<Use>> uses;
+  static const std::regex kSiteUse(
+      R"(FAULT_POINT(?:_MUTATE)?\s*\(\s*"([^"]+)\")");
+  for (const FileContent& f : files) {
+    const std::string stripped = strip_source(f.content,
+                                              /*strip_strings=*/false);
+    for (std::sregex_iterator it(stripped.begin(), stripped.end(), kSiteUse),
+         end;
+         it != end; ++it) {
+      const std::string name = (*it)[1].str();
+      const std::size_t line =
+          line_of(stripped, static_cast<std::size_t>(it->position(0)));
+      if (!is_valid_site_name(name)) {
+        findings.push_back({"fault-site", f.path, line,
+                            "site '" + name +
+                                "' does not match the IVT_FAULTS site "
+                                "grammar seg(.seg)+, seg = [a-z0-9_]+"});
+        continue;
+      }
+      uses[name].push_back({f.path, line});
+    }
+  }
+
+  for (const auto& [name, where] : uses) {
+    if (registry.find(name) == registry.end()) {
+      findings.push_back({"fault-site", where.front().file,
+                          where.front().line,
+                          "site '" + name + "' is not declared in " +
+                              (registry_path.empty() ? "the registry"
+                                                     : registry_path)});
+    }
+    for (std::size_t i = 1; i < where.size(); ++i) {
+      findings.push_back({"fault-site", where[i].file, where[i].line,
+                          "site '" + name +
+                              "' is instrumented more than once (first at " +
+                              where.front().file + ":" +
+                              std::to_string(where.front().line) +
+                              ") — sites are unique identities"});
+    }
+  }
+  for (const auto& [name, lineno] : registry) {
+    if (uses.find(name) == uses.end()) {
+      findings.push_back({"fault-site", registry_path, lineno,
+                          "registered site '" + name +
+                              "' has no FAULT_POINT in the scanned files"});
+    }
+  }
+  return findings;
+}
+
+Report run_rules(const std::vector<FileContent>& files, const Config& config,
+                 const std::string& registry_content) {
+  std::vector<Finding> all;
+  for (const FileContent& f : files) {
+    for (auto&& v : check_bare_throw(f.path, f.content)) {
+      all.push_back(std::move(v));
+    }
+    for (auto&& v : check_mutex_guard(f.path, f.content)) {
+      all.push_back(std::move(v));
+    }
+    for (auto&& v : check_include_hygiene(f.path, f.content)) {
+      all.push_back(std::move(v));
+    }
+  }
+  if (!config.registry_path.empty()) {
+    for (auto&& v : check_fault_sites(files, config.registry_path,
+                                      registry_content)) {
+      all.push_back(std::move(v));
+    }
+  }
+
+  Report report;
+  for (Finding& f : all) {
+    if (is_exempt(config, f.rule, f.file)) {
+      ++report.exempted;
+    } else {
+      report.findings.push_back(std::move(f));
+    }
+  }
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.file != b.file ? a.file < b.file
+                                             : a.line < b.line;
+                   });
+  for (const Finding& f : report.findings) ++report.by_rule[f.rule];
+  return report;
+}
+
+std::string report_to_json(const Report& report) {
+  std::ostringstream out;
+  out << "{\"findings\": " << report.findings.size()
+      << ", \"exempted\": " << report.exempted << ", \"by_rule\": {";
+  bool first = true;
+  for (const auto& [rule, count] : report.by_rule) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << rule << "\": " << count;
+  }
+  out << "}}";
+  return out.str();
+}
+
+int lint_main(const std::vector<std::string>& args) {
+  namespace fs = std::filesystem;
+  std::string config_path;
+  std::string registry_path;
+  bool json = false;
+  std::vector<std::string> roots;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--config" && i + 1 < args.size()) {
+      config_path = args[++i];
+    } else if (a == "--registry" && i + 1 < args.size()) {
+      registry_path = args[++i];
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--help") {
+      std::cout << "usage: ivt-lint [--config FILE] [--registry FILE] "
+                   "[--json] PATH...\n";
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "ivt-lint: unknown option '" << a << "'\n";
+      return 2;
+    } else {
+      roots.push_back(a);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "ivt-lint: no paths given (try --help)\n";
+    return 2;
+  }
+
+  auto read_file = [](const std::string& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+  };
+
+  Config config;
+  if (!config_path.empty()) {
+    std::string content;
+    if (!read_file(config_path, content)) {
+      std::cerr << "ivt-lint: cannot read config " << config_path << "\n";
+      return 2;
+    }
+    std::vector<std::string> errors;
+    config = parse_config(content, &errors);
+    for (const std::string& e : errors) {
+      std::cerr << "ivt-lint: " << config_path << ": " << e << "\n";
+    }
+    if (!errors.empty()) return 2;
+  }
+  if (!registry_path.empty()) config.registry_path = registry_path;
+
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (!it->is_regular_file()) continue;
+        const std::string p = it->path().generic_string();
+        if (ends_with(p, ".cpp") || ends_with(p, ".hpp")) {
+          paths.push_back(p);
+        }
+      }
+    } else {
+      paths.push_back(root);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<FileContent> files;
+  files.reserve(paths.size());
+  for (const std::string& p : paths) {
+    FileContent f;
+    f.path = p;
+    if (!read_file(p, f.content)) {
+      std::cerr << "ivt-lint: cannot read " << p << "\n";
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
+
+  std::string registry_content;
+  if (!config.registry_path.empty() &&
+      !read_file(config.registry_path, registry_content)) {
+    std::cerr << "ivt-lint: cannot read registry " << config.registry_path
+              << "\n";
+    return 2;
+  }
+
+  const Report report = run_rules(files, config, registry_content);
+  std::ostream& finding_out = json ? std::cerr : std::cout;
+  for (const Finding& f : report.findings) {
+    finding_out << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+  }
+  if (json) {
+    std::cout << report_to_json(report) << "\n";
+  } else {
+    std::cout << "ivt-lint: " << files.size() << " file(s), "
+              << report.findings.size() << " finding(s), " << report.exempted
+              << " exempted\n";
+  }
+  return report.findings.empty() ? 0 : 1;
+}
+
+}  // namespace ivt::lint

@@ -1,0 +1,127 @@
+// ivt-lint: a standalone invariant checker for repo-specific contracts
+// that the compiler cannot enforce.
+//
+// The rules codify conventions this codebase relies on for correctness:
+//
+//   bare-throw       Errors crossing a subsystem boundary must carry the
+//                    src/errors taxonomy (category, severity, site), so
+//                    raw `throw std::...` is banned outside the leaf math
+//                    library (src/algo/, exempted in the config) — use
+//                    IVT_THROW instead.
+//   fault-site       Every FAULT_POINT / FAULT_POINT_MUTATE site must be
+//                    declared exactly once in src/faultfx/fault_sites.registry
+//                    and its name must match the IVT_FAULTS recipe grammar
+//                    `seg(.seg)+` with seg = [a-z0-9_]+, so recipes can
+//                    never silently name a site that does not exist.
+//   mutex-guard      A class that owns a mutex must state which fields it
+//                    protects: a std::mutex / support::Mutex member with
+//                    no IVT_GUARDED_BY(that_mutex) field in the same
+//                    class is a finding. Raw std::mutex members outside
+//                    src/support/ are also findings — use the annotated
+//                    support::Mutex so clang -Wthread-safety can check
+//                    the contract.
+//   include-hygiene  No parent-relative includes (#include "../...") —
+//                    all project includes are rooted at src/. A .cpp that
+//                    includes its own header must include it first, so
+//                    every header is verified self-contained.
+//
+// The checker is deliberately a token/regex scanner over comment- and
+// string-stripped source, not a clang tool: it needs no compile_commands,
+// runs in milliseconds, and the invariants above are all lexically
+// decidable. Rules operate on (path, content) pairs so tests can feed
+// fixture strings without touching the filesystem.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ivt::lint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string rule;     ///< rule id, e.g. "bare-throw"
+  std::string file;     ///< path as given to the scanner
+  std::size_t line = 0; ///< 1-based; 0 when the finding is file-level
+  std::string message;
+};
+
+/// Parsed tools/ivt-lint.conf.
+///
+/// Line grammar (one directive per line, '#' starts a comment):
+///   exempt <rule> <path-prefix>   suppress <rule> findings under prefix
+///   registry <path>               fault-site registry location
+struct Config {
+  struct Exemption {
+    std::string rule;
+    std::string path_prefix;
+  };
+  std::vector<Exemption> exemptions;
+  std::string registry_path;
+};
+
+/// Parses a config file's content. Malformed directives are reported in
+/// `errors` (one message per bad line); the rest of the file still parses.
+Config parse_config(const std::string& content,
+                    std::vector<std::string>* errors = nullptr);
+
+/// True when `file` is exempt from `rule` under `config` (prefix match).
+bool is_exempt(const Config& config, const std::string& rule,
+               const std::string& file);
+
+// ---- individual rules (pure: path + content in, findings out) ----------
+
+std::vector<Finding> check_bare_throw(const std::string& path,
+                                      const std::string& content);
+
+std::vector<Finding> check_mutex_guard(const std::string& path,
+                                       const std::string& content);
+
+std::vector<Finding> check_include_hygiene(const std::string& path,
+                                           const std::string& content);
+
+/// Fault-site rule needs the whole file set at once (exactly-once check):
+/// every site used in code must appear in the registry, every registry
+/// entry must be used by exactly one code site, and all names must match
+/// the IVT_FAULTS grammar.
+struct FileContent {
+  std::string path;
+  std::string content;
+};
+std::vector<Finding> check_fault_sites(const std::vector<FileContent>& files,
+                                       const std::string& registry_path,
+                                       const std::string& registry_content);
+
+/// True when `name` matches the recipe-site grammar seg(.seg)+ with
+/// seg = [a-z0-9_]+.
+bool is_valid_site_name(const std::string& name);
+
+// ---- whole-run driver ---------------------------------------------------
+
+struct Report {
+  std::vector<Finding> findings;           ///< after exemptions
+  std::size_t exempted = 0;                ///< findings suppressed by config
+  std::map<std::string, std::size_t> by_rule;  ///< counts of `findings`
+};
+
+/// Runs every rule over the file set, applying config exemptions.
+Report run_rules(const std::vector<FileContent>& files, const Config& config,
+                 const std::string& registry_content);
+
+/// Renders the machine-readable summary consumed by the bench robustness
+/// counters: {"findings": N, "exempted": M, "by_rule": {...}}.
+std::string report_to_json(const Report& report);
+
+/// Full CLI: `ivt-lint [--config F] [--registry F] [--json] <path>...`
+/// Directories are walked recursively for .cpp/.hpp files. Returns the
+/// process exit code: 0 clean, 1 findings, 2 usage/config/IO error.
+int lint_main(const std::vector<std::string>& args);
+
+// ---- helpers exposed for tests ------------------------------------------
+
+/// Replaces comments and string/char literals with spaces (newlines kept),
+/// so scanners never match inside them.
+std::string strip_comments_and_strings(const std::string& content);
+
+}  // namespace ivt::lint

@@ -105,7 +105,7 @@ T& find_or_create(std::vector<std::pair<std::string, std::unique_ptr<T>>>& v,
 
 Counter& Registry::counter(std::string_view name) {
 #if IVT_OBS_ENABLED
-  const std::lock_guard lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return find_or_create(counters_, name,
                         [] { return std::make_unique<Counter>(); });
 #else
@@ -117,7 +117,7 @@ Counter& Registry::counter(std::string_view name) {
 
 Gauge& Registry::gauge(std::string_view name) {
 #if IVT_OBS_ENABLED
-  const std::lock_guard lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return find_or_create(gauges_, name,
                         [] { return std::make_unique<Gauge>(); });
 #else
@@ -130,7 +130,7 @@ Gauge& Registry::gauge(std::string_view name) {
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<double> bounds) {
 #if IVT_OBS_ENABLED
-  const std::lock_guard lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return find_or_create(histograms_, name, [&bounds] {
     return std::make_unique<Histogram>(std::move(bounds));
   });
@@ -143,7 +143,7 @@ Histogram& Registry::histogram(std::string_view name,
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot out;
-  const std::lock_guard lock(mutex_);
+  const support::MutexLock lock(mutex_);
   for (const auto& [name, c] : counters_) {
     MetricsSnapshot::Entry e;
     e.name = name;
@@ -171,7 +171,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  const std::lock_guard lock(mutex_);
+  const support::MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -17,10 +17,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 #ifndef IVT_OBS_ENABLED
 #define IVT_OBS_ENABLED 1
@@ -158,24 +160,30 @@ class Registry {
  public:
   static Registry& instance();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) IVT_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) IVT_EXCLUDES(mutex_);
   /// `bounds` is used on first registration only.
-  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds)
+      IVT_EXCLUDES(mutex_);
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const IVT_EXCLUDES(mutex_);
 
   /// Zero every registered metric (tests, per-run deltas). Entries stay
   /// registered.
-  void reset();
+  void reset() IVT_EXCLUDES(mutex_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
-  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  // Registration order; the metric objects themselves are internally
+  // sharded atomics and are written lock-free once the reference escapes.
+  mutable support::Mutex mutex_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+      IVT_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_
+      IVT_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
+      IVT_GUARDED_BY(mutex_);
 };
 
 /// Render a snapshot as a stable-key-order JSON document / aligned text.

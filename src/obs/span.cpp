@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ivt::obs {
 
@@ -20,14 +22,16 @@ std::atomic<bool> g_tracing_enabled{true};
 /// thread exit — a ThreadPool can be torn down before the trace is
 /// exported.
 struct ThreadRing {
-  std::uint32_t tid = 0;
-  std::vector<SpanEvent> events;   ///< grows to kSpanRingCapacity, then wraps
-  std::size_t head = 0;            ///< next overwrite position once full
-  std::uint64_t dropped = 0;
-  std::mutex mutex;  ///< uncontended except during collect/reset
+  std::uint32_t tid = 0;  ///< const after registration (owner-thread write)
+  support::Mutex mutex;   ///< uncontended except during collect/reset
+  /// Grows to kSpanRingCapacity, then wraps.
+  std::vector<SpanEvent> events IVT_GUARDED_BY(mutex);
+  /// Next overwrite position once full.
+  std::size_t head IVT_GUARDED_BY(mutex) = 0;
+  std::uint64_t dropped IVT_GUARDED_BY(mutex) = 0;
 
-  void push(const SpanEvent& e) {
-    const std::lock_guard lock(mutex);
+  void push(const SpanEvent& e) IVT_EXCLUDES(mutex) {
+    const support::MutexLock lock(mutex);
     if (events.size() < kSpanRingCapacity) {
       events.push_back(e);
     } else {
@@ -39,9 +43,9 @@ struct ThreadRing {
 };
 
 struct Collector {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadRing>> rings;
-  std::uint32_t next_tid = 0;
+  support::Mutex mutex;
+  std::vector<std::shared_ptr<ThreadRing>> rings IVT_GUARDED_BY(mutex);
+  std::uint32_t next_tid IVT_GUARDED_BY(mutex) = 0;
 };
 
 Collector& collector() {
@@ -53,7 +57,7 @@ ThreadRing& this_thread_ring() {
   thread_local const std::shared_ptr<ThreadRing> ring = [] {
     auto r = std::make_shared<ThreadRing>();
     Collector& c = collector();
-    const std::lock_guard lock(c.mutex);
+    const support::MutexLock lock(c.mutex);
     r->tid = c.next_tid++;
     c.rings.push_back(r);
     return r;
@@ -116,9 +120,9 @@ SpanScope::~SpanScope() {
 std::vector<SpanEvent> collect_spans() {
   std::vector<SpanEvent> out;
   Collector& c = collector();
-  const std::lock_guard lock(c.mutex);
+  const support::MutexLock lock(c.mutex);
   for (const std::shared_ptr<ThreadRing>& ring : c.rings) {
-    const std::lock_guard ring_lock(ring->mutex);
+    const support::MutexLock ring_lock(ring->mutex);
     // Oldest-first: the segment after `head` predates the one before it.
     for (std::size_t i = ring->head; i < ring->events.size(); ++i) {
       out.push_back(ring->events[i]);
@@ -133,9 +137,9 @@ std::vector<SpanEvent> collect_spans() {
 std::uint64_t dropped_span_count() {
   std::uint64_t dropped = 0;
   Collector& c = collector();
-  const std::lock_guard lock(c.mutex);
+  const support::MutexLock lock(c.mutex);
   for (const std::shared_ptr<ThreadRing>& ring : c.rings) {
-    const std::lock_guard ring_lock(ring->mutex);
+    const support::MutexLock ring_lock(ring->mutex);
     dropped += ring->dropped;
   }
   return dropped;
@@ -143,9 +147,9 @@ std::uint64_t dropped_span_count() {
 
 void reset_spans() {
   Collector& c = collector();
-  const std::lock_guard lock(c.mutex);
+  const support::MutexLock lock(c.mutex);
   for (const std::shared_ptr<ThreadRing>& ring : c.rings) {
-    const std::lock_guard ring_lock(ring->mutex);
+    const support::MutexLock ring_lock(ring->mutex);
     ring->events.clear();
     ring->head = 0;
     ring->dropped = 0;

@@ -1,5 +1,7 @@
 #include "protocol/bitcodec.hpp"
 
+#include "errors/error.hpp"
+
 #include <bit>
 #include <cstring>
 #include <stdexcept>
@@ -20,7 +22,7 @@ std::uint16_t motorola_next(std::uint16_t bit) {
 void check_fits(std::size_t payload_size, std::uint16_t start_bit,
                 std::uint16_t length, ByteOrder order) {
   if (!bit_field_fits(payload_size, start_bit, length, order)) {
-    throw std::out_of_range(
+    IVT_THROW(errors::Category::Decode, 
         "bit field [start=" + std::to_string(start_bit) +
         ", len=" + std::to_string(length) + "] does not fit in " +
         std::to_string(payload_size) + "-byte payload");
@@ -141,13 +143,13 @@ std::vector<std::uint8_t> from_hex(std::string_view hex) {
   for (char c : hex) {
     if (c == ' ' || c == '\t') {
       if (hi >= 0) {
-        throw std::invalid_argument("from_hex: dangling nibble before space");
+        IVT_THROW(errors::Category::Format, "from_hex: dangling nibble before space");
       }
       continue;
     }
     const int v = nibble(c);
     if (v < 0) {
-      throw std::invalid_argument(std::string("from_hex: bad character '") +
+      IVT_THROW(errors::Category::Format, std::string("from_hex: bad character '") +
                                   c + "'");
     }
     if (hi < 0) {
@@ -157,7 +159,7 @@ std::vector<std::uint8_t> from_hex(std::string_view hex) {
       hi = -1;
     }
   }
-  if (hi >= 0) throw std::invalid_argument("from_hex: odd nibble count");
+  if (hi >= 0) IVT_THROW(errors::Category::Format, "from_hex: odd nibble count");
   return out;
 }
 

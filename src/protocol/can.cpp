@@ -1,5 +1,7 @@
 #include "protocol/can.hpp"
 
+#include "errors/error.hpp"
+
 #include <algorithm>
 #include <array>
 #include <stdexcept>
@@ -30,7 +32,7 @@ bool CanFrame::is_valid() const {
 
 std::size_t can_fd_dlc_to_length(std::uint8_t dlc) {
   if (dlc >= kFdDlcTable.size()) {
-    throw std::invalid_argument("CAN-FD DLC out of range: " +
+    IVT_THROW(errors::Category::Decode, "CAN-FD DLC out of range: " +
                                 std::to_string(dlc));
   }
   return kFdDlcTable[dlc];
@@ -40,7 +42,7 @@ std::uint8_t can_fd_length_to_dlc(std::size_t length) {
   for (std::size_t dlc = 0; dlc < kFdDlcTable.size(); ++dlc) {
     if (kFdDlcTable[dlc] >= length) return static_cast<std::uint8_t>(dlc);
   }
-  throw std::invalid_argument("CAN-FD payload too long: " +
+  IVT_THROW(errors::Category::Spec, "CAN-FD payload too long: " +
                               std::to_string(length));
 }
 
@@ -86,7 +88,7 @@ std::vector<std::uint8_t> serialize(const CanFrame& frame) {
 
 CanFrame deserialize_can(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < 6) {
-    throw std::invalid_argument("CAN deserialize: truncated header");
+    IVT_THROW(errors::Category::Decode, "CAN deserialize: truncated header");
   }
   CanFrame frame;
   frame.extended_id = (bytes[0] & 0x01) != 0;
@@ -97,7 +99,7 @@ CanFrame deserialize_can(std::span<const std::uint8_t> bytes) {
              static_cast<std::uint32_t>(bytes[4]);
   const std::size_t len = bytes[5];
   if (bytes.size() < 6 + len) {
-    throw std::invalid_argument("CAN deserialize: truncated payload");
+    IVT_THROW(errors::Category::Decode, "CAN deserialize: truncated payload");
   }
   frame.data.assign(bytes.begin() + 6, bytes.begin() + 6 + len);
   return frame;

@@ -1,5 +1,7 @@
 #include "protocol/flexray.hpp"
 
+#include "errors/error.hpp"
+
 #include <stdexcept>
 
 #include "protocol/bitcodec.hpp"
@@ -38,7 +40,7 @@ std::vector<std::uint8_t> serialize(const FlexRayFrame& frame) {
 
 FlexRayFrame deserialize_flexray(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < 5) {
-    throw std::invalid_argument("FlexRay deserialize: truncated header");
+    IVT_THROW(errors::Category::Decode, "FlexRay deserialize: truncated header");
   }
   FlexRayFrame frame;
   frame.slot_id =
@@ -47,7 +49,7 @@ FlexRayFrame deserialize_flexray(std::span<const std::uint8_t> bytes) {
   frame.channel_a = (bytes[3] & 0x01) != 0;
   const std::size_t len = bytes[4];
   if (bytes.size() < 5 + len) {
-    throw std::invalid_argument("FlexRay deserialize: truncated payload");
+    IVT_THROW(errors::Category::Decode, "FlexRay deserialize: truncated payload");
   }
   frame.data.assign(bytes.begin() + 5, bytes.begin() + 5 + len);
   return frame;

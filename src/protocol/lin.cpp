@@ -1,5 +1,7 @@
 #include "protocol/lin.hpp"
 
+#include "errors/error.hpp"
+
 #include <stdexcept>
 
 #include "protocol/bitcodec.hpp"
@@ -8,7 +10,7 @@ namespace ivt::protocol {
 
 std::uint8_t lin_protected_id(std::uint8_t id) {
   if (id > 0x3F) {
-    throw std::invalid_argument("LIN id out of range: " + std::to_string(id));
+    IVT_THROW(errors::Category::Spec, "LIN id out of range: " + std::to_string(id));
   }
   const auto bit = [id](int i) { return (id >> i) & 1; };
   const std::uint8_t p0 =
@@ -21,7 +23,7 @@ std::uint8_t lin_protected_id(std::uint8_t id) {
 std::uint8_t lin_id_from_pid(std::uint8_t pid) {
   const std::uint8_t id = pid & 0x3F;
   if (lin_protected_id(id) != pid) {
-    throw std::invalid_argument("LIN PID parity error");
+    IVT_THROW(errors::Category::Decode, "LIN PID parity error");
   }
   return id;
 }
@@ -52,7 +54,7 @@ std::vector<std::uint8_t> serialize(const LinFrame& frame) {
 
 LinFrame deserialize_lin(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < 3) {
-    throw std::invalid_argument("LIN deserialize: truncated frame");
+    IVT_THROW(errors::Category::Decode, "LIN deserialize: truncated frame");
   }
   LinFrame frame;
   frame.id = lin_id_from_pid(bytes[0]);
@@ -60,12 +62,12 @@ LinFrame deserialize_lin(std::span<const std::uint8_t> bytes) {
                                                 : LinChecksumModel::Classic;
   const std::size_t len = bytes[1] & 0x0F;
   if (len == 0 || len > 8 || bytes.size() < 2 + len + 1) {
-    throw std::invalid_argument("LIN deserialize: bad length");
+    IVT_THROW(errors::Category::Decode, "LIN deserialize: bad length");
   }
   frame.data.assign(bytes.begin() + 2, bytes.begin() + 2 + len);
   const std::uint8_t checksum = bytes[2 + len];
   if (checksum != lin_checksum(frame)) {
-    throw std::invalid_argument("LIN deserialize: checksum mismatch");
+    IVT_THROW(errors::Category::Decode, "LIN deserialize: checksum mismatch");
   }
   return frame;
 }

@@ -1,5 +1,7 @@
 #include "protocol/someip.hpp"
 
+#include "errors/error.hpp"
+
 #include <stdexcept>
 
 #include "protocol/bitcodec.hpp"
@@ -51,7 +53,7 @@ std::vector<std::uint8_t> serialize(const SomeIpMessage& message) {
 
 SomeIpMessage deserialize_someip(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kSomeIpHeaderSize) {
-    throw std::invalid_argument("SOME/IP deserialize: truncated header");
+    IVT_THROW(errors::Category::Decode, "SOME/IP deserialize: truncated header");
   }
   SomeIpMessage m;
   m.service_id = get_u16(bytes, 0);
@@ -64,7 +66,7 @@ SomeIpMessage deserialize_someip(std::span<const std::uint8_t> bytes) {
   m.message_type = static_cast<SomeIpMessageType>(bytes[14]);
   m.return_code = static_cast<SomeIpReturnCode>(bytes[15]);
   if (length < 8 || bytes.size() < 8 + length) {
-    throw std::invalid_argument("SOME/IP deserialize: bad length field");
+    IVT_THROW(errors::Category::Decode, "SOME/IP deserialize: bad length field");
   }
   const std::size_t payload_len = length - 8;
   m.payload.assign(bytes.begin() + kSomeIpHeaderSize,

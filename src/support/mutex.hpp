@@ -1,0 +1,92 @@
+// Annotated synchronization primitives for clang's thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
+// so code locking through them is invisible to `-Wthread-safety` and every
+// IVT_GUARDED_BY access would be flagged as unprotected. These thin
+// wrappers restore the contract:
+//
+//   support::Mutex mutex_;
+//   std::deque<Task> queue_ IVT_GUARDED_BY(mutex_);
+//
+//   void push(Task t) {
+//     const support::MutexLock lock(mutex_);
+//     queue_.push_back(std::move(t));            // analysis: OK
+//   }
+//
+// Condition waits go through support::CondVar with an *explicit* predicate
+// loop (`while (!pred()) cv.wait(lock);`) instead of the lambda-predicate
+// overload, so the guarded reads inside the predicate stay in the
+// annotated enclosing function where the analysis can see the held lock.
+//
+// Zero runtime cost over the std types: Mutex is std::mutex, MutexLock is
+// std::unique_lock, CondVar is std::condition_variable; only attributes
+// are added.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace ivt::support {
+
+class CondVar;
+class MutexLock;
+
+/// std::mutex with the "mutex" capability attribute.
+class IVT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IVT_ACQUIRE() { raw_.lock(); }
+  void unlock() IVT_RELEASE() { raw_.unlock(); }
+  bool try_lock() IVT_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex raw_;
+};
+
+/// RAII lock over a support::Mutex (a scoped capability). Supports the
+/// manual unlock()/lock() window used when a held task must run outside
+/// the critical section, and is the handle CondVar waits on.
+class IVT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) IVT_ACQUIRE(mutex)
+      : lock_(mutex.raw_) {}
+  ~MutexLock() IVT_RELEASE() = default;  // unique_lock unlocks if held
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily release the mutex (e.g. to execute a dequeued task).
+  void unlock() IVT_RELEASE() { lock_.unlock(); }
+  /// Re-acquire after unlock().
+  void lock() IVT_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable bound to support::MutexLock. wait() atomically
+/// releases and re-acquires the lock; from the analysis' point of view the
+/// capability is held across the call, which matches the post-condition
+/// callers rely on. Always wrap waits in an explicit predicate loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ivt::support

@@ -1,0 +1,62 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These wrap the attributes behind `-Wthread-safety` so the locking
+// discipline of every concurrent class is a compiler-checked contract
+// instead of a comment: fields carry IVT_GUARDED_BY(mutex), private
+// helpers that expect the lock carry IVT_REQUIRES(mutex), and the build
+// (CMake option IVT_THREAD_SAFETY_WERROR, CI lane "thread-safety")
+// promotes any violation to an error.
+//
+// The analysis does not understand libstdc++'s std::lock_guard /
+// std::unique_lock, so annotated code locks through the wrappers in
+// support/mutex.hpp (support::Mutex + support::MutexLock) rather than raw
+// std::mutex — ivt-lint's mutex-guard rule enforces this. Naming and
+// semantics follow the Abseil/LLVM convention; see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define IVT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IVT_THREAD_ANNOTATION(x)  // no-op: gcc/msvc have no analysis
+#endif
+
+/// Marks a class as a lockable capability ("mutex").
+#define IVT_CAPABILITY(x) IVT_THREAD_ANNOTATION(capability(x))
+
+/// Marks a RAII class whose constructor acquires and destructor releases.
+#define IVT_SCOPED_CAPABILITY IVT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding `x`.
+#define IVT_GUARDED_BY(x) IVT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding `x`.
+#define IVT_PT_GUARDED_BY(x) IVT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry.
+#define IVT_REQUIRES(...) \
+  IVT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define IVT_ACQUIRE(...) \
+  IVT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define IVT_RELEASE(...) \
+  IVT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; returns `result` on success.
+#define IVT_TRY_ACQUIRE(result, ...) \
+  IVT_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock guard for self-locking public APIs).
+#define IVT_EXCLUDES(...) IVT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define IVT_RETURN_CAPABILITY(x) IVT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use should
+/// say why in a comment.
+#define IVT_NO_THREAD_SAFETY_ANALYSIS \
+  IVT_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -64,17 +64,40 @@ TEST(BenchUtilTest, RobustnessCountersReadFromRegistry) {
 #endif
 }
 
+TEST(BenchUtilTest, RobustnessCountersReadStaticAnalysisEnv) {
+  // CI's lint/TSan lanes export their summaries; unset or garbage values
+  // must fall back to zero, never abort a bench run.
+  ::setenv("IVT_LINT_FINDINGS", "4", 1);
+  ::setenv("IVT_LINT_EXEMPTED", "56", 1);
+  ::setenv("IVT_TSAN_RACES", "not-a-number", 1);
+  const RobustnessCounters c = read_robustness_counters();
+  EXPECT_EQ(c.lint_findings, 4u);
+  EXPECT_EQ(c.lint_exempted, 56u);
+  EXPECT_EQ(c.tsan_races, 0u);
+  ::unsetenv("IVT_LINT_FINDINGS");
+  ::unsetenv("IVT_LINT_EXEMPTED");
+  ::unsetenv("IVT_TSAN_RACES");
+  const RobustnessCounters unset = read_robustness_counters();
+  EXPECT_EQ(unset.lint_findings, 0u);
+  EXPECT_EQ(unset.lint_exempted, 0u);
+}
+
 TEST(BenchUtilTest, RobustnessFieldsRenderIntoRecord) {
   RobustnessCounters c;
   c.task_retries = 1;
   c.chunks_quarantined = 2;
   c.sequences_dropped = 3;
   c.errors_total = 6;
+  c.lint_findings = 4;
+  c.lint_exempted = 5;
+  c.tsan_races = 7;
   JsonRecord record;
   add_robustness_fields(record, c);
   EXPECT_EQ(record.to_line(),
             "{\"task_retries\": 1, \"chunks_quarantined\": 2, "
-            "\"sequences_dropped\": 3, \"errors_total\": 6}");
+            "\"sequences_dropped\": 3, \"errors_total\": 6, "
+            "\"lint_findings\": 4, \"lint_exempted\": 5, "
+            "\"tsan_races\": 7}");
 }
 
 TEST(BenchUtilTest, MetricsSnapshotWritesValidFile) {

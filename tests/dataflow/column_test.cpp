@@ -1,3 +1,4 @@
+#include "errors/error.hpp"
 #include "dataflow/column.hpp"
 
 #include <gtest/gtest.h>
@@ -35,8 +36,8 @@ TEST(ColumnTest, BoxedAppend) {
 
 TEST(ColumnTest, TypeMismatchThrows) {
   Column c(ValueType::Int64);
-  EXPECT_THROW(c.append_string("x"), std::invalid_argument);
-  EXPECT_THROW(c.append(Value{1.5}), std::invalid_argument);
+  EXPECT_THROW(c.append_string("x"), ivt::errors::Error);
+  EXPECT_THROW(c.append(Value{1.5}), ivt::errors::Error);
 }
 
 TEST(ColumnTest, Int64WidensIntoFloat64Column) {
@@ -74,7 +75,7 @@ TEST(ColumnTest, AppendFromTypeMismatchThrows) {
   Column src(ValueType::String);
   src.append_string("x");
   Column dst(ValueType::Int64);
-  EXPECT_THROW(dst.append_from(src, 0), std::invalid_argument);
+  EXPECT_THROW(dst.append_from(src, 0), ivt::errors::Error);
 }
 
 TEST(ColumnTest, ValueAtBoxesCorrectly) {

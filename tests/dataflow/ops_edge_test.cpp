@@ -1,5 +1,6 @@
 // Robustness: every relational operation must handle empty tables,
 // empty partitions and degenerate inputs without crashing.
+#include "errors/error.hpp"
 #include <gtest/gtest.h>
 
 #include "dataflow/ops.hpp"
@@ -144,19 +145,19 @@ TEST_F(OpsEdgeTest, RepartitionEmpty) {
 }
 
 TEST_F(OpsEdgeTest, ProjectUnknownColumnThrows) {
-  EXPECT_THROW(project(engine_, one_row(), {"zz"}), std::out_of_range);
+  EXPECT_THROW(project(engine_, one_row(), {"zz"}), ivt::errors::Error);
 }
 
 TEST_F(OpsEdgeTest, SortUnknownColumnThrows) {
   EXPECT_THROW(sort_by(engine_, one_row(), {{"zz", true}}),
-               std::out_of_range);
+               ivt::errors::Error);
 }
 
 TEST_F(OpsEdgeTest, WithColumnWrongTypeThrows) {
   EXPECT_THROW(
       with_column(engine_, one_row(), {"w", ValueType::Int64},
                   [](const RowView&) { return Value{"string!"}; }),
-      std::invalid_argument);
+      ivt::errors::Error);
 }
 
 }  // namespace

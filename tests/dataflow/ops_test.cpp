@@ -1,3 +1,4 @@
+#include "errors/error.hpp"
 #include "dataflow/ops.hpp"
 
 #include <gtest/gtest.h>
@@ -125,12 +126,12 @@ TEST_F(OpsTest, HashJoinDuplicateRightKeysMultiply) {
 
 TEST_F(OpsTest, HashJoinNameClashThrows) {
   EXPECT_THROW(hash_join(engine_, people(), people(), {"city"}, {"city"}),
-               std::invalid_argument);
+               ivt::errors::Error);
 }
 
 TEST_F(OpsTest, HashJoinEmptyKeysThrows) {
   EXPECT_THROW(hash_join(engine_, people(), people(), {}, {}),
-               std::invalid_argument);
+               ivt::errors::Error);
 }
 
 TEST_F(OpsTest, UnionAllConcatenates) {
@@ -141,7 +142,7 @@ TEST_F(OpsTest, UnionAllConcatenates) {
 TEST_F(OpsTest, UnionAllSchemaMismatchThrows) {
   EXPECT_THROW(
       union_all(people(), project(engine_, people(), {"id"})),
-      std::invalid_argument);
+      ivt::errors::Error);
 }
 
 TEST_F(OpsTest, SortByDescending) {

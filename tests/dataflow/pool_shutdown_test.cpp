@@ -1,0 +1,91 @@
+// Regression tests for ThreadPool shutdown ordering: destroying the pool
+// while a submit_bounded() caller is parked on an admission slot used to
+// leave that caller waiting on a condition variable nobody would ever
+// notify again (the destructor only woke the workers). The destructor now
+// wakes slot waiters, which observe stop_ and fail with a typed error,
+// and it waits for them to leave the critical section before tearing the
+// synchronization state down.
+#include "dataflow/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "errors/error.hpp"
+
+namespace ivt::dataflow {
+namespace {
+
+TEST(PoolShutdownTest, DestructorWakesPendingBoundedSubmitter) {
+  auto pool = std::make_unique<ThreadPool>(1);
+
+  // Occupy the single worker so the admission window (limit 1) is full.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool->submit([gate] { gate.wait(); });
+
+  // Producer and destroyer race on the pool object itself by design, but
+  // must not race on the unique_ptr — hand the producer a raw pointer.
+  ThreadPool* raw = pool.get();
+  std::atomic<bool> producer_in{false};
+  std::atomic<bool> threw_internal{false};
+  std::thread producer([&, raw] {
+    producer_in.store(true);
+    try {
+      raw->submit_bounded([] {}, 1);  // blocks: in_flight == limit
+    } catch (const errors::Error& e) {
+      threw_internal.store(e.category() == errors::Category::Internal);
+    }
+  });
+  while (!producer_in.load()) std::this_thread::yield();
+  // Give the producer time to actually park on the admission slot; the
+  // contract holds either way (parked => woken by the destructor,
+  // not-yet-parked => observes stop_ on entry).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::thread destroyer([&] { pool.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.set_value();  // let the in-flight task finish so workers can join
+
+  destroyer.join();   // would deadlock without the shutdown wakeup
+  producer.join();
+  EXPECT_TRUE(threw_internal.load());
+}
+
+TEST(PoolShutdownTest, SubmitBoundedAfterStopThrowsInsteadOfStranding) {
+  // The not-yet-parked flavour: the submitter only reaches the pool once
+  // destruction already started. It must get the same typed error, never
+  // a silently dropped task.
+  auto pool = std::make_unique<ThreadPool>(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool->submit([gate] { gate.wait(); });
+
+  ThreadPool* raw = pool.get();  // stays valid until destroyer joins below
+  std::thread destroyer([&] { pool.reset(); });
+  // Destructor is now blocked joining the busy worker; stop_ is set.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_THROW(raw->submit_bounded([] {}, 4), errors::Error);
+  EXPECT_THROW(raw->submit([] {}), errors::Error);
+  release.set_value();
+  destroyer.join();
+}
+
+TEST(PoolShutdownTest, CleanDestructionStillDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    // No wait_idle(): the destructor must let the workers drain the queue.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+}  // namespace
+}  // namespace ivt::dataflow

@@ -1,3 +1,4 @@
+#include "errors/error.hpp"
 #include "dataflow/schema.hpp"
 
 #include <gtest/gtest.h>
@@ -28,12 +29,12 @@ TEST(SchemaTest, IndexOf) {
 TEST(SchemaTest, RequireThrowsOnMissing) {
   const Schema s = make_schema();
   EXPECT_EQ(s.require("name"), 1u);
-  EXPECT_THROW((void)s.require("nope"), std::out_of_range);
+  EXPECT_THROW((void)s.require("nope"), ivt::errors::Error);
 }
 
 TEST(SchemaTest, DuplicateNamesRejected) {
   EXPECT_THROW(Schema({{"a", ValueType::Int64}, {"a", ValueType::String}}),
-               std::invalid_argument);
+               ivt::errors::Error);
 }
 
 TEST(SchemaTest, WithFieldAppends) {
@@ -44,7 +45,7 @@ TEST(SchemaTest, WithFieldAppends) {
 
 TEST(SchemaTest, WithFieldRejectsDuplicate) {
   EXPECT_THROW(make_schema().with_field({"t", ValueType::Int64}),
-               std::invalid_argument);
+               ivt::errors::Error);
 }
 
 TEST(SchemaTest, SelectReordersFields) {
@@ -55,7 +56,7 @@ TEST(SchemaTest, SelectReordersFields) {
 }
 
 TEST(SchemaTest, SelectUnknownThrows) {
-  EXPECT_THROW(make_schema().select({"zz"}), std::out_of_range);
+  EXPECT_THROW(make_schema().select({"zz"}), ivt::errors::Error);
 }
 
 TEST(SchemaTest, Equality) {

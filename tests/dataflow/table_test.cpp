@@ -1,3 +1,4 @@
+#include "errors/error.hpp"
 #include "dataflow/table.hpp"
 
 #include <gtest/gtest.h>
@@ -39,7 +40,7 @@ TEST(TableBuilderTest, PartitionsRollAtTarget) {
 TEST(TableBuilderTest, RowWidthMismatchThrows) {
   TableBuilder builder(test_schema(), 0);
   EXPECT_THROW(builder.append_row({Value{std::int64_t{1}}}),
-               std::invalid_argument);
+               ivt::errors::Error);
 }
 
 TEST(TableTest, CollectRowsPreservesOrder) {
@@ -75,7 +76,7 @@ TEST(TableTest, RepartitionedToOne) {
 TEST(TableTest, AddPartitionValidatesWidth) {
   Table t(test_schema());
   Partition p;  // empty columns
-  EXPECT_THROW(t.add_partition(std::move(p)), std::invalid_argument);
+  EXPECT_THROW(t.add_partition(std::move(p)), ivt::errors::Error);
 }
 
 TEST(TableTest, AddPartitionValidatesTypes) {
@@ -83,7 +84,7 @@ TEST(TableTest, AddPartitionValidatesTypes) {
   Partition p;
   p.columns.emplace_back(ValueType::String);  // wrong type for col 0
   p.columns.emplace_back(ValueType::String);
-  EXPECT_THROW(t.add_partition(std::move(p)), std::invalid_argument);
+  EXPECT_THROW(t.add_partition(std::move(p)), ivt::errors::Error);
 }
 
 TEST(TableTest, AddPartitionRejectsRaggedColumns) {
@@ -91,7 +92,7 @@ TEST(TableTest, AddPartitionRejectsRaggedColumns) {
   Partition p = Table::make_partition(test_schema());
   p.columns[0].append_int64(1);
   // column 1 left empty -> ragged
-  EXPECT_THROW(t.add_partition(std::move(p)), std::invalid_argument);
+  EXPECT_THROW(t.add_partition(std::move(p)), ivt::errors::Error);
 }
 
 TEST(TableTest, DisplayStringMentionsCounts) {

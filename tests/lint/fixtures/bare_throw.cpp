@@ -1,0 +1,20 @@
+// Fixture: exactly two real bare-throw findings. The occurrences inside
+// this comment (throw std::runtime_error), the string literal below and
+// the raw string must NOT be counted.
+#include <stdexcept>
+#include <string>
+
+namespace fixture {
+
+inline void f(int x) {
+  if (x < 0) throw std::invalid_argument("negative");            // finding 1
+  const std::string decoy = "throw std::runtime_error(fake)";
+  const char* raw = R"(throw std::out_of_range("also fake"))";
+  (void)decoy;
+  (void)raw;
+  /* block comment: throw std::logic_error("no") */
+  if (x > 9)
+    throw std::out_of_range("too big");                          // finding 2
+}
+
+}  // namespace fixture

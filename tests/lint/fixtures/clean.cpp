@@ -1,0 +1,19 @@
+// Fixture: no findings under any rule.
+#include "clean.hpp"
+
+#include <cstddef>
+
+#define IVT_GUARDED_BY(x)
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  support::Mutex mu_;
+  std::size_t n_ IVT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

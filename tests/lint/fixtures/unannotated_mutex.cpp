@@ -1,0 +1,26 @@
+// Fixture: mutex-guard violations — one unguarded support::Mutex and one
+// raw std::mutex (which is additionally unguarded), plus a fully
+// annotated class that must stay clean.
+#include <cstddef>
+#include <mutex>
+
+#define IVT_GUARDED_BY(x)
+
+namespace fixture {
+
+class Unguarded {
+  support::Mutex mu_;   // finding: nothing is IVT_GUARDED_BY(mu_)
+  std::size_t count_ = 0;
+};
+
+class RawMutex {
+  std::mutex raw_;      // findings: raw std::mutex AND unguarded
+  std::size_t count_ = 0;
+};
+
+class Annotated {
+  support::Mutex mu_;
+  std::size_t count_ IVT_GUARDED_BY(mu_) = 0;  // clean
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: fault-site violations. With fixtures/registry.txt this file
+// yields: one unregistered site, one bad-grammar site, one duplicate
+// instrumentation of a registered site.
+#include "faultfx/faultfx.hpp"
+
+namespace fixture {
+
+inline void g() {
+  FAULT_POINT("fixture.registered");     // ok: in registry, used once
+  FAULT_POINT("fixture.unregistered");   // finding: not in registry
+  FAULT_POINT("BadGrammar");             // finding: not seg(.seg)+
+  FAULT_POINT("fixture.twice");          // ok on its own...
+}
+
+inline void h() {
+  FAULT_POINT("fixture.twice");          // finding: second instrumentation
+  // FAULT_POINT("fixture.commented") — comments must not count.
+}
+
+}  // namespace fixture

@@ -1,0 +1,180 @@
+// ivt-lint fixture tests: each fixture under tests/lint/fixtures/ encodes
+// a known number of violations (or none), and the tests pin the exact
+// finding counts, locations and process exit codes so rule behaviour
+// cannot drift silently.
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ivt::lint {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(IVT_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name));
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::size_t count_rule(const std::vector<Finding>& findings,
+                       const std::string& rule) {
+  std::size_t n = 0;
+  for (const Finding& f : findings) n += f.rule == rule ? 1 : 0;
+  return n;
+}
+
+TEST(LintBareThrowTest, FindsExactlyTheTwoRealThrows) {
+  const auto findings =
+      check_bare_throw("bare_throw.cpp", read_fixture("bare_throw.cpp"));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 10u);
+  EXPECT_EQ(findings[1].line, 17u);
+  EXPECT_EQ(findings[0].rule, "bare-throw");
+  // Comments, plain strings and raw strings must not produce findings —
+  // pinned by the exact count above.
+}
+
+TEST(LintBareThrowTest, CleanFixtureHasNoFindings) {
+  EXPECT_TRUE(check_bare_throw("clean.cpp", read_fixture("clean.cpp"))
+                  .empty());
+}
+
+TEST(LintMutexGuardTest, FlagsUnguardedAndRawMutexMembers) {
+  const auto findings = check_mutex_guard("unannotated_mutex.cpp",
+                                          read_fixture("unannotated_mutex.cpp"));
+  // Unguarded.mu_ -> 1 finding; RawMutex.raw_ -> raw-std + unguarded;
+  // Annotated is clean.
+  ASSERT_EQ(findings.size(), 3u);
+  std::size_t raw = 0;
+  std::size_t unguarded = 0;
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "mutex-guard");
+    if (f.message.find("raw std::mutex") != std::string::npos) {
+      ++raw;
+    } else {
+      ++unguarded;
+      EXPECT_NE(f.message.find("IVT_GUARDED_BY"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(raw, 1u);
+  EXPECT_EQ(unguarded, 2u);
+}
+
+TEST(LintMutexGuardTest, CleanFixtureHasNoFindings) {
+  EXPECT_TRUE(check_mutex_guard("clean.cpp", read_fixture("clean.cpp"))
+                  .empty());
+}
+
+TEST(LintFaultSiteTest, CrossChecksCodeAgainstRegistry) {
+  std::vector<FileContent> files;
+  files.push_back({"unregistered_fault.cpp",
+                   read_fixture("unregistered_fault.cpp")});
+  const auto findings =
+      check_fault_sites(files, "registry.txt", read_fixture("registry.txt"));
+  // unregistered + bad grammar + duplicate instrumentation (code side),
+  // duplicate entry + 2 registered-but-unused (registry side).
+  ASSERT_EQ(findings.size(), 6u);
+  std::size_t in_code = 0;
+  std::size_t in_registry = 0;
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "fault-site");
+    (f.file == "registry.txt" ? in_registry : in_code) += 1;
+  }
+  EXPECT_EQ(in_code, 3u);
+  EXPECT_EQ(in_registry, 3u);
+}
+
+TEST(LintFaultSiteTest, SiteNameGrammar) {
+  EXPECT_TRUE(is_valid_site_name("colstore.decode_chunk"));
+  EXPECT_TRUE(is_valid_site_name("a.b.c_9"));
+  EXPECT_FALSE(is_valid_site_name("nodot"));
+  EXPECT_FALSE(is_valid_site_name("Upper.case"));
+  EXPECT_FALSE(is_valid_site_name("trailing.dot."));
+  EXPECT_FALSE(is_valid_site_name(".leading"));
+  EXPECT_FALSE(is_valid_site_name("spa ce.x"));
+}
+
+TEST(LintIncludeHygieneTest, ParentRelativeAndSelfHeaderOrder) {
+  const std::string bad =
+      "#include \"other/first.hpp\"\n"
+      "#include \"../sneaky.hpp\"\n"
+      "#include \"mod/self.hpp\"\n";
+  const auto findings = check_include_hygiene("src/mod/self.cpp", bad);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].message.find("parent-relative"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("first include"), std::string::npos);
+
+  const std::string good =
+      "#include \"mod/self.hpp\"\n\n#include \"other/first.hpp\"\n";
+  EXPECT_TRUE(check_include_hygiene("src/mod/self.cpp", good).empty());
+  EXPECT_TRUE(check_include_hygiene("clean.cpp", read_fixture("clean.cpp"))
+                  .empty());
+}
+
+TEST(LintConfigTest, ParsesExemptionsAndReportsBadLines) {
+  std::vector<std::string> errors;
+  const Config config = parse_config(
+      "# comment\n"
+      "registry src/faultfx/fault_sites.registry\n"
+      "exempt bare-throw src/algo/\n"
+      "exempt mutex-guard\n"     // malformed: missing prefix
+      "frobnicate x y\n",        // unknown directive
+      &errors);
+  EXPECT_EQ(config.registry_path, "src/faultfx/fault_sites.registry");
+  ASSERT_EQ(config.exemptions.size(), 1u);
+  EXPECT_EQ(errors.size(), 2u);
+  EXPECT_TRUE(is_exempt(config, "bare-throw", "src/algo/sax.cpp"));
+  EXPECT_FALSE(is_exempt(config, "bare-throw", "src/core/urel.cpp"));
+  EXPECT_FALSE(is_exempt(config, "mutex-guard", "src/algo/sax.cpp"));
+}
+
+TEST(LintRunRulesTest, AppliesExemptionsAndCountsByRule) {
+  std::vector<FileContent> files;
+  files.push_back({"src/x/bare_throw.cpp", read_fixture("bare_throw.cpp")});
+  files.push_back({"src/x/unannotated_mutex.cpp",
+                   read_fixture("unannotated_mutex.cpp")});
+  Config config;  // no registry -> fault-site rule skipped
+  Report report = run_rules(files, config, "");
+  EXPECT_EQ(report.findings.size(), 5u);
+  EXPECT_EQ(report.exempted, 0u);
+  EXPECT_EQ(report.by_rule["bare-throw"], 2u);
+  EXPECT_EQ(report.by_rule["mutex-guard"], 3u);
+
+  config.exemptions.push_back({"bare-throw", "src/x/"});
+  report = run_rules(files, config, "");
+  EXPECT_EQ(report.findings.size(), 3u);
+  EXPECT_EQ(report.exempted, 2u);
+  EXPECT_EQ(report_to_json(report),
+            "{\"findings\": 3, \"exempted\": 2, \"by_rule\": "
+            "{\"mutex-guard\": 3}}");
+}
+
+TEST(LintMainTest, ExitCodes) {
+  // 0: clean file, no registry.
+  EXPECT_EQ(lint_main({fixture_path("clean.cpp")}), 0);
+  // 1: findings.
+  EXPECT_EQ(lint_main({fixture_path("bare_throw.cpp")}), 1);
+  EXPECT_EQ(lint_main({"--registry", fixture_path("registry.txt"),
+                       fixture_path("unregistered_fault.cpp")}),
+            1);
+  // 2: usage / unreadable inputs.
+  EXPECT_EQ(lint_main({}), 2);
+  EXPECT_EQ(lint_main({"--bogus-flag", fixture_path("clean.cpp")}), 2);
+  EXPECT_EQ(lint_main({"--config", fixture_path("no_such.conf"),
+                       fixture_path("clean.cpp")}),
+            2);
+  EXPECT_EQ(lint_main({fixture_path("no_such_file.cpp")}), 2);
+}
+
+}  // namespace
+}  // namespace ivt::lint

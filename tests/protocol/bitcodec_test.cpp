@@ -1,3 +1,4 @@
+#include "errors/error.hpp"
 #include "protocol/bitcodec.hpp"
 
 #include <gtest/gtest.h>
@@ -87,10 +88,10 @@ TEST(BitCodecTest, FitChecks) {
 TEST(BitCodecTest, OutOfRangeThrows) {
   const std::vector<std::uint8_t> payload(2, 0);
   EXPECT_THROW(extract_bits(payload, 12, 8, ByteOrder::Intel),
-               std::out_of_range);
+               ivt::errors::Error);
   std::vector<std::uint8_t> w(2, 0);
   EXPECT_THROW(insert_bits(w, 12, 8, ByteOrder::Intel, 1),
-               std::out_of_range);
+               ivt::errors::Error);
 }
 
 TEST(BitCodecTest, SignExtend) {
@@ -116,9 +117,9 @@ TEST(BitCodecTest, HexRoundTrip) {
 }
 
 TEST(BitCodecTest, HexRejectsBadInput) {
-  EXPECT_THROW(from_hex("5G"), std::invalid_argument);
-  EXPECT_THROW(from_hex("5"), std::invalid_argument);
-  EXPECT_THROW(from_hex("5 A"), std::invalid_argument);
+  EXPECT_THROW(from_hex("5G"), ivt::errors::Error);
+  EXPECT_THROW(from_hex("5"), ivt::errors::Error);
+  EXPECT_THROW(from_hex("5 A"), ivt::errors::Error);
 }
 
 TEST(BitCodecTest, EmptyHex) {

@@ -1,3 +1,4 @@
+#include "errors/error.hpp"
 #include "protocol/can.hpp"
 
 #include <gtest/gtest.h>
@@ -53,14 +54,14 @@ TEST(CanTest, FdDlcTable) {
   EXPECT_EQ(can_fd_dlc_to_length(8), 8u);
   EXPECT_EQ(can_fd_dlc_to_length(9), 12u);
   EXPECT_EQ(can_fd_dlc_to_length(15), 64u);
-  EXPECT_THROW(can_fd_dlc_to_length(16), std::invalid_argument);
+  EXPECT_THROW(can_fd_dlc_to_length(16), ivt::errors::Error);
 }
 
 TEST(CanTest, FdLengthToDlcRoundsUp) {
   EXPECT_EQ(can_fd_length_to_dlc(0), 0u);
   EXPECT_EQ(can_fd_length_to_dlc(9), 9u);   // -> 12 bytes
   EXPECT_EQ(can_fd_length_to_dlc(64), 15u);
-  EXPECT_THROW(can_fd_length_to_dlc(65), std::invalid_argument);
+  EXPECT_THROW(can_fd_length_to_dlc(65), ivt::errors::Error);
 }
 
 TEST(CanTest, SerializeRoundTrip) {
@@ -87,10 +88,10 @@ TEST(CanTest, SerializeRoundTripExtendedFd) {
 
 TEST(CanTest, DeserializeTruncatedThrows) {
   const std::vector<std::uint8_t> junk{0x00, 0x01};
-  EXPECT_THROW(deserialize_can(junk), std::invalid_argument);
+  EXPECT_THROW(deserialize_can(junk), ivt::errors::Error);
   std::vector<std::uint8_t> bytes = serialize(sample_frame());
   bytes.pop_back();
-  EXPECT_THROW(deserialize_can(bytes), std::invalid_argument);
+  EXPECT_THROW(deserialize_can(bytes), ivt::errors::Error);
 }
 
 TEST(CanTest, Crc15DetectsBitFlips) {

@@ -1,3 +1,4 @@
+#include "errors/error.hpp"
 #include "protocol/flexray.hpp"
 
 #include <gtest/gtest.h>
@@ -42,10 +43,10 @@ TEST(FlexRayTest, ChannelBPreserved) {
 
 TEST(FlexRayTest, TruncatedThrows) {
   EXPECT_THROW(deserialize_flexray(std::vector<std::uint8_t>{1, 2, 3}),
-               std::invalid_argument);
+               ivt::errors::Error);
   auto bytes = serialize(sample_frame());
   bytes.pop_back();
-  EXPECT_THROW(deserialize_flexray(bytes), std::invalid_argument);
+  EXPECT_THROW(deserialize_flexray(bytes), ivt::errors::Error);
 }
 
 TEST(FlexRayTest, HeaderCrcDependsOnSlotAndLength) {

@@ -1,3 +1,4 @@
+#include "errors/error.hpp"
 #include "protocol/lin.hpp"
 
 #include <gtest/gtest.h>
@@ -22,12 +23,12 @@ TEST(LinTest, ProtectedIdKnownVectors) {
 }
 
 TEST(LinTest, ProtectedIdRejectsOutOfRange) {
-  EXPECT_THROW(lin_protected_id(0x40), std::invalid_argument);
+  EXPECT_THROW(lin_protected_id(0x40), ivt::errors::Error);
 }
 
 TEST(LinTest, PidParityErrorDetected) {
   const std::uint8_t pid = lin_protected_id(0x11);
-  EXPECT_THROW(lin_id_from_pid(pid ^ 0x80), std::invalid_argument);
+  EXPECT_THROW(lin_id_from_pid(pid ^ 0x80), ivt::errors::Error);
 }
 
 TEST(LinTest, ChecksumEnhancedDiffersFromClassic) {
@@ -66,18 +67,18 @@ TEST(LinTest, SerializeRoundTripClassic) {
 TEST(LinTest, CorruptedChecksumRejected) {
   std::vector<std::uint8_t> bytes = serialize(sample_frame());
   bytes.back() ^= 0xFF;
-  EXPECT_THROW(deserialize_lin(bytes), std::invalid_argument);
+  EXPECT_THROW(deserialize_lin(bytes), ivt::errors::Error);
 }
 
 TEST(LinTest, CorruptedPayloadRejected) {
   std::vector<std::uint8_t> bytes = serialize(sample_frame());
   bytes[2] ^= 0x01;  // first data byte
-  EXPECT_THROW(deserialize_lin(bytes), std::invalid_argument);
+  EXPECT_THROW(deserialize_lin(bytes), ivt::errors::Error);
 }
 
 TEST(LinTest, TruncatedRejected) {
   EXPECT_THROW(deserialize_lin(std::vector<std::uint8_t>{0x80}),
-               std::invalid_argument);
+               ivt::errors::Error);
 }
 
 TEST(LinTest, Validity) {

@@ -1,3 +1,4 @@
+#include "errors/error.hpp"
 #include "protocol/someip.hpp"
 
 #include <gtest/gtest.h>
@@ -56,15 +57,15 @@ TEST(SomeIpTest, EmptyPayloadRoundTrip) {
 
 TEST(SomeIpTest, TruncatedHeaderThrows) {
   const std::vector<std::uint8_t> junk(8, 0);
-  EXPECT_THROW(deserialize_someip(junk), std::invalid_argument);
+  EXPECT_THROW(deserialize_someip(junk), ivt::errors::Error);
 }
 
 TEST(SomeIpTest, InconsistentLengthThrows) {
   auto bytes = serialize(sample_message());
   bytes[7] = 200;  // claims more payload than present
-  EXPECT_THROW(deserialize_someip(bytes), std::invalid_argument);
+  EXPECT_THROW(deserialize_someip(bytes), ivt::errors::Error);
   bytes[7] = 4;  // less than the minimum 8
-  EXPECT_THROW(deserialize_someip(bytes), std::invalid_argument);
+  EXPECT_THROW(deserialize_someip(bytes), ivt::errors::Error);
 }
 
 TEST(SomeIpTest, MessageTypes) {
