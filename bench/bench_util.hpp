@@ -210,6 +210,20 @@ class JsonRecord {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Folds a histogram's p50/p90/p99 (obs::Histogram::Data::quantile) into a
+/// bench record as <prefix>_p50/_p90/_p99 plus <prefix>_count, so every
+/// latency histogram a benchmark touches lands in BENCH_*.json with its
+/// tail, not just its mean. Fields are emitted even for an empty
+/// histogram (all zeros) to keep record shapes stable across runs.
+inline JsonRecord& add_histogram_quantiles(JsonRecord& record,
+                                           const std::string& prefix,
+                                           const obs::Histogram::Data& hist) {
+  return record.add(prefix + "_count", hist.count)
+      .add(prefix + "_p50", hist.quantile(0.50))
+      .add(prefix + "_p90", hist.quantile(0.90))
+      .add(prefix + "_p99", hist.quantile(0.99));
+}
+
 /// Folds robustness counters into a bench record (cumulative process
 /// totals at emit time).
 inline JsonRecord& add_robustness_fields(JsonRecord& record,

@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -25,6 +26,8 @@
 #include "errors/failure_log.hpp"
 #include "faultfx/faultfx.hpp"
 #include "obs/obs.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "simnet/datasets.hpp"
 #include "tracefile/binary_format.hpp"
 
@@ -113,6 +116,35 @@ commands:
       --trace PATH            .ivt or .ivc trace (required)
       --out PATH              output file (default: stdout)
 
+  serve        run the ivt-serve daemon: answers concurrent preselect /
+               extract / state / mine queries over registered .ivc traces
+               (length-prefixed binary protocol, see src/serve). Prints
+               "listening on HOST:PORT" once ready; SIGTERM/SIGINT shut
+               it down cleanly after in-flight requests finish
+      --catalog PATH          .ivsdb catalog (required)
+      --traces a.ivc,b.ivc    traces to register; each is served under its
+                              basename without extension (required)
+      --host ADDR             bind address (default 127.0.0.1)
+      --port N                listen port; 0 picks a free port (default 0)
+      --workers N             query worker threads (default: hardware)
+      --max-in-flight N       admission window before requests are
+                              rejected Overloaded (default: 2 x workers)
+      --cache-mb N            tier-1 compressed-chunk cache (default 64)
+      --state-cache-mb N      tier-2 state-representation cache (default 64)
+
+  query        send one request to a running daemon and print the reply
+      --host ADDR             daemon address (default 127.0.0.1)
+      --port N                daemon port (required)
+      --op NAME               ping|list|stats|preselect|extract|state|
+                              mine|shutdown (default ping)
+      --trace NAME            registered trace name (data ops)
+      --signals a,b,c         signal selection (default: all)
+      --min-t-ns N, --max-t-ns N   time slice bounds
+      --rate-threshold HZ     state/mine classifier threshold (default 5)
+      --top-k N               mine: anomalies to report (default 10)
+      --out PATH              write the table payload here (default:
+                              payload follows the JSON on stdout)
+
 environment:
   IVT_FAULTS   failpoint recipe armed before the command runs, e.g.
                colstore.decode_chunk:error:0.01:seed=7 (see src/faultfx)
@@ -120,8 +152,8 @@ environment:
 exit codes:
   0  success            2  usage error (bad command line)
   1  other failure      3  input format error (corrupt trace / catalog)
-                        4  partial success (units dropped under
-                           --on-error=skip|quarantine)
+  5  server bind/       4  partial success (units dropped under
+     listen failure        --on-error=skip|quarantine)
 )";
 
 signaldb::Catalog load_catalog_arg(const Args& args, const char* key) {
@@ -639,6 +671,138 @@ int cmd_export_asc(const Args& args) {
   return 0;
 }
 
+namespace {
+
+/// cmd_serve's SIGTERM/SIGINT target. request_stop() is async-signal-safe
+/// (one write to a self-pipe), so calling it from the handler is legal.
+serve::Server* g_serve_instance = nullptr;
+
+extern "C" void handle_serve_signal(int) {
+  if (g_serve_instance != nullptr) g_serve_instance->request_stop();
+}
+
+/// Registered trace name: basename without the extension
+/// ("out/SYN_J0.ivc" -> "SYN_J0").
+std::string trace_name_from_path(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name.resize(dot);
+  return name;
+}
+
+}  // namespace
+
+int cmd_serve(const Args& args) {
+  signaldb::Catalog db = load_catalog_arg(args, "catalog");
+  const std::vector<std::string> trace_paths = args.get_list("traces");
+  if (trace_paths.empty()) {
+    throw std::invalid_argument(
+        "serve: --traces a.ivc[,b.ivc...] is required");
+  }
+  serve::ServerConfig config;
+  config.host = args.get_or("host", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  config.workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  config.max_in_flight =
+      static_cast<std::size_t>(args.get_int("max-in-flight", 0));
+  config.query.chunk_cache_bytes =
+      static_cast<std::size_t>(args.get_int("cache-mb", 64)) << 20U;
+  config.query.state_cache_bytes =
+      static_cast<std::size_t>(args.get_int("state-cache-mb", 64)) << 20U;
+  warn_unused(args);
+
+  auto catalog = std::make_unique<serve::TraceCatalog>(std::move(db));
+  for (const std::string& path : trace_paths) {
+    catalog->add_trace(trace_name_from_path(path), path);
+    std::fprintf(stderr, "serve: registered %s as '%s'\n", path.c_str(),
+                 trace_name_from_path(path).c_str());
+  }
+  serve::Server server(std::move(catalog), config);
+  try {
+    server.start();
+  } catch (const errors::Error& e) {
+    std::fprintf(stderr, "serve: %s\n", e.describe().c_str());
+    return 5;  // bind/listen failure — distinct so scripts can tell
+               // "port taken" from "query failed"
+  }
+  g_serve_instance = &server;
+  std::signal(SIGTERM, handle_serve_signal);
+  std::signal(SIGINT, handle_serve_signal);
+  // The readiness line scripts (and the CI smoke lane) wait for.
+  std::printf("listening on %s:%u\n", server.host().c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  server.wait();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_serve_instance = nullptr;
+  server.stop();
+  std::fprintf(stderr, "serve: shut down cleanly\n");
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  const std::string host = args.get_or("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  if (port == 0) {
+    throw std::invalid_argument("query: --port is required");
+  }
+  const std::string op = args.get_or("op", "ping");
+  serve::json::Object request;
+  request.add("op", op);
+  if (const auto trace = args.get("trace")) request.add("trace", *trace);
+  const auto signals = args.get_list("signals");
+  if (!signals.empty()) {
+    request.raw("signals", serve::json::render_array(signals));
+  }
+  if (args.has("min-t-ns")) {
+    request.add("min_t_ns", args.get_int("min-t-ns", 0));
+  }
+  if (args.has("max-t-ns")) {
+    request.add("max_t_ns", args.get_int("max-t-ns", 0));
+  }
+  if (args.has("rate-threshold")) {
+    request.add("rate_threshold_hz", args.get_double("rate-threshold", 5.0));
+  }
+  if (args.has("top-k")) request.add("top_k", args.get_int("top-k", 10));
+  const auto out_path = args.get("out");
+  warn_unused(args);
+
+  serve::Client client(host, port);
+  const serve::Frame raw =
+      client.request_raw(serve::Frame{request.str(), {}});
+  serve::ClientResponse response;
+  response.body = serve::json::parse(raw.json);
+  std::printf("%s\n", raw.json.c_str());
+  if (!response.ok()) {
+    std::fprintf(stderr, "query: %s error%s: %s\n",
+                 response.error_category().c_str(),
+                 response.retryable() ? " (retryable)" : "",
+                 response.error_message().c_str());
+    // Mirror run_cli's category mapping for server-side failures.
+    const std::string category = response.error_category();
+    if (category == "format" || category == "decode" || category == "spec") {
+      return 3;
+    }
+    return 1;
+  }
+  if (out_path) {
+    std::ofstream out(*out_path, std::ios::binary);
+    if (!out) {
+      IVT_THROW(errors::Category::Io, "cannot open for write: " + *out_path);
+    }
+    out.write(raw.payload.data(),
+              static_cast<std::streamsize>(raw.payload.size()));
+    std::fprintf(stderr, "payload written to %s (%zu bytes)\n",
+                 out_path->c_str(), raw.payload.size());
+  } else if (!raw.payload.empty()) {
+    std::fwrite(raw.payload.data(), 1, raw.payload.size(), stdout);
+  }
+  return 0;
+}
+
 int run_cli(int argc, const char* const* argv) {
   if (argc < 2) {
     std::fputs(kUsage, stderr);
@@ -659,6 +823,8 @@ int run_cli(int argc, const char* const* argv) {
     if (command == "run") return cmd_run(args);
     if (command == "mine") return cmd_mine(args);
     if (command == "export-asc") return cmd_export_asc(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "query") return cmd_query(args);
     if (command == "help" || command == "--help") {
       std::fputs(kUsage, stdout);
       return 0;

@@ -8,6 +8,8 @@
 //   ivt run       — the full pipeline: trace -> R_out + state table
 //   ivt mine      — Sec. 4.4 applications on a preprocessed journey
 //   ivt export-asc — textual trace dump
+//   ivt serve     — concurrent trace-query daemon (src/serve)
+//   ivt query     — one request against a running ivt serve daemon
 //
 // Commands taking --trace accept both containers; .ivc inputs to
 // `extract` use zone-map predicate pushdown for preselection.
@@ -27,6 +29,8 @@ int cmd_extract(const Args& args);
 int cmd_run(const Args& args);
 int cmd_mine(const Args& args);
 int cmd_export_asc(const Args& args);
+int cmd_serve(const Args& args);
+int cmd_query(const Args& args);
 
 /// Dispatch on argv[1]; prints usage and returns 2 for unknown commands.
 int run_cli(int argc, const char* const* argv);

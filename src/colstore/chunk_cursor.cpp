@@ -56,26 +56,8 @@ dataflow::Partition ChunkCursor::decode_unchecked(std::size_t k) const {
   const std::vector<std::string>& buses = reader_->bus_names();
   const detail::DecodedChunk chunk =
       detail::decode_columns(reader_->buffer(), info, buses.size());
-  const dataflow::Schema& schema = tracefile::kb_schema();
-  dataflow::Partition out = dataflow::Table::make_partition(schema);
-  std::size_t payload_pos = 0;
-  for (std::uint32_t r = 0; r < info.row_count; ++r) {
-    const std::size_t len = static_cast<std::size_t>(chunk.payload_len[r]);
-    const std::size_t pos = payload_pos;
-    payload_pos += len;
-    const auto bus = static_cast<std::uint16_t>(chunk.bus_idx[r]);
-    if (!compiled_.matches_row(bus, chunk.message_id[r], chunk.t_ns[r])) {
-      continue;
-    }
-    out.columns[0].append_int64(chunk.t_ns[r]);
-    out.columns[1].append_string(std::string(
-        reinterpret_cast<const char*>(chunk.payload.data) + pos, len));
-    out.columns[2].append_string(buses[bus]);
-    out.columns[3].append_int64(chunk.message_id[r]);
-    out.columns[4].append_string(tracefile::make_m_info(
-        static_cast<protocol::Protocol>(chunk.protocol[r]),
-        static_cast<std::uint32_t>(chunk.flags[r])));
-  }
+  dataflow::Partition out = detail::materialize_kb_partition(
+      chunk, info.row_count, buses, compiled_);
   rows_emitted_.fetch_add(out.num_rows(), std::memory_order_relaxed);
   return out;
 }

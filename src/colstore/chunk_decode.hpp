@@ -12,6 +12,7 @@
 
 #include "colstore/encoding.hpp"
 #include "colstore/format.hpp"
+#include "dataflow/table.hpp"
 
 namespace ivt::colstore::detail {
 
@@ -66,5 +67,12 @@ struct DecodedChunk {
 
 DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
                             std::size_t num_buses);
+
+/// Materialize decoded columns into a K_b-schema partition, applying the
+/// compiled row filter. Shared by ChunkCursor::decode (file-buffer path)
+/// and decode_chunk_from_bytes (cache path) so the two cannot drift.
+dataflow::Partition materialize_kb_partition(
+    const DecodedChunk& chunk, std::uint32_t row_count,
+    const std::vector<std::string>& buses, const CompiledPredicate& compiled);
 
 }  // namespace ivt::colstore::detail

@@ -278,7 +278,58 @@ DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
   return chunk;
 }
 
+dataflow::Partition materialize_kb_partition(
+    const DecodedChunk& chunk, std::uint32_t row_count,
+    const std::vector<std::string>& buses,
+    const CompiledPredicate& compiled) {
+  const dataflow::Schema& schema = tracefile::kb_schema();
+  dataflow::Partition out = dataflow::Table::make_partition(schema);
+  std::size_t payload_pos = 0;
+  for (std::uint32_t r = 0; r < row_count; ++r) {
+    const std::size_t len = static_cast<std::size_t>(chunk.payload_len[r]);
+    const std::size_t pos = payload_pos;
+    payload_pos += len;
+    const auto bus = static_cast<std::uint16_t>(chunk.bus_idx[r]);
+    if (!compiled.matches_row(bus, chunk.message_id[r], chunk.t_ns[r])) {
+      continue;
+    }
+    out.columns[0].append_int64(chunk.t_ns[r]);
+    out.columns[1].append_string(std::string(
+        reinterpret_cast<const char*>(chunk.payload.data) + pos, len));
+    out.columns[2].append_string(buses[bus]);
+    out.columns[3].append_int64(chunk.message_id[r]);
+    out.columns[4].append_string(tracefile::make_m_info(
+        static_cast<protocol::Protocol>(chunk.protocol[r]),
+        static_cast<std::uint32_t>(chunk.flags[r])));
+  }
+  return out;
+}
+
 }  // namespace detail
+
+dataflow::Partition decode_chunk_from_bytes(
+    const std::string& chunk_bytes, const ChunkInfo& info,
+    const ScanPredicate& pred, const std::vector<std::string>& buses) {
+  if (chunk_bytes.size() != info.encoded_bytes) {
+    IVT_THROW(errors::Category::Decode,
+              "ivc: cached chunk byte count mismatch (" +
+                  std::to_string(chunk_bytes.size()) + " cached, " +
+                  std::to_string(info.encoded_bytes) + " in directory)");
+  }
+  // The directory entry describes the chunk at its position in the
+  // original file; the cached copy starts at offset 0.
+  ChunkInfo rebased = info;
+  rebased.offset = 0;
+  const detail::DecodedChunk chunk =
+      detail::decode_columns(chunk_bytes, rebased, buses.size());
+  const detail::CompiledPredicate compiled =
+      detail::compile_predicate(pred, buses);
+  if (compiled.never_matches) {
+    return dataflow::Table::make_partition(tracefile::kb_schema());
+  }
+  return detail::materialize_kb_partition(chunk, info.row_count, buses,
+                                          compiled);
+}
 
 ChunkCursor ColumnarReader::cursor(const ScanPredicate& pred,
                                    ScanOptions options) const {

@@ -118,6 +118,19 @@ class ColumnarReader {
   std::vector<ChunkInfo> chunks_;
 };
 
+/// Decode one chunk from a standalone copy of its encoded bytes — the
+/// decode-from-cached-bytes path used by the ivt-serve chunk cache, which
+/// stores the compressed extent [info.offset, info.offset +
+/// info.encoded_bytes) of the original file per chunk instead of keeping
+/// whole files resident. Rows matching `pred` come back as one
+/// K_b-schema partition, identical to what a scan of the same chunk under
+/// the same predicate would emit. Throws errors::Error(Decode) when the
+/// buffer length disagrees with the directory entry or the body is
+/// corrupt.
+dataflow::Partition decode_chunk_from_bytes(
+    const std::string& chunk_bytes, const ChunkInfo& info,
+    const ScanPredicate& pred, const std::vector<std::string>& buses);
+
 /// True when the file at `path` starts with the .ivc magic (cheap sniff
 /// used by the CLI to dispatch between .ivt and .ivc loaders).
 bool is_columnar_trace_file(const std::string& path);

@@ -11,6 +11,7 @@ std::string_view to_string(Category category) {
     case Category::Decode: return "decode";
     case Category::Spec: return "spec";
     case Category::Resource: return "resource";
+    case Category::Overloaded: return "overloaded";
     case Category::Internal: return "internal";
   }
   return "unknown";

@@ -1,9 +1,10 @@
 // Typed error taxonomy for the whole pipeline.
 //
 // Every failure the system can encounter carries
-//   - a Category (io, format, decode, spec, resource, internal) that
-//     recovery policies dispatch on (only `resource` is transient and
-//     worth retrying; a corrupt chunk stays corrupt),
+//   - a Category (io, format, decode, spec, resource, overloaded,
+//     internal) that recovery policies dispatch on (only `resource` and
+//     `overloaded` are transient and worth retrying; a corrupt chunk
+//     stays corrupt),
 //   - a Severity (recoverable failures can be skipped/quarantined by an
 //     ErrorPolicy, fatal ones always abort),
 //   - the source location of the throw site, and
@@ -26,12 +27,15 @@
 namespace ivt::errors {
 
 enum class Category {
-  Io,        ///< file open/read/write failures
-  Format,    ///< malformed container structure (magic, footer, header)
-  Decode,    ///< corrupt encoded payload inside a structurally valid file
-  Spec,      ///< invalid catalog / signal specification
-  Resource,  ///< exhaustion or contention; the only transient category
-  Internal,  ///< invariant violation — a bug, never user data
+  Io,         ///< file open/read/write failures
+  Format,     ///< malformed container structure (magic, footer, header)
+  Decode,     ///< corrupt encoded payload inside a structurally valid file
+  Spec,       ///< invalid catalog / signal specification
+  Resource,   ///< exhaustion or contention; transient
+  Overloaded, ///< admission control rejected the work; transient — retry
+              ///< after a backoff (ivt-serve returns these when its
+              ///< in-flight request window is saturated)
+  Internal,   ///< invariant violation — a bug, never user data
 };
 
 enum class Severity {
@@ -45,7 +49,7 @@ enum class Severity {
 /// Transient errors are worth a bounded retry (the failure may clear on
 /// its own); persistent ones fail identically every attempt.
 [[nodiscard]] constexpr bool is_transient(Category category) {
-  return category == Category::Resource;
+  return category == Category::Resource || category == Category::Overloaded;
 }
 
 /// Throw-site capture (filled in by the IVT_THROW macro).

@@ -152,6 +152,8 @@ errors::Result<FaultSpec> parse_one(const std::string& text) {
         spec.category = errors::Category::Spec;
       } else if (value == "resource") {
         spec.category = errors::Category::Resource;
+      } else if (value == "overloaded") {
+        spec.category = errors::Category::Overloaded;
       } else if (value == "internal") {
         spec.category = errors::Category::Internal;
       } else {

@@ -17,9 +17,10 @@
 //       probability  trigger chance per evaluation (default 1.0)
 //       seed=N       RNG seed (default 0)
 //       every=N      trigger every Nth evaluation instead of randomly
-//       cat=C        error category: io|format|decode|spec|resource|internal
-//                    (default decode; `resource` makes the fault transient
-//                    and therefore retryable)
+//       cat=C        error category:
+//                    io|format|decode|spec|resource|overloaded|internal
+//                    (default decode; `resource`/`overloaded` make the
+//                    fault transient and therefore retryable)
 //       delay_us=N   sleep duration for the delay action (default 1000)
 //
 // Determinism: each site keeps an evaluation counter; the trigger decision

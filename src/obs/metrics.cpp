@@ -66,6 +66,33 @@ void Histogram::reset() noexcept {
   }
 }
 
+double Histogram::Data::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based), then walk the cumulative
+  // bucket counts until it is covered.
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    const double below = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b >= bounds.size()) {
+      // Overflow bucket: unbounded above; report the last finite edge.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double hi = bounds[b];
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double fraction =
+        (rank - below) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * (fraction < 0.0 ? 0.0 : fraction);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 std::vector<double> default_latency_bounds_ms() {
   return {0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000};
 }
@@ -224,7 +251,11 @@ std::string to_json(const MetricsSnapshot& snapshot) {
         break;
       case MetricsSnapshot::Kind::Histogram: {
         os << "{\"count\": " << e.hist.count
-           << ", \"sum\": " << render_double(e.hist.sum) << ", \"bounds\": [";
+           << ", \"sum\": " << render_double(e.hist.sum)
+           << ", \"p50\": " << render_double(e.hist.quantile(0.50))
+           << ", \"p90\": " << render_double(e.hist.quantile(0.90))
+           << ", \"p99\": " << render_double(e.hist.quantile(0.99))
+           << ", \"bounds\": [";
         for (std::size_t b = 0; b < e.hist.bounds.size(); ++b) {
           os << (b > 0 ? ", " : "") << render_double(e.hist.bounds[b]);
         }
@@ -257,12 +288,16 @@ std::string to_text(const MetricsSnapshot& snapshot) {
         break;
       case MetricsSnapshot::Kind::Histogram:
         std::snprintf(line, sizeof(line),
-                      "%-44s count=%llu sum=%.6g mean=%.6g\n", e.name.c_str(),
+                      "%-44s count=%llu sum=%.6g mean=%.6g p50=%.6g "
+                      "p90=%.6g p99=%.6g\n",
+                      e.name.c_str(),
                       static_cast<unsigned long long>(e.hist.count),
                       e.hist.sum,
                       e.hist.count > 0
                           ? e.hist.sum / static_cast<double>(e.hist.count)
-                          : 0.0);
+                          : 0.0,
+                      e.hist.quantile(0.50), e.hist.quantile(0.90),
+                      e.hist.quantile(0.99));
         break;
     }
     os << line;

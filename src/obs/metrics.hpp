@@ -117,6 +117,13 @@ class Histogram {
     std::vector<std::uint64_t> counts; ///< bounds.size() + 1 buckets
     double sum = 0.0;
     std::uint64_t count = 0;
+
+    /// Estimate the q-quantile (q in [0, 1]) by linear interpolation
+    /// within the bucket holding the q·count-th observation. The overflow
+    /// bucket has no upper edge, so quantiles landing there return the
+    /// last finite bound (a lower bound on the true value). Returns 0
+    /// for an empty histogram.
+    [[nodiscard]] double quantile(double q) const;
   };
   [[nodiscard]] Data data() const;
 

@@ -1,0 +1,84 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "errors/error.hpp"
+
+namespace ivt::serve {
+
+std::string ClientResponse::error_category() const {
+  if (const json::Value* e = body.find("error")) {
+    return e->get_string("category", "");
+  }
+  return "";
+}
+
+std::string ClientResponse::error_message() const {
+  if (const json::Value* e = body.find("error")) {
+    return e->get_string("message", "");
+  }
+  return "";
+}
+
+bool ClientResponse::retryable() const {
+  if (const json::Value* e = body.find("error")) {
+    return e->get_bool("retryable", false);
+  }
+  return false;
+}
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    IVT_THROW(errors::Category::Io,
+              std::string("query: socket failed: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    IVT_THROW(errors::Category::Io, "query: bad host address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved_errno = errno;
+    ::close(fd_);
+    fd_ = -1;
+    IVT_THROW(errors::Category::Io,
+              "query: cannot connect to " + host + ":" +
+                  std::to_string(port) + ": " + std::strerror(saved_errno));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame Client::request_raw(const Frame& frame) {
+  write_frame(fd_, frame);
+  Frame response;
+  if (!read_frame(fd_, response)) {
+    IVT_THROW(errors::Category::Io,
+              "query: server closed the connection before responding");
+  }
+  return response;
+}
+
+ClientResponse Client::request(const std::string& request_json) {
+  Frame response = request_raw(Frame{request_json, {}});
+  ClientResponse out;
+  out.body = json::parse(response.json);
+  out.payload = std::move(response.payload);
+  return out;
+}
+
+}  // namespace ivt::serve

@@ -1,0 +1,197 @@
+// Sharded byte-capacity LRU cache for the ivt-serve daemon.
+//
+// Two instances back the server (see serve/query_engine.hpp): a tier-1
+// cache of *compressed* chunk extents (the bytes between two chunk
+// directory offsets, exactly as stored in the .ivc file) and a tier-2
+// cache of materialized state representations. Both tiers share this one
+// template.
+//
+// Design:
+//   - Keys hash onto `num_shards` independent shards, each with its own
+//     support::Mutex, intrusive LRU list and byte budget
+//     (capacity / num_shards). Concurrent requests touching different
+//     chunks therefore rarely contend on a lock. Tiers with few, large
+//     entries (the state cache) use a single shard so one entry can
+//     occupy the whole budget; tiers with many small entries (the chunk
+//     cache) use the default kShards for concurrency.
+//   - Values are handed out as shared_ptr<const V>: an entry evicted
+//     while a request still decodes from it stays alive until the last
+//     reader drops it. Nothing is ever copied out under the lock.
+//   - Eviction is strictly LRU within a shard and runs at insert time
+//     until the shard is back under budget. A value larger than a whole
+//     shard's budget is not cached (the insert immediately evicts it);
+//     callers still get their shared_ptr, so oversized requests work,
+//     they just never warm the cache.
+//   - Counters (<name>.hits / .misses / .evictions / .insertions) and a
+//     byte gauge (<name>.bytes) are registered in the process obs
+//     registry at construction, so `ivt query --op stats` and the
+//     Chrome-trace/metrics exports see cache effectiveness without any
+//     serve-specific plumbing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace ivt::serve {
+
+/// Aggregated point-in-time statistics of one cache instance.
+struct LruCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t entries = 0;
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  /// `name` prefixes the obs metrics (e.g. "serve.chunk_cache").
+  /// `capacity_bytes` is the total budget across all shards.
+  /// `num_shards` trades lock concurrency against the largest single
+  /// entry the cache can hold (per-shard budget = capacity / shards).
+  ShardedLruCache(std::string name, std::size_t capacity_bytes,
+                  std::size_t num_shards = kShards)
+      : name_(std::move(name)),
+        num_shards_(num_shards == 0 ? 1 : num_shards),
+        shard_capacity_(capacity_bytes / num_shards_),
+        shards_(std::make_unique<Shard[]>(num_shards_)),
+        hits_(obs::Registry::instance().counter(name_ + ".hits")),
+        misses_(obs::Registry::instance().counter(name_ + ".misses")),
+        evictions_(obs::Registry::instance().counter(name_ + ".evictions")),
+        insertions_(obs::Registry::instance().counter(name_ + ".insertions")),
+        bytes_gauge_(obs::Registry::instance().gauge(name_ + ".bytes")) {}
+
+  /// Look up `key`; nullptr on miss. A hit moves the entry to the front
+  /// of its shard's LRU list.
+  [[nodiscard]] std::shared_ptr<const Value> get(const Key& key) {
+    Shard& shard = shard_for(key);
+    std::shared_ptr<const Value> out;
+    {
+      const support::MutexLock lock(shard.mutex);
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        out = it->second->value;
+      }
+    }
+    if (out != nullptr) {
+      hits_.add(1);
+    } else {
+      misses_.add(1);
+    }
+    return out;
+  }
+
+  /// Insert (or replace) `key`, charging `bytes` against the shard
+  /// budget, then evict least-recently-used entries until the shard fits.
+  void put(const Key& key, std::shared_ptr<const Value> value,
+           std::size_t bytes) {
+    Shard& shard = shard_for(key);
+    std::uint64_t evicted = 0;
+    std::int64_t byte_delta = 0;
+    {
+      const support::MutexLock lock(shard.mutex);
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        byte_delta -= static_cast<std::int64_t>(it->second->bytes);
+        shard.bytes -= it->second->bytes;
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+      }
+      shard.lru.push_front(Entry{key, std::move(value), bytes});
+      shard.index.emplace(key, shard.lru.begin());
+      shard.bytes += bytes;
+      byte_delta += static_cast<std::int64_t>(bytes);
+      while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
+        const Entry& victim = shard.lru.back();
+        shard.bytes -= victim.bytes;
+        byte_delta -= static_cast<std::int64_t>(victim.bytes);
+        shard.index.erase(victim.key);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+    insertions_.add(1);
+    if (evicted > 0) evictions_.add(evicted);
+    bytes_gauge_.add(byte_delta);
+  }
+
+  /// Drop every entry (admin/testing; readers holding shared_ptrs keep
+  /// their values).
+  void clear() {
+    std::int64_t byte_delta = 0;
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      const support::MutexLock lock(shards_[s].mutex);
+      byte_delta -= static_cast<std::int64_t>(shards_[s].bytes);
+      shards_[s].bytes = 0;
+      shards_[s].lru.clear();
+      shards_[s].index.clear();
+    }
+    bytes_gauge_.add(byte_delta);
+  }
+
+  [[nodiscard]] LruCacheStats stats() const {
+    LruCacheStats out;
+    out.hits = hits_.value();
+    out.misses = misses_.value();
+    out.evictions = evictions_.value();
+    out.insertions = insertions_.value();
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      const support::MutexLock lock(shards_[s].mutex);
+      out.bytes += shards_[s].bytes;
+      out.entries += shards_[s].lru.size();
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return shard_capacity_ * num_shards_;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Value> value;
+    std::size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable support::Mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru IVT_GUARDED_BY(mutex);
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index
+        IVT_GUARDED_BY(mutex);
+    std::size_t bytes IVT_GUARDED_BY(mutex) = 0;
+  };
+
+  Shard& shard_for(const Key& key) const {
+    return shards_[Hash{}(key) % num_shards_];
+  }
+
+  const std::string name_;
+  const std::size_t num_shards_;
+  const std::size_t shard_capacity_;
+  const std::unique_ptr<Shard[]> shards_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
+  obs::Counter& insertions_;
+  obs::Gauge& bytes_gauge_;
+};
+
+}  // namespace ivt::serve

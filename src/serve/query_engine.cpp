@@ -1,0 +1,499 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "apps/anomaly.hpp"
+#include "colstore/chunk_decode.hpp"
+#include "colstore/columnar_reader.hpp"
+#include "core/interpret.hpp"
+#include "core/pipeline.hpp"
+#include "core/urel.hpp"
+#include "dataflow/csv.hpp"
+#include "dataflow/engine.hpp"
+#include "dataflow/ops.hpp"
+#include "errors/error.hpp"
+#include "obs/obs.hpp"
+#include "tracefile/trace.hpp"
+
+namespace ivt::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Inline engine for request-scoped pipeline work: every dataflow task
+/// runs on the calling pool worker. Parallelism comes from concurrent
+/// requests; nesting a second thread pool inside a pool worker would
+/// oversubscribe and deadlock-prone the admission window.
+dataflow::Engine make_inline_engine() {
+  dataflow::EngineConfig config;
+  config.workers = 0;
+  config.inline_execution = true;
+  return dataflow::Engine(config);
+}
+
+std::string render_csv(const dataflow::Table& table) {
+  std::ostringstream out;
+  dataflow::write_csv(table, out);
+  return std::move(out).str();
+}
+
+/// U_comb for the requested signal set; unknown signal names become a
+/// typed Spec error (the batch CLI maps the same std::invalid_argument to
+/// a usage error, but over the wire every failure must be typed).
+dataflow::Table build_urel(const signaldb::Catalog& db,
+                           const std::vector<std::string>& signals) {
+  try {
+    return signals.empty() ? core::make_full_urel_table(db)
+                           : core::make_urel_table(db, signals);
+  } catch (const std::invalid_argument& e) {
+    IVT_THROW(errors::Category::Spec, std::string("serve: ") + e.what());
+  }
+}
+
+}  // namespace
+
+struct QueryEngine::RequestContext {
+  std::uint64_t request_id = 0;
+  std::string op;
+  std::string trace;
+  std::vector<std::string> signals;
+  bool has_min = false;
+  bool has_max = false;
+  std::int64_t min_t_ns = 0;
+  std::int64_t max_t_ns = 0;
+  double rate_threshold_hz = 5.0;
+  std::int64_t top_k = 10;
+
+  Clock::time_point start = Clock::now();
+  std::vector<std::pair<std::string, double>> stages;
+  std::size_t chunks_total = 0;
+  std::size_t chunks_scanned = 0;
+
+  /// Scoped per-stage wall clock; results land in the response's
+  /// "stages" object and (via the enclosing OBS span) in the Chrome
+  /// trace.
+  class StageTimer {
+   public:
+    StageTimer(RequestContext& ctx, std::string name)
+        : ctx_(ctx), name_(std::move(name)), start_(Clock::now()) {}
+    ~StageTimer() { ctx_.stages.emplace_back(name_, ms_since(start_)); }
+    StageTimer(const StageTimer&) = delete;
+    StageTimer& operator=(const StageTimer&) = delete;
+
+   private:
+    RequestContext& ctx_;
+    std::string name_;
+    Clock::time_point start_;
+  };
+
+  [[nodiscard]] bool has_time_range() const { return has_min || has_max; }
+
+  [[nodiscard]] QueryResult finish(json::Object& body,
+                                   std::string payload = {}) const {
+    json::Object stage_obj;
+    for (const auto& [name, wall_ms] : stages) stage_obj.add(name, wall_ms);
+    body.raw("stages", stage_obj.str());
+    body.add("t_total_ms", ms_since(start));
+    return QueryResult{body.str(), std::move(payload)};
+  }
+
+  [[nodiscard]] json::Object base() const {
+    json::Object body;
+    body.add("ok", true)
+        .add("request_id", request_id)
+        .add("op", op);
+    return body;
+  }
+};
+
+QueryEngine::QueryEngine(const TraceCatalog& catalog, QueryEngineConfig config)
+    : catalog_(&catalog),
+      chunk_cache_("serve.chunk_cache", config.chunk_cache_bytes),
+      // Single shard: tier-2 holds a handful of large tables, and a
+      // sharded budget would reject any state bigger than capacity/8.
+      state_cache_("serve.state_cache", config.state_cache_bytes, 1) {}
+
+QueryResult QueryEngine::execute(const json::Value& request,
+                                 std::uint64_t request_id) {
+  if (!request.is_object()) {
+    IVT_THROW(errors::Category::Decode,
+              "serve: request body must be a JSON object");
+  }
+  RequestContext ctx;
+  ctx.request_id = request_id;
+  ctx.op = request.get_string("op", "");
+  ctx.trace = request.get_string("trace", "");
+  ctx.signals = request.get_string_list("signals");
+  if (const json::Value* v = request.find("min_t_ns")) {
+    ctx.has_min = !v->is_null();
+    ctx.min_t_ns = request.get_int("min_t_ns", 0);
+  }
+  if (const json::Value* v = request.find("max_t_ns")) {
+    ctx.has_max = !v->is_null();
+    ctx.max_t_ns = request.get_int("max_t_ns", 0);
+  }
+  ctx.rate_threshold_hz = request.get_double("rate_threshold_hz", 5.0);
+  ctx.top_k = request.get_int("top_k", 10);
+
+  // One span per request; `rows` carries the request id so spans of one
+  // request correlate across worker threads in the Chrome-trace export.
+  obs::SpanScope span("serve.req." + ctx.op);
+  span.set_rows(request_id);
+
+  if (ctx.op == "ping") return op_ping(ctx);
+  if (ctx.op == "list") return op_list(ctx);
+  if (ctx.op == "stats") return op_stats(ctx);
+  if (ctx.op == "preselect") return op_preselect(ctx);
+  if (ctx.op == "extract") return op_extract(ctx);
+  if (ctx.op == "state") return op_state(ctx);
+  if (ctx.op == "mine") return op_mine(ctx);
+  IVT_THROW(errors::Category::Spec,
+            "serve: unknown op '" + ctx.op +
+                "' (ping, list, stats, preselect, extract, state, mine)");
+}
+
+QueryResult QueryEngine::op_ping(RequestContext& ctx) {
+  json::Object body = ctx.base();
+  return ctx.finish(body);
+}
+
+QueryResult QueryEngine::op_list(RequestContext& ctx) {
+  std::vector<std::string> rendered;
+  for (const std::string& name : catalog_->names()) {
+    const TraceEntry& entry = catalog_->require(name);
+    std::int64_t min_t = 0;
+    std::int64_t max_t = 0;
+    if (!entry.chunks.empty()) {
+      min_t = entry.chunks.front().min_t_ns;
+      max_t = entry.chunks.front().max_t_ns;
+      for (const colstore::ChunkInfo& c : entry.chunks) {
+        min_t = std::min(min_t, c.min_t_ns);
+        max_t = std::max(max_t, c.max_t_ns);
+      }
+    }
+    json::Object t;
+    t.add("name", name)
+        .add("vehicle", entry.vehicle)
+        .add("journey", entry.journey)
+        .add("rows", static_cast<std::uint64_t>(entry.num_rows))
+        .add("chunks", static_cast<std::uint64_t>(entry.chunks.size()))
+        .add("min_t_ns", min_t)
+        .add("max_t_ns", max_t)
+        .raw("buses", json::render_array(entry.buses));
+    rendered.push_back(t.str());
+  }
+  std::string array = "[";
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    if (i > 0) array += ",";
+    array += rendered[i];
+  }
+  array += "]";
+  json::Object body = ctx.base();
+  body.add("count", static_cast<std::uint64_t>(rendered.size()))
+      .raw("traces", array);
+  return ctx.finish(body);
+}
+
+namespace {
+
+std::string render_cache_stats(const LruCacheStats& stats,
+                               std::size_t capacity_bytes) {
+  json::Object out;
+  out.add("hits", stats.hits)
+      .add("misses", stats.misses)
+      .add("evictions", stats.evictions)
+      .add("insertions", stats.insertions)
+      .add("bytes", stats.bytes)
+      .add("entries", stats.entries)
+      .add("capacity_bytes", static_cast<std::uint64_t>(capacity_bytes));
+  return out.str();
+}
+
+}  // namespace
+
+QueryResult QueryEngine::op_stats(RequestContext& ctx) {
+  const obs::MetricsSnapshot snapshot = obs::Registry::instance().snapshot();
+  json::Object body = ctx.base();
+  body.raw("chunk_cache", render_cache_stats(chunk_cache_stats(),
+                                             chunk_cache_.capacity_bytes()))
+      .raw("state_cache", render_cache_stats(state_cache_stats(),
+                                             state_cache_.capacity_bytes()))
+      .add("requests_total", snapshot.counter_or("serve.requests_total", 0))
+      .add("requests_failed", snapshot.counter_or("serve.requests_failed", 0))
+      .add("requests_overloaded",
+           snapshot.counter_or("serve.requests_overloaded", 0))
+      .add("chunks_decoded", snapshot.counter_or("serve.chunks_decoded", 0))
+      .add("chunks_loaded", snapshot.counter_or("serve.chunks_loaded", 0));
+  if (const obs::MetricsSnapshot::Entry* g = snapshot.find("serve.in_flight");
+      g != nullptr && g->kind == obs::MetricsSnapshot::Kind::Gauge) {
+    body.add("in_flight", g->gauge);
+  }
+  if (const obs::MetricsSnapshot::Entry* h =
+          snapshot.find("serve.request_ms");
+      h != nullptr && h->kind == obs::MetricsSnapshot::Kind::Histogram) {
+    json::Object lat;
+    lat.add("count", h->hist.count)
+        .add("p50_ms", h->hist.quantile(0.50))
+        .add("p90_ms", h->hist.quantile(0.90))
+        .add("p99_ms", h->hist.quantile(0.99));
+    body.raw("latency", lat.str());
+  }
+  return ctx.finish(body);
+}
+
+dataflow::Table QueryEngine::load_kb(RequestContext& ctx,
+                                     const TraceEntry& entry,
+                                     const dataflow::Table& urel) {
+  const RequestContext::StageTimer timer(ctx, "scan");
+  OBS_SPAN("serve.scan");
+  colstore::ScanPredicate pred = core::urel_scan_predicate(urel);
+  if (ctx.has_time_range()) {
+    pred.has_time_range = true;
+    pred.min_t_ns =
+        ctx.has_min ? ctx.min_t_ns : std::numeric_limits<std::int64_t>::min();
+    pred.max_t_ns =
+        ctx.has_max ? ctx.max_t_ns : std::numeric_limits<std::int64_t>::max();
+  }
+  dataflow::Table kb(tracefile::kb_schema());
+  ctx.chunks_total = entry.chunks.size();
+  const std::vector<std::uint16_t> bus_indices =
+      colstore::detail::prune_bus_indices(pred, entry.buses);
+  for (std::size_t i = 0; i < entry.chunks.size(); ++i) {
+    const colstore::ChunkInfo& info = entry.chunks[i];
+    if (!colstore::chunk_may_match(info, pred, bus_indices)) continue;
+    ++ctx.chunks_scanned;
+    const std::shared_ptr<const std::string> bytes =
+        catalog_->chunk_bytes(entry, i, chunk_cache_);
+    dataflow::Partition part =
+        colstore::decode_chunk_from_bytes(*bytes, info, pred, entry.buses);
+    OBS_COUNT("serve.chunks_decoded", 1);
+    kb.add_partition(std::move(part));
+  }
+  return kb;
+}
+
+QueryResult QueryEngine::op_preselect(RequestContext& ctx) {
+  const TraceEntry& entry = catalog_->require(ctx.trace);
+  const dataflow::Table urel = build_urel(catalog_->db(), ctx.signals);
+  const dataflow::Table kb = load_kb(ctx, entry, urel);
+  std::string payload;
+  {
+    const RequestContext::StageTimer timer(ctx, "serialize");
+    payload = render_csv(kb);
+  }
+  json::Object body = ctx.base();
+  body.add("rows", static_cast<std::uint64_t>(kb.num_rows()))
+      .add("columns", static_cast<std::uint64_t>(kb.schema().size()))
+      .add("chunks_total", static_cast<std::uint64_t>(ctx.chunks_total))
+      .add("chunks_scanned", static_cast<std::uint64_t>(ctx.chunks_scanned))
+      .add("payload_format", "csv");
+  return ctx.finish(body, std::move(payload));
+}
+
+QueryResult QueryEngine::op_extract(RequestContext& ctx) {
+  const TraceEntry& entry = catalog_->require(ctx.trace);
+  const dataflow::Table urel = build_urel(catalog_->db(), ctx.signals);
+  const dataflow::Table kb = load_kb(ctx, entry, urel);
+  dataflow::Engine engine = make_inline_engine();
+  core::InterpretOptions options;
+  options.catalog = &catalog_->db();
+  dataflow::Table ks;
+  {
+    const RequestContext::StageTimer timer(ctx, "interpret");
+    OBS_SPAN("serve.interpret");
+    ks = core::interpret(engine, kb, urel, options);
+  }
+  std::string payload;
+  {
+    const RequestContext::StageTimer timer(ctx, "serialize");
+    payload = render_csv(ks);
+  }
+  json::Object body = ctx.base();
+  body.add("rows", static_cast<std::uint64_t>(ks.num_rows()))
+      .add("columns", static_cast<std::uint64_t>(ks.schema().size()))
+      .add("chunks_total", static_cast<std::uint64_t>(ctx.chunks_total))
+      .add("chunks_scanned", static_cast<std::uint64_t>(ctx.chunks_scanned))
+      .add("payload_format", "csv");
+  return ctx.finish(body, std::move(payload));
+}
+
+std::shared_ptr<const StateEntry> QueryEngine::state_entry(
+    RequestContext& ctx, const TraceEntry& entry) {
+  // Tier-2 key: everything that changes the pipeline's output. Signals
+  // are order-insensitive (U_comb is a set), so the key sorts them.
+  std::vector<std::string> sorted = ctx.signals;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = entry.name + "|rate=";
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", ctx.rate_threshold_hz);
+    key += buf;
+  }
+  for (const std::string& s : sorted) key += "|" + s;
+
+  if (std::shared_ptr<const StateEntry> hit = state_cache_.get(key)) {
+    return hit;
+  }
+
+  // Build: full-journey pipeline run (NOT time-sliced — the state
+  // representation forward-fills from the journey start, so a slice is
+  // applied to the finished table, never to the scan). Parameters match
+  // the batch CLI defaults (`ivt run`) so served results are
+  // byte-comparable with batch output.
+  const dataflow::Table urel = build_urel(catalog_->db(), ctx.signals);
+  const bool saved_min = ctx.has_min;
+  const bool saved_max = ctx.has_max;
+  ctx.has_min = false;
+  ctx.has_max = false;
+  const dataflow::Table kb = load_kb(ctx, entry, urel);
+  ctx.has_min = saved_min;
+  ctx.has_max = saved_max;
+
+  auto built = std::make_shared<StateEntry>();
+  {
+    const RequestContext::StageTimer timer(ctx, "pipeline");
+    OBS_SPAN("serve.pipeline");
+    core::PipelineConfig config;
+    config.signals = ctx.signals;
+    config.classifier.rate_threshold_hz = ctx.rate_threshold_hz;
+    dataflow::Engine engine = make_inline_engine();
+    const core::Pipeline pipeline(catalog_->db(), config);
+    core::PipelineResult result = pipeline.run(engine, kb);
+    built->state = std::move(result.state);
+    built->krep = std::move(result.krep);
+  }
+  state_cache_.put(key, built,
+                   approx_table_bytes(built->state) +
+                       approx_table_bytes(built->krep));
+  return built;
+}
+
+QueryResult QueryEngine::op_state(RequestContext& ctx) {
+  const TraceEntry& entry = catalog_->require(ctx.trace);
+  const std::uint64_t hits_before = state_cache_stats().hits;
+  const std::shared_ptr<const StateEntry> cached = state_entry(ctx, entry);
+  const bool was_hit = state_cache_stats().hits > hits_before;
+
+  // Slice lazily: the common full-table query serializes straight from
+  // the cached table without copying it.
+  const dataflow::Table* result = &cached->state;
+  dataflow::Table sliced;
+  {
+    const RequestContext::StageTimer timer(ctx, "slice");
+    dataflow::Engine engine = make_inline_engine();
+    if (ctx.has_time_range()) {
+      const std::size_t t_col = result->schema().require("t");
+      const std::int64_t lo = ctx.has_min
+                                  ? ctx.min_t_ns
+                                  : std::numeric_limits<std::int64_t>::min();
+      const std::int64_t hi = ctx.has_max
+                                  ? ctx.max_t_ns
+                                  : std::numeric_limits<std::int64_t>::max();
+      sliced = dataflow::filter(
+          engine, *result,
+          [t_col, lo, hi](const dataflow::RowView& row) {
+            if (row.is_null(t_col)) return false;
+            const std::int64_t t = row.int64_at(t_col);
+            return t >= lo && t <= hi;
+          },
+          "serve.state_slice");
+      result = &sliced;
+    }
+    if (!ctx.signals.empty()) {
+      // Project "t" plus the requested signals that actually appear in
+      // the representation (a signal with no instances grows no column).
+      std::vector<std::string> columns{"t"};
+      for (const std::string& s : ctx.signals) {
+        if (result->schema().contains(s)) columns.push_back(s);
+      }
+      sliced = dataflow::project(engine, *result, columns);
+      result = &sliced;
+    }
+  }
+  std::string payload;
+  {
+    const RequestContext::StageTimer timer(ctx, "serialize");
+    payload = render_csv(*result);
+  }
+  json::Object body = ctx.base();
+  body.add("rows", static_cast<std::uint64_t>(result->num_rows()))
+      .add("columns", static_cast<std::uint64_t>(result->schema().size()))
+      .add("cached", was_hit)
+      .add("payload_format", "csv");
+  return ctx.finish(body, std::move(payload));
+}
+
+QueryResult QueryEngine::op_mine(RequestContext& ctx) {
+  const TraceEntry& entry = catalog_->require(ctx.trace);
+  const std::uint64_t hits_before = state_cache_stats().hits;
+  const std::shared_ptr<const StateEntry> cached = state_entry(ctx, entry);
+  const bool was_hit = state_cache_stats().hits > hits_before;
+
+  apps::AnomalyConfig config;
+  config.top_k = static_cast<std::size_t>(std::max<std::int64_t>(ctx.top_k, 0));
+  std::vector<apps::Anomaly> anomalies;
+  {
+    const RequestContext::StageTimer timer(ctx, "mine");
+    OBS_SPAN("serve.mine");
+    anomalies = apps::detect_element_anomalies(cached->krep, config);
+  }
+  std::string array = "[";
+  for (std::size_t i = 0; i < anomalies.size(); ++i) {
+    const apps::Anomaly& a = anomalies[i];
+    json::Object obj;
+    obj.add("t_ns", a.t_ns)
+        .add("signal", a.signal)
+        .add("description", a.description)
+        .add("severity", a.severity)
+        .add("occurrences", static_cast<std::uint64_t>(a.occurrences));
+    if (i > 0) array += ",";
+    array += obj.str();
+  }
+  array += "]";
+  json::Object body = ctx.base();
+  body.add("count", static_cast<std::uint64_t>(anomalies.size()))
+      .add("cached", was_hit)
+      .raw("anomalies", array);
+  return ctx.finish(body);
+}
+
+std::size_t approx_table_bytes(const dataflow::Table& table) {
+  std::size_t bytes = 0;
+  for (std::size_t p = 0; p < table.num_partitions(); ++p) {
+    const dataflow::Partition& part = table.partition(p);
+    for (const dataflow::Column& col : part.columns) {
+      bytes += col.size();  // validity mask
+      switch (col.type()) {
+        case dataflow::ValueType::Int64:
+          bytes += col.size() * sizeof(std::int64_t);
+          break;
+        case dataflow::ValueType::Float64:
+          bytes += col.size() * sizeof(double);
+          break;
+        case dataflow::ValueType::String:
+          bytes += col.size() * sizeof(std::string);
+          for (const std::string& s : col.string_data()) bytes += s.size();
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace ivt::serve

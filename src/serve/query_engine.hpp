@@ -1,0 +1,113 @@
+// Request execution for the ivt-serve daemon.
+//
+// A QueryEngine owns the two cache tiers and turns one parsed request
+// into one response. It is called concurrently from the server's worker
+// pool; all mutable state lives in the (internally synchronized) caches,
+// so execute() itself is const-correct and thread-safe. Each request runs
+// the relevant slice of the paper's Algorithm 1 on an *inline* dataflow
+// engine — parallelism comes from concurrent requests, not from nesting a
+// pool inside a pool worker.
+//
+// Request JSON (op-specific fields in parentheses):
+//   {"op": "ping" | "list" | "stats" |
+//          "preselect" | "extract" | "state" | "mine",
+//    "trace": "<name>",                      (data ops)
+//    "signals": ["a", "b"],                  (optional; empty = all)
+//    "min_t_ns": N, "max_t_ns": N,           (optional time slice)
+//    "rate_threshold_hz": X,                 (state/mine; default 5.0)
+//    "top_k": K}                             (mine; default 10)
+//
+// Response JSON: {"ok": true, "request_id": N, "op": ...,
+//   "rows"/"columns"/..., "stages": {"<stage>": ms, ...},
+//   "t_total_ms": ms}; table results travel as a CSV payload. Failures
+// throw errors::Error — the server renders them as
+//   {"ok": false, "error": {"category", "retryable", "message"}}.
+//
+// Cache tiers:
+//   tier 1 ("serve.chunk_cache"): compressed chunk extents, keyed
+//     (trace, chunk index). Hits skip the pread; decode still runs.
+//   tier 2 ("serve.state_cache"): materialized state representations
+//     (state + K_rep tables), keyed (trace, signal set, rate threshold).
+//     Hits skip scan, decode and the whole pipeline — repeated state and
+//     mine queries settle here, which is what makes the warm-path
+//     "serve.chunks_decoded" counter go flat.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dataflow/table.hpp"
+#include "serve/json.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/trace_catalog.hpp"
+
+namespace ivt::serve {
+
+struct QueryEngineConfig {
+  std::size_t chunk_cache_bytes = 64ULL << 20U;
+  std::size_t state_cache_bytes = 64ULL << 20U;
+};
+
+/// Tier-2 entry: pipeline output worth re-slicing.
+struct StateEntry {
+  dataflow::Table state;
+  dataflow::Table krep;
+};
+
+using StateCache = ShardedLruCache<std::string, StateEntry>;
+
+struct QueryResult {
+  std::string json;
+  std::string payload;
+};
+
+class QueryEngine {
+ public:
+  QueryEngine(const TraceCatalog& catalog, QueryEngineConfig config);
+
+  /// Execute one request (already JSON-parsed). Thread-safe. Throws
+  /// errors::Error with a category describing the failure; Spec for bad
+  /// request semantics (unknown op/trace/signal), Decode for malformed
+  /// bodies, Io for backing-store trouble.
+  [[nodiscard]] QueryResult execute(const json::Value& request,
+                                    std::uint64_t request_id);
+
+  [[nodiscard]] LruCacheStats chunk_cache_stats() const {
+    return chunk_cache_.stats();
+  }
+  [[nodiscard]] LruCacheStats state_cache_stats() const {
+    return state_cache_.stats();
+  }
+
+  [[nodiscard]] const TraceCatalog& catalog() const { return *catalog_; }
+
+ private:
+  struct RequestContext;
+
+  QueryResult op_ping(RequestContext& ctx);
+  QueryResult op_list(RequestContext& ctx);
+  QueryResult op_stats(RequestContext& ctx);
+  QueryResult op_preselect(RequestContext& ctx);
+  QueryResult op_extract(RequestContext& ctx);
+  QueryResult op_state(RequestContext& ctx);
+  QueryResult op_mine(RequestContext& ctx);
+
+  /// Zone-map-pruned K_b load through the chunk cache.
+  dataflow::Table load_kb(RequestContext& ctx, const TraceEntry& entry,
+                          const dataflow::Table& urel);
+
+  /// Tier-2 lookup / build of the state representation.
+  std::shared_ptr<const StateEntry> state_entry(RequestContext& ctx,
+                                                const TraceEntry& entry);
+
+  const TraceCatalog* catalog_;
+  ChunkCache chunk_cache_;
+  StateCache state_cache_;
+};
+
+/// Rough resident size of a table (cache accounting): cell storage plus
+/// string bytes. Not exact — it ignores allocator overhead — but
+/// proportional, which is all byte-budget eviction needs.
+[[nodiscard]] std::size_t approx_table_bytes(const dataflow::Table& table);
+
+}  // namespace ivt::serve

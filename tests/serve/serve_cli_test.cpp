@@ -1,0 +1,113 @@
+// CLI surface of the serving subsystem: `ivt serve` exit codes (5 is
+// pinned for bind/listen failure) and `ivt query` argument validation.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+namespace ivt::cli {
+namespace {
+
+int run(std::initializer_list<std::string> argv_list) {
+  std::vector<std::string> storage{"ivt"};
+  storage.insert(storage.end(), argv_list.begin(), argv_list.end());
+  std::vector<const char*> argv;
+  argv.reserve(storage.size());
+  for (const std::string& s : storage) argv.push_back(s.c_str());
+  return run_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+/// Occupies an ephemeral 127.0.0.1 port for the lifetime of the object.
+struct PortHog {
+  int fd = -1;
+  std::uint16_t port = 0;
+  PortHog() {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(fd, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len),
+              0);
+    port = ntohs(addr.sin_port);
+  }
+  ~PortHog() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+class ServeCliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    prefix_ = new std::string(::testing::TempDir() + "/serve_cli_syn");
+    ASSERT_EQ(run({"simulate", "--dataset", "SYN", "--scale", "0.0001",
+                   "--seed", "3", "--out", *prefix_}),
+              0);
+    ivc_ = new std::string(*prefix_ + "_J1.ivc");
+    ASSERT_EQ(run({"pack", "--trace", *prefix_ + "_J1.ivt", "--out", *ivc_,
+                   "--chunk-rows", "1024"}),
+              0);
+  }
+  static void TearDownTestSuite() {
+    delete prefix_;
+    prefix_ = nullptr;
+    delete ivc_;
+    ivc_ = nullptr;
+  }
+  static std::string catalog_path() { return *prefix_ + ".ivsdb"; }
+  static std::string* prefix_;
+  static std::string* ivc_;
+};
+
+std::string* ServeCliTest::prefix_ = nullptr;
+std::string* ServeCliTest::ivc_ = nullptr;
+
+// The exit-code contract of the usage text: a port that cannot be bound
+// exits 5, not 1, so supervisors can tell "address in use" from "crash".
+TEST_F(ServeCliTest, BindFailureExitsFive) {
+  const PortHog hog;
+  EXPECT_EQ(run({"serve", "--catalog", catalog_path(), "--traces", *ivc_,
+                 "--port", std::to_string(hog.port)}),
+            5);
+}
+
+TEST_F(ServeCliTest, ServeRequiresTraces) {
+  EXPECT_EQ(run({"serve", "--catalog", catalog_path()}), 2);
+}
+
+TEST_F(ServeCliTest, QueryRequiresPort) {
+  EXPECT_EQ(run({"query", "--op", "ping"}), 2);
+}
+
+TEST_F(ServeCliTest, QueryAgainstClosedPortIsFailure) {
+  // Grab an ephemeral port, release it, then query it: the connection is
+  // refused and the client reports a plain (exit 1) I/O failure.
+  std::uint16_t port = 0;
+  {
+    const PortHog hog;
+    port = hog.port;
+  }
+  EXPECT_EQ(run({"query", "--port", std::to_string(port), "--op", "ping"}),
+            1);
+}
+
+TEST(ServeUsageTest, UsageMentionsServeAndExitFive) {
+  const std::string text = usage();
+  EXPECT_NE(text.find("serve"), std::string::npos);
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("5  server bind/"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ivt::cli
