@@ -27,6 +27,7 @@
 #include "colstore/columnar_reader.hpp"
 #include "colstore/columnar_writer.hpp"
 #include "core/pipeline.hpp"
+#include "obs/span.hpp"
 #include "simnet/datasets.hpp"
 #include "tracefile/trace.hpp"
 
@@ -142,5 +143,15 @@ int main(int argc, char** argv) {
       "Paper reference: linear growth in examples per data set (O(n)\n"
       "row-wise interpretation), fluctuations from cluster scheduling;\n"
       "e.g. 2.6M examples in 1324 s and 7.4M in 930 s on 10 nodes.\n");
+  // Quick (CI) runs double as a span-ring capacity check: a drop means
+  // the archived traces are incomplete, which the full run tolerates but
+  // the CI lane must not.
+  if (quick && obs::dropped_span_count() != 0) {
+    std::fprintf(stderr,
+                 "bench_fig5_scaling: %llu spans dropped — span ring "
+                 "overflow\n",
+                 static_cast<unsigned long long>(obs::dropped_span_count()));
+    return 1;
+  }
   return 0;
 }

@@ -33,6 +33,7 @@
 #include "bench_util.hpp"
 #include "colstore/columnar_writer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "serve/client.hpp"
 #include "serve/json.hpp"
 #include "serve/server.hpp"
@@ -256,5 +257,15 @@ int main() {
 
   server.stop();
   bench::write_metrics_snapshot("serve");
+
+  // The span rings are sized for a full bench run; a dropped span means
+  // the ring is now too small (or a span leak), and the Chrome traces CI
+  // archives would silently lose events. Fail loudly instead.
+  if (obs::dropped_span_count() != 0) {
+    std::fprintf(stderr,
+                 "bench_serve: %llu spans dropped — span ring overflow\n",
+                 static_cast<unsigned long long>(obs::dropped_span_count()));
+    exit_code = 1;
+  }
   return exit_code;
 }

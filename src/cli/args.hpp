@@ -18,8 +18,12 @@ class Args {
     return positional_;
   }
 
+  /// Presence check for bare flags. Counts as a read: a flag the command
+  /// consulted is not "unknown", even when absent from this invocation.
   [[nodiscard]] bool has(const std::string& key) const {
-    return options_.contains(key);
+    if (!options_.contains(key)) return false;
+    used_[key] = true;
+    return true;
   }
 
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;

@@ -1,11 +1,14 @@
 #include "cli/commands.hpp"
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include <algorithm>
 
@@ -28,6 +31,7 @@
 #include "obs/obs.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "serve/trace_merge.hpp"
 #include "simnet/datasets.hpp"
 #include "tracefile/binary_format.hpp"
 
@@ -131,12 +135,21 @@ commands:
                               rejected Overloaded (default: 2 x workers)
       --cache-mb N            tier-1 compressed-chunk cache (default 64)
       --state-cache-mb N      tier-2 state-representation cache (default 64)
+      --event-log PATH        append one JSON-lines access record per
+                              request (plus slow-query warnings)
+      --slow-query-ms MS      warn-log requests slower than MS (default:
+                              off)
+      --stats-window-s S      rolling-window width for the stats op and
+                              Prometheus exposition (default 60)
+      --trace-out PATH        write the server's Chrome trace at shutdown
 
   query        send one request to a running daemon and print the reply
       --host ADDR             daemon address (default 127.0.0.1)
       --port N                daemon port (required)
-      --op NAME               ping|list|stats|preselect|extract|state|
-                              mine|shutdown (default ping)
+      --op NAME               ping|list|stats|metrics|preselect|extract|
+                              state|mine|shutdown (default ping);
+                              metrics returns the Prometheus text
+                              exposition as the payload
       --trace NAME            registered trace name (data ops)
       --signals a,b,c         signal selection (default: all)
       --min-t-ns N, --max-t-ns N   time slice bounds
@@ -144,6 +157,25 @@ commands:
       --top-k N               mine: anomalies to report (default 10)
       --out PATH              write the table payload here (default:
                               payload follows the JSON on stdout)
+      --trace-out PATH        write the client-side Chrome trace; the
+                              minted trace id is propagated to the server
+                              so both traces share it
+
+  trace-merge  join Chrome traces (e.g. client + server of one query)
+               into a single timeline; each input becomes one process
+               row, named after the file
+      inputs: positional trace file paths (at least one)
+      --out PATH              merged Chrome trace (required)
+
+  top          live terminal dashboard over a daemon's stats op: QPS,
+               in-flight, overload rejects, cache hit ratios and the
+               rolling-window p50/p99
+      --host ADDR             daemon address (default 127.0.0.1)
+      --port N                daemon port (required)
+      --interval S            poll interval in seconds (default 2)
+      --iterations N          stop after N polls; 0 = run until ^C
+                              (default 0)
+      --no-clear              append frames instead of redrawing
 
 environment:
   IVT_FAULTS   failpoint recipe armed before the command runs, e.g.
@@ -711,6 +743,11 @@ int cmd_serve(const Args& args) {
       static_cast<std::size_t>(args.get_int("cache-mb", 64)) << 20U;
   config.query.state_cache_bytes =
       static_cast<std::size_t>(args.get_int("state-cache-mb", 64)) << 20U;
+  config.query.stats_window_s =
+      static_cast<std::size_t>(args.get_int("stats-window-s", 60));
+  config.event_log_path = args.get_or("event-log", "");
+  config.slow_query_ms = args.get_double("slow-query-ms", 0.0);
+  const auto trace_out = args.get("trace-out");
   warn_unused(args);
 
   auto catalog = std::make_unique<serve::TraceCatalog>(std::move(db));
@@ -739,6 +776,11 @@ int cmd_serve(const Args& args) {
   std::signal(SIGINT, SIG_DFL);
   g_serve_instance = nullptr;
   server.stop();
+  if (trace_out) {
+    obs::write_chrome_trace(*trace_out);
+    std::fprintf(stderr, "serve: chrome trace written to %s (%zu spans)\n",
+                 trace_out->c_str(), obs::collect_spans().size());
+  }
   std::fprintf(stderr, "serve: shut down cleanly\n");
   return 0;
 }
@@ -768,11 +810,27 @@ int cmd_query(const Args& args) {
   }
   if (args.has("top-k")) request.add("top_k", args.get_int("top-k", 10));
   const auto out_path = args.get("out");
+  const auto trace_out = args.get("trace-out");
   warn_unused(args);
 
+  // Mint a trace context and attach it to the request so the server's
+  // spans and access record carry the same trace id as the client span
+  // below; `ivt trace-merge` then lines both exports up by that id.
+  const obs::TraceContext trace_ctx = obs::TraceContext::mint();
+  serve::add_trace_context(request, trace_ctx);
+
   serve::Client client(host, port);
-  const serve::Frame raw =
-      client.request_raw(serve::Frame{request.str(), {}});
+  serve::Frame raw;
+  {
+    const obs::TraceContextScope trace_scope(trace_ctx);
+    OBS_SPAN("serve.client.request");
+    raw = client.request_raw(serve::Frame{request.str(), {}});
+  }
+  if (trace_out) {
+    obs::write_chrome_trace(*trace_out);
+    std::fprintf(stderr, "query: chrome trace written to %s\n",
+                 trace_out->c_str());
+  }
   serve::ClientResponse response;
   response.body = serve::json::parse(raw.json);
   std::printf("%s\n", raw.json.c_str());
@@ -803,6 +861,143 @@ int cmd_query(const Args& args) {
   return 0;
 }
 
+int cmd_trace_merge(const Args& args) {
+  const std::string out_path = args.require("out");
+  const std::vector<std::string>& inputs = args.positional();
+  warn_unused(args);
+  if (inputs.empty()) {
+    throw std::invalid_argument(
+        "trace-merge: at least one input trace path is required");
+  }
+  std::vector<serve::TraceInput> traces;
+  traces.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      IVT_THROW(errors::Category::Io, "trace-merge: cannot open: " + path);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    traces.push_back({trace_name_from_path(path), text.str()});
+  }
+  const std::string merged = serve::merge_chrome_traces(traces);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    IVT_THROW(errors::Category::Io,
+              "trace-merge: cannot open for write: " + out_path);
+  }
+  out << merged;
+  std::fprintf(stderr, "merged %zu trace(s) into %s\n", traces.size(),
+               out_path.c_str());
+  return 0;
+}
+
+namespace {
+
+/// One rendered frame of `ivt top`. Missing fields (older daemon, no
+/// traffic yet) render as zeros rather than erroring — the dashboard
+/// keeps polling.
+void render_top_frame(const serve::json::Value& body, const std::string& host,
+                      std::uint16_t port) {
+  const auto ratio = [](std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(hits) /
+                            static_cast<double>(total);
+  };
+  std::uint64_t window_s = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  std::uint64_t window_count = 0;
+  if (const serve::json::Value* lat = body.find("latency_windowed")) {
+    window_s = static_cast<std::uint64_t>(lat->get_int("window_seconds", 0));
+    p50 = lat->get_double("p50_ms", 0.0);
+    p99 = lat->get_double("p99_ms", 0.0);
+    window_count = static_cast<std::uint64_t>(lat->get_int("count", 0));
+  }
+  std::printf("ivt top — %s:%u (stats op", host.c_str(),
+              static_cast<unsigned>(port));
+  if (window_s > 0) std::printf(", %llus window",
+                                static_cast<unsigned long long>(window_s));
+  std::printf(")\n\n");
+  std::printf("  qps        %10.1f    in-flight %8lld    window reqs %8llu\n",
+              body.get_double("qps", 0.0),
+              static_cast<long long>(body.get_int("in_flight", 0)),
+              static_cast<unsigned long long>(
+                  body.get_int("requests_window", 0)));
+  std::printf("  requests   %10llu    failed    %8llu    overloaded  %8llu\n",
+              static_cast<unsigned long long>(
+                  body.get_int("requests_total", 0)),
+              static_cast<unsigned long long>(
+                  body.get_int("requests_failed", 0)),
+              static_cast<unsigned long long>(
+                  body.get_int("requests_overloaded", 0)));
+  std::printf("  latency    p50 %9.2f ms    p99 %9.2f ms    (%llu in window)\n",
+              p50, p99, static_cast<unsigned long long>(window_count));
+  if (const serve::json::Value* cache = body.find("chunk_cache")) {
+    const auto hits = static_cast<std::uint64_t>(cache->get_int("hits", 0));
+    const auto misses =
+        static_cast<std::uint64_t>(cache->get_int("misses", 0));
+    std::printf("  chunk $    %10llu hit  %8llu miss    %6.1f%% hit\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                ratio(hits, misses));
+  }
+  if (const serve::json::Value* cache = body.find("state_cache")) {
+    const auto hits = static_cast<std::uint64_t>(cache->get_int("hits", 0));
+    const auto misses =
+        static_cast<std::uint64_t>(cache->get_int("misses", 0));
+    std::printf("  state $    %10llu hit  %8llu miss    %6.1f%% hit\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                ratio(hits, misses));
+  }
+  std::printf("  obs        spans dropped %6llu    events dropped %6llu\n",
+              static_cast<unsigned long long>(
+                  body.get_int("spans_dropped", 0)),
+              static_cast<unsigned long long>(
+                  body.get_int("events_dropped", 0)));
+}
+
+}  // namespace
+
+int cmd_top(const Args& args) {
+  const std::string host = args.get_or("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  if (port == 0) {
+    throw std::invalid_argument("top: --port is required");
+  }
+  const double interval_s = args.get_double("interval", 2.0);
+  const auto iterations = args.get_int("iterations", 0);  // 0 = forever
+  const bool no_clear = args.has("no-clear");
+  warn_unused(args);
+
+  serve::json::Object request;
+  request.add("op", "stats");
+  const std::string request_json = request.str();
+
+  for (std::int64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          interval_s > 0.0 ? interval_s : 0.0));
+    }
+    // One connection per poll: a daemon restart between frames only costs
+    // one failed poll's error message, not a wedged dashboard.
+    serve::Client client(host, port);
+    const serve::ClientResponse response = client.request(request_json);
+    if (!response.ok()) {
+      std::fprintf(stderr, "top: %s error: %s\n",
+                   response.error_category().c_str(),
+                   response.error_message().c_str());
+      return 1;
+    }
+    if (!no_clear) std::printf("\033[2J\033[H");
+    render_top_frame(response.body, host, port);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int run_cli(int argc, const char* const* argv) {
   if (argc < 2) {
     std::fputs(kUsage, stderr);
@@ -825,6 +1020,8 @@ int run_cli(int argc, const char* const* argv) {
     if (command == "export-asc") return cmd_export_asc(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "query") return cmd_query(args);
+    if (command == "trace-merge") return cmd_trace_merge(args);
+    if (command == "top") return cmd_top(args);
     if (command == "help" || command == "--help") {
       std::fputs(kUsage, stdout);
       return 0;

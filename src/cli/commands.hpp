@@ -10,6 +10,8 @@
 //   ivt export-asc — textual trace dump
 //   ivt serve     — concurrent trace-query daemon (src/serve)
 //   ivt query     — one request against a running ivt serve daemon
+//   ivt trace-merge — join client/server Chrome traces into one timeline
+//   ivt top       — live terminal dashboard over a daemon's stats op
 //
 // Commands taking --trace accept both containers; .ivc inputs to
 // `extract` use zone-map predicate pushdown for preselection.
@@ -31,6 +33,8 @@ int cmd_mine(const Args& args);
 int cmd_export_asc(const Args& args);
 int cmd_serve(const Args& args);
 int cmd_query(const Args& args);
+int cmd_trace_merge(const Args& args);
+int cmd_top(const Args& args);
 
 /// Dispatch on argv[1]; prints usage and returns 2 for unknown commands.
 int run_cli(int argc, const char* const* argv);

@@ -221,6 +221,15 @@ Config parse_config(const std::string& content,
         errors->push_back("line " + std::to_string(lineno) +
                           ": registry needs <path>");
       }
+    } else if (directive == "metric-prefix") {
+      std::string prefix;
+      if (fields >> prefix) {
+        if (!prefix.empty() && prefix.back() == '.') prefix.pop_back();
+        config.metric_prefixes.push_back(std::move(prefix));
+      } else if (errors != nullptr) {
+        errors->push_back("line " + std::to_string(lineno) +
+                          ": metric-prefix needs <subsystem>");
+      }
     } else if (errors != nullptr) {
       errors->push_back("line " + std::to_string(lineno) +
                         ": unknown directive '" + directive + "'");
@@ -340,6 +349,61 @@ std::vector<Finding> check_include_hygiene(const std::string& path,
   return findings;
 }
 
+std::vector<Finding> check_metric_names(
+    const std::string& path, const std::string& content,
+    const std::vector<std::string>& extra_prefixes) {
+  std::vector<Finding> findings;
+  // Keep strings: the names under test are the string literals.
+  const std::string stripped = strip_source(content, /*strip_strings=*/false);
+
+  const auto check_name = [&](const std::string& name, std::size_t at) {
+    if (!is_valid_site_name(name)) {
+      findings.push_back({"metric-name", path, line_of(stripped, at),
+                          "metric/event name '" + name +
+                              "' does not match the grammar seg(.seg)+, "
+                              "seg = [a-z0-9_]+"});
+      return;
+    }
+    const std::string subsystem = name.substr(0, name.find('.'));
+    static const char* kBuiltin[] = {"serve", "pipeline", "pool", "io",
+                                     "process"};
+    for (const char* b : kBuiltin) {
+      if (subsystem == b) return;
+    }
+    for (const std::string& p : extra_prefixes) {
+      if (subsystem == p) return;
+    }
+    findings.push_back({"metric-name", path, line_of(stripped, at),
+                        "metric/event name '" + name +
+                            "' uses unregistered prefix '" + subsystem +
+                            ".' — declare it with `metric-prefix " +
+                            subsystem + "` in the lint config"});
+  };
+
+  // Metric macros: the name is the string-literal first argument.
+  static const std::regex kMetricMacro(
+      R"re((?:OBS_COUNT|OBS_GAUGE_ADD|OBS_GAUGE_SET|OBS_HIST_MS|)re"
+      R"re(OBS_WINDOW_COUNT|OBS_WINDOW_HIST_MS)\s*\(\s*"([^"]+)")re");
+  for (std::sregex_iterator it(stripped.begin(), stripped.end(),
+                               kMetricMacro),
+       end;
+       it != end; ++it) {
+    check_name((*it)[1].str(), static_cast<std::size_t>(it->position(0)));
+  }
+  // Event sites: the name is the third argument of OBS_EVENT or of a
+  // direct EventRecord construction (the declaration itself has no
+  // literal there, so it never matches).
+  static const std::regex kEventSite(
+      R"re((?:OBS_EVENT|EventRecord(?:\s+\w+)?)\s*\(\s*[^,;]*,\s*[^,;]*,\s*)re"
+      R"re("([^"]+)")re");
+  for (std::sregex_iterator it(stripped.begin(), stripped.end(), kEventSite),
+       end;
+       it != end; ++it) {
+    check_name((*it)[1].str(), static_cast<std::size_t>(it->position(0)));
+  }
+  return findings;
+}
+
 bool is_valid_site_name(const std::string& name) {
   static const std::regex kSite(R"([a-z0-9_]+(\.[a-z0-9_]+)+)");
   return std::regex_match(name, kSite);
@@ -444,6 +508,10 @@ Report run_rules(const std::vector<FileContent>& files, const Config& config,
       all.push_back(std::move(v));
     }
     for (auto&& v : check_include_hygiene(f.path, f.content)) {
+      all.push_back(std::move(v));
+    }
+    for (auto&& v :
+         check_metric_names(f.path, f.content, config.metric_prefixes)) {
       all.push_back(std::move(v));
     }
   }

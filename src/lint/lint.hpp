@@ -24,6 +24,15 @@
 //                    all project includes are rooted at src/. A .cpp that
 //                    includes its own header must include it first, so
 //                    every header is verified self-contained.
+//   metric-name      Metric and event names (the string-literal first
+//                    argument of OBS_COUNT / OBS_GAUGE_* / OBS_HIST_MS /
+//                    OBS_WINDOW_*, the third argument of OBS_EVENT /
+//                    EventRecord) must be lowercase dotted identifiers
+//                    `seg(.seg)+` under a registered subsystem prefix, so
+//                    dashboards and the Prometheus exposition never see a
+//                    typo'd or orphaned namespace. serve/pipeline/pool/
+//                    io/process are built in; others are declared with
+//                    `metric-prefix` in the config.
 //
 // The checker is deliberately a token/regex scanner over comment- and
 // string-stripped source, not a clang tool: it needs no compile_commands,
@@ -52,6 +61,8 @@ struct Finding {
 /// Line grammar (one directive per line, '#' starts a comment):
 ///   exempt <rule> <path-prefix>   suppress <rule> findings under prefix
 ///   registry <path>               fault-site registry location
+///   metric-prefix <subsystem>     extra metric-name prefix (a trailing
+///                                 '.' is accepted and stripped)
 struct Config {
   struct Exemption {
     std::string rule;
@@ -59,6 +70,7 @@ struct Config {
   };
   std::vector<Exemption> exemptions;
   std::string registry_path;
+  std::vector<std::string> metric_prefixes;
 };
 
 /// Parses a config file's content. Malformed directives are reported in
@@ -80,6 +92,12 @@ std::vector<Finding> check_mutex_guard(const std::string& path,
 
 std::vector<Finding> check_include_hygiene(const std::string& path,
                                            const std::string& content);
+
+/// Metric-name rule: `extra_prefixes` are the config's metric-prefix
+/// declarations, added to the built-in set.
+std::vector<Finding> check_metric_names(
+    const std::string& path, const std::string& content,
+    const std::vector<std::string>& extra_prefixes);
 
 /// Fault-site rule needs the whole file set at once (exactly-once check):
 /// every site used in code must appear in the registry, every registry

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include "obs/window.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -30,8 +32,12 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   }
 }
 
+// Not gated on IVT_OBS_ENABLED: directly-owned histograms (the serve
+// request accounting, bench harnesses) are functional state. The
+// zero-cost gate for *instrumentation* is the OBS_HIST_MS macro, which
+// compiles the whole site out; registry lookups obs-off return a shared
+// dummy that nothing reads.
 void Histogram::record(double value) noexcept {
-#if IVT_OBS_ENABLED
   const std::size_t bucket = static_cast<std::size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
@@ -39,9 +45,6 @@ void Histogram::record(double value) noexcept {
   shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
   shard.sum.fetch_add(value, std::memory_order_relaxed);
   shard.count.fetch_add(1, std::memory_order_relaxed);
-#else
-  (void)value;
-#endif
 }
 
 Histogram::Data Histogram::data() const {
@@ -116,6 +119,8 @@ Registry& Registry::instance() {
   return *registry;
 }
 
+Registry::~Registry() = default;
+
 namespace {
 
 template <typename T, typename Make>
@@ -168,6 +173,35 @@ Histogram& Registry::histogram(std::string_view name,
 #endif
 }
 
+RollingCounter& Registry::window_counter(std::string_view name,
+                                         std::size_t window_s) {
+#if IVT_OBS_ENABLED
+  const support::MutexLock lock(mutex_);
+  return find_or_create(window_counters_, name, [window_s] {
+    return std::make_unique<RollingCounter>(window_s);
+  });
+#else
+  (void)name;
+  static RollingCounter dummy{window_s};
+  return dummy;
+#endif
+}
+
+RollingHistogram& Registry::window_histogram(std::string_view name,
+                                             std::vector<double> bounds,
+                                             std::size_t window_s) {
+#if IVT_OBS_ENABLED
+  const support::MutexLock lock(mutex_);
+  return find_or_create(window_histograms_, name, [&bounds, window_s] {
+    return std::make_unique<RollingHistogram>(std::move(bounds), window_s);
+  });
+#else
+  (void)name;
+  static RollingHistogram dummy{std::move(bounds), window_s};
+  return dummy;
+#endif
+}
+
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot out;
   const support::MutexLock lock(mutex_);
@@ -192,6 +226,22 @@ MetricsSnapshot Registry::snapshot() const {
     e.hist = h->data();
     out.entries.push_back(std::move(e));
   }
+  for (const auto& [name, c] : window_counters_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::WindowCounter;
+    e.counter = c->value();
+    e.window_seconds = c->window_seconds();
+    out.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : window_histograms_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::WindowHistogram;
+    e.hist = h->data();
+    e.window_seconds = h->window_seconds();
+    out.entries.push_back(std::move(e));
+  }
   std::sort(out.entries.begin(), out.entries.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
   return out;
@@ -202,6 +252,8 @@ void Registry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, c] : window_counters_) c->reset();
+  for (auto& [name, h] : window_histograms_) h->reset();
 }
 
 namespace {
@@ -249,13 +301,21 @@ std::string to_json(const MetricsSnapshot& snapshot) {
       case MetricsSnapshot::Kind::Gauge:
         os << e.gauge;
         break;
-      case MetricsSnapshot::Kind::Histogram: {
+      case MetricsSnapshot::Kind::WindowCounter:
+        os << "{\"value\": " << e.counter
+           << ", \"window_seconds\": " << e.window_seconds << "}";
+        break;
+      case MetricsSnapshot::Kind::Histogram:
+      case MetricsSnapshot::Kind::WindowHistogram: {
         os << "{\"count\": " << e.hist.count
            << ", \"sum\": " << render_double(e.hist.sum)
            << ", \"p50\": " << render_double(e.hist.quantile(0.50))
            << ", \"p90\": " << render_double(e.hist.quantile(0.90))
-           << ", \"p99\": " << render_double(e.hist.quantile(0.99))
-           << ", \"bounds\": [";
+           << ", \"p99\": " << render_double(e.hist.quantile(0.99));
+        if (e.kind == MetricsSnapshot::Kind::WindowHistogram) {
+          os << ", \"window_seconds\": " << e.window_seconds;
+        }
+        os << ", \"bounds\": [";
         for (std::size_t b = 0; b < e.hist.bounds.size(); ++b) {
           os << (b > 0 ? ", " : "") << render_double(e.hist.bounds[b]);
         }
@@ -286,6 +346,21 @@ std::string to_text(const MetricsSnapshot& snapshot) {
         std::snprintf(line, sizeof(line), "%-44s %20lld\n", e.name.c_str(),
                       static_cast<long long>(e.gauge));
         break;
+      case MetricsSnapshot::Kind::WindowCounter:
+        std::snprintf(line, sizeof(line), "%-44s %20llu (last %zus)\n",
+                      e.name.c_str(),
+                      static_cast<unsigned long long>(e.counter),
+                      e.window_seconds);
+        break;
+      case MetricsSnapshot::Kind::WindowHistogram:
+        std::snprintf(line, sizeof(line),
+                      "%-44s count=%llu p50=%.6g p90=%.6g p99=%.6g "
+                      "(last %zus)\n",
+                      e.name.c_str(),
+                      static_cast<unsigned long long>(e.hist.count),
+                      e.hist.quantile(0.50), e.hist.quantile(0.90),
+                      e.hist.quantile(0.99), e.window_seconds);
+        break;
       case MetricsSnapshot::Kind::Histogram:
         std::snprintf(line, sizeof(line),
                       "%-44s count=%llu sum=%.6g mean=%.6g p50=%.6g "
@@ -301,6 +376,79 @@ std::string to_text(const MetricsSnapshot& snapshot) {
         break;
     }
     os << line;
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+/// lowercase identifiers map cleanly by replacing dots with underscores.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "ivt_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const MetricsSnapshot::Entry& e : snapshot.entries) {
+    const std::string name = prometheus_name(e.name);
+    switch (e.kind) {
+      case MetricsSnapshot::Kind::Counter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << e.counter << "\n";
+        break;
+      case MetricsSnapshot::Kind::Gauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << e.gauge << "\n";
+        break;
+      case MetricsSnapshot::Kind::WindowCounter:
+        // A trailing-window count decays, so it is a gauge, not a counter.
+        os << "# TYPE " << name << " gauge\n";
+        os << name << "{window=\"" << e.window_seconds << "s\"} "
+           << e.counter << "\n";
+        break;
+      case MetricsSnapshot::Kind::Histogram: {
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < e.hist.bounds.size(); ++b) {
+          cumulative += e.hist.counts[b];
+          os << name << "_bucket{le=\"" << prometheus_double(e.hist.bounds[b])
+             << "\"} " << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << e.hist.count << "\n";
+        os << name << "_sum " << prometheus_double(e.hist.sum) << "\n";
+        os << name << "_count " << e.hist.count << "\n";
+        break;
+      }
+      case MetricsSnapshot::Kind::WindowHistogram: {
+        // Quantiles over a trailing window are what a summary models.
+        os << "# TYPE " << name << " summary\n";
+        // Label values are matched textually by scrapers: keep the
+        // conventional short forms, not %.17g round-trip spellings.
+        for (const char* q : {"0.5", "0.9", "0.99"}) {
+          os << name << "{quantile=\"" << q << "\",window=\""
+             << e.window_seconds << "s\"} "
+             << prometheus_double(e.hist.quantile(std::stod(q))) << "\n";
+        }
+        os << name << "_sum " << prometheus_double(e.hist.sum) << "\n";
+        os << name << "_count " << e.hist.count << "\n";
+        break;
+      }
+    }
   }
   return os.str();
 }

@@ -9,8 +9,12 @@
 // steady state is one relaxed atomic add per event.
 //
 // Compile-time switch: building with -DIVT_OBS_ENABLED=0 (CMake option
-// IVT_OBS=OFF) turns every mutating call into an inline no-op and keeps
-// the registry permanently empty, so instrumented code costs nothing.
+// IVT_OBS=OFF) compiles every OBS_* instrumentation site out, makes the
+// registry's Counter/Gauge mutators inline no-ops and keeps the registry
+// permanently empty, so instrumented code costs nothing. Directly-owned
+// Histogram / rolling-window objects stay functional in both modes —
+// they back operational state (serve request accounting, bench
+// harnesses), not telemetry.
 #pragma once
 
 #include <atomic>
@@ -142,15 +146,23 @@ class Histogram {
 /// Default histogram edges for durations in milliseconds.
 std::vector<double> default_latency_bounds_ms();
 
+// Rolling-window views (obs/window.hpp); registrable alongside the
+// lifetime metrics. Forward-declared here because window.hpp includes
+// this header for Histogram::Data.
+class RollingCounter;
+class RollingHistogram;
+
 /// Aggregated point-in-time view of every registered metric.
 struct MetricsSnapshot {
-  enum class Kind { Counter, Gauge, Histogram };
+  enum class Kind { Counter, Gauge, Histogram, WindowCounter,
+                    WindowHistogram };
   struct Entry {
     std::string name;
     Kind kind = Kind::Counter;
-    std::uint64_t counter = 0;
+    std::uint64_t counter = 0;  ///< Counter and WindowCounter kinds
     std::int64_t gauge = 0;
-    Histogram::Data hist;
+    Histogram::Data hist;       ///< Histogram and WindowHistogram kinds
+    std::size_t window_seconds = 0;  ///< nonzero for Window* kinds
   };
   std::vector<Entry> entries;  ///< sorted by name
 
@@ -172,6 +184,15 @@ class Registry {
   /// `bounds` is used on first registration only.
   Histogram& histogram(std::string_view name, std::vector<double> bounds)
       IVT_EXCLUDES(mutex_);
+  /// Rolling-window variants. Like histogram(), the configuration
+  /// (window width, bounds) is used on first registration only — later
+  /// callers get the existing instance regardless of the arguments.
+  RollingCounter& window_counter(std::string_view name, std::size_t window_s)
+      IVT_EXCLUDES(mutex_);
+  RollingHistogram& window_histogram(std::string_view name,
+                                     std::vector<double> bounds,
+                                     std::size_t window_s)
+      IVT_EXCLUDES(mutex_);
 
   [[nodiscard]] MetricsSnapshot snapshot() const IVT_EXCLUDES(mutex_);
 
@@ -181,6 +202,7 @@ class Registry {
 
  private:
   Registry() = default;
+  ~Registry();  // defined in metrics.cpp where Rolling* are complete
 
   // Registration order; the metric objects themselves are internally
   // sharded atomics and are written lock-free once the reference escapes.
@@ -191,11 +213,23 @@ class Registry {
       IVT_GUARDED_BY(mutex_);
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
       IVT_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, std::unique_ptr<RollingCounter>>>
+      window_counters_ IVT_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, std::unique_ptr<RollingHistogram>>>
+      window_histograms_ IVT_GUARDED_BY(mutex_);
 };
 
 /// Render a snapshot as a stable-key-order JSON document / aligned text.
 std::string to_json(const MetricsSnapshot& snapshot);
 std::string to_text(const MetricsSnapshot& snapshot);
+
+/// Render a snapshot in the Prometheus text exposition format (version
+/// 0.0.4). Metric names are sanitized (dots -> underscores) and prefixed
+/// with "ivt_"; lifetime histograms become cumulative `_bucket{le=...}`
+/// series, rolling-window histograms become summaries with quantile
+/// labels, and rolling-window counters become gauges (a windowed count is
+/// not monotonic).
+std::string to_prometheus(const MetricsSnapshot& snapshot);
 
 /// Snapshot the process registry and write it as JSON to `path`.
 /// Throws std::runtime_error when the file cannot be opened.

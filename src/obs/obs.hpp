@@ -1,16 +1,26 @@
-// Umbrella header for instrumentation sites: span + metric macros.
+// Umbrella header for instrumentation sites: span, metric and event
+// macros.
 //
-// Naming scheme (see DESIGN.md "Observability"):
+// Naming scheme (see DESIGN.md "Observability"; enforced by ivt-lint's
+// metric-name rule): lowercase dotted identifiers under a registered
+// subsystem prefix.
 //   spans    "stage.substage"        e.g. pipeline.interpret, branch.alpha
 //   counters "subsystem.what[_unit]" e.g. pool.busy_ns, colstore.rows_emitted
 //   gauges   "subsystem.what"        e.g. pool.queue_depth
+//   events   "subsystem.what"        e.g. serve.query, serve.slow_query
 //
-// Every macro is an inline no-op (arguments unevaluated) when the build
-// sets IVT_OBS_ENABLED=0, so hot paths can be instrumented freely.
+// Every metric/span macro is an inline no-op (arguments unevaluated) when
+// the build sets IVT_OBS_ENABLED=0, so hot paths can be instrumented
+// freely. OBS_EVENT is the exception: the event log is operational
+// accounting and stays functional in obs-off builds (it already no-ops
+// whenever no log file is configured).
 #pragma once
 
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_context.hpp"
+#include "obs/window.hpp"
 
 #define IVT_OBS_CONCAT_INNER(a, b) a##b
 #define IVT_OBS_CONCAT(a, b) IVT_OBS_CONCAT_INNER(a, b)
@@ -23,6 +33,14 @@
 /// Named span variable, for attaching attributes: OBS_SPAN_V(s, "x");
 /// s.set_rows(n);
 #define OBS_SPAN_V(var, name) ::ivt::obs::SpanScope var(name)
+
+/// Structured event-log record builder; chain .kv() calls, the record is
+/// enqueued when the temporary dies at the end of the statement:
+///   OBS_EVENT(log, Warn, "serve.slow_query").kv("op", op).kv("ms", ms);
+/// `log` is an EventLog* (null or closed -> the statement is a no-op).
+/// NOT gated on IVT_OBS_ENABLED — see the header comment.
+#define OBS_EVENT(log, level, name) \
+  ::ivt::obs::EventRecord((log), ::ivt::obs::EventLevel::level, (name))
 
 #if IVT_OBS_ENABLED
 
@@ -58,6 +76,27 @@
     obs_hist_.record(static_cast<double>(value));                 \
   } while (0)
 
+/// Add `delta` to the rolling-window counter `name` (window width in
+/// seconds; first registration wins, like OBS_HIST_MS bounds).
+#define OBS_WINDOW_COUNT(name, window_s, delta)                   \
+  do {                                                            \
+    static ::ivt::obs::RollingCounter& obs_wcounter_ =            \
+        ::ivt::obs::Registry::instance().window_counter(          \
+            name, (window_s));                                    \
+    obs_wcounter_.add(static_cast<std::uint64_t>(delta));         \
+  } while (0)
+
+/// Record `value` into the rolling-window histogram `name` (default
+/// latency bounds, ms; window width in seconds, first registration wins).
+#define OBS_WINDOW_HIST_MS(name, window_s, value)                 \
+  do {                                                            \
+    static ::ivt::obs::RollingHistogram& obs_whist_ =             \
+        ::ivt::obs::Registry::instance().window_histogram(        \
+            name, ::ivt::obs::default_latency_bounds_ms(),        \
+            (window_s));                                          \
+    obs_whist_.record(static_cast<double>(value));                \
+  } while (0)
+
 #else  // !IVT_OBS_ENABLED
 
 #define OBS_COUNT(name, delta) \
@@ -75,6 +114,16 @@
 #define OBS_HIST_MS(name, value) \
   do {                           \
     (void)sizeof(value);         \
+  } while (0)
+#define OBS_WINDOW_COUNT(name, window_s, delta) \
+  do {                                          \
+    (void)sizeof(window_s);                     \
+    (void)sizeof(delta);                        \
+  } while (0)
+#define OBS_WINDOW_HIST_MS(name, window_s, value) \
+  do {                                            \
+    (void)sizeof(window_s);                       \
+    (void)sizeof(value);                          \
   } while (0)
 
 #endif  // IVT_OBS_ENABLED

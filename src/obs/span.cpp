@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -38,6 +40,11 @@ struct ThreadRing {
       events[head] = e;
       head = (head + 1) % kSpanRingCapacity;
       ++dropped;
+      // Surface ring overflow in the metrics snapshot too, so bench runs
+      // and the stats op can assert no spans were lost.
+      static Counter& drops =
+          Registry::instance().counter("obs.spans_dropped");
+      drops.add(1);
     }
   }
 };
@@ -97,6 +104,7 @@ SpanScope::SpanScope(std::string_view name) noexcept {
   const std::size_t n = std::min(name.size(), kSpanNameCapacity);
   std::memcpy(name_, name.data(), n);
   name_[n] = '\0';
+  trace_id_ = current_trace_context().trace_id;
   ++t_depth;
   start_ns_ = trace_now_ns();
 }
@@ -109,6 +117,7 @@ SpanScope::~SpanScope() {
   e.depth = --t_depth;
   e.rows = rows_;
   e.bytes = bytes_;
+  e.trace_id = trace_id_;
   std::memcpy(e.name, name_, sizeof(name_));
   ThreadRing& ring = this_thread_ring();
   e.tid = ring.tid;
@@ -179,6 +188,9 @@ std::string chrome_trace_json() {
     os << buf;
     if (e.rows != kSpanAttrUnset) os << ", \"rows\": " << e.rows;
     if (e.bytes != kSpanAttrUnset) os << ", \"bytes\": " << e.bytes;
+    if (e.trace_id != 0) {
+      os << ", \"trace_id\": \"" << trace_id_hex(e.trace_id) << "\"";
+    }
     os << "}}";
   }
   if (!first) os << "\n";

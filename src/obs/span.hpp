@@ -44,6 +44,10 @@ struct SpanEvent {
   std::uint32_t depth = 0; ///< nesting level within the thread
   std::uint64_t rows = kSpanAttrUnset;
   std::uint64_t bytes = kSpanAttrUnset;
+  /// Cross-process trace id (obs/trace_context.hpp); 0 = no context. The
+  /// Chrome export renders it as an "args" field so client- and
+  /// server-side traces of one request can be matched up.
+  std::uint64_t trace_id = 0;
 };
 
 [[nodiscard]] bool tracing_enabled() noexcept;
@@ -74,6 +78,7 @@ class SpanScope {
   std::int64_t start_ns_ = 0;
   std::uint64_t rows_ = kSpanAttrUnset;
   std::uint64_t bytes_ = kSpanAttrUnset;
+  std::uint64_t trace_id_ = 0;  ///< captured from the thread's context
   char name_[kSpanNameCapacity + 1];
   bool active_ = false;
 #endif

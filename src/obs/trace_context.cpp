@@ -1,0 +1,74 @@
+#include "obs/trace_context.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace ivt::obs {
+
+namespace {
+
+thread_local TraceContext t_context;
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27U)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31U);
+}
+
+}  // namespace
+
+TraceContext TraceContext::mint() noexcept {
+  // Seed once per process from the clock, then walk a counter through
+  // splitmix64: ids are unique within the process and overwhelmingly
+  // unlikely to collide across the client/server pair that shares them.
+  static const std::uint64_t seed = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  static std::atomic<std::uint64_t> next{1};
+  std::uint64_t id = 0;
+  while (id == 0) {
+    id = splitmix64(seed ^ next.fetch_add(1, std::memory_order_relaxed));
+  }
+  TraceContext ctx;
+  ctx.trace_id = id;
+  ctx.span_id = 1;
+  return ctx;
+}
+
+std::string trace_id_hex(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::uint64_t parse_trace_id_hex(std::string_view hex) noexcept {
+  if (hex.empty() || hex.size() > 16) return 0;
+  std::uint64_t id = 0;
+  for (const char c : hex) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A') + 10;
+    } else {
+      return 0;
+    }
+    id = (id << 4U) | digit;
+  }
+  return id;
+}
+
+TraceContext current_trace_context() noexcept { return t_context; }
+
+TraceContextScope::TraceContextScope(const TraceContext& context) noexcept
+    : saved_(t_context) {
+  t_context = context;
+}
+
+TraceContextScope::~TraceContextScope() { t_context = saved_; }
+
+}  // namespace ivt::obs

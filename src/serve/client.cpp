@@ -81,4 +81,12 @@ ClientResponse Client::request(const std::string& request_json) {
   return out;
 }
 
+void add_trace_context(json::Object& request, const obs::TraceContext& ctx) {
+  if (!ctx.valid()) return;
+  json::Object tc;
+  tc.add("trace_id", obs::trace_id_hex(ctx.trace_id))
+      .add("parent_span_id", ctx.span_id);
+  request.raw("trace_ctx", tc.str());
+}
+
 }  // namespace ivt::serve

@@ -9,10 +9,16 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace_context.hpp"
 #include "serve/json.hpp"
 #include "serve/wire.hpp"
 
 namespace ivt::serve {
+
+/// Attach `ctx` to a request being built: adds the "trace_ctx" member
+/// ({"trace_id": "<hex>", "parent_span_id": N}) the server propagates
+/// into its spans and access record. No-op when ctx is invalid.
+void add_trace_context(json::Object& request, const obs::TraceContext& ctx);
 
 /// A parsed response: the JSON header (plus convenience views of the
 /// fields every response carries) and the raw payload.

@@ -22,13 +22,16 @@
 //     shard's budget is not cached (the insert immediately evicts it);
 //     callers still get their shared_ptr, so oversized requests work,
 //     they just never warm the cache.
-//   - Counters (<name>.hits / .misses / .evictions / .insertions) and a
-//     byte gauge (<name>.bytes) are registered in the process obs
-//     registry at construction, so `ivt query --op stats` and the
-//     Chrome-trace/metrics exports see cache effectiveness without any
-//     serve-specific plumbing.
+//   - Hit/miss/eviction/insertion counts are functional state (the
+//     stats op and the "cached" response flag depend on them), so the
+//     cache keeps its own plain atomics that work with IVT_OBS=OFF.
+//     The same counts are mirrored into the process obs registry
+//     (<name>.hits / .misses / .evictions / .insertions plus a
+//     <name>.bytes gauge) so the Prometheus/metrics exports see cache
+//     effectiveness without serve-specific plumbing.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -89,8 +92,10 @@ class ShardedLruCache {
       }
     }
     if (out != nullptr) {
+      hit_count_.fetch_add(1, std::memory_order_relaxed);
       hits_.add(1);
     } else {
+      miss_count_.fetch_add(1, std::memory_order_relaxed);
       misses_.add(1);
     }
     return out;
@@ -125,8 +130,12 @@ class ShardedLruCache {
         ++evicted;
       }
     }
+    insertion_count_.fetch_add(1, std::memory_order_relaxed);
     insertions_.add(1);
-    if (evicted > 0) evictions_.add(evicted);
+    if (evicted > 0) {
+      eviction_count_.fetch_add(evicted, std::memory_order_relaxed);
+      evictions_.add(evicted);
+    }
     bytes_gauge_.add(byte_delta);
   }
 
@@ -146,10 +155,10 @@ class ShardedLruCache {
 
   [[nodiscard]] LruCacheStats stats() const {
     LruCacheStats out;
-    out.hits = hits_.value();
-    out.misses = misses_.value();
-    out.evictions = evictions_.value();
-    out.insertions = insertions_.value();
+    out.hits = hit_count_.load(std::memory_order_relaxed);
+    out.misses = miss_count_.load(std::memory_order_relaxed);
+    out.evictions = eviction_count_.load(std::memory_order_relaxed);
+    out.insertions = insertion_count_.load(std::memory_order_relaxed);
     for (std::size_t s = 0; s < num_shards_; ++s) {
       const support::MutexLock lock(shards_[s].mutex);
       out.bytes += shards_[s].bytes;
@@ -187,6 +196,12 @@ class ShardedLruCache {
   const std::size_t num_shards_;
   const std::size_t shard_capacity_;
   const std::unique_ptr<Shard[]> shards_;
+  // Functional counts (stats() / the "cached" flag); see file comment.
+  std::atomic<std::uint64_t> hit_count_{0};
+  std::atomic<std::uint64_t> miss_count_{0};
+  std::atomic<std::uint64_t> eviction_count_{0};
+  std::atomic<std::uint64_t> insertion_count_{0};
+  // Registry mirrors for the metrics exports (no-ops with IVT_OBS=OFF).
   obs::Counter& hits_;
   obs::Counter& misses_;
   obs::Counter& evictions_;

@@ -80,8 +80,14 @@ struct QueryEngine::RequestContext {
 
   Clock::time_point start = Clock::now();
   std::vector<std::pair<std::string, double>> stages;
+  std::uint64_t trace_id = 0;
   std::size_t chunks_total = 0;
   std::size_t chunks_scanned = 0;
+  std::size_t chunks_decoded = 0;
+  std::size_t chunk_cache_hits = 0;
+  std::size_t chunk_cache_misses = 0;
+  bool state_cache_hit = false;
+  std::uint64_t rows = 0;
 
   /// Scoped per-stage wall clock; results land in the response's
   /// "stages" object and (via the enclosing OBS span) in the Chrome
@@ -108,7 +114,18 @@ struct QueryEngine::RequestContext {
     for (const auto& [name, wall_ms] : stages) stage_obj.add(name, wall_ms);
     body.raw("stages", stage_obj.str());
     body.add("t_total_ms", ms_since(start));
-    return QueryResult{body.str(), std::move(payload)};
+    QueryResult result{body.str(), std::move(payload), {}};
+    result.stats.op = op;
+    result.stats.trace_id = trace_id;
+    result.stats.stages = stages;
+    result.stats.chunks_total = chunks_total;
+    result.stats.chunks_scanned = chunks_scanned;
+    result.stats.chunks_decoded = chunks_decoded;
+    result.stats.chunk_cache_hits = chunk_cache_hits;
+    result.stats.chunk_cache_misses = chunk_cache_misses;
+    result.stats.state_cache_hit = state_cache_hit;
+    result.stats.rows = rows;
+    return result;
   }
 
   [[nodiscard]] json::Object base() const {
@@ -116,6 +133,7 @@ struct QueryEngine::RequestContext {
     body.add("ok", true)
         .add("request_id", request_id)
         .add("op", op);
+    if (trace_id != 0) body.add("trace_id", obs::trace_id_hex(trace_id));
     return body;
   }
 };
@@ -125,16 +143,24 @@ QueryEngine::QueryEngine(const TraceCatalog& catalog, QueryEngineConfig config)
       chunk_cache_("serve.chunk_cache", config.chunk_cache_bytes),
       // Single shard: tier-2 holds a handful of large tables, and a
       // sharded budget would reject any state bigger than capacity/8.
-      state_cache_("serve.state_cache", config.state_cache_bytes, 1) {}
+      state_cache_("serve.state_cache", config.state_cache_bytes, 1),
+      accounting_(config.stats_window_s) {}
 
 QueryResult QueryEngine::execute(const json::Value& request,
-                                 std::uint64_t request_id) {
+                                 std::uint64_t request_id,
+                                 const obs::TraceContext& trace_ctx) {
   if (!request.is_object()) {
     IVT_THROW(errors::Category::Decode,
               "serve: request body must be a JSON object");
   }
+  // Install the caller's context (when valid) so every span below — and
+  // in anything execute() calls — records under the propagated trace_id.
+  // Direct in-process callers that already installed a scope keep theirs.
+  const obs::TraceContextScope trace_scope(
+      trace_ctx.valid() ? trace_ctx : obs::current_trace_context());
   RequestContext ctx;
   ctx.request_id = request_id;
+  ctx.trace_id = obs::current_trace_context().trace_id;
   ctx.op = request.get_string("op", "");
   ctx.trace = request.get_string("trace", "");
   ctx.signals = request.get_string_list("signals");
@@ -157,13 +183,15 @@ QueryResult QueryEngine::execute(const json::Value& request,
   if (ctx.op == "ping") return op_ping(ctx);
   if (ctx.op == "list") return op_list(ctx);
   if (ctx.op == "stats") return op_stats(ctx);
+  if (ctx.op == "metrics") return op_metrics(ctx);
   if (ctx.op == "preselect") return op_preselect(ctx);
   if (ctx.op == "extract") return op_extract(ctx);
   if (ctx.op == "state") return op_state(ctx);
   if (ctx.op == "mine") return op_mine(ctx);
   IVT_THROW(errors::Category::Spec,
             "serve: unknown op '" + ctx.op +
-                "' (ping, list, stats, preselect, extract, state, mine)");
+                "' (ping, list, stats, metrics, preselect, extract, state, "
+                "mine)");
 }
 
 QueryResult QueryEngine::op_ping(RequestContext& ctx) {
@@ -226,33 +254,76 @@ std::string render_cache_stats(const LruCacheStats& stats,
 }  // namespace
 
 QueryResult QueryEngine::op_stats(RequestContext& ctx) {
-  const obs::MetricsSnapshot snapshot = obs::Registry::instance().snapshot();
+  // Everything operational here reads from the engine-owned accounting —
+  // it is functional state, so the stats op reports the same numbers with
+  // IVT_OBS=OFF. Only spans/events_dropped come from the obs layer (they
+  // count telemetry that does not exist in that configuration).
+  const auto relaxed = [](const std::atomic<std::uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
   json::Object body = ctx.base();
   body.raw("chunk_cache", render_cache_stats(chunk_cache_stats(),
                                              chunk_cache_.capacity_bytes()))
       .raw("state_cache", render_cache_stats(state_cache_stats(),
                                              state_cache_.capacity_bytes()))
-      .add("requests_total", snapshot.counter_or("serve.requests_total", 0))
-      .add("requests_failed", snapshot.counter_or("serve.requests_failed", 0))
-      .add("requests_overloaded",
-           snapshot.counter_or("serve.requests_overloaded", 0))
-      .add("chunks_decoded", snapshot.counter_or("serve.chunks_decoded", 0))
-      .add("chunks_loaded", snapshot.counter_or("serve.chunks_loaded", 0));
-  if (const obs::MetricsSnapshot::Entry* g = snapshot.find("serve.in_flight");
-      g != nullptr && g->kind == obs::MetricsSnapshot::Kind::Gauge) {
-    body.add("in_flight", g->gauge);
-  }
-  if (const obs::MetricsSnapshot::Entry* h =
-          snapshot.find("serve.request_ms");
-      h != nullptr && h->kind == obs::MetricsSnapshot::Kind::Histogram) {
+      .add("requests_total", relaxed(accounting_.requests_total))
+      .add("requests_failed", relaxed(accounting_.requests_failed))
+      .add("requests_overloaded", relaxed(accounting_.requests_overloaded))
+      .add("chunks_decoded", relaxed(accounting_.chunks_decoded))
+      .add("chunks_loaded", relaxed(accounting_.chunks_loaded))
+      .add("in_flight",
+           accounting_.in_flight.load(std::memory_order_relaxed));
+  {
+    const obs::Histogram::Data lifetime = accounting_.latency_ms.data();
     json::Object lat;
-    lat.add("count", h->hist.count)
-        .add("p50_ms", h->hist.quantile(0.50))
-        .add("p90_ms", h->hist.quantile(0.90))
-        .add("p99_ms", h->hist.quantile(0.99));
+    lat.add("count", lifetime.count)
+        .add("p50_ms", lifetime.quantile(0.50))
+        .add("p90_ms", lifetime.quantile(0.90))
+        .add("p99_ms", lifetime.quantile(0.99));
     body.raw("latency", lat.str());
   }
+  // Rolling-window views (see ServerConfig::stats_window_s): what the
+  // daemon is doing *now*, as opposed to the lifetime aggregates above.
+  // These decay to zero within one window of the load stopping. One `now`
+  // for both reads so the count and the quantiles describe the same
+  // window.
+  const std::int64_t now_s = obs::steady_now_s();
+  {
+    const obs::Histogram::Data windowed =
+        accounting_.latency_window_ms.data_at(now_s);
+    json::Object lat;
+    lat.add("count", windowed.count)
+        .add("p50_ms", windowed.quantile(0.50))
+        .add("p90_ms", windowed.quantile(0.90))
+        .add("p99_ms", windowed.quantile(0.99))
+        .add("window_seconds",
+             static_cast<std::uint64_t>(
+                 accounting_.latency_window_ms.window_seconds()));
+    body.raw("latency_windowed", lat.str());
+  }
+  const std::uint64_t window_count =
+      accounting_.requests_window.value_at(now_s);
+  body.add("requests_window", window_count)
+      .add("qps",
+           static_cast<double>(window_count) /
+               static_cast<double>(accounting_.requests_window
+                                       .window_seconds()))
+      .add("spans_dropped", obs::dropped_span_count())
+      .add("events_dropped", obs::Registry::instance().snapshot().counter_or(
+                                 "obs.events_dropped", 0));
   return ctx.finish(body);
+}
+
+QueryResult QueryEngine::op_metrics(RequestContext& ctx) {
+  // Prometheus text exposition of the whole registry as the payload; the
+  // JSON body is just the envelope. `ivt query --op metrics --out -` is a
+  // scrape.
+  std::string payload =
+      obs::to_prometheus(obs::Registry::instance().snapshot());
+  json::Object body = ctx.base();
+  body.add("bytes", static_cast<std::uint64_t>(payload.size()))
+      .add("payload_format", "prometheus");
+  return ctx.finish(body, std::move(payload));
 }
 
 dataflow::Table QueryEngine::load_kb(RequestContext& ctx,
@@ -276,11 +347,21 @@ dataflow::Table QueryEngine::load_kb(RequestContext& ctx,
     const colstore::ChunkInfo& info = entry.chunks[i];
     if (!colstore::chunk_may_match(info, pred, bus_indices)) continue;
     ++ctx.chunks_scanned;
+    bool cache_hit = false;
     const std::shared_ptr<const std::string> bytes =
-        catalog_->chunk_bytes(entry, i, chunk_cache_);
+        catalog_->chunk_bytes(entry, i, chunk_cache_, &cache_hit);
+    if (cache_hit) {
+      ++ctx.chunk_cache_hits;
+    } else {
+      ++ctx.chunk_cache_misses;
+      // A tier-1 miss means chunk_bytes() just read the extent from disk.
+      accounting_.chunks_loaded.fetch_add(1, std::memory_order_relaxed);
+    }
     dataflow::Partition part =
         colstore::decode_chunk_from_bytes(*bytes, info, pred, entry.buses);
+    accounting_.chunks_decoded.fetch_add(1, std::memory_order_relaxed);
     OBS_COUNT("serve.chunks_decoded", 1);
+    ++ctx.chunks_decoded;
     kb.add_partition(std::move(part));
   }
   return kb;
@@ -295,6 +376,7 @@ QueryResult QueryEngine::op_preselect(RequestContext& ctx) {
     const RequestContext::StageTimer timer(ctx, "serialize");
     payload = render_csv(kb);
   }
+  ctx.rows = kb.num_rows();
   json::Object body = ctx.base();
   body.add("rows", static_cast<std::uint64_t>(kb.num_rows()))
       .add("columns", static_cast<std::uint64_t>(kb.schema().size()))
@@ -322,6 +404,7 @@ QueryResult QueryEngine::op_extract(RequestContext& ctx) {
     const RequestContext::StageTimer timer(ctx, "serialize");
     payload = render_csv(ks);
   }
+  ctx.rows = ks.num_rows();
   json::Object body = ctx.base();
   body.add("rows", static_cast<std::uint64_t>(ks.num_rows()))
       .add("columns", static_cast<std::uint64_t>(ks.schema().size()))
@@ -387,6 +470,7 @@ QueryResult QueryEngine::op_state(RequestContext& ctx) {
   const std::uint64_t hits_before = state_cache_stats().hits;
   const std::shared_ptr<const StateEntry> cached = state_entry(ctx, entry);
   const bool was_hit = state_cache_stats().hits > hits_before;
+  ctx.state_cache_hit = was_hit;
 
   // Slice lazily: the common full-table query serializes straight from
   // the cached table without copying it.
@@ -429,6 +513,7 @@ QueryResult QueryEngine::op_state(RequestContext& ctx) {
     const RequestContext::StageTimer timer(ctx, "serialize");
     payload = render_csv(*result);
   }
+  ctx.rows = result->num_rows();
   json::Object body = ctx.base();
   body.add("rows", static_cast<std::uint64_t>(result->num_rows()))
       .add("columns", static_cast<std::uint64_t>(result->schema().size()))
@@ -442,6 +527,7 @@ QueryResult QueryEngine::op_mine(RequestContext& ctx) {
   const std::uint64_t hits_before = state_cache_stats().hits;
   const std::shared_ptr<const StateEntry> cached = state_entry(ctx, entry);
   const bool was_hit = state_cache_stats().hits > hits_before;
+  ctx.state_cache_hit = was_hit;
 
   apps::AnomalyConfig config;
   config.top_k = static_cast<std::size_t>(std::max<std::int64_t>(ctx.top_k, 0));
@@ -464,6 +550,7 @@ QueryResult QueryEngine::op_mine(RequestContext& ctx) {
     array += obj.str();
   }
   array += "]";
+  ctx.rows = anomalies.size();
   json::Object body = ctx.base();
   body.add("count", static_cast<std::uint64_t>(anomalies.size()))
       .add("cached", was_hit)

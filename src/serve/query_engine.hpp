@@ -9,8 +9,11 @@
 // pool inside a pool worker.
 //
 // Request JSON (op-specific fields in parentheses):
-//   {"op": "ping" | "list" | "stats" |
+//   {"op": "ping" | "list" | "stats" | "metrics" |
 //          "preselect" | "extract" | "state" | "mine",
+//    "trace_ctx": {"trace_id": "<hex>",
+//                  "parent_span_id": N},     (optional; see
+//                                             obs/trace_context.hpp)
 //    "trace": "<name>",                      (data ops)
 //    "signals": ["a", "b"],                  (optional; empty = all)
 //    "min_t_ns": N, "max_t_ns": N,           (optional time slice)
@@ -33,10 +36,15 @@
 //     "serve.chunks_decoded" counter go flat.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dataflow/table.hpp"
+#include "obs/trace_context.hpp"
+#include "obs/window.hpp"
 #include "serve/json.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/trace_catalog.hpp"
@@ -46,6 +54,12 @@ namespace ivt::serve {
 struct QueryEngineConfig {
   std::size_t chunk_cache_bytes = 64ULL << 20U;
   std::size_t state_cache_bytes = 64ULL << 20U;
+  /// Window width (seconds) for the rolling latency / request-count
+  /// views reported by the stats op (engine-owned, so per-server). The
+  /// *registry mirrors* ("serve.request_window_ms" etc., what `--op
+  /// metrics` exposes) fix their width at first registration, so servers
+  /// sharing a process should still agree on it.
+  std::size_t stats_window_s = 60;
 };
 
 /// Tier-2 entry: pipeline output worth re-slicing.
@@ -56,9 +70,58 @@ struct StateEntry {
 
 using StateCache = ShardedLruCache<std::string, StateEntry>;
 
+/// Daemon-level request accounting, updated by the server's connection
+/// loop and reported by the stats op. Like the cache counts and the
+/// event log, this is functional state, not telemetry: it works with
+/// IVT_OBS=OFF (the OBS_* macro sites only mirror the same numbers into
+/// the process registry for the Prometheus/Chrome exports). The rolling
+/// views are engine-owned, so every server gets exactly its configured
+/// window width regardless of what else registered in the process.
+struct RequestAccounting {
+  explicit RequestAccounting(std::size_t window_s)
+      : requests_window(window_s),
+        latency_window_ms(obs::default_latency_bounds_ms(), window_s) {}
+
+  std::atomic<std::uint64_t> requests_total{0};
+  std::atomic<std::uint64_t> requests_failed{0};
+  std::atomic<std::uint64_t> requests_overloaded{0};
+  std::atomic<std::uint64_t> chunks_decoded{0};
+  std::atomic<std::uint64_t> chunks_loaded{0};
+  std::atomic<std::int64_t> in_flight{0};
+  obs::Histogram latency_ms{obs::default_latency_bounds_ms()};
+  obs::RollingCounter requests_window;
+  obs::RollingHistogram latency_window_ms;
+
+  /// One finished request: bump the lifetime count and feed both latency
+  /// views (lifetime histogram + decaying window).
+  void record_request(double elapsed_ms) noexcept {
+    requests_total.fetch_add(1, std::memory_order_relaxed);
+    latency_ms.record(elapsed_ms);
+    requests_window.add(1);
+    latency_window_ms.record(elapsed_ms);
+  }
+};
+
 struct QueryResult {
   std::string json;
   std::string payload;
+
+  /// Per-request accounting, filled by execute() for the server's access
+  /// record (event log) — how the request was served, not just what it
+  /// returned.
+  struct Stats {
+    std::string op;
+    std::uint64_t trace_id = 0;
+    std::vector<std::pair<std::string, double>> stages;  ///< (name, ms)
+    std::size_t chunks_total = 0;    ///< chunks in the target trace
+    std::size_t chunks_scanned = 0;  ///< survived zone-map pruning
+    std::size_t chunks_decoded = 0;  ///< actually decoded this request
+    std::size_t chunk_cache_hits = 0;
+    std::size_t chunk_cache_misses = 0;
+    bool state_cache_hit = false;
+    std::uint64_t rows = 0;  ///< result rows (0 for non-table ops)
+  };
+  Stats stats;
 };
 
 class QueryEngine {
@@ -68,9 +131,12 @@ class QueryEngine {
   /// Execute one request (already JSON-parsed). Thread-safe. Throws
   /// errors::Error with a category describing the failure; Spec for bad
   /// request semantics (unknown op/trace/signal), Decode for malformed
-  /// bodies, Io for backing-store trouble.
+  /// bodies, Io for backing-store trouble. `trace_ctx` (when valid) is
+  /// installed for the duration of the call so every span records under
+  /// the caller's trace_id, which is also echoed in the response JSON.
   [[nodiscard]] QueryResult execute(const json::Value& request,
-                                    std::uint64_t request_id);
+                                    std::uint64_t request_id,
+                                    const obs::TraceContext& trace_ctx = {});
 
   [[nodiscard]] LruCacheStats chunk_cache_stats() const {
     return chunk_cache_.stats();
@@ -81,12 +147,16 @@ class QueryEngine {
 
   [[nodiscard]] const TraceCatalog& catalog() const { return *catalog_; }
 
+  /// The server's connection loop writes here; the stats op reads it.
+  [[nodiscard]] RequestAccounting& accounting() { return accounting_; }
+
  private:
   struct RequestContext;
 
   QueryResult op_ping(RequestContext& ctx);
   QueryResult op_list(RequestContext& ctx);
   QueryResult op_stats(RequestContext& ctx);
+  QueryResult op_metrics(RequestContext& ctx);
   QueryResult op_preselect(RequestContext& ctx);
   QueryResult op_extract(RequestContext& ctx);
   QueryResult op_state(RequestContext& ctx);
@@ -103,6 +173,7 @@ class QueryEngine {
   const TraceCatalog* catalog_;
   ChunkCache chunk_cache_;
   StateCache state_cache_;
+  RequestAccounting accounting_;
 };
 
 /// Rough resident size of a table (cache accounting): cell storage plus

@@ -32,9 +32,11 @@ std::size_t resolve_workers(std::size_t configured) {
 
 /// Typed error response body. Every failure a request can hit — bad
 /// JSON, unknown trace, injected faults, admission rejection — ends up
-/// here; the connection itself stays healthy.
+/// here; the connection itself stays healthy. A nonzero trace_id is
+/// echoed so clients can correlate failures with their traces too.
 Frame error_frame(std::uint64_t request_id, const std::string& op,
-                  errors::Category category, const std::string& message) {
+                  errors::Category category, const std::string& message,
+                  std::uint64_t trace_id = 0) {
   json::Object error;
   error.add("category", std::string(errors::to_string(category)))
       .add("retryable", errors::is_transient(category))
@@ -42,8 +44,23 @@ Frame error_frame(std::uint64_t request_id, const std::string& op,
   json::Object body;
   body.add("ok", false).add("request_id", request_id);
   if (!op.empty()) body.add("op", op);
+  if (trace_id != 0) body.add("trace_id", obs::trace_id_hex(trace_id));
   body.raw("error", error.str());
   return Frame{body.str(), {}};
+}
+
+/// The request's propagated trace context ("trace_ctx" member), or a
+/// freshly minted one when absent/malformed — every access record gets a
+/// trace_id either way.
+obs::TraceContext request_trace_context(const json::Value& body) {
+  obs::TraceContext ctx;
+  if (const json::Value* tc = body.find("trace_ctx");
+      tc != nullptr && tc->is_object()) {
+    ctx.trace_id = obs::parse_trace_id_hex(tc->get_string("trace_id", ""));
+    ctx.span_id =
+        static_cast<std::uint64_t>(tc->get_int("parent_span_id", 0));
+  }
+  return ctx.valid() ? ctx : obs::TraceContext::mint();
 }
 
 }  // namespace
@@ -51,6 +68,10 @@ Frame error_frame(std::uint64_t request_id, const std::string& op,
 Server::Server(std::unique_ptr<TraceCatalog> catalog, ServerConfig config)
     : config_(std::move(config)),
       catalog_(std::move(catalog)),
+      event_log_(config_.event_log_path.empty()
+                     ? nullptr
+                     : std::make_unique<obs::EventLog>(
+                           config_.event_log_path)),
       engine_(*catalog_, config_.query),
       pool_(resolve_workers(config_.workers)),
       max_in_flight_(config_.max_in_flight > 0 ? config_.max_in_flight
@@ -158,6 +179,9 @@ void Server::stop() {
     }
     connections_.clear();
   }
+  // Every connection is drained, so all access records are enqueued; put
+  // them on disk before the caller inspects/uploads the log.
+  if (event_log_ != nullptr) event_log_->flush();
 }
 
 void Server::accept_loop() {
@@ -215,12 +239,71 @@ void Server::serve_connection(int fd) {
         next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
     OBS_COUNT("serve.requests_total", 1);
     const auto start = std::chrono::steady_clock::now();
-    const Frame response = handle_request(request, request_id);
+    AccessInfo access;
+    const Frame response = handle_request(request, request_id, access);
     const double elapsed_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
+    // Functional accounting first (count + both latency views — what the
+    // stats op reports, in any build mode), then the registry mirrors for
+    // the Prometheus/metrics exports. The mirrors' window width is fixed
+    // at first registration (one daemon per process, so config agrees).
+    engine_.accounting().record_request(elapsed_ms);
     OBS_HIST_MS("serve.request_ms", elapsed_ms);
+    OBS_WINDOW_HIST_MS("serve.request_window_ms",
+                       config_.query.stats_window_s, elapsed_ms);
+    OBS_WINDOW_COUNT("serve.requests_window", config_.query.stats_window_s,
+                     1);
+
+    if (event_log_ != nullptr) {
+      // The per-query access record: how the request was served. One
+      // line per request, success or failure.
+      obs::EventRecord record(event_log_.get(), obs::EventLevel::Info,
+                              "serve.query");
+      record.kv("request_id", request_id).kv("op", access.op);
+      if (access.trace_id != 0) {
+        record.kv("trace_id", obs::trace_id_hex(access.trace_id));
+      }
+      record.kv("ok", access.ok);
+      if (!access.ok) record.kv("error_category", access.error_category);
+      record.kv("elapsed_ms", elapsed_ms)
+          .kv("bytes_in", static_cast<std::uint64_t>(
+                              request.json.size() + request.payload.size()))
+          .kv("bytes_out",
+              static_cast<std::uint64_t>(response.json.size() +
+                                         response.payload.size()));
+      if (access.ok) {
+        record
+            .kv("rows", access.stats.rows)
+            .kv("chunks_total",
+                static_cast<std::uint64_t>(access.stats.chunks_total))
+            .kv("chunks_scanned",
+                static_cast<std::uint64_t>(access.stats.chunks_scanned))
+            .kv("chunks_decoded",
+                static_cast<std::uint64_t>(access.stats.chunks_decoded))
+            .kv("chunk_cache_hits",
+                static_cast<std::uint64_t>(access.stats.chunk_cache_hits))
+            .kv("chunk_cache_misses",
+                static_cast<std::uint64_t>(access.stats.chunk_cache_misses))
+            .kv("state_cache_hit", access.stats.state_cache_hit);
+        for (const auto& [stage, wall_ms] : access.stats.stages) {
+          record.kv("t_" + stage + "_ms", wall_ms);
+        }
+      }
+    }
+    if (config_.slow_query_ms > 0.0 && elapsed_ms >= config_.slow_query_ms) {
+      OBS_COUNT("serve.slow_queries", 1);
+      obs::EventRecord slow(event_log_.get(), obs::EventLevel::Warn,
+                            "serve.slow_query");
+      slow.kv("request_id", request_id).kv("op", access.op);
+      if (access.trace_id != 0) {
+        slow.kv("trace_id", obs::trace_id_hex(access.trace_id));
+      }
+      slow.kv("elapsed_ms", elapsed_ms)
+          .kv("threshold_ms", config_.slow_query_ms);
+    }
+
     try {
       write_frame(fd, response);
     } catch (const errors::Error&) {
@@ -229,9 +312,10 @@ void Server::serve_connection(int fd) {
   }
 }
 
-Frame Server::handle_request(const Frame& request,
-                             std::uint64_t request_id) {
+Frame Server::handle_request(const Frame& request, std::uint64_t request_id,
+                             AccessInfo& access) {
   std::string op;
+  std::uint64_t trace_id = 0;
   try {
     // Models a fault between "frame fully read" and "request executed"
     // (e.g. a poisoned request buffer). Contract under test: a typed
@@ -239,9 +323,15 @@ Frame Server::handle_request(const Frame& request,
     FAULT_POINT("serve.read");
     const json::Value body = json::parse(request.json);
     op = body.get_string("op", "");
+    access.op = op;
+    const obs::TraceContext trace_ctx = request_trace_context(body);
+    trace_id = trace_ctx.trace_id;
+    access.trace_id = trace_id;
     if (op == "shutdown") {
       json::Object ok;
       ok.add("ok", true).add("request_id", request_id).add("op", op);
+      if (trace_id != 0) ok.add("trace_id", obs::trace_id_hex(trace_id));
+      access.ok = true;
       request_stop();
       return Frame{ok.str(), {}};
     }
@@ -251,12 +341,15 @@ Frame Server::handle_request(const Frame& request,
     if (in_flight_.fetch_add(1, std::memory_order_acq_rel) >=
         max_in_flight_) {
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      engine_.accounting().requests_overloaded.fetch_add(
+          1, std::memory_order_relaxed);
       OBS_COUNT("serve.requests_overloaded", 1);
       IVT_THROW(errors::Category::Overloaded,
                 "serve: in-flight window full (" +
                     std::to_string(max_in_flight_) +
                     " requests executing) — retry after a backoff");
     }
+    engine_.accounting().in_flight.fetch_add(1, std::memory_order_relaxed);
     OBS_GAUGE_ADD("serve.in_flight", 1);
 
     // The worker marshals failures by value instead of via
@@ -276,10 +369,15 @@ Frame Server::handle_request(const Frame& request,
       // submit_bounded is the structural backstop under the same limit:
       // even if the gate were misaccounted, pool backlog stays bounded.
       pool_.submit_bounded(
-          [this, &body, request_id, &promise] {
+          [this, &body, request_id, trace_ctx, &promise] {
+            // Install the propagated context on this worker thread:
+            // thread-locals do not cross the pool handoff, so the scope
+            // is re-installed here — every span and metric the request
+            // records below carries the client's trace_id.
+            const obs::TraceContextScope trace_scope(trace_ctx);
             Outcome out;
             try {
-              out.result = engine_.execute(body, request_id);
+              out.result = engine_.execute(body, request_id, trace_ctx);
               out.ok = true;
             } catch (const errors::Error& e) {
               out.category = e.category();
@@ -296,26 +394,45 @@ Frame Server::handle_request(const Frame& request,
       outcome = future.get();
     } catch (...) {
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      engine_.accounting().in_flight.fetch_sub(1, std::memory_order_relaxed);
       OBS_GAUGE_ADD("serve.in_flight", -1);
       throw;
     }
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    engine_.accounting().in_flight.fetch_sub(1, std::memory_order_relaxed);
     OBS_GAUGE_ADD("serve.in_flight", -1);
     if (!outcome.ok) {
+      engine_.accounting().requests_failed.fetch_add(
+          1, std::memory_order_relaxed);
       OBS_COUNT("serve.requests_failed", 1);
-      return error_frame(request_id, op, outcome.category, outcome.message);
+      access.error_category = errors::to_string(outcome.category);
+      return error_frame(request_id, op, outcome.category, outcome.message,
+                         trace_id);
     }
+    access.ok = true;
+    access.stats = outcome.result.stats;
     return Frame{std::move(outcome.result.json),
                  std::move(outcome.result.payload)};
   } catch (const errors::Error& e) {
+    engine_.accounting().requests_failed.fetch_add(1,
+                                                   std::memory_order_relaxed);
     OBS_COUNT("serve.requests_failed", 1);
-    return error_frame(request_id, op, e.category(), e.describe());
+    access.error_category = errors::to_string(e.category());
+    return error_frame(request_id, op, e.category(), e.describe(), trace_id);
   } catch (const std::invalid_argument& e) {
+    engine_.accounting().requests_failed.fetch_add(1,
+                                                   std::memory_order_relaxed);
     OBS_COUNT("serve.requests_failed", 1);
-    return error_frame(request_id, op, errors::Category::Spec, e.what());
+    access.error_category = errors::to_string(errors::Category::Spec);
+    return error_frame(request_id, op, errors::Category::Spec, e.what(),
+                       trace_id);
   } catch (const std::exception& e) {
+    engine_.accounting().requests_failed.fetch_add(1,
+                                                   std::memory_order_relaxed);
     OBS_COUNT("serve.requests_failed", 1);
-    return error_frame(request_id, op, errors::Category::Internal, e.what());
+    access.error_category = errors::to_string(errors::Category::Internal);
+    return error_frame(request_id, op, errors::Category::Internal, e.what(),
+                       trace_id);
   }
 }
 

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "dataflow/thread_pool.hpp"
+#include "obs/eventlog.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/trace_catalog.hpp"
 #include "serve/wire.hpp"
@@ -55,6 +56,13 @@ struct ServerConfig {
   /// Admission window: requests executing concurrently before the server
   /// answers Overloaded. 0 = 2 × workers.
   std::size_t max_in_flight = 0;
+  /// JSON-lines access/event log path; empty = disabled. One record per
+  /// request (op, trace_id, stage timings, cache accounting, outcome)
+  /// plus slow-query and lifecycle events. See obs/eventlog.hpp.
+  std::string event_log_path;
+  /// Requests slower than this log a "serve.slow_query" warning event.
+  /// 0 = disabled.
+  double slow_query_ms = 0.0;
   QueryEngineConfig query;
 };
 
@@ -89,18 +97,32 @@ class Server {
 
   [[nodiscard]] QueryEngine& query_engine() { return engine_; }
   [[nodiscard]] std::size_t max_in_flight() const { return max_in_flight_; }
+  /// nullptr when no event log was configured.
+  [[nodiscard]] obs::EventLog* event_log() { return event_log_.get(); }
 
  private:
   void accept_loop();
   void serve_connection(int fd);
 
+  /// What serve_connection needs to know about a handled request beyond
+  /// the response frame: the access-record fields for the event log.
+  struct AccessInfo {
+    std::string op;
+    std::uint64_t trace_id = 0;
+    bool ok = false;
+    std::string error_category;  ///< set when !ok
+    QueryResult::Stats stats;    ///< set when ok
+  };
+
   /// Admission + execution + rendering of one request. Always returns a
   /// response frame — failures become {"ok": false, "error": {...}}
   /// bodies, never dropped connections.
-  Frame handle_request(const Frame& request, std::uint64_t request_id);
+  Frame handle_request(const Frame& request, std::uint64_t request_id,
+                       AccessInfo& access);
 
   ServerConfig config_;
   std::unique_ptr<TraceCatalog> catalog_;
+  std::unique_ptr<obs::EventLog> event_log_;
   QueryEngine engine_;
   dataflow::ThreadPool pool_;
   std::size_t max_in_flight_ = 0;

@@ -72,12 +72,14 @@ std::vector<std::string> TraceCatalog::names() const {
 }
 
 std::shared_ptr<const std::string> TraceCatalog::chunk_bytes(
-    const TraceEntry& entry, std::size_t chunk_index,
-    ChunkCache& cache) const {
+    const TraceEntry& entry, std::size_t chunk_index, ChunkCache& cache,
+    bool* was_hit) const {
   const ChunkKey key{entry.name, chunk_index};
   if (std::shared_ptr<const std::string> hit = cache.get(key)) {
+    if (was_hit != nullptr) *was_hit = true;
     return hit;
   }
+  if (was_hit != nullptr) *was_hit = false;
   // Miss: read the compressed extent from disk. The fault site models a
   // backing-store read failure (stale NFS handle, truncated file, I/O
   // error) — it must surface as a typed error response, never tear down

@@ -87,10 +87,13 @@ class TraceCatalog {
   /// consulting (and on miss populating) `cache`. The returned bytes are
   /// exactly the on-disk extent; decode with
   /// colstore::decode_chunk_from_bytes. Fault site "serve.cache" fires on
-  /// the miss path, modelling a failed backing-store read.
+  /// the miss path, modelling a failed backing-store read. `was_hit`
+  /// (optional) reports whether the cache served the extent — per-request
+  /// accounting for the access log, where the cache's lifetime hit
+  /// counters are too coarse.
   [[nodiscard]] std::shared_ptr<const std::string> chunk_bytes(
-      const TraceEntry& entry, std::size_t chunk_index,
-      ChunkCache& cache) const;
+      const TraceEntry& entry, std::size_t chunk_index, ChunkCache& cache,
+      bool* was_hit = nullptr) const;
 
  private:
   signaldb::Catalog db_;

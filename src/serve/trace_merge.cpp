@@ -1,0 +1,102 @@
+#include "serve/trace_merge.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "errors/error.hpp"
+#include "serve/json.hpp"
+
+namespace ivt::serve {
+
+namespace {
+
+/// Re-render a parsed json::Value. The wire parser keeps integer-looking
+/// numbers exact (int64), so round-tripping through this renderer does
+/// not corrupt timestamps; doubles render with enough digits to
+/// round-trip. Member order is not preserved (std::map sorts keys) —
+/// Chrome trace consumers key on names, not order.
+void render_value(std::ostringstream& os, const json::Value& value) {
+  if (value.is_null()) {
+    os << "null";
+  } else if (value.is_bool()) {
+    os << (value.boolean() ? "true" : "false");
+  } else if (value.is_int()) {
+    os << value.integer();
+  } else if (value.is_number()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value.number());
+    os << buf;
+  } else if (value.is_string()) {
+    os << '"' << json::escape(value.string()) << '"';
+  } else if (value.is_array()) {
+    os << '[';
+    bool first = true;
+    for (const json::Value& item : value.array()) {
+      if (!first) os << ", ";
+      first = false;
+      render_value(os, item);
+    }
+    os << ']';
+  } else {
+    os << '{';
+    bool first = true;
+    for (const auto& [key, member] : value.members()) {
+      if (!first) os << ", ";
+      first = false;
+      os << '"' << json::escape(key) << "\": ";
+      render_value(os, member);
+    }
+    os << '}';
+  }
+}
+
+/// Render one trace event with its "pid" forced to `pid`.
+void render_event(std::ostringstream& os, const json::Value& event,
+                  std::size_t pid) {
+  os << "{\"pid\": " << pid;
+  for (const auto& [key, member] : event.members()) {
+    if (key == "pid") continue;
+    os << ", \"" << json::escape(key) << "\": ";
+    render_value(os, member);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string merge_chrome_traces(const std::vector<TraceInput>& inputs) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (std::size_t pid = 0; pid < inputs.size(); ++pid) {
+    const TraceInput& input = inputs[pid];
+    const json::Value doc = json::parse(input.json_text);
+    const json::Value* events = doc.find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      IVT_THROW(errors::Category::Decode,
+                "trace-merge: input \"" + input.label +
+                    "\" has no traceEvents array");
+    }
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"pid\": " << pid
+       << ", \"ph\": \"M\", \"name\": \"process_name\", \"args\": "
+          "{\"name\": \""
+       << json::escape(input.label) << "\"}}";
+    for (const json::Value& event : events->array()) {
+      if (!event.is_object()) {
+        IVT_THROW(errors::Category::Decode,
+                  "trace-merge: input \"" + input.label +
+                      "\" has a non-object trace event");
+      }
+      os << ",\n";
+      render_event(os, event, pid);
+    }
+  }
+  if (!first) os << "\n";
+  os << "],\n\"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+}  // namespace ivt::serve

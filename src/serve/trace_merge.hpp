@@ -1,0 +1,36 @@
+// Merge Chrome trace-event exports from several processes into one
+// timeline (`ivt trace-merge`).
+//
+// The client (`ivt query --trace-out`) and the daemon (`ivt serve
+// --trace-out`) each export their own spans with pid 0. Loading them
+// separately loses the request join; loading them merged, each input is
+// re-assigned a distinct pid (its index) and labeled with a
+// "process_name" metadata event, so chrome://tracing / Perfetto shows
+// one timeline with a lane per process — and the propagated trace_id in
+// the span args ties a client request row to the server-side spans it
+// caused.
+//
+// Timestamps are NOT rebased: each process exports steady-clock time
+// since its own trace epoch, so cross-process horizontal alignment is
+// approximate. The alignment that matters — which server spans belong to
+// which client request — comes from the trace_id args, not the clock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ivt::serve {
+
+struct TraceInput {
+  std::string label;      ///< process lane name (e.g. the file basename)
+  std::string json_text;  ///< a chrome_trace_json()-style document
+};
+
+/// Merge the inputs into one Chrome trace document. Each input's events
+/// get pid = input index plus a process_name metadata event carrying its
+/// label. Throws errors::Error(Category::Decode) when an input is not a
+/// JSON object with a "traceEvents" array of objects.
+[[nodiscard]] std::string merge_chrome_traces(
+    const std::vector<TraceInput>& inputs);
+
+}  // namespace ivt::serve

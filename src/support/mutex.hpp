@@ -23,6 +23,7 @@
 // are added.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -82,6 +83,11 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
 

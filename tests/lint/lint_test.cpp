@@ -121,18 +121,55 @@ TEST(LintIncludeHygieneTest, ParentRelativeAndSelfHeaderOrder) {
                   .empty());
 }
 
+TEST(LintMetricNameTest, FlagsGrammarAndUnregisteredPrefixes) {
+  const std::string content = read_fixture("bad_metric.cpp");
+  // No extra prefixes: 2 grammar + 4 unregistered (frob, widget,
+  // colstore, gadget — the last via direct EventRecord construction).
+  const auto all = check_metric_names("bad_metric.cpp", content, {});
+  ASSERT_EQ(all.size(), 6u);
+  std::size_t grammar = 0;
+  std::size_t prefix = 0;
+  for (const Finding& f : all) {
+    EXPECT_EQ(f.rule, "metric-name");
+    if (f.message.find("grammar") != std::string::npos) {
+      ++grammar;
+    } else {
+      ++prefix;
+      EXPECT_NE(f.message.find("metric-prefix"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(grammar, 2u);
+  EXPECT_EQ(prefix, 4u);
+
+  // Registering a prefix clears exactly its findings.
+  const auto with_colstore =
+      check_metric_names("bad_metric.cpp", content, {"colstore"});
+  EXPECT_EQ(with_colstore.size(), 5u);
+}
+
+TEST(LintMetricNameTest, CleanFixtureHasNoFindings) {
+  EXPECT_TRUE(
+      check_metric_names("clean.cpp", read_fixture("clean.cpp"), {}).empty());
+}
+
 TEST(LintConfigTest, ParsesExemptionsAndReportsBadLines) {
   std::vector<std::string> errors;
   const Config config = parse_config(
       "# comment\n"
       "registry src/faultfx/fault_sites.registry\n"
       "exempt bare-throw src/algo/\n"
+      "metric-prefix colstore.\n"  // trailing dot accepted, stripped
+      "metric-prefix obs\n"
       "exempt mutex-guard\n"     // malformed: missing prefix
+      "metric-prefix\n"          // malformed: missing subsystem
       "frobnicate x y\n",        // unknown directive
       &errors);
   EXPECT_EQ(config.registry_path, "src/faultfx/fault_sites.registry");
   ASSERT_EQ(config.exemptions.size(), 1u);
-  EXPECT_EQ(errors.size(), 2u);
+  ASSERT_EQ(config.metric_prefixes.size(), 2u);
+  EXPECT_EQ(config.metric_prefixes[0], "colstore");
+  EXPECT_EQ(config.metric_prefixes[1], "obs");
+  EXPECT_EQ(errors.size(), 3u);
   EXPECT_TRUE(is_exempt(config, "bare-throw", "src/algo/sax.cpp"));
   EXPECT_FALSE(is_exempt(config, "bare-throw", "src/core/urel.cpp"));
   EXPECT_FALSE(is_exempt(config, "mutex-guard", "src/algo/sax.cpp"));

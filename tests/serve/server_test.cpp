@@ -42,9 +42,12 @@ dataflow::Engine inline_engine() {
   return dataflow::Engine(config);
 }
 
-std::uint64_t chunks_decoded_now() {
-  return obs::Registry::instance().snapshot().counter_or(
-      "serve.chunks_decoded", 0);
+// Reads the engine's own accounting through the stats op, so the
+// warm-cache invariants below hold with IVT_OBS=OFF too.
+std::uint64_t chunks_decoded_now(Client& client) {
+  const ClientResponse stats = client.request(R"({"op":"stats"})");
+  EXPECT_TRUE(stats.ok());
+  return static_cast<std::uint64_t>(stats.body.get_int("chunks_decoded", 0));
 }
 
 class ServerTest : public ::testing::Test {
@@ -194,7 +197,7 @@ TEST_F(ServerTest, WarmStateQueriesDecodeNoChunks) {
   ASSERT_TRUE(cold.ok());
   EXPECT_FALSE(cold.body.get_bool("cached", true));
 
-  const std::uint64_t decoded_before = chunks_decoded_now();
+  const std::uint64_t decoded_before = chunks_decoded_now(client);
   for (int i = 0; i < 3; ++i) {
     const ClientResponse warm =
         client.request(R"({"op":"state","trace":"syn"})");
@@ -202,7 +205,7 @@ TEST_F(ServerTest, WarmStateQueriesDecodeNoChunks) {
     EXPECT_TRUE(warm.body.get_bool("cached", false));
     EXPECT_EQ(warm.payload, cold.payload);
   }
-  EXPECT_EQ(chunks_decoded_now(), decoded_before)
+  EXPECT_EQ(chunks_decoded_now(client), decoded_before)
       << "warm state queries must be served from the tier-2 cache";
 
   // mine reuses the same tier-2 entry (same key), still no decode.
@@ -210,7 +213,7 @@ TEST_F(ServerTest, WarmStateQueriesDecodeNoChunks) {
       client.request(R"({"op":"mine","trace":"syn","top_k":3})");
   ASSERT_TRUE(mine.ok()) << mine.error_message();
   EXPECT_TRUE(mine.body.get_bool("cached", false));
-  EXPECT_EQ(chunks_decoded_now(), decoded_before);
+  EXPECT_EQ(chunks_decoded_now(client), decoded_before);
 }
 
 TEST_F(ServerTest, ConcurrentClientsAgree) {
@@ -309,11 +312,12 @@ TEST_F(ServerTest, OverloadIsTypedAndRetryable) {
   EXPECT_TRUE(slow_ok.load()) << "in-budget request must stay correct";
   faultfx::disarm_all();
 
-  // The rejected client retries on the same connection and succeeds.
+  // The rejected client retries on the same connection and succeeds, and
+  // the stats op accounts the rejection (functional in any build mode).
   EXPECT_TRUE(probe.request(R"({"op":"ping"})").ok());
-  EXPECT_GE(obs::Registry::instance().snapshot().counter_or(
-                "serve.requests_overloaded", 0),
-            1u);
+  const ClientResponse stats = probe.request(R"({"op":"stats"})");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.body.get_int("requests_overloaded", 0), 1);
 }
 
 TEST_F(ServerTest, MidRequestFaultYieldsTypedErrorNotDrop) {

@@ -1,0 +1,103 @@
+// `ivt trace-merge` core: joining per-process Chrome traces into one
+// timeline document. Inputs are hand-written traces so the tests pin the
+// merge semantics (pid assignment, process_name metadata, field
+// preservation) independently of the span exporter.
+#include "serve/trace_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "errors/error.hpp"
+#include "serve/json.hpp"
+
+namespace ivt::serve {
+namespace {
+
+const json::Value* find_event(const json::Value& events,
+                              const std::string& name) {
+  for (const json::Value& e : events.array()) {
+    if (e.get_string("name", "") == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(TraceMergeTest, AssignsOneProcessPerInput) {
+  const std::string client = R"({"traceEvents": [
+    {"name": "serve.client.request", "ph": "X", "pid": 77, "tid": 1,
+     "ts": 10.5, "dur": 1000.0, "cat": "ivt",
+     "args": {"trace_id": "00000000deadbeef"}}
+  ], "displayTimeUnit": "ms"})";
+  const std::string server = R"({"traceEvents": [
+    {"name": "serve.req.state", "ph": "X", "pid": 88, "tid": 2,
+     "ts": 400.0, "dur": 200.0, "cat": "ivt",
+     "args": {"trace_id": "00000000deadbeef", "rows": 9}},
+    {"name": "serve.scan", "ph": "X", "pid": 88, "tid": 2,
+     "ts": 420.0, "dur": 50.0, "cat": "ivt", "args": {}}
+  ], "displayTimeUnit": "ms"})";
+
+  const std::string merged = merge_chrome_traces(
+      {{"query", client}, {"daemon", server}});
+  const json::Value doc = json::parse(merged);
+  EXPECT_EQ(doc.get_string("displayTimeUnit", ""), "ms");
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 3 original events + 2 process_name metadata events.
+  ASSERT_EQ(events->array().size(), 5u);
+
+  // Each input owns one pid (its index), overriding whatever pid the
+  // original export used; the metadata event names the process.
+  std::size_t metas = 0;
+  for (const json::Value& e : events->array()) {
+    if (e.get_string("ph", "") != "M") continue;
+    ++metas;
+    EXPECT_EQ(e.get_string("name", ""), "process_name");
+    const std::int64_t pid = e.get_int("pid", -1);
+    ASSERT_TRUE(pid == 0 || pid == 1);
+    const json::Value* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->get_string("name", ""), pid == 0 ? "query" : "daemon");
+  }
+  EXPECT_EQ(metas, 2u);
+
+  const json::Value* client_span = find_event(*events, "serve.client.request");
+  ASSERT_NE(client_span, nullptr);
+  EXPECT_EQ(client_span->get_int("pid", -1), 0);
+  const json::Value* server_span = find_event(*events, "serve.req.state");
+  ASSERT_NE(server_span, nullptr);
+  EXPECT_EQ(server_span->get_int("pid", -1), 1);
+
+  // Non-pid fields survive verbatim: timestamps are not rebased (the
+  // shared trace_id, not the clock, aligns the processes) and args pass
+  // through.
+  EXPECT_DOUBLE_EQ(server_span->get_double("ts", 0.0), 400.0);
+  EXPECT_EQ(server_span->find("args")->get_string("trace_id", ""),
+            "00000000deadbeef");
+  EXPECT_EQ(server_span->find("args")->get_int("rows", 0), 9);
+  EXPECT_EQ(client_span->find("args")->get_string("trace_id", ""),
+            "00000000deadbeef");
+}
+
+TEST(TraceMergeTest, SingleAndEmptyEventInputs) {
+  const std::string empty = R"({"traceEvents": [], "displayTimeUnit": "ms"})";
+  const std::string merged = merge_chrome_traces({{"only", empty}});
+  const json::Value doc = json::parse(merged);
+  // Just the process_name metadata row.
+  ASSERT_EQ(doc.find("traceEvents")->array().size(), 1u);
+  EXPECT_EQ(doc.find("traceEvents")->array()[0].get_string("ph", ""), "M");
+}
+
+TEST(TraceMergeTest, RejectsInputsWithoutEventArray) {
+  try {
+    (void)merge_chrome_traces({{"bad", R"({"displayTimeUnit": "ms"})"}});
+    FAIL() << "expected errors::Error";
+  } catch (const errors::Error& e) {
+    EXPECT_EQ(e.category(), errors::Category::Decode);
+  }
+  EXPECT_THROW((void)merge_chrome_traces({{"bad", "not json"}}),
+               errors::Error);
+}
+
+}  // namespace
+}  // namespace ivt::serve
