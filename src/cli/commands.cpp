@@ -25,6 +25,9 @@
 #include "dataflow/ops.hpp"
 #include "dataflow/summary.hpp"
 #include "dataflow/table_io.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/sim.hpp"
+#include "dist/worker.hpp"
 #include "errors/error.hpp"
 #include "errors/failure_log.hpp"
 #include "faultfx/faultfx.hpp"
@@ -84,11 +87,26 @@ commands:
 
   run          full preprocessing pipeline (Algorithm 1)
       --trace, --catalog, --signals, --workers   as in extract
-      --exec batch|streaming  execution mode (default batch). streaming
-                              fuses decode+preselect+interpret+split into
-                              one bounded-admission task per .ivc chunk —
-                              same output, bounded peak memory; requires a
-                              columnar .ivc trace
+      --exec batch|streaming|dist   execution mode (default batch).
+                              streaming fuses decode+preselect+interpret+
+                              split into one bounded-admission task per
+                              .ivc chunk — same output, bounded peak
+                              memory. dist runs the sharded coordinator/
+                              worker executor in-process over loopback
+                              (byte-identical output; see the coordinator
+                              and worker commands for the multi-process
+                              form). Both require a columnar .ivc trace
+      --sim-nodes N           dist: simulated worker nodes (default 4)
+      --sim-failure-rate P    dist: per-assignment probability a node dies
+                              mid-range (seeded + deterministic; dead
+                              nodes respawn and the job still finishes
+                              with identical bytes; default 0)
+      --sim-latency-ms MS     dist: added latency per worker RPC
+      --sim-slow-factor F     dist: per-morsel slowdown, provokes the
+                              straggler/speculation policy (default 1.0)
+      --seed N                dist: failure-schedule seed (default 0)
+      --ranges N              dist: ranges to cut the job into (default:
+                              4 per node, min 8)
       --rate-threshold HZ     classifier z_rate threshold T (default 5)
       --no-reduction          disable the constraint set C
       --extensions gap,cycle_violation,derivative   extension rules E
@@ -155,6 +173,11 @@ commands:
       --min-t-ns N, --max-t-ns N   time slice bounds
       --rate-threshold HZ     state/mine classifier threshold (default 5)
       --top-k N               mine: anomalies to report (default 10)
+      --timeout-ms MS         client deadline per request: connect, send
+                              and receive each must finish within MS or
+                              the query fails with a retryable timeout
+                              instead of hanging on a stalled daemon
+                              (default: block indefinitely)
       --out PATH              write the table payload here (default:
                               payload follows the JSON on stdout)
       --trace-out PATH        write the client-side Chrome trace; the
@@ -176,6 +199,49 @@ commands:
       --iterations N          stop after N polls; 0 = run until ^C
                               (default 0)
       --no-clear              append frames instead of redrawing
+
+  coordinator  run the dist coordinator: cuts a columnar trace into
+               chunk ranges, assigns them to registering workers via
+               consistent hashing, declares workers dead after missed
+               heartbeats (re-queuing their in-flight ranges), launches
+               speculative duplicates for stragglers and merges the
+               accepted partials into the standard run report. Prints
+               "coordinating on HOST:PORT ranges=N" once ready;
+               SIGTERM/SIGINT abort the job cleanly
+      --trace PATH            .ivc trace (required); workers open the
+                              same path themselves — only control data
+                              and partial results cross the wire
+      --catalog PATH          .ivsdb catalog (required)
+      --signals, --rate-threshold, --no-reduction, --on-error,
+      --state, --krep, --report, --workers            as in run
+      --host ADDR             bind address (default 127.0.0.1)
+      --port N                listen port; 0 picks a free port (default 0)
+      --ranges N              ranges to cut the job into (default:
+                              4 x --expect-workers, min 8)
+      --expect-workers N      sizing hint for --ranges (default 4)
+      --heartbeat-ms MS       heartbeat cadence workers are told to use
+                              (default 50)
+      --dead-after-missed K   beats missed before a worker is declared
+                              dead and its ranges re-assigned (default 3)
+      --speculate-min-age G   duplicate an in-flight range at least G
+                              grants old when a worker goes idle; first
+                              completion wins, the loser is deduplicated;
+                              0 disables speculation (default 2)
+
+  worker       run one dist worker: registers with the coordinator under
+               jittered backoff, heartbeats, pulls chunk ranges and ships
+               partial results until the job is done
+      --host ADDR             coordinator address (default 127.0.0.1)
+      --port N                coordinator port (required)
+      --name ID               stable identity on the coordinator's hash
+                              ring (required; re-registering under the
+                              same name supersedes the old registration)
+      --timeout-ms MS         per-RPC client deadline (default 5000)
+      --register-timeout-ms MS  give up when the coordinator has not
+                              accepted registration after MS (default
+                              10000)
+      --sim-failure-rate P, --sim-latency-ms MS, --sim-slow-factor F,
+      --seed N                as in run --exec dist
 
 environment:
   IVT_FAULTS   failpoint recipe armed before the command runs, e.g.
@@ -519,7 +585,10 @@ int cmd_extract(const Args& args) {
 
 int cmd_run(const Args& args) {
   const std::string trace_path = args.require("trace");
-  const signaldb::Catalog catalog = load_catalog_arg(args, "catalog");
+  // Dist mode ships the catalog path to workers in the JobSpec, so keep
+  // the path itself, not just the loaded catalog.
+  const std::string catalog_path = args.require("catalog");
+  const signaldb::Catalog catalog = signaldb::load_catalog(catalog_path);
 
   core::PipelineConfig config;
   config.signals = args.get_list("signals");
@@ -546,6 +615,19 @@ int cmd_run(const Args& args) {
   config.on_error = error_policy_arg(args);
   const auto state_path = args.get("state");
   const auto krep_path = args.get("krep");
+  // Sim knobs are read unconditionally so warn_unused stays accurate;
+  // they only take effect under --exec dist.
+  dist::DistRunConfig dist_config;
+  dist_config.trace_path = trace_path;
+  dist_config.catalog_path = catalog_path;
+  dist_config.nodes = static_cast<std::size_t>(args.get_int("sim-nodes", 4));
+  dist_config.target_ranges =
+      static_cast<std::uint64_t>(args.get_int("ranges", 0));
+  dist_config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  dist_config.failure_rate = args.get_double("sim-failure-rate", 0.0);
+  dist_config.latency_ms =
+      static_cast<int>(args.get_int("sim-latency-ms", 0));
+  dist_config.slow_factor = args.get_double("sim-slow-factor", 1.0);
   const ObsOutputs obs_outputs(args);
   warn_unused(args);
 
@@ -553,14 +635,24 @@ int cmd_run(const Args& args) {
   const core::Pipeline pipeline(catalog, config);
   core::PipelineResult result;
   if (colstore::is_columnar_trace_file(trace_path)) {
-    // The reader overload dispatches on config.exec_mode and already folds
-    // scan-level losses (quarantined chunks) into result.failures.
     const colstore::ColumnarReader reader(trace_path);
-    result = pipeline.run(engine, reader);
+    if (config.exec_mode == core::ExecMode::Dist) {
+      // Sharded coordinator/worker execution over loopback: one real
+      // coordinator plus N node threads running the real worker loop.
+      // Recovery events land in the report's "failures"."dist" section,
+      // not result.failures — a recovered run is a clean run.
+      result = dist::run_dist(catalog, config, reader, dist_config, engine);
+    } else {
+      // The reader overload dispatches on config.exec_mode and already
+      // folds scan-level losses (quarantined chunks) into
+      // result.failures.
+      result = pipeline.run(engine, reader);
+    }
   } else {
-    if (config.exec_mode == core::ExecMode::Streaming) {
+    if (config.exec_mode != core::ExecMode::Batch) {
       throw std::invalid_argument(
-          "--exec=streaming requires a columnar .ivc trace ('" + trace_path +
+          std::string("--exec=") + core::to_string(config.exec_mode) +
+          " requires a columnar .ivc trace ('" + trace_path +
           "' is not one; convert it with 'ivt pack' first)");
     }
     errors::FailureLog ingest_failures;
@@ -713,6 +805,15 @@ extern "C" void handle_serve_signal(int) {
   if (g_serve_instance != nullptr) g_serve_instance->request_stop();
 }
 
+/// cmd_coordinator's SIGTERM/SIGINT target — same self-pipe pattern.
+dist::Coordinator* g_coordinator_instance = nullptr;
+
+extern "C" void handle_coordinator_signal(int) {
+  if (g_coordinator_instance != nullptr) {
+    g_coordinator_instance->request_stop();
+  }
+}
+
 /// Registered trace name: basename without the extension
 /// ("out/SYN_J0.ivc" -> "SYN_J0").
 std::string trace_name_from_path(const std::string& path) {
@@ -811,6 +912,7 @@ int cmd_query(const Args& args) {
   if (args.has("top-k")) request.add("top_k", args.get_int("top-k", 10));
   const auto out_path = args.get("out");
   const auto trace_out = args.get("trace-out");
+  const int timeout_ms = static_cast<int>(args.get_int("timeout-ms", 0));
   warn_unused(args);
 
   // Mint a trace context and attach it to the request so the server's
@@ -818,8 +920,7 @@ int cmd_query(const Args& args) {
   // below; `ivt trace-merge` then lines both exports up by that id.
   const obs::TraceContext trace_ctx = obs::TraceContext::mint();
   serve::add_trace_context(request, trace_ctx);
-
-  serve::Client client(host, port);
+  serve::Client client(host, port, timeout_ms);
   serve::Frame raw;
   {
     const obs::TraceContextScope trace_scope(trace_ctx);
@@ -890,6 +991,134 @@ int cmd_trace_merge(const Args& args) {
   std::fprintf(stderr, "merged %zu trace(s) into %s\n", traces.size(),
                out_path.c_str());
   return 0;
+}
+
+int cmd_coordinator(const Args& args) {
+  const std::string trace_path = args.require("trace");
+  const std::string catalog_path = args.require("catalog");
+  const signaldb::Catalog catalog = signaldb::load_catalog(catalog_path);
+
+  core::PipelineConfig config;
+  config.signals = args.get_list("signals");
+  config.classifier.rate_threshold_hz = args.get_double("rate-threshold", 5.0);
+  if (args.has("no-reduction")) config.constraints.clear();
+  config.exec_mode = core::ExecMode::Dist;
+  config.on_error = error_policy_arg(args);
+  const dataflow::EngineConfig engine_config = engine_config_from_args(args);
+
+  dist::CoordinatorConfig ccfg;
+  ccfg.host = args.get_or("host", "127.0.0.1");
+  ccfg.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  ccfg.trace_path = trace_path;
+  ccfg.catalog_path = catalog_path;
+  ccfg.target_ranges = static_cast<std::uint64_t>(args.get_int("ranges", 0));
+  ccfg.expected_workers =
+      static_cast<std::size_t>(args.get_int("expect-workers", 4));
+  ccfg.heartbeat_ms = static_cast<int>(args.get_int("heartbeat-ms", 50));
+  ccfg.dead_after_missed =
+      static_cast<int>(args.get_int("dead-after-missed", 3));
+  ccfg.speculate_min_age =
+      static_cast<std::uint64_t>(args.get_int("speculate-min-age", 2));
+  const auto state_path = args.get("state");
+  const auto krep_path = args.get("krep");
+  const std::string report_kind = args.get_or("report", "text");
+  if (report_kind != "json" && report_kind != "text") {
+    throw std::invalid_argument("unknown report kind '" + report_kind + "'");
+  }
+  const ObsOutputs obs_outputs(args);
+  warn_unused(args);
+
+  if (!colstore::is_columnar_trace_file(trace_path)) {
+    throw std::invalid_argument(
+        "coordinator: --trace must be a columnar .ivc file ('" + trace_path +
+        "' is not one; convert it with 'ivt pack' first)");
+  }
+  const colstore::ColumnarReader reader(trace_path);
+  dataflow::Engine engine(engine_config);
+  dist::Coordinator coordinator(catalog, config, reader, ccfg);
+  try {
+    coordinator.start();
+  } catch (const errors::Error& e) {
+    std::fprintf(stderr, "coordinator: %s\n", e.describe().c_str());
+    return 5;  // bind/listen failure, same contract as `ivt serve`
+  }
+  g_coordinator_instance = &coordinator;
+  std::signal(SIGTERM, handle_coordinator_signal);
+  std::signal(SIGINT, handle_coordinator_signal);
+  // The readiness line scripts (and the CI smoke lane) wait for.
+  std::printf("coordinating on %s:%u ranges=%llu\n",
+              coordinator.host().c_str(),
+              static_cast<unsigned>(coordinator.port()),
+              static_cast<unsigned long long>(coordinator.num_ranges()));
+  std::fflush(stdout);
+
+  core::PipelineResult result;
+  try {
+    result = coordinator.wait_result(engine);
+  } catch (...) {
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    g_coordinator_instance = nullptr;
+    coordinator.stop();
+    throw;
+  }
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_coordinator_instance = nullptr;
+
+  if (state_path) write_table_arg(result.state, *state_path);
+  if (krep_path) write_table_arg(result.krep, *krep_path);
+  if (report_kind == "json") {
+    std::printf("%s", core::report_to_json(result).c_str());
+  } else {
+    std::printf("%s", core::report_to_text(result).c_str());
+  }
+  // Keep answering dist.next with done:true for a couple of heartbeats so
+  // idle workers polling at heartbeat cadence observe completion instead
+  // of a refused connection (they would still terminate — bounded by
+  // their unreachable deadline — but this way they exit cleanly).
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(2 * ccfg.heartbeat_ms));
+  coordinator.stop();
+  obs_outputs.write();
+  return result.failures.empty() ? 0 : 4;
+}
+
+int cmd_worker(const Args& args) {
+  dist::WorkerOptions options;
+  options.host = args.get_or("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  if (options.port == 0) {
+    throw std::invalid_argument("worker: --port is required");
+  }
+  options.name = args.require("name");
+  options.timeout_ms = static_cast<int>(args.get_int("timeout-ms", 5000));
+  options.register_timeout_ms =
+      static_cast<int>(args.get_int("register-timeout-ms", 10000));
+  options.sim.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  options.sim.failure_rate = args.get_double("sim-failure-rate", 0.0);
+  options.sim.latency_ms =
+      static_cast<int>(args.get_int("sim-latency-ms", 0));
+  options.sim.slow_factor = args.get_double("sim-slow-factor", 1.0);
+  warn_unused(args);
+
+  const dist::WorkerOutcome outcome = dist::run_worker(options);
+  if (outcome.completed) {
+    std::fprintf(stderr,
+                 "worker %s: job done (%llu ranges, %llu register "
+                 "attempts, %llu result retries)\n",
+                 options.name.c_str(),
+                 static_cast<unsigned long long>(outcome.ranges_done),
+                 static_cast<unsigned long long>(outcome.register_attempts),
+                 static_cast<unsigned long long>(outcome.result_retries));
+    return 0;
+  }
+  // A simulated death is a deliberate, reported crash — nonzero so a
+  // shell respawn loop can tell it from completion.
+  std::fprintf(stderr, "worker %s: simulated death after %llu ranges\n",
+               options.name.c_str(),
+               static_cast<unsigned long long>(outcome.ranges_done));
+  return 1;
 }
 
 namespace {
@@ -1022,6 +1251,8 @@ int run_cli(int argc, const char* const* argv) {
     if (command == "query") return cmd_query(args);
     if (command == "trace-merge") return cmd_trace_merge(args);
     if (command == "top") return cmd_top(args);
+    if (command == "coordinator") return cmd_coordinator(args);
+    if (command == "worker") return cmd_worker(args);
     if (command == "help" || command == "--help") {
       std::fputs(kUsage, stdout);
       return 0;

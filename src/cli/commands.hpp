@@ -12,6 +12,8 @@
 //   ivt query     — one request against a running ivt serve daemon
 //   ivt trace-merge — join client/server Chrome traces into one timeline
 //   ivt top       — live terminal dashboard over a daemon's stats op
+//   ivt coordinator — dist job coordinator (range assignment + merge)
+//   ivt worker    — one dist worker against a running coordinator
 //
 // Commands taking --trace accept both containers; .ivc inputs to
 // `extract` use zone-map predicate pushdown for preselection.
@@ -35,6 +37,8 @@ int cmd_serve(const Args& args);
 int cmd_query(const Args& args);
 int cmd_trace_merge(const Args& args);
 int cmd_top(const Args& args);
+int cmd_coordinator(const Args& args);
+int cmd_worker(const Args& args);
 
 /// Dispatch on argv[1]; prints usage and returns 2 for unknown commands.
 int run_cli(int argc, const char* const* argv);

@@ -1,0 +1,100 @@
+#include "core/partials.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/pipeline.hpp"
+#include "core/schemas.hpp"
+#include "tracefile/trace.hpp"
+
+namespace ivt::core {
+
+void accumulate_partial(KeyedSegments& keyed, MorselPartial&& partial) {
+  for (KeySegment& seg : partial.segments) {
+    keyed[seg.key].push_back(
+        SplitSegment{partial.morsel, seg.first_row, std::move(seg.data)});
+  }
+  partial.segments.clear();
+}
+
+SplitDataResult merge_split_segments(KeyedSegments&& keyed,
+                                     const SplitOptions& options) {
+  // Within one key, morsel order == chunk order == batch partition order,
+  // so concatenating segments sorted by morsel reproduces the batch
+  // phase-2 concatenation; across keys, (first morsel, first row) sorts
+  // into exactly the batch first-appearance order.
+  struct FirstHit {
+    std::size_t morsel;
+    std::size_t row;
+    std::string key;
+  };
+  std::vector<FirstHit> firsts;
+  firsts.reserve(keyed.size());
+  std::unordered_map<std::string, SequenceData> merged;
+  merged.reserve(keyed.size());
+  for (auto& [key, segments] : keyed) {
+    std::sort(segments.begin(), segments.end(),
+              [](const SplitSegment& a, const SplitSegment& b) {
+                return a.morsel < b.morsel;
+              });
+    SequenceData seq = std::move(segments.front().data);
+    for (std::size_t s = 1; s < segments.size(); ++s) {
+      append_sequence_data(seq, std::move(segments[s].data));
+    }
+    firsts.push_back(
+        {segments.front().morsel, segments.front().first_row, key});
+    merged.emplace(key, std::move(seq));
+  }
+  keyed.clear();
+  std::sort(firsts.begin(), firsts.end(),
+            [](const FirstHit& a, const FirstHit& b) {
+              return a.morsel != b.morsel ? a.morsel < b.morsel
+                                          : a.row < b.row;
+            });
+  std::vector<std::string> order;
+  order.reserve(firsts.size());
+  for (FirstHit& f : firsts) order.push_back(std::move(f.key));
+  return group_split_sequences(order, merged, options);
+}
+
+MorselProcessor::MorselProcessor(const colstore::ColumnarReader& reader,
+                                 const dataflow::Table& urel,
+                                 const PipelineConfig& config,
+                                 errors::FailureLog* failures)
+    : cursor_([&] {
+        colstore::ScanOptions scan_options;
+        scan_options.on_error = config.on_error;
+        scan_options.failures = failures;
+        return reader.cursor(urel_scan_predicate(urel), scan_options);
+      }()),
+      kernel_(urel, config.interpret) {}
+
+MorselPartial MorselProcessor::process(std::size_t k,
+                                       dataflow::Partition* keep_ks) const {
+  MorselPartial out;
+  out.morsel = k;
+  // Decode + preselect: the cursor's compiled row filter IS the
+  // preselection predicate; a quarantined chunk yields an empty partition
+  // (and is already on the failure log).
+  const dataflow::Partition kpre_part = cursor_.decode(k);
+  out.kpre_rows = kpre_part.num_rows();
+  // Interpret (Algorithm 1 lines 4–6), shared kernel.
+  const dataflow::Schema& ks_schema_ref = ks_schema();
+  dataflow::Partition ks_part = dataflow::Table::make_partition(ks_schema_ref);
+  kernel_.interpret_partition(kpre_part, tracefile::kb_schema(), ks_part);
+  out.ks_rows = ks_part.num_rows();
+  // Bucket (line 8 semantics).
+  PartitionSplit buckets = bucket_split_partition(ks_part, ks_schema_ref);
+  if (keep_ks != nullptr) *keep_ks = std::move(ks_part);
+  out.segments.reserve(buckets.order.size());
+  for (std::size_t i = 0; i < buckets.order.size(); ++i) {
+    KeySegment seg;
+    seg.key = buckets.order[i];
+    seg.first_row = buckets.first_row[i];
+    seg.data = std::move(buckets.buckets.at(seg.key));
+    out.segments.push_back(std::move(seg));
+  }
+  return out;
+}
+
+}  // namespace ivt::core

@@ -58,12 +58,18 @@ void record_stage_time(std::vector<StageTiming>& times, const char* name,
 ExecMode parse_exec_mode(const std::string& text) {
   if (text == "batch") return ExecMode::Batch;
   if (text == "streaming") return ExecMode::Streaming;
+  if (text == "dist") return ExecMode::Dist;
   throw std::invalid_argument("unknown exec mode: " + text +
-                              " (expected batch|streaming)");
+                              " (expected batch|streaming|dist)");
 }
 
 const char* to_string(ExecMode mode) {
-  return mode == ExecMode::Streaming ? "streaming" : "batch";
+  switch (mode) {
+    case ExecMode::Batch: return "batch";
+    case ExecMode::Streaming: return "streaming";
+    case ExecMode::Dist: return "dist";
+  }
+  return "batch";
 }
 
 dataflow::Table concat_tables(const dataflow::Schema& schema,
@@ -345,6 +351,14 @@ PipelineResult Pipeline::run(dataflow::Engine& engine,
   if (config_.exec_mode == ExecMode::Streaming) {
     return run_streaming(engine, reader, stats);
   }
+  if (config_.exec_mode == ExecMode::Dist) {
+    // Dist is orchestrated above the core (coordinator + worker
+    // processes); Pipeline::run cannot spawn them. The CLI intercepts
+    // --exec dist before reaching here.
+    IVT_THROW(errors::Category::Spec,
+              "dist execution is orchestrated by the CLI "
+              "(ivt run --exec dist), not Pipeline::run");
+  }
   errors::FailureLog scan_failures;
   colstore::ScanOptions scan_options;
   scan_options.on_error = config_.on_error;
@@ -359,6 +373,24 @@ PipelineResult Pipeline::run(dataflow::Engine& engine,
              std::make_move_iterator(result.failures.end()));
   result.failures = std::move(all);
   if (stats != nullptr) *stats = local;
+  return result;
+}
+
+PipelineResult Pipeline::merge_morsel_partials(
+    dataflow::Engine& engine, KeyedSegments&& keyed, std::size_t kb_rows,
+    std::size_t kpre_rows, std::size_t ks_rows,
+    std::vector<errors::FailureRecord> failures) const {
+  OBS_SPAN("pipeline.merge_morsel_partials");
+  PipelineResult result;
+  result.kb_rows = kb_rows;
+  result.kpre_rows = kpre_rows;
+  result.ks_rows = ks_rows;
+  result.failures = std::move(failures);
+  const auto merge_start = std::chrono::steady_clock::now();
+  SplitDataResult split = merge_split_segments(std::move(keyed), config_.split);
+  record_stage_time(result.stage_times, "dist_merge",
+                    elapsed_ns(merge_start));
+  process_and_merge(engine, std::move(split), result);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "core/classify.hpp"
 #include "core/extend.hpp"
 #include "core/interpret.hpp"
+#include "core/partials.hpp"
 #include "core/reduce.hpp"
 #include "core/split.hpp"
 #include "core/state_repr.hpp"
@@ -38,9 +39,15 @@ namespace ivt::core {
 /// admission caps the number of decoded morsels in flight, so peak memory
 /// is bounded by max_in_flight × chunk size + the split accumulators.
 /// Output (K_s, K_rep, reports, failure counters) is identical to batch.
-enum class ExecMode { Batch, Streaming };
+///
+/// Dist: the streaming morsel work fanned out over coordinator-assigned
+/// worker processes (src/dist); orchestrated by the CLI layer
+/// (`ivt run --exec dist`), not by Pipeline::run — the core only merges
+/// the returned partials via merge_morsel_partials. Output is again
+/// identical to batch, clean runs and recovered-failure runs alike.
+enum class ExecMode { Batch, Streaming, Dist };
 
-/// Parse "batch" / "streaming" (the CLI --exec values); throws
+/// Parse "batch" / "streaming" / "dist" (the CLI --exec values); throws
 /// std::invalid_argument on anything else.
 ExecMode parse_exec_mode(const std::string& text);
 [[nodiscard]] const char* to_string(ExecMode mode);
@@ -113,6 +120,21 @@ struct StageTiming {
   double wall_ms = 0.0;
 };
 
+/// Recovery accounting of one distributed run (zeros / disabled for batch
+/// and streaming). Rendered into the report JSON "failures" section so
+/// re-assigned ranges are auditable next to quarantined chunks.
+struct DistStats {
+  bool enabled = false;
+  std::size_t nodes = 0;          ///< sim/real worker processes launched
+  std::size_t ranges_total = 0;   ///< chunk ranges assigned over the run
+  std::size_t worker_deaths = 0;  ///< members declared dead (missed beats)
+  std::size_t ranges_reassigned = 0;    ///< re-queued after a death
+  std::size_t speculative_launched = 0; ///< straggler duplicates issued
+  std::size_t speculative_wins = 0;     ///< duplicates that finished first
+  std::size_t results_deduped = 0;  ///< late/duplicate partials discarded
+  std::size_t registrations_retried = 0;  ///< worker register retries
+};
+
 struct PipelineResult {
   std::size_t kb_rows = 0;
   std::size_t kpre_rows = 0;
@@ -136,6 +158,8 @@ struct PipelineResult {
   /// sequences here; callers may merge in upstream losses (quarantined
   /// scan chunks, truncated traces) before rendering the report.
   std::vector<errors::FailureRecord> failures;
+  /// Distributed-run recovery counters (enabled only under ExecMode::Dist).
+  DistStats dist;
   [[nodiscard]] std::size_t sequences_dropped() const {
     std::size_t n = 0;
     for (const SequenceReport& s : sequences) n += s.dropped ? 1 : 0;
@@ -177,6 +201,19 @@ class Pipeline {
   PipelineResult run_streaming(dataflow::Engine& engine,
                                const colstore::ColumnarReader& reader,
                                colstore::ScanStats* stats = nullptr) const;
+
+  /// Entry point for the distributed executor (src/dist): merge the
+  /// per-morsel split segments collected from workers through the shared
+  /// order-stable merge, then run Algorithm 1 lines 10–29 + state exactly
+  /// like the in-process modes. `keyed` is consumed; `kb_rows` /
+  /// `kpre_rows` / `ks_rows` are the caller-accumulated scan counters;
+  /// `failures` are upstream losses (quarantined chunks shipped back by
+  /// workers), which sequence-level failures are appended after — the
+  /// same ordering the streaming path produces.
+  PipelineResult merge_morsel_partials(
+      dataflow::Engine& engine, KeyedSegments&& keyed, std::size_t kb_rows,
+      std::size_t kpre_rows, std::size_t ks_rows,
+      std::vector<errors::FailureRecord> failures) const;
 
   /// Lines 3–6 only: preselection, join, interpretation. Returns K_s.
   dataflow::Table extract(dataflow::Engine& engine,

@@ -162,6 +162,24 @@ std::string report_to_json(const PipelineResult& result) {
   os << "    \"total\": " << result.failures.size() << ",\n";
   os << "    \"sequences_dropped\": " << result.sequences_dropped() << ",\n";
   os << "    \"chunks_quarantined\": " << chunks_quarantined << ",\n";
+  if (result.dist.enabled) {
+    // Distributed-run recovery accounting sits next to the data losses:
+    // a re-assigned range is a recovered infrastructure failure, and the
+    // equivalence tests audit these counters against the sim layer.
+    const DistStats& d = result.dist;
+    os << "    \"dist\": {\n";
+    os << "      \"nodes\": " << d.nodes << ",\n";
+    os << "      \"ranges_total\": " << d.ranges_total << ",\n";
+    os << "      \"worker_deaths\": " << d.worker_deaths << ",\n";
+    os << "      \"ranges_reassigned\": " << d.ranges_reassigned << ",\n";
+    os << "      \"speculative_launched\": " << d.speculative_launched
+       << ",\n";
+    os << "      \"speculative_wins\": " << d.speculative_wins << ",\n";
+    os << "      \"results_deduped\": " << d.results_deduped << ",\n";
+    os << "      \"registrations_retried\": " << d.registrations_retried
+       << "\n";
+    os << "    },\n";
+  }
   os << "    \"records\": " << errors::failures_to_json(result.failures, "    ")
      << "\n";
   os << "  }\n}\n";

@@ -10,15 +10,15 @@
 // exist at once.
 //
 // Equivalence with batch is by construction, not by luck:
-//  * the row filter is the same compiled predicate the pushdown preselect
-//    uses (urel_scan_predicate + ChunkCursor),
-//  * interpretation goes through the shared InterpretKernel,
-//  * per-morsel bucketing is the shared bucket_split_partition,
-//  * morsel index k == batch partition index k (chunk order), so sorting
-//    each key's segments by morsel and ordering keys by
-//    (first morsel, first row) reconstructs exactly the batch split's
-//    concatenation and first-appearance orders,
+//  * the per-morsel compute is the shared core::MorselProcessor (compiled
+//    pushdown predicate + InterpretKernel + bucket_split_partition),
+//  * morsel index k == batch partition index k (chunk order), and the
+//    shared core::merge_split_segments reconstructs exactly the batch
+//    split's concatenation and first-appearance orders from the
+//    (morsel, first-row) tags,
 //  * lines 10–29 + state run through the shared Pipeline::process_and_merge.
+// The same MorselProcessor + merge also back the distributed executor
+// (src/dist), so all three modes share one compute and one merge.
 // The differential harness in tests/integration/streaming_equivalence_test
 // asserts the identity across chunk sizes, worker counts and error
 // policies.
@@ -27,6 +27,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "colstore/chunk_cursor.hpp"
+#include "core/partials.hpp"
 #include "core/pipeline.hpp"
 #include "core/schemas.hpp"
 #include "errors/failure_log.hpp"
@@ -56,20 +58,12 @@ std::uint64_t elapsed_ns(Clock::time_point since) {
           .count());
 }
 
-/// One (s_id, b_id) run of K_s rows contributed by a single morsel.
-struct Segment {
-  std::size_t morsel = 0;
-  std::size_t first_row = 0;  ///< morsel-local row of the key's first hit
-  SequenceData data;
-};
-
 /// One split accumulator shard: appended to under its own mutex by morsel
 /// tasks, merged single-threaded afterwards (the merge still takes the —
 /// by then uncontended — lock so the access contract stays checkable).
 struct Shard {
   support::Mutex mu;
-  std::unordered_map<std::string, std::vector<Segment>> keys
-      IVT_GUARDED_BY(mu);
+  KeyedSegments keys IVT_GUARDED_BY(mu);
 };
 
 /// Shard by s_id (the prefix of the bucket key up to the unit separator),
@@ -105,14 +99,9 @@ StreamExtract stream_extract_split(dataflow::Engine& engine,
   const auto fused_start = Clock::now();
   OBS_SPAN_V(fused_span, "pipeline.stream_extract_split");
 
-  colstore::ScanOptions scan_options;
-  scan_options.on_error = config.on_error;
-  scan_options.failures = scan_failures;
-  const colstore::ChunkCursor cursor =
-      reader.cursor(urel_scan_predicate(urel), scan_options);
-  const InterpretKernel kernel(urel, config.interpret);
+  const MorselProcessor processor(reader, urel, config, scan_failures);
 
-  const std::size_t num_morsels = cursor.num_morsels();
+  const std::size_t num_morsels = processor.num_morsels();
   std::size_t num_shards = config.streaming.shards;
   if (num_shards == 0) {
     num_shards = std::clamp<std::size_t>(
@@ -122,80 +111,44 @@ StreamExtract stream_extract_split(dataflow::Engine& engine,
   if (keep_ks) out.ks_parts.resize(num_morsels);
   std::atomic<std::size_t> kpre_rows{0};
   std::atomic<std::size_t> ks_rows{0};
-  const dataflow::Schema& kb_schema_ref = tracefile::kb_schema();
-  const dataflow::Schema& ks_schema_ref = ks_schema();
 
   engine.parallel_for_bounded(
       num_morsels, config.streaming.max_in_flight, [&](std::size_t k) {
         OBS_SPAN_V(span, "pipeline.morsel");
-        // Decode + preselect: the cursor's compiled row filter IS the
-        // preselection predicate; a quarantined chunk yields an empty
-        // partition (and is already on the failure log).
-        const dataflow::Partition kpre_part = cursor.decode(k);
-        kpre_rows.fetch_add(kpre_part.num_rows(), std::memory_order_relaxed);
-        // Interpret (lines 4–6), shared kernel.
-        dataflow::Partition ks_part =
-            dataflow::Table::make_partition(ks_schema_ref);
-        kernel.interpret_partition(kpre_part, kb_schema_ref, ks_part);
-        ks_rows.fetch_add(ks_part.num_rows(), std::memory_order_relaxed);
-        span.set_rows(ks_part.num_rows());
-        // Bucket (line 8 semantics) and append into the shards.
-        PartitionSplit buckets =
-            bucket_split_partition(ks_part, ks_schema_ref);
-        if (keep_ks) out.ks_parts[k] = std::move(ks_part);
-        for (std::size_t i = 0; i < buckets.order.size(); ++i) {
-          const std::string& key = buckets.order[i];
-          Segment seg;
-          seg.morsel = k;
-          seg.first_row = buckets.first_row[i];
-          seg.data = std::move(buckets.buckets.at(key));
-          Shard& shard = shards[shard_of(key, num_shards)];
+        MorselPartial partial = processor.process(
+            k, keep_ks ? &out.ks_parts[k] : nullptr);
+        kpre_rows.fetch_add(partial.kpre_rows, std::memory_order_relaxed);
+        ks_rows.fetch_add(partial.ks_rows, std::memory_order_relaxed);
+        span.set_rows(partial.ks_rows);
+        // Append the morsel's segments into the shards.
+        for (KeySegment& seg : partial.segments) {
+          Shard& shard = shards[shard_of(seg.key, num_shards)];
           const support::MutexLock lock(shard.mu);
-          shard.keys[key].push_back(std::move(seg));
+          shard.keys[seg.key].push_back(
+              SplitSegment{k, seg.first_row, std::move(seg.data)});
         }
       });
 
-  // Order-stable merge. Within one key, morsel order == chunk order ==
-  // batch partition order, so concatenating segments sorted by morsel
-  // reproduces the batch phase-2 concatenation; across keys,
-  // (first morsel, first row) sorts into exactly the batch
-  // first-appearance order.
-  struct FirstHit {
-    std::size_t morsel;
-    std::size_t row;
-    std::string key;
-  };
-  std::vector<FirstHit> firsts;
-  std::unordered_map<std::string, SequenceData> merged;
+  // Drain the shards into one accumulator and run the shared order-stable
+  // merge (the same one the dist coordinator uses).
+  KeyedSegments keyed;
   for (Shard& shard : shards) {
     const support::MutexLock lock(shard.mu);
-    for (auto& [key, segments] : shard.keys) {
-      std::sort(segments.begin(), segments.end(),
-                [](const Segment& a, const Segment& b) {
-                  return a.morsel < b.morsel;
-                });
-      SequenceData seq = std::move(segments.front().data);
-      for (std::size_t s = 1; s < segments.size(); ++s) {
-        append_sequence_data(seq, std::move(segments[s].data));
+    if (keyed.empty()) {
+      keyed = std::move(shard.keys);
+    } else {
+      for (auto& [key, segments] : shard.keys) {
+        auto& dst = keyed[key];
+        std::move(segments.begin(), segments.end(),
+                  std::back_inserter(dst));
       }
-      firsts.push_back(
-          {segments.front().morsel, segments.front().first_row, key});
-      merged.emplace(key, std::move(seq));
     }
+    shard.keys.clear();
   }
-  std::sort(firsts.begin(), firsts.end(),
-            [](const FirstHit& a, const FirstHit& b) {
-              return a.morsel != b.morsel ? a.morsel < b.morsel
-                                          : a.row < b.row;
-            });
-  std::vector<std::string> order;
-  order.reserve(firsts.size());
-  for (FirstHit& f : firsts) order.push_back(std::move(f.key));
-
-  out.split = group_split_sequences(order, merged, config.split);
+  out.split = merge_split_segments(std::move(keyed), config.split);
   out.kpre_rows = kpre_rows.load(std::memory_order_relaxed);
   out.ks_rows = ks_rows.load(std::memory_order_relaxed);
-  out.stats = cursor.stats();
+  out.stats = processor.stats();
   out.fused_wall_ns = elapsed_ns(fused_start);
   fused_span.set_rows(out.ks_rows);
   return out;

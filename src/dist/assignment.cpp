@@ -1,0 +1,138 @@
+#include "dist/assignment.hpp"
+
+#include <algorithm>
+
+#include "errors/error.hpp"
+
+namespace ivt::dist {
+
+std::vector<ChunkRange> plan_ranges(std::uint64_t num_morsels,
+                                    std::uint64_t target_ranges) {
+  std::vector<ChunkRange> out;
+  if (num_morsels == 0) return out;
+  const std::uint64_t n = std::min(std::max<std::uint64_t>(target_ranges, 1),
+                                   num_morsels);
+  const std::uint64_t base = num_morsels / n;
+  const std::uint64_t extra = num_morsels % n;
+  std::uint64_t begin = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t len = base + (i < extra ? 1 : 0);
+    out.push_back(ChunkRange{i, begin, begin + len});
+    begin += len;
+  }
+  return out;
+}
+
+RangeTracker::RangeTracker(std::vector<ChunkRange> ranges) {
+  ranges_.reserve(ranges.size());
+  for (ChunkRange& r : ranges) {
+    if (r.id != ranges_.size()) {
+      IVT_THROW(errors::Category::Internal,
+                "dist: range ids must be dense and ordered");
+    }
+    Tracked t;
+    t.range = r;
+    ranges_.push_back(std::move(t));
+  }
+  pending_ = ranges_.size();
+}
+
+bool RangeTracker::assign(Tracked& t, const std::string& worker,
+                          bool speculative, ChunkRange& out,
+                          std::uint64_t& epoch) {
+  Assignment a;
+  a.epoch = next_epoch_++;
+  a.worker = worker;
+  a.issued_at = grants_++;
+  a.speculative = speculative;
+  if (t.state == RangeState::Pending) {
+    t.state = RangeState::InFlight;
+    --pending_;
+  }
+  t.live.push_back(std::move(a));
+  out = t.range;
+  epoch = t.live.back().epoch;
+  return true;
+}
+
+bool RangeTracker::next(const std::string& worker, const HashRing& ring,
+                        ChunkRange& out, std::uint64_t& epoch) {
+  Tracked* fallback = nullptr;
+  for (Tracked& t : ranges_) {
+    if (t.state != RangeState::Pending) continue;
+    if (ring.owner_of_range(t.range.begin) == worker) {
+      return assign(t, worker, /*speculative=*/false, out, epoch);
+    }
+    if (fallback == nullptr) fallback = &t;
+  }
+  // Work conservation: no preferred range pending — steal the first
+  // pending one rather than idle while others drain their queues.
+  if (fallback != nullptr) {
+    return assign(*fallback, worker, /*speculative=*/false, out, epoch);
+  }
+  return false;
+}
+
+bool RangeTracker::speculate(const std::string& worker, std::uint64_t min_age,
+                             ChunkRange& out, std::uint64_t& epoch) {
+  Tracked* oldest = nullptr;
+  for (Tracked& t : ranges_) {
+    if (t.state != RangeState::InFlight || t.live.size() != 1) continue;
+    const Assignment& a = t.live.front();
+    if (a.worker == worker) continue;  // duplicating onto itself is useless
+    if (grants_ - a.issued_at < min_age) continue;  // not a straggler yet
+    if (oldest == nullptr ||
+        a.issued_at < oldest->live.front().issued_at) {
+      oldest = &t;
+    }
+  }
+  if (oldest == nullptr) return false;
+  return assign(*oldest, worker, /*speculative=*/true, out, epoch);
+}
+
+CompletionFate RangeTracker::complete(std::uint64_t range_id,
+                                      std::uint64_t epoch) {
+  if (range_id >= ranges_.size()) return CompletionFate::Stale;
+  Tracked& t = ranges_[range_id];
+  if (t.state == RangeState::Done) return CompletionFate::Duplicate;
+  const auto it =
+      std::find_if(t.live.begin(), t.live.end(),
+                   [&](const Assignment& a) { return a.epoch == epoch; });
+  if (it == t.live.end()) return CompletionFate::Stale;  // revoked ghost
+  const bool won_speculatively = it->speculative;
+  t.state = RangeState::Done;
+  t.live.clear();  // the losing copy's eventual result will read Duplicate
+  ++done_;
+  return won_speculatively ? CompletionFate::AcceptedSpeculative
+                           : CompletionFate::Accepted;
+}
+
+std::uint64_t RangeTracker::revoke(const std::string& worker) {
+  std::uint64_t requeued = 0;
+  for (Tracked& t : ranges_) {
+    if (t.state != RangeState::InFlight) continue;
+    const auto dead = std::remove_if(
+        t.live.begin(), t.live.end(),
+        [&](const Assignment& a) { return a.worker == worker; });
+    if (dead == t.live.end()) continue;
+    t.live.erase(dead, t.live.end());
+    if (t.live.empty()) {
+      t.state = RangeState::Pending;
+      ++pending_;
+      ++requeued;
+    }
+    // else: a speculative copy survives on another worker; leave it.
+  }
+  return requeued;
+}
+
+std::uint64_t RangeTracker::in_flight_on(const std::string& worker) const {
+  std::uint64_t n = 0;
+  for (const Tracked& t : ranges_) {
+    if (t.state != RangeState::InFlight) continue;
+    for (const Assignment& a : t.live) n += a.worker == worker ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace ivt::dist

@@ -1,0 +1,120 @@
+// Range planning and assignment state for the coordinator.
+//
+// The job is cut into contiguous chunk ranges (plan_ranges); the
+// RangeTracker then hands ranges to workers, watches what is in flight,
+// and implements the three recovery moves of the design:
+//
+//   - revoke(worker): a death re-queues every range the worker held.
+//     The partial accumulators it might have built are simply never
+//     accepted — morsel partials are pure functions of (trace, config,
+//     k), so a fresh execution elsewhere is identical (idempotence).
+//   - speculate(): the straggler policy duplicates the oldest in-flight
+//     range onto an idle worker under a fresh epoch; whichever copy
+//     completes first is accepted, the other is recorded as a
+//     speculative loss or win.
+//   - complete(range, epoch): exactly one (range, epoch) is ever
+//     Accepted. Earlier-epoch stragglers and zombie re-sends come back
+//     Stale/Duplicate, so the merge sees each morsel exactly once no
+//     matter how chaotic the failure schedule was.
+//
+// The tracker is deliberately NOT thread-safe: the coordinator serializes
+// all access under its own mutex, and keeping the state machine
+// single-threaded keeps every transition auditable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/hash_ring.hpp"
+
+namespace ivt::dist {
+
+/// Morsels [begin, end) of the job.
+struct ChunkRange {
+  std::uint64_t id = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Cut `num_morsels` into at most `target_ranges` contiguous ranges of
+/// near-equal size (first `num_morsels % target_ranges` ranges one
+/// longer). More ranges than workers keeps re-assignment granular: a
+/// death re-queues a slice of the job, not a worker's whole share.
+[[nodiscard]] std::vector<ChunkRange> plan_ranges(
+    std::uint64_t num_morsels, std::uint64_t target_ranges);
+
+enum class RangeState : std::uint8_t {
+  Pending,   ///< unassigned (initially, or re-queued after a revoke)
+  InFlight,  ///< one or two live assignments outstanding
+  Done,      ///< a result was accepted; terminal
+};
+
+/// Outcome of offering a completed (range, epoch) result.
+enum class CompletionFate : std::uint8_t {
+  Accepted,             ///< first completion of the range; merge it
+  AcceptedSpeculative,  ///< ditto, and the winner was the duplicate copy
+  Duplicate,            ///< range already Done — discard (dedup)
+  Stale,                ///< epoch was revoked (dead worker's ghost) — discard
+};
+
+class RangeTracker {
+ public:
+  explicit RangeTracker(std::vector<ChunkRange> ranges);
+
+  /// Next range for `worker`, preferring ranges whose ring owner is
+  /// `worker`, then any pending range. Returns true and fills `out`
+  /// (with a fresh epoch) when something was assigned.
+  bool next(const std::string& worker, const HashRing& ring,
+            ChunkRange& out, std::uint64_t& epoch);
+
+  /// Straggler policy: duplicate the longest-in-flight single-assignment
+  /// range not already running on `worker`. `now_assignment_age` is the
+  /// tracker's logical clock (assignments issued so far); only ranges
+  /// assigned at least `min_age` grants ago qualify — "oldest first"
+  /// without wall clocks. Returns true when a duplicate was issued.
+  bool speculate(const std::string& worker, std::uint64_t min_age,
+                 ChunkRange& out, std::uint64_t& epoch);
+
+  /// Offer a completed result. On Accepted*, the range transitions to
+  /// Done and every other outstanding epoch for it becomes stale.
+  CompletionFate complete(std::uint64_t range_id, std::uint64_t epoch);
+
+  /// Worker died: re-queue its live assignments. Returns the number of
+  /// ranges that transitioned back to Pending (a range whose other,
+  /// speculative copy is still live stays InFlight and is not counted).
+  std::uint64_t revoke(const std::string& worker);
+
+  [[nodiscard]] bool all_done() const { return done_ == ranges_.size(); }
+  [[nodiscard]] std::uint64_t num_ranges() const { return ranges_.size(); }
+  [[nodiscard]] std::uint64_t pending() const { return pending_; }
+
+  /// Ranges currently assigned to `worker` (diagnostics / tests).
+  [[nodiscard]] std::uint64_t in_flight_on(const std::string& worker) const;
+
+ private:
+  struct Assignment {
+    std::uint64_t epoch = 0;
+    std::string worker;
+    std::uint64_t issued_at = 0;  ///< logical clock at grant time
+    bool speculative = false;
+  };
+
+  struct Tracked {
+    ChunkRange range;
+    RangeState state = RangeState::Pending;
+    std::vector<Assignment> live;  ///< 0..2 outstanding assignments
+  };
+
+  bool assign(Tracked& t, const std::string& worker, bool speculative,
+              ChunkRange& out, std::uint64_t& epoch);
+
+  std::vector<Tracked> ranges_;      ///< indexed by range id
+  std::uint64_t next_epoch_ = 1;     ///< 0 is never a valid epoch
+  std::uint64_t grants_ = 0;         ///< logical clock
+  std::uint64_t pending_ = 0;
+  std::uint64_t done_ = 0;
+};
+
+}  // namespace ivt::dist

@@ -1,0 +1,47 @@
+#include "dist/hash_ring.hpp"
+
+namespace ivt::dist {
+
+std::uint64_t stable_hash(const std::string& text) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void HashRing::add_node(const std::string& name) {
+  if (contains(name)) return;
+  const std::uint64_t base = stable_hash(name);
+  for (std::size_t v = 0; v < kVirtualNodes; ++v) {
+    // Mixed per virtual point; collisions (astronomically unlikely)
+    // resolve to whichever node inserted first — deterministic, since
+    // membership changes are serialized under the coordinator's lock.
+    points_.emplace(splitmix64(base + v), name);
+  }
+  ++nodes_;
+}
+
+void HashRing::remove_node(const std::string& name) {
+  if (!contains(name)) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    it = it->second == name ? points_.erase(it) : std::next(it);
+  }
+  --nodes_;
+}
+
+bool HashRing::contains(const std::string& name) const {
+  const std::uint64_t base = stable_hash(name);
+  const auto it = points_.find(splitmix64(base));
+  return it != points_.end() && it->second == name;
+}
+
+std::string HashRing::owner(std::uint64_t key) const {
+  if (points_.empty()) return {};
+  auto it = points_.lower_bound(key);
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->second;
+}
+
+}  // namespace ivt::dist

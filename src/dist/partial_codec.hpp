@@ -1,0 +1,91 @@
+// Binary encoding of morsel split-segments for dist.result payloads.
+//
+// A worker ships the KeySegments of every morsel in its completed range
+// as one IVQ1 payload. The encoding is positional little-endian —
+// exactly the bytes of the columnar SequenceData arrays, with doubles
+// copied bit-for-bit — because the whole point of the distributed mode
+// is byte-identical output: a float that took a text round-trip would
+// not survive `cmp` against the batch state CSV.
+//
+// Layout (all integers LE):
+//   u32  segment_count
+//   then per segment:
+//     u64  morsel          (global zone-map-surviving chunk index)
+//     u64  first_row       (morsel-local first hit of this key)
+//     str  key             (u32 len + bytes; split bucket key)
+//     str  s_id, str bus
+//     u64  n               (element count; all arrays below have n)
+//     i64  t[n]
+//     f64  v_num[n]        (bit-exact memcpy)
+//     u8   has_num[n]
+//     u8   has_str[n]
+//     str  v_str[n]
+//
+// Decoding is defensive (a zombie worker from an older generation could
+// in principle ship garbage): every length is bounds-checked against the
+// remaining payload and violations throw errors::Error(Decode), which
+// the coordinator converts into a rejected result — never a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/partials.hpp"
+
+namespace ivt::dist {
+
+/// One key's segment from one morsel, in wire form. The flattened shape
+/// (morsel tag on every segment rather than grouped per morsel) lets the
+/// coordinator append straight into core::KeyedSegments.
+struct WireSegment {
+  std::uint64_t morsel = 0;
+  std::uint64_t first_row = 0;
+  std::string key;
+  core::SequenceData data;
+};
+
+/// Flatten the partials of a completed range into one payload.
+[[nodiscard]] std::string encode_partials(
+    const std::vector<core::MorselPartial>& partials);
+
+/// Parse a dist.result payload. Throws errors::Error(Decode) on any
+/// truncation, overflow or trailing bytes.
+[[nodiscard]] std::vector<WireSegment> decode_partials(
+    const std::string& payload);
+
+/// One morsel's interpreted K_s rows in columnar wire form (ks_schema
+/// order: t, s_id, v_num, v_str, b_id; has_num / has_str are the null
+/// flags of the two value columns). Shipped only when the job keeps K_s,
+/// so the coordinator can rebuild the table byte-identically in morsel
+/// order — the split segments alone cannot: they are bucketed per key,
+/// and rows of different keys interleave within a morsel.
+struct WireKsBlock {
+  std::uint64_t morsel = 0;
+  std::vector<std::int64_t> t;
+  std::vector<std::string> s_id;
+  std::vector<double> v_num;
+  std::vector<std::uint8_t> has_num;
+  std::vector<std::string> v_str;
+  std::vector<std::uint8_t> has_str;
+  std::vector<std::string> b_id;
+};
+
+/// Everything one dist.result payload carries: the split segments plus
+/// (when the job keeps K_s) the per-morsel K_s blocks.
+struct RangePayload {
+  std::vector<WireSegment> segments;
+  std::vector<WireKsBlock> ks_blocks;
+};
+
+/// Layout: the encode_partials segment section, then a u32 block count
+/// and the K_s blocks (count 0 when the job does not keep K_s).
+[[nodiscard]] std::string encode_range_payload(
+    const std::vector<core::MorselPartial>& partials,
+    const std::vector<WireKsBlock>& ks_blocks);
+
+/// Parse a full dist.result payload; same defensive contract as
+/// decode_partials.
+[[nodiscard]] RangePayload decode_range_payload(const std::string& payload);
+
+}  // namespace ivt::dist

@@ -12,9 +12,22 @@ std::string_view to_string(Category category) {
     case Category::Spec: return "spec";
     case Category::Resource: return "resource";
     case Category::Overloaded: return "overloaded";
+    case Category::Timeout: return "timeout";
     case Category::Internal: return "internal";
   }
   return "unknown";
+}
+
+std::optional<Category> parse_category(std::string_view text) {
+  if (text == "io") return Category::Io;
+  if (text == "format") return Category::Format;
+  if (text == "decode") return Category::Decode;
+  if (text == "spec") return Category::Spec;
+  if (text == "resource") return Category::Resource;
+  if (text == "overloaded") return Category::Overloaded;
+  if (text == "timeout") return Category::Timeout;
+  if (text == "internal") return Category::Internal;
+  return std::nullopt;
 }
 
 std::string_view to_string(Severity severity) {

@@ -2,9 +2,9 @@
 //
 // Every failure the system can encounter carries
 //   - a Category (io, format, decode, spec, resource, overloaded,
-//     internal) that recovery policies dispatch on (only `resource` and
-//     `overloaded` are transient and worth retrying; a corrupt chunk
-//     stays corrupt),
+//     timeout, internal) that recovery policies dispatch on (only
+//     `resource`, `overloaded` and `timeout` are transient and worth
+//     retrying; a corrupt chunk stays corrupt),
 //   - a Severity (recoverable failures can be skipped/quarantined by an
 //     ErrorPolicy, fatal ones always abort),
 //   - the source location of the throw site, and
@@ -35,6 +35,8 @@ enum class Category {
   Overloaded, ///< admission control rejected the work; transient — retry
               ///< after a backoff (ivt-serve returns these when its
               ///< in-flight request window is saturated)
+  Timeout,    ///< a peer missed a deadline (stalled socket, slow worker);
+              ///< transient — the peer may recover, retry elsewhere
   Internal,   ///< invariant violation — a bug, never user data
 };
 
@@ -46,10 +48,15 @@ enum class Severity {
 [[nodiscard]] std::string_view to_string(Category category);
 [[nodiscard]] std::string_view to_string(Severity severity);
 
+/// Parses the to_string(Category) names back; nullopt otherwise. The dist
+/// wire protocol uses this to ship FailureRecords between processes.
+[[nodiscard]] std::optional<Category> parse_category(std::string_view text);
+
 /// Transient errors are worth a bounded retry (the failure may clear on
 /// its own); persistent ones fail identically every attempt.
 [[nodiscard]] constexpr bool is_transient(Category category) {
-  return category == Category::Resource || category == Category::Overloaded;
+  return category == Category::Resource || category == Category::Overloaded ||
+         category == Category::Timeout;
 }
 
 /// Throw-site capture (filled in by the IVT_THROW macro).

@@ -154,6 +154,8 @@ errors::Result<FaultSpec> parse_one(const std::string& text) {
         spec.category = errors::Category::Resource;
       } else if (value == "overloaded") {
         spec.category = errors::Category::Overloaded;
+      } else if (value == "timeout") {
+        spec.category = errors::Category::Timeout;
       } else if (value == "internal") {
         spec.category = errors::Category::Internal;
       } else {

@@ -73,6 +73,7 @@ ThreadRing& this_thread_ring() {
 }
 
 thread_local std::uint32_t t_depth = 0;
+thread_local std::int32_t t_node = -1;
 
 std::chrono::steady_clock::time_point trace_epoch() {
   static const std::chrono::steady_clock::time_point epoch =
@@ -90,6 +91,10 @@ void set_tracing_enabled(bool enabled) noexcept {
   g_tracing_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+void set_current_node(std::int32_t node) noexcept { t_node = node; }
+
+std::int32_t current_node() noexcept { return t_node; }
+
 std::int64_t trace_now_ns() noexcept {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now() - trace_epoch())
@@ -105,6 +110,7 @@ SpanScope::SpanScope(std::string_view name) noexcept {
   std::memcpy(name_, name.data(), n);
   name_[n] = '\0';
   trace_id_ = current_trace_context().trace_id;
+  node_ = t_node;
   ++t_depth;
   start_ns_ = trace_now_ns();
 }
@@ -118,6 +124,7 @@ SpanScope::~SpanScope() {
   e.rows = rows_;
   e.bytes = bytes_;
   e.trace_id = trace_id_;
+  e.node = node_;
   std::memcpy(e.name, name_, sizeof(name_));
   ThreadRing& ring = this_thread_ring();
   e.tid = ring.tid;
@@ -188,6 +195,7 @@ std::string chrome_trace_json() {
     os << buf;
     if (e.rows != kSpanAttrUnset) os << ", \"rows\": " << e.rows;
     if (e.bytes != kSpanAttrUnset) os << ", \"bytes\": " << e.bytes;
+    if (e.node >= 0) os << ", \"node\": " << e.node;
     if (e.trace_id != 0) {
       os << ", \"trace_id\": \"" << trace_id_hex(e.trace_id) << "\"";
     }

@@ -48,10 +48,22 @@ struct SpanEvent {
   /// Chrome export renders it as an "args" field so client- and
   /// server-side traces of one request can be matched up.
   std::uint64_t trace_id = 0;
+  /// Distributed node tag (set_current_node); -1 = untagged. Lets one
+  /// merged timeline attribute spans to coordinator (0) / worker (>0)
+  /// even when sim nodes share a process.
+  std::int32_t node = -1;
 };
 
 [[nodiscard]] bool tracing_enabled() noexcept;
 void set_tracing_enabled(bool enabled) noexcept;
+
+/// Tag every span recorded by THIS thread from now on with a distributed
+/// node id (coordinator = 0, workers >= 1); -1 clears the tag. Rendered
+/// as "args": {"node": N} in the Chrome export. Thread-local, so sim
+/// nodes sharing one process stay distinguishable. No-op when IVT_OBS is
+/// compiled out.
+void set_current_node(std::int32_t node) noexcept;
+[[nodiscard]] std::int32_t current_node() noexcept;
 
 /// Steady-clock nanoseconds since the process trace epoch.
 std::int64_t trace_now_ns() noexcept;
@@ -79,6 +91,7 @@ class SpanScope {
   std::uint64_t rows_ = kSpanAttrUnset;
   std::uint64_t bytes_ = kSpanAttrUnset;
   std::uint64_t trace_id_ = 0;  ///< captured from the thread's context
+  std::int32_t node_ = -1;      ///< captured from set_current_node
   char name_[kSpanNameCapacity + 1];
   bool active_ = false;
 #endif

@@ -36,8 +36,12 @@ struct ClientResponse {
 class Client {
  public:
   /// Connect to host:port. Throws errors::Error(Io) when the connection
-  /// cannot be established.
-  Client(const std::string& host, std::uint16_t port);
+  /// cannot be established. A non-zero `timeout_ms` bounds the connect
+  /// and every subsequent socket read/write: a peer that stalls past the
+  /// deadline surfaces as errors::Error(Timeout) — typed, retryable —
+  /// instead of hanging the caller forever.
+  explicit Client(const std::string& host, std::uint16_t port,
+                  int timeout_ms = 0);
   ~Client();
 
   Client(const Client&) = delete;

@@ -28,6 +28,11 @@ std::size_t read_exact(int fd, char* buf, std::size_t n) {
     if (got == 0) break;  // EOF
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: the peer stalled, not a broken socket.
+        IVT_THROW(errors::Category::Timeout,
+                  "serve: socket read timed out waiting for peer");
+      }
       IVT_THROW(errors::Category::Io,
                 std::string("serve: socket read failed: ") +
                     std::strerror(errno));
@@ -43,6 +48,10 @@ void write_exact(int fd, const char* buf, std::size_t n) {
     const ssize_t put = ::send(fd, buf + done, n - done, kSendFlags);
     if (put < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        IVT_THROW(errors::Category::Timeout,
+                  "serve: socket write timed out waiting for peer");
+      }
       IVT_THROW(errors::Category::Io,
                 std::string("serve: socket write failed: ") +
                     std::strerror(errno));

@@ -1,0 +1,211 @@
+// Range planning and the RangeTracker state machine: exactly-once
+// acceptance per range, re-queue on revoke, speculative duplication, and
+// the epoch fencing that turns zombie results into harmless Stale /
+// Duplicate outcomes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dist/assignment.hpp"
+#include "dist/hash_ring.hpp"
+
+namespace ivt::dist {
+namespace {
+
+HashRing two_node_ring() {
+  HashRing ring;
+  ring.add_node("a");
+  ring.add_node("b");
+  return ring;
+}
+
+TEST(PlanRangesTest, CoversEveryMorselContiguously) {
+  for (const std::uint64_t morsels : {1u, 2u, 9u, 16u, 100u}) {
+    for (const std::uint64_t target : {0u, 1u, 3u, 8u, 1000u}) {
+      SCOPED_TRACE("morsels=" + std::to_string(morsels) +
+                   " target=" + std::to_string(target));
+      const std::vector<ChunkRange> ranges = plan_ranges(morsels, target);
+      ASSERT_FALSE(ranges.empty());
+      // Never more ranges than morsels, never empty ranges.
+      EXPECT_LE(ranges.size(), morsels);
+      std::uint64_t expect_begin = 0;
+      std::uint64_t max_len = 0;
+      std::uint64_t min_len = morsels + 1;
+      for (std::size_t i = 0; i < ranges.size(); ++i) {
+        EXPECT_EQ(ranges[i].id, i);
+        EXPECT_EQ(ranges[i].begin, expect_begin);
+        EXPECT_GT(ranges[i].end, ranges[i].begin);
+        const std::uint64_t len = ranges[i].end - ranges[i].begin;
+        max_len = std::max(max_len, len);
+        min_len = std::min(min_len, len);
+        expect_begin = ranges[i].end;
+      }
+      EXPECT_EQ(expect_begin, morsels);  // exact cover, no gap, no overlap
+      EXPECT_LE(max_len - min_len, 1u);  // near-equal cuts
+    }
+  }
+}
+
+TEST(PlanRangesTest, ZeroMorselsPlansNothing) {
+  EXPECT_TRUE(plan_ranges(0, 8).empty());
+}
+
+TEST(RangeTrackerTest, AssignsEachRangeExactlyOnceThenDrains) {
+  const HashRing ring = two_node_ring();
+  RangeTracker tracker(plan_ranges(8, 4));
+  ASSERT_EQ(tracker.num_ranges(), 4u);
+  std::set<std::uint64_t> ids;
+  std::set<std::uint64_t> epochs;
+  ChunkRange range;
+  std::uint64_t epoch = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::string worker = (i % 2 == 0) ? "a" : "b";
+    ASSERT_TRUE(tracker.next(worker, ring, range, epoch));
+    EXPECT_TRUE(ids.insert(range.id).second) << "range issued twice";
+    EXPECT_TRUE(epochs.insert(epoch).second) << "epoch reused";
+    EXPECT_NE(epoch, 0u) << "0 must never be a valid epoch";
+  }
+  EXPECT_EQ(tracker.pending(), 0u);
+  EXPECT_FALSE(tracker.next("a", ring, range, epoch))
+      << "nothing pending, nothing to hand out";
+  EXPECT_FALSE(tracker.all_done());
+}
+
+TEST(RangeTrackerTest, CompletionIsExactlyOncePerRange) {
+  const HashRing ring = two_node_ring();
+  RangeTracker tracker(plan_ranges(4, 4));
+  ChunkRange range;
+  std::uint64_t epoch = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(tracker.next("a", ring, range, epoch));
+    EXPECT_EQ(tracker.complete(range.id, epoch), CompletionFate::Accepted);
+    // A zombie re-send of the identical (range, epoch) reads Duplicate.
+    EXPECT_EQ(tracker.complete(range.id, epoch),
+              CompletionFate::Duplicate);
+  }
+  EXPECT_TRUE(tracker.all_done());
+  // Out-of-range ids from a corrupted frame are Stale, never a crash.
+  EXPECT_EQ(tracker.complete(99, 1), CompletionFate::Stale);
+}
+
+TEST(RangeTrackerTest, RevokeRequeuesAndFencesTheOldEpoch) {
+  const HashRing ring = two_node_ring();
+  RangeTracker tracker(plan_ranges(2, 2));
+  ChunkRange first;
+  std::uint64_t dead_epoch = 0;
+  ASSERT_TRUE(tracker.next("a", ring, first, dead_epoch));
+  EXPECT_EQ(tracker.in_flight_on("a"), 1u);
+
+  EXPECT_EQ(tracker.revoke("a"), 1u);
+  EXPECT_EQ(tracker.in_flight_on("a"), 0u);
+  EXPECT_EQ(tracker.pending(), 2u) << "revoked range back in the queue";
+
+  // The replacement execution gets a fresh epoch on the same range.
+  ChunkRange reissued;
+  std::uint64_t new_epoch = 0;
+  bool found = false;
+  for (int i = 0; i < 2; ++i) {
+    ChunkRange r;
+    std::uint64_t e = 0;
+    ASSERT_TRUE(tracker.next("b", ring, r, e));
+    if (r.id == first.id) {
+      reissued = r;
+      new_epoch = e;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_GT(new_epoch, dead_epoch);
+
+  // The dead worker's ghost result is fenced; the live one is accepted.
+  EXPECT_EQ(tracker.complete(first.id, dead_epoch), CompletionFate::Stale);
+  EXPECT_EQ(tracker.complete(reissued.id, new_epoch),
+            CompletionFate::Accepted);
+}
+
+TEST(RangeTrackerTest, RevokeOfUnknownWorkerIsANoop) {
+  const HashRing ring = two_node_ring();
+  RangeTracker tracker(plan_ranges(2, 2));
+  ChunkRange range;
+  std::uint64_t epoch = 0;
+  ASSERT_TRUE(tracker.next("a", ring, range, epoch));
+  EXPECT_EQ(tracker.revoke("nobody"), 0u);
+  EXPECT_EQ(tracker.in_flight_on("a"), 1u);
+}
+
+TEST(RangeTrackerTest, SpeculationDuplicatesTheOldestStraggler) {
+  const HashRing ring = two_node_ring();
+  // A single range held by "a": the only speculation candidate, so the
+  // self-duplication and min-age refusals below are unambiguous.
+  RangeTracker tracker(plan_ranges(2, 1));
+  ChunkRange straggling;
+  std::uint64_t slow_epoch = 0;
+  ASSERT_TRUE(tracker.next("a", ring, straggling, slow_epoch));
+
+  // Too young at min_age above the elapsed grant count.
+  ChunkRange dup;
+  std::uint64_t dup_epoch = 0;
+  EXPECT_FALSE(tracker.speculate("b", /*min_age=*/100, dup, dup_epoch));
+  // The straggler's own worker never duplicates onto itself.
+  EXPECT_FALSE(tracker.speculate("a", /*min_age=*/1, dup, dup_epoch));
+
+  ASSERT_TRUE(tracker.speculate("b", /*min_age=*/1, dup, dup_epoch));
+  EXPECT_EQ(dup.id, straggling.id);
+  EXPECT_NE(dup_epoch, slow_epoch);
+
+  // The duplicate finishing first reads AcceptedSpeculative; the loser's
+  // late result reads Duplicate — merged exactly once either way.
+  EXPECT_EQ(tracker.complete(dup.id, dup_epoch),
+            CompletionFate::AcceptedSpeculative);
+  EXPECT_EQ(tracker.complete(straggling.id, slow_epoch),
+            CompletionFate::Duplicate);
+}
+
+TEST(RangeTrackerTest, RevokeSparesRangesWithALiveSpeculativeCopy) {
+  const HashRing ring = two_node_ring();
+  RangeTracker tracker(plan_ranges(2, 2));
+  ChunkRange range;
+  std::uint64_t epoch = 0;
+  ASSERT_TRUE(tracker.next("a", ring, range, epoch));
+  ChunkRange other;
+  std::uint64_t e = 0;
+  ASSERT_TRUE(tracker.next("b", ring, other, e));
+  ChunkRange dup;
+  std::uint64_t dup_epoch = 0;
+  ASSERT_TRUE(tracker.speculate("b", /*min_age=*/1, dup, dup_epoch));
+  ASSERT_EQ(dup.id, range.id);
+
+  // "a" dies: its copy is removed, but the range is NOT re-queued — the
+  // speculative copy on "b" is still running it.
+  EXPECT_EQ(tracker.revoke("a"), 0u);
+  EXPECT_EQ(tracker.pending(), 0u);
+  EXPECT_EQ(tracker.complete(dup.id, dup_epoch),
+            CompletionFate::AcceptedSpeculative);
+}
+
+TEST(RangeTrackerTest, PrefersTheRingOwnerBeforeStealing) {
+  HashRing ring;
+  ring.add_node("a");
+  ring.add_node("b");
+  RangeTracker tracker(plan_ranges(16, 16));
+  // First pull for "a" must be a range "a" owns whenever one is pending
+  // (with 16 ranges over 2 nodes, both own several with overwhelming
+  // probability under any hash).
+  ChunkRange range;
+  std::uint64_t epoch = 0;
+  ASSERT_TRUE(tracker.next("a", ring, range, epoch));
+  bool a_owns_any = false;
+  for (std::uint64_t begin = 0; begin < 16; ++begin) {
+    if (ring.owner_of_range(begin) == "a") a_owns_any = true;
+  }
+  if (a_owns_any) {
+    EXPECT_EQ(ring.owner_of_range(range.begin), "a")
+        << "stole although a preferred range was pending";
+  }
+}
+
+}  // namespace
+}  // namespace ivt::dist
