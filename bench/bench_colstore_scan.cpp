@@ -140,6 +140,39 @@ void BM_IvcPrunedScan(benchmark::State& state) {
 BENCHMARK(BM_IvcPrunedScan)->Arg(5)->Arg(10)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
+/// Decode-free run-level path (--scan compressed): the same pruning +
+/// pushdown as BM_IvcPrunedScan, but surviving chunks are evaluated on
+/// their key_idx RLE runs — rejected runs advance the column cursors
+/// without materializing a row, and the bus/message-id blocks are never
+/// decoded at all. Output is byte-identical to BM_IvcPrunedScan; the
+/// delta between the two rows at equal selectivity is the decode cost
+/// the compressed path skips.
+void BM_IvcCompressedScan(benchmark::State& state) {
+  const std::int64_t percent = state.range(0);
+  colstore::ScanPredicate pred;
+  pred.message_ids = workload().id_subset(percent);
+  const colstore::ColumnarReader reader(workload().ivc_path);
+  colstore::ScanOptions options;
+  options.mode = colstore::ScanMode::Compressed;
+  std::size_t rows = 0;
+  colstore::ScanStats stats;
+  bench::Stopwatch watch;
+  for (auto _ : state) {
+    const dataflow::Table kpre = reader.scan(pred, options, &stats);
+    rows = kpre.num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows_out"] = static_cast<double>(rows);
+  state.counters["runs_pruned"] = static_cast<double>(stats.runs_pruned);
+  state.counters["runs_accepted"] =
+      static_cast<double>(stats.runs_accepted);
+  emit_result("ivc_compressed_scan", percent,
+              watch.seconds() / static_cast<double>(state.iterations()),
+              rows, workload().num_records);
+}
+BENCHMARK(BM_IvcCompressedScan)->Arg(5)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
 /// Streaming morsel path: the same pruning + pushdown as BM_IvcPrunedScan
 /// but decoding one chunk at a time through ChunkCursor — the access
 /// pattern of --exec=streaming, where at most one morsel's rows are
@@ -174,6 +207,38 @@ void BM_IvcCursorStream(benchmark::State& state) {
               rows, workload().num_records);
 }
 BENCHMARK(BM_IvcCursorStream)->Arg(5)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+/// The compressed cursor path — what --exec streaming --scan compressed
+/// runs per morsel, including the EmittedRun bookkeeping the dictionary
+/// join consumes.
+void BM_IvcCursorStreamCompressed(benchmark::State& state) {
+  const std::int64_t percent = state.range(0);
+  colstore::ScanPredicate pred;
+  pred.message_ids = workload().id_subset(percent);
+  const colstore::ColumnarReader reader(workload().ivc_path);
+  colstore::ScanOptions options;
+  options.mode = colstore::ScanMode::Compressed;
+  std::size_t rows = 0;
+  bench::Stopwatch watch;
+  for (auto _ : state) {
+    const colstore::ChunkCursor cursor = reader.cursor(pred, options);
+    std::size_t kept = 0;
+    std::vector<colstore::EmittedRun> runs;
+    for (std::size_t k = 0; k < cursor.num_morsels(); ++k) {
+      const dataflow::Partition morsel = cursor.decode(k, runs);
+      kept += morsel.num_rows();
+      benchmark::DoNotOptimize(morsel);
+    }
+    rows = kept;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows_out"] = static_cast<double>(rows);
+  emit_result("ivc_cursor_stream_compressed", percent,
+              watch.seconds() / static_cast<double>(state.iterations()),
+              rows, workload().num_records);
+}
+BENCHMARK(BM_IvcCursorStreamCompressed)->Arg(5)->Arg(10)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
 /// Columnar path including file open + footer parse each iteration (the

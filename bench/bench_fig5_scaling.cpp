@@ -103,8 +103,9 @@ int main(int argc, char** argv) {
   std::printf("dataset scale %.4g, %zu workers, 100us simulated task "
               "dispatch overhead%s\n\n", scale, engine.workers(),
               quick ? " [quick]" : "");
-  std::printf("%-8s %-10s %12s %12s %12s %14s %12s\n", "dataset", "exec",
-              "kb_rows", "examples", "reduced", "time_ms", "peak_rss_mb");
+  std::printf("%-8s %-10s %-10s %12s %12s %12s %14s %12s\n", "dataset",
+              "exec", "scan", "kb_rows", "examples", "reduced", "time_ms",
+              "peak_rss_mb");
 
   for (const simnet::DatasetSpec& spec :
        {simnet::syn_spec(), simnet::lig_spec(), simnet::sta_spec()}) {
@@ -116,7 +117,6 @@ int main(int argc, char** argv) {
 
     core::PipelineConfig pconfig;
     pconfig.classifier.rate_threshold_hz = plan.recommended_rate_threshold_hz;
-    const core::Pipeline pipeline(ds.catalog, pconfig);
     const std::size_t total_rows = ds.trace.size();
 
     for (std::size_t step = 1; step <= kSteps; ++step) {
@@ -125,35 +125,49 @@ int main(int argc, char** argv) {
                                     {.chunk_rows = 8192});
       const colstore::ColumnarReader reader(ivc_path);
 
-      // Streaming first — see the header comment on ru_maxrss.
-      for (const bool streaming : {true, false}) {
-        bench::Stopwatch timer;
-        const core::Pipeline::ReducedResult result =
-            streaming
-                ? pipeline.extract_and_reduce_streaming(engine, reader)
-                : pipeline.extract_and_reduce(
-                      engine, reader.scan(colstore::ScanPredicate{}, engine));
-        const double ms = timer.seconds() * 1e3;
-        const char* exec = streaming ? "streaming" : "batch";
-        const std::uint64_t peak_rss = bench::peak_rss_bytes();
-        std::printf("%-8s %-10s %12zu %12zu %12zu %14.2f %12.1f\n",
-                    spec.name.c_str(), exec, rows, result.ks_rows,
-                    result.reduced_rows, ms,
-                    static_cast<double>(peak_rss) / (1024.0 * 1024.0));
-        bench::JsonRecord record;
-        record.add("bench", "fig5_scaling")
-            .add("dataset", spec.name)
-            .add("exec", exec)
-            .add("quick", quick)
-            .add("step", static_cast<std::uint64_t>(step))
-            .add("kb_rows", static_cast<std::uint64_t>(rows))
-            .add("examples", static_cast<std::uint64_t>(result.ks_rows))
-            .add("reduced", static_cast<std::uint64_t>(result.reduced_rows))
-            .add("time_ms", ms)
-            .add("peak_rss_bytes", peak_rss);
-        bench::add_robustness_fields(record,
-                                     bench::read_robustness_counters());
-        json.emit(record);
+      // Scan-mode axis: the decoded baseline and the decode-free
+      // run-header path must land on the same examples/reduced counts —
+      // the time_ms delta between them is the compressed-execution win.
+      for (const colstore::ScanMode scan_mode :
+           {colstore::ScanMode::Decoded, colstore::ScanMode::Compressed}) {
+        core::PipelineConfig mode_config = pconfig;
+        mode_config.scan_mode = scan_mode;
+        const core::Pipeline pipeline(ds.catalog, mode_config);
+
+        // Streaming first — see the header comment on ru_maxrss.
+        for (const bool streaming : {true, false}) {
+          bench::Stopwatch timer;
+          const core::Pipeline::ReducedResult result =
+              streaming
+                  ? pipeline.extract_and_reduce_streaming(engine, reader)
+                  : pipeline.extract_and_reduce(
+                        engine,
+                        reader.scan(colstore::ScanPredicate{}, engine,
+                                    colstore::ScanOptions{.mode = scan_mode}));
+          const double ms = timer.seconds() * 1e3;
+          const char* exec = streaming ? "streaming" : "batch";
+          const char* scan = colstore::to_string(scan_mode);
+          const std::uint64_t peak_rss = bench::peak_rss_bytes();
+          std::printf("%-8s %-10s %-10s %12zu %12zu %12zu %14.2f %12.1f\n",
+                      spec.name.c_str(), exec, scan, rows, result.ks_rows,
+                      result.reduced_rows, ms,
+                      static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+          bench::JsonRecord record;
+          record.add("bench", "fig5_scaling")
+              .add("dataset", spec.name)
+              .add("exec", exec)
+              .add("scan", scan)
+              .add("quick", quick)
+              .add("step", static_cast<std::uint64_t>(step))
+              .add("kb_rows", static_cast<std::uint64_t>(rows))
+              .add("examples", static_cast<std::uint64_t>(result.ks_rows))
+              .add("reduced", static_cast<std::uint64_t>(result.reduced_rows))
+              .add("time_ms", ms)
+              .add("peak_rss_bytes", peak_rss);
+          bench::add_robustness_fields(record,
+                                       bench::read_robustness_counters());
+          json.emit(record);
+        }
       }
     }
     std::puts("");

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "algo/stats.hpp"
+#include "support/batch.hpp"
 
 namespace ivt::algo {
 
@@ -106,8 +107,9 @@ std::string sax_word(std::span<const double> xs, std::size_t word_length,
   const std::vector<double> reduced = paa(z, word_length);
   const std::vector<double> bp = sax_breakpoints(alphabet_size);
   std::string word;
-  word.reserve(reduced.size());
-  for (double v : reduced) word.push_back(sax_symbol(v, bp));
+  // Batched shape (IVT_SIMD): branchless region counting, identical to
+  // the sax_symbol walk for the ascending breakpoint table.
+  support::batch::sax_symbols(reduced, bp, word);
   return word;
 }
 

@@ -4,25 +4,16 @@
 #include <stdexcept>
 
 #include "algo/stats.hpp"
+#include "support/batch.hpp"
 
 namespace ivt::algo {
 
 std::vector<double> moving_average(std::span<const double> xs,
                                    std::size_t half_window) {
-  std::vector<double> out;
-  out.reserve(xs.size());
-  if (half_window == 0) {
-    out.assign(xs.begin(), xs.end());
-    return out;
-  }
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    const std::size_t lo = i >= half_window ? i - half_window : 0;
-    const std::size_t hi = std::min(i + half_window + 1, xs.size());
-    double sum = 0.0;
-    for (std::size_t j = lo; j < hi; ++j) sum += xs[j];
-    out.push_back(sum / static_cast<double>(hi - lo));
-  }
-  return out;
+  // Batched shape (IVT_SIMD): interior windows run 4 outputs per block
+  // with per-lane left-to-right accumulation — bit-identical to the
+  // scalar fallback by the support::batch contract.
+  return support::batch::moving_average(xs, half_window);
 }
 
 std::vector<double> moving_median(std::span<const double> xs,

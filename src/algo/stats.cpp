@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/batch.hpp"
+
 namespace ivt::algo {
 
 void RunningStats::add(double x) {
@@ -94,13 +96,10 @@ LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
 
 double residual_sum_squares(std::span<const double> xs,
                             std::span<const double> ys, const LineFit& fit) {
-  double rss = 0.0;
-  const std::size_t n = std::min(xs.size(), ys.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
-    rss += r * r;
-  }
-  return rss;
+  // Batched shape (IVT_SIMD): elementwise residual terms vectorize, the
+  // accumulation stays in index order — bit-identical to the scalar loop.
+  return support::batch::residual_sum_squares(xs, ys, fit.slope,
+                                              fit.intercept);
 }
 
 }  // namespace ivt::algo

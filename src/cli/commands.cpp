@@ -81,6 +81,13 @@ commands:
                               caller (deterministic debugging mode)
       --skip-error-frames     drop monitor-flagged error frames
       --on-error fail|skip|quarantine   corrupt-input policy (default fail)
+      --scan decoded|compressed   .ivc chunk evaluation (default decoded):
+                              compressed evaluates the predicate on the
+                              v2 key-run headers — rejected runs are
+                              skipped without materializing a row, and
+                              U_comb joins by dictionary index. Output is
+                              byte-identical; v1 files fall back to
+                              decoded
       --trace-out PATH        write a Chrome trace (chrome://tracing,
                               Perfetto) of the run's spans
       --metrics-out PATH      write the metrics registry snapshot as JSON
@@ -107,6 +114,8 @@ commands:
       --seed N                dist: failure-schedule seed (default 0)
       --ranges N              dist: ranges to cut the job into (default:
                               4 per node, min 8)
+      --scan decoded|compressed   chunk evaluation mode, all exec modes
+                              (see extract; dist ships it to workers)
       --rate-threshold HZ     classifier z_rate threshold T (default 5)
       --no-reduction          disable the constraint set C
       --extensions gap,cycle_violation,derivative   extension rules E
@@ -153,6 +162,9 @@ commands:
                               rejected Overloaded (default: 2 x workers)
       --cache-mb N            tier-1 compressed-chunk cache (default 64)
       --state-cache-mb N      tier-2 state-representation cache (default 64)
+      --scan decoded|compressed   evaluate cached chunk extents run-level
+                              instead of re-decoding per request (see
+                              extract; default decoded)
       --event-log PATH        append one JSON-lines access record per
                               request (plus slow-query warnings)
       --slow-query-ms MS      warn-log requests slower than MS (default:
@@ -212,7 +224,7 @@ commands:
                               same path themselves — only control data
                               and partial results cross the wire
       --catalog PATH          .ivsdb catalog (required)
-      --signals, --rate-threshold, --no-reduction, --on-error,
+      --signals, --rate-threshold, --no-reduction, --on-error, --scan,
       --state, --krep, --report, --workers            as in run
       --host ADDR             bind address (default 127.0.0.1)
       --port N                listen port; 0 picks a free port (default 0)
@@ -531,6 +543,8 @@ int cmd_extract(const Args& args) {
   options.catalog = &catalog;
   options.skip_error_frames = args.has("skip-error-frames");
   const errors::ErrorPolicy on_error = error_policy_arg(args);
+  const colstore::ScanMode scan_mode =
+      colstore::parse_scan_mode(args.get_or("scan", "decoded"));
   const ObsOutputs obs_outputs(args);
   warn_unused(args);
 
@@ -550,6 +564,7 @@ int cmd_extract(const Args& args) {
     colstore::ScanOptions scan_options;
     scan_options.on_error = on_error;
     scan_options.failures = &failures;
+    scan_options.mode = scan_mode;
     const auto kpre =
         core::preselect(engine, reader, urel, scan_options, &stats);
     ks = core::interpret(engine, kpre, urel, options);
@@ -613,6 +628,7 @@ int cmd_run(const Args& args) {
     throw std::invalid_argument("unknown report kind '" + report_kind + "'");
   }
   config.on_error = error_policy_arg(args);
+  config.scan_mode = colstore::parse_scan_mode(args.get_or("scan", "decoded"));
   const auto state_path = args.get("state");
   const auto krep_path = args.get("krep");
   // Sim knobs are read unconditionally so warn_unused stays accurate;
@@ -846,6 +862,8 @@ int cmd_serve(const Args& args) {
       static_cast<std::size_t>(args.get_int("state-cache-mb", 64)) << 20U;
   config.query.stats_window_s =
       static_cast<std::size_t>(args.get_int("stats-window-s", 60));
+  config.query.scan_mode =
+      colstore::parse_scan_mode(args.get_or("scan", "decoded"));
   config.event_log_path = args.get_or("event-log", "");
   config.slow_query_ms = args.get_double("slow-query-ms", 0.0);
   const auto trace_out = args.get("trace-out");
@@ -1004,6 +1022,7 @@ int cmd_coordinator(const Args& args) {
   if (args.has("no-reduction")) config.constraints.clear();
   config.exec_mode = core::ExecMode::Dist;
   config.on_error = error_policy_arg(args);
+  config.scan_mode = colstore::parse_scan_mode(args.get_or("scan", "decoded"));
   const dataflow::EngineConfig engine_config = engine_config_from_args(args);
 
   dist::CoordinatorConfig ccfg;

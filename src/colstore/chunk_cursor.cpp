@@ -15,7 +15,14 @@ ChunkCursor::ChunkCursor(const ColumnarReader& reader,
                          const ScanPredicate& pred, ScanOptions options)
     : reader_(&reader),
       options_(options),
-      compiled_(detail::compile_predicate(pred, reader.bus_names())) {
+      compiled_(detail::compile_predicate(pred, reader.bus_names())),
+      compressed_(options.mode == ScanMode::Compressed &&
+                  reader.version() >= 2) {
+  if (compressed_ && !compiled_.never_matches) {
+    // The run-constant conjuncts fold into one bitmap per file — every
+    // chunk's key runs test against it, so pay the hash probes once here.
+    key_allowed_ = detail::compile_key_filter(compiled_, reader.key_dict());
+  }
   const std::vector<ChunkInfo>& chunks = reader.chunks();
   prune_stats_.chunks_total = chunks.size();
   if (!compiled_.never_matches) {
@@ -47,34 +54,59 @@ std::size_t ChunkCursor::morsel_row_count(std::size_t k) const {
   return reader_->chunk(survivors_[k]).row_count;
 }
 
-dataflow::Partition ChunkCursor::decode_unchecked(std::size_t k) const {
+dataflow::Partition ChunkCursor::decode_unchecked(
+    std::size_t k, std::vector<EmittedRun>* runs) const {
   OBS_SPAN_V(chunk_span, "colstore.decode_chunk");
   FAULT_POINT("colstore.decode_chunk");
   const ChunkInfo& info = reader_->chunk(survivors_[k]);
   chunk_span.set_bytes(info.encoded_bytes);
   chunk_span.set_rows(info.row_count);
   const std::vector<std::string>& buses = reader_->bus_names();
-  const detail::DecodedChunk chunk =
-      detail::decode_columns(reader_->buffer(), info, buses.size());
-  dataflow::Partition out = detail::materialize_kb_partition(
-      chunk, info.row_count, buses, compiled_);
+  dataflow::Partition out;
+  if (compressed_) {
+    ScanStats local;
+    out = detail::scan_chunk_compressed(reader_->buffer(), info, buses,
+                                        reader_->key_dict(), key_allowed_,
+                                        compiled_, local, runs);
+    runs_considered_.fetch_add(local.runs_considered,
+                               std::memory_order_relaxed);
+    runs_pruned_.fetch_add(local.runs_pruned, std::memory_order_relaxed);
+    runs_accepted_.fetch_add(local.runs_accepted, std::memory_order_relaxed);
+    OBS_COUNT("colstore.runs_pruned", local.runs_pruned);
+    OBS_COUNT("colstore.runs_accepted", local.runs_accepted);
+  } else {
+    const detail::DecodedChunk chunk = detail::decode_columns(
+        reader_->buffer(), info, reader_->version(), buses.size(),
+        reader_->key_dict());
+    out = detail::materialize_kb_partition(chunk, info.row_count, buses,
+                                           compiled_);
+    OBS_COUNT("colstore.runs_decoded", 1);
+  }
   rows_emitted_.fetch_add(out.num_rows(), std::memory_order_relaxed);
   return out;
 }
 
 dataflow::Partition ChunkCursor::decode(std::size_t k) const {
+  std::vector<EmittedRun> unused;
+  return decode(k, unused);
+}
+
+dataflow::Partition ChunkCursor::decode(std::size_t k,
+                                        std::vector<EmittedRun>& runs) const {
+  runs.clear();
   const std::size_t chunk_index = survivors_[k];
   const ChunkInfo& info = reader_->chunk(chunk_index);
   if (options_.on_error == errors::ErrorPolicy::Fail) {
     dataflow::Partition out;
     errors::with_context("decoding chunk " + std::to_string(chunk_index) +
                              " @ offset " + std::to_string(info.offset),
-                         [&] { out = decode_unchecked(k); });
+                         [&] { out = decode_unchecked(k, &runs); });
     return out;
   }
   try {
-    return decode_unchecked(k);
+    return decode_unchecked(k, &runs);
   } catch (const errors::Error& e) {
+    runs.clear();  // a partially filled run list must not outlive the drop
     if (e.severity() == errors::Severity::Fatal) throw;
     // Skip/Quarantine: drop the chunk and resync to the next one. The
     // chunk directory gives every neighbour's extent, so a corrupt body
@@ -99,6 +131,9 @@ ScanStats ChunkCursor::stats() const {
   out.chunks_quarantined = chunks_quarantined_.load(std::memory_order_relaxed);
   out.rows_quarantined = rows_quarantined_.load(std::memory_order_relaxed);
   out.rows_emitted = rows_emitted_.load(std::memory_order_relaxed);
+  out.runs_considered = runs_considered_.load(std::memory_order_relaxed);
+  out.runs_pruned = runs_pruned_.load(std::memory_order_relaxed);
+  out.runs_accepted = runs_accepted_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -56,6 +56,19 @@ class ChunkCursor {
   /// costs exactly its own rows.
   [[nodiscard]] dataflow::Partition decode(std::size_t k) const;
 
+  /// Same, additionally reporting the accepted key runs of the partition
+  /// (output-row coordinates) when this cursor evaluates compressed:
+  /// downstream interpretation joins per run via the key dictionary
+  /// instead of per row via a string hash. `runs` is left empty on the
+  /// decoded path (v1 file or ScanMode::Decoded) — callers fall back to
+  /// the row-wise join.
+  [[nodiscard]] dataflow::Partition decode(
+      std::size_t k, std::vector<EmittedRun>& runs) const;
+
+  /// True when decode() evaluates run-level (ScanMode::Compressed on a
+  /// version >= 2 file); false means every morsel takes the decoded path.
+  [[nodiscard]] bool compressed() const { return compressed_; }
+
   /// Scan statistics so far: pruning numbers are fixed at construction,
   /// rows_emitted / quarantine counters reflect the decodes done so far.
   [[nodiscard]] ScanStats stats() const;
@@ -65,16 +78,22 @@ class ChunkCursor {
   ChunkCursor(const ColumnarReader& reader, const ScanPredicate& pred,
               ScanOptions options);
 
-  dataflow::Partition decode_unchecked(std::size_t k) const;
+  dataflow::Partition decode_unchecked(std::size_t k,
+                                       std::vector<EmittedRun>* runs) const;
 
   const ColumnarReader* reader_;
   ScanOptions options_;
   detail::CompiledPredicate compiled_;
+  bool compressed_ = false;
+  std::vector<std::uint8_t> key_allowed_;  ///< per key-dict entry, if compressed_
   std::vector<std::size_t> survivors_;
   ScanStats prune_stats_;
   mutable std::atomic<std::size_t> chunks_quarantined_{0};
   mutable std::atomic<std::size_t> rows_quarantined_{0};
   mutable std::atomic<std::size_t> rows_emitted_{0};
+  mutable std::atomic<std::size_t> runs_considered_{0};
+  mutable std::atomic<std::size_t> runs_pruned_{0};
+  mutable std::atomic<std::size_t> runs_accepted_{0};
 };
 
 }  // namespace ivt::colstore

@@ -62,11 +62,17 @@ struct DecodedChunk {
   std::vector<std::int64_t> message_id;
   std::vector<std::uint64_t> flags;
   std::vector<std::uint64_t> payload_len;
+  std::vector<std::uint64_t> key_idx;  ///< v2 only; empty for v1
   ByteSpan payload;
 };
 
+/// Decode every column of one chunk. For version >= 2 the key_idx column
+/// is decoded too and cross-checked row-wise against the key dictionary
+/// and the bus/message-id columns (a disagreement is a typed decode
+/// error — it would make the compressed and decoded paths diverge).
 DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
-                            std::size_t num_buses);
+                            std::uint32_t version, std::size_t num_buses,
+                            const std::vector<KeyDictEntry>& key_dict);
 
 /// Materialize decoded columns into a K_b-schema partition, applying the
 /// compiled row filter. Shared by ChunkCursor::decode (file-buffer path)
@@ -74,5 +80,30 @@ DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
 dataflow::Partition materialize_kb_partition(
     const DecodedChunk& chunk, std::uint32_t row_count,
     const std::vector<std::string>& buses, const CompiledPredicate& compiled);
+
+/// Dictionary form of the predicate's run-constant conjuncts: entry k is
+/// nonzero when (key_dict[k].bus_index, key_dict[k].message_id) passes the
+/// bus/id/pair checks of `compiled` — everything except the time range,
+/// which can split a run and stays row-level. Evaluated once per file.
+std::vector<std::uint8_t> compile_key_filter(
+    const CompiledPredicate& compiled,
+    const std::vector<KeyDictEntry>& key_dict);
+
+/// The compressed (run-level) evaluation of one v2 chunk: walk the
+/// key_idx RLE runs, skip rejected runs by advancing the column cursors
+/// (the bus and message-id blocks are never decoded at all — both values
+/// come from the dictionary), and materialize accepted runs row by row
+/// with only the time-range check left to apply. Emits exactly the rows,
+/// in exactly the order, of decode_columns + materialize_kb_partition
+/// under the same predicate. `stats` receives the run counters; `runs`
+/// (optional) receives the accepted runs in output-row coordinates for
+/// the dictionary join.
+dataflow::Partition scan_chunk_compressed(
+    const std::string& data, const ChunkInfo& info,
+    const std::vector<std::string>& buses,
+    const std::vector<KeyDictEntry>& key_dict,
+    const std::vector<std::uint8_t>& key_allowed,
+    const CompiledPredicate& compiled, ScanStats& stats,
+    std::vector<EmittedRun>* runs);
 
 }  // namespace ivt::colstore::detail

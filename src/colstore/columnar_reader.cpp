@@ -9,6 +9,7 @@
 #include <mutex>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <unordered_set>
 #include <utility>
 
@@ -105,6 +106,17 @@ std::vector<std::uint16_t> prune_bus_indices(
 
 }  // namespace detail
 
+ScanMode parse_scan_mode(const std::string& text) {
+  if (text == "decoded") return ScanMode::Decoded;
+  if (text == "compressed") return ScanMode::Compressed;
+  throw std::invalid_argument("unknown scan mode '" + text +
+                              "' (expected decoded|compressed)");
+}
+
+const char* to_string(ScanMode mode) {
+  return mode == ScanMode::Compressed ? "compressed" : "decoded";
+}
+
 bool chunk_may_match(const ChunkInfo& chunk, const ScanPredicate& pred,
                      const std::vector<std::uint16_t>& pred_bus_indices) {
   if (pred.has_time_range &&
@@ -176,10 +188,12 @@ void ColumnarReader::parse() {
   ByteCursor header(ByteSpan{bytes + sizeof(kChunkMagic),
                              size - sizeof(kChunkMagic)});
   const std::uint32_t version = get_le<std::uint32_t>(header);
-  if (version != kColumnarFormatVersion) {
+  if (version != kColumnarFormatVersionV1 &&
+      version != kColumnarFormatVersion) {
     IVT_THROW(errors::Category::Format,
               "ivc: unsupported version " + std::to_string(version));
   }
+  version_ = version;
   vehicle_ = get_short_string(header);
   journey_ = get_short_string(header);
   start_unix_ns_ = get_le<std::int64_t>(header);
@@ -194,15 +208,39 @@ void ColumnarReader::parse() {
     IVT_THROW(errors::Category::Format, "ivc: footer offset out of range");
   }
 
-  ByteCursor footer(ByteSpan{bytes + footer_offset,
-                             size - kTailBytes -
-                                 static_cast<std::size_t>(footer_offset)});
+  const std::size_t footer_size =
+      size - kTailBytes - static_cast<std::size_t>(footer_offset);
+  ByteCursor footer(ByteSpan{bytes + footer_offset, footer_size});
   const std::uint16_t num_buses = get_le<std::uint16_t>(footer);
   buses_.reserve(num_buses);
   for (std::uint16_t i = 0; i < num_buses; ++i) {
     buses_.push_back(get_short_string(footer));
   }
+  if (version_ >= 2) {
+    const std::uint32_t num_keys = get_le<std::uint32_t>(footer);
+    // Each entry takes 10 footer bytes: an implausible count is a typed
+    // format error, not a multi-gigabyte reserve.
+    if (num_keys > footer.remaining() / 10) {
+      IVT_THROW(errors::Category::Format,
+                "ivc: key dictionary count out of range");
+    }
+    key_dict_.reserve(num_keys);
+    for (std::uint32_t i = 0; i < num_keys; ++i) {
+      KeyDictEntry key;
+      key.bus_index = get_le<std::uint16_t>(footer);
+      key.message_id = get_le<std::int64_t>(footer);
+      if (key.bus_index >= num_buses) {
+        IVT_THROW(errors::Category::Format,
+                  "ivc: key dictionary bus index out of range");
+      }
+      key_dict_.push_back(key);
+    }
+  }
   const std::uint32_t num_chunks = get_le<std::uint32_t>(footer);
+  // A directory entry is at least 54 bytes; bound the reserve the same way.
+  if (num_chunks > footer.remaining() / 54) {
+    IVT_THROW(errors::Category::Format, "ivc: chunk count out of range");
+  }
   chunks_.reserve(num_chunks);
   for (std::uint32_t i = 0; i < num_chunks; ++i) {
     ChunkInfo info;
@@ -218,8 +256,16 @@ void ColumnarReader::parse() {
     for (std::uint16_t w = 0; w < words; ++w) {
       info.bus_bits.push_back(get_le<std::uint64_t>(footer));
     }
-    if (info.offset + info.encoded_bytes > footer_offset) {
+    if (info.offset + info.encoded_bytes > footer_offset ||
+        info.offset + info.encoded_bytes < info.offset) {
       IVT_THROW(errors::Category::Format, "ivc: chunk extent out of range");
+    }
+    // Every row costs at least one byte in the t_ns column and one in
+    // payload_len, so a directory row count beyond the extent size is
+    // corrupt — and would otherwise size decode allocations.
+    if (info.row_count > info.encoded_bytes) {
+      IVT_THROW(errors::Category::Format,
+                "ivc: chunk row count implausible for extent");
     }
     chunks_.push_back(std::move(info));
   }
@@ -234,7 +280,8 @@ std::size_t ColumnarReader::num_rows() const {
 namespace detail {
 
 DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
-                            std::size_t num_buses) {
+                            std::uint32_t version, std::size_t num_buses,
+                            const std::vector<KeyDictEntry>& key_dict) {
   ByteCursor in(ByteSpan{
       reinterpret_cast<const std::uint8_t*>(data.data()) + info.offset,
       static_cast<std::size_t>(info.encoded_bytes)});
@@ -260,6 +307,7 @@ DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
     }
   }
   chunk.payload = next_block();
+  if (version >= 2) chunk.key_idx = decode_rle(next_block(), rows);
 
   std::uint64_t payload_total = 0;
   for (std::uint32_t r = 0; r < rows; ++r) {
@@ -274,6 +322,21 @@ DecodedChunk decode_columns(const std::string& data, const ChunkInfo& info,
   }
   if (payload_total != chunk.payload.size) {
     IVT_THROW(errors::Category::Decode, "ivc: payload block size mismatch");
+  }
+  if (version >= 2) {
+    // The key column must agree with the plain columns row-for-row, or
+    // the compressed and decoded scan paths would silently diverge.
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      const std::uint64_t k = chunk.key_idx[r];
+      if (k >= key_dict.size() ||
+          key_dict[static_cast<std::size_t>(k)].bus_index !=
+              chunk.bus_idx[r] ||
+          key_dict[static_cast<std::size_t>(k)].message_id !=
+              chunk.message_id[r]) {
+        IVT_THROW(errors::Category::Decode,
+                  "ivc: key column inconsistent with dictionary");
+      }
+    }
   }
   return chunk;
 }
@@ -307,9 +370,11 @@ dataflow::Partition materialize_kb_partition(
 
 }  // namespace detail
 
-dataflow::Partition decode_chunk_from_bytes(
+dataflow::Partition scan_chunk_from_bytes(
     const std::string& chunk_bytes, const ChunkInfo& info,
-    const ScanPredicate& pred, const std::vector<std::string>& buses) {
+    const ScanPredicate& pred, const std::vector<std::string>& buses,
+    std::uint32_t version, const std::vector<KeyDictEntry>& key_dict,
+    ScanMode mode, ScanStats* stats) {
   if (chunk_bytes.size() != info.encoded_bytes) {
     IVT_THROW(errors::Category::Decode,
               "ivc: cached chunk byte count mismatch (" +
@@ -320,15 +385,39 @@ dataflow::Partition decode_chunk_from_bytes(
   // original file; the cached copy starts at offset 0.
   ChunkInfo rebased = info;
   rebased.offset = 0;
-  const detail::DecodedChunk chunk =
-      detail::decode_columns(chunk_bytes, rebased, buses.size());
   const detail::CompiledPredicate compiled =
       detail::compile_predicate(pred, buses);
   if (compiled.never_matches) {
     return dataflow::Table::make_partition(tracefile::kb_schema());
   }
+  if (mode == ScanMode::Compressed && version >= 2) {
+    ScanStats local;
+    dataflow::Partition out = detail::scan_chunk_compressed(
+        chunk_bytes, rebased, buses, key_dict,
+        detail::compile_key_filter(compiled, key_dict), compiled, local,
+        nullptr);
+    if (stats != nullptr) {
+      stats->runs_considered += local.runs_considered;
+      stats->runs_pruned += local.runs_pruned;
+      stats->runs_accepted += local.runs_accepted;
+    }
+    return out;
+  }
+  const detail::DecodedChunk chunk =
+      detail::decode_columns(chunk_bytes, rebased, version, buses.size(),
+                             key_dict);
   return detail::materialize_kb_partition(chunk, info.row_count, buses,
                                           compiled);
+}
+
+dataflow::Partition decode_chunk_from_bytes(
+    const std::string& chunk_bytes, const ChunkInfo& info,
+    const ScanPredicate& pred, const std::vector<std::string>& buses) {
+  // Legacy entry point without file context: treat as v1 (the key column
+  // of a v2 chunk is simply not read) and decode fully.
+  return scan_chunk_from_bytes(chunk_bytes, info, pred, buses,
+                               kColumnarFormatVersionV1, {},
+                               ScanMode::Decoded, nullptr);
 }
 
 ChunkCursor ColumnarReader::cursor(const ScanPredicate& pred,
@@ -436,7 +525,8 @@ tracefile::Trace ColumnarReader::read_trace() const {
   trace.records.reserve(num_rows());
   for (const ChunkInfo& info : chunks_) {
     const detail::DecodedChunk chunk =
-        detail::decode_columns(data_, info, buses_.size());
+        detail::decode_columns(data_, info, version_, buses_.size(),
+                               key_dict_);
     std::size_t payload_pos = 0;
     for (std::uint32_t r = 0; r < info.row_count; ++r) {
       tracefile::TraceRecord rec;

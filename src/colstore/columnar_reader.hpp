@@ -53,6 +53,16 @@ class ColumnarReader {
   }
   [[nodiscard]] std::size_t num_rows() const;
 
+  /// Container format version of this file (1 or 2). Version 2 carries
+  /// the join-key dictionary + key_idx column the compressed scan path
+  /// evaluates on; under ScanMode::Compressed a v1 file falls back to the
+  /// decoded path per chunk.
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  /// v2 join-key dictionary in first-appearance order (empty for v1).
+  [[nodiscard]] const std::vector<KeyDictEntry>& key_dict() const {
+    return key_dict_;
+  }
+
   /// Zone-map-pruned scan into a K_b table, decoding sequentially.
   [[nodiscard]] dataflow::Table scan(const ScanPredicate& pred = {},
                                      ScanStats* stats = nullptr) const;
@@ -114,7 +124,9 @@ class ColumnarReader {
   std::string vehicle_;
   std::string journey_;
   std::int64_t start_unix_ns_ = 0;
+  std::uint32_t version_ = kColumnarFormatVersion;
   std::vector<std::string> buses_;
+  std::vector<KeyDictEntry> key_dict_;
   std::vector<ChunkInfo> chunks_;
 };
 
@@ -130,6 +142,19 @@ class ColumnarReader {
 dataflow::Partition decode_chunk_from_bytes(
     const std::string& chunk_bytes, const ChunkInfo& info,
     const ScanPredicate& pred, const std::vector<std::string>& buses);
+
+/// decode_chunk_from_bytes with the file context (format version + key
+/// dictionary) and scan mode threaded through: under
+/// ScanMode::Compressed a v2 chunk is evaluated run-level without
+/// decoding the join-key columns; otherwise this is the decoded path.
+/// `stats` (optional) accumulates the run counters. This is the entry
+/// point the ivt-serve chunk cache uses so tier-1 cache hits stop
+/// re-decoding per request.
+dataflow::Partition scan_chunk_from_bytes(
+    const std::string& chunk_bytes, const ChunkInfo& info,
+    const ScanPredicate& pred, const std::vector<std::string>& buses,
+    std::uint32_t version, const std::vector<KeyDictEntry>& key_dict,
+    ScanMode mode, ScanStats* stats);
 
 /// True when the file at `path` starts with the .ivc magic (cheap sniff
 /// used by the CLI to dispatch between .ivt and .ivc loaders).

@@ -74,17 +74,32 @@ std::uint16_t ColumnarWriter::bus_index(const std::string& bus) {
   return index;
 }
 
+std::uint32_t ColumnarWriter::key_index(std::uint16_t bus,
+                                        std::int64_t message_id) {
+  const auto [it, inserted] = key_lookup_.try_emplace(
+      {bus, message_id}, static_cast<std::uint32_t>(key_dict_.size()));
+  if (inserted) {
+    if (key_dict_.size() >= 0xFFFFFFFFULL) {
+      throw std::runtime_error("ivc: too many distinct (bus, id) keys");
+    }
+    key_dict_.push_back(KeyDictEntry{bus, message_id});
+  }
+  return it->second;
+}
+
 void ColumnarWriter::write(const tracefile::TraceRecord& record) {
   if (finished_) throw std::logic_error("ivc: write after finish");
   if (record.payload.size() > 0xFFFF) {
     throw std::invalid_argument("ivc: payload too long");
   }
+  const std::uint16_t bus = bus_index(record.bus);
   t_ns_.push_back(record.t_ns);
-  bus_idx_.push_back(bus_index(record.bus));
+  bus_idx_.push_back(bus);
   protocol_.push_back(static_cast<std::uint64_t>(record.protocol));
   message_id_.push_back(record.message_id);
   flags_.push_back(record.flags);
   payload_len_.push_back(record.payload.size());
+  key_idx_.push_back(key_index(bus, record.message_id));
   payload_bytes_.append(
       reinterpret_cast<const char*>(record.payload.data()),
       record.payload.size());
@@ -131,6 +146,8 @@ void ColumnarWriter::flush_chunk() {
   put_le<std::uint32_t>(out_, offset_,
                         static_cast<std::uint32_t>(payload_bytes_.size()));
   put_bytes(out_, offset_, payload_bytes_.data(), payload_bytes_.size());
+  encode_rle(key_idx_, block);
+  put_block(out_, offset_, block);
 
   info.encoded_bytes = offset_ - info.offset;
   chunks_.push_back(std::move(info));
@@ -141,6 +158,7 @@ void ColumnarWriter::flush_chunk() {
   message_id_.clear();
   flags_.clear();
   payload_len_.clear();
+  key_idx_.clear();
   payload_bytes_.clear();
 }
 
@@ -156,6 +174,12 @@ void ColumnarWriter::finish() {
     put_le<std::uint8_t>(out_, offset_,
                          static_cast<std::uint8_t>(bus.size()));
     put_bytes(out_, offset_, bus.data(), bus.size());
+  }
+  put_le<std::uint32_t>(out_, offset_,
+                        static_cast<std::uint32_t>(key_dict_.size()));
+  for (const KeyDictEntry& key : key_dict_) {
+    put_le<std::uint16_t>(out_, offset_, key.bus_index);
+    put_le<std::int64_t>(out_, offset_, key.message_id);
   }
   put_le<std::uint32_t>(out_, offset_,
                         static_cast<std::uint32_t>(chunks_.size()));

@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "colstore/format.hpp"
@@ -39,6 +40,7 @@ class ColumnarWriter {
 
  private:
   std::uint16_t bus_index(const std::string& bus);
+  std::uint32_t key_index(std::uint16_t bus, std::int64_t message_id);
   void flush_chunk();
 
   std::ostream& out_;
@@ -49,6 +51,18 @@ class ColumnarWriter {
 
   std::vector<std::string> buses_;
   std::unordered_map<std::string, std::uint16_t> bus_lookup_;
+  /// File-wide (bus_index, message_id) join-key dictionary, interned in
+  /// first-appearance order (v2 footer).
+  std::vector<KeyDictEntry> key_dict_;
+  struct KeyPairHash {
+    std::size_t operator()(
+        const std::pair<std::uint16_t, std::int64_t>& p) const {
+      return std::hash<std::int64_t>{}(p.second) * 8191 + p.first;
+    }
+  };
+  std::unordered_map<std::pair<std::uint16_t, std::int64_t>, std::uint32_t,
+                     KeyPairHash>
+      key_lookup_;
   std::vector<ChunkInfo> chunks_;
 
   // Pending chunk, column-major.
@@ -58,6 +72,7 @@ class ColumnarWriter {
   std::vector<std::int64_t> message_id_;
   std::vector<std::uint64_t> flags_;
   std::vector<std::uint64_t> payload_len_;
+  std::vector<std::uint64_t> key_idx_;
   std::string payload_bytes_;
 };
 

@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "errors/error.hpp"
+#include "support/batch.hpp"
 
 namespace ivt::colstore {
 
@@ -69,10 +71,30 @@ inline std::uint64_t get_uvarint(ByteCursor& in) {
   std::uint64_t v = 0;
   for (unsigned shift = 0; shift < 64; shift += 7) {
     const std::uint8_t byte = in.u8();
+    // The 10th byte holds only bit 63: any higher payload bit would be
+    // shifted out and silently truncated, so a non-canonical encoding
+    // must be a typed decode error, not a wrong value.
+    if (shift == 63 && (byte & 0x7E) != 0) {
+      IVT_THROW(errors::Category::Decode, "ivc: varint overflow");
+    }
     v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) return v;
   }
   IVT_THROW(errors::Category::Decode, "ivc: varint too long");
+}
+
+/// Advance past n varints without decoding their values (continuation
+/// bits only). Used by the compressed scan to step over the message-id
+/// block of skipped key runs.
+inline void skip_uvarints(ByteCursor& in, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned bytes = 0;
+    while ((in.u8() & 0x80) != 0) {
+      if (++bytes >= 10) {
+        IVT_THROW(errors::Category::Decode, "ivc: varint too long");
+      }
+    }
+  }
 }
 
 inline std::uint64_t zigzag_encode(std::int64_t v) {
@@ -95,12 +117,20 @@ inline std::int64_t get_svarint(ByteCursor& in) {
 
 // --- delta-encoded signed stream (timestamps) -------------------------
 
+// Deltas are computed and re-accumulated in wrapping two's-complement
+// arithmetic: extreme timestamp jumps (INT64_MIN next to INT64_MAX) would
+// overflow a signed subtraction — undefined behaviour — while the
+// wrapped delta round-trips every input exactly and encodes to the same
+// bytes as the plain difference whenever that difference is
+// representable.
+
 inline void encode_delta(const std::vector<std::int64_t>& values,
                          std::string& out) {
-  std::int64_t prev = 0;
+  std::uint64_t prev = 0;
   for (const std::int64_t v : values) {
-    put_svarint(out, v - prev);
-    prev = v;
+    const std::uint64_t delta = static_cast<std::uint64_t>(v) - prev;
+    put_svarint(out, static_cast<std::int64_t>(delta));
+    prev = static_cast<std::uint64_t>(v);
   }
 }
 
@@ -108,12 +138,35 @@ inline std::vector<std::int64_t> decode_delta(ByteSpan block,
                                               std::size_t count) {
   ByteCursor in(block);
   std::vector<std::int64_t> values(count);
-  std::int64_t prev = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    prev += get_svarint(in);
-    values[i] = prev;
-  }
+  // Two-pass: a tight varint loop fills the deltas, then the batched
+  // carry-unrolled prefix sum reconstructs the values (exact: integer).
+  for (std::size_t i = 0; i < count; ++i) values[i] = get_svarint(in);
+  support::batch::prefix_sum_wrapping(values.data(), count);
   return values;
+}
+
+/// Advance past n delta varints, returning the wrapped sum of the deltas
+/// (== last value − value before the range): the compressed scan uses
+/// this to carry the running timestamp across skipped key runs without
+/// materializing a single row.
+inline std::uint64_t skip_delta_sum(ByteCursor& in, std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += static_cast<std::uint64_t>(get_svarint(in));
+  }
+  return sum;
+}
+
+/// Advance past n uvarints, returning the saturating sum of their values
+/// (payload lengths of a skipped run; saturation keeps a corrupt block
+/// from wrapping back into the valid range before the bounds check).
+inline std::uint64_t skip_uvarint_sum(ByteCursor& in, std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = get_uvarint(in);
+    sum = sum + v < sum ? ~std::uint64_t{0} : sum + v;
+  }
+  return sum;
 }
 
 // --- plain zigzag stream (message ids) --------------------------------
@@ -160,5 +213,68 @@ inline std::vector<std::uint64_t> decode_rle(ByteSpan block,
   }
   return values;
 }
+
+/// Streaming row-cursor over an RLE block: yields per-row values and
+/// skips row ranges in O(runs crossed) without materializing the column.
+/// Run-length validation matches decode_rle (zero or overflowing runs are
+/// typed decode errors); values above `max_value` throw `overflow_msg`,
+/// mirroring the range checks the materializing path applies row-wise.
+class RleRunCursor {
+ public:
+  RleRunCursor(ByteSpan block, std::size_t total_rows,
+               std::uint64_t max_value, const char* overflow_msg)
+      : in_(block),
+        rows_left_(total_rows),
+        max_value_(max_value),
+        overflow_msg_(overflow_msg) {}
+
+  /// Value of the next row (advances by one row).
+  std::uint64_t next() {
+    if (remaining_ == 0) refill();
+    --remaining_;
+    return value_;
+  }
+
+  /// Consume the whole pending run: (value, row count). The driving
+  /// column of the compressed scan takes runs whole; the other columns
+  /// follow with next()/skip().
+  std::pair<std::uint64_t, std::size_t> take_run() {
+    if (remaining_ == 0) refill();
+    const std::pair<std::uint64_t, std::size_t> out{value_, remaining_};
+    remaining_ = 0;
+    return out;
+  }
+
+  /// Skip n rows, validating every run crossed.
+  void skip(std::size_t n) {
+    while (n > 0) {
+      if (remaining_ == 0) refill();
+      const std::size_t take = n < remaining_ ? n : remaining_;
+      remaining_ -= take;
+      n -= take;
+    }
+  }
+
+ private:
+  void refill() {
+    value_ = get_uvarint(in_);
+    const std::uint64_t run = get_uvarint(in_);
+    if (run == 0 || run > rows_left_) {
+      IVT_THROW(errors::Category::Decode, "ivc: bad RLE run length");
+    }
+    if (value_ > max_value_) {
+      IVT_THROW(errors::Category::Decode, overflow_msg_);
+    }
+    remaining_ = static_cast<std::size_t>(run);
+    rows_left_ -= remaining_;
+  }
+
+  ByteCursor in_;
+  std::uint64_t value_ = 0;
+  std::size_t remaining_ = 0;
+  std::size_t rows_left_;
+  std::uint64_t max_value_;
+  const char* overflow_msg_;
+};
 
 }  // namespace ivt::colstore

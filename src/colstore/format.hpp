@@ -5,7 +5,7 @@
 //   header : magic "IVCC" | u32 version | u8 vehicle_len | vehicle
 //            | u8 journey_len | journey | i64 start_unix_ns
 //   chunks : row-group chunks back to back; each chunk is
-//            u32 row_count, then 7 column blocks, each prefixed with a
+//            u32 row_count, then the column blocks, each prefixed with a
 //            u32 encoded byte length:
 //              0 t_ns        delta + zigzag varint
 //              1 bus_index   RLE (value, run) uvarint pairs
@@ -14,7 +14,10 @@
 //              4 flags       RLE (value, run) uvarint pairs
 //              5 payload_len uvarint per row
 //              6 payload     concatenated raw bytes
+//              7 key_idx     RLE (value, run) uvarint pairs   (v2 only)
 //   footer : bus dictionary (u16 count | (u8 len | name)*)
+//            | key dictionary (v2 only: u32 count |
+//              (u16 bus_index | i64 message_id)*)
 //            | u32 chunk_count | chunk directory entries (ChunkInfo)
 //   tail   : u64 footer_offset | magic "IVCF"
 //
@@ -22,6 +25,16 @@
 // on: min/max t_ns, min/max message_id, a bus-index bitmap and the row
 // count. Zone maps are conservative — a surviving chunk still gets
 // row-filtered during decode.
+//
+// Version 2 dictionary-encodes the join key: every distinct
+// (bus_index, message_id) pair is interned file-wide at pack time, and
+// column 7 stores each row's dictionary index run-length encoded. Because
+// CAN traffic is bursty and periodic, key runs are long, which makes the
+// run the natural evaluation unit of the compressed scan path: a run
+// either wholly passes or wholly fails the (b_id, m_id) membership test,
+// so whole runs are accepted or skipped without materializing rows, and
+// the bus/message-id columns are never decoded at all (both values are a
+// dictionary lookup). Readers accept v1 and v2; the writer emits v2.
 #pragma once
 
 #include <cstdint>
@@ -35,9 +48,20 @@ namespace ivt::colstore {
 
 inline constexpr char kChunkMagic[4] = {'I', 'V', 'C', 'C'};
 inline constexpr char kFooterMagic[4] = {'I', 'V', 'C', 'F'};
-inline constexpr std::uint32_t kColumnarFormatVersion = 1;
-inline constexpr std::size_t kColumnsPerChunk = 7;
+inline constexpr std::uint32_t kColumnarFormatVersionV1 = 1;
+inline constexpr std::uint32_t kColumnarFormatVersion = 2;
+inline constexpr std::size_t kColumnsPerChunkV1 = 7;
+inline constexpr std::size_t kColumnsPerChunk = 8;
 inline constexpr std::size_t kDefaultChunkRows = 65536;
+
+/// One interned (bus_index, message_id) join key of the v2 footer key
+/// dictionary, in first-appearance order.
+struct KeyDictEntry {
+  std::uint16_t bus_index = 0;
+  std::int64_t message_id = 0;
+
+  bool operator==(const KeyDictEntry&) const = default;
+};
 
 /// Per-chunk statistics + location: one directory entry of the footer.
 struct ChunkInfo {
@@ -96,7 +120,31 @@ struct ScanStats {
   std::size_t rows_emitted = 0;     ///< rows passing the row-level filter
   std::size_t chunks_quarantined = 0;  ///< failed decode, skipped (policy)
   std::size_t rows_quarantined = 0;    ///< directory rows of those chunks
+  // Compressed-mode run accounting (zero under ScanMode::Decoded): key
+  // runs evaluated against the dictionary filter, runs skipped whole,
+  // and runs whose rows were materialized.
+  std::size_t runs_considered = 0;
+  std::size_t runs_pruned = 0;
+  std::size_t runs_accepted = 0;
 };
+
+/// How surviving chunks are evaluated.
+///
+/// Decoded (default): decode every column of the chunk into row vectors,
+/// then apply the compiled row filter while materializing.
+///
+/// Compressed (v2 files): drive the scan off the key_idx RLE runs — the
+/// predicate's bus/id/pair conjuncts are evaluated once per dictionary
+/// entry, each run is accepted or skipped whole, skipped runs advance the
+/// column cursors without materializing anything, and the bus/message-id
+/// columns are never decoded (dictionary lookup). Output is byte-identical
+/// to Decoded; v1 files fall back to the decoded path per chunk.
+enum class ScanMode { Decoded, Compressed };
+
+/// Parse "decoded" / "compressed" (the CLI --scan values); throws
+/// std::invalid_argument on anything else.
+ScanMode parse_scan_mode(const std::string& text);
+[[nodiscard]] const char* to_string(ScanMode mode);
 
 /// Failure handling of one scan. The default (Fail) propagates the first
 /// decode error; Skip/Quarantine drop the failing chunk, resync to the
@@ -107,6 +155,18 @@ struct ScanStats {
 struct ScanOptions {
   errors::ErrorPolicy on_error = errors::ErrorPolicy::Fail;
   errors::FailureLog* failures = nullptr;  ///< optional, Quarantine only
+  ScanMode mode = ScanMode::Decoded;
+};
+
+/// One accepted key run of a compressed chunk scan, in output (partition)
+/// row coordinates: rows [row_begin, row_begin + row_count) of the emitted
+/// partition all carry dictionary key `key`. The interpretation join uses
+/// this to probe the broadcast side once per run (array index) instead of
+/// once per row (string hash).
+struct EmittedRun {
+  std::uint32_t key = 0;
+  std::size_t row_begin = 0;
+  std::size_t row_count = 0;
 };
 
 }  // namespace ivt::colstore

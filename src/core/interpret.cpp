@@ -190,9 +190,83 @@ broadcast_urel(const Table& urel, const signaldb::Catalog* catalog) {
 
 }  // namespace
 
+namespace {
+
+/// The shared per-row emission body of the fused kernel (u1 + u2 on one
+/// already-joined row). Both interpret_partition (row-wise hash probe)
+/// and interpret_runs (run-level dictionary join) funnel through this,
+/// so the two join strategies cannot drift in what they emit.
+void emit_signals(const std::vector<BroadcastSpec>& specs, std::int64_t t,
+                  const std::string& payload, const std::string& bus,
+                  Partition& out) {
+  const auto span = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size());
+  for (const BroadcastSpec& bs : specs) {
+    if (!bs.presence_always) {
+      if (!protocol::bit_field_fits(span.size(), bs.presence_start,
+                                    bs.presence_length, bs.presence_order)) {
+        continue;
+      }
+      const std::uint64_t selector = protocol::extract_bits(
+          span, bs.presence_start, bs.presence_length, bs.presence_order);
+      if (selector != bs.presence_equals) continue;
+    }
+    if (!protocol::bit_field_fits(span.size(), bs.start_bit, bs.length,
+                                  bs.order)) {
+      continue;
+    }
+    const std::uint64_t raw =
+        protocol::extract_bits(span, bs.start_bit, bs.length, bs.order);
+    double raw_value = 0.0;
+    switch (bs.value_kind) {
+      case signaldb::ValueKind::Unsigned:
+        raw_value = static_cast<double>(raw);
+        break;
+      case signaldb::ValueKind::Signed:
+        raw_value =
+            static_cast<double>(protocol::sign_extend(raw, bs.length));
+        break;
+      case signaldb::ValueKind::Float32:
+        raw_value = static_cast<double>(
+            protocol::raw_to_float32(static_cast<std::uint32_t>(raw)));
+        break;
+      case signaldb::ValueKind::Float64:
+        raw_value = protocol::raw_to_float64(raw);
+        break;
+    }
+    out.columns[0].append_int64(t);
+    out.columns[1].append_string(bs.s_id);
+    out.columns[2].append_float64(bs.scale * raw_value + bs.offset);
+    if (bs.categorical) {
+      const signaldb::ValueTableEntry* entry =
+          bs.spec != nullptr ? bs.spec->find_label(raw) : nullptr;
+      out.columns[3].append_string(
+          entry != nullptr ? entry->label : "raw:" + std::to_string(raw));
+    } else {
+      out.columns[3].append_null();
+    }
+    out.columns[4].append_string(bus);
+  }
+}
+
+bool is_error_frame(const RowView& row, std::size_t info_col) {
+  const tracefile::MInfo info =
+      tracefile::parse_m_info(row.string_at(info_col));
+  return (info.flags & tracefile::TraceRecord::kFlagErrorFrame) != 0;
+}
+
+}  // namespace
+
 struct InterpretKernel::Impl {
   std::unordered_map<std::string, std::vector<BroadcastSpec>> broadcast;
   bool skip_error_frames = false;
+};
+
+/// Array-indexed form of the broadcast map for one file's key dictionary.
+/// Buckets point into Impl::broadcast, so the kernel must outlive it.
+class InterpretKernel::KeyTable {
+ public:
+  std::vector<const std::vector<BroadcastSpec>*> buckets;
 };
 
 InterpretKernel::InterpretKernel(const Table& urel,
@@ -221,64 +295,46 @@ void InterpretKernel::interpret_partition(const Partition& in,
     const auto it = broadcast.find(row.string_at(b_col) + '\x1F' +
                                    std::to_string(row.int64_at(m_col)));
     if (it == broadcast.end()) continue;
-    if (skip_errors) {
-      const tracefile::MInfo info =
-          tracefile::parse_m_info(row.string_at(info_col));
-      if ((info.flags & tracefile::TraceRecord::kFlagErrorFrame) != 0) {
-        continue;
-      }
-    }
-    const std::string& payload = row.string_at(l_col);
-    const auto span = std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(payload.data()),
-        payload.size());
-    const std::int64_t t = row.int64_at(t_col);
-    for (const BroadcastSpec& bs : it->second) {
-      if (!bs.presence_always) {
-        if (!protocol::bit_field_fits(span.size(), bs.presence_start,
-                                      bs.presence_length,
-                                      bs.presence_order)) {
-          continue;
-        }
-        const std::uint64_t selector = protocol::extract_bits(
-            span, bs.presence_start, bs.presence_length, bs.presence_order);
-        if (selector != bs.presence_equals) continue;
-      }
-      if (!protocol::bit_field_fits(span.size(), bs.start_bit, bs.length,
-                                    bs.order)) {
-        continue;
-      }
-      const std::uint64_t raw =
-          protocol::extract_bits(span, bs.start_bit, bs.length, bs.order);
-      double raw_value = 0.0;
-      switch (bs.value_kind) {
-        case signaldb::ValueKind::Unsigned:
-          raw_value = static_cast<double>(raw);
-          break;
-        case signaldb::ValueKind::Signed:
-          raw_value =
-              static_cast<double>(protocol::sign_extend(raw, bs.length));
-          break;
-        case signaldb::ValueKind::Float32:
-          raw_value = static_cast<double>(
-              protocol::raw_to_float32(static_cast<std::uint32_t>(raw)));
-          break;
-        case signaldb::ValueKind::Float64:
-          raw_value = protocol::raw_to_float64(raw);
-          break;
-      }
-      out.columns[0].append_int64(t);
-      out.columns[1].append_string(bs.s_id);
-      out.columns[2].append_float64(bs.scale * raw_value + bs.offset);
-      if (bs.categorical) {
-        const signaldb::ValueTableEntry* entry =
-            bs.spec != nullptr ? bs.spec->find_label(raw) : nullptr;
-        out.columns[3].append_string(
-            entry != nullptr ? entry->label : "raw:" + std::to_string(raw));
-      } else {
-        out.columns[3].append_null();
-      }
-      out.columns[4].append_string(row.string_at(b_col));
+    if (skip_errors && is_error_frame(row, info_col)) continue;
+    emit_signals(it->second, row.int64_at(t_col), row.string_at(l_col),
+                 row.string_at(b_col), out);
+  }
+}
+
+std::shared_ptr<const InterpretKernel::KeyTable> InterpretKernel::prepare_keys(
+    const std::vector<colstore::KeyDictEntry>& key_dict,
+    const std::vector<std::string>& buses) const {
+  auto table = std::make_shared<KeyTable>();
+  table->buckets.resize(key_dict.size(), nullptr);
+  for (std::size_t k = 0; k < key_dict.size(); ++k) {
+    const colstore::KeyDictEntry& key = key_dict[k];
+    if (key.bus_index >= buses.size()) continue;  // reader validated; belt
+    const auto it = impl_->broadcast.find(
+        buses[key.bus_index] + '\x1F' + std::to_string(key.message_id));
+    if (it != impl_->broadcast.end()) table->buckets[k] = &it->second;
+  }
+  return table;
+}
+
+void InterpretKernel::interpret_runs(
+    const Partition& in, const Schema& in_schema,
+    const std::vector<colstore::EmittedRun>& runs,
+    const KeyTable& table, Partition& out) const {
+  const std::size_t t_col = in_schema.require("t");
+  const std::size_t l_col = in_schema.require("l");
+  const std::size_t b_col = in_schema.require("b_id");
+  const std::size_t info_col = in_schema.require("m_info");
+  const bool skip_errors = impl_->skip_error_frames;
+
+  for (const colstore::EmittedRun& run : runs) {
+    const std::vector<BroadcastSpec>* bucket =
+        run.key < table.buckets.size() ? table.buckets[run.key] : nullptr;
+    if (bucket == nullptr) continue;  // whole run has no U_comb match
+    for (std::size_t i = 0; i < run.row_count; ++i) {
+      const RowView row(&in_schema, &in, run.row_begin + i);
+      if (skip_errors && is_error_frame(row, info_col)) continue;
+      emit_signals(*bucket, row.int64_at(t_col), row.string_at(l_col),
+                   row.string_at(b_col), out);
     }
   }
 }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "colstore/columnar_reader.hpp"
 #include "dataflow/engine.hpp"
@@ -88,6 +89,30 @@ class InterpretKernel {
   void interpret_partition(const dataflow::Partition& in,
                            const dataflow::Schema& in_schema,
                            dataflow::Partition& out) const;
+
+  /// The U_comb join resolved against one file's key dictionary: entry k
+  /// is the broadcast bucket of key_dict[k] (null when that (bus, id) has
+  /// no translation tuples). Computed once per file; the compressed
+  /// execution path then joins each accepted key run by array index
+  /// instead of re-hashing "bus\x1F<id>" per row.
+  class KeyTable;
+
+  /// Build the per-file key table. One broadcast-map probe per dictionary
+  /// entry, not per row. Thread-safe; the kernel must outlive the table.
+  [[nodiscard]] std::shared_ptr<const KeyTable> prepare_keys(
+      const std::vector<colstore::KeyDictEntry>& key_dict,
+      const std::vector<std::string>& buses) const;
+
+  /// interpret_partition for a compressed-scanned partition: `runs` are
+  /// the accepted key runs (output-row coordinates) the scan emitted, and
+  /// every row of `in` must be covered by them. Joins run-level through
+  /// `table`; emits exactly what interpret_partition would on the same
+  /// rows. Const and thread-safe.
+  void interpret_runs(const dataflow::Partition& in,
+                      const dataflow::Schema& in_schema,
+                      const std::vector<colstore::EmittedRun>& runs,
+                      const KeyTable& table,
+                      dataflow::Partition& out) const;
 
  private:
   struct Impl;

@@ -65,9 +65,14 @@ MorselProcessor::MorselProcessor(const colstore::ColumnarReader& reader,
         colstore::ScanOptions scan_options;
         scan_options.on_error = config.on_error;
         scan_options.failures = failures;
+        scan_options.mode = config.scan_mode;
         return reader.cursor(urel_scan_predicate(urel), scan_options);
       }()),
-      kernel_(urel, config.interpret) {}
+      kernel_(urel, config.interpret) {
+  if (cursor_.compressed()) {
+    key_table_ = kernel_.prepare_keys(reader.key_dict(), reader.bus_names());
+  }
+}
 
 MorselPartial MorselProcessor::process(std::size_t k,
                                        dataflow::Partition* keep_ks) const {
@@ -76,12 +81,22 @@ MorselPartial MorselProcessor::process(std::size_t k,
   // Decode + preselect: the cursor's compiled row filter IS the
   // preselection predicate; a quarantined chunk yields an empty partition
   // (and is already on the failure log).
-  const dataflow::Partition kpre_part = cursor_.decode(k);
+  std::vector<colstore::EmittedRun> runs;
+  const dataflow::Partition kpre_part = key_table_ != nullptr
+                                            ? cursor_.decode(k, runs)
+                                            : cursor_.decode(k);
   out.kpre_rows = kpre_part.num_rows();
-  // Interpret (Algorithm 1 lines 4–6), shared kernel.
+  // Interpret (Algorithm 1 lines 4–6), shared kernel. On the compressed
+  // path the scan's accepted runs drive a dictionary join; otherwise the
+  // row-wise broadcast probe.
   const dataflow::Schema& ks_schema_ref = ks_schema();
   dataflow::Partition ks_part = dataflow::Table::make_partition(ks_schema_ref);
-  kernel_.interpret_partition(kpre_part, tracefile::kb_schema(), ks_part);
+  if (key_table_ != nullptr) {
+    kernel_.interpret_runs(kpre_part, tracefile::kb_schema(), runs,
+                           *key_table_, ks_part);
+  } else {
+    kernel_.interpret_partition(kpre_part, tracefile::kb_schema(), ks_part);
+  }
   out.ks_rows = ks_part.num_rows();
   // Bucket (line 8 semantics).
   PartitionSplit buckets = bucket_split_partition(ks_part, ks_schema_ref);

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -106,6 +107,9 @@ class MorselProcessor {
  private:
   colstore::ChunkCursor cursor_;
   InterpretKernel kernel_;
+  /// Per-file dictionary join for the compressed path (null when the
+  /// cursor decodes; see InterpretKernel::prepare_keys).
+  std::shared_ptr<const InterpretKernel::KeyTable> key_table_;
 };
 
 }  // namespace ivt::core

@@ -363,6 +363,7 @@ PipelineResult Pipeline::run(dataflow::Engine& engine,
   colstore::ScanOptions scan_options;
   scan_options.on_error = config_.on_error;
   scan_options.failures = &scan_failures;
+  scan_options.mode = config_.scan_mode;
   colstore::ScanStats local;
   const dataflow::Table kb = reader.scan({}, engine, scan_options, &local);
   PipelineResult result = run(engine, kb);

@@ -93,6 +93,13 @@ struct PipelineConfig {
   /// Execution topology for run(engine, reader); see ExecMode.
   ExecMode exec_mode = ExecMode::Batch;
   StreamingOptions streaming;
+  /// How .ivc chunks are evaluated (CLI --scan): Decoded materializes
+  /// every column of every zone-map-surviving chunk before row filtering;
+  /// Compressed evaluates the U_comb predicate on the v2 key-run headers
+  /// — rejected runs are skipped without materializing a row, accepted
+  /// runs join U_comb by dictionary index. Output is byte-identical in
+  /// every exec mode; v1 files fall back to Decoded per chunk.
+  colstore::ScanMode scan_mode = colstore::ScanMode::Decoded;
 
   PipelineConfig() { constraints.push_back(drop_repeated_values_rule()); }
 };

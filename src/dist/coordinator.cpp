@@ -57,6 +57,7 @@ Coordinator::Coordinator(const signaldb::Catalog& catalog,
   job_.catalog_path = config_.catalog_path;
   job_.signals = pipeline_.config().signals;
   job_.on_error = pipeline_.config().on_error;
+  job_.scan_mode = pipeline_.config().scan_mode;
   job_.keep_ks = pipeline_.config().keep_ks;
   job_.num_morsels = processor_.num_morsels();
   {

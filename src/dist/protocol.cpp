@@ -1,6 +1,7 @@
 #include "dist/protocol.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace ivt::dist {
 
@@ -12,6 +13,7 @@ std::string job_spec_to_json(const JobSpec& job) {
       .add("catalog_path", job.catalog_path)
       .raw("signals", json::render_array(job.signals))
       .add("on_error", std::string(errors::to_string(job.on_error)))
+      .add("scan_mode", std::string(colstore::to_string(job.scan_mode)))
       .add("keep_ks", job.keep_ks)
       .add("num_morsels", job.num_morsels)
       .str();
@@ -32,6 +34,13 @@ JobSpec job_spec_from_json(const json::Value& v) {
               "dist: bad on_error policy in job spec: " + policy);
   }
   job.on_error = *parsed;
+  const std::string scan = v.get_string("scan_mode", "decoded");
+  try {
+    job.scan_mode = colstore::parse_scan_mode(scan);
+  } catch (const std::invalid_argument&) {
+    IVT_THROW(errors::Category::Decode,
+              "dist: bad scan_mode in job spec: " + scan);
+  }
   job.keep_ks = v.get_bool("keep_ks", false);
   job.num_morsels = static_cast<std::uint64_t>(v.get_int("num_morsels", 0));
   if (job.trace_path.empty() || job.catalog_path.empty()) {

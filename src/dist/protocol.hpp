@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "colstore/format.hpp"
 #include "errors/error.hpp"
 #include "errors/failure_log.hpp"
 #include "serve/json.hpp"
@@ -51,6 +52,10 @@ struct JobSpec {
   std::string catalog_path;
   std::vector<std::string> signals;  ///< U_comb; empty = all catalog
   errors::ErrorPolicy on_error = errors::ErrorPolicy::Fail;
+  /// Chunk evaluation mode (--scan). Must match the coordinator's own
+  /// pipeline config: both produce byte-identical partials either way,
+  /// but the mode decides whether workers pay the decode tax per morsel.
+  colstore::ScanMode scan_mode = colstore::ScanMode::Decoded;
   /// When set, workers ship each morsel's interpreted K_s rows alongside
   /// the split segments so the coordinator can rebuild the K_s table in
   /// morsel order — byte-identical to the batch/streaming one.

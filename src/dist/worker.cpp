@@ -213,6 +213,7 @@ LocalJob open_job(const JobSpec& job) {
   core::PipelineConfig config;
   config.signals = job.signals;
   config.on_error = job.on_error;
+  config.scan_mode = job.scan_mode;
   config.keep_ks = job.keep_ks;
   local.pipeline =
       std::make_unique<core::Pipeline>(*local.catalog, std::move(config));

@@ -144,6 +144,7 @@ QueryEngine::QueryEngine(const TraceCatalog& catalog, QueryEngineConfig config)
       // Single shard: tier-2 holds a handful of large tables, and a
       // sharded budget would reject any state bigger than capacity/8.
       state_cache_("serve.state_cache", config.state_cache_bytes, 1),
+      scan_mode_(config.scan_mode),
       accounting_(config.stats_window_s) {}
 
 QueryResult QueryEngine::execute(const json::Value& request,
@@ -357,8 +358,9 @@ dataflow::Table QueryEngine::load_kb(RequestContext& ctx,
       // A tier-1 miss means chunk_bytes() just read the extent from disk.
       accounting_.chunks_loaded.fetch_add(1, std::memory_order_relaxed);
     }
-    dataflow::Partition part =
-        colstore::decode_chunk_from_bytes(*bytes, info, pred, entry.buses);
+    dataflow::Partition part = colstore::scan_chunk_from_bytes(
+        *bytes, info, pred, entry.buses, entry.version, entry.key_dict,
+        scan_mode_, nullptr);
     accounting_.chunks_decoded.fetch_add(1, std::memory_order_relaxed);
     OBS_COUNT("serve.chunks_decoded", 1);
     ++ctx.chunks_decoded;

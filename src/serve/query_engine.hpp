@@ -54,6 +54,12 @@ namespace ivt::serve {
 struct QueryEngineConfig {
   std::size_t chunk_cache_bytes = 64ULL << 20U;
   std::size_t state_cache_bytes = 64ULL << 20U;
+  /// How cached chunk extents are evaluated (`ivt serve --scan`): under
+  /// Compressed, a tier-1 hit on a v2 trace is scanned run-level — the
+  /// request predicate prunes whole key runs without re-decoding the
+  /// extent — instead of being fully decoded on every request. Results
+  /// are byte-identical; v1 traces always decode.
+  colstore::ScanMode scan_mode = colstore::ScanMode::Decoded;
   /// Window width (seconds) for the rolling latency / request-count
   /// views reported by the stats op (engine-owned, so per-server). The
   /// *registry mirrors* ("serve.request_window_ms" etc., what `--op
@@ -173,6 +179,7 @@ class QueryEngine {
   const TraceCatalog* catalog_;
   ChunkCache chunk_cache_;
   StateCache state_cache_;
+  colstore::ScanMode scan_mode_ = colstore::ScanMode::Decoded;
   RequestAccounting accounting_;
 };
 

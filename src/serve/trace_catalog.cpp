@@ -37,6 +37,8 @@ void TraceCatalog::add_trace(const std::string& name,
     entry->start_unix_ns = reader.start_unix_ns();
     entry->buses = reader.bus_names();
     entry->chunks = reader.chunks();
+    entry->version = reader.version();
+    entry->key_dict = reader.key_dict();
     entry->num_rows = reader.num_rows();
   }
   entry->name = name;

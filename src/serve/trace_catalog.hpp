@@ -37,6 +37,11 @@ struct TraceEntry {
   std::int64_t start_unix_ns = 0;
   std::vector<std::string> buses;
   std::vector<colstore::ChunkInfo> chunks;
+  /// Container format version + v2 join-key dictionary (empty for v1):
+  /// the file context scan_chunk_from_bytes needs so cached extents can
+  /// be evaluated compressed instead of re-decoded per request.
+  std::uint32_t version = colstore::kColumnarFormatVersionV1;
+  std::vector<colstore::KeyDictEntry> key_dict;
   std::size_t num_rows = 0;
   int fd = -1;          ///< owned O_RDONLY descriptor for pread
 

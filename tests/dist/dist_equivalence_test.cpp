@@ -5,7 +5,10 @@
 // failure rates and every --on-error policy, on clean and on corrupted
 // input. Recovered runs (node deaths, re-assignments, speculative races)
 // must be indistinguishable from clean ones except in the DistStats
-// accounting, which the report JSON must carry.
+// accounting, which the report JSON must carry. The whole suite is swept
+// across both scan modes (--scan decoded|compressed); JobSpec carries the
+// mode to every worker, so the compressed sweep also proves the wire
+// plumbing.
 #include <gtest/gtest.h>
 
 #include <cstddef>
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "colstore/columnar_writer.hpp"
+#include "colstore/format.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "dist/sim.hpp"
@@ -28,7 +32,8 @@
 namespace ivt {
 namespace {
 
-class DistEquivalenceTest : public ::testing::Test {
+class DistEquivalenceTest
+    : public ::testing::TestWithParam<colstore::ScanMode> {
  protected:
   static void SetUpTestSuite() {
     simnet::DatasetConfig config;
@@ -57,9 +62,13 @@ class DistEquivalenceTest : public ::testing::Test {
     return path;
   }
 
-  static core::PipelineConfig base_config() {
+  /// Batch reference and dist run share the suite's scan-mode parameter,
+  /// and JobSpec ships it to every worker — equivalence under the
+  /// compressed path proves the wire plumbing too.
+  [[nodiscard]] core::PipelineConfig base_config() const {
     core::PipelineConfig config;
     config.keep_ks = true;  // compare the K_s table too
+    config.scan_mode = GetParam();
     return config;
   }
 
@@ -105,7 +114,7 @@ class DistEquivalenceTest : public ::testing::Test {
 simnet::Dataset* DistEquivalenceTest::dataset_ = nullptr;
 std::string* DistEquivalenceTest::catalog_path_ = nullptr;
 
-TEST_F(DistEquivalenceTest, CleanRunsIdenticalAcrossNodeCounts) {
+TEST_P(DistEquivalenceTest, CleanRunsIdenticalAcrossNodeCounts) {
   const std::string trace = pack(256);
   const colstore::ColumnarReader reader(trace);
   const testdiff::RunOutcome batch = testdiff::run_mode(
@@ -125,7 +134,7 @@ TEST_F(DistEquivalenceTest, CleanRunsIdenticalAcrossNodeCounts) {
   }
 }
 
-TEST_F(DistEquivalenceTest, IdenticalAcrossChunkingsAndRangeCuts) {
+TEST_P(DistEquivalenceTest, IdenticalAcrossChunkingsAndRangeCuts) {
   for (const std::size_t chunk_rows : {std::size_t{256}, std::size_t{2048},
                                        std::size_t{1u << 20}}) {
     SCOPED_TRACE("chunk_rows=" + std::to_string(chunk_rows));
@@ -151,7 +160,7 @@ TEST_F(DistEquivalenceTest, IdenticalAcrossChunkingsAndRangeCuts) {
 // rate. EVERY probed seed must produce byte-identical output with exit 0;
 // at least one must actually exercise the recovery path (deaths AND a
 // re-queued range), and that run's report JSON must account for it.
-TEST_F(DistEquivalenceTest, SeededFailuresRecoverByteIdentical) {
+TEST_P(DistEquivalenceTest, SeededFailuresRecoverByteIdentical) {
   const std::string trace = pack(256);
   const colstore::ColumnarReader reader(trace);
   const testdiff::RunOutcome batch = testdiff::run_mode(
@@ -187,7 +196,7 @@ TEST_F(DistEquivalenceTest, SeededFailuresRecoverByteIdentical) {
          "recovery path went untested";
 }
 
-TEST_F(DistEquivalenceTest, HostileFailureRateStillTerminatesIdentical) {
+TEST_P(DistEquivalenceTest, HostileFailureRateStillTerminatesIdentical) {
   const std::string trace = pack(256);
   const colstore::ColumnarReader reader(trace);
   const testdiff::RunOutcome batch = testdiff::run_mode(
@@ -203,7 +212,7 @@ TEST_F(DistEquivalenceTest, HostileFailureRateStillTerminatesIdentical) {
   EXPECT_GE(dist.result.dist.worker_deaths, 1u);
 }
 
-TEST_F(DistEquivalenceTest, IdenticalAcrossErrorPoliciesOnCleanInput) {
+TEST_P(DistEquivalenceTest, IdenticalAcrossErrorPoliciesOnCleanInput) {
   const std::string trace = pack(512);
   const colstore::ColumnarReader reader(trace);
   for (const errors::ErrorPolicy policy :
@@ -225,7 +234,7 @@ TEST_F(DistEquivalenceTest, IdenticalAcrossErrorPoliciesOnCleanInput) {
 
 class DistCorruptionTest : public DistEquivalenceTest {};
 
-TEST_F(DistCorruptionTest, CorruptChunkEquivalentUnderSkipAndQuarantine) {
+TEST_P(DistCorruptionTest, CorruptChunkEquivalentUnderSkipAndQuarantine) {
   const std::string good_path = pack(256);
   std::ifstream in(good_path, std::ios::binary);
   const std::string good((std::istreambuf_iterator<char>(in)),
@@ -258,7 +267,7 @@ TEST_F(DistCorruptionTest, CorruptChunkEquivalentUnderSkipAndQuarantine) {
   }
 }
 
-TEST_F(DistCorruptionTest, CorruptChunkUnderFailAbortsLikeBatch) {
+TEST_P(DistCorruptionTest, CorruptChunkUnderFailAbortsLikeBatch) {
   const std::string good_path = pack(256);
   std::ifstream in(good_path, std::ios::binary);
   const std::string good((std::istreambuf_iterator<char>(in)),
@@ -286,6 +295,20 @@ TEST_F(DistCorruptionTest, CorruptChunkUnderFailAbortsLikeBatch) {
   EXPECT_EQ(dist.exit_code, batch.exit_code)
       << "dist error: " << dist.error;
 }
+
+inline std::string scan_mode_name(
+    const ::testing::TestParamInfo<colstore::ScanMode>& info) {
+  return std::string(colstore::to_string(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(ScanModes, DistEquivalenceTest,
+                         ::testing::Values(colstore::ScanMode::Decoded,
+                                           colstore::ScanMode::Compressed),
+                         scan_mode_name);
+INSTANTIATE_TEST_SUITE_P(ScanModes, DistCorruptionTest,
+                         ::testing::Values(colstore::ScanMode::Decoded,
+                                           colstore::ScanMode::Compressed),
+                         scan_mode_name);
 
 }  // namespace
 }  // namespace ivt

@@ -1,0 +1,96 @@
+// Dependency-free deterministic mutation engine for the fuzz wall: no
+// libFuzzer, no coverage feedback — just a seeded SplitMix64 stream
+// driving byte-level vandalism of known-good container images. Every
+// iteration is reproducible from (base image, seed), so a failure report
+// of "seed N on image M" is a complete repro recipe. The operation mix
+// (bit flips, byte stomps, truncations, splices, insertions, zero runs)
+// is chosen to hit both subtle value corruption (varint payload bits,
+// RLE run lengths) and structural damage (lost footers, shifted block
+// boundaries).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ivt::testfuzz {
+
+/// SplitMix64: tiny, fast, full-period; the reference constants.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform-ish value in [0, n); n must be nonzero.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One mutated copy of `base`: 1-4 randomly chosen operations. The result
+/// may be shorter, longer or empty — decoders must survive all of it.
+inline std::string mutate(const std::string& base, std::uint64_t seed) {
+  SplitMix64 rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  std::string data = base;
+  const std::uint64_t n_ops = 1 + rng.below(4);
+  for (std::uint64_t op = 0; op < n_ops; ++op) {
+    if (data.empty()) break;
+    switch (rng.below(6)) {
+      case 0: {  // single bit flip
+        const std::size_t i = rng.below(data.size());
+        data[i] = static_cast<char>(
+            static_cast<std::uint8_t>(data[i]) ^ (1u << rng.below(8)));
+        break;
+      }
+      case 1: {  // byte stomp
+        data[rng.below(data.size())] = static_cast<char>(rng.below(256));
+        break;
+      }
+      case 2: {  // truncate
+        data.resize(rng.below(data.size() + 1));
+        break;
+      }
+      case 3: {  // splice: copy a random range over a random destination
+        const std::size_t len = 1 + rng.below(16);
+        const std::size_t src = rng.below(data.size());
+        const std::size_t dst = rng.below(data.size());
+        for (std::size_t i = 0; i < len; ++i) {
+          if (src + i >= data.size() || dst + i >= data.size()) break;
+          data[dst + i] = data[src + i];
+        }
+        break;
+      }
+      case 4: {  // insert random bytes
+        std::string noise(1 + rng.below(8), '\0');
+        for (char& c : noise) c = static_cast<char>(rng.below(256));
+        const std::size_t pos = rng.below(data.size() + 1);
+        std::string grown;
+        grown.reserve(data.size() + noise.size());
+        grown.append(data, 0, pos);
+        grown.append(noise);
+        grown.append(data, pos, data.size() - pos);
+        data = std::move(grown);
+        break;
+      }
+      default: {  // zero a short run
+        const std::size_t begin = rng.below(data.size());
+        const std::size_t len = 1 + rng.below(12);
+        for (std::size_t i = begin; i < begin + len && i < data.size();
+             ++i) {
+          data[i] = '\0';
+        }
+        break;
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace ivt::testfuzz

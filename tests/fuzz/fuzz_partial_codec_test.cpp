@@ -1,0 +1,140 @@
+// Fuzz wall around the dist partial codec: dist.result payloads cross a
+// (simulated) network, and the coordinator's decoder is the last line
+// between a zombie worker's garbage and the merge. Every mutated payload
+// must decode to a result or throw errors::Error(Decode) — no other
+// exception type, no UB. Deterministic bounded corpus, same contract as
+// the .ivc harness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/partial_codec.hpp"
+#include "errors/error.hpp"
+
+#include "fuzz_mutator.hpp"
+
+// GCC 12 emits a spurious -Wrestrict on inlined std::string copies of
+// the mutated payloads (PR105329); the harness performs no overlapping
+// copies.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
+namespace ivt {
+namespace {
+
+std::vector<core::MorselPartial> sample_partials(std::uint64_t seed) {
+  testfuzz::SplitMix64 rng(seed);
+  std::vector<core::MorselPartial> partials;
+  const std::size_t n_morsels = 1 + rng.below(4);
+  for (std::size_t m = 0; m < n_morsels; ++m) {
+    core::MorselPartial partial;
+    partial.morsel = m;
+    const std::size_t n_segments = rng.below(4);
+    for (std::size_t s = 0; s < n_segments; ++s) {
+      core::KeySegment segment;
+      segment.key = "S" + std::to_string(rng.below(5)) + "\x1F" + "BUS" +
+                    std::to_string(rng.below(3));
+      segment.first_row = rng.below(100);
+      segment.data.s_id = "S" + std::to_string(rng.below(5));
+      segment.data.bus = "BUS" + std::to_string(rng.below(3));
+      const std::size_t n = rng.below(12);
+      for (std::size_t i = 0; i < n; ++i) {
+        segment.data.t.push_back(static_cast<std::int64_t>(rng.next()));
+        segment.data.v_num.push_back(
+            static_cast<double>(rng.below(1000)) / 7.0);
+        segment.data.has_num.push_back(rng.below(2));
+        segment.data.v_str.push_back(rng.below(2) != 0u ? "on" : "");
+        segment.data.has_str.push_back(
+            segment.data.v_str.back().empty() ? 0 : 1);
+      }
+      partial.kpre_rows += n;
+      partial.ks_rows += n;
+      partial.segments.push_back(std::move(segment));
+    }
+    partials.push_back(std::move(partial));
+  }
+  return partials;
+}
+
+std::vector<dist::WireKsBlock> sample_ks_blocks(std::uint64_t seed) {
+  testfuzz::SplitMix64 rng(seed ^ 0xA5);
+  std::vector<dist::WireKsBlock> blocks;
+  const std::size_t n_blocks = rng.below(3);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    dist::WireKsBlock block;
+    block.morsel = b;
+    const std::size_t n = rng.below(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      block.t.push_back(static_cast<std::int64_t>(rng.next()));
+      block.s_id.push_back("S" + std::to_string(rng.below(4)));
+      block.v_num.push_back(static_cast<double>(rng.below(100)));
+      block.has_num.push_back(rng.below(2));
+      block.v_str.push_back("x");
+      block.has_str.push_back(rng.below(2));
+      block.b_id.push_back("BUS0");
+    }
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+template <typename Decode>
+void fuzz_payload(const std::string& good, Decode decode,
+                  const char* what) {
+  constexpr std::uint64_t kIterations = 600;
+  for (std::uint64_t i = 0; i < kIterations; ++i) {
+    const std::string bad = testfuzz::mutate(good, i);
+    try {
+      decode(bad);
+    } catch (const errors::Error&) {
+      // Typed rejection is the contract.
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << what << " iter=" << i
+                    << ": untyped exception escaped: " << e.what();
+      return;
+    }
+  }
+}
+
+TEST(FuzzPartialCodecTest, MutatedSegmentPayloadsNeverEscapeTypedErrors) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const std::string good = dist::encode_partials(sample_partials(seed));
+    fuzz_payload(good,
+                 [](const std::string& p) { (void)dist::decode_partials(p); },
+                 "segments");
+  }
+}
+
+TEST(FuzzPartialCodecTest, MutatedRangePayloadsNeverEscapeTypedErrors) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const std::string good = dist::encode_range_payload(
+        sample_partials(seed), sample_ks_blocks(seed));
+    fuzz_payload(
+        good,
+        [](const std::string& p) { (void)dist::decode_range_payload(p); },
+        "range");
+  }
+}
+
+TEST(FuzzPartialCodecTest, UnmutatedPayloadsRoundTrip) {
+  const std::vector<core::MorselPartial> partials = sample_partials(5);
+  std::size_t n_segments = 0;
+  for (const core::MorselPartial& p : partials) {
+    n_segments += p.segments.size();
+  }
+  const std::vector<dist::WireSegment> decoded =
+      dist::decode_partials(dist::encode_partials(partials));
+  EXPECT_EQ(decoded.size(), n_segments);
+
+  const std::vector<dist::WireKsBlock> blocks = sample_ks_blocks(5);
+  const dist::RangePayload range = dist::decode_range_payload(
+      dist::encode_range_payload(partials, blocks));
+  EXPECT_EQ(range.segments.size(), n_segments);
+  EXPECT_EQ(range.ks_blocks.size(), blocks.size());
+}
+
+}  // namespace
+}  // namespace ivt

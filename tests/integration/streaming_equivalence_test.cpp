@@ -3,7 +3,9 @@
 // pipeline — byte-identical K_s / K_rep / state, identical report rows and
 // failure counters, identical exit codes — across chunk sizes, worker
 // counts (inline / 1 / N) and every --on-error policy, on clean and on
-// corrupted input.
+// corrupted input. The whole suite is swept across both scan modes
+// (--scan decoded|compressed): the compressed path must hold every
+// equivalence the decoded path holds, including under corruption.
 #include <gtest/gtest.h>
 
 #include <cstddef>
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "colstore/columnar_writer.hpp"
+#include "colstore/format.hpp"
 #include "core/pipeline.hpp"
 #include "simnet/datasets.hpp"
 
@@ -22,7 +25,8 @@
 namespace ivt {
 namespace {
 
-class StreamingEquivalenceTest : public ::testing::Test {
+class StreamingEquivalenceTest
+    : public ::testing::TestWithParam<colstore::ScanMode> {
  protected:
   static void SetUpTestSuite() {
     simnet::DatasetConfig config;
@@ -45,9 +49,12 @@ class StreamingEquivalenceTest : public ::testing::Test {
     return path;
   }
 
-  static core::PipelineConfig base_config() {
+  /// Both executors run under the suite's scan-mode parameter, so every
+  /// equivalence below is asserted for the compressed path too.
+  [[nodiscard]] core::PipelineConfig base_config() const {
     core::PipelineConfig config;
     config.keep_ks = true;  // compare the K_s table too
+    config.scan_mode = GetParam();
     return config;
   }
 
@@ -56,7 +63,7 @@ class StreamingEquivalenceTest : public ::testing::Test {
 
 simnet::Dataset* StreamingEquivalenceTest::dataset_ = nullptr;
 
-TEST_F(StreamingEquivalenceTest, IdenticalAcrossChunkSizes) {
+TEST_P(StreamingEquivalenceTest, IdenticalAcrossChunkSizes) {
   // Small (many morsels), mid, prime (instances straddle boundaries at
   // awkward offsets), and one-chunk (degenerate single morsel).
   for (const std::size_t chunk_rows :
@@ -72,7 +79,7 @@ TEST_F(StreamingEquivalenceTest, IdenticalAcrossChunkSizes) {
   }
 }
 
-TEST_F(StreamingEquivalenceTest, IdenticalAcrossWorkerCounts) {
+TEST_P(StreamingEquivalenceTest, IdenticalAcrossWorkerCounts) {
   const colstore::ColumnarReader reader(pack(1024));
   // Inline (deterministic debugging mode), one worker, many workers.
   const std::vector<dataflow::EngineConfig> engines = {
@@ -89,7 +96,7 @@ TEST_F(StreamingEquivalenceTest, IdenticalAcrossWorkerCounts) {
   }
 }
 
-TEST_F(StreamingEquivalenceTest, IdenticalUnderEveryErrorPolicyCleanInput) {
+TEST_P(StreamingEquivalenceTest, IdenticalUnderEveryErrorPolicyCleanInput) {
   const colstore::ColumnarReader reader(pack(1024));
   for (const errors::ErrorPolicy policy :
        {errors::ErrorPolicy::Fail, errors::ErrorPolicy::Skip,
@@ -104,7 +111,7 @@ TEST_F(StreamingEquivalenceTest, IdenticalUnderEveryErrorPolicyCleanInput) {
   }
 }
 
-TEST_F(StreamingEquivalenceTest, IdenticalUnderEveryErrorPolicyCorruptChunk) {
+TEST_P(StreamingEquivalenceTest, IdenticalUnderEveryErrorPolicyCorruptChunk) {
   // Vandalise one chunk body: Fail must abort both modes with the same
   // typed error and exit 3; Skip / Quarantine must drop exactly that
   // chunk's rows in both modes and exit 4 with equal failure counters.
@@ -138,7 +145,7 @@ TEST_F(StreamingEquivalenceTest, IdenticalUnderEveryErrorPolicyCorruptChunk) {
   }
 }
 
-TEST_F(StreamingEquivalenceTest, ReportCountersMatchScanStats) {
+TEST_P(StreamingEquivalenceTest, ReportCountersMatchScanStats) {
   const colstore::ColumnarReader reader(pack(1024));
   const testdiff::RunOutcome streaming = testdiff::run_mode(
       dataset_->catalog, reader, base_config(), core::ExecMode::Streaming,
@@ -152,6 +159,32 @@ TEST_F(StreamingEquivalenceTest, ReportCountersMatchScanStats) {
   EXPECT_EQ(streaming.scan_stats.rows_emitted, streaming.result.kpre_rows);
   EXPECT_EQ(streaming.scan_stats.chunks_quarantined, 0u);
 }
+
+// The cross-mode anchor: a decoded batch run is the reference output, and
+// a streaming run under the suite's scan mode must match it byte for
+// byte. For the compressed parameter this pins the full claim — decoded
+// batch == compressed streaming — through every pipeline observable.
+TEST_P(StreamingEquivalenceTest, MatchesDecodedBatchReference) {
+  const colstore::ColumnarReader reader(pack(1024));
+  core::PipelineConfig decoded_config = base_config();
+  decoded_config.scan_mode = colstore::ScanMode::Decoded;
+  const testdiff::RunOutcome reference = testdiff::run_mode(
+      dataset_->catalog, reader, decoded_config, core::ExecMode::Batch,
+      {.workers = 4});
+  ASSERT_FALSE(reference.threw) << reference.error;
+  const testdiff::RunOutcome streaming = testdiff::run_mode(
+      dataset_->catalog, reader, base_config(), core::ExecMode::Streaming,
+      {.workers = 4});
+  EXPECT_TRUE(testdiff::outcomes_equivalent(reference, streaming));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScanModes, StreamingEquivalenceTest,
+    ::testing::Values(colstore::ScanMode::Decoded,
+                      colstore::ScanMode::Compressed),
+    [](const ::testing::TestParamInfo<colstore::ScanMode>& info) {
+      return std::string(colstore::to_string(info.param));
+    });
 
 }  // namespace
 }  // namespace ivt

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Line-coverage summary from raw .gcda/.gcno data, no gcovr required.
+
+Runs `gcov` over every .gcda file under a build directory, parses the
+intermediate JSON it emits, and prints a per-file and aggregate line
+coverage table restricted to sources under --filter (default: src/).
+Exits nonzero when the aggregate line coverage of --gate-prefix files
+falls below --min-percent, so CI can pin a floor under e.g. src/colstore.
+
+Usage:
+  python3 tools/gcov_summary.py --build build-cov \
+      --filter src/ --gate-prefix src/colstore --min-percent 85
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.realpath(os.path.join(root, name))
+
+
+def run_gcov(gcda_paths, workdir):
+    """Invoke gcov in JSON-intermediate mode; returns parsed file records."""
+    records = []
+    # Batch to keep command lines bounded.
+    batch = 100
+    for i in range(0, len(gcda_paths), batch):
+        chunk = gcda_paths[i:i + batch]
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout"] + chunk,
+            cwd=workdir, capture_output=True, text=True, check=False)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"gcov failed on batch starting {chunk[0]}")
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", required=True,
+                        help="build directory containing .gcda files")
+    parser.add_argument("--root", default=os.getcwd(),
+                        help="repo root that --filter paths are relative to")
+    parser.add_argument("--filter", default="src/",
+                        help="only report sources whose repo-relative path "
+                             "starts with this prefix")
+    parser.add_argument("--gate-prefix", default=None,
+                        help="aggregate-gate file prefix (e.g. src/colstore)")
+    parser.add_argument("--min-percent", type=float, default=0.0,
+                        help="fail when gate aggregate line coverage is "
+                             "below this percentage")
+    args = parser.parse_args()
+
+    gcda = sorted(find_gcda(args.build))
+    if not gcda:
+        raise SystemExit(f"no .gcda files under {args.build} — "
+                         "did the instrumented tests run?")
+
+    root = os.path.realpath(args.root)
+    # gcov writes nothing with --stdout, but run in a scratch dir anyway in
+    # case a toolchain variant drops .gcov artifacts.
+    with tempfile.TemporaryDirectory() as scratch:
+        records = run_gcov(gcda, scratch)
+
+    # path -> [covered_lines, instrumented_lines]; a line counts as covered
+    # if ANY translation unit executed it (headers appear in many TUs).
+    per_file = {}
+    for record in records:
+        for f in record.get("files", []):
+            path = os.path.realpath(os.path.join(root, f.get("file", "")))
+            if not path.startswith(root + os.sep):
+                continue
+            rel = os.path.relpath(path, root)
+            if not rel.startswith(args.filter):
+                continue
+            lines = per_file.setdefault(rel, {})
+            for line in f.get("lines", []):
+                num = line.get("line_number")
+                if num is None:
+                    continue
+                hit = line.get("count", 0) > 0 or lines.get(num, False)
+                lines[num] = hit
+
+    if not per_file:
+        raise SystemExit(f"no instrumented sources matched filter "
+                         f"'{args.filter}'")
+
+    print(f"{'file':60s} {'lines':>7s} {'covered':>8s} {'percent':>8s}")
+    total_lines = total_covered = 0
+    gate_lines = gate_covered = 0
+    for rel in sorted(per_file):
+        lines = per_file[rel]
+        n = len(lines)
+        covered = sum(1 for hit in lines.values() if hit)
+        pct = 100.0 * covered / n if n else 100.0
+        print(f"{rel:60s} {n:7d} {covered:8d} {pct:7.1f}%")
+        total_lines += n
+        total_covered += covered
+        if args.gate_prefix and rel.startswith(args.gate_prefix):
+            gate_lines += n
+            gate_covered += covered
+
+    total_pct = 100.0 * total_covered / total_lines if total_lines else 100.0
+    print(f"{'TOTAL (' + args.filter + ')':60s} {total_lines:7d} "
+          f"{total_covered:8d} {total_pct:7.1f}%")
+
+    if args.gate_prefix:
+        gate_pct = (100.0 * gate_covered / gate_lines
+                    if gate_lines else 0.0)
+        print(f"{'GATE (' + args.gate_prefix + ')':60s} {gate_lines:7d} "
+              f"{gate_covered:8d} {gate_pct:7.1f}%")
+        if gate_pct < args.min_percent:
+            raise SystemExit(
+                f"coverage gate FAILED: {args.gate_prefix} line coverage "
+                f"{gate_pct:.1f}% < required {args.min_percent:.1f}%")
+        print(f"coverage gate OK: {gate_pct:.1f}% >= "
+              f"{args.min_percent:.1f}%")
+
+
+if __name__ == "__main__":
+    main()
