@@ -119,6 +119,12 @@ struct RobustnessCounters {
   std::uint64_t lint_findings = 0;   ///< $IVT_LINT_FINDINGS
   std::uint64_t lint_exempted = 0;   ///< $IVT_LINT_EXEMPTED
   std::uint64_t tsan_races = 0;      ///< $IVT_TSAN_RACES
+  // Whole-program analyzer counters (ivt-analyze --json): findings after
+  // exemptions, the lock-acquisition graph size backing lock_ranks.inc,
+  // and layering back-edges against tools/ivt-layers.conf.
+  std::uint64_t analyzer_findings = 0;   ///< $IVT_ANALYZER_FINDINGS
+  std::uint64_t lock_graph_nodes = 0;    ///< $IVT_LOCK_GRAPH_NODES
+  std::uint64_t layer_violations = 0;    ///< $IVT_LAYER_VIOLATIONS
 };
 
 inline std::uint64_t env_counter_or(const char* name, std::uint64_t fallback) {
@@ -141,6 +147,9 @@ inline RobustnessCounters read_robustness_counters() {
   c.lint_findings = env_counter_or("IVT_LINT_FINDINGS", 0);
   c.lint_exempted = env_counter_or("IVT_LINT_EXEMPTED", 0);
   c.tsan_races = env_counter_or("IVT_TSAN_RACES", 0);
+  c.analyzer_findings = env_counter_or("IVT_ANALYZER_FINDINGS", 0);
+  c.lock_graph_nodes = env_counter_or("IVT_LOCK_GRAPH_NODES", 0);
+  c.layer_violations = env_counter_or("IVT_LAYER_VIOLATIONS", 0);
   return c;
 }
 
@@ -234,7 +243,10 @@ inline JsonRecord& add_robustness_fields(JsonRecord& record,
       .add("errors_total", c.errors_total)
       .add("lint_findings", c.lint_findings)
       .add("lint_exempted", c.lint_exempted)
-      .add("tsan_races", c.tsan_races);
+      .add("tsan_races", c.tsan_races)
+      .add("analyzer_findings", c.analyzer_findings)
+      .add("lock_graph_nodes", c.lock_graph_nodes)
+      .add("layer_violations", c.layer_violations);
 }
 
 /// Appends one JSON object per emit() to BENCH_<name>.json (or to

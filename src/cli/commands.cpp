@@ -383,6 +383,27 @@ simnet::DatasetSpec spec_by_name(const std::string& name) {
 
 const char* usage() { return kUsage; }
 
+int category_exit_code(errors::Category category) {
+  // The CLI exit-code contract: 0 success, 1 runtime failure, 2 usage,
+  // 3 bad input data, 4 partial results, 5 bind failure. This switch is
+  // an `error-table` anchor in tools/ivt-lint.conf: ivt-analyze fails
+  // when any thrown errors::Category is missing from it, so a new
+  // category can never silently fall into a default exit code.
+  switch (category) {
+    case errors::Category::Format:
+    case errors::Category::Decode:
+    case errors::Category::Spec:
+      return 3;  // the input, not the invocation, is at fault
+    case errors::Category::Io:
+    case errors::Category::Resource:
+    case errors::Category::Overloaded:
+    case errors::Category::Timeout:
+    case errors::Category::Internal:
+      return 1;
+  }
+  return 1;
+}
+
 int cmd_simulate(const Args& args) {
   const std::string dataset = args.get_or("dataset", "SYN");
   const simnet::DatasetSpec spec = spec_by_name(dataset);
@@ -959,9 +980,9 @@ int cmd_query(const Args& args) {
                  response.retryable() ? " (retryable)" : "",
                  response.error_message().c_str());
     // Mirror run_cli's category mapping for server-side failures.
-    const std::string category = response.error_category();
-    if (category == "format" || category == "decode" || category == "spec") {
-      return 3;
+    if (const std::optional<errors::Category> category =
+            errors::parse_category(response.error_category())) {
+      return category_exit_code(*category);
     }
     return 1;
   }
@@ -1281,14 +1302,7 @@ int run_cli(int argc, const char* const* argv) {
     return 2;
   } catch (const errors::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.describe().c_str());
-    switch (e.category()) {
-      case errors::Category::Format:
-      case errors::Category::Decode:
-      case errors::Category::Spec:
-        return 3;  // the input, not the invocation, is at fault
-      default:
-        return 1;
-    }
+    return category_exit_code(e.category());
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "usage error: %s\n", e.what());
     return 2;

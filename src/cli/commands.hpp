@@ -22,8 +22,14 @@
 #pragma once
 
 #include "cli/args.hpp"
+#include "errors/error.hpp"
 
 namespace ivt::cli {
+
+/// The CLI exit-code contract for a failure of the given category:
+/// 3 for bad input data (Format/Decode/Spec), 1 otherwise. Exhaustive
+/// over errors::Category (an `error-table` anchor for ivt-analyze).
+int category_exit_code(errors::Category category);
 
 int cmd_simulate(const Args& args);
 int cmd_inspect(const Args& args);

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "colstore/encoding.hpp"
+#include "errors/error.hpp"
 #include "tracefile/binary_format.hpp"
 
 namespace ivt::colstore {
@@ -33,7 +34,7 @@ void put_bytes(std::ostream& out, std::uint64_t& offset, const char* data,
 void put_block(std::ostream& out, std::uint64_t& offset,
                const std::string& block) {
   if (block.size() > std::numeric_limits<std::uint32_t>::max()) {
-    throw std::runtime_error("ivc: column block too large");
+    IVT_THROW(errors::Category::Format, "ivc: column block too large");
   }
   put_le<std::uint32_t>(out, offset, static_cast<std::uint32_t>(block.size()));
   put_bytes(out, offset, block.data(), block.size());
@@ -51,7 +52,7 @@ ColumnarWriter::ColumnarWriter(std::ostream& out, const std::string& vehicle,
   put_le<std::uint32_t>(out_, offset_, kColumnarFormatVersion);
   for (const std::string* s : {&vehicle, &journey}) {
     if (s->size() > 255) {
-      throw std::invalid_argument("ivc: string too long: " + *s);
+      IVT_THROW(errors::Category::Format, "ivc: string too long: " + *s);
     }
     put_le<std::uint8_t>(out_, offset_, static_cast<std::uint8_t>(s->size()));
     put_bytes(out_, offset_, s->data(), s->size());
@@ -63,10 +64,10 @@ std::uint16_t ColumnarWriter::bus_index(const std::string& bus) {
   const auto it = bus_lookup_.find(bus);
   if (it != bus_lookup_.end()) return it->second;
   if (bus.size() > 255) {
-    throw std::invalid_argument("ivc: bus name too long: " + bus);
+    IVT_THROW(errors::Category::Format, "ivc: bus name too long: " + bus);
   }
   if (buses_.size() >= 0xFFFF) {
-    throw std::runtime_error("ivc: too many distinct buses");
+    IVT_THROW(errors::Category::Format, "ivc: too many distinct buses");
   }
   const std::uint16_t index = static_cast<std::uint16_t>(buses_.size());
   buses_.push_back(bus);
@@ -80,7 +81,7 @@ std::uint32_t ColumnarWriter::key_index(std::uint16_t bus,
       {bus, message_id}, static_cast<std::uint32_t>(key_dict_.size()));
   if (inserted) {
     if (key_dict_.size() >= 0xFFFFFFFFULL) {
-      throw std::runtime_error("ivc: too many distinct (bus, id) keys");
+      IVT_THROW(errors::Category::Format, "ivc: too many distinct (bus, id) keys");
     }
     key_dict_.push_back(KeyDictEntry{bus, message_id});
   }
@@ -88,9 +89,9 @@ std::uint32_t ColumnarWriter::key_index(std::uint16_t bus,
 }
 
 void ColumnarWriter::write(const tracefile::TraceRecord& record) {
-  if (finished_) throw std::logic_error("ivc: write after finish");
+  if (finished_) IVT_THROW(errors::Category::Internal, "ivc: write after finish");
   if (record.payload.size() > 0xFFFF) {
-    throw std::invalid_argument("ivc: payload too long");
+    IVT_THROW(errors::Category::Format, "ivc: payload too long");
   }
   const std::uint16_t bus = bus_index(record.bus);
   t_ns_.push_back(record.t_ns);
@@ -163,7 +164,7 @@ void ColumnarWriter::flush_chunk() {
 }
 
 void ColumnarWriter::finish() {
-  if (finished_) throw std::logic_error("ivc: finish called twice");
+  if (finished_) IVT_THROW(errors::Category::Internal, "ivc: finish called twice");
   flush_chunk();
   finished_ = true;
 
@@ -200,28 +201,28 @@ void ColumnarWriter::finish() {
   put_le<std::uint64_t>(out_, offset_, footer_offset);
   put_bytes(out_, offset_, kFooterMagic, sizeof(kFooterMagic));
   out_.flush();
-  if (!out_) throw std::runtime_error("ivc: write failed");
+  if (!out_) IVT_THROW(errors::Category::Io, "ivc: write failed");
 }
 
 void save_trace_columnar(const tracefile::Trace& trace,
                          const std::string& path,
                          ColumnarWriterOptions options) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (!out) IVT_THROW(errors::Category::Io, "cannot open for write: " + path);
   ColumnarWriter writer(out, trace.vehicle, trace.journey,
                         trace.start_unix_ns, options);
   for (const tracefile::TraceRecord& rec : trace.records) writer.write(rec);
   writer.finish();
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (!out) IVT_THROW(errors::Category::Io, "write failed: " + path);
 }
 
 PackStats pack_trace_file(const std::string& ivt_path,
                           const std::string& ivc_path,
                           ColumnarWriterOptions options) {
   std::ifstream in(ivt_path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for read: " + ivt_path);
+  if (!in) IVT_THROW(errors::Category::Io, "cannot open for read: " + ivt_path);
   std::ofstream out(ivc_path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for write: " + ivc_path);
+  if (!out) IVT_THROW(errors::Category::Io, "cannot open for write: " + ivc_path);
 
   tracefile::TraceReader reader(in);
   ColumnarWriter writer(out, reader.vehicle(), reader.journey(),
@@ -229,7 +230,7 @@ PackStats pack_trace_file(const std::string& ivt_path,
   tracefile::TraceRecord rec;
   while (reader.next(rec)) writer.write(rec);
   writer.finish();
-  if (!out) throw std::runtime_error("write failed: " + ivc_path);
+  if (!out) IVT_THROW(errors::Category::Io, "write failed: " + ivc_path);
   out.close();
 
   PackStats stats;

@@ -62,7 +62,7 @@ std::uint64_t elapsed_ns(Clock::time_point since) {
 /// tasks, merged single-threaded afterwards (the merge still takes the —
 /// by then uncontended — lock so the access contract stays checkable).
 struct Shard {
-  support::Mutex mu;
+  support::Mutex mu{support::LockRank::k_core_Shard_mu};
   KeyedSegments keys IVT_GUARDED_BY(mu);
 };
 

@@ -112,7 +112,8 @@ class Engine {
   EngineConfig config_;
   std::size_t default_partitions_;
   std::unique_ptr<ThreadPool> pool_;
-  mutable support::Mutex metrics_mutex_;
+  mutable support::Mutex metrics_mutex_{
+      support::LockRank::k_dataflow_Engine_metrics_mutex_};
   std::vector<StageMetrics> metrics_ IVT_GUARDED_BY(metrics_mutex_);
   std::atomic<std::size_t> task_retries_{0};
 };

@@ -89,7 +89,7 @@ class ThreadPool {
   void rethrow_if_failed() IVT_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  mutable support::Mutex mutex_;
+  mutable support::Mutex mutex_{support::LockRank::k_dataflow_ThreadPool_mutex_};
   std::deque<std::function<void()>> queue_ IVT_GUARDED_BY(mutex_);
   support::CondVar cv_task_;
   support::CondVar cv_idle_;

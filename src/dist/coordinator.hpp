@@ -157,7 +157,7 @@ class Coordinator {
   std::thread accept_thread_;
   std::thread monitor_thread_;
 
-  support::Mutex mutex_;
+  support::Mutex mutex_{support::LockRank::k_dist_Coordinator_mutex_};
   support::CondVar done_cv_;  ///< signaled when all ranges are accepted
   RangeTracker tracker_ IVT_GUARDED_BY(mutex_);
   HashRing ring_ IVT_GUARDED_BY(mutex_);
@@ -185,7 +185,7 @@ class Coordinator {
     std::thread thread;
   };
   std::vector<Connection> connections_ IVT_GUARDED_BY(conn_mutex_);
-  support::Mutex conn_mutex_;
+  support::Mutex conn_mutex_{support::LockRank::k_dist_Coordinator_conn_mutex_};
 };
 
 }  // namespace ivt::dist

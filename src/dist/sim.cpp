@@ -42,7 +42,8 @@ core::PipelineResult run_dist(const signaldb::Catalog& catalog,
   // --on-error=fail): when the whole cluster dies of it, the caller gets
   // THIS error — same category, same exit code as batch — instead of a
   // generic "coordinator stopped" internal error.
-  support::Mutex first_error_mutex;
+  support::Mutex first_error_mutex{
+      support::LockRank::k_dist_sim_first_error_mutex};
   std::exception_ptr first_error;
   // Shared respawn budget: fetch_sub claims one respawn; once it goes
   // non-positive, replacements run with the failure injection disabled —

@@ -185,7 +185,7 @@ class HeartbeatThread {
 
   const WorkerOptions& options_;
   const Registration& reg_;
-  support::Mutex mutex_;
+  support::Mutex mutex_{support::LockRank::k_dist_HeartbeatThread_mutex_};
   support::CondVar cv_;
   bool stopping_ IVT_GUARDED_BY(mutex_) = false;
   std::atomic<bool> zombied_{false};

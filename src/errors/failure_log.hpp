@@ -46,7 +46,7 @@ class FailureLog {
   void merge(const FailureLog& other) IVT_EXCLUDES(mutex_);
 
  private:
-  mutable support::Mutex mutex_;
+  mutable support::Mutex mutex_{support::LockRank::k_errors_FailureLog_mutex_};
   std::vector<FailureRecord> records_ IVT_GUARDED_BY(mutex_);
 };
 

@@ -32,7 +32,7 @@ namespace {
 std::atomic<std::size_t> g_armed_sites{0};
 
 struct SiteRegistry {
-  support::Mutex mutex;
+  support::Mutex mutex{support::LockRank::k_faultfx_SiteRegistry_mutex};
   std::unordered_map<std::string, std::unique_ptr<detail::Site>> sites
       IVT_GUARDED_BY(mutex);
   std::vector<std::unique_ptr<FaultSpec>> retired_specs

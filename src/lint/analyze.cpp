@@ -1,0 +1,1781 @@
+#include "lint/analyze.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "lint/tokenizer.hpp"
+
+namespace ivt::lint {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string stem_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+/// Identifiers that can precede a '(' without being a callable name.
+bool is_keyword_head(const std::string& t) {
+  static const char* kWords[] = {
+      "if",       "for",      "while",    "switch",     "catch",
+      "return",   "sizeof",   "alignof",  "decltype",   "noexcept",
+      "alignas",  "typeid",   "operator", "static_assert",
+      "assert",   "defined",  "_Pragma",  "va_arg",
+  };
+  for (const char* w : kWords) {
+    if (t == w) return true;
+  }
+  return false;
+}
+
+/// Identifiers after which an `Ident (` is still a call, not a
+/// declaration (`new Foo(x)`, `return f(x)`).
+bool is_expr_context_ident(const std::string& t) {
+  static const char* kWords[] = {"new",  "return", "else",      "do",
+                                 "case", "throw",  "co_return", "co_yield",
+                                 "co_await"};
+  for (const char* w : kWords) {
+    if (t == w) return true;
+  }
+  return false;
+}
+
+bool is_type_noise_ident(const std::string& t) {
+  static const char* kWords[] = {"const",  "constexpr", "static", "mutable",
+                                 "inline", "volatile",  "auto",   "typename",
+                                 "struct", "class",     "using",  "register",
+                                 "thread_local"};
+  for (const char* w : kWords) {
+    if (t == w) return true;
+  }
+  return false;
+}
+
+// ---- per-file extraction ------------------------------------------------
+
+/// A function (or lambda) body [open, close] with its resolution context.
+struct FunctionDef {
+  std::string cls;    ///< enclosing/qualifying class name; "" = free
+  std::string name;   ///< "~Foo" for destructors
+  std::size_t header = 0;  ///< token index of the name
+  std::size_t open = 0;    ///< '{' token index
+  std::size_t close = 0;   ///< matching '}'
+};
+
+/// One support::Mutex declaration (member, namespace-scope, or local).
+struct MutexDecl {
+  std::string identity;  ///< module_Class_member / module_stem_name
+  std::string display;   ///< module::Class::member form
+  std::string var;       ///< declared name
+  std::string cls;       ///< owning class; "" for non-members
+  std::string file;
+  std::size_t line = 0;
+  std::string bound;     ///< LockRank constant it binds, "" if none
+};
+
+struct FileUnit {
+  const FileContent* file = nullptr;
+  std::string module;
+  std::string stem;
+  std::vector<Token> tokens;
+  std::vector<TokenClassSpan> spans;
+  std::vector<FunctionDef> funcs;
+  std::map<std::string, std::string> local_mutexes;  ///< var -> identity
+};
+
+/// Collects support::Mutex declarations in a unit. A declaration is
+/// `[support::] Mutex <name>` followed by ';' or a paren/brace
+/// initializer; the initializer is searched for a bound LockRank
+/// constant.
+void collect_mutex_decls(const FileUnit& unit, std::vector<MutexDecl>* out,
+                         std::map<std::string, std::string>* locals) {
+  const std::vector<Token>& tokens = unit.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!is_ident(tokens[i], "Mutex")) continue;
+    if (i > 0 && is_punct(tokens[i - 1], "::") &&
+        !(i > 1 && is_ident(tokens[i - 2], "support"))) {
+      continue;  // someone else's Mutex type
+    }
+    if (i > 0 && (is_ident(tokens[i - 1], "class") ||
+                  is_ident(tokens[i - 1], "struct") ||
+                  is_ident(tokens[i - 1], "friend") ||
+                  is_punct(tokens[i - 1], "~"))) {
+      continue;
+    }
+    if (i + 1 >= tokens.size() ||
+        tokens[i + 1].kind != Token::Kind::Ident) {
+      continue;  // Mutex& param, Mutex( ctor, etc.
+    }
+    const std::string var = tokens[i + 1].text;
+    std::size_t after = i + 2;
+    std::string bound;
+    if (after < tokens.size() && (is_punct(tokens[after], "{") ||
+                                  is_punct(tokens[after], "("))) {
+      const std::size_t close = is_punct(tokens[after], "{")
+                                    ? match_brace(tokens, after)
+                                    : match_paren(tokens, after);
+      for (std::size_t k = after + 1; k + 2 < close + 1 && k + 2 <= close;
+           ++k) {
+        if (is_ident(tokens[k], "LockRank") && is_punct(tokens[k + 1], "::") &&
+            tokens[k + 2].kind == Token::Kind::Ident) {
+          bound = tokens[k + 2].text;
+          break;
+        }
+      }
+      after = close + 1;
+    }
+    if (after >= tokens.size() || !is_punct(tokens[after], ";")) {
+      continue;  // not a plain declaration
+    }
+    MutexDecl decl;
+    decl.var = var;
+    decl.file = unit.file->path;
+    decl.line = tokens[i].line;
+    decl.bound = bound;
+    const TokenClassSpan* span = innermost_class(unit.spans, i);
+    if (span != nullptr && !span->name.empty()) {
+      decl.cls = span->name;
+      decl.identity = unit.module + "_" + span->name + "_" + var;
+      decl.display = unit.module + "::" + span->name + "::" + var;
+    } else {
+      decl.identity = unit.module + "_" + unit.stem + "_" + var;
+      decl.display = unit.module + "::" + unit.stem + "::" + var;
+      (*locals)[var] = decl.identity;
+    }
+    out->push_back(std::move(decl));
+  }
+}
+
+/// Member name -> type identifiers, per class, for receiver resolution
+/// (`shards_[i].mutex` needs the element type of `shards_`).
+using MemberTypes = std::map<std::string, std::map<std::string,
+                                                   std::vector<std::string>>>;
+
+void collect_member_types(const FileUnit& unit, MemberTypes* out) {
+  const std::vector<Token>& tokens = unit.tokens;
+  for (const TokenClassSpan& span : unit.spans) {
+    if (span.name.empty()) continue;
+    std::vector<std::size_t> stmt;  // token indices of the current stmt
+    for (std::size_t j = span.open + 1; j < span.close; ++j) {
+      const Token& t = tokens[j];
+      if (is_punct(t, "{")) {
+        // Brace after an identifier is a default member initializer;
+        // anything else opens a nested body (method, nested record) —
+        // skip it, its members belong to its own span.
+        const bool init = j > span.open + 1 &&
+                          tokens[j - 1].kind == Token::Kind::Ident;
+        j = match_brace(tokens, j);
+        if (!init) stmt.clear();
+        continue;
+      }
+      if (is_punct(t, ";")) {
+        // Drop a trailing `= init`, then trailing attribute-macro groups
+        // `IDENT ( ... )`; the member name is the last identifier left.
+        std::vector<std::size_t> s = stmt;
+        stmt.clear();
+        for (std::size_t k = 0; k < s.size(); ++k) {
+          if (is_punct(tokens[s[k]], "=")) {
+            s.resize(k);
+            break;
+          }
+        }
+        while (s.size() >= 3 && is_punct(tokens[s.back()], ")")) {
+          std::size_t k = s.size();
+          int depth = 0;
+          while (k-- > 0) {
+            if (is_punct(tokens[s[k]], ")")) ++depth;
+            if (is_punct(tokens[s[k]], "(") && --depth == 0) break;
+          }
+          if (k == 0 || tokens[s[k - 1]].kind != Token::Kind::Ident) break;
+          s.resize(k - 1);
+        }
+        if (s.size() < 2) continue;
+        const Token& name = tokens[s.back()];
+        if (name.kind != Token::Kind::Ident) continue;
+        std::vector<std::string> types;
+        for (std::size_t k = 0; k + 1 < s.size(); ++k) {
+          const Token& ty = tokens[s[k]];
+          if (ty.kind == Token::Kind::Ident && !is_type_noise_ident(ty.text)) {
+            types.push_back(ty.text);
+          }
+        }
+        if (!types.empty()) (*out)[span.name][name.text] = std::move(types);
+        continue;
+      }
+      if (is_punct(t, ":") && stmt.size() == 1 &&
+          (is_ident(tokens[stmt[0]], "public") ||
+           is_ident(tokens[stmt[0]], "private") ||
+           is_ident(tokens[stmt[0]], "protected"))) {
+        stmt.clear();
+        continue;
+      }
+      stmt.push_back(j);
+    }
+  }
+}
+
+/// Finds function definitions outside other function bodies. Lambdas are
+/// discovered later, during body parsing.
+std::vector<FunctionDef> extract_functions(const FileUnit& unit) {
+  const std::vector<Token>& tokens = unit.tokens;
+  std::vector<FunctionDef> funcs;
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    const Token& t = tokens[i];
+    if (t.kind != Token::Kind::Ident || is_keyword_head(t.text) ||
+        i + 1 >= tokens.size() || !is_punct(tokens[i + 1], "(")) {
+      ++i;
+      continue;
+    }
+    if (i > 0 && (is_punct(tokens[i - 1], ".") ||
+                  is_punct(tokens[i - 1], "->") ||
+                  is_punct(tokens[i - 1], "#"))) {
+      ++i;  // member call in an initializer / preprocessor directive
+      continue;
+    }
+    const std::size_t params_close = match_paren(tokens, i + 1);
+    if (params_close >= tokens.size()) {
+      ++i;
+      continue;
+    }
+    // Qualifier run: const/noexcept/override/attribute-macros, possibly
+    // with balanced parens; `->` starts a trailing return type.
+    std::size_t j = params_close + 1;
+    bool giveup = false;
+    while (j < tokens.size()) {
+      const Token& q = tokens[j];
+      if (q.kind == Token::Kind::Ident) {
+        if (j + 1 < tokens.size() && is_punct(tokens[j + 1], "(")) {
+          j = match_paren(tokens, j + 1) + 1;
+        } else {
+          ++j;
+        }
+        continue;
+      }
+      if (is_punct(q, "&") || is_punct(q, "&&")) {
+        ++j;
+        continue;
+      }
+      if (is_punct(q, "->")) {
+        // Trailing return type: scan to '{', ';' or '=' at paren depth 0.
+        int depth = 0;
+        ++j;
+        while (j < tokens.size()) {
+          if (is_punct(tokens[j], "(") || is_punct(tokens[j], "[")) ++depth;
+          if (is_punct(tokens[j], ")") || is_punct(tokens[j], "]")) --depth;
+          if (depth == 0 && (is_punct(tokens[j], "{") ||
+                             is_punct(tokens[j], ";") ||
+                             is_punct(tokens[j], "="))) {
+            break;
+          }
+          ++j;
+        }
+        continue;
+      }
+      break;
+    }
+    if (j < tokens.size() && is_punct(tokens[j], ":")) {
+      // Constructor member-init list: a '{' at depth 0 whose previous
+      // token is an identifier or '>' is an init-brace; any other '{'
+      // is the body.
+      ++j;
+      while (j < tokens.size()) {
+        if (is_punct(tokens[j], "(")) {
+          j = match_paren(tokens, j) + 1;
+          continue;
+        }
+        if (is_punct(tokens[j], "{")) {
+          const Token& prev = tokens[j - 1];
+          if (prev.kind == Token::Kind::Ident || is_punct(prev, ">")) {
+            j = match_brace(tokens, j) + 1;
+            continue;
+          }
+          break;  // body
+        }
+        if (is_punct(tokens[j], ";")) {
+          giveup = true;
+          break;
+        }
+        ++j;
+      }
+    }
+    if (giveup || j >= tokens.size() || !is_punct(tokens[j], "{")) {
+      ++i;
+      continue;
+    }
+    FunctionDef def;
+    def.name = t.text;
+    def.header = i;
+    def.open = j;
+    def.close = match_brace(tokens, j);
+    std::size_t base = i;
+    if (i > 0 && is_punct(tokens[i - 1], "~")) {
+      def.name = "~" + def.name;
+      base = i - 1;
+    }
+    if (base > 1 && is_punct(tokens[base - 1], "::") &&
+        tokens[base - 2].kind == Token::Kind::Ident) {
+      def.cls = tokens[base - 2].text;  // out-of-line member
+    } else {
+      const TokenClassSpan* span = innermost_class(unit.spans, i);
+      if (span != nullptr) def.cls = span->name;
+    }
+    const std::size_t resume = def.close + 1;
+    funcs.push_back(std::move(def));
+    i = resume;
+  }
+  return funcs;
+}
+
+}  // namespace
+
+std::string module_of(const std::string& path) {
+  // Last ".../src/<module>/..." component wins, so fixture trees under
+  // tests/lint/fixtures/<tree>/src/<module>/ resolve like the real tree.
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) {
+      parts.push_back(path.substr(start));
+      break;
+    }
+    parts.push_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+  for (std::size_t k = parts.size(); k-- > 0;) {
+    if (parts[k] == "src") {
+      // parts[k + 1] is the module unless the file sits directly in src/.
+      return k + 2 < parts.size() ? parts[k + 1] : "";
+    }
+  }
+  return parts.size() >= 2 ? parts[parts.size() - 2] : "";
+}
+
+namespace {
+
+FileUnit build_unit(const FileContent& file) {
+  FileUnit unit;
+  unit.file = &file;
+  unit.module = module_of(file.path);
+  unit.stem = stem_of(file.path);
+  unit.tokens = tokenize(file.content);
+  unit.spans = token_class_spans(unit.tokens);
+  unit.funcs = extract_functions(unit);
+  return unit;
+}
+
+std::vector<FileUnit> build_units(const std::vector<FileContent>& files) {
+  std::vector<FileUnit> units;
+  units.reserve(files.size());
+  for (const FileContent& f : files) units.push_back(build_unit(f));
+  return units;
+}
+
+}  // namespace
+
+// ---- module layering ----------------------------------------------------
+
+LayersConfig parse_layers(const std::string& content,
+                          std::vector<std::string>* errors) {
+  LayersConfig config;
+  std::istringstream in(content);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;
+    if (directive != "layer") {
+      if (errors != nullptr) {
+        errors->push_back("line " + std::to_string(lineno) +
+                          ": unknown directive '" + directive + "'");
+      }
+      continue;
+    }
+    std::vector<std::string> modules;
+    std::string module;
+    while (fields >> module) {
+      if (config.level.count(module) != 0) {
+        if (errors != nullptr) {
+          errors->push_back("line " + std::to_string(lineno) + ": module '" +
+                            module + "' declared in more than one layer");
+        }
+        continue;
+      }
+      config.level[module] = config.layers.size();
+      modules.push_back(std::move(module));
+    }
+    if (modules.empty()) {
+      if (errors != nullptr) {
+        errors->push_back("line " + std::to_string(lineno) +
+                          ": layer needs at least one <module>");
+      }
+      continue;
+    }
+    config.layers.push_back(std::move(modules));
+  }
+  return config;
+}
+
+IncludeGraph build_include_graph(const std::vector<FileContent>& files) {
+  IncludeGraph graph;
+  std::map<std::pair<std::string, std::string>, IncludeEdge> edges;
+  for (const FileContent& f : files) {
+    const std::string from = module_of(f.path);
+    if (from.empty()) continue;
+    graph.modules.insert(from);
+    for (const Token& t : tokenize(f.content)) {
+      if (t.kind != Token::Kind::IncludeQuoted) continue;
+      const std::size_t slash = t.text.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      const std::string to = t.text.substr(0, slash);
+      if (to == from) continue;
+      IncludeEdge& e = edges[{from, to}];
+      if (e.count++ == 0) {
+        e.from_module = from;
+        e.to_module = to;
+        e.via_file = f.path;
+        e.via_line = t.line;
+      }
+    }
+  }
+  for (auto& [key, e] : edges) {
+    graph.modules.insert(e.to_module);
+    graph.edges.push_back(std::move(e));
+  }
+  return graph;
+}
+
+std::vector<Finding> check_layering(const IncludeGraph& graph,
+                                    const LayersConfig& layers) {
+  std::vector<Finding> findings;
+  std::set<std::string> undeclared;
+  for (const std::string& m : graph.modules) {
+    if (layers.level.count(m) == 0) undeclared.insert(m);
+  }
+  for (const std::string& m : undeclared) {
+    // Attribute to a witness edge touching the module when one exists.
+    std::string file;
+    std::size_t line = 0;
+    for (const IncludeEdge& e : graph.edges) {
+      if (e.from_module == m || e.to_module == m) {
+        file = e.via_file;
+        line = e.via_line;
+        break;
+      }
+    }
+    findings.push_back({"layering", file, line,
+                        "module '" + m +
+                            "' is not declared in the layer config — add it "
+                            "to a `layer` line in tools/ivt-layers.conf"});
+  }
+  for (const IncludeEdge& e : graph.edges) {
+    const auto from = layers.level.find(e.from_module);
+    const auto to = layers.level.find(e.to_module);
+    if (from == layers.level.end() || to == layers.level.end()) continue;
+    if (to->second >= from->second) {
+      const bool back = to->second > from->second;
+      findings.push_back(
+          {"layering", e.via_file, e.via_line,
+           std::string(back ? "back-edge" : "same-layer edge") + ": module '" +
+               e.from_module + "' (layer " + std::to_string(from->second) +
+               ") includes '" + e.to_module + "' (layer " +
+               std::to_string(to->second) + ") " + std::to_string(e.count) +
+               " time(s) — modules may only include strictly lower layers"});
+    }
+  }
+  return findings;
+}
+
+std::string include_graph_dot(const IncludeGraph& graph,
+                              const LayersConfig& layers) {
+  std::ostringstream out;
+  out << "digraph includes {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (std::size_t l = 0; l < layers.layers.size(); ++l) {
+    out << "  subgraph cluster_layer" << l << " {\n    label=\"layer " << l
+        << "\";\n    rank=same;\n";
+    for (const std::string& m : layers.layers[l]) {
+      if (graph.modules.count(m) != 0) out << "    \"" << m << "\";\n";
+    }
+    out << "  }\n";
+  }
+  for (const std::string& m : graph.modules) {
+    if (layers.level.count(m) == 0) {
+      out << "  \"" << m << "\" [color=red];\n";
+    }
+  }
+  for (const IncludeEdge& e : graph.edges) {
+    out << "  \"" << e.from_module << "\" -> \"" << e.to_module
+        << "\" [label=\"" << e.count << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+// ---- error-taxonomy exhaustiveness --------------------------------------
+
+std::vector<Finding> check_error_taxonomy(const std::vector<FileContent>& files,
+                                          const Config& config) {
+  std::vector<Finding> findings;
+  if (config.error_tables.empty()) return findings;
+  const std::vector<FileUnit> units = build_units(files);
+
+  // Categories actually thrown: the first argument of IVT_THROW /
+  // IVT_THROW_FATAL, and any Category mentioned between a `throw` and
+  // the statement end (direct errors::Error construction).
+  std::map<std::string, std::string> used;  // category -> witness site
+  for (const FileUnit& unit : units) {
+    const std::vector<Token>& tokens = unit.tokens;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      std::size_t begin = 0;
+      std::size_t end = 0;
+      if ((is_ident(tokens[i], "IVT_THROW") ||
+           is_ident(tokens[i], "IVT_THROW_FATAL")) &&
+          is_punct(tokens[i + 1], "(")) {
+        begin = i + 2;
+        end = match_paren(tokens, i + 1);
+        // First argument only: stop at the first top-level comma.
+        int depth = 0;
+        for (std::size_t k = begin; k < end; ++k) {
+          if (is_punct(tokens[k], "(")) ++depth;
+          if (is_punct(tokens[k], ")")) --depth;
+          if (depth == 0 && is_punct(tokens[k], ",")) {
+            end = k;
+            break;
+          }
+        }
+      } else if (is_ident(tokens[i], "throw")) {
+        begin = i + 1;
+        end = begin;
+        while (end < tokens.size() && !is_punct(tokens[end], ";")) ++end;
+      } else {
+        continue;
+      }
+      for (std::size_t k = begin; k + 2 < end; ++k) {
+        if (is_ident(tokens[k], "Category") && is_punct(tokens[k + 1], "::") &&
+            tokens[k + 2].kind == Token::Kind::Ident) {
+          used.emplace(tokens[k + 2].text,
+                       unit.file->path + ":" +
+                           std::to_string(tokens[k].line));
+        }
+      }
+      i = end;
+    }
+  }
+
+  for (const std::string& table : config.error_tables) {
+    bool found = false;
+    for (const FileUnit& unit : units) {
+      for (const FunctionDef& def : unit.funcs) {
+        if (def.name != table) continue;
+        found = true;
+        std::set<std::string> present;
+        for (std::size_t k = def.open; k + 2 < def.close; ++k) {
+          if (is_ident(unit.tokens[k], "Category") &&
+              is_punct(unit.tokens[k + 1], "::") &&
+              unit.tokens[k + 2].kind == Token::Kind::Ident) {
+            present.insert(unit.tokens[k + 2].text);
+          }
+        }
+        for (const auto& [category, site] : used) {
+          if (present.count(category) == 0) {
+            findings.push_back(
+                {"error-taxonomy", unit.file->path,
+                 unit.tokens[def.header].line,
+                 "error table '" + table + "' does not map errors::Category::" +
+                     category + " (thrown at " + site +
+                     ") — every thrown category needs an explicit mapping"});
+          }
+        }
+      }
+    }
+    if (!found) {
+      findings.push_back(
+          {"error-taxonomy", "", 0,
+           "error-table function '" + table +
+               "' was not found in the scanned files — fix the `error-table` "
+               "directive or restore the anchor function"});
+    }
+  }
+  return findings;
+}
+
+// ---- lock-order analysis ------------------------------------------------
+
+namespace {
+
+/// Global resolution tables shared by every function body parse.
+struct LockTables {
+  MemberTypes member_types;  ///< class -> member -> type idents
+  /// class -> mutex member -> identities (same class name can exist in
+  /// two modules; resolution requires a unique identity).
+  std::map<std::string, std::map<std::string, std::vector<std::string>>>
+      member_mutex;
+  /// mutex member name -> identities across all classes (global fallback).
+  std::map<std::string, std::vector<std::string>> any_mutex_member;
+  /// file path -> function/namespace-local mutex var -> identity.
+  std::map<std::string, std::map<std::string, std::string>> file_locals;
+  /// function name -> classes defining a member function of that name.
+  std::map<std::string, std::set<std::string>> member_funcs;
+  std::set<std::string> known_classes;
+  const std::map<std::string, std::vector<std::string>>* macro_calls = nullptr;
+};
+
+struct CallSite {
+  std::string name;
+  std::string hint;  ///< "" free/self, "*" any member, else a class name
+  std::string caller_cls;
+  std::vector<std::string> held;
+  std::string file;
+  std::size_t line = 0;
+};
+
+struct FuncInfo {
+  std::set<std::string> direct;  ///< identities acquired in this body
+  std::vector<CallSite> calls;
+};
+
+using FuncKey = std::pair<std::string, std::string>;  // (class, name)
+
+struct RawEdge {
+  std::string file;
+  std::size_t line = 0;
+  std::string context;  ///< function (and callee) the edge was seen in
+};
+
+struct LockBuild {
+  std::map<FuncKey, FuncInfo> funcs;
+  std::map<std::pair<std::string, std::string>, RawEdge> edges;
+  std::vector<Finding> findings;
+  std::size_t lambda_count = 0;
+};
+
+using Env = std::map<std::string, std::vector<std::string>>;
+
+/// Resolves a type-identifier list to a unique known class, preferring
+/// (when `method` is non-empty) classes that define that member function.
+std::string unique_class_of(const std::vector<std::string>& idents,
+                            const std::string& method,
+                            const LockTables& tables) {
+  std::vector<std::string> candidates;
+  for (const std::string& t : idents) {
+    if (tables.known_classes.count(t) != 0) candidates.push_back(t);
+  }
+  if (candidates.size() > 1 && !method.empty()) {
+    const auto it = tables.member_funcs.find(method);
+    if (it != tables.member_funcs.end()) {
+      std::vector<std::string> narrowed;
+      for (const std::string& c : candidates) {
+        if (it->second.count(c) != 0) narrowed.push_back(c);
+      }
+      if (!narrowed.empty()) candidates = std::move(narrowed);
+    }
+  }
+  return candidates.size() == 1 ? candidates[0] : std::string();
+}
+
+/// Resolves the mutex expression tokens [begin, end) to a lock identity.
+/// Returns "" when the identity cannot be pinned down.
+std::string resolve_mutex_expr(const std::vector<Token>& tokens,
+                               std::size_t begin, std::size_t end,
+                               const FileUnit& unit, const std::string& cls,
+                               const Env& env, const LockTables& tables) {
+  // Parse an `a.b[i]->c` style chain.
+  std::vector<std::string> chain;
+  std::size_t i = begin;
+  while (i < end && (is_punct(tokens[i], "*") || is_punct(tokens[i], "&"))) {
+    ++i;
+  }
+  while (i < end) {
+    const Token& t = tokens[i];
+    if (t.kind == Token::Kind::Ident) {
+      chain.push_back(t.text);
+      ++i;
+      if (i < end && is_punct(tokens[i], "[")) {
+        int depth = 0;
+        while (i < end) {
+          if (is_punct(tokens[i], "[")) ++depth;
+          if (is_punct(tokens[i], "]") && --depth == 0) break;
+          ++i;
+        }
+        ++i;
+      }
+      if (i < end && (is_punct(tokens[i], ".") || is_punct(tokens[i], "->") ||
+                      is_punct(tokens[i], "::"))) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    return "";  // parenthesized / computed expression
+  }
+  if (i != end || chain.empty()) return "";
+
+  const auto unique_identity =
+      [](const std::vector<std::string>& ids) -> std::string {
+    return ids.size() == 1 ? ids[0] : std::string();
+  };
+  const auto class_member = [&](const std::string& c,
+                                const std::string& m) -> std::string {
+    const auto ci = tables.member_mutex.find(c);
+    if (ci == tables.member_mutex.end()) return "";
+    const auto mi = ci->second.find(m);
+    return mi == ci->second.end() ? "" : unique_identity(mi->second);
+  };
+
+  const std::string member = chain.back();
+  if (chain.size() == 1) {
+    const auto fl = tables.file_locals.find(unit.file->path);
+    if (fl != tables.file_locals.end()) {
+      const auto li = fl->second.find(member);
+      if (li != fl->second.end()) return li->second;
+    }
+    if (!cls.empty()) {
+      const std::string id = class_member(cls, member);
+      if (!id.empty()) return id;
+    }
+  } else {
+    // Resolve the owner of `member` along the chain.
+    std::string owner;
+    const std::string& base = chain.front();
+    if (base == "this") {
+      owner = cls;
+    } else {
+      const auto ei = env.find(base);
+      if (ei != env.end()) {
+        owner = unique_class_of(ei->second, "", tables);
+      }
+      if (owner.empty() && !cls.empty()) {
+        const auto ci = tables.member_types.find(cls);
+        if (ci != tables.member_types.end()) {
+          const auto mi = ci->second.find(base);
+          if (mi != ci->second.end()) {
+            owner = unique_class_of(mi->second, "", tables);
+          }
+        }
+      }
+    }
+    for (std::size_t k = 1; !owner.empty() && k + 1 < chain.size(); ++k) {
+      const auto ci = tables.member_types.find(owner);
+      owner.clear();
+      if (ci != tables.member_types.end()) {
+        const auto mi = ci->second.find(chain[k]);
+        if (mi != ci->second.end()) {
+          owner = unique_class_of(mi->second, "", tables);
+        }
+      }
+    }
+    if (!owner.empty()) {
+      const std::string id = class_member(owner, member);
+      if (!id.empty()) return id;
+    }
+  }
+  // Global fallback: a mutex member with this name in exactly one class.
+  const auto gi = tables.any_mutex_member.find(member);
+  if (gi != tables.any_mutex_member.end()) {
+    return unique_identity(gi->second);
+  }
+  return "";
+}
+
+/// Receiver class hint for `<chain> . name (` at token index `at` (the
+/// callee name). "*" = any class's member of that name.
+std::string member_call_hint(const std::vector<Token>& tokens, std::size_t at,
+                             const std::string& cls, const Env& env,
+                             const LockTables& tables,
+                             const std::string& name) {
+  // Walk the receiver chain backwards from the '.'/'->' at at-1.
+  std::vector<std::string> chain;  // reversed: member...base
+  std::size_t k = at - 1;          // the '.'/'->'
+  while (k > 0) {
+    const Token& p = tokens[k - 1];
+    if (is_punct(p, "]")) {
+      int depth = 0;
+      while (k-- > 0) {
+        if (is_punct(tokens[k], "]")) ++depth;
+        if (is_punct(tokens[k], "[") && --depth == 0) break;
+      }
+      if (k == 0) return "*";
+      continue;
+    }
+    if (p.kind == Token::Kind::Ident) {
+      chain.push_back(p.text);
+      --k;
+      if (k > 0 && (is_punct(tokens[k - 1], ".") ||
+                    is_punct(tokens[k - 1], "->") ||
+                    is_punct(tokens[k - 1], "::"))) {
+        --k;
+        continue;
+      }
+      break;
+    }
+    return "*";  // method on a call result or other expression
+  }
+  if (chain.empty()) return "*";
+  std::reverse(chain.begin(), chain.end());
+  std::string owner;
+  if (chain.front() == "this") {
+    owner = cls;
+  } else {
+    const auto ei = env.find(chain.front());
+    if (ei != env.end()) {
+      owner = unique_class_of(ei->second, chain.size() == 1 ? name : "",
+                              tables);
+    }
+    if (owner.empty() && !cls.empty()) {
+      const auto ci = tables.member_types.find(cls);
+      if (ci != tables.member_types.end()) {
+        const auto mi = ci->second.find(chain.front());
+        if (mi != ci->second.end()) {
+          owner = unique_class_of(mi->second,
+                                  chain.size() == 1 ? name : "", tables);
+        }
+      }
+    }
+  }
+  for (std::size_t m = 1; !owner.empty() && m < chain.size(); ++m) {
+    const auto ci = tables.member_types.find(owner);
+    owner.clear();
+    if (ci != tables.member_types.end()) {
+      const auto mi = ci->second.find(chain[m]);
+      if (mi != ci->second.end()) {
+        owner = unique_class_of(mi->second, m + 1 == chain.size() ? name : "",
+                                tables);
+      }
+    }
+  }
+  return owner.empty() ? "*" : owner;
+}
+
+struct Window {
+  std::string var;
+  std::string identity;  ///< "" when the acquisition was unresolvable
+  int depth = 0;
+  bool active = false;
+};
+
+void parse_body(const FileUnit& unit, std::size_t open, std::size_t close,
+                const std::string& cls, const std::string& display,
+                const FuncKey& key, Env env, LockTables& tables,
+                LockBuild& build);
+
+/// Walks one body, tracking MutexLock windows and recording acquisitions
+/// and calls into build.funcs[key].
+void walk_body(const FileUnit& unit, std::size_t open, std::size_t close,
+               const std::string& cls, const std::string& display,
+               const FuncKey& key, Env& env, LockTables& tables,
+               LockBuild& build) {
+  const std::vector<Token>& tokens = unit.tokens;
+  FuncInfo& info = build.funcs[key];
+  std::vector<Window> windows;
+  int depth = 0;
+  std::size_t stmt_start = open + 1;
+
+  const auto held = [&]() {
+    std::vector<std::string> ids;
+    for (const Window& w : windows) {
+      if (w.active && !w.identity.empty()) ids.push_back(w.identity);
+    }
+    return ids;
+  };
+  const auto add_edges_for = [&](const std::string& id, std::size_t line) {
+    info.direct.insert(id);
+    for (const std::string& h : held()) {
+      if (h == id) continue;  // the window being re-locked
+      const auto edge_key = std::make_pair(h, id);
+      if (build.edges.count(edge_key) == 0) {
+        build.edges[edge_key] = {unit.file->path, line, display};
+      }
+    }
+  };
+
+  std::size_t i = open;
+  while (i <= close && i < tokens.size()) {
+    const Token& t = tokens[i];
+    if (is_punct(t, "{")) {
+      ++depth;
+      stmt_start = i + 1;
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      --depth;
+      for (Window& w : windows) {
+        if (w.depth > depth) w.active = false;
+      }
+      windows.erase(std::remove_if(windows.begin(), windows.end(),
+                                   [&](const Window& w) {
+                                     return w.depth > depth;
+                                   }),
+                    windows.end());
+      stmt_start = i + 1;
+      ++i;
+      continue;
+    }
+
+    // Lambda: its body runs later (thread entry, deferred callback), so
+    // it is analyzed as a separate anonymous function with an empty
+    // held-set — lexical nesting must not order its locks under ours.
+    if (is_punct(t, "[") &&
+        (i == open + 1 ||
+         !(tokens[i - 1].kind == Token::Kind::Ident ||
+           tokens[i - 1].kind == Token::Kind::Str ||
+           tokens[i - 1].kind == Token::Kind::Number ||
+           is_punct(tokens[i - 1], ")") || is_punct(tokens[i - 1], "]")))) {
+      int bdepth = 0;
+      std::size_t k = i;
+      while (k <= close) {
+        if (is_punct(tokens[k], "[")) ++bdepth;
+        if (is_punct(tokens[k], "]") && --bdepth == 0) break;
+        ++k;
+      }
+      std::size_t j = k + 1;
+      if (j <= close && is_punct(tokens[j], "(")) {
+        j = match_paren(tokens, j) + 1;
+      }
+      while (j <= close) {
+        if (tokens[j].kind == Token::Kind::Ident) {
+          if (j + 1 <= close && is_punct(tokens[j + 1], "(")) {
+            j = match_paren(tokens, j + 1) + 1;
+          } else {
+            ++j;
+          }
+          continue;
+        }
+        if (is_punct(tokens[j], "->")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (j <= close && is_punct(tokens[j], "{")) {
+        const std::size_t lam_close = match_brace(tokens, j);
+        if (lam_close + 1 <= close && is_punct(tokens[lam_close + 1], "(")) {
+          // Immediately-invoked lambda: the body runs inline (e.g. a
+          // thread_local initializer), so its acquisitions happen under
+          // whatever the caller holds — scan it in the current context.
+          i = k + 1;
+          continue;
+        }
+        const std::string lam_name =
+            "<lambda#" + std::to_string(++build.lambda_count) + ">";
+        parse_body(unit, j, lam_close, cls, display + lam_name,
+                   {std::string(), lam_name}, env, tables, build);
+        i = lam_close + 1;
+        continue;
+      }
+    }
+
+    // MutexLock acquisition: `MutexLock <var> ( expr )` or `{ expr }`.
+    if (is_ident(t, "MutexLock") && i + 2 <= close &&
+        tokens[i + 1].kind == Token::Kind::Ident &&
+        (is_punct(tokens[i + 2], "(") || is_punct(tokens[i + 2], "{"))) {
+      const std::string var = tokens[i + 1].text;
+      const std::size_t expr_open = i + 2;
+      const std::size_t expr_close = is_punct(tokens[expr_open], "(")
+                                         ? match_paren(tokens, expr_open)
+                                         : match_brace(tokens, expr_open);
+      const std::string id = resolve_mutex_expr(
+          tokens, expr_open + 1, expr_close, unit, cls, env, tables);
+      if (id.empty()) {
+        std::string expr;
+        for (std::size_t k = expr_open + 1; k < expr_close; ++k) {
+          if (!expr.empty()) expr += ' ';
+          expr += tokens[k].text;
+        }
+        build.findings.push_back(
+            {"lock-order", unit.file->path, t.line,
+             "cannot resolve the mutex in `MutexLock " + var + "(" + expr +
+                 ")` (in " + display +
+                 ") to a declared support::Mutex — the lock graph would be "
+                 "incomplete"});
+        windows.push_back({var, std::string(), depth, false});
+      } else {
+        add_edges_for(id, t.line);
+        windows.push_back({var, id, depth, true});
+      }
+      i = expr_close + 1;
+      continue;
+    }
+
+    // Manual window control: `<var>.unlock()` ends the hold,
+    // `<var>.lock()` re-opens it (a fresh acquisition for ordering).
+    if (t.kind == Token::Kind::Ident && i + 3 <= close &&
+        is_punct(tokens[i + 1], ".") &&
+        (is_ident(tokens[i + 2], "unlock") ||
+         is_ident(tokens[i + 2], "lock")) &&
+        is_punct(tokens[i + 3], "(")) {
+      Window* w = nullptr;
+      for (auto it = windows.rbegin(); it != windows.rend(); ++it) {
+        if (it->var == t.text) {
+          w = &*it;
+          break;
+        }
+      }
+      if (w != nullptr) {
+        if (is_ident(tokens[i + 2], "unlock")) {
+          w->active = false;
+        } else {
+          if (!w->identity.empty()) add_edges_for(w->identity, t.line);
+          w->active = true;
+        }
+        i = match_paren(tokens, i + 3) + 1;
+        continue;
+      }
+    }
+
+    // Declared macro expansions: the config names the functions a macro
+    // invokes (OBS_* go through the metrics registry, FAULT_POINT through
+    // the site registry), so locks taken inside count.
+    if (t.kind == Token::Kind::Ident && tables.macro_calls != nullptr) {
+      const auto mi = tables.macro_calls->find(t.text);
+      if (mi != tables.macro_calls->end()) {
+        for (const std::string& target : mi->second) {
+          const std::size_t sep = target.rfind("::");
+          CallSite call;
+          if (sep == std::string::npos) {
+            call.name = target;
+          } else {
+            call.hint = target.substr(0, sep);
+            call.name = target.substr(sep + 2);
+          }
+          call.caller_cls = cls;
+          call.held = held();
+          call.file = unit.file->path;
+          call.line = t.line;
+          info.calls.push_back(std::move(call));
+        }
+        ++i;
+        continue;
+      }
+    }
+
+    // Local declaration: remember `Type name =/;/:` for receiver typing.
+    if (t.kind == Token::Kind::Ident && i + 1 <= close &&
+        (is_punct(tokens[i + 1], "=") || is_punct(tokens[i + 1], ";") ||
+         is_punct(tokens[i + 1], ":"))) {
+      std::vector<std::string> types;
+      for (std::size_t k = stmt_start; k < i; ++k) {
+        if (tokens[k].kind == Token::Kind::Ident &&
+            !is_type_noise_ident(tokens[k].text)) {
+          types.push_back(tokens[k].text);
+        }
+      }
+      if (!types.empty()) env[t.text] = std::move(types);
+    }
+
+    // Generic call.
+    if (t.kind == Token::Kind::Ident && !is_keyword_head(t.text) &&
+        i + 1 <= close && is_punct(tokens[i + 1], "(")) {
+      const Token& prev = tokens[i - 1];
+      const bool decl_like =
+          (prev.kind == Token::Kind::Ident &&
+           !is_expr_context_ident(prev.text)) ||
+          is_punct(prev, "~") || is_punct(prev, ">");
+      if (!decl_like) {
+        CallSite call;
+        call.name = t.text;
+        call.caller_cls = cls;
+        if (is_punct(prev, ".") || is_punct(prev, "->")) {
+          call.hint = member_call_hint(tokens, i, cls, env, tables, t.text);
+        } else if (is_punct(prev, "::") && i >= 2 &&
+                   tokens[i - 2].kind == Token::Kind::Ident) {
+          call.hint = tokens[i - 2].text;
+        }
+        call.held = held();
+        call.file = unit.file->path;
+        call.line = t.line;
+        info.calls.push_back(std::move(call));
+      }
+    }
+
+    if (is_punct(t, ";") || is_punct(t, ",") || is_punct(t, "(")) {
+      stmt_start = i + 1;
+    }
+    ++i;
+  }
+}
+
+void parse_body(const FileUnit& unit, std::size_t open, std::size_t close,
+                const std::string& cls, const std::string& display,
+                const FuncKey& key, Env env, LockTables& tables,
+                LockBuild& build) {
+  walk_body(unit, open, close, cls, display, key, env, tables, build);
+}
+
+/// Parameter list of a function definition -> initial local environment.
+Env params_env(const std::vector<Token>& tokens, const FunctionDef& def) {
+  Env env;
+  const std::size_t open = def.header + 1;
+  const std::size_t close = match_paren(tokens, open);
+  std::size_t start = open + 1;
+  int depth = 0;
+  for (std::size_t i = open + 1; i <= close && i < tokens.size(); ++i) {
+    const bool last = i == close;
+    if (is_punct(tokens[i], "(") || is_punct(tokens[i], "[") ||
+        is_punct(tokens[i], "{") || is_punct(tokens[i], "<")) {
+      ++depth;
+    } else if (is_punct(tokens[i], ")") || is_punct(tokens[i], "]") ||
+               is_punct(tokens[i], "}") || is_punct(tokens[i], ">")) {
+      --depth;
+    }
+    if (!last && !(depth == 0 && is_punct(tokens[i], ","))) continue;
+    // Parameter tokens [start, i): name = last ident before '=' if any.
+    std::size_t end = i;
+    for (std::size_t k = start; k < end; ++k) {
+      if (is_punct(tokens[k], "=")) {
+        end = k;
+        break;
+      }
+    }
+    std::size_t name_idx = end;
+    while (name_idx-- > start) {
+      if (tokens[name_idx].kind == Token::Kind::Ident) break;
+    }
+    if (name_idx > start && name_idx < end) {
+      std::vector<std::string> types;
+      for (std::size_t k = start; k < name_idx; ++k) {
+        if (tokens[k].kind == Token::Kind::Ident &&
+            !is_type_noise_ident(tokens[k].text)) {
+          types.push_back(tokens[k].text);
+        }
+      }
+      if (!types.empty()) env[tokens[name_idx].text] = std::move(types);
+    }
+    start = i + 1;
+  }
+  return env;
+}
+
+}  // namespace
+
+LockAnalysis analyze_locks(const std::vector<FileContent>& files,
+                           const Config& config) {
+  LockAnalysis result;
+  const std::vector<FileUnit> units = build_units(files);
+
+  // Pass A: declarations and type tables.
+  LockTables tables;
+  tables.macro_calls = &config.macro_calls;
+  std::vector<MutexDecl> decls;
+  std::map<std::string, std::map<std::string, std::string>> locals_by_file;
+  for (const FileUnit& unit : units) {
+    collect_member_types(unit, &tables.member_types);
+    std::map<std::string, std::string> locals;
+    collect_mutex_decls(unit, &decls, &locals);
+    if (!locals.empty()) tables.file_locals[unit.file->path] = locals;
+    for (const TokenClassSpan& span : unit.spans) {
+      if (!span.name.empty()) tables.known_classes.insert(span.name);
+    }
+    for (const FunctionDef& def : unit.funcs) {
+      if (!def.cls.empty()) tables.member_funcs[def.name].insert(def.cls);
+    }
+  }
+  std::map<std::string, const MutexDecl*> by_identity;
+  for (const MutexDecl& d : decls) {
+    const auto [it, inserted] = by_identity.emplace(d.identity, &d);
+    if (!inserted) {
+      result.findings.push_back(
+          {"lock-order", d.file, d.line,
+           "mutex identity '" + d.identity + "' is ambiguous (also " +
+               it->second->file + ":" + std::to_string(it->second->line) +
+               ") — rename one so ranks stay unique"});
+      continue;
+    }
+    if (!d.cls.empty()) {
+      tables.member_mutex[d.cls][d.var].push_back(d.identity);
+    }
+    tables.any_mutex_member[d.var].push_back(d.identity);
+    result.display[d.identity] = d.display;
+  }
+
+  // Pass B: function bodies.
+  LockBuild build;
+  for (const FileUnit& unit : units) {
+    for (const FunctionDef& def : unit.funcs) {
+      const std::string display =
+          (def.cls.empty() ? def.name : def.cls + "::" + def.name);
+      parse_body(unit, def.open, def.close, def.cls, display,
+                 {def.cls, def.name}, params_env(unit.tokens, def), tables,
+                 build);
+    }
+  }
+  for (Finding& f : build.findings) result.findings.push_back(std::move(f));
+
+  // Call resolution + transitive lock-set fixpoint.
+  std::map<std::string, std::vector<FuncKey>> by_name;
+  for (const auto& [key, info] : build.funcs) {
+    by_name[key.second].push_back(key);
+  }
+  // Member names so generic (smart pointers, containers, iterators) that
+  // an untyped receiver must not be matched to a project class's member.
+  static const std::set<std::string> kCommonMembers = {
+      "get",    "reset",  "size",   "empty", "begin",      "end",
+      "clear",  "find",   "count",  "insert", "erase",     "at",
+      "data",   "str",    "c_str",  "swap",  "release",    "load",
+      "store",  "wait",   "join",   "detach", "value",     "push_back",
+      "emplace_back",     "front",  "back",  "notify_one", "notify_all",
+      "has_value",        "lock",   "unlock", "try_lock",  "emplace"};
+  const auto resolve_call = [&](const CallSite& call) {
+    std::vector<FuncKey> targets;
+    if (call.hint == "*") {
+      // Unknown receiver type: only resolve when the member name is
+      // project-specific and unambiguous (defined in exactly one class).
+      if (kCommonMembers.count(call.name) != 0) return targets;
+      const auto it = by_name.find(call.name);
+      if (it != by_name.end()) {
+        std::vector<FuncKey> members;
+        for (const FuncKey& k : it->second) {
+          if (!k.first.empty()) members.push_back(k);
+        }
+        if (members.size() == 1) targets = std::move(members);
+      }
+    } else if (call.hint.empty()) {
+      const FuncKey self{call.caller_cls, call.name};
+      const FuncKey free{std::string(), call.name};
+      if (!call.caller_cls.empty() && build.funcs.count(self) != 0) {
+        targets.push_back(self);
+      } else if (build.funcs.count(free) != 0) {
+        targets.push_back(free);
+      }
+    } else {
+      const FuncKey key{call.hint, call.name};
+      if (build.funcs.count(key) != 0) targets.push_back(key);
+    }
+    return targets;
+  };
+
+  std::map<FuncKey, std::set<std::string>> trans;
+  for (const auto& [key, info] : build.funcs) trans[key] = info.direct;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [key, info] : build.funcs) {
+      std::set<std::string>& mine = trans[key];
+      for (const CallSite& call : info.calls) {
+        for (const FuncKey& target : resolve_call(call)) {
+          for (const std::string& l : trans[target]) {
+            if (mine.insert(l).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Edges from calls made while holding locks.
+  for (const auto& [key, info] : build.funcs) {
+    for (const CallSite& call : info.calls) {
+      if (call.held.empty()) continue;
+      for (const FuncKey& target : resolve_call(call)) {
+        for (const std::string& l : trans[target]) {
+          for (const std::string& h : call.held) {
+            const auto edge_key = std::make_pair(h, l);
+            if (build.edges.count(edge_key) == 0) {
+              const std::string callee =
+                  target.first.empty() ? target.second
+                                       : target.first + "::" + target.second;
+              build.edges[edge_key] = {call.file, call.line,
+                                       "call to " + callee};
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Public edge list (sorted by map order already).
+  for (const auto& [key, raw] : build.edges) {
+    result.edges.push_back({key.first, key.second,
+                            raw.file + ":" + std::to_string(raw.line) + " (" +
+                                raw.context + ")"});
+  }
+  for (const auto& [id, decl] : by_identity) {
+    (void)decl;
+    result.locks.push_back(id);
+  }
+
+  // Cycle detection: iterative Tarjan SCC over the lock graph.
+  {
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [key, raw] : build.edges) {
+      (void)raw;
+      adj[key.first].push_back(key.second);
+      if (key.first == key.second) continue;
+    }
+    std::map<std::string, int> index, lowlink;
+    std::set<std::string> on_stack;
+    std::vector<std::string> stack;
+    int next_index = 0;
+    std::vector<std::vector<std::string>> cycles;
+
+    struct Frame {
+      std::string node;
+      std::size_t child = 0;
+    };
+    for (const std::string& start : result.locks) {
+      if (index.count(start) != 0) continue;
+      std::vector<Frame> frames{{start, 0}};
+      while (!frames.empty()) {
+        Frame& f = frames.back();
+        const std::string node = f.node;
+        if (f.child == 0) {
+          index[node] = lowlink[node] = next_index++;
+          stack.push_back(node);
+          on_stack.insert(node);
+        }
+        const auto ai = adj.find(node);
+        bool descended = false;
+        while (ai != adj.end() && f.child < ai->second.size()) {
+          const std::string& next = ai->second[f.child++];
+          if (index.count(next) == 0) {
+            frames.push_back({next, 0});
+            descended = true;
+            break;
+          }
+          if (on_stack.count(next) != 0) {
+            lowlink[node] = std::min(lowlink[node], index[next]);
+          }
+        }
+        if (descended) continue;
+        if (lowlink[node] == index[node]) {
+          std::vector<std::string> scc;
+          while (true) {
+            const std::string top = stack.back();
+            stack.pop_back();
+            on_stack.erase(top);
+            scc.push_back(top);
+            if (top == node) break;
+          }
+          const bool self_loop =
+              scc.size() == 1 && build.edges.count({node, node}) != 0;
+          if (scc.size() > 1 || self_loop) {
+            std::sort(scc.begin(), scc.end());
+            cycles.push_back(std::move(scc));
+          }
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          Frame& parent = frames.back();
+          lowlink[parent.node] =
+              std::min(lowlink[parent.node], lowlink[node]);
+        }
+      }
+    }
+    for (const std::vector<std::string>& scc : cycles) {
+      const std::set<std::string> members(scc.begin(), scc.end());
+      std::string msg = "potential deadlock: lock-order cycle among {";
+      for (std::size_t k = 0; k < scc.size(); ++k) {
+        if (k != 0) msg += ", ";
+        const auto di = result.display.find(scc[k]);
+        msg += di == result.display.end() ? scc[k] : di->second;
+      }
+      msg += "}:";
+      std::string file;
+      std::size_t line = 0;
+      for (const auto& [key, raw] : build.edges) {
+        if (members.count(key.first) == 0 || members.count(key.second) == 0) {
+          continue;
+        }
+        msg += " " + key.first + " -> " + key.second + " (" + raw.file + ":" +
+               std::to_string(raw.line) + " in " + raw.context + ");";
+        if (file.empty()) {
+          file = raw.file;
+          line = raw.line;
+        }
+      }
+      result.findings.push_back({"lock-order", file, line, msg});
+    }
+  }
+
+  const bool graph_sound =
+      std::none_of(result.findings.begin(), result.findings.end(),
+                   [](const Finding& f) { return f.rule == "lock-order"; });
+
+  // Ranks: topological longest path over the acyclic graph.
+  if (graph_sound) {
+    std::map<std::string, std::vector<std::string>> adj;
+    std::map<std::string, int> indeg;
+    for (const std::string& id : result.locks) indeg[id] = 0;
+    for (const auto& [key, raw] : build.edges) {
+      (void)raw;
+      adj[key.first].push_back(key.second);
+      ++indeg[key.second];
+    }
+    std::vector<std::string> ready;
+    std::map<std::string, int> level;
+    for (const auto& [id, deg] : indeg) {
+      if (deg == 0) {
+        ready.push_back(id);
+        level[id] = 0;
+      }
+    }
+    while (!ready.empty()) {
+      const std::string node = ready.back();
+      ready.pop_back();
+      for (const std::string& next : adj[node]) {
+        level[next] = std::max(level[next], level[node] + 1);
+        if (--indeg[next] == 0) ready.push_back(next);
+      }
+    }
+    for (const std::string& id : result.locks) {
+      result.rank[id] = (level[id] + 1) * 10;
+    }
+  }
+
+  // Runtime cross-check: every declaration must bind its LockRank constant.
+  for (const MutexDecl& d : decls) {
+    const std::string expected = "k_" + d.identity;
+    if (d.bound.empty()) {
+      result.findings.push_back(
+          {"lock-rank", d.file, d.line,
+           "mutex '" + d.display +
+               "' does not bind its lock rank — declare it as "
+               "support::Mutex{support::LockRank::" +
+               expected +
+               "} and regenerate src/support/lock_ranks.inc with "
+               "`ivt-analyze --emit-ranks`"});
+    } else if (d.bound != expected) {
+      result.findings.push_back(
+          {"lock-rank", d.file, d.line,
+           "mutex '" + d.display + "' binds LockRank::" + d.bound +
+               " but its identity is '" + d.identity +
+               "' — it must bind LockRank::" + expected});
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return result;
+}
+
+std::string ranks_to_inc(const LockAnalysis& locks) {
+  if (locks.rank.empty() && !locks.locks.empty()) return "";
+  std::vector<std::pair<int, std::string>> order;
+  for (const std::string& id : locks.locks) {
+    const auto ri = locks.rank.find(id);
+    order.emplace_back(ri == locks.rank.end() ? 0 : ri->second, id);
+  }
+  std::sort(order.begin(), order.end());
+  std::string out;
+  out +=
+      "// Generated by ivt-analyze --emit-ranks. DO NOT EDIT.\n"
+      "//\n"
+      "// Rank = (topological level in the static lock-acquisition graph\n"
+      "// + 1) * 10: a thread may only acquire strictly increasing ranks.\n"
+      "// CI regenerates this file and fails if it differs.\n"
+      "//\n"
+      "// IVT_LOCK_RANK(constant, rank, display-name)\n";
+  for (const auto& [rank, id] : order) {
+    const auto di = locks.display.find(id);
+    out += "IVT_LOCK_RANK(k_" + id + ", " + std::to_string(rank) + ", \"" +
+           (di == locks.display.end() ? id : di->second) + "\")\n";
+  }
+  return out;
+}
+
+std::string lock_graph_dot(const LockAnalysis& locks) {
+  std::string out = "digraph locks {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const std::string& id : locks.locks) {
+    const auto di = locks.display.find(id);
+    const auto ri = locks.rank.find(id);
+    out += "  \"" + id + "\" [label=\"" +
+           (di == locks.display.end() ? id : di->second);
+    if (ri != locks.rank.end()) {
+      out += "\\nrank " + std::to_string(ri->second);
+    }
+    out += "\"];\n";
+  }
+  for (const LockAnalysis::Edge& e : locks.edges) {
+    out += "  \"" + e.from + "\" -> \"" + e.to + "\" [label=\"" + e.via +
+           "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+// ---- whole-run driver ---------------------------------------------------
+
+Analysis run_analysis(const std::vector<FileContent>& files,
+                      const Config& config, const LayersConfig& layers,
+                      const std::string& registry_content) {
+  Analysis analysis;
+  analysis.report = run_rules(files, config, registry_content);
+  analysis.includes = build_include_graph(files);
+  analysis.locks = analyze_locks(files, config);
+
+  std::vector<Finding> global;
+  if (!layers.layers.empty()) {
+    for (Finding& f : check_layering(analysis.includes, layers)) {
+      global.push_back(std::move(f));
+    }
+  }
+  for (Finding& f : check_error_taxonomy(files, config)) {
+    global.push_back(std::move(f));
+  }
+  for (const Finding& f : analysis.locks.findings) global.push_back(f);
+
+  for (Finding& f : global) {
+    if (!f.file.empty() && is_exempt(config, f.rule, f.file)) {
+      ++analysis.report.exempted;
+      continue;
+    }
+    ++analysis.report.by_rule[f.rule];
+    analysis.report.findings.push_back(std::move(f));
+  }
+  std::sort(analysis.report.findings.begin(), analysis.report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  const auto li = analysis.report.by_rule.find("layering");
+  analysis.layer_violations =
+      li == analysis.report.by_rule.end() ? 0 : li->second;
+  return analysis;
+}
+
+std::string analysis_to_json(const Analysis& analysis) {
+  std::string out = "{\"findings\": " +
+                    std::to_string(analysis.report.findings.size()) +
+                    ", \"exempted\": " +
+                    std::to_string(analysis.report.exempted) +
+                    ", \"by_rule\": {";
+  bool first = true;
+  for (const auto& [rule, count] : analysis.report.by_rule) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + rule + "\": " + std::to_string(count);
+  }
+  out += "}, \"include_edges\": " +
+         std::to_string(analysis.includes.edges.size()) +
+         ", \"layer_violations\": " +
+         std::to_string(analysis.layer_violations) +
+         ", \"lock_graph_nodes\": " +
+         std::to_string(analysis.locks.locks.size()) +
+         ", \"lock_graph_edges\": " +
+         std::to_string(analysis.locks.edges.size()) + "}";
+  return out;
+}
+
+// ---- CLI ----------------------------------------------------------------
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
+
+void collect_sources(const std::string& root,
+                     std::vector<FileContent>* files,
+                     std::vector<std::string>* errors) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status status = fs::status(root, ec);
+  if (ec) {
+    errors->push_back("ivt-analyze: cannot stat " + root + ": " +
+                      ec.message());
+    return;
+  }
+  std::vector<std::string> paths;
+  if (fs::is_directory(status)) {
+    for (fs::recursive_directory_iterator it(root, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file()) continue;
+      const std::string p = it->path().generic_string();
+      if (ends_with(p, ".cpp") || ends_with(p, ".hpp")) paths.push_back(p);
+    }
+    if (ec) {
+      errors->push_back("ivt-analyze: cannot walk " + root + ": " +
+                        ec.message());
+      return;
+    }
+  } else {
+    paths.push_back(root);
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& p : paths) {
+    std::string content;
+    if (!read_file(p, &content)) {
+      errors->push_back("ivt-analyze: cannot read " + p);
+      continue;
+    }
+    files->push_back({p, std::move(content)});
+  }
+}
+
+}  // namespace
+
+int analyze_main(const std::vector<std::string>& args) {
+  std::string config_path, layers_path, registry_override;
+  std::string dot_includes_path, dot_locks_path;
+  bool json = false, emit_ranks = false;
+  std::vector<std::string> roots;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::cerr << "ivt-analyze: " << flag << " requires a value\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "--config") {
+      const std::string* v = value("--config");
+      if (v == nullptr) return 2;
+      config_path = *v;
+    } else if (a == "--layers") {
+      const std::string* v = value("--layers");
+      if (v == nullptr) return 2;
+      layers_path = *v;
+    } else if (a == "--registry") {
+      const std::string* v = value("--registry");
+      if (v == nullptr) return 2;
+      registry_override = *v;
+    } else if (a == "--dot-includes") {
+      const std::string* v = value("--dot-includes");
+      if (v == nullptr) return 2;
+      dot_includes_path = *v;
+    } else if (a == "--dot-locks") {
+      const std::string* v = value("--dot-locks");
+      if (v == nullptr) return 2;
+      dot_locks_path = *v;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--emit-ranks") {
+      emit_ranks = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: ivt-analyze [--config F] [--layers F] "
+                   "[--registry F] [--json]\n"
+                   "                   [--emit-ranks] [--dot-includes F] "
+                   "[--dot-locks F] PATH...\n";
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "ivt-analyze: unknown flag " << a << "\n";
+      return 2;
+    } else {
+      roots.push_back(a);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "ivt-analyze: no input paths (try: ivt-analyze --config "
+                 "tools/ivt-lint.conf --layers tools/ivt-layers.conf src)\n";
+    return 2;
+  }
+
+  Config config;
+  if (!config_path.empty()) {
+    std::string content;
+    if (!read_file(config_path, &content)) {
+      std::cerr << "ivt-analyze: cannot read config " << config_path << "\n";
+      return 2;
+    }
+    std::vector<std::string> errors;
+    config = parse_config(content, &errors);
+    for (const std::string& e : errors) {
+      std::cerr << "ivt-analyze: " << config_path << ": " << e << "\n";
+    }
+    if (!errors.empty()) return 2;
+  }
+
+  LayersConfig layers;
+  if (!layers_path.empty()) {
+    std::string content;
+    if (!read_file(layers_path, &content)) {
+      std::cerr << "ivt-analyze: cannot read layers " << layers_path << "\n";
+      return 2;
+    }
+    std::vector<std::string> errors;
+    layers = parse_layers(content, &errors);
+    for (const std::string& e : errors) {
+      std::cerr << "ivt-analyze: " << layers_path << ": " << e << "\n";
+    }
+    if (!errors.empty()) return 2;
+  }
+
+  if (!registry_override.empty()) config.registry_path = registry_override;
+  std::string registry_content;
+  if (!config.registry_path.empty() &&
+      !read_file(config.registry_path, &registry_content)) {
+    std::cerr << "ivt-analyze: cannot read registry " << config.registry_path
+              << "\n";
+    return 2;
+  }
+
+  std::vector<FileContent> files;
+  std::vector<std::string> io_errors;
+  for (const std::string& root : roots) {
+    collect_sources(root, &files, &io_errors);
+  }
+  for (const std::string& e : io_errors) std::cerr << e << "\n";
+  if (!io_errors.empty()) return 2;
+
+  const Analysis analysis =
+      run_analysis(files, config, layers, registry_content);
+
+  if (!dot_includes_path.empty() &&
+      !write_file(dot_includes_path, include_graph_dot(analysis.includes,
+                                                       layers))) {
+    std::cerr << "ivt-analyze: cannot write " << dot_includes_path << "\n";
+    return 2;
+  }
+  if (!dot_locks_path.empty() &&
+      !write_file(dot_locks_path, lock_graph_dot(analysis.locks))) {
+    std::cerr << "ivt-analyze: cannot write " << dot_locks_path << "\n";
+    return 2;
+  }
+
+  std::ostream& findings_out = (json || emit_ranks) ? std::cerr : std::cout;
+  for (const Finding& f : analysis.report.findings) {
+    findings_out << f.file;
+    if (f.line != 0) findings_out << ":" << f.line;
+    findings_out << ": [" << f.rule << "] " << f.message << "\n";
+  }
+
+  if (emit_ranks) {
+    const std::string inc = ranks_to_inc(analysis.locks);
+    if (inc.empty() && !analysis.locks.locks.empty()) {
+      std::cerr << "ivt-analyze: lock graph has findings; ranks not "
+                   "emitted\n";
+      return 1;
+    }
+    std::cout << inc;
+  } else if (json) {
+    std::cout << analysis_to_json(analysis) << "\n";
+  } else if (!analysis.report.findings.empty()) {
+    findings_out << analysis.report.findings.size() << " finding(s), "
+                 << analysis.report.exempted << " exempted\n";
+  }
+  return analysis.report.findings.empty() ? 0 : 1;
+}
+
+}  // namespace ivt::lint

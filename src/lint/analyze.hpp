@@ -1,0 +1,143 @@
+// ivt-analyze: whole-program passes over the tokenized tree.
+//
+// On top of the per-file rules in lint/lint.hpp, the analyzer builds two
+// graphs from the token streams and checks three global contracts:
+//
+//   layering         src/ modules form a declared DAG (tools/
+//                    ivt-layers.conf lists layers bottom-up); a module
+//                    may only include modules in strictly lower layers
+//                    (or itself). Any back-edge or same-layer edge is a
+//                    finding, as is an undeclared module.
+//   lock-order       Every support::MutexLock acquisition scope is
+//                    extracted per function; acquisitions made while
+//                    other locks are held, plus lock sets propagated
+//                    through direct calls, form a lock-acquisition
+//                    graph. A cycle is a potential deadlock. Lambda
+//                    bodies are analyzed as separate anonymous functions
+//                    (their execution is deferred, so lexical nesting
+//                    does not order their locks under the creator's).
+//   error-taxonomy   Every errors::Category thrown anywhere (IVT_THROW /
+//                    IVT_THROW_FATAL / direct Error construction) must
+//                    be switched on in each `error-table` anchor
+//                    function (the CLI exit-code table and the serve
+//                    wire-category mapper), so a new category can never
+//                    silently fall into a default branch.
+//
+// The acyclic lock graph doubles as the source of truth for the runtime
+// cross-check: --emit-ranks renders src/support/lock_ranks.inc (rank =
+// (topological level + 1) * 10), and the analyzer verifies every
+// support::Mutex declaration binds its generated LockRank constant, so
+// the static graph and the runtime rank checker cannot drift apart.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace ivt::lint {
+
+// ---- module layering ----------------------------------------------------
+
+/// Parsed tools/ivt-layers.conf: `layer <module>...` lines, bottom-most
+/// layer first. '#' starts a comment.
+struct LayersConfig {
+  std::vector<std::vector<std::string>> layers;  ///< bottom-up
+  std::map<std::string, std::size_t> level;      ///< module -> layer index
+};
+LayersConfig parse_layers(const std::string& content,
+                          std::vector<std::string>* errors = nullptr);
+
+/// `src/<module>/...` -> module; for fixture trees any `.../src/<m>/...`
+/// works. Files with no module (no src/ component, flat path) map to "".
+std::string module_of(const std::string& path);
+
+/// One quoted project include, aggregated per (from, to) module pair.
+struct IncludeEdge {
+  std::string from_module;
+  std::string to_module;
+  std::size_t count = 0;   ///< number of include sites
+  std::string via_file;    ///< witness site
+  std::size_t via_line = 0;
+};
+
+struct IncludeGraph {
+  std::set<std::string> modules;    ///< every module seen in the file set
+  std::vector<IncludeEdge> edges;   ///< deduped, sorted, self-edges dropped
+};
+
+IncludeGraph build_include_graph(const std::vector<FileContent>& files);
+
+std::vector<Finding> check_layering(const IncludeGraph& graph,
+                                    const LayersConfig& layers);
+
+/// Graphviz digraph of the module include graph, clustered by layer.
+std::string include_graph_dot(const IncludeGraph& graph,
+                              const LayersConfig& layers);
+
+// ---- error-taxonomy exhaustiveness --------------------------------------
+
+/// For each config `error-table` anchor function, every Category thrown
+/// anywhere in the file set must appear in that function's body.
+std::vector<Finding> check_error_taxonomy(const std::vector<FileContent>& files,
+                                          const Config& config);
+
+// ---- lock-order analysis ------------------------------------------------
+
+/// Results of the whole-program lock pass. Lock identities are
+/// `<module>_<Class>_<member>` for mutex members and
+/// `<module>_<filestem>_<name>` for function/namespace-scope mutexes.
+struct LockAnalysis {
+  struct Edge {
+    std::string from;  ///< identity held first
+    std::string to;    ///< identity acquired under it
+    std::string via;   ///< witness: "file:line (function)"
+  };
+  std::vector<std::string> locks;   ///< all identities, sorted
+  std::map<std::string, std::string> display;  ///< identity -> a::b::c form
+  std::vector<Edge> edges;          ///< deduped, sorted
+  std::map<std::string, int> rank;  ///< identity -> rank; empty on cycles
+  std::vector<Finding> findings;    ///< lock-order + lock-rank findings
+};
+
+/// `config` supplies macro-call edges (OBS_* macros expand to registry
+/// calls the tokenizer cannot see). Files under src/support/ contribute
+/// no rules findings but their function bodies still feed the call graph.
+LockAnalysis analyze_locks(const std::vector<FileContent>& files,
+                           const Config& config);
+
+/// Renders src/support/lock_ranks.inc: one
+/// `IVT_LOCK_RANK(k_<identity>, <rank>, "<display>")` per lock, sorted
+/// by (rank, identity). Empty string when the graph has cycles.
+std::string ranks_to_inc(const LockAnalysis& locks);
+
+/// Graphviz digraph of the lock-acquisition graph with rank labels.
+std::string lock_graph_dot(const LockAnalysis& locks);
+
+// ---- whole-run driver ---------------------------------------------------
+
+struct Analysis {
+  Report report;          ///< per-file + whole-program findings, post-exemption
+  IncludeGraph includes;
+  LockAnalysis locks;
+  std::size_t layer_violations = 0;  ///< post-exemption "layering" count
+};
+
+Analysis run_analysis(const std::vector<FileContent>& files,
+                      const Config& config, const LayersConfig& layers,
+                      const std::string& registry_content);
+
+/// {"findings": N, "exempted": M, "by_rule": {...}, "include_edges": E,
+///  "layer_violations": V, "lock_graph_nodes": n, "lock_graph_edges": e}
+std::string analysis_to_json(const Analysis& analysis);
+
+/// Full CLI:
+///   ivt-analyze [--config F] [--layers F] [--registry F] [--json]
+///               [--emit-ranks] [--dot-includes F] [--dot-locks F] PATH...
+/// Directories are walked recursively for .cpp/.hpp files. Exit codes:
+/// 0 clean, 1 findings, 2 usage/config/IO error.
+int analyze_main(const std::vector<std::string>& args);
+
+}  // namespace ivt::lint

@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
 #include <map>
 #include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "lint/tokenizer.hpp"
 
 namespace ivt::lint {
 
@@ -121,12 +120,6 @@ std::string strip_source(const std::string& s, bool strip_strings) {
   return out;
 }
 
-std::size_t line_of(const std::string& s, std::size_t offset) {
-  return 1 + static_cast<std::size_t>(
-                 std::count(s.begin(), s.begin() + static_cast<long>(offset),
-                            '\n'));
-}
-
 std::string basename_of(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? path : path.substr(slash + 1);
@@ -143,50 +136,27 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// Class/struct body [open_brace, close_brace] spans, in document order.
-struct ClassSpan {
-  std::string name;
-  std::size_t open = 0;
-  std::size_t close = 0;
-};
-
-std::vector<ClassSpan> class_spans(const std::string& stripped) {
-  std::vector<ClassSpan> spans;
-  static const std::regex kClass(R"((?:^|[^\w])(class|struct)\s+(?:\w+\s+)*?(\w+)[^;{]*\{)");
-  for (std::sregex_iterator it(stripped.begin(), stripped.end(), kClass), end;
-       it != end; ++it) {
-    // `enum class` / `enum struct` are not record types.
-    const std::size_t kw = static_cast<std::size_t>(it->position(1));
-    static const std::regex kEnum(R"(enum\s*$)");
-    if (std::regex_search(stripped.substr(kw >= 8 ? kw - 8 : 0, kw >= 8 ? 8 : kw),
-                          kEnum)) {
-      continue;
-    }
-    ClassSpan span;
-    span.name = (*it)[2].str();
-    span.open = static_cast<std::size_t>(it->position(0)) + it->length(0) - 1;
-    int depth = 0;
-    std::size_t j = span.open;
-    for (; j < stripped.size(); ++j) {
-      if (stripped[j] == '{') ++depth;
-      if (stripped[j] == '}' && --depth == 0) break;
-    }
-    span.close = j;
-    spans.push_back(span);
-  }
-  return spans;
-}
-
-const ClassSpan* innermost_span(const std::vector<ClassSpan>& spans,
-                                std::size_t offset) {
-  const ClassSpan* best = nullptr;
-  for (const ClassSpan& s : spans) {
-    if (offset > s.open && offset < s.close &&
-        (best == nullptr || s.open > best->open)) {
-      best = &s;
+/// Token indices where each top-level argument of the call whose '(' is
+/// at `open` starts. Empty for `()`.
+std::vector<std::size_t> call_arg_starts(const std::vector<Token>& tokens,
+                                         std::size_t open) {
+  std::vector<std::size_t> starts;
+  const std::size_t close = match_paren(tokens, open);
+  if (close <= open + 1) return starts;
+  starts.push_back(open + 1);
+  int depth = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    if (is_punct(tokens[i], "(") || is_punct(tokens[i], "[") ||
+        is_punct(tokens[i], "{")) {
+      ++depth;
+    } else if (is_punct(tokens[i], ")") || is_punct(tokens[i], "]") ||
+               is_punct(tokens[i], "}")) {
+      --depth;
+    } else if (depth == 0 && is_punct(tokens[i], ",") && i + 1 < close) {
+      starts.push_back(i + 1);
     }
   }
-  return best;
+  return starts;
 }
 
 }  // namespace
@@ -230,6 +200,23 @@ Config parse_config(const std::string& content,
         errors->push_back("line " + std::to_string(lineno) +
                           ": metric-prefix needs <subsystem>");
       }
+    } else if (directive == "error-table") {
+      std::string function;
+      if (fields >> function) {
+        config.error_tables.push_back(std::move(function));
+      } else if (errors != nullptr) {
+        errors->push_back("line " + std::to_string(lineno) +
+                          ": error-table needs <function>");
+      }
+    } else if (directive == "macro-call") {
+      std::string macro;
+      std::string function;
+      if (fields >> macro >> function) {
+        config.macro_calls[macro].push_back(std::move(function));
+      } else if (errors != nullptr) {
+        errors->push_back("line " + std::to_string(lineno) +
+                          ": macro-call needs <MACRO> <function>");
+      }
     } else if (errors != nullptr) {
       errors->push_back("line " + std::to_string(lineno) +
                         ": unknown directive '" + directive + "'");
@@ -252,16 +239,33 @@ bool is_exempt(const Config& config, const std::string& rule,
 std::vector<Finding> check_bare_throw(const std::string& path,
                                       const std::string& content) {
   std::vector<Finding> findings;
-  const std::string stripped = strip_comments_and_strings(content);
-  static const std::regex kThrow(R"(throw\s+std\s*::\s*(\w+))");
-  for (std::sregex_iterator it(stripped.begin(), stripped.end(), kThrow), end;
-       it != end; ++it) {
-    findings.push_back(
-        {"bare-throw", path,
-         line_of(stripped, static_cast<std::size_t>(it->position(0))),
-         "bare `throw std::" + (*it)[1].str() +
-             "` — use IVT_THROW with an errors::Category so the failure "
-             "carries site and severity"});
+  const std::vector<Token> tokens = tokenize(content);
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (is_ident(tokens[i], "throw") && is_ident(tokens[i + 1], "std") &&
+        i + 3 < tokens.size() && is_punct(tokens[i + 2], "::") &&
+        tokens[i + 3].kind == Token::Kind::Ident) {
+      findings.push_back(
+          {"bare-throw", path, tokens[i].line,
+           "bare `throw std::" + tokens[i + 3].text +
+               "` — use IVT_THROW with an errors::Category so the failure "
+               "carries site and severity"});
+    }
+    // Bare assert() aborts with no taxonomy, no site, no message; use
+    // IVT_THROW(Internal, ...) or IVT_THROW_FATAL so the failure is
+    // attributable. (static_assert is a different identifier and fine.)
+    if (is_ident(tokens[i], "assert") && is_punct(tokens[i + 1], "(") &&
+        !(i > 0 && (is_punct(tokens[i - 1], "#") ||
+                    is_ident(tokens[i - 1], "undef") ||
+                    is_ident(tokens[i - 1], "ifdef") ||
+                    is_ident(tokens[i - 1], "defined") ||
+                    is_punct(tokens[i - 1], ".") ||
+                    is_punct(tokens[i - 1], "->") ||
+                    is_punct(tokens[i - 1], "::")))) {
+      findings.push_back(
+          {"bare-throw", path, tokens[i].line,
+           "bare `assert(...)` — use IVT_THROW(Internal, ...) or "
+           "IVT_THROW_FATAL so the failure carries site and severity"});
+    }
   }
   return findings;
 }
@@ -269,33 +273,61 @@ std::vector<Finding> check_bare_throw(const std::string& path,
 std::vector<Finding> check_mutex_guard(const std::string& path,
                                        const std::string& content) {
   std::vector<Finding> findings;
-  const std::string stripped = strip_comments_and_strings(content);
-  const std::vector<ClassSpan> spans = class_spans(stripped);
-  static const std::regex kMutexMember(
-      R"((std\s*::\s*mutex|support\s*::\s*Mutex)\s+(\w+)\s*;)");
-  for (std::sregex_iterator it(stripped.begin(), stripped.end(),
-                               kMutexMember),
-       end;
-       it != end; ++it) {
-    const std::size_t at = static_cast<std::size_t>(it->position(0));
-    const std::string type = (*it)[1].str();
-    const std::string name = (*it)[2].str();
-    const bool is_raw_std = type.find("std") != std::string::npos;
-    if (is_raw_std) {
-      findings.push_back({"mutex-guard", path, line_of(stripped, at),
+  const std::vector<Token> tokens = tokenize(content);
+  const std::vector<TokenClassSpan> spans = token_class_spans(tokens);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    // A mutex *declaration*: `std::mutex name ;` or `[support::] Mutex
+    // name ;` (any cv/storage tokens before the type are irrelevant).
+    bool raw_std = false;
+    std::size_t type_end = 0;
+    if (is_ident(tokens[i], "std") && i + 2 < tokens.size() &&
+        is_punct(tokens[i + 1], "::") && is_ident(tokens[i + 2], "mutex")) {
+      raw_std = true;
+      type_end = i + 2;
+    } else if (is_ident(tokens[i], "Mutex")) {
+      // Qualified forms other than support::Mutex are someone else's
+      // type; `class/struct/friend Mutex` is a declaration of the type.
+      if (i > 0 && is_punct(tokens[i - 1], "::") &&
+          !(i > 1 && is_ident(tokens[i - 2], "support"))) {
+        continue;
+      }
+      if (i > 0 && (is_ident(tokens[i - 1], "class") ||
+                    is_ident(tokens[i - 1], "struct") ||
+                    is_ident(tokens[i - 1], "friend"))) {
+        continue;
+      }
+      type_end = i;
+    } else {
+      continue;
+    }
+    if (type_end + 2 >= tokens.size() ||
+        tokens[type_end + 1].kind != Token::Kind::Ident ||
+        !is_punct(tokens[type_end + 2], ";")) {
+      continue;  // reference/pointer/parameter use, not a declaration
+    }
+    const std::string name = tokens[type_end + 1].text;
+    const std::size_t line = tokens[i].line;
+    if (raw_std) {
+      findings.push_back({"mutex-guard", path, line,
                           "raw std::mutex member '" + name +
                               "' — use support::Mutex so clang "
                               "-Wthread-safety can check the contract"});
     }
-    const ClassSpan* span = innermost_span(spans, at);
+    const TokenClassSpan* span = innermost_class(spans, i);
     if (span == nullptr) continue;  // local / namespace-scope object
-    const std::string body =
-        stripped.substr(span->open, span->close - span->open);
-    const std::regex guarded(R"(IVT(_PT)?_GUARDED_BY\s*\(\s*)" + name +
-                             R"(\s*\))");
-    if (!std::regex_search(body, guarded)) {
+    bool guarded = false;
+    for (std::size_t j = span->open; j < span->close && !guarded; ++j) {
+      if ((is_ident(tokens[j], "IVT_GUARDED_BY") ||
+           is_ident(tokens[j], "IVT_PT_GUARDED_BY")) &&
+          j + 3 < tokens.size() && is_punct(tokens[j + 1], "(") &&
+          is_ident(tokens[j + 2], name.c_str()) &&
+          is_punct(tokens[j + 3], ")")) {
+        guarded = true;
+      }
+    }
+    if (!guarded) {
       findings.push_back(
-          {"mutex-guard", path, line_of(stripped, at),
+          {"mutex-guard", path, line,
            "class '" + span->name + "' owns mutex '" + name +
                "' but no field is IVT_GUARDED_BY(" + name +
                ") — state what the mutex protects"});
@@ -307,22 +339,16 @@ std::vector<Finding> check_mutex_guard(const std::string& path,
 std::vector<Finding> check_include_hygiene(const std::string& path,
                                            const std::string& content) {
   std::vector<Finding> findings;
-  // Strip comments only: include paths live inside quotes.
-  const std::string stripped = strip_source(content, /*strip_strings=*/false);
-  static const std::regex kInclude(R"([ \t]*#[ \t]*include[ \t]*"([^"]+)\")");
   struct Inc {
     std::string target;
     std::size_t line;
     std::size_t index;
   };
   std::vector<Inc> includes;
-  for (std::sregex_iterator it(stripped.begin(), stripped.end(), kInclude),
-       end;
-       it != end; ++it) {
-    includes.push_back({(*it)[1].str(),
-                        line_of(stripped,
-                                static_cast<std::size_t>(it->position(0))),
-                        includes.size()});
+  for (const Token& t : tokenize(content)) {
+    if (t.kind == Token::Kind::IncludeQuoted) {
+      includes.push_back({t.text, t.line, includes.size()});
+    }
   }
   for (const Inc& inc : includes) {
     if (inc.target.compare(0, 3, "../") == 0 ||
@@ -353,12 +379,11 @@ std::vector<Finding> check_metric_names(
     const std::string& path, const std::string& content,
     const std::vector<std::string>& extra_prefixes) {
   std::vector<Finding> findings;
-  // Keep strings: the names under test are the string literals.
-  const std::string stripped = strip_source(content, /*strip_strings=*/false);
+  const std::vector<Token> tokens = tokenize(content);
 
-  const auto check_name = [&](const std::string& name, std::size_t at) {
+  const auto check_name = [&](const std::string& name, std::size_t line) {
     if (!is_valid_site_name(name)) {
-      findings.push_back({"metric-name", path, line_of(stripped, at),
+      findings.push_back({"metric-name", path, line,
                           "metric/event name '" + name +
                               "' does not match the grammar seg(.seg)+, "
                               "seg = [a-z0-9_]+"});
@@ -373,33 +398,53 @@ std::vector<Finding> check_metric_names(
     for (const std::string& p : extra_prefixes) {
       if (subsystem == p) return;
     }
-    findings.push_back({"metric-name", path, line_of(stripped, at),
+    findings.push_back({"metric-name", path, line,
                         "metric/event name '" + name +
                             "' uses unregistered prefix '" + subsystem +
                             ".' — declare it with `metric-prefix " +
                             subsystem + "` in the lint config"});
   };
 
-  // Metric macros: the name is the string-literal first argument.
-  static const std::regex kMetricMacro(
-      R"re((?:OBS_COUNT|OBS_GAUGE_ADD|OBS_GAUGE_SET|OBS_HIST_MS|)re"
-      R"re(OBS_WINDOW_COUNT|OBS_WINDOW_HIST_MS)\s*\(\s*"([^"]+)")re");
-  for (std::sregex_iterator it(stripped.begin(), stripped.end(),
-                               kMetricMacro),
-       end;
-       it != end; ++it) {
-    check_name((*it)[1].str(), static_cast<std::size_t>(it->position(0)));
-  }
-  // Event sites: the name is the third argument of OBS_EVENT or of a
-  // direct EventRecord construction (the declaration itself has no
-  // literal there, so it never matches).
-  static const std::regex kEventSite(
-      R"re((?:OBS_EVENT|EventRecord(?:\s+\w+)?)\s*\(\s*[^,;]*,\s*[^,;]*,\s*)re"
-      R"re("([^"]+)")re");
-  for (std::sregex_iterator it(stripped.begin(), stripped.end(), kEventSite),
-       end;
-       it != end; ++it) {
-    check_name((*it)[1].str(), static_cast<std::size_t>(it->position(0)));
+  // The name at arg index `arg` of a macro/constructor call must be a
+  // (possibly concatenated) string literal; non-literal names are
+  // computed at runtime and out of lexical reach. Concatenated literals
+  // are joined first, so "serve." "accept" cannot evade the grammar.
+  const auto check_call = [&](std::size_t open, std::size_t arg,
+                              std::size_t line) {
+    const std::vector<std::size_t> args = call_arg_starts(tokens, open);
+    if (arg >= args.size()) return;
+    std::size_t at = args[arg];
+    std::string name;
+    if (read_string_concat(tokens, at, &name)) check_name(name, line);
+  };
+
+  static const char* kMetricMacros[] = {
+      "OBS_COUNT",        "OBS_GAUGE_ADD",      "OBS_GAUGE_SET",
+      "OBS_HIST_MS",      "OBS_WINDOW_COUNT",   "OBS_WINDOW_HIST_MS"};
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::Ident) continue;
+    // Metric macros: the name is the first argument.
+    for (const char* m : kMetricMacros) {
+      if (tokens[i].text == m && is_punct(tokens[i + 1], "(")) {
+        check_call(i + 1, 0, tokens[i].line);
+        break;
+      }
+    }
+    // Event sites: the name is the third argument of OBS_EVENT or of a
+    // direct EventRecord construction — `EventRecord(...)` or
+    // `EventRecord name(...)` (the constructor's own declaration has no
+    // literal there, so it never matches).
+    if (is_ident(tokens[i], "OBS_EVENT") && is_punct(tokens[i + 1], "(")) {
+      check_call(i + 1, 2, tokens[i].line);
+    } else if (is_ident(tokens[i], "EventRecord")) {
+      std::size_t open = i + 1;
+      if (open < tokens.size() && tokens[open].kind == Token::Kind::Ident) {
+        ++open;
+      }
+      if (open < tokens.size() && is_punct(tokens[open], "(")) {
+        check_call(open, 2, tokens[i].line);
+      }
+    }
   }
   return findings;
 }
@@ -442,23 +487,26 @@ std::vector<Finding> check_fault_sites(const std::vector<FileContent>& files,
     }
   }
 
-  // Code: every FAULT_POINT / FAULT_POINT_MUTATE use with a literal name.
+  // Code: every FAULT_POINT / FAULT_POINT_MUTATE use with a literal name
+  // (adjacent literals are concatenated first, so "serve." "accept"
+  // cannot evade the exactly-once check).
   struct Use {
     std::string file;
     std::size_t line;
   };
   std::map<std::string, std::vector<Use>> uses;
-  static const std::regex kSiteUse(
-      R"(FAULT_POINT(?:_MUTATE)?\s*\(\s*"([^"]+)\")");
   for (const FileContent& f : files) {
-    const std::string stripped = strip_source(f.content,
-                                              /*strip_strings=*/false);
-    for (std::sregex_iterator it(stripped.begin(), stripped.end(), kSiteUse),
-         end;
-         it != end; ++it) {
-      const std::string name = (*it)[1].str();
-      const std::size_t line =
-          line_of(stripped, static_cast<std::size_t>(it->position(0)));
+    const std::vector<Token> tokens = tokenize(f.content);
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (!(is_ident(tokens[i], "FAULT_POINT") ||
+            is_ident(tokens[i], "FAULT_POINT_MUTATE")) ||
+          !is_punct(tokens[i + 1], "(")) {
+        continue;
+      }
+      std::size_t at = i + 2;
+      std::string name;
+      if (!read_string_concat(tokens, at, &name)) continue;  // macro def
+      const std::size_t line = tokens[i].line;
       if (!is_valid_site_name(name)) {
         findings.push_back({"fault-site", f.path, line,
                             "site '" + name +
@@ -551,116 +599,6 @@ std::string report_to_json(const Report& report) {
   }
   out << "}}";
   return out.str();
-}
-
-int lint_main(const std::vector<std::string>& args) {
-  namespace fs = std::filesystem;
-  std::string config_path;
-  std::string registry_path;
-  bool json = false;
-  std::vector<std::string> roots;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& a = args[i];
-    if (a == "--config" && i + 1 < args.size()) {
-      config_path = args[++i];
-    } else if (a == "--registry" && i + 1 < args.size()) {
-      registry_path = args[++i];
-    } else if (a == "--json") {
-      json = true;
-    } else if (a == "--help") {
-      std::cout << "usage: ivt-lint [--config FILE] [--registry FILE] "
-                   "[--json] PATH...\n";
-      return 0;
-    } else if (!a.empty() && a[0] == '-') {
-      std::cerr << "ivt-lint: unknown option '" << a << "'\n";
-      return 2;
-    } else {
-      roots.push_back(a);
-    }
-  }
-  if (roots.empty()) {
-    std::cerr << "ivt-lint: no paths given (try --help)\n";
-    return 2;
-  }
-
-  auto read_file = [](const std::string& path, std::string& out) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return false;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    out = buf.str();
-    return true;
-  };
-
-  Config config;
-  if (!config_path.empty()) {
-    std::string content;
-    if (!read_file(config_path, content)) {
-      std::cerr << "ivt-lint: cannot read config " << config_path << "\n";
-      return 2;
-    }
-    std::vector<std::string> errors;
-    config = parse_config(content, &errors);
-    for (const std::string& e : errors) {
-      std::cerr << "ivt-lint: " << config_path << ": " << e << "\n";
-    }
-    if (!errors.empty()) return 2;
-  }
-  if (!registry_path.empty()) config.registry_path = registry_path;
-
-  std::vector<std::string> paths;
-  for (const std::string& root : roots) {
-    std::error_code ec;
-    if (fs::is_directory(root, ec)) {
-      for (fs::recursive_directory_iterator it(root, ec), end; it != end;
-           it.increment(ec)) {
-        if (ec) break;
-        if (!it->is_regular_file()) continue;
-        const std::string p = it->path().generic_string();
-        if (ends_with(p, ".cpp") || ends_with(p, ".hpp")) {
-          paths.push_back(p);
-        }
-      }
-    } else {
-      paths.push_back(root);
-    }
-  }
-  std::sort(paths.begin(), paths.end());
-
-  std::vector<FileContent> files;
-  files.reserve(paths.size());
-  for (const std::string& p : paths) {
-    FileContent f;
-    f.path = p;
-    if (!read_file(p, f.content)) {
-      std::cerr << "ivt-lint: cannot read " << p << "\n";
-      return 2;
-    }
-    files.push_back(std::move(f));
-  }
-
-  std::string registry_content;
-  if (!config.registry_path.empty() &&
-      !read_file(config.registry_path, registry_content)) {
-    std::cerr << "ivt-lint: cannot read registry " << config.registry_path
-              << "\n";
-    return 2;
-  }
-
-  const Report report = run_rules(files, config, registry_content);
-  std::ostream& finding_out = json ? std::cerr : std::cout;
-  for (const Finding& f : report.findings) {
-    finding_out << f.file << ":" << f.line << ": [" << f.rule << "] "
-                << f.message << "\n";
-  }
-  if (json) {
-    std::cout << report_to_json(report) << "\n";
-  } else {
-    std::cout << "ivt-lint: " << files.size() << " file(s), "
-              << report.findings.size() << " finding(s), " << report.exempted
-              << " exempted\n";
-  }
-  return report.findings.empty() ? 0 : 1;
 }
 
 }  // namespace ivt::lint

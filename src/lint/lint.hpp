@@ -34,11 +34,15 @@
 //                    io/process are built in; others are declared with
 //                    `metric-prefix` in the config.
 //
-// The checker is deliberately a token/regex scanner over comment- and
-// string-stripped source, not a clang tool: it needs no compile_commands,
-// runs in milliseconds, and the invariants above are all lexically
-// decidable. Rules operate on (path, content) pairs so tests can feed
-// fixture strings without touching the filesystem.
+// Since PR 10 the rules run over a real token stream (lint/tokenizer.hpp)
+// instead of regexes on stripped text, so adjacent string-literal
+// concatenation ("serve." "accept") can no longer evade the registry
+// checks. The checker is still deliberately not a clang tool: it needs no
+// compile_commands, runs in milliseconds, and the invariants above are
+// all lexically decidable. Rules operate on (path, content) pairs so
+// tests can feed fixture strings without touching the filesystem. The
+// whole-program rules (module layering, lock-order, error-taxonomy
+// exhaustiveness) live in lint/analyze.hpp.
 #pragma once
 
 #include <cstddef>
@@ -63,6 +67,12 @@ struct Finding {
 ///   registry <path>               fault-site registry location
 ///   metric-prefix <subsystem>     extra metric-name prefix (a trailing
 ///                                 '.' is accepted and stripped)
+///   error-table <function>        error-taxonomy anchor: every used
+///                                 errors::Category must appear in the
+///                                 body of each such function
+///   macro-call <MACRO> <func>     the analyzer treats an occurrence of
+///                                 MACRO as a call to <func> (macros are
+///                                 not expanded; this declares the edge)
 struct Config {
   struct Exemption {
     std::string rule;
@@ -71,6 +81,8 @@ struct Config {
   std::vector<Exemption> exemptions;
   std::string registry_path;
   std::vector<std::string> metric_prefixes;
+  std::vector<std::string> error_tables;
+  std::map<std::string, std::vector<std::string>> macro_calls;
 };
 
 /// Parses a config file's content. Malformed directives are reported in
@@ -131,10 +143,9 @@ Report run_rules(const std::vector<FileContent>& files, const Config& config,
 /// counters: {"findings": N, "exempted": M, "by_rule": {...}}.
 std::string report_to_json(const Report& report);
 
-/// Full CLI: `ivt-lint [--config F] [--registry F] [--json] <path>...`
-/// Directories are walked recursively for .cpp/.hpp files. Returns the
-/// process exit code: 0 clean, 1 findings, 2 usage/config/IO error.
-int lint_main(const std::vector<std::string>& args);
+// The CLI entry point (analyze_main) lives in lint/analyze.hpp: the
+// binary is ivt-analyze, which runs these per-file rules plus the
+// whole-program passes.
 
 // ---- helpers exposed for tests ------------------------------------------
 

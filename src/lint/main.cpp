@@ -1,9 +1,9 @@
 #include <string>
 #include <vector>
 
-#include "lint/lint.hpp"
+#include "lint/analyze.hpp"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  return ivt::lint::lint_main(args);
+  return ivt::lint::analyze_main(args);
 }

@@ -1,0 +1,417 @@
+#include "lint/tokenizer.hpp"
+
+#include <cctype>
+
+namespace ivt::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character punctuators, longest first within each head character.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::",  "->", ".*", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++",  "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "##",
+};
+
+/// Cursor over the source that folds backslash-newline splices into
+/// nothing and tracks the current line.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) { skip_splices(); }
+
+  bool done() const { return i_ >= s_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    // Splices are rare; peek() is only used for 1-2 char lookahead where
+    // a splice in between would at worst split a punctuator — harmless.
+    return i_ + ahead < s_.size() ? s_[i_ + ahead] : '\0';
+  }
+  std::size_t line() const { return line_; }
+
+  void advance() {
+    if (done()) return;
+    if (s_[i_] == '\n') ++line_;
+    ++i_;
+    skip_splices();
+  }
+
+ private:
+  void skip_splices() {
+    while (i_ + 1 < s_.size() && s_[i_] == '\\' &&
+           (s_[i_ + 1] == '\n' ||
+            (s_[i_ + 1] == '\r' && i_ + 2 < s_.size() && s_[i_ + 2] == '\n'))) {
+      i_ += s_[i_ + 1] == '\r' ? 3 : 2;
+      ++line_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  std::size_t line_ = 1;
+};
+
+/// Reads a quoted string/char literal body (cursor past the opening
+/// quote), decoding nothing but honouring escapes so a \" does not end
+/// the literal. Unterminated literals stop at end of line.
+std::string read_quoted(Cursor& c, char quote) {
+  std::string out;
+  while (!c.done() && c.peek() != quote && c.peek() != '\n') {
+    if (c.peek() == '\\') {
+      out += c.peek();
+      c.advance();
+      if (c.done() || c.peek() == '\n') break;
+    }
+    out += c.peek();
+    c.advance();
+  }
+  if (!c.done() && c.peek() == quote) c.advance();
+  return out;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  Cursor c(source);
+  bool line_start = true;  // only whitespace seen since the last newline
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    if (ch == '\n') {
+      line_start = true;
+      c.advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+      c.advance();
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '/') {
+      while (!c.done() && c.peek() != '\n') c.advance();
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance();
+      c.advance();
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) c.advance();
+      if (!c.done()) {
+        c.advance();
+        c.advance();
+      }
+      continue;
+    }
+
+    // Preprocessor directive at line start: #include becomes a dedicated
+    // token; every other directive's tokens flow through normally (a
+    // macro definition's body is real code worth scanning).
+    if (ch == '#' && line_start) {
+      const std::size_t line = c.line();
+      c.advance();  // '#'
+      while (!c.done() && (c.peek() == ' ' || c.peek() == '\t')) c.advance();
+      std::string directive;
+      while (!c.done() && ident_char(c.peek())) {
+        directive += c.peek();
+        c.advance();
+      }
+      if (directive == "include" || directive == "include_next") {
+        while (!c.done() && (c.peek() == ' ' || c.peek() == '\t')) c.advance();
+        Token token;
+        token.line = line;
+        if (c.peek() == '"') {
+          c.advance();
+          token.kind = Token::Kind::IncludeQuoted;
+          token.text = read_quoted(c, '"');
+          tokens.push_back(std::move(token));
+        } else if (c.peek() == '<') {
+          c.advance();
+          token.kind = Token::Kind::IncludeAngle;
+          while (!c.done() && c.peek() != '>' && c.peek() != '\n') {
+            token.text += c.peek();
+            c.advance();
+          }
+          if (!c.done() && c.peek() == '>') c.advance();
+          tokens.push_back(std::move(token));
+        }
+        // Computed includes (#include MACRO) fall through: nothing to do.
+      } else {
+        tokens.push_back({Token::Kind::Punct, "#", line});
+        if (!directive.empty()) {
+          tokens.push_back({Token::Kind::Ident, directive, line});
+        }
+      }
+      line_start = false;
+      continue;
+    }
+    line_start = false;
+
+    // Raw string literal: R"delim( ... )delim" — also u8R/LR/uR/UR forms
+    // (the prefix identifier ending in R was consumed as part of the
+    // identifier scan below, so handle the plain R case here and the
+    // prefixed case in the identifier branch).
+    if (ch == 'R' && c.peek(1) == '"') {
+      // Confirm R starts an identifier position (not the tail of one):
+      // the previous token must not be an identifier glued to this R —
+      // the tokenizer always consumes maximal identifiers, so reaching
+      // here means R begins a fresh token.
+      const std::size_t line = c.line();
+      c.advance();  // R
+      c.advance();  // "
+      std::string delim;
+      while (!c.done() && c.peek() != '(' && c.peek() != '\n') {
+        delim += c.peek();
+        c.advance();
+      }
+      if (!c.done()) c.advance();  // (
+      const std::string close = ")" + delim + "\"";
+      std::string body;
+      while (!c.done()) {
+        // Match close sequence.
+        bool matched = true;
+        for (std::size_t k = 0; k < close.size(); ++k) {
+          if (c.peek(k) != close[k]) {
+            matched = false;
+            break;
+          }
+        }
+        if (matched) {
+          for (std::size_t k = 0; k < close.size(); ++k) c.advance();
+          break;
+        }
+        body += c.peek();
+        c.advance();
+      }
+      tokens.push_back({Token::Kind::Str, std::move(body), line});
+      continue;
+    }
+
+    if (ident_start(ch)) {
+      const std::size_t line = c.line();
+      std::string text;
+      while (!c.done() && ident_char(c.peek())) {
+        text += c.peek();
+        c.advance();
+      }
+      // Encoding-prefixed literals: u8"...", L'x', uR"(...)", etc.
+      if ((c.peek() == '"' || c.peek() == '\'') &&
+          (text == "u8" || text == "u" || text == "U" || text == "L")) {
+        const char quote = c.peek();
+        c.advance();
+        tokens.push_back({quote == '"' ? Token::Kind::Str : Token::Kind::Chr,
+                          read_quoted(c, quote), line});
+        continue;
+      }
+      if (c.peek() == '"' && !text.empty() && text.back() == 'R' &&
+          (text == "u8R" || text == "uR" || text == "UR" || text == "LR")) {
+        c.advance();  // "
+        std::string delim;
+        while (!c.done() && c.peek() != '(' && c.peek() != '\n') {
+          delim += c.peek();
+          c.advance();
+        }
+        if (!c.done()) c.advance();  // (
+        const std::string close = ")" + delim + "\"";
+        std::string body;
+        while (!c.done()) {
+          bool matched = true;
+          for (std::size_t k = 0; k < close.size(); ++k) {
+            if (c.peek(k) != close[k]) {
+              matched = false;
+              break;
+            }
+          }
+          if (matched) {
+            for (std::size_t k = 0; k < close.size(); ++k) c.advance();
+            break;
+          }
+          body += c.peek();
+          c.advance();
+        }
+        tokens.push_back({Token::Kind::Str, std::move(body), line});
+        continue;
+      }
+      tokens.push_back({Token::Kind::Ident, std::move(text), line});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(ch)) != 0 ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))) != 0)) {
+      // pp-number: digits, idents, ', and exponent signs.
+      const std::size_t line = c.line();
+      std::string text;
+      while (!c.done()) {
+        const char d = c.peek();
+        if (ident_char(d) || d == '.' || d == '\'') {
+          text += d;
+          c.advance();
+          continue;
+        }
+        if ((d == '+' || d == '-') && !text.empty() &&
+            (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+             text.back() == 'P')) {
+          text += d;
+          c.advance();
+          continue;
+        }
+        break;
+      }
+      tokens.push_back({Token::Kind::Number, std::move(text), line});
+      continue;
+    }
+
+    if (ch == '"') {
+      const std::size_t line = c.line();
+      c.advance();
+      tokens.push_back({Token::Kind::Str, read_quoted(c, '"'), line});
+      continue;
+    }
+    if (ch == '\'') {
+      const std::size_t line = c.line();
+      c.advance();
+      tokens.push_back({Token::Kind::Chr, read_quoted(c, '\''), line});
+      continue;
+    }
+
+    // Punctuator: longest match from the table, else the single char.
+    {
+      const std::size_t line = c.line();
+      std::string text(1, ch);
+      for (const char* p : kPuncts) {
+        const std::size_t n = std::char_traits<char>::length(p);
+        bool matched = true;
+        for (std::size_t k = 0; k < n; ++k) {
+          if (c.peek(k) != p[k]) {
+            matched = false;
+            break;
+          }
+        }
+        if (matched) {
+          text = p;
+          break;
+        }
+      }
+      for (std::size_t k = 0; k < text.size(); ++k) c.advance();
+      tokens.push_back({Token::Kind::Punct, std::move(text), line});
+    }
+  }
+  return tokens;
+}
+
+std::size_t match_brace(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], "{")) ++depth;
+    if (is_punct(tokens[i], "}") && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+std::size_t match_paren(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], "(")) ++depth;
+    if (is_punct(tokens[i], ")") && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+std::vector<TokenClassSpan> token_class_spans(
+    const std::vector<Token>& tokens) {
+  std::vector<TokenClassSpan> spans;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (!(is_ident(t, "class") || is_ident(t, "struct") ||
+          is_ident(t, "union"))) {
+      continue;
+    }
+    // `enum class` / `enum struct` are scoped enums, not records.
+    if (i > 0 && is_ident(tokens[i - 1], "enum")) continue;
+    // Scan the head: attribute macros with balanced parens are skipped,
+    // the record name is the last plain identifier before the body or
+    // base-clause. Any other punctuation (`;` forward decl, `>` template
+    // parameter, `(` function param, `,`) means this is not a definition.
+    std::string name;
+    std::size_t j = i + 1;
+    bool is_definition = false;
+    bool saw_base_clause = false;
+    while (j < tokens.size()) {
+      const Token& h = tokens[j];
+      if (h.kind == Token::Kind::Ident) {
+        if (j + 1 < tokens.size() && is_punct(tokens[j + 1], "(")) {
+          // Attribute-like macro: IVT_CAPABILITY("mutex"), alignas(64).
+          j = match_paren(tokens, j + 1) + 1;
+          continue;
+        }
+        if (h.text != "final") name = h.text;
+        ++j;
+        continue;
+      }
+      if (is_punct(h, "::")) {  // out-of-line nested definition
+        ++j;
+        continue;
+      }
+      if (is_punct(h, ":")) {
+        saw_base_clause = true;
+        break;
+      }
+      if (is_punct(h, "{")) {
+        is_definition = true;
+        break;
+      }
+      break;  // ';', '>', '(', ',', '=' ... not a record definition
+    }
+    if (saw_base_clause) {
+      // Skip the base clause to the body brace, tracking parens so a
+      // base like Base<decltype(f(x))> cannot derail us.
+      int paren = 0;
+      for (++j; j < tokens.size(); ++j) {
+        if (is_punct(tokens[j], "(")) ++paren;
+        if (is_punct(tokens[j], ")")) --paren;
+        if (paren == 0 && is_punct(tokens[j], "{")) {
+          is_definition = true;
+          break;
+        }
+        if (paren == 0 && is_punct(tokens[j], ";")) break;
+      }
+    }
+    if (!is_definition || j >= tokens.size()) continue;
+    TokenClassSpan span;
+    span.name = name;
+    span.open = j;
+    span.close = match_brace(tokens, j);
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+const TokenClassSpan* innermost_class(
+    const std::vector<TokenClassSpan>& spans, std::size_t at) {
+  const TokenClassSpan* best = nullptr;
+  for (const TokenClassSpan& s : spans) {
+    if (s.open < at && at < s.close &&
+        (best == nullptr || s.open > best->open)) {
+      best = &s;
+    }
+  }
+  return best;
+}
+
+bool read_string_concat(const std::vector<Token>& tokens, std::size_t& i,
+                        std::string* out) {
+  if (i >= tokens.size() || tokens[i].kind != Token::Kind::Str) return false;
+  out->clear();
+  while (i < tokens.size() && tokens[i].kind == Token::Kind::Str) {
+    *out += tokens[i].text;
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace ivt::lint

@@ -1,0 +1,93 @@
+// A dependency-free C++ tokenizer for ivt-analyze.
+//
+// The PR-5 checker matched regexes over comment-stripped source; that was
+// enough for single-line invariants but cannot see acquisition *order*,
+// adjacent string-literal concatenation ("serve." "accept"), or the
+// include graph. This tokenizer produces a flat token stream with line
+// numbers so every rule reasons over real lexical structure:
+//
+//   - comments (//, /* */) are skipped entirely,
+//   - string literals (including raw strings R"delim(...)delim" and
+//     escape sequences) become single Str tokens carrying their *content*,
+//   - #include directives become IncludeQuoted / IncludeAngle tokens
+//     carrying the target path,
+//   - backslash-newline splices are treated as whitespace,
+//   - multi-character punctuators (::, ->, <<=, ...) are single tokens,
+//     longest match first.
+//
+// It is deliberately not a preprocessor: macros are not expanded (rules
+// that care about macro *uses* match the call spelling; rules that care
+// about expansions are told via `macro-call` config directives which
+// functions a macro invokes).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ivt::lint {
+
+struct Token {
+  enum class Kind {
+    Ident,         ///< identifiers and keywords
+    Number,        ///< pp-numbers (integer/float literals, 0x..., 1'000)
+    Str,           ///< string literal; text = decoded content (no quotes)
+    Chr,           ///< character literal; text = raw content (no quotes)
+    Punct,         ///< operator / punctuator, longest-match
+    IncludeQuoted, ///< #include "..."; text = target path
+    IncludeAngle,  ///< #include <...>; text = target path
+  };
+  Kind kind = Kind::Punct;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based line of the token's first character
+};
+
+/// Tokenizes C++ source. Never fails: malformed input produces a
+/// best-effort stream (an unterminated literal runs to end of line).
+std::vector<Token> tokenize(const std::string& source);
+
+/// True when the token is an identifier with exactly this text.
+inline bool is_ident(const Token& token, const char* text) {
+  return token.kind == Token::Kind::Ident && token.text == text;
+}
+
+/// True when the token is a punctuator with exactly this text.
+inline bool is_punct(const Token& token, const char* text) {
+  return token.kind == Token::Kind::Punct && token.text == text;
+}
+
+// ---- structure helpers shared by the rules ------------------------------
+
+/// Index of the matching '}' for the '{' at `open` (token indices), or
+/// tokens.size() when unbalanced.
+std::size_t match_brace(const std::vector<Token>& tokens, std::size_t open);
+
+/// Index of the matching ')' for the '(' at `open`, or tokens.size().
+std::size_t match_paren(const std::vector<Token>& tokens, std::size_t open);
+
+/// A class/struct/union body [open, close] in token indices. Nested
+/// records appear after their enclosing record (document order).
+struct TokenClassSpan {
+  std::string name;       ///< empty for anonymous records
+  std::size_t open = 0;   ///< index of '{'
+  std::size_t close = 0;  ///< index of matching '}'
+};
+
+/// Finds record-type bodies. `enum class` is not a record; attribute
+/// macros between the keyword and the name (IVT_CAPABILITY(...)) are
+/// skipped; base-clauses are skipped up to the body brace.
+std::vector<TokenClassSpan> token_class_spans(
+    const std::vector<Token>& tokens);
+
+/// The innermost span containing token index `at`, or nullptr.
+const TokenClassSpan* innermost_class(
+    const std::vector<TokenClassSpan>& spans, std::size_t at);
+
+/// Reads a run of adjacent string-literal tokens starting at `i` and
+/// returns their concatenation ("serve." "accept" -> "serve.accept"),
+/// leaving `i` at the first non-string token. Returns false when
+/// tokens[i] is not a string literal.
+bool read_string_concat(const std::vector<Token>& tokens, std::size_t& i,
+                        std::string* out);
+
+}  // namespace ivt::lint

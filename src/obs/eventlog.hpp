@@ -82,7 +82,7 @@ class EventLog {
   std::size_t flush_interval_ms_ = 50;
   std::thread flusher_;
 
-  mutable support::Mutex mutex_;
+  mutable support::Mutex mutex_{support::LockRank::k_obs_EventLog_mutex_};
   support::CondVar cv_;          ///< producers -> flusher (work available)
   support::CondVar cv_drained_;  ///< flusher -> flush() (all on disk)
   std::vector<std::string> queue_ IVT_GUARDED_BY(mutex_);

@@ -206,7 +206,7 @@ class Registry {
 
   // Registration order; the metric objects themselves are internally
   // sharded atomics and are written lock-free once the reference escapes.
-  mutable support::Mutex mutex_;
+  mutable support::Mutex mutex_{support::LockRank::k_obs_Registry_mutex_};
   std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
       IVT_GUARDED_BY(mutex_);
   std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_

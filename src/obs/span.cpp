@@ -25,7 +25,8 @@ std::atomic<bool> g_tracing_enabled{true};
 /// exported.
 struct ThreadRing {
   std::uint32_t tid = 0;  ///< const after registration (owner-thread write)
-  support::Mutex mutex;   ///< uncontended except during collect/reset
+  ///< Uncontended except during collect/reset.
+  support::Mutex mutex{support::LockRank::k_obs_ThreadRing_mutex};
   /// Grows to kSpanRingCapacity, then wraps.
   std::vector<SpanEvent> events IVT_GUARDED_BY(mutex);
   /// Next overwrite position once full.
@@ -50,7 +51,7 @@ struct ThreadRing {
 };
 
 struct Collector {
-  support::Mutex mutex;
+  support::Mutex mutex{support::LockRank::k_obs_Collector_mutex};
   std::vector<std::shared_ptr<ThreadRing>> rings IVT_GUARDED_BY(mutex);
   std::uint32_t next_tid IVT_GUARDED_BY(mutex) = 0;
 };

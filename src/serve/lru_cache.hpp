@@ -180,7 +180,7 @@ class ShardedLruCache {
   };
 
   struct Shard {
-    mutable support::Mutex mutex;
+    mutable support::Mutex mutex{support::LockRank::k_serve_Shard_mutex};
     /// Front = most recently used.
     std::list<Entry> lru IVT_GUARDED_BY(mutex);
     std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index

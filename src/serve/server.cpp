@@ -30,6 +30,30 @@ std::size_t resolve_workers(std::size_t configured) {
   return hw > 0 ? hw : 4;
 }
 
+}  // namespace
+
+/// The wire name and retryability the daemon reports for each category.
+/// This is a public protocol contract, pinned independently of
+/// errors::to_string / errors::is_transient so an internal rename can
+/// never silently change what clients see. The switch is an
+/// `error-table` anchor in tools/ivt-lint.conf: ivt-analyze fails when
+/// any thrown errors::Category is missing from it.
+WireError wire_category(errors::Category category) {
+  switch (category) {
+    case errors::Category::Io: return {"io", false};
+    case errors::Category::Format: return {"format", false};
+    case errors::Category::Decode: return {"decode", false};
+    case errors::Category::Spec: return {"spec", false};
+    case errors::Category::Resource: return {"resource", true};
+    case errors::Category::Overloaded: return {"overloaded", true};
+    case errors::Category::Timeout: return {"timeout", true};
+    case errors::Category::Internal: return {"internal", false};
+  }
+  return {"internal", false};
+}
+
+namespace {
+
 /// Typed error response body. Every failure a request can hit — bad
 /// JSON, unknown trace, injected faults, admission rejection — ends up
 /// here; the connection itself stays healthy. A nonzero trace_id is
@@ -37,9 +61,10 @@ std::size_t resolve_workers(std::size_t configured) {
 Frame error_frame(std::uint64_t request_id, const std::string& op,
                   errors::Category category, const std::string& message,
                   std::uint64_t trace_id = 0) {
+  const WireError wire = wire_category(category);
   json::Object error;
-  error.add("category", std::string(errors::to_string(category)))
-      .add("retryable", errors::is_transient(category))
+  error.add("category", std::string(wire.category))
+      .add("retryable", wire.retryable)
       .add("message", message);
   json::Object body;
   body.add("ok", false).add("request_id", request_id);

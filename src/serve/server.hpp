@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "dataflow/thread_pool.hpp"
+#include "errors/error.hpp"
 #include "obs/eventlog.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/trace_catalog.hpp"
@@ -46,6 +47,16 @@
 #include "support/thread_annotations.hpp"
 
 namespace ivt::serve {
+
+/// What an error response puts on the wire for one errors::Category.
+struct WireError {
+  const char* category;  ///< "category" field of the error body
+  bool retryable;        ///< "retryable" field
+};
+
+/// Maps a category to its wire representation; exhaustive over
+/// errors::Category (an `error-table` anchor for ivt-analyze).
+WireError wire_category(errors::Category category);
 
 struct ServerConfig {
   std::string host = "127.0.0.1";
@@ -136,7 +147,7 @@ class Server {
   std::atomic<std::size_t> in_flight_{0};
   std::thread accept_thread_;
 
-  support::Mutex mutex_;
+  support::Mutex mutex_{support::LockRank::k_serve_Server_mutex_};
   struct Connection {
     int fd = -1;
     std::thread thread;

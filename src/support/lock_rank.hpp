@@ -1,0 +1,121 @@
+// Runtime cross-check of the static lock-order analysis.
+//
+// ivt-analyze builds the whole-program lock-acquisition graph and emits
+// src/support/lock_ranks.inc: one rank per support::Mutex, rank =
+// (topological level + 1) * 10. Each Mutex declaration binds its
+// LockRank constant (the analyzer fails the build when one is missing
+// or stale), and in checked builds every acquisition asserts that a
+// thread only takes locks of strictly increasing level. The two views
+// police each other: an acquisition the static analysis missed shows up
+// as a runtime abort; a rank the runtime never exercises is still
+// pinned by the static graph.
+//
+// Checked builds are Debug and TSan (IVT_LOCK_RANKS defaults to 1 when
+// NDEBUG is unset; the TSan preset forces it on). In Release the hooks
+// compile to nothing and Mutex stays layout-identical to std::mutex.
+#pragma once
+
+#include <cstdint>
+
+#ifndef IVT_LOCK_RANKS
+#ifdef NDEBUG
+#define IVT_LOCK_RANKS 0
+#else
+#define IVT_LOCK_RANKS 1
+#endif
+#endif
+
+#if IVT_LOCK_RANKS
+#include <cstdio>
+#include <cstdlib>
+#endif
+
+namespace ivt::support {
+
+/// One constant per ranked lock, generated from lock_ranks.inc. The
+/// enum value encodes (rank << 8) | line-in-inc, so constants stay
+/// unique even when ranks tie (locks on the same topological level);
+/// only the level (value >> 8) participates in the ordering check.
+enum class LockRank : std::uint32_t {
+  kUnranked = 0,  ///< default-constructed Mutex (tests, scratch locks)
+#define IVT_LOCK_RANK(constant, rank, name) \
+  constant = (static_cast<std::uint32_t>(rank) << 8) | (__LINE__ & 0xFFU),
+#include "support/lock_ranks.inc"
+#undef IVT_LOCK_RANK
+};
+
+constexpr std::uint32_t lock_rank_level(LockRank rank) {
+  return static_cast<std::uint32_t>(rank) >> 8;
+}
+
+/// Display name for abort messages; matches ivt-analyze's identities.
+inline const char* lock_rank_name(LockRank rank) {
+  switch (rank) {
+#define IVT_LOCK_RANK(constant, rank, name) \
+  case LockRank::constant:                  \
+    return name;
+#include "support/lock_ranks.inc"
+#undef IVT_LOCK_RANK
+    case LockRank::kUnranked:
+      return "unranked";
+  }
+  return "?";
+}
+
+namespace detail {
+
+#if IVT_LOCK_RANKS
+
+/// Per-thread stack of held ranks. Pushes are monotone in level (that
+/// is the invariant being checked), so the top is always the maximum.
+struct LockRankStack {
+  static constexpr int kCapacity = 64;
+  LockRank held[kCapacity];
+  int size = 0;
+};
+inline thread_local LockRankStack t_lock_ranks;
+
+/// Aborts when acquiring `rank` would violate the declared order.
+/// Called before the underlying acquisition so the process dies with a
+/// diagnostic instead of deadlocking.
+inline void rank_check(LockRank rank) {
+  if (rank == LockRank::kUnranked) return;
+  const LockRankStack& s = t_lock_ranks;
+  if (s.size == 0) return;
+  const LockRank top = s.held[s.size - 1];
+  if (lock_rank_level(rank) <= lock_rank_level(top)) {
+    std::fprintf(stderr,
+                 "ivt: lock-rank violation: acquiring '%s' (rank %u) while "
+                 "holding '%s' (rank %u) — the static lock graph in "
+                 "src/support/lock_ranks.inc forbids this order\n",
+                 lock_rank_name(rank), lock_rank_level(rank),
+                 lock_rank_name(top), lock_rank_level(top));
+    std::abort();
+  }
+}
+
+inline void rank_push(LockRank rank) {
+  if (rank == LockRank::kUnranked) return;
+  LockRankStack& s = t_lock_ranks;
+  if (s.size < LockRankStack::kCapacity) s.held[s.size++] = rank;
+}
+
+/// Unlock order need not be LIFO (manual unlock windows release a lock
+/// below the top), so pop removes the topmost matching entry.
+inline void rank_pop(LockRank rank) {
+  if (rank == LockRank::kUnranked) return;
+  LockRankStack& s = t_lock_ranks;
+  for (int i = s.size; i-- > 0;) {
+    if (s.held[i] == rank) {
+      for (int j = i; j + 1 < s.size; ++j) s.held[j] = s.held[j + 1];
+      --s.size;
+      return;
+    }
+  }
+}
+
+#endif  // IVT_LOCK_RANKS
+
+}  // namespace detail
+
+}  // namespace ivt::support

@@ -18,15 +18,18 @@
 // overload, so the guarded reads inside the predicate stay in the
 // annotated enclosing function where the analysis can see the held lock.
 //
-// Zero runtime cost over the std types: Mutex is std::mutex, MutexLock is
-// std::unique_lock, CondVar is std::condition_variable; only attributes
-// are added.
+// Zero runtime cost over the std types in Release: Mutex is std::mutex,
+// MutexLock is std::unique_lock, CondVar is std::condition_variable;
+// only attributes are added. Checked builds (IVT_LOCK_RANKS, see
+// support/lock_rank.hpp) additionally assert per-thread lock-rank
+// monotonicity on every acquisition.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 
+#include "support/lock_rank.hpp"
 #include "support/thread_annotations.hpp"
 
 namespace ivt::support {
@@ -34,41 +37,110 @@ namespace ivt::support {
 class CondVar;
 class MutexLock;
 
-/// std::mutex with the "mutex" capability attribute.
+/// std::mutex with the "mutex" capability attribute. Long-lived mutexes
+/// bind the LockRank constant generated for them in lock_ranks.inc
+/// (ivt-analyze fails the build when one is missing); the default
+/// constructor leaves the mutex unranked and exempt from the runtime
+/// order check (test scaffolding, scratch locks).
 class IVT_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+#if IVT_LOCK_RANKS
+  explicit Mutex(LockRank rank) : rank_(rank) {}
+#else
+  explicit Mutex(LockRank) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() IVT_ACQUIRE() { raw_.lock(); }
-  void unlock() IVT_RELEASE() { raw_.unlock(); }
-  bool try_lock() IVT_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+  void lock() IVT_ACQUIRE() {
+    rank_check();
+    raw_.lock();
+    rank_push();
+  }
+  void unlock() IVT_RELEASE() {
+    raw_.unlock();
+    rank_pop();
+  }
+  bool try_lock() IVT_TRY_ACQUIRE(true) {
+    rank_check();
+    if (!raw_.try_lock()) return false;
+    rank_push();
+    return true;
+  }
 
  private:
   friend class MutexLock;
+#if IVT_LOCK_RANKS
+  void rank_check() const { detail::rank_check(rank_); }
+  void rank_push() const { detail::rank_push(rank_); }
+  void rank_pop() const { detail::rank_pop(rank_); }
+  LockRank rank_ = LockRank::kUnranked;
+#else
+  void rank_check() const {}
+  void rank_push() const {}
+  void rank_pop() const {}
+#endif
   std::mutex raw_;
 };
+
+#if !IVT_LOCK_RANKS
+// The Release wrapper must add nothing over the raw primitive — this is
+// what keeps the bench guard honest.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "support::Mutex must stay layout-identical to std::mutex "
+              "in unchecked builds");
+#endif
 
 /// RAII lock over a support::Mutex (a scoped capability). Supports the
 /// manual unlock()/lock() window used when a held task must run outside
 /// the critical section, and is the handle CondVar waits on.
 class IVT_SCOPED_CAPABILITY MutexLock {
  public:
+#if IVT_LOCK_RANKS
+  explicit MutexLock(Mutex& mutex) IVT_ACQUIRE(mutex)
+      : mutex_(mutex), lock_((mutex.rank_check(), mutex.raw_)) {
+    mutex_.rank_push();
+  }
+  ~MutexLock() IVT_RELEASE() {
+    if (lock_.owns_lock()) {
+      lock_.unlock();
+      mutex_.rank_pop();
+    }
+  }
+#else
   explicit MutexLock(Mutex& mutex) IVT_ACQUIRE(mutex)
       : lock_(mutex.raw_) {}
   ~MutexLock() IVT_RELEASE() = default;  // unique_lock unlocks if held
+#endif
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
   /// Temporarily release the mutex (e.g. to execute a dequeued task).
-  void unlock() IVT_RELEASE() { lock_.unlock(); }
-  /// Re-acquire after unlock().
-  void lock() IVT_ACQUIRE() { lock_.lock(); }
+  void unlock() IVT_RELEASE() {
+    lock_.unlock();
+#if IVT_LOCK_RANKS
+    mutex_.rank_pop();
+#endif
+  }
+  /// Re-acquire after unlock(). Counts as a fresh acquisition for the
+  /// rank check: the ordering invariant must hold again from scratch.
+  void lock() IVT_ACQUIRE() {
+#if IVT_LOCK_RANKS
+    mutex_.rank_check();
+    lock_.lock();
+    mutex_.rank_push();
+#else
+    lock_.lock();
+#endif
+  }
 
  private:
   friend class CondVar;
+#if IVT_LOCK_RANKS
+  Mutex& mutex_;
+#endif
   std::unique_lock<std::mutex> lock_;
 };
 

@@ -70,16 +70,26 @@ TEST(BenchUtilTest, RobustnessCountersReadStaticAnalysisEnv) {
   ::setenv("IVT_LINT_FINDINGS", "4", 1);
   ::setenv("IVT_LINT_EXEMPTED", "56", 1);
   ::setenv("IVT_TSAN_RACES", "not-a-number", 1);
+  ::setenv("IVT_ANALYZER_FINDINGS", "2", 1);
+  ::setenv("IVT_LOCK_GRAPH_NODES", "15", 1);
+  ::setenv("IVT_LAYER_VIOLATIONS", "1", 1);
   const RobustnessCounters c = read_robustness_counters();
   EXPECT_EQ(c.lint_findings, 4u);
   EXPECT_EQ(c.lint_exempted, 56u);
   EXPECT_EQ(c.tsan_races, 0u);
+  EXPECT_EQ(c.analyzer_findings, 2u);
+  EXPECT_EQ(c.lock_graph_nodes, 15u);
+  EXPECT_EQ(c.layer_violations, 1u);
   ::unsetenv("IVT_LINT_FINDINGS");
   ::unsetenv("IVT_LINT_EXEMPTED");
   ::unsetenv("IVT_TSAN_RACES");
+  ::unsetenv("IVT_ANALYZER_FINDINGS");
+  ::unsetenv("IVT_LOCK_GRAPH_NODES");
+  ::unsetenv("IVT_LAYER_VIOLATIONS");
   const RobustnessCounters unset = read_robustness_counters();
   EXPECT_EQ(unset.lint_findings, 0u);
   EXPECT_EQ(unset.lint_exempted, 0u);
+  EXPECT_EQ(unset.analyzer_findings, 0u);
 }
 
 TEST(BenchUtilTest, RobustnessFieldsRenderIntoRecord) {
@@ -91,13 +101,17 @@ TEST(BenchUtilTest, RobustnessFieldsRenderIntoRecord) {
   c.lint_findings = 4;
   c.lint_exempted = 5;
   c.tsan_races = 7;
+  c.analyzer_findings = 8;
+  c.lock_graph_nodes = 15;
+  c.layer_violations = 9;
   JsonRecord record;
   add_robustness_fields(record, c);
   EXPECT_EQ(record.to_line(),
             "{\"task_retries\": 1, \"chunks_quarantined\": 2, "
             "\"sequences_dropped\": 3, \"errors_total\": 6, "
             "\"lint_findings\": 4, \"lint_exempted\": 5, "
-            "\"tsan_races\": 7}");
+            "\"tsan_races\": 7, \"analyzer_findings\": 8, "
+            "\"lock_graph_nodes\": 15, \"layer_violations\": 9}");
 }
 
 TEST(BenchUtilTest, MetricsSnapshotWritesValidFile) {

@@ -11,6 +11,7 @@
 #include "colstore/columnar_reader.hpp"
 #include "colstore/columnar_writer.hpp"
 #include "core/interpret.hpp"
+#include "errors/error.hpp"
 #include "core/urel.hpp"
 #include "dataflow/engine.hpp"
 #include "dataflow/thread_pool.hpp"
@@ -315,8 +316,19 @@ TEST(ColstoreTest, WriterMisuseThrows) {
   ColumnarWriter writer(out, "V", "J", 0);
   writer.write(make_record(0, "FC", 1));
   writer.finish();
-  EXPECT_THROW(writer.finish(), std::logic_error);
-  EXPECT_THROW(writer.write(make_record(1, "FC", 1)), std::logic_error);
+  // API misuse carries the taxonomy (Category::Internal), not logic_error.
+  try {
+    writer.finish();
+    FAIL() << "finish() after finish() did not throw";
+  } catch (const errors::Error& e) {
+    EXPECT_EQ(e.category(), errors::Category::Internal);
+  }
+  try {
+    writer.write(make_record(1, "FC", 1));
+    FAIL() << "write() after finish() did not throw";
+  } catch (const errors::Error& e) {
+    EXPECT_EQ(e.category(), errors::Category::Internal);
+  }
 }
 
 TEST(ColstoreTest, CorruptInputsThrow) {

@@ -1,0 +1,192 @@
+// ivt-analyze whole-program tests: each fixture tree under
+// tests/lint/fixtures/ seeds exactly one violation of one global rule
+// (layering back-edge, lock-order cycle, error-table gap), and the tests
+// pin the exact finding counts and process exit codes so analyzer
+// behaviour cannot drift silently.
+#include "lint/analyze.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ivt::lint {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(IVT_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name));
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<FileContent> layers_fixture_files() {
+  std::vector<FileContent> files;
+  for (const char* name : {"layers/src/high/api.hpp",
+                           "layers/src/low/thing.hpp",
+                           "layers/src/low/other.hpp"}) {
+    files.push_back({fixture_path(name), read_fixture(name)});
+  }
+  return files;
+}
+
+TEST(ParseLayersTest, BottomUpLevelsAndBadLines) {
+  std::vector<std::string> errors;
+  const LayersConfig layers = parse_layers(
+      "# comment\n"
+      "layer support\n"
+      "layer errors algo   # two modules share a layer\n"
+      "module bogus\n"
+      "layer cli\n",
+      &errors);
+  ASSERT_EQ(layers.layers.size(), 3u);
+  EXPECT_EQ(layers.level.at("support"), 0u);
+  EXPECT_EQ(layers.level.at("errors"), 1u);
+  EXPECT_EQ(layers.level.at("algo"), 1u);
+  EXPECT_EQ(layers.level.at("cli"), 2u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("unknown directive"), std::string::npos);
+}
+
+TEST(ModuleOfTest, RealTreeFixtureTreeAndFlatPaths) {
+  EXPECT_EQ(module_of("src/core/urel.cpp"), "core");
+  // Fixture trees resolve via their LAST src/ component.
+  EXPECT_EQ(module_of("tests/lint/fixtures/layers/src/low/thing.hpp"), "low");
+  // Directly in src/: no module.
+  EXPECT_EQ(module_of("src/main.cpp"), "");
+  // No src/ component: parent directory, then nothing for flat paths.
+  EXPECT_EQ(module_of("fixtures/clean.cpp"), "fixtures");
+  EXPECT_EQ(module_of("clean.cpp"), "");
+}
+
+TEST(LayeringTest, SeededBackEdgeIsTheOnlyFinding) {
+  const std::vector<FileContent> files = layers_fixture_files();
+  const IncludeGraph graph = build_include_graph(files);
+  ASSERT_EQ(graph.modules.size(), 2u);
+  // high -> low (allowed, downward) and low -> high (the seeded
+  // back-edge); the self-edge low -> low is dropped.
+  ASSERT_EQ(graph.edges.size(), 2u);
+
+  std::vector<std::string> errors;
+  const LayersConfig layers = parse_layers(read_fixture("layers.conf"),
+                                           &errors);
+  EXPECT_TRUE(errors.empty());
+  const std::vector<Finding> findings = check_layering(graph, layers);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_NE(findings[0].message.find("back-edge"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'low'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'high'"), std::string::npos);
+
+  const std::string dot = include_graph_dot(graph, layers);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"low\" -> \"high\""), std::string::npos);
+}
+
+TEST(LayeringTest, UndeclaredModuleIsAFinding) {
+  const std::vector<FileContent> files = layers_fixture_files();
+  const IncludeGraph graph = build_include_graph(files);
+  std::vector<std::string> errors;
+  // Only `low` declared: `high` becomes an undeclared module; its edges
+  // are skipped (no level), so the back-edge cannot double-report.
+  const LayersConfig layers = parse_layers("layer low\n", &errors);
+  const std::vector<Finding> findings = check_layering(graph, layers);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("not declared"), std::string::npos);
+}
+
+TEST(LockCycleTest, ThreeMutexCycleIsExactlyOneFinding) {
+  std::vector<FileContent> files;
+  files.push_back({fixture_path("lockcycle/src/m/cycle.cpp"),
+                   read_fixture("lockcycle/src/m/cycle.cpp")});
+  const Config config;
+  const LockAnalysis locks = analyze_locks(files, config);
+  ASSERT_EQ(locks.locks.size(), 3u);
+  // Call-graph propagation closes the cycle: each holder transitively
+  // acquires all three locks (itself included), so 3 x 3 edges.
+  EXPECT_EQ(locks.edges.size(), 9u);
+  // Every mutex binds its rank constant, so the only finding is the
+  // cycle itself — pinned to exactly one (one SCC, not three edges).
+  ASSERT_EQ(locks.findings.size(), 1u);
+  EXPECT_EQ(locks.findings[0].rule, "lock-order");
+  EXPECT_NE(locks.findings[0].message.find("cycle"), std::string::npos);
+  EXPECT_NE(locks.findings[0].message.find("m::A::mu_"), std::string::npos);
+  // A cyclic graph has no ranks and must refuse to render lock_ranks.inc.
+  EXPECT_TRUE(locks.rank.empty());
+  EXPECT_TRUE(ranks_to_inc(locks).empty());
+}
+
+TEST(RanksToIncTest, RendersSortedRankLines) {
+  LockAnalysis locks;
+  locks.locks = {"a_X_mu_", "b_Y_mu_"};
+  locks.display = {{"a_X_mu_", "a::X::mu_"}, {"b_Y_mu_", "b::Y::mu_"}};
+  locks.rank = {{"a_X_mu_", 20}, {"b_Y_mu_", 10}};
+  const std::string inc = ranks_to_inc(locks);
+  EXPECT_NE(inc.find("DO NOT EDIT"), std::string::npos);
+  EXPECT_NE(inc.find("IVT_LOCK_RANK(k_a_X_mu_, 20, \"a::X::mu_\")\n"),
+            std::string::npos);
+  EXPECT_NE(inc.find("IVT_LOCK_RANK(k_b_Y_mu_, 10, \"b::Y::mu_\")\n"),
+            std::string::npos);
+  // Sorted by (rank, identity), not declaration order.
+  EXPECT_LT(inc.find("k_b_Y_mu_"), inc.find("k_a_X_mu_"));
+}
+
+TEST(ErrorTaxonomyTest, MissingThrownCategoryInAnchor) {
+  std::vector<FileContent> files;
+  files.push_back({fixture_path("errtable/src/e/table.cpp"),
+                   read_fixture("errtable/src/e/table.cpp")});
+  Config config;
+  config.error_tables.push_back("exit_table");
+  const std::vector<Finding> findings = check_error_taxonomy(files, config);
+  // The tree throws Io and Format; the anchor switches only on Io.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "error-taxonomy");
+  EXPECT_NE(findings[0].message.find("Format"), std::string::npos);
+}
+
+TEST(AnalysisJsonTest, GraphCountsSurfaceInJson) {
+  const std::vector<FileContent> files = layers_fixture_files();
+  std::vector<std::string> errors;
+  const LayersConfig layers = parse_layers(read_fixture("layers.conf"),
+                                           &errors);
+  const Config config;
+  const Analysis analysis = run_analysis(files, config, layers, "");
+  EXPECT_EQ(analysis.layer_violations, 1u);
+  const std::string json = analysis_to_json(analysis);
+  EXPECT_NE(json.find("\"layer_violations\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"include_edges\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"lock_graph_nodes\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"lock_graph_edges\": 0"), std::string::npos);
+}
+
+TEST(AnalyzeTreeTest, SeededTreesPinExitCodes) {
+  // Layering back-edge: exit 1.
+  EXPECT_EQ(analyze_main({"--layers", fixture_path("layers.conf"),
+                          fixture_path("layers")}),
+            1);
+  // The upper layer alone includes only downward: exit 0.
+  EXPECT_EQ(analyze_main({"--layers", fixture_path("layers.conf"),
+                          fixture_path("layers/src/high")}),
+            0);
+  // Lock cycle: exit 1, and --emit-ranks must refuse to emit.
+  EXPECT_EQ(analyze_main({fixture_path("lockcycle")}), 1);
+  EXPECT_EQ(analyze_main({"--emit-ranks", fixture_path("lockcycle")}), 1);
+  // Error-table anchor missing a thrown category: exit 1.
+  EXPECT_EQ(analyze_main({"--config", fixture_path("errtable.conf"),
+                          fixture_path("errtable")}),
+            1);
+  // Unreadable layers config: exit 2.
+  EXPECT_EQ(analyze_main({"--layers", fixture_path("no_such_layers.conf"),
+                          fixture_path("layers")}),
+            2);
+}
+
+}  // namespace
+}  // namespace ivt::lint

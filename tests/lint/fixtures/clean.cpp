@@ -12,7 +12,7 @@ class Counter {
   void bump();
 
  private:
-  support::Mutex mu_;
+  support::Mutex mu_{support::LockRank::k_fixtures_Counter_mu_};
   std::size_t n_ IVT_GUARDED_BY(mu_) = 0;
 };
 

@@ -1,0 +1,25 @@
+// Fixture: error-taxonomy exhaustiveness, scanned lexically by
+// analyze_test, never compiled. The tree throws two categories (Io and
+// Format) but the `error-table` anchor function only switches on Io.
+// Expected: exactly one "error-taxonomy" finding (Format missing from
+// exit_table).
+#include "errors/error.hpp"
+
+namespace e {
+
+int exit_table(errors::Category category) {
+  switch (category) {
+    case errors::Category::Io:
+      return 1;
+  }
+  return 1;
+}
+
+void open_input(bool ok, bool well_formed) {
+  if (!ok) IVT_THROW(errors::Category::Io, "cannot open");
+  if (!well_formed) {
+    IVT_THROW(errors::Category::Format, "bad header");
+  }
+}
+
+}  // namespace e

@@ -1,0 +1,8 @@
+// Fixture: upper-layer module; includes only downward (allowed).
+#pragma once
+
+#include "low/thing.hpp"
+
+namespace high {
+int api();
+}  // namespace high

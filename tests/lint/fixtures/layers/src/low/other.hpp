@@ -1,0 +1,6 @@
+// Fixture: self-module include (always allowed).
+#pragma once
+
+namespace low {
+int other();
+}  // namespace low

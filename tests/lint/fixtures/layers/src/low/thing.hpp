@@ -1,0 +1,11 @@
+// Fixture: lower-layer module with a seeded layering violation — it
+// includes a module declared in a HIGHER layer of layers.conf. Expected:
+// exactly one "layering" finding (the back-edge low -> high).
+#pragma once
+
+#include "high/api.hpp"
+#include "low/other.hpp"
+
+namespace low {
+int thing();
+}  // namespace low

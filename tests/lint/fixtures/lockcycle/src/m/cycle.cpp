@@ -1,0 +1,59 @@
+// Fixture: a three-mutex lock-order cycle, scanned lexically by
+// analyze_test, never compiled. Every mutex binds its LockRank constant
+// and states what it guards (so the lock-rank and mutex-guard rules stay
+// quiet) — the ONLY expected finding is the cycle itself:
+//   m::A::mu_ -> m::B::mu_ -> m::C::mu_ -> m::A::mu_
+// (Never compiled: IVT_GUARDED_BY needs no definition here, and a
+// bodiless #define would confuse the function extractor.)
+#include "support/mutex.hpp"
+
+namespace m {
+
+class A;
+
+class C {
+ public:
+  void h();
+
+ private:
+  A* a_ = nullptr;
+  support::Mutex mu_{support::LockRank::k_m_C_mu_};
+  int state_ IVT_GUARDED_BY(mu_) = 0;
+};
+
+class B {
+ public:
+  void g();
+
+ private:
+  C c_;
+  support::Mutex mu_{support::LockRank::k_m_B_mu_};
+  int state_ IVT_GUARDED_BY(mu_) = 0;
+};
+
+class A {
+ public:
+  void f();
+
+ private:
+  B b_;
+  support::Mutex mu_{support::LockRank::k_m_A_mu_};
+  int state_ IVT_GUARDED_BY(mu_) = 0;
+};
+
+void A::f() {
+  const support::MutexLock lock(mu_);
+  b_.g();
+}
+
+void B::g() {
+  const support::MutexLock lock(mu_);
+  c_.h();
+}
+
+void C::h() {
+  const support::MutexLock lock(mu_);
+  a_->f();
+}
+
+}  // namespace m

@@ -2,7 +2,7 @@
 // a known number of violations (or none), and the tests pin the exact
 // finding counts, locations and process exit codes so rule behaviour
 // cannot drift silently.
-#include "lint/lint.hpp"
+#include "lint/analyze.hpp"
 
 #include <gtest/gtest.h>
 
@@ -24,13 +24,6 @@ std::string read_fixture(const std::string& name) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();
-}
-
-std::size_t count_rule(const std::vector<Finding>& findings,
-                       const std::string& rule) {
-  std::size_t n = 0;
-  for (const Finding& f : findings) n += f.rule == rule ? 1 : 0;
-  return n;
 }
 
 TEST(LintBareThrowTest, FindsExactlyTheTwoRealThrows) {
@@ -147,6 +140,23 @@ TEST(LintMetricNameTest, FlagsGrammarAndUnregisteredPrefixes) {
   EXPECT_EQ(with_colstore.size(), 5u);
 }
 
+TEST(LintMetricNameTest, ConcatenatedLiteralsAreJoinedBeforeChecking) {
+  // Adjacent string literals are one name: splitting a metric name
+  // across literals can neither evade the grammar nor the prefix check.
+  const std::string content =
+      "void f() {\n"
+      "  OBS_COUNT(\"serve.\" \"accept_total\", 1);\n"
+      "  OBS_COUNT(\"frob.\" \"x_total\", 1);\n"
+      "  OBS_COUNT(\"Bad\" \".Name\", 1);\n"
+      "}\n";
+  const auto findings = check_metric_names("concat.cpp", content, {});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].message.find("frob"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("metric-prefix"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("grammar"), std::string::npos);
+  EXPECT_EQ(check_metric_names("concat.cpp", content, {"frob"}).size(), 1u);
+}
+
 TEST(LintMetricNameTest, CleanFixtureHasNoFindings) {
   EXPECT_TRUE(
       check_metric_names("clean.cpp", read_fixture("clean.cpp"), {}).empty());
@@ -196,21 +206,21 @@ TEST(LintRunRulesTest, AppliesExemptionsAndCountsByRule) {
             "{\"mutex-guard\": 3}}");
 }
 
-TEST(LintMainTest, ExitCodes) {
+TEST(AnalyzeMainTest, ExitCodes) {
   // 0: clean file, no registry.
-  EXPECT_EQ(lint_main({fixture_path("clean.cpp")}), 0);
+  EXPECT_EQ(analyze_main({fixture_path("clean.cpp")}), 0);
   // 1: findings.
-  EXPECT_EQ(lint_main({fixture_path("bare_throw.cpp")}), 1);
-  EXPECT_EQ(lint_main({"--registry", fixture_path("registry.txt"),
+  EXPECT_EQ(analyze_main({fixture_path("bare_throw.cpp")}), 1);
+  EXPECT_EQ(analyze_main({"--registry", fixture_path("registry.txt"),
                        fixture_path("unregistered_fault.cpp")}),
             1);
   // 2: usage / unreadable inputs.
-  EXPECT_EQ(lint_main({}), 2);
-  EXPECT_EQ(lint_main({"--bogus-flag", fixture_path("clean.cpp")}), 2);
-  EXPECT_EQ(lint_main({"--config", fixture_path("no_such.conf"),
+  EXPECT_EQ(analyze_main({}), 2);
+  EXPECT_EQ(analyze_main({"--bogus-flag", fixture_path("clean.cpp")}), 2);
+  EXPECT_EQ(analyze_main({"--config", fixture_path("no_such.conf"),
                        fixture_path("clean.cpp")}),
             2);
-  EXPECT_EQ(lint_main({fixture_path("no_such_file.cpp")}), 2);
+  EXPECT_EQ(analyze_main({fixture_path("no_such_file.cpp")}), 2);
 }
 
 }  // namespace
